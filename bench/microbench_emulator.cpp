@@ -1,0 +1,78 @@
+// google-benchmark microbenchmarks of the emulator itself (host wall-clock,
+// not dynamic instruction counts): how fast the functional model executes
+// kernels per emulated element.  Useful when deciding whether a sweep can
+// afford N = 10^6 cells and for catching performance regressions in the
+// emulator's hot paths (vreg allocation, the register-pressure model).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/common.hpp"
+#include "svm/scan.hpp"
+#include "svm/segmented.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+
+void BM_PlusScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = bench::random_u32(n, 3);
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
+  rvv::MachineScope scope(machine);
+  for (auto _ : state) {
+    auto data = input;
+    svm::plus_scan<std::uint32_t>(std::span<std::uint32_t>(data));
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PlusScan)->Arg(1000)->Arg(100000);
+
+void BM_SegPlusScanLmul8(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = bench::random_u32(n, 3);
+  const auto flags = bench::random_head_flags(n, 100, 4);
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
+  rvv::MachineScope scope(machine);
+  for (auto _ : state) {
+    auto data = input;
+    svm::seg_plus_scan<std::uint32_t, 8>(std::span<std::uint32_t>(data),
+                                         std::span<const std::uint32_t>(flags));
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SegPlusScanLmul8)->Arg(1000)->Arg(100000);
+
+void BM_RegFilePressureModel(benchmark::State& state) {
+  // Isolates the allocator: repeated define/use/release churn at LMUL=8.
+  sim::InstCounter counter;
+  for (auto _ : state) {
+    sim::VRegFileModel model(counter);
+    std::vector<sim::ValueId> live;
+    for (int round = 0; round < 100; ++round) {
+      model.begin_inst();
+      const auto id = model.define(8);
+      model.end_inst();
+      live.push_back(id);
+      if (live.size() > 6) {
+        model.release(live.front());
+        live.erase(live.begin());
+      }
+      for (const auto v : live) {
+        model.begin_inst();
+        model.use(v);
+        model.end_inst();
+      }
+    }
+    benchmark::DoNotOptimize(counter.total());
+  }
+}
+BENCHMARK(BM_RegFilePressureModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

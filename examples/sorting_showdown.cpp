@@ -1,0 +1,86 @@
+// Sorting showdown: the paper's running example (split radix sort) against
+// the segmented-scan quicksort and the sequential qsort baseline, across
+// input distributions — uniform, nearly-sorted, and few-distinct-keys —
+// reporting dynamic instruction counts for each.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "apps/quicksort.hpp"
+#include "apps/radix_sort.hpp"
+#include "sim/report.hpp"
+#include "svm/baseline/qsort.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+
+std::vector<std::uint32_t> make_input(const std::string& kind, std::size_t n) {
+  std::mt19937 rng(99);
+  std::vector<std::uint32_t> v(n);
+  if (kind == "uniform") {
+    for (auto& x : v) x = static_cast<std::uint32_t>(rng());
+  } else if (kind == "nearly-sorted") {
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint32_t>(i);
+    for (std::size_t k = 0; k < n / 20; ++k) {
+      std::swap(v[rng() % n], v[rng() % n]);
+    }
+  } else {  // few-distinct
+    for (auto& x : v) x = static_cast<std::uint32_t>(rng() % 8);
+  }
+  return v;
+}
+
+std::uint64_t measure(const std::vector<std::uint32_t>& input,
+                      const std::function<void(std::span<std::uint32_t>)>& sorter,
+                      std::vector<std::uint32_t>& out) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
+  rvv::MachineScope scope(machine);
+  out = input;
+  const auto before = machine.counter().snapshot();
+  sorter(std::span<std::uint32_t>(out));
+  return (machine.counter().snapshot() - before).total();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kN = 20000;
+  sim::print_section(std::cout, "Sorting showdown (N=20,000, VLEN=1024, LMUL=1)");
+  sim::Table table({"distribution", "split_radix_sort", "scan_quicksort",
+                    "qsort baseline"});
+
+  for (const std::string kind : {"uniform", "nearly-sorted", "few-distinct"}) {
+    const auto input = make_input(kind, kN);
+    auto expect = input;
+    std::sort(expect.begin(), expect.end());
+
+    std::vector<std::uint32_t> a, b, c;
+    const auto radix = measure(input, [](std::span<std::uint32_t> d) {
+      apps::split_radix_sort<std::uint32_t>(d);
+    }, a);
+    const auto quick = measure(input, [](std::span<std::uint32_t> d) {
+      apps::scan_quicksort<std::uint32_t>(d);
+    }, b);
+    const auto qsort = measure(input, [](std::span<std::uint32_t> d) {
+      svm::baseline::qsort_u32(d);
+    }, c);
+
+    if (a != expect || b != expect || c != expect) {
+      std::cerr << "FATAL: a sorter produced wrong output on " << kind << '\n';
+      return 1;
+    }
+    table.add_row({kind, sim::format_count(radix), sim::format_count(quick),
+                   sim::format_count(qsort)});
+  }
+  table.print(std::cout);
+  std::cout << "\nRadix sort's count is distribution-oblivious (32 fixed "
+               "passes); scan-quicksort benefits from few distinct keys "
+               "(three-way partition retires whole segments per round).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Sparse matrix-vector products on the scan vector model: builds a random
+// sparse adjacency-like matrix in CSR form, runs y = A*x through the
+// gather -> multiply -> segmented-scan pipeline, verifies against a scalar
+// reference, and reports where the dynamic instructions went by class.
+#include <cstdint>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "apps/spmv.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+
+apps::CsrMatrix<std::uint32_t> random_matrix(std::size_t rows, std::size_t cols,
+                                             double density, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution occupied(density);
+  apps::CsrMatrix<std::uint32_t> m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.push_back(0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (occupied(rng)) {
+        m.col_idx.push_back(static_cast<std::uint32_t>(c));
+        m.values.push_back(static_cast<std::uint32_t>(rng() % 100));
+      }
+    }
+    m.row_ptr.push_back(static_cast<std::uint32_t>(m.col_idx.size()));
+  }
+  m.validate();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kRows = 2000, kCols = 1500;
+  const auto a = random_matrix(kRows, kCols, 0.01, 5);
+  std::cout << "CSR matrix: " << kRows << " x " << kCols << ", nnz = " << a.nnz()
+            << " (includes empty rows)\n";
+
+  std::mt19937 rng(6);
+  std::vector<std::uint32_t> x(kCols);
+  for (auto& v : x) v = static_cast<std::uint32_t>(rng() % 1000);
+
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 512});
+  rvv::MachineScope scope(machine);
+  std::vector<std::uint32_t> y(kRows);
+  const auto before = machine.counter().snapshot();
+  apps::spmv<std::uint32_t>(a, x, y);
+  const auto delta = machine.counter().snapshot() - before;
+
+  // Scalar reference (modular arithmetic, like the kernel).
+  std::vector<std::uint32_t> ref(kRows, 0);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::uint32_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      ref[r] += a.values[k] * x[a.col_idx[k]];
+    }
+  }
+  if (ref != y) {
+    std::cerr << "FATAL: spmv mismatch vs scalar reference\n";
+    return 1;
+  }
+  std::cout << "verified against scalar reference ✓\n\n";
+
+  std::cout << "dynamic instructions: " << delta << '\n'
+            << "per nonzero: "
+            << static_cast<double>(delta.total()) / static_cast<double>(a.nnz())
+            << " (gather + multiply + segmented scan + tail gather)\n";
+  return 0;
+}

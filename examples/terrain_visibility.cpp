@@ -1,0 +1,51 @@
+// Line-of-sight over a synthetic terrain profile — Blelloch's classic
+// max-scan application — with an ASCII rendering of which points the
+// observer at the left edge can see.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "apps/line_of_sight.hpp"
+
+int main() {
+  using namespace rvvsvm;
+  constexpr std::size_t kN = 72;
+
+  // Rolling terrain with a tall ridge that shadows everything behind it.
+  std::vector<std::int64_t> altitude(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double t = static_cast<double>(i);
+    double h = 46.0 - t * 0.45 + 9.0 * std::sin(t / 5.0);
+    if (i > 44 && i < 50) h += 22.0;  // the ridge
+    altitude[i] = static_cast<std::int64_t>(h);
+  }
+  altitude[0] += 14;  // the observer stands on a tower
+
+
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  std::vector<std::int64_t> visible(kN);
+  apps::line_of_sight(altitude, visible);
+
+  // Render: rows are altitude bands, '#' visible terrain, '.' hidden.
+  const std::int64_t top = *std::max_element(altitude.begin(), altitude.end());
+  for (std::int64_t row = top; row >= 0; row -= 4) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      if (altitude[i] >= row) {
+        std::cout << (visible[i] != 0 ? '#' : '.');
+      } else {
+        std::cout << ' ';
+      }
+    }
+    std::cout << '\n';
+  }
+  std::cout << "observer at column 0; '#' visible, '.' shadowed\n";
+
+  std::size_t seen = 0;
+  for (const auto v : visible) seen += v != 0 ? 1u : 0u;
+  std::cout << seen << "/" << kN << " points visible; "
+            << machine.counter().total() << " dynamic instructions\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Umbrella header for the applications built on the scan vector model.
+#pragma once
+
+#include "apps/bignum.hpp"         // IWYU pragma: export
+#include "apps/compact.hpp"        // IWYU pragma: export
+#include "apps/histogram.hpp"      // IWYU pragma: export
+#include "apps/line_of_sight.hpp"  // IWYU pragma: export
+#include "apps/poly_hash.hpp"      // IWYU pragma: export
+#include "apps/quickselect.hpp"    // IWYU pragma: export
+#include "apps/quicksort.hpp"      // IWYU pragma: export
+#include "apps/radix_sort.hpp"     // IWYU pragma: export
+#include "apps/rle.hpp"            // IWYU pragma: export
+#include "apps/spmv.hpp"           // IWYU pragma: export
+#include "apps/transpose.hpp"      // IWYU pragma: export

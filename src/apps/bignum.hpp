@@ -1,0 +1,142 @@
+// Multi-precision addition via carry-lookahead scan — one of Blelloch's
+// original motivating applications ("Prefix sums and their applications":
+// binary addition is a scan over the carry semigroup).
+//
+// Each limb pair is classified as Kill (the pair cannot produce a carry out
+// regardless of the carry in), Propagate (carry out == carry in, i.e. the
+// wrapped sum is all-ones), or Generate (the pair overflows by itself).  The
+// combine "last non-Propagate wins" is associative but NOT commutative, so
+// this application doubles as the orientation test for the generic scan
+// kernels' operator contract (see op_traits.hpp).  An exclusive scan of the
+// K/P/G vector resolves the carry into every limb in O(lg vl) vector steps
+// per block instead of a serial carry ripple.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "svm/svm.hpp"
+
+namespace rvvsvm::apps {
+
+/// Carry-resolution monoid over {Kill = 0, Propagate = 1, Generate = 2}:
+/// earlier ⊕ later = later unless later == Propagate, in which case the
+/// earlier state passes through.  Propagate is the (two-sided) identity —
+/// the scan's padding and the carry-in seed must be P, and only a resolved
+/// Generate produces a carry; a prefix that is still P or K after the scan
+/// means carry-in 0.
+struct CarryOp {
+  static constexpr const char* name = "carry";
+  template <rvv::VectorElement T>
+  static constexpr T kKill = T{0};
+  template <rvv::VectorElement T>
+  static constexpr T kPropagate = T{1};
+  template <rvv::VectorElement T>
+  static constexpr T kGenerate = T{2};
+
+  template <rvv::VectorElement T>
+  static constexpr T identity() noexcept { return kPropagate<T>; }
+  /// scalar(a, b): a is the earlier state.
+  template <rvv::VectorElement T>
+  static T scalar(T a, T b) noexcept { return b == kPropagate<T> ? a : b; }
+  /// vv(a, b): a is the LATER state (see the orientation contract).
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv(const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                            std::size_t vl) {
+    const auto pass = rvv::vmseq(a, kPropagate<T>, vl);
+    return rvv::vmerge(pass, b, a, vl);
+  }
+  /// vx(a, x): x is the earlier (carry-in) state.
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx(const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    const auto pass = rvv::vmseq(a, kPropagate<T>, vl);
+    return rvv::vmerge(pass, x, a, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                              std::size_t vl) {
+    const auto combined = vv<T, L>(a, b, vl);
+    return rvv::vmerge(mask, combined, maskedoff, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    const auto combined = vx<T, L>(a, x, vl);
+    return rvv::vmerge(mask, combined, maskedoff, vl);
+  }
+};
+
+/// out = a + b over little-endian 32-bit limbs; returns the carry out of the
+/// most significant limb.  All three spans must have the same length.
+/// Requires an active rvv::MachineScope.
+template <unsigned LMUL = 1>
+std::uint32_t bignum_add(std::span<const std::uint32_t> a,
+                         std::span<const std::uint32_t> b,
+                         std::span<std::uint32_t> out) {
+  using T = std::uint32_t;
+  const std::size_t n = a.size();
+  if (b.size() != n || out.size() < n) {
+    throw std::invalid_argument("bignum_add: operand size mismatch");
+  }
+  if (n == 0) return 0;
+  rvv::Machine& m = rvv::Machine::active();
+
+  // sums = a + b (wrapping); kpg = Generate where the pair overflowed,
+  // Propagate where the wrapped sum is all-ones, else Kill.
+  std::vector<T> sums(n);
+  std::vector<T> kpg(n);
+  svm::detail::stripmine<T, LMUL>(n, 3, [&](std::size_t pos, std::size_t vl) {
+    auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
+    auto vb = rvv::vle<T, LMUL>(b.subspan(pos), vl);
+    const auto sum = rvv::vadd(va, vb, vl);
+    const auto overflow = rvv::vmslt(sum, va, vl);  // unsigned: sum < a iff carry
+    const auto allones = rvv::vmseq(sum, static_cast<T>(~T{0}), vl);
+    auto state = rvv::vmerge(allones, CarryOp::kPropagate<T>,
+                             rvv::vmv_v_x<T, LMUL>(CarryOp::kKill<T>, vl), vl);
+    state = rvv::vmerge(overflow, CarryOp::kGenerate<T>, state, vl);
+    rvv::vse(std::span<T>(sums).subspan(pos), sum, vl);
+    rvv::vse(std::span<T>(kpg).subspan(pos), state, vl);
+  });
+
+  // Resolve the carry INTO each limb: exclusive scan over the semigroup.
+  std::vector<T> carry_state(kpg);
+  svm::scan_exclusive<CarryOp, T, LMUL>(std::span<T>(carry_state));
+
+  // Carry out of the last limb (resolved inclusive state of the whole sum).
+  const T final_state = CarryOp::scalar(carry_state[n - 1], kpg[n - 1]);
+  m.scalar().charge({.alu = 2, .load = 2, .branch = 1});
+
+  // out = sums + (carry_state == Generate ? 1 : 0).
+  svm::detail::stripmine<T, LMUL>(n, 3, [&](std::size_t pos, std::size_t vl) {
+    auto sum = rvv::vle<T, LMUL>(std::span<const T>(sums).subspan(pos), vl);
+    auto state = rvv::vle<T, LMUL>(std::span<const T>(carry_state).subspan(pos), vl);
+    const auto carry = rvv::vmseq(state, CarryOp::kGenerate<T>, vl);
+    sum = rvv::vadd_m(carry, sum, sum, T{1}, vl);
+    rvv::vse(out.subspan(pos), sum, vl);
+  });
+
+  return final_state == CarryOp::kGenerate<T> ? 1u : 0u;
+}
+
+/// Sequential ripple-carry baseline (counted with the scalar model) for the
+/// bignum bench and tests.
+inline std::uint32_t bignum_add_baseline(std::span<const std::uint32_t> a,
+                                         std::span<const std::uint32_t> b,
+                                         std::span<std::uint32_t> out) {
+  auto& scalar = rvv::Machine::active().scalar();
+  scalar.charge(sim::kKernelPrologue);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t s = static_cast<std::uint64_t>(a[i]) + b[i] + carry;
+    out[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+    // lw, lw, add, add(carry), sw, srl, pointer/count bookkeeping, bne.
+    scalar.charge({.alu = 5, .load = 2, .store = 1, .branch = 1});
+  }
+  return static_cast<std::uint32_t>(carry);
+}
+
+}  // namespace rvvsvm::apps

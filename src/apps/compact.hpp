@@ -1,0 +1,34 @@
+// Stream compaction (filter) — pack the elements satisfying a predicate to
+// the front of an output vector, the "remove" building block Blelloch uses
+// inside most scan-vector-model algorithms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "svm/svm.hpp"
+
+namespace rvvsvm::apps {
+
+/// Copies the elements of src strictly greater than `threshold`, in order,
+/// to the front of dst; returns how many were kept.  dst must be able to
+/// hold every kept element.  Requires an active MachineScope.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+[[nodiscard]] std::size_t compact_greater(std::span<const T> src, std::span<T> dst,
+                                          std::type_identity_t<T> threshold) {
+  std::vector<T> flags(src.size());
+  svm::p_flag_gt<T, LMUL>(src, threshold, std::span<T>(flags));
+  return svm::pack<T, LMUL>(src, dst, std::span<const T>(flags));
+}
+
+/// Splits src around `threshold` in one pass of the model's split: elements
+/// <= threshold first (stable), then the rest; returns the boundary.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+std::size_t partition_by_threshold(std::span<const T> src, std::span<T> dst,
+                                   std::type_identity_t<T> threshold) {
+  std::vector<T> flags(src.size());
+  svm::p_flag_gt<T, LMUL>(src, threshold, std::span<T>(flags));
+  return svm::split<T, LMUL>(src, dst, std::span<const T>(flags));
+}
+
+}  // namespace rvvsvm::apps

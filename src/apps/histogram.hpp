@@ -1,0 +1,68 @@
+// Histogramming via sort + segmented reduce — the scan vector model's
+// standard answer to scatter-with-collisions (Blelloch, "Vector models for
+// data-parallel computing", chapter 4): sort the keys, mark the runs of
+// equal keys, reduce each run, and scatter the run counts to the bins.
+#pragma once
+
+#include <bit>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/radix_sort.hpp"
+#include "svm/seg_ops.hpp"
+
+namespace rvvsvm::apps {
+
+/// bins[k] = number of occurrences of key k in `keys`; every key must be
+/// < bins.size().  Only ceil(lg bins.size()) split passes are spent on the
+/// sort.  Requires an active rvv::MachineScope.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void histogram(std::span<const T> keys, std::span<T> bins) {
+  static_assert(std::is_unsigned_v<T>, "histogram keys are unsigned bin indices");
+  const std::size_t n = keys.size();
+  const std::size_t num_bins = bins.size();
+  if (num_bins == 0) throw std::invalid_argument("histogram: no bins");
+
+  // Zero the bins (vectorized).
+  svm::detail::stripmine<T, LMUL>(num_bins, 1, [&](std::size_t pos, std::size_t vl) {
+    rvv::vse(bins.subspan(pos), rvv::vmv_v_x<T, LMUL>(T{0}, vl), vl);
+  });
+  if (n == 0) return;
+
+  // 1. Sort a copy of the keys over just the bits a bin index needs.
+  std::vector<T> sorted(keys.begin(), keys.end());
+  const unsigned key_bits = static_cast<unsigned>(std::bit_width(num_bins - 1));
+  if (key_bits > 0) {
+    detail::radix_sort_passes<T, LMUL>(std::span<T>(sorted), key_bits);
+  }
+
+  // 2. Run boundaries: flags[i] = 1 iff sorted[i] != sorted[i-1] (i = 0 is
+  //    always a boundary) — an elementwise compare of two shifted views.
+  std::vector<T> flags(n, T{0});
+  flags[0] = T{1};
+  if (n > 1) {
+    svm::p_flag_ne<T, LMUL>(std::span<const T>(sorted).subspan(1),
+                            std::span<const T>(sorted).first(n - 1),
+                            std::span<T>(flags).subspan(1));
+  }
+
+  // 3. Per-run counts: segmented plus-reduce over a ones vector.
+  const std::vector<T> ones(n, T{1});
+  std::vector<T> counts(n);
+  const std::size_t runs = svm::seg_reduce<svm::PlusOp, T, LMUL>(
+      std::span<const T>(ones), std::span<const T>(flags), std::span<T>(counts));
+
+  // 4. The distinct key of each run, packed in order.
+  std::vector<T> distinct(n);
+  const std::size_t packed = svm::pack<T, LMUL>(std::span<const T>(sorted),
+                                                std::span<T>(distinct),
+                                                std::span<const T>(flags));
+  if (packed != runs) throw std::logic_error("histogram: run bookkeeping mismatch");
+
+  // 5. bins[distinct[r]] = counts[r] — a permute of the counts.
+  svm::permute<T, LMUL>(std::span<const T>(counts).first(runs), bins,
+                        std::span<const T>(distinct).first(runs));
+}
+
+}  // namespace rvvsvm::apps

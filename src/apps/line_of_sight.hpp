@@ -1,0 +1,62 @@
+// Line-of-sight via max-scan — Blelloch's canonical scan application:
+// an observer at position 0 sees position i iff no intermediate point
+// subtends a larger vertical angle.
+//
+// Angles are compared through a fixed-point slope proxy,
+// slope(i) = (alt[i] - alt[0]) * kSlopeScale / i, computed with vectorized
+// subtract/multiply/divide; visibility is slope(i) > (exclusive max-scan of
+// slopes)(i).  Signed 64-bit elements keep the scaled slopes exact for any
+// 32-bit altitude profile.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "svm/svm.hpp"
+
+namespace rvvsvm::apps {
+
+inline constexpr std::int64_t kSlopeScale = 1 << 16;
+
+/// visible[i] = 1 if the observer at index 0 can see the terrain point at
+/// index i (always 1 for i == 0).  `altitudes` holds signed altitudes;
+/// `visible` must have the same length.  Requires an active MachineScope.
+template <unsigned LMUL = 1>
+void line_of_sight(std::span<const std::int64_t> altitudes,
+                   std::span<std::int64_t> visible) {
+  using T = std::int64_t;
+  const std::size_t n = altitudes.size();
+  if (visible.size() < n) throw std::invalid_argument("line_of_sight: output too small");
+  if (n == 0) return;
+  rvv::Machine& m = rvv::Machine::active();
+
+  const T base = altitudes[0];
+  m.scalar().charge({.load = 1});
+
+  // slopes[i] = (alt[i] - base) * scale / i   (i >= 1; slot 0 unused).
+  std::vector<T> slopes(n);
+  svm::detail::stripmine<T, LMUL>(n, 1, [&](std::size_t pos, std::size_t vl) {
+    auto alt = rvv::vle<T, LMUL>(altitudes.subspan(pos), vl);
+    alt = rvv::vsub(alt, base, vl);
+    alt = rvv::vmul(alt, kSlopeScale, vl);
+    auto dist = rvv::vid<T, LMUL>(vl);
+    dist = rvv::vadd(dist, static_cast<T>(pos), vl);
+    alt = rvv::vdiv(alt, dist, vl);  // i == 0 -> all-ones; overwritten below
+    rvv::vse(std::span<T>(slopes).subspan(pos), alt, vl);
+  });
+  slopes[0] = std::numeric_limits<T>::min();  // the observer blocks nothing
+  m.scalar().charge({.store = 1});
+
+  // running[i] = max slope over [0, i)  (exclusive max-scan).
+  std::vector<T> running(slopes);
+  svm::max_scan_exclusive<T, LMUL>(std::span<T>(running));
+
+  // visible[i] = slopes[i] > running[i]; position 0 is always visible.
+  svm::p_flag_gt<T, LMUL>(std::span<const T>(slopes), std::span<const T>(running),
+                          visible);
+  visible[0] = T{1};
+  m.scalar().charge({.store = 1});
+}
+
+}  // namespace rvvsvm::apps

@@ -1,0 +1,77 @@
+// Polynomial (Rabin–Karp) hashing via multiply-scan.
+//
+// hash(s) = sum s[i] * base^i  (mod 2^32) — the rolling-hash family used by
+// string search and dedup systems.  The power table base^i is an inclusive
+// multiply-scan of a broadcast base (evaluation lives in Z/2^32, the
+// library's native modular arithmetic), the products are one elementwise
+// multiply, and the hash is a plus-reduce: three scan-vector-model passes,
+// versus a serial Horner loop in the baseline.
+//
+// Also provides chunk hashing: split the input into segments (head-flags)
+// and produce one polynomial hash per segment with segmented scans — the
+// content-defined-chunking shape deduplicating storage systems use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "svm/scan.hpp"
+#include "svm/seg_ops.hpp"
+
+namespace rvvsvm::apps {
+
+/// Polynomial hash of the whole input: sum data[i] * base^i mod 2^32.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+[[nodiscard]] T poly_hash(std::span<const T> data, std::type_identity_t<T> base) {
+  static_assert(std::is_unsigned_v<T>, "polynomial hashing is modular-unsigned");
+  const std::size_t n = data.size();
+  if (n == 0) return T{0};
+
+  // powers[i] = base^i: exclusive multiply-scan of a broadcast base.
+  std::vector<T> powers(n, base);
+  svm::scan_exclusive<svm::MulOp, T, LMUL>(std::span<T>(powers));
+
+  // terms = data .* powers, then fold.
+  std::vector<T> terms(data.begin(), data.begin() + static_cast<long>(n));
+  svm::p_mul<T, LMUL>(std::span<T>(terms), std::span<const T>(powers));
+  return svm::reduce<svm::PlusOp, T, LMUL>(std::span<const T>(terms));
+}
+
+/// Per-segment polynomial hashes: each segment h = sum s[j] * base^j with j
+/// the offset *within* the segment.  Hashes are written to the front of
+/// `out` in segment order; returns the segment count.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+std::size_t seg_poly_hash(std::span<const T> data, std::span<const T> head_flags,
+                          std::type_identity_t<T> base, std::span<T> out) {
+  static_assert(std::is_unsigned_v<T>);
+  const std::size_t n = data.size();
+  if (n == 0) return 0;
+
+  // Per-segment powers: exclusive segmented multiply-scan of the base.
+  std::vector<T> powers(n, base);
+  svm::seg_scan_exclusive<svm::MulOp, T, LMUL>(std::span<T>(powers), head_flags);
+
+  std::vector<T> terms(data.begin(), data.begin() + static_cast<long>(n));
+  svm::p_mul<T, LMUL>(std::span<T>(terms), std::span<const T>(powers));
+  return svm::seg_reduce<svm::PlusOp, T, LMUL>(std::span<const T>(terms), head_flags,
+                                               out);
+}
+
+/// Sequential Horner-style baseline (counted with the scalar model).
+template <rvv::VectorElement T>
+[[nodiscard]] T poly_hash_baseline(std::span<const T> data,
+                                   std::type_identity_t<T> base) {
+  auto& scalar = rvv::Machine::active().scalar();
+  scalar.charge(sim::kKernelPrologue);
+  T hash{0};
+  T power{1};
+  for (const T v : data) {
+    hash = rvv::detail::wrap_add(hash, rvv::detail::wrap_mul(v, power));
+    power = rvv::detail::wrap_mul(power, static_cast<T>(base));
+    // lw, mul, add, mul(power), pointer/count bookkeeping, bne.
+    scalar.charge({.alu = 5, .load = 1, .branch = 1});
+  }
+  return hash;
+}
+
+}  // namespace rvvsvm::apps

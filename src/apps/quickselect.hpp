@@ -1,0 +1,72 @@
+// Order statistics (k-th smallest) with scan primitives — a branch-free
+// quickselect: repeatedly three-way partition the *single* active range
+// around its middle element using split, and descend into the group that
+// contains rank k.  Each round is O(active range) vector work; expected
+// total work is O(n).
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "svm/svm.hpp"
+
+namespace rvvsvm::apps {
+
+/// Returns the k-th smallest element (k = 0 is the minimum) of `data`
+/// without fully sorting it.  `data` is consumed as scratch.
+/// Requires an active rvv::MachineScope.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+[[nodiscard]] T quickselect(std::span<T> data, std::size_t k) {
+  static_assert(std::is_unsigned_v<T>, "quickselect uses 0/1 flag arithmetic");
+  const std::size_t n = data.size();
+  if (k >= n) throw std::out_of_range("quickselect: rank out of range");
+  rvv::Machine& m = rvv::Machine::active();
+
+  std::vector<T> buffer(n);
+  std::vector<T> f_le(n), f_eq(n);
+  std::span<T> active = data;
+  std::size_t rank = k;
+
+  // The active range shrinks every round (the == group is non-empty), so n
+  // rounds bound the loop even in the degenerate all-equal case.
+  for (std::size_t round = 0; round < n; ++round) {
+    const std::size_t len = active.size();
+    if (len == 1) return active[0];
+    const T pivot = active[len / 2];
+    m.scalar().charge({.alu = 2, .load = 1});
+
+    // Three-way partition around the pivot with two stable splits:
+    // first split by (v > pivot) — <= group to the front...
+    std::span<T> le(f_le.data(), len);
+    svm::p_flag_gt<T, LMUL>(std::span<const T>(active), pivot, le);
+    std::span<T> dst(buffer.data(), len);
+    const std::size_t n_le = svm::split<T, LMUL>(std::span<const T>(active), dst,
+                                                 std::span<const T>(le));
+    // ...then split the <= prefix by (v == pivot), putting < first.
+    std::span<T> le_prefix = dst.first(n_le);
+    std::span<T> eq(f_eq.data(), n_le);
+    svm::p_flag_eq<T, LMUL>(std::span<const T>(le_prefix), pivot, eq);
+    std::span<T> back(active.data(), n_le);
+    const std::size_t n_lt = svm::split<T, LMUL>(std::span<const T>(le_prefix), back,
+                                                 std::span<const T>(eq));
+    const std::size_t n_eq = n_le - n_lt;
+
+    m.scalar().charge({.alu = 3, .branch = 2});
+    if (rank < n_lt) {
+      active = back.first(n_lt);  // descend into <
+    } else if (rank < n_lt + n_eq) {
+      return pivot;  // the answer sits in the == run
+    } else {
+      // Descend into >: it lives in dst[n_le, len); copy it into active.
+      rank -= n_lt + n_eq;
+      std::span<T> gt(active.data(), len - n_le);
+      svm::p_copy<T, LMUL>(std::span<const T>(dst.subspan(n_le)), gt);
+      active = gt;
+    }
+  }
+  throw std::logic_error("quickselect: failed to converge (internal error)");
+}
+
+}  // namespace rvvsvm::apps

@@ -1,0 +1,157 @@
+// Segmented-scan quicksort (Blelloch's flat quicksort; the algorithm the
+// paper's section 5 motivates segmented scan with).
+//
+// The whole array is one segment initially.  Each round, entirely with
+// scan-vector-model primitives and no per-segment control flow:
+//   1. broadcast each segment's head element as its pivot (seg_distribute),
+//   2. build three 0/1 flag vectors: < pivot, == pivot, > pivot,
+//   3. compute every element's destination with segmented exclusive scans
+//      (rank within its group) plus broadcast group totals,
+//   4. permute elements to their destinations — a stable three-way
+//      partition of every segment at once,
+//   5. plant head flags at the starts of the new <, ==, > groups.
+// Segments whose elements all equal their pivot produce no < or > elements,
+// so the algorithm terminates when no such flags remain anywhere.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "svm/svm.hpp"
+
+namespace rvvsvm::apps {
+
+/// In-place ascending quicksort over unsigned keys via segmented scans.
+/// Requires an active rvv::MachineScope.  Keys narrower than the array
+/// length are widened to 32 bits (destination indices must fit the element
+/// type), sorted, and narrowed back, with the conversions counted.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void scan_quicksort(std::span<T> data) {
+  static_assert(std::is_unsigned_v<T>,
+                "scan_quicksort uses 0/1 flag arithmetic over unsigned keys");
+  const std::size_t n = data.size();
+  if (n < 2) return;
+  if constexpr (sizeof(T) < sizeof(std::uint32_t)) {
+    if (n - 1 > std::numeric_limits<T>::max()) {
+      std::vector<std::uint32_t> wide(n);
+      svm::p_convert<T, std::uint32_t, LMUL>(std::span<const T>(data),
+                                             std::span<std::uint32_t>(wide));
+      scan_quicksort<std::uint32_t, LMUL>(std::span<std::uint32_t>(wide));
+      svm::p_convert<std::uint32_t, T, LMUL>(std::span<const std::uint32_t>(wide),
+                                             data);
+      return;
+    }
+  }
+  rvv::Machine& m = rvv::Machine::active();
+
+  std::vector<T> heads(n, T{0});
+  heads[0] = T{1};
+  m.scalar().charge({.store = 1});
+
+  std::vector<T> pivots(n), f_lt(n), f_eq(n), f_gt(n);
+  std::vector<T> rank_lt(n), rank_eq(n), rank_gt(n);
+  std::vector<T> tot_lt(n), tot_eq(n);
+  std::vector<T> seg_start(n), dest(n), scratch(n), buffer(n), new_heads(n);
+  const std::vector<T> ones(n, T{1});
+  const std::span<T> heads_s(heads), pivots_s(pivots), dest_s(dest);
+
+  // Each round splits every active segment; with middle-element pivots the
+  // expected round count is O(log n) (and exactly O(log n) on sorted
+  // inputs); n rounds is an absolute bound because the == group is never
+  // empty, so every working segment strictly shrinks.
+  for (std::size_t round = 0; round < n; ++round) {
+    // 1. pivots = middle element of each segment, entirely with primitives:
+    //    seg_start = distribute(index); len = broadcast_tail(index - start + 1);
+    //    pivot = gather(data, seg_start + len/2).
+    svm::index_fill<T, LMUL>(std::span<T>(seg_start));
+    svm::seg_distribute<T, LMUL>(std::span<T>(seg_start), std::span<const T>(heads_s));
+    svm::index_fill<T, LMUL>(std::span<T>(scratch));
+    svm::p_sub<T, LMUL>(std::span<T>(scratch), std::span<const T>(seg_start));
+    svm::p_add<T, LMUL>(std::span<T>(scratch), T{1});  // offset-in-segment + 1
+    svm::seg_broadcast_tail<T, LMUL>(std::span<T>(scratch), std::span<const T>(heads_s));
+    svm::p_shift_right<T, LMUL>(std::span<T>(scratch), T{1});  // len / 2
+    svm::p_add<T, LMUL>(std::span<T>(scratch), std::span<const T>(seg_start));
+    svm::gather<T, LMUL>(std::span<const T>(data), pivots_s,
+                         std::span<const T>(scratch));
+
+    // 2. comparison flags.
+    svm::p_flag_lt<T, LMUL>(std::span<const T>(data), std::span<const T>(pivots_s),
+                            std::span<T>(f_lt));
+    svm::p_flag_eq<T, LMUL>(std::span<const T>(data), std::span<const T>(pivots_s),
+                            std::span<T>(f_eq));
+    svm::p_flag_gt<T, LMUL>(std::span<const T>(data), std::span<const T>(pivots_s),
+                            std::span<T>(f_gt));
+
+    const T work = rvv::detail::wrap_add(
+        svm::reduce<svm::PlusOp, T, LMUL>(std::span<const T>(f_lt)),
+        svm::reduce<svm::PlusOp, T, LMUL>(std::span<const T>(f_gt)));
+    m.scalar().charge({.alu = 1, .branch = 1});
+    if (work == T{0}) return;  // every segment is uniform: sorted
+
+    // 3. ranks within each group (segmented exclusive counts)...
+    auto seg_exclusive_count = [&](const std::vector<T>& flags, std::vector<T>& out) {
+      out.assign(flags.begin(), flags.end());
+      svm::seg_plus_scan_exclusive<T, LMUL>(std::span<T>(out),
+                                            std::span<const T>(heads_s),
+                                            std::span<T>(scratch));
+    };
+    seg_exclusive_count(f_lt, rank_lt);
+    seg_exclusive_count(f_eq, rank_eq);
+    seg_exclusive_count(f_gt, rank_gt);
+
+    // ...and per-segment group totals broadcast to every element.
+    auto seg_total = [&](const std::vector<T>& flags, std::vector<T>& out) {
+      out.assign(flags.begin(), flags.end());
+      svm::seg_plus_scan<T, LMUL>(std::span<T>(out), std::span<const T>(heads_s));
+      svm::seg_broadcast_tail<T, LMUL>(std::span<T>(out), std::span<const T>(heads_s));
+    };
+    seg_total(f_lt, tot_lt);
+    seg_total(f_eq, tot_eq);
+
+    // 4. destination = seg_start + group base + rank-within-group.
+    //    gt base = tot_lt + tot_eq; eq base = tot_lt; lt base = 0.
+    svm::p_copy<T, LMUL>(std::span<const T>(rank_gt), dest_s);
+    svm::p_add<T, LMUL>(dest_s, std::span<const T>(tot_lt));
+    svm::p_add<T, LMUL>(dest_s, std::span<const T>(tot_eq));
+    svm::p_add<T, LMUL>(std::span<T>(rank_eq), std::span<const T>(tot_lt));
+    svm::p_select<T, LMUL>(std::span<const T>(f_eq), std::span<const T>(rank_eq), dest_s);
+    svm::p_select<T, LMUL>(std::span<const T>(f_lt), std::span<const T>(rank_lt), dest_s);
+    svm::p_add<T, LMUL>(dest_s, std::span<const T>(seg_start));
+
+    svm::permute<T, LMUL>(std::span<const T>(data), std::span<T>(buffer),
+                          std::span<const T>(dest_s));
+    svm::p_copy<T, LMUL>(std::span<const T>(buffer), data);
+
+    // 5. new segment heads: the old head position plus the start of the
+    //    == group and of the > group (scatters of 1, masked so a boundary
+    //    one-past a segment's end is never written).
+    //    A scatter onto an already-set head is harmless.
+    svm::p_copy<T, LMUL>(std::span<const T>(heads_s), std::span<T>(new_heads));
+
+    // == group start: seg_start + tot_lt, valid when the segment has any
+    // == or > elements (it always has == elements: the pivot itself).
+    svm::p_copy<T, LMUL>(std::span<const T>(seg_start), std::span<T>(scratch));
+    svm::p_add<T, LMUL>(std::span<T>(scratch), std::span<const T>(tot_lt));
+    svm::permute_masked<T, LMUL>(
+        std::span<const T>(ones), std::span<T>(new_heads),
+        std::span<const T>(scratch), std::span<const T>(heads_s));
+
+    // > group start: seg_start + tot_lt + tot_eq, valid only when the
+    // segment has > elements; mask = heads .* tot_gt (non-zero iff both).
+    svm::p_add<T, LMUL>(std::span<T>(scratch), std::span<const T>(tot_eq));
+    std::vector<T> gt_mask(f_gt);
+    svm::seg_plus_scan<T, LMUL>(std::span<T>(gt_mask), std::span<const T>(heads_s));
+    svm::seg_broadcast_tail<T, LMUL>(std::span<T>(gt_mask), std::span<const T>(heads_s));
+    svm::p_mul<T, LMUL>(std::span<T>(gt_mask), std::span<const T>(heads_s));
+    svm::permute_masked<T, LMUL>(
+        std::span<const T>(ones), std::span<T>(new_heads),
+        std::span<const T>(scratch), std::span<const T>(gt_mask));
+
+    svm::p_copy<T, LMUL>(std::span<const T>(new_heads), heads_s);
+  }
+  throw std::logic_error("scan_quicksort: failed to converge (internal error)");
+}
+
+}  // namespace rvvsvm::apps

@@ -1,0 +1,80 @@
+// Split radix sort (paper section 4.4, Listing 9).
+//
+// Sorts unsigned keys by splitting the array on each bit from least to most
+// significant; split is stable, so after all key-width passes the array is
+// sorted.  Built purely from the scan-vector-model primitives: get_flags +
+// split (which is enumerate + p-add + p-select + permute).
+//
+// Split computes destination *indices* in the element type, so keys
+// narrower than the array length are widened to 32-bit first (vzext), sorted
+// over their own bit-width, and narrowed back (vnsrl) — the standard RVV
+// mixed-width treatment, and every conversion pass is counted.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "svm/ops.hpp"
+
+namespace rvvsvm::apps {
+
+namespace detail {
+
+/// One split pass per bit in [0, key_bits); the caller guarantees that
+/// destination indices (up to data.size() - 1) fit in T.  Sorting keys known
+/// to be below 2^key_bits needs only key_bits passes (the histogram and RLE
+/// applications exploit this).
+template <rvv::VectorElement T, unsigned LMUL>
+void radix_sort_passes(std::span<T> data, unsigned key_bits) {
+  const std::size_t n = data.size();
+  rvv::Machine& m = rvv::Machine::active();
+  std::vector<T> buffer(n);
+  std::vector<T> flags(n);
+  std::span<T> src = data;
+  std::span<T> dst(buffer);
+  for (unsigned bit = 0; bit < key_bits; ++bit) {
+    svm::get_flags<T, LMUL>(src, std::span<T>(flags), bit);
+    static_cast<void>(svm::split<T, LMUL>(std::span<const T>(src), dst,
+                                          std::span<const T>(flags)));
+    std::swap(src, dst);  // Listing 9 lines 9-12
+    m.scalar().charge({.alu = 3, .branch = 1});
+  }
+  if (key_bits % 2 != 0) {
+    // Odd pass count: the sorted result sits in the scratch buffer.
+    svm::p_copy<T, LMUL>(std::span<const T>(src), data);
+  }
+}
+
+}  // namespace detail
+
+/// In-place ascending sort of unsigned keys.  `LMUL` selects the register
+/// grouping for every underlying primitive.  Requires an active
+/// rvv::MachineScope.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void split_radix_sort(std::span<T> data) {
+  static_assert(std::is_unsigned_v<T>,
+                "split radix sort orders raw key bits; use unsigned keys");
+  static_assert(rvv::kSewBits<T> % 2 == 0);
+  const std::size_t n = data.size();
+  if (n < 2) return;
+
+  if constexpr (sizeof(T) < sizeof(std::uint32_t)) {
+    if (n - 1 > std::numeric_limits<T>::max()) {
+      // Destination indices overflow the key type: widen, sort over the
+      // original key bits only, narrow back.
+      std::vector<std::uint32_t> wide(n);
+      svm::p_convert<T, std::uint32_t, LMUL>(std::span<const T>(data),
+                                             std::span<std::uint32_t>(wide));
+      detail::radix_sort_passes<std::uint32_t, LMUL>(std::span<std::uint32_t>(wide),
+                                                     rvv::kSewBits<T>);
+      svm::p_convert<std::uint32_t, T, LMUL>(std::span<const std::uint32_t>(wide),
+                                             data);
+      return;
+    }
+  }
+  detail::radix_sort_passes<T, LMUL>(data, rvv::kSewBits<T>);
+}
+
+}  // namespace rvvsvm::apps

@@ -1,0 +1,87 @@
+// Run-length encoding and decoding with scans — a classic of Blelloch's
+// "Prefix sums and their applications".
+//
+// encode: boundary flags (elementwise compare of shifted views) -> pack the
+//         run values -> segmented reduce of ones for the run lengths.
+// decode: exclusive plus-scan of the lengths gives each run's start ->
+//         scatter the values there -> segmented distribute fills the runs.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "svm/scan.hpp"
+#include "svm/seg_ops.hpp"
+#include "svm/segdesc.hpp"
+
+namespace rvvsvm::apps {
+
+/// A run-length encoded sequence: runs[i] repeats values[i] lengths[i] times.
+template <rvv::VectorElement T>
+struct RunLength {
+  std::vector<T> values;
+  std::vector<T> lengths;
+
+  [[nodiscard]] std::size_t runs() const noexcept { return values.size(); }
+  [[nodiscard]] std::size_t decoded_size() const noexcept {
+    std::size_t n = 0;
+    for (const T l : lengths) n += static_cast<std::size_t>(l);
+    return n;
+  }
+};
+
+/// Encode `src` into runs of equal adjacent values.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+[[nodiscard]] RunLength<T> rle_encode(std::span<const T> src) {
+  const std::size_t n = src.size();
+  RunLength<T> out;
+  if (n == 0) return out;
+
+  std::vector<T> flags(n, T{0});
+  flags[0] = T{1};
+  if (n > 1) {
+    svm::p_flag_ne<T, LMUL>(src.subspan(1), src.first(n - 1),
+                            std::span<T>(flags).subspan(1));
+  }
+
+  std::vector<T> values(n);
+  const std::size_t runs = svm::pack<T, LMUL>(src, std::span<T>(values),
+                                              std::span<const T>(flags));
+  const std::vector<T> ones(n, T{1});
+  std::vector<T> lengths(n);
+  const std::size_t counted = svm::seg_reduce<svm::PlusOp, T, LMUL>(
+      std::span<const T>(ones), std::span<const T>(flags), std::span<T>(lengths));
+  if (counted != runs) throw std::logic_error("rle_encode: run bookkeeping mismatch");
+
+  values.resize(runs);
+  lengths.resize(runs);
+  out.values = std::move(values);
+  out.lengths = std::move(lengths);
+  return out;
+}
+
+/// Decode into `dst`, which must hold exactly decoded_size() elements.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void rle_decode(const RunLength<T>& rl, std::span<T> dst) {
+  const std::size_t runs = rl.runs();
+  if (rl.lengths.size() != runs) throw std::invalid_argument("rle_decode: malformed input");
+  const std::size_t n = rl.decoded_size();
+  if (dst.size() < n) throw std::invalid_argument("rle_decode: destination too small");
+  if (n == 0) return;
+
+  // Head flags of the decoded runs, from the lengths descriptor.
+  std::vector<T> head_flags(n);
+  svm::lengths_to_head_flags<T, LMUL>(std::span<const T>(rl.lengths),
+                                      std::span<T>(head_flags));
+
+  // Run starts (the same exclusive scan, reused for the value scatter).
+  std::vector<T> starts(rl.lengths.begin(), rl.lengths.end());
+  svm::plus_scan_exclusive<T, LMUL>(std::span<T>(starts));
+
+  svm::permute<T, LMUL>(std::span<const T>(rl.values), dst.first(n),
+                        std::span<const T>(starts));
+  svm::seg_distribute<T, LMUL>(dst.first(n), std::span<const T>(head_flags));
+}
+
+}  // namespace rvvsvm::apps

@@ -1,0 +1,100 @@
+// Sparse matrix-vector product via segmented scan — the classic Blelloch
+// application of segmented vectors ("Prefix sums and their applications",
+// section on sparse matrices).
+//
+// The matrix is CSR; each row is one segment of the flattened
+// products vector.  The pipeline is pure scan-vector-model:
+//   gather x by the column indices  ->  elementwise multiply by the values
+//   ->  inclusive segmented plus-scan  ->  gather each row's tail into y.
+// Arithmetic is modular unsigned (the library's integer semantics).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "svm/svm.hpp"
+
+namespace rvvsvm::apps {
+
+/// Compressed sparse row matrix of unsigned integer values.
+template <rvv::VectorElement T>
+struct CsrMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<T> row_ptr;  ///< size rows + 1; row r occupies [row_ptr[r], row_ptr[r+1])
+  std::vector<T> col_idx;  ///< size nnz
+  std::vector<T> values;   ///< size nnz
+
+  [[nodiscard]] std::size_t nnz() const noexcept { return values.size(); }
+
+  /// Structural validation (monotone row_ptr, in-range columns).
+  void validate() const {
+    if (row_ptr.size() != rows + 1) throw std::invalid_argument("CsrMatrix: bad row_ptr size");
+    if (col_idx.size() != values.size()) throw std::invalid_argument("CsrMatrix: col/value mismatch");
+    if (static_cast<std::size_t>(row_ptr.back()) != nnz() || row_ptr.front() != T{0}) {
+      throw std::invalid_argument("CsrMatrix: row_ptr bounds");
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (row_ptr[r] > row_ptr[r + 1]) throw std::invalid_argument("CsrMatrix: row_ptr not monotone");
+    }
+    for (const T c : col_idx) {
+      if (static_cast<std::size_t>(c) >= cols) throw std::invalid_argument("CsrMatrix: column out of range");
+    }
+  }
+};
+
+/// y = A * x over modular unsigned arithmetic.  Empty rows produce 0.
+/// Requires an active rvv::MachineScope.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void spmv(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y) {
+  static_assert(std::is_unsigned_v<T>, "spmv uses modular unsigned arithmetic");
+  if (x.size() < a.cols) throw std::invalid_argument("spmv: x too small");
+  if (y.size() < a.rows) throw std::invalid_argument("spmv: y too small");
+  const std::size_t nnz = a.nnz();
+  if (a.rows == 0) return;
+  rvv::Machine& m = rvv::Machine::active();
+
+  if (nnz == 0) {
+    svm::detail::stripmine<T, LMUL>(a.rows, 1, [&](std::size_t pos, std::size_t vl) {
+      rvv::vse(y.subspan(pos), rvv::vmv_v_x<T, LMUL>(T{0}, vl), vl);
+    });
+    return;
+  }
+
+  // products[k] = values[k] * x[col_idx[k]]  (gather + elementwise multiply).
+  std::vector<T> products(nnz);
+  svm::gather<T, LMUL>(x, std::span<T>(products), std::span<const T>(a.col_idx));
+  svm::p_mul<T, LMUL>(std::span<T>(products), std::span<const T>(a.values));
+
+  // Head flags: scatter a 1 at each non-empty row's start.  Empty rows share
+  // their start with the next row, so the duplicate scatter is harmless.
+  std::vector<T> flags(nnz, T{0});
+  const std::vector<T> ones(a.rows, T{1});
+  svm::detail::stripmine<T, LMUL>(a.rows, 2, [&](std::size_t pos, std::size_t vl) {
+    auto starts = rvv::vle<T, LMUL>(std::span<const T>(a.row_ptr).subspan(pos), vl);
+    auto nexts = rvv::vle<T, LMUL>(std::span<const T>(a.row_ptr).subspan(pos + 1), vl);
+    const auto nonempty = rvv::vmslt(starts, nexts, vl);
+    auto one = rvv::vle<T, LMUL>(std::span<const T>(ones).subspan(pos), vl);
+    rvv::vsuxei_m(nonempty, std::span<T>(flags), starts, one, vl);
+  });
+
+  svm::seg_plus_scan<T, LMUL>(std::span<T>(products), std::span<const T>(flags));
+
+  // y[r] = products[row_ptr[r+1] - 1] for non-empty rows, else 0.
+  svm::detail::stripmine<T, LMUL>(a.rows, 2, [&](std::size_t pos, std::size_t vl) {
+    auto starts = rvv::vle<T, LMUL>(std::span<const T>(a.row_ptr).subspan(pos), vl);
+    auto nexts = rvv::vle<T, LMUL>(std::span<const T>(a.row_ptr).subspan(pos + 1), vl);
+    const auto nonempty = rvv::vmslt(starts, nexts, vl);
+    auto tail_idx = rvv::vsub(nexts, T{1}, vl);
+    // Clamp empty rows' indices to a safe position before the gather.
+    tail_idx = rvv::vmerge(nonempty, tail_idx, rvv::vmv_v_x<T, LMUL>(T{0}, vl), vl);
+    auto sums = rvv::vluxei(std::span<const T>(products), tail_idx, vl);
+    sums = rvv::vmerge(nonempty, sums, rvv::vmv_v_x<T, LMUL>(T{0}, vl), vl);
+    rvv::vse(y.subspan(pos), sums, vl);
+  });
+  m.scalar().charge(sim::kKernelPrologue);
+}
+
+}  // namespace rvvsvm::apps

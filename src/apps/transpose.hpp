@@ -1,0 +1,56 @@
+// Matrix transpose with strided vector memory ops — the data-movement
+// pattern (AoS/SoA reshaping) Blelloch's model expresses with permutes, here
+// mapped to RVV's strided instructions: each source row is loaded
+// unit-stride and stored with stride `rows`, so one strip-mine pass per row
+// transposes the matrix with 2 memory instructions per block.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "svm/detail.hpp"
+
+namespace rvvsvm::apps {
+
+/// dst (cols x rows, row-major) = transpose of src (rows x cols, row-major).
+/// Requires an active rvv::MachineScope.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void transpose(std::span<const T> src, std::span<T> dst, std::size_t rows,
+               std::size_t cols) {
+  if (src.size() < rows * cols || dst.size() < rows * cols) {
+    throw std::invalid_argument("transpose: spans too small for the given shape");
+  }
+  rvv::Machine& m = rvv::Machine::active();
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Row r of src becomes column r of dst: dst[c * rows + r] = src[r * cols + c].
+    svm::detail::stripmine<T, LMUL>(cols, /*pointer_bumps=*/2,
+                                    [&](std::size_t pos, std::size_t vl) {
+                                      auto row = rvv::vle<T, LMUL>(
+                                          src.subspan(r * cols + pos), vl);
+                                      rvv::vsse(dst.subspan(pos * rows + r), rows,
+                                                row, vl);
+                                    });
+    m.scalar().charge({.alu = 2, .branch = 1});  // row-loop bookkeeping
+  }
+}
+
+/// De-interleave an array of `stride`-element records: field `field` of
+/// every record is gathered into dst (the AoS -> SoA move) with one strided
+/// load per block.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void deinterleave(std::span<const T> src, std::span<T> dst, std::size_t stride,
+                  std::size_t field) {
+  if (stride == 0 || field >= stride) {
+    throw std::invalid_argument("deinterleave: field out of record bounds");
+  }
+  const std::size_t records = src.size() / stride;
+  if (dst.size() < records) throw std::invalid_argument("deinterleave: dst too small");
+  svm::detail::stripmine<T, LMUL>(records, /*pointer_bumps=*/2,
+                                  [&](std::size_t pos, std::size_t vl) {
+                                    auto v = rvv::vlse<T, LMUL>(
+                                        src.subspan(pos * stride + field), stride, vl);
+                                    rvv::vse(dst.subspan(pos), v, vl);
+                                  });
+}
+
+}  // namespace rvvsvm::apps

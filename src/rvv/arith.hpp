@@ -1,0 +1,377 @@
+// Integer arithmetic and logical vector instructions (OPIVV/OPIVX forms).
+//
+// Semantics follow the RVV 1.0 spec chapter 11: wrap-around modular
+// arithmetic, shift amounts taken modulo SEW, division by zero producing
+// all-ones quotients and pass-through remainders.  Signed element types map
+// to the signed instruction variants (vmin/vmax/vsra/vdiv/vrem), unsigned
+// types to the unsigned variants, the way the intrinsic API's type suffixes
+// select instructions.
+#pragma once
+
+#include <limits>
+#include <type_traits>
+
+#include "rvv/ops_detail.hpp"
+
+namespace rvvsvm::rvv {
+
+// --- add / subtract --------------------------------------------------------
+
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vadd(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, detail::wrap_add<T>);
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vadd(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl, detail::wrap_add<T>);
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vsub(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, detail::wrap_sub<T>);
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vsub(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl, detail::wrap_sub<T>);
+}
+/// vrsub.vx: d[i] = x - a[i].
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vrsub(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+                           [](T ai, T xx) { return detail::wrap_sub(xx, ai); });
+}
+/// vneg.v pseudo-instruction (vrsub.vx with x = 0).
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vneg(const vreg<T, L>& a, std::size_t vl) {
+  return vrsub(a, T{0}, vl);
+}
+
+// --- multiply / divide -----------------------------------------------------
+
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmul(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, detail::wrap_mul<T>);
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmul(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl, detail::wrap_mul<T>);
+}
+
+/// vdiv[u].vv.  Division by zero yields all-ones; signed overflow
+/// (INT_MIN / -1) yields the dividend (RVV 1.0 section 11.11).
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vdiv(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, [](T ai, T bi) {
+    if (bi == T{0}) return static_cast<T>(~T{0});
+    if constexpr (std::is_signed_v<T>) {
+      if (ai == std::numeric_limits<T>::min() && bi == T{-1}) return ai;
+    }
+    return static_cast<T>(ai / bi);
+  });
+}
+
+/// vrem[u].vv.  Remainder of division by zero is the dividend; signed
+/// overflow yields zero (RVV 1.0 section 11.11).
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vrem(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, [](T ai, T bi) {
+    if (bi == T{0}) return ai;
+    if constexpr (std::is_signed_v<T>) {
+      if (ai == std::numeric_limits<T>::min() && bi == T{-1}) return T{0};
+    }
+    return static_cast<T>(ai % bi);
+  });
+}
+
+// --- min / max -------------------------------------------------------------
+
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmin(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl,
+                           [](T ai, T bi) { return ai < bi ? ai : bi; });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmin(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+                           [](T ai, T xx) { return ai < xx ? ai : xx; });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmax(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl,
+                           [](T ai, T bi) { return ai > bi ? ai : bi; });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmax(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+                           [](T ai, T xx) { return ai > xx ? ai : xx; });
+}
+
+// --- bitwise ---------------------------------------------------------------
+
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vand(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl,
+                           [](T ai, T bi) { return static_cast<T>(ai & bi); });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vand(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+                           [](T ai, T xx) { return static_cast<T>(ai & xx); });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vor(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl,
+                           [](T ai, T bi) { return static_cast<T>(ai | bi); });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vor(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+                           [](T ai, T xx) { return static_cast<T>(ai | xx); });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vxor(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl,
+                           [](T ai, T bi) { return static_cast<T>(ai ^ bi); });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vxor(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+                           [](T ai, T xx) { return static_cast<T>(ai ^ xx); });
+}
+/// vnot.v pseudo-instruction (vxor.vi with -1).
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vnot(const vreg<T, L>& a, std::size_t vl) {
+  return vxor(a, static_cast<T>(~T{0}), vl);
+}
+
+// --- shifts ----------------------------------------------------------------
+
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vsll(const vreg<T, L>& a, std::type_identity_t<T> shift, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, shift, vl, [](T ai, T s) {
+    using U = detail::Wide<T>;
+    return static_cast<T>(static_cast<U>(static_cast<U>(ai) << detail::shamt(s)));
+  });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vsrl(const vreg<T, L>& a, std::type_identity_t<T> shift, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, shift, vl, [](T ai, T s) {
+    using U = detail::Wide<T>;
+    return static_cast<T>(static_cast<U>(ai) >> detail::shamt(s));
+  });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vsra(const vreg<T, L>& a, std::type_identity_t<T> shift, std::size_t vl) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, a, shift, vl, [](T ai, T s) {
+    using S = std::make_signed_t<T>;
+    return static_cast<T>(static_cast<S>(ai) >> detail::shamt(s));
+  });
+}
+
+// --- saturating arithmetic (RVV 1.0 chapter 12) ------------------------------
+
+/// vsadd[u].vv: saturating add — clamps to the type's range instead of
+/// wrapping.
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vsadd(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, [](T x, T y) {
+    const T wrapped = detail::wrap_add(x, y);
+    if constexpr (std::is_unsigned_v<T>) {
+      return wrapped < x ? std::numeric_limits<T>::max() : wrapped;
+    } else {
+      if (y > 0 && wrapped < x) return std::numeric_limits<T>::max();
+      if (y < 0 && wrapped > x) return std::numeric_limits<T>::min();
+      return wrapped;
+    }
+  });
+}
+
+/// vssub[u].vv: saturating subtract.
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vssub(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, [](T x, T y) {
+    const T wrapped = detail::wrap_sub(x, y);
+    if constexpr (std::is_unsigned_v<T>) {
+      return wrapped > x ? T{0} : wrapped;
+    } else {
+      if (y < 0 && wrapped < x) return std::numeric_limits<T>::max();
+      if (y > 0 && wrapped > x) return std::numeric_limits<T>::min();
+      return wrapped;
+    }
+  });
+}
+
+// --- width conversions -------------------------------------------------------
+
+/// vzext.vf<k> / vsext.vf<k>: widen every element of `a` to the wider type
+/// To (zero- or sign-extending by To's signedness).  One instruction, like
+/// the ISA's single-instruction extensions.
+template <VectorElement To, VectorElement From, unsigned L>
+[[nodiscard]] vreg<To, L> vext(const vreg<From, L>& a, std::size_t vl) {
+  static_assert(sizeof(To) > sizeof(From), "vext widens; use vnsrl to narrow");
+  Machine& m = a.machine();
+  detail::check_vl(vl, a.capacity());
+  m.counter().add(sim::InstClass::kVectorArith);
+  detail::AllocGuard guard(m);
+  guard.use(a.value_id());
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<To>(m.vlmax<To>(L));
+  detail::check_vl(vl, out.size());
+  for (std::size_t i = 0; i < vl; ++i) out[i] = static_cast<To>(a[i]);
+  return detail::make_vreg<To, L>(m, std::move(out), id);
+}
+
+/// vnsrl.wx with shift 0 (the narrowing move): truncate every element of the
+/// wider `a` into the narrower type To.
+template <VectorElement To, VectorElement From, unsigned L>
+[[nodiscard]] vreg<To, L> vnsrl(const vreg<From, L>& a, std::size_t vl) {
+  static_assert(sizeof(To) < sizeof(From), "vnsrl narrows; use vext to widen");
+  Machine& m = a.machine();
+  detail::check_vl(vl, a.capacity());
+  m.counter().add(sim::InstClass::kVectorArith);
+  detail::AllocGuard guard(m);
+  guard.use(a.value_id());
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<To>(m.vlmax<To>(L));
+  detail::check_vl(vl, out.size());
+  for (std::size_t i = 0; i < vl; ++i) out[i] = static_cast<To>(a[i]);
+  return detail::make_vreg<To, L>(m, std::move(out), id);
+}
+
+// --- merge -----------------------------------------------------------------
+
+/// vmerge.vvm: d[i] = mask[i] ? a[i] : b[i].
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmerge(const vmask& mask, const vreg<T, L>& a,
+                                const vreg<T, L>& b, std::size_t vl) {
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, b, a, b, vl,
+                                  [](T ai, T) { return ai; });
+}
+/// vmerge.vxm: d[i] = mask[i] ? x : b[i].
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmerge(const vmask& mask, std::type_identity_t<T> x, const vreg<T, L>& b,
+                                std::size_t vl) {
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, b, b, b, vl,
+                                  [x](T, T) { return x; });
+}
+
+// --- masked arithmetic (the _m intrinsic forms) ----------------------------
+
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vadd_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, const vreg<T, L>& b,
+                                std::size_t vl) {
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, b, vl, detail::wrap_add<T>);
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vadd_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, x, vl, detail::wrap_add<T>);
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vsub_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, const vreg<T, L>& b,
+                                std::size_t vl) {
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, b, vl, detail::wrap_sub<T>);
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vor_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                               const vreg<T, L>& a, const vreg<T, L>& b,
+                               std::size_t vl) {
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, b, vl,
+                                  [](T ai, T bi) { return static_cast<T>(ai | bi); });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vand_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, const vreg<T, L>& b,
+                                std::size_t vl) {
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, b, vl,
+                                  [](T ai, T bi) { return static_cast<T>(ai & bi); });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmax_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, const vreg<T, L>& b,
+                                std::size_t vl) {
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, b, vl,
+                                  [](T ai, T bi) { return ai > bi ? ai : bi; });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmin_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, const vreg<T, L>& b,
+                                std::size_t vl) {
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, b, vl,
+                                  [](T ai, T bi) { return ai < bi ? ai : bi; });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmul_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, const vreg<T, L>& b,
+                                std::size_t vl) {
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, b, vl, detail::wrap_mul<T>);
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vxor_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, const vreg<T, L>& b,
+                                std::size_t vl) {
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, b, vl,
+                                  [](T ai, T bi) { return static_cast<T>(ai ^ bi); });
+}
+
+// Masked vector-scalar forms used for cross-block carry propagation in the
+// generic (per-operator) segmented scans.
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vor_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                               const vreg<T, L>& a, std::type_identity_t<T> x,
+                               std::size_t vl) {
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, x, vl,
+                                  [](T ai, T xx) { return static_cast<T>(ai | xx); });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vand_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, std::type_identity_t<T> x,
+                                std::size_t vl) {
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, x, vl,
+                                  [](T ai, T xx) { return static_cast<T>(ai & xx); });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vxor_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, std::type_identity_t<T> x,
+                                std::size_t vl) {
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, x, vl,
+                                  [](T ai, T xx) { return static_cast<T>(ai ^ xx); });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmax_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, std::type_identity_t<T> x,
+                                std::size_t vl) {
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, x, vl,
+                                  [](T ai, T xx) { return ai > xx ? ai : xx; });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmin_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, std::type_identity_t<T> x,
+                                std::size_t vl) {
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, x, vl,
+                                  [](T ai, T xx) { return ai < xx ? ai : xx; });
+}
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmul_m(const vmask& mask, const vreg<T, L>& maskedoff,
+                                const vreg<T, L>& a, std::type_identity_t<T> x,
+                                std::size_t vl) {
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+                                  a, x, vl, detail::wrap_mul<T>);
+}
+
+}  // namespace rvvsvm::rvv

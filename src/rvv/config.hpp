@@ -1,0 +1,63 @@
+// RVV configuration state: SEW, LMUL, VLEN and the vl computation rules.
+//
+// RVV leaves the vector register length (VLEN) implementation-defined; the
+// selected element width (SEW) and the register-group length multiplier
+// (LMUL) are program state set by the vsetvl configuration instructions.
+// This header models those quantities for the emulator.  Fractional LMUL
+// (mf2/mf4/mf8) is not modeled: the paper and its kernels use the integer
+// multipliers 1, 2, 4, 8 that every RVV implementation must support.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+namespace rvvsvm::rvv {
+
+/// Element types the emulator supports (the scan vector model is an integer
+/// model; the paper's kernels use unsigned 32-bit elements).
+template <class T>
+concept VectorElement =
+    std::same_as<T, std::uint8_t> || std::same_as<T, std::uint16_t> ||
+    std::same_as<T, std::uint32_t> || std::same_as<T, std::uint64_t> ||
+    std::same_as<T, std::int8_t> || std::same_as<T, std::int16_t> ||
+    std::same_as<T, std::int32_t> || std::same_as<T, std::int64_t>;
+
+/// True for the register-group multipliers RVV mandates.
+[[nodiscard]] constexpr bool valid_lmul(unsigned lmul) noexcept {
+  return lmul == 1 || lmul == 2 || lmul == 4 || lmul == 8;
+}
+
+/// True for the element widths (bits) RVV defines for integer vectors.
+[[nodiscard]] constexpr bool valid_sew(unsigned sew_bits) noexcept {
+  return sew_bits == 8 || sew_bits == 16 || sew_bits == 32 || sew_bits == 64;
+}
+
+/// SEW in bits for an element type.
+template <VectorElement T>
+inline constexpr unsigned kSewBits = static_cast<unsigned>(sizeof(T) * 8);
+
+/// VLMAX: the number of elements one vector operand holds for a given
+/// machine VLEN and configuration — VLEN / SEW * LMUL (RVV spec 3.4.2).
+[[nodiscard]] constexpr std::size_t vlmax_for(unsigned vlen_bits,
+                                              unsigned sew_bits,
+                                              unsigned lmul) noexcept {
+  return static_cast<std::size_t>(vlen_bits) / sew_bits * lmul;
+}
+
+/// The vl rule used by vsetvl.  The RVV spec permits several policies; we
+/// use the one Spike and all shipping hardware implement:
+/// vl = min(AVL, VLMAX).
+[[nodiscard]] constexpr std::size_t vl_for(std::size_t avl,
+                                           std::size_t vlmax) noexcept {
+  return avl < vlmax ? avl : vlmax;
+}
+
+/// Poison value written to tail elements under the tail-agnostic policy.
+/// The RVV spec allows tail-agnostic destinations to hold either the old
+/// value or all-ones; we always write all-ones so code that incorrectly
+/// relies on tail contents fails loudly and deterministically.
+template <VectorElement T>
+inline constexpr T kTailPoison = static_cast<T>(~T{0});
+
+}  // namespace rvvsvm::rvv

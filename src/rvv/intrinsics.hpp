@@ -1,0 +1,222 @@
+// Paper-faithful intrinsic spellings.
+//
+// The paper's listings use the pre-ratification RVV intrinsic names
+// (vsetvl_e32m1, vle32_v_u32m1, vadd_vv_u32m1_m, ...).  This header maps
+// those spellings onto the emulator so the examples in examples/ can match
+// the paper's code nearly token for token.  New code should prefer the
+// templated API from rvv/rvv.hpp; this layer exists for fidelity and for
+// porting kernels written against the real intrinsics.
+//
+// All functions run on the thread's active machine (see rvv::MachineScope).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rvv/rvv.hpp"
+
+namespace rvvsvm::rvv::intrinsics {
+
+// --- types (unsigned 32-bit element family) ---------------------------------
+using vuint32m1_t = vreg<std::uint32_t, 1>;
+using vuint32m2_t = vreg<std::uint32_t, 2>;
+using vuint32m4_t = vreg<std::uint32_t, 4>;
+using vuint32m8_t = vreg<std::uint32_t, 8>;
+/// vbool32_t: mask for SEW=32, LMUL=1 (one mask bit per 32-bit element).
+using vbool32_t = vmask;
+
+// --- configuration -----------------------------------------------------------
+inline std::size_t vsetvl_e32m1(std::size_t avl) {
+  return Machine::active().vsetvl<std::uint32_t>(avl, 1);
+}
+inline std::size_t vsetvl_e32m2(std::size_t avl) {
+  return Machine::active().vsetvl<std::uint32_t>(avl, 2);
+}
+inline std::size_t vsetvl_e32m4(std::size_t avl) {
+  return Machine::active().vsetvl<std::uint32_t>(avl, 4);
+}
+inline std::size_t vsetvl_e32m8(std::size_t avl) {
+  return Machine::active().vsetvl<std::uint32_t>(avl, 8);
+}
+inline std::size_t vsetvlmax_e32m1() {
+  return Machine::active().vsetvlmax<std::uint32_t>(1);
+}
+
+// --- loads / stores ----------------------------------------------------------
+inline vuint32m1_t vle32_v_u32m1(const std::uint32_t* src, std::size_t vl) {
+  return vle<std::uint32_t, 1>(std::span<const std::uint32_t>(src, vl), vl);
+}
+inline void vse32(std::uint32_t* dst, const vuint32m1_t& v, std::size_t vl) {
+  vse(std::span<std::uint32_t>(dst, vl), v, vl);
+}
+/// Indexed store; `index` holds element indices (see rvv::vsuxei).
+inline void vsuxei32(std::uint32_t* dst, std::size_t dst_len,
+                     const vuint32m1_t& index, const vuint32m1_t& value,
+                     std::size_t vl) {
+  vsuxei(std::span<std::uint32_t>(dst, dst_len), index, value, vl);
+}
+
+// --- moves -------------------------------------------------------------------
+inline vuint32m1_t vmv_v_x_u32m1(std::uint32_t x, std::size_t vl) {
+  return vmv_v_x<std::uint32_t, 1>(x, vl);
+}
+inline vuint32m1_t vmv_s_x_u32m1(const vuint32m1_t& dest, std::uint32_t x,
+                                 std::size_t vl) {
+  return vmv_s_x(dest, x, vl);
+}
+
+// --- compares / masks --------------------------------------------------------
+inline vbool32_t vmsne_vx_u32m1_b32(const vuint32m1_t& a, std::uint32_t x,
+                                    std::size_t vl) {
+  return vmsne(a, x, vl);
+}
+inline vbool32_t vmseq_vx_u32m1_b32(const vuint32m1_t& a, std::uint32_t x,
+                                    std::size_t vl) {
+  return vmseq(a, x, vl);
+}
+inline vuint32m1_t viota_m_u32m1(const vbool32_t& mask, std::size_t vl) {
+  return viota<std::uint32_t, 1>(mask, vl);
+}
+
+// --- arithmetic --------------------------------------------------------------
+inline vuint32m1_t vadd_vv_u32m1(const vuint32m1_t& a, const vuint32m1_t& b,
+                                 std::size_t vl) {
+  return vadd(a, b, vl);
+}
+inline vuint32m1_t vadd_vx_u32m1(const vuint32m1_t& a, std::uint32_t x,
+                                 std::size_t vl) {
+  return vadd(a, x, vl);
+}
+inline vuint32m1_t vadd_vv_u32m1_m(const vbool32_t& mask,
+                                   const vuint32m1_t& maskedoff,
+                                   const vuint32m1_t& a, const vuint32m1_t& b,
+                                   std::size_t vl) {
+  return vadd_m(mask, maskedoff, a, b, vl);
+}
+inline vuint32m1_t vadd_vx_u32m1_m(const vbool32_t& mask,
+                                   const vuint32m1_t& maskedoff,
+                                   const vuint32m1_t& a, std::uint32_t x,
+                                   std::size_t vl) {
+  return vadd_m(mask, maskedoff, a, x, vl);
+}
+inline vuint32m1_t vor_vv_u32m1(const vuint32m1_t& a, const vuint32m1_t& b,
+                                std::size_t vl) {
+  return vor(a, b, vl);
+}
+
+// --- more arithmetic ----------------------------------------------------------
+inline vuint32m1_t vsub_vv_u32m1(const vuint32m1_t& a, const vuint32m1_t& b,
+                                 std::size_t vl) {
+  return vsub(a, b, vl);
+}
+inline vuint32m1_t vsub_vx_u32m1(const vuint32m1_t& a, std::uint32_t x,
+                                 std::size_t vl) {
+  return vsub(a, x, vl);
+}
+inline vuint32m1_t vrsub_vx_u32m1(const vuint32m1_t& a, std::uint32_t x,
+                                  std::size_t vl) {
+  return vrsub(a, x, vl);
+}
+inline vuint32m1_t vmul_vv_u32m1(const vuint32m1_t& a, const vuint32m1_t& b,
+                                 std::size_t vl) {
+  return vmul(a, b, vl);
+}
+inline vuint32m1_t vand_vx_u32m1(const vuint32m1_t& a, std::uint32_t x,
+                                 std::size_t vl) {
+  return vand(a, x, vl);
+}
+inline vuint32m1_t vor_vx_u32m1(const vuint32m1_t& a, std::uint32_t x,
+                                std::size_t vl) {
+  return vor(a, x, vl);
+}
+inline vuint32m1_t vxor_vv_u32m1(const vuint32m1_t& a, const vuint32m1_t& b,
+                                 std::size_t vl) {
+  return vxor(a, b, vl);
+}
+inline vuint32m1_t vsll_vx_u32m1(const vuint32m1_t& a, std::uint32_t shift,
+                                 std::size_t vl) {
+  return vsll(a, shift, vl);
+}
+inline vuint32m1_t vsrl_vx_u32m1(const vuint32m1_t& a, std::uint32_t shift,
+                                 std::size_t vl) {
+  return vsrl(a, shift, vl);
+}
+inline vuint32m1_t vmerge_vvm_u32m1(const vbool32_t& mask, const vuint32m1_t& a,
+                                    const vuint32m1_t& b, std::size_t vl) {
+  return vmerge(mask, a, b, vl);
+}
+
+// --- more compares / mask utilities -------------------------------------------
+inline vbool32_t vmseq_vv_u32m1_b32(const vuint32m1_t& a, const vuint32m1_t& b,
+                                    std::size_t vl) {
+  return vmseq(a, b, vl);
+}
+inline vbool32_t vmsltu_vx_u32m1_b32(const vuint32m1_t& a, std::uint32_t x,
+                                     std::size_t vl) {
+  return vmslt(a, x, vl);
+}
+inline vbool32_t vmsgtu_vx_u32m1_b32(const vuint32m1_t& a, std::uint32_t x,
+                                     std::size_t vl) {
+  return vmsgt(a, x, vl);
+}
+inline std::size_t vcpop_m_b32(const vbool32_t& mask, std::size_t vl) {
+  return vcpop(mask, vl);
+}
+inline long vfirst_m_b32(const vbool32_t& mask, std::size_t vl) {
+  return vfirst(mask, vl);
+}
+inline vbool32_t vmsbf_m_b32(const vbool32_t& mask, std::size_t vl) {
+  return vmsbf(mask, vl);
+}
+inline vbool32_t vmsif_m_b32(const vbool32_t& mask, std::size_t vl) {
+  return vmsif(mask, vl);
+}
+inline vbool32_t vmsof_m_b32(const vbool32_t& mask, std::size_t vl) {
+  return vmsof(mask, vl);
+}
+inline vbool32_t vmand_mm_b32(const vbool32_t& a, const vbool32_t& b, std::size_t vl) {
+  return vmand(a, b, vl);
+}
+inline vbool32_t vmnot_m_b32(const vbool32_t& a, std::size_t vl) {
+  return vmnot(a, vl);
+}
+inline vuint32m1_t vid_v_u32m1(std::size_t vl) { return vid<std::uint32_t, 1>(vl); }
+
+// --- permutation -------------------------------------------------------------
+inline vuint32m1_t vslideup_vx_u32m1(const vuint32m1_t& dest,
+                                     const vuint32m1_t& src, std::size_t offset,
+                                     std::size_t vl) {
+  return vslideup(dest, src, offset, vl);
+}
+inline vuint32m1_t vslidedown_vx_u32m1(const vuint32m1_t& src, std::size_t offset,
+                                       std::size_t vl) {
+  return vslidedown(src, offset, vl);
+}
+inline vuint32m1_t vslide1up_vx_u32m1(const vuint32m1_t& src, std::uint32_t x,
+                                      std::size_t vl) {
+  return vslide1up(src, x, vl);
+}
+inline vuint32m1_t vslide1down_vx_u32m1(const vuint32m1_t& src, std::uint32_t x,
+                                        std::size_t vl) {
+  return vslide1down(src, x, vl);
+}
+inline vuint32m1_t vrgather_vv_u32m1(const vuint32m1_t& src,
+                                     const vuint32m1_t& index, std::size_t vl) {
+  return vrgather(src, index, vl);
+}
+inline vuint32m1_t vcompress_vm_u32m1(const vuint32m1_t& src, const vbool32_t& mask,
+                                      std::size_t vl) {
+  return vcompress(src, mask, vl);
+}
+
+// --- reductions / scalar moves -------------------------------------------------
+inline std::uint32_t vredsum_vs_u32m1(const vuint32m1_t& a, std::size_t vl,
+                                      std::uint32_t seed = 0) {
+  return vredsum(a, vl, seed);
+}
+inline std::uint32_t vredmaxu_vs_u32m1(const vuint32m1_t& a, std::size_t vl) {
+  return vredmax(a, vl);
+}
+inline std::uint32_t vmv_x_s_u32m1(const vuint32m1_t& a) { return vmv_x_s(a); }
+
+}  // namespace rvvsvm::rvv::intrinsics

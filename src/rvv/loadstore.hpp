@@ -1,0 +1,150 @@
+// Vector loads and stores: unit-stride (vle/vse), strided (vlse/vsse) and
+// indexed (vluxei/vsuxei).  Memory is any span the caller owns; the emulator
+// performs the access semantically and charges one dynamic instruction, as
+// Spike retires one instruction per vector memory op regardless of vl.
+#pragma once
+
+#include <span>
+
+#include "rvv/ops_detail.hpp"
+
+namespace rvvsvm::rvv {
+
+/// vle<SEW>.v: unit-stride load of vl elements.  `src.size()` must cover vl.
+template <VectorElement T, unsigned L = 1>
+[[nodiscard]] vreg<T, L> vle(std::span<const T> src, std::size_t vl) {
+  Machine& m = Machine::active();
+  const std::size_t cap = m.vlmax<T>(L);
+  detail::check_vl(vl, cap);
+  if (src.size() < vl) throw std::out_of_range("vle: source span shorter than vl");
+  m.counter().add(sim::InstClass::kVectorLoad);
+  detail::AllocGuard guard(m);
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<T>(cap);
+  for (std::size_t i = 0; i < vl; ++i) out[i] = src[i];
+  return detail::make_vreg<T, L>(m, std::move(out), id);
+}
+
+/// vse<SEW>.v: unit-stride store of vl elements.
+template <VectorElement T, unsigned L>
+void vse(std::span<T> dst, const vreg<T, L>& a, std::size_t vl) {
+  Machine& m = a.machine();
+  detail::check_vl(vl, a.capacity());
+  if (dst.size() < vl) throw std::out_of_range("vse: destination span shorter than vl");
+  m.counter().add(sim::InstClass::kVectorStore);
+  detail::AllocGuard guard(m);
+  guard.use(a.value_id());
+  for (std::size_t i = 0; i < vl; ++i) dst[i] = a[i];
+}
+
+/// Masked unit-stride store (vse<SEW>.v, v0.t): only active elements are
+/// written to memory.
+template <VectorElement T, unsigned L>
+void vse_m(const vmask& mask, std::span<T> dst, const vreg<T, L>& a, std::size_t vl) {
+  Machine& m = a.machine();
+  detail::check_vl(vl, a.capacity());
+  detail::check_vl(vl, mask.capacity());
+  if (dst.size() < vl) throw std::out_of_range("vse_m: destination span shorter than vl");
+  m.counter().add(sim::InstClass::kVectorStore);
+  detail::AllocGuard guard(m);
+  guard.use_mask(mask.value_id());
+  guard.use(a.value_id());
+  for (std::size_t i = 0; i < vl; ++i) {
+    if (mask[i]) dst[i] = a[i];
+  }
+}
+
+/// vlse<SEW>.v: strided load; `stride` is in elements (the ISA's byte stride
+/// divided by sizeof(T); the byte-exact form adds nothing to a functional
+/// model and element units keep callers overflow-safe).
+template <VectorElement T, unsigned L = 1>
+[[nodiscard]] vreg<T, L> vlse(std::span<const T> src, std::size_t stride, std::size_t vl) {
+  Machine& m = Machine::active();
+  const std::size_t cap = m.vlmax<T>(L);
+  detail::check_vl(vl, cap);
+  if (vl > 0 && (vl - 1) * stride >= src.size()) {
+    throw std::out_of_range("vlse: strided access beyond source span");
+  }
+  m.counter().add(sim::InstClass::kVectorLoad);
+  detail::AllocGuard guard(m);
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<T>(cap);
+  for (std::size_t i = 0; i < vl; ++i) out[i] = src[i * stride];
+  return detail::make_vreg<T, L>(m, std::move(out), id);
+}
+
+/// vsse<SEW>.v: strided store; `stride` in elements.
+template <VectorElement T, unsigned L>
+void vsse(std::span<T> dst, std::size_t stride, const vreg<T, L>& a, std::size_t vl) {
+  Machine& m = a.machine();
+  detail::check_vl(vl, a.capacity());
+  if (vl > 0 && (vl - 1) * stride >= dst.size()) {
+    throw std::out_of_range("vsse: strided access beyond destination span");
+  }
+  m.counter().add(sim::InstClass::kVectorStore);
+  detail::AllocGuard guard(m);
+  guard.use(a.value_id());
+  for (std::size_t i = 0; i < vl; ++i) dst[i * stride] = a[i];
+}
+
+/// vluxei<SEW>.v: indexed (gather) load.  `index[i]` is an *element* index
+/// into `src` (the ISA's byte offsets scaled by sizeof(T)).
+template <VectorElement T, unsigned L, VectorElement I>
+[[nodiscard]] vreg<T, L> vluxei(std::span<const T> src, const vreg<I, L>& index,
+                                std::size_t vl) {
+  Machine& m = index.machine();
+  const std::size_t cap = m.vlmax<T>(L);
+  detail::check_vl(vl, cap);
+  m.counter().add(sim::InstClass::kVectorLoad);
+  detail::AllocGuard guard(m);
+  guard.use(index.value_id());
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<T>(cap);
+  for (std::size_t i = 0; i < vl; ++i) {
+    const auto ix = static_cast<std::size_t>(index[i]);
+    if (ix >= src.size()) throw std::out_of_range("vluxei: index beyond source span");
+    out[i] = src[ix];
+  }
+  return detail::make_vreg<T, L>(m, std::move(out), id);
+}
+
+/// vsuxei<SEW>.v: indexed (scatter) store — the paper's permutation
+/// instruction.  `index[i]` is an element index into `dst`.
+template <VectorElement T, unsigned L, VectorElement I>
+void vsuxei(std::span<T> dst, const vreg<I, L>& index, const vreg<T, L>& a,
+            std::size_t vl) {
+  Machine& m = a.machine();
+  detail::check_vl(vl, a.capacity());
+  detail::check_vl(vl, index.capacity());
+  m.counter().add(sim::InstClass::kVectorStore);
+  detail::AllocGuard guard(m);
+  guard.use(index.value_id());
+  guard.use(a.value_id());
+  for (std::size_t i = 0; i < vl; ++i) {
+    const auto ix = static_cast<std::size_t>(index[i]);
+    if (ix >= dst.size()) throw std::out_of_range("vsuxei: index beyond destination span");
+    dst[ix] = a[i];
+  }
+}
+
+/// Masked indexed store (vsuxei, v0.t).
+template <VectorElement T, unsigned L, VectorElement I>
+void vsuxei_m(const vmask& mask, std::span<T> dst, const vreg<I, L>& index,
+              const vreg<T, L>& a, std::size_t vl) {
+  Machine& m = a.machine();
+  detail::check_vl(vl, a.capacity());
+  detail::check_vl(vl, mask.capacity());
+  m.counter().add(sim::InstClass::kVectorStore);
+  detail::AllocGuard guard(m);
+  guard.use_mask(mask.value_id());
+  guard.use(index.value_id());
+  guard.use(a.value_id());
+  for (std::size_t i = 0; i < vl; ++i) {
+    if (!mask[i]) continue;
+    const auto ix = static_cast<std::size_t>(index[i]);
+    if (ix >= dst.size()) throw std::out_of_range("vsuxei_m: index beyond destination span");
+    dst[ix] = a[i];
+  }
+}
+
+}  // namespace rvvsvm::rvv

@@ -1,0 +1,42 @@
+#include "rvv/machine.hpp"
+
+#include <bit>
+
+namespace rvvsvm::rvv {
+
+namespace {
+
+thread_local Machine* g_active_machine = nullptr;
+
+}  // namespace
+
+Machine::Machine(Config cfg)
+    : cfg_(cfg), counter_(), scalar_(counter_) {
+  if (cfg_.vlen_bits < 64 || !std::has_single_bit(cfg_.vlen_bits)) {
+    throw std::invalid_argument("Machine: vlen_bits must be a power of two >= 64");
+  }
+  if (cfg_.model_register_pressure) {
+    regfile_ = std::make_unique<sim::VRegFileModel>(counter_);
+  }
+}
+
+Machine::~Machine() = default;
+
+Machine& Machine::active() {
+  if (g_active_machine == nullptr) {
+    throw std::logic_error(
+        "rvv::Machine::active(): no MachineScope is active on this thread");
+  }
+  return *g_active_machine;
+}
+
+Machine* Machine::active_or_null() noexcept { return g_active_machine; }
+
+MachineScope::MachineScope(Machine& machine) noexcept
+    : previous_(g_active_machine) {
+  g_active_machine = &machine;
+}
+
+MachineScope::~MachineScope() { g_active_machine = previous_; }
+
+}  // namespace rvvsvm::rvv

@@ -1,0 +1,104 @@
+// The emulated RVV hart.
+//
+// A Machine is the repo's substitute for one Spike hart with the V extension:
+// it owns the VLEN configuration, the dynamic-instruction counter, the scalar
+// cost recorder, and (optionally) the vector register-file pressure model.
+// All emulated instructions execute "on" a machine and report their retired
+// instructions to it.
+//
+// The RVV intrinsic style of the paper's listings calls free functions with
+// no explicit machine argument, so a thread-local *active machine* is
+// maintained with the RAII MachineScope.  Tests and benchmarks create one
+// machine per configuration (VLEN 128..1024, pressure model on/off) and
+// activate it around each kernel.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+
+#include "rvv/config.hpp"
+#include "sim/inst_counter.hpp"
+#include "sim/regfile_model.hpp"
+#include "sim/scalar_model.hpp"
+
+namespace rvvsvm::rvv {
+
+class Machine {
+ public:
+  struct Config {
+    /// Vector register length in bits.  Must be a power of two >= 64.
+    /// The paper evaluates 128, 256, 512 and 1024.
+    unsigned vlen_bits = 1024;
+    /// Model vector register pressure (spill/reload traffic at high LMUL).
+    /// Disable for the ablation that isolates pure instruction counts.
+    bool model_register_pressure = true;
+  };
+
+  Machine() : Machine(Config{}) {}
+  explicit Machine(Config cfg);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] unsigned vlen_bits() const noexcept { return cfg_.vlen_bits; }
+
+  /// VLMAX for an element type and length multiplier on this machine.
+  template <VectorElement T>
+  [[nodiscard]] std::size_t vlmax(unsigned lmul = 1) const noexcept {
+    return vlmax_for(cfg_.vlen_bits, kSewBits<T>, lmul);
+  }
+
+  /// Execute a vsetvl configuration instruction: returns
+  /// vl = min(avl, VLMAX) and charges one kVectorConfig instruction.
+  template <VectorElement T>
+  std::size_t vsetvl(std::size_t avl, unsigned lmul = 1) {
+    counter_.add(sim::InstClass::kVectorConfig);
+    return vl_for(avl, vlmax<T>(lmul));
+  }
+
+  /// VLMAX query via vsetvlmax — also a retired vsetvli instruction.
+  template <VectorElement T>
+  std::size_t vsetvlmax(unsigned lmul = 1) {
+    counter_.add(sim::InstClass::kVectorConfig);
+    return vlmax<T>(lmul);
+  }
+
+  [[nodiscard]] sim::InstCounter& counter() noexcept { return counter_; }
+  [[nodiscard]] const sim::InstCounter& counter() const noexcept { return counter_; }
+  [[nodiscard]] sim::ScalarRecorder& scalar() noexcept { return scalar_; }
+
+  /// Register-pressure model, or nullptr when disabled.
+  [[nodiscard]] sim::VRegFileModel* regfile() noexcept { return regfile_.get(); }
+
+  /// The machine the intrinsic-style free functions execute on.
+  /// Throws std::logic_error when no MachineScope is active.
+  [[nodiscard]] static Machine& active();
+  /// Null-safe variant of active().
+  [[nodiscard]] static Machine* active_or_null() noexcept;
+
+ private:
+  friend class MachineScope;
+
+  Config cfg_;
+  sim::InstCounter counter_;
+  sim::ScalarRecorder scalar_;
+  std::unique_ptr<sim::VRegFileModel> regfile_;
+};
+
+/// Activates a machine for the current thread for the scope's lifetime.
+/// Scopes nest; the previous active machine is restored on destruction.
+class MachineScope {
+ public:
+  explicit MachineScope(Machine& machine) noexcept;
+  ~MachineScope();
+
+  MachineScope(const MachineScope&) = delete;
+  MachineScope& operator=(const MachineScope&) = delete;
+
+ private:
+  Machine* previous_;
+};
+
+}  // namespace rvvsvm::rvv

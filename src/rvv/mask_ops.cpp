@@ -1,0 +1,101 @@
+#include "rvv/mask_ops.hpp"
+
+namespace rvvsvm::rvv {
+
+namespace {
+
+/// Result capacity for a fresh mask: big enough for the widest element count
+/// this machine can configure (SEW=8 with LMUL=8 gives VLEN elements).
+std::size_t mask_capacity(const Machine& m) {
+  return vlmax_for(m.vlen_bits(), 8, 8);
+}
+
+}  // namespace
+
+vmask vmclr(std::size_t vl) {
+  Machine& m = Machine::active();
+  const std::size_t cap = mask_capacity(m);
+  detail::check_vl(vl, cap);
+  m.counter().add(sim::InstClass::kVectorMask);
+  detail::AllocGuard guard(m);
+  const sim::ValueId id = guard.define(1);
+  auto bits = detail::poisoned_bits(cap);
+  for (std::size_t i = 0; i < vl; ++i) bits[i] = 0;
+  return detail::make_vmask(m, std::move(bits), id);
+}
+
+vmask vmset(std::size_t vl) {
+  Machine& m = Machine::active();
+  const std::size_t cap = mask_capacity(m);
+  detail::check_vl(vl, cap);
+  m.counter().add(sim::InstClass::kVectorMask);
+  detail::AllocGuard guard(m);
+  const sim::ValueId id = guard.define(1);
+  auto bits = detail::poisoned_bits(cap);
+  for (std::size_t i = 0; i < vl; ++i) bits[i] = 1;
+  return detail::make_vmask(m, std::move(bits), id);
+}
+
+std::size_t vcpop(const vmask& mask, std::size_t vl) {
+  Machine& m = mask.machine();
+  detail::check_vl(vl, mask.capacity());
+  m.counter().add(sim::InstClass::kVectorMask);
+  detail::AllocGuard guard(m);
+  guard.use(mask.value_id());
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < vl; ++i) count += mask[i] ? 1u : 0u;
+  return count;
+}
+
+long vfirst(const vmask& mask, std::size_t vl) {
+  Machine& m = mask.machine();
+  detail::check_vl(vl, mask.capacity());
+  m.counter().add(sim::InstClass::kVectorMask);
+  detail::AllocGuard guard(m);
+  guard.use(mask.value_id());
+  for (std::size_t i = 0; i < vl; ++i) {
+    if (mask[i]) return static_cast<long>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+enum class FirstKind { kBefore, kIncluding, kOnly };
+
+vmask set_first(const vmask& mask, std::size_t vl, FirstKind kind) {
+  Machine& m = mask.machine();
+  detail::check_vl(vl, mask.capacity());
+  m.counter().add(sim::InstClass::kVectorMask);
+  detail::AllocGuard guard(m);
+  guard.use(mask.value_id());
+  const sim::ValueId id = guard.define(1);
+  auto bits = detail::poisoned_bits(mask.capacity());
+  bool seen = false;
+  for (std::size_t i = 0; i < vl; ++i) {
+    const bool first_here = !seen && mask[i];
+    switch (kind) {
+      case FirstKind::kBefore:    bits[i] = (!seen && !mask[i]) ? 1 : 0; break;
+      case FirstKind::kIncluding: bits[i] = !seen ? 1 : 0; break;
+      case FirstKind::kOnly:      bits[i] = first_here ? 1 : 0; break;
+    }
+    seen = seen || mask[i];
+  }
+  return detail::make_vmask(m, std::move(bits), id);
+}
+
+}  // namespace
+
+vmask vmsbf(const vmask& mask, std::size_t vl) {
+  return set_first(mask, vl, FirstKind::kBefore);
+}
+
+vmask vmsif(const vmask& mask, std::size_t vl) {
+  return set_first(mask, vl, FirstKind::kIncluding);
+}
+
+vmask vmsof(const vmask& mask, std::size_t vl) {
+  return set_first(mask, vl, FirstKind::kOnly);
+}
+
+}  // namespace rvvsvm::rvv

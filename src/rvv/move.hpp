@@ -1,0 +1,59 @@
+// Vector move/splat instructions (vmv family).
+#pragma once
+
+#include "rvv/ops_detail.hpp"
+
+namespace rvvsvm::rvv {
+
+/// vmv.v.x: broadcast a scalar into a fresh vector.  Executes on the active
+/// machine (it has no vector operand to take one from).
+template <VectorElement T, unsigned L = 1>
+[[nodiscard]] vreg<T, L> vmv_v_x(std::type_identity_t<T> x, std::size_t vl) {
+  Machine& m = Machine::active();
+  const std::size_t cap = m.vlmax<T>(L);
+  detail::check_vl(vl, cap);
+  m.counter().add(sim::InstClass::kVectorMove);
+  detail::AllocGuard guard(m);
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<T>(cap);
+  for (std::size_t i = 0; i < vl; ++i) out[i] = x;
+  return detail::make_vreg<T, L>(m, std::move(out), id);
+}
+
+/// vmv.v.v: whole-operand copy of the first vl elements into a new register
+/// group (the move a compiler emits before a destructive instruction such as
+/// vslideup).
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmv_v_v(const vreg<T, L>& a, std::size_t vl) {
+  return detail::unary(sim::InstClass::kVectorMove, a, vl, [](T ai) { return ai; });
+}
+
+/// vmv.s.x intrinsic form with a tail-undisturbed destination: writes x to
+/// element 0 of a copy of `dest`, leaving elements [1, capacity) unchanged.
+/// This is the form the paper uses to plant a head flag at index 0.
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vmv_s_x(const vreg<T, L>& dest, std::type_identity_t<T> x,
+                                 std::size_t vl) {
+  Machine& m = dest.machine();
+  detail::check_vl(vl, dest.capacity());
+  m.counter().add(sim::InstClass::kVectorMove);
+  detail::AllocGuard guard(m);
+  guard.use(dest.value_id());
+  const sim::ValueId id = guard.define(L);
+  std::vector<T> out(dest.elems().begin(), dest.elems().end());
+  if (vl > 0) out[0] = x;
+  return detail::make_vreg<T, L>(m, std::move(out), id);
+}
+
+/// vmv.x.s: read element 0 into a scalar.
+template <VectorElement T, unsigned L>
+[[nodiscard]] T vmv_x_s(const vreg<T, L>& a) {
+  Machine& m = a.machine();
+  m.counter().add(sim::InstClass::kVectorMove);
+  detail::AllocGuard guard(m);
+  guard.use(a.value_id());
+  if (a.capacity() == 0) throw std::logic_error("vmv_x_s: empty vector register");
+  return a[0];
+}
+
+}  // namespace rvvsvm::rvv

@@ -1,0 +1,190 @@
+// Shared machinery for the emulated instruction implementations.
+//
+// Every emulated RVV instruction follows the same protocol:
+//   1. charge one dynamic instruction of its class to the machine's counter,
+//   2. drive the register-pressure model (pin operands, define the result),
+//   3. compute the result elements for [0, vl) and poison the tail.
+// The helpers here implement that protocol once so the per-instruction code
+// in arith.hpp / mask_ops.hpp / permute.hpp stays a one-line semantic lambda.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "rvv/config.hpp"
+#include "rvv/machine.hpp"
+#include "rvv/vreg.hpp"
+#include "sim/inst_counter.hpp"
+#include "sim/regfile_model.hpp"
+
+namespace rvvsvm::rvv::detail {
+
+/// Performs C++ arithmetic in the unsigned companion type so overflow is
+/// defined modular wrap, then converts back — the RVV integer semantics.
+template <VectorElement T>
+using Wide = std::make_unsigned_t<T>;
+
+template <VectorElement T>
+[[nodiscard]] constexpr T wrap_add(T a, T b) noexcept {
+  return static_cast<T>(static_cast<Wide<T>>(static_cast<Wide<T>>(a) +
+                                             static_cast<Wide<T>>(b)));
+}
+template <VectorElement T>
+[[nodiscard]] constexpr T wrap_sub(T a, T b) noexcept {
+  return static_cast<T>(static_cast<Wide<T>>(static_cast<Wide<T>>(a) -
+                                             static_cast<Wide<T>>(b)));
+}
+template <VectorElement T>
+[[nodiscard]] constexpr T wrap_mul(T a, T b) noexcept {
+  return static_cast<T>(static_cast<Wide<T>>(static_cast<Wide<T>>(a) *
+                                             static_cast<Wide<T>>(b)));
+}
+/// Shift amounts use only log2(SEW) low bits (RVV 1.0 section 11.6).
+template <VectorElement T>
+[[nodiscard]] constexpr unsigned shamt(T b) noexcept {
+  return static_cast<unsigned>(static_cast<Wide<T>>(b) & (kSewBits<T> - 1));
+}
+
+/// RAII bracket around one instruction's register-allocator events.
+/// All operand use() calls must precede define().
+class AllocGuard {
+ public:
+  explicit AllocGuard(Machine& machine) : regfile_(machine.regfile()) {
+    if (regfile_ != nullptr) regfile_->begin_inst();
+  }
+  ~AllocGuard() {
+    if (regfile_ != nullptr) regfile_->end_inst();
+  }
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+  void use(sim::ValueId id) {
+    if (regfile_ != nullptr && id != sim::kNoValue) regfile_->use(id);
+  }
+  void use_mask(sim::ValueId id) {
+    if (regfile_ != nullptr && id != sim::kNoValue) regfile_->use_as_mask(id);
+  }
+  [[nodiscard]] sim::ValueId define(unsigned lmul) {
+    return regfile_ != nullptr ? regfile_->define(lmul) : sim::kNoValue;
+  }
+
+ private:
+  sim::VRegFileModel* regfile_;
+};
+
+/// Validate a vl argument against the operand capacity (VLMAX).
+inline void check_vl(std::size_t vl, std::size_t capacity) {
+  if (vl > capacity) {
+    throw std::out_of_range("rvv: vl exceeds VLMAX for this SEW/LMUL");
+  }
+}
+
+/// Result element storage, poisoned to the tail-agnostic pattern.
+template <VectorElement T>
+[[nodiscard]] std::vector<T> poisoned_elems(std::size_t capacity) {
+  return std::vector<T>(capacity, kTailPoison<T>);
+}
+
+/// Result mask storage (poison = set bits, the mask-agnostic pattern).
+[[nodiscard]] inline std::vector<std::uint8_t> poisoned_bits(std::size_t capacity) {
+  return std::vector<std::uint8_t>(capacity, std::uint8_t{1});
+}
+
+/// Finalize a vector result: attach the machine and the allocator token.
+template <VectorElement T, unsigned LMUL>
+[[nodiscard]] vreg<T, LMUL> make_vreg(Machine& machine, std::vector<T> elems,
+                                      sim::ValueId id) {
+  return vreg<T, LMUL>(machine, std::move(elems), ValueToken(machine, id));
+}
+
+[[nodiscard]] inline vmask make_vmask(Machine& machine,
+                                      std::vector<std::uint8_t> bits,
+                                      sim::ValueId id) {
+  return vmask(machine, std::move(bits), ValueToken(machine, id));
+}
+
+/// Unary elementwise instruction: d[i] = f(a[i]).
+template <VectorElement T, unsigned LMUL, class F>
+[[nodiscard]] vreg<T, LMUL> unary(sim::InstClass cls, const vreg<T, LMUL>& a,
+                                  std::size_t vl, F f) {
+  Machine& m = a.machine();
+  check_vl(vl, a.capacity());
+  m.counter().add(cls);
+  AllocGuard guard(m);
+  guard.use(a.value_id());
+  const sim::ValueId id = guard.define(LMUL);
+  auto out = poisoned_elems<T>(a.capacity());
+  for (std::size_t i = 0; i < vl; ++i) out[i] = f(a[i]);
+  return make_vreg<T, LMUL>(m, std::move(out), id);
+}
+
+/// Vector-vector elementwise instruction: d[i] = f(a[i], b[i]).
+template <VectorElement T, unsigned LMUL, class F>
+[[nodiscard]] vreg<T, LMUL> binary_vv(sim::InstClass cls, const vreg<T, LMUL>& a,
+                                      const vreg<T, LMUL>& b, std::size_t vl,
+                                      F f) {
+  Machine& m = a.machine();
+  if (&b.machine() != &m) throw std::logic_error("rvv: operands from different machines");
+  check_vl(vl, a.capacity());
+  m.counter().add(cls);
+  AllocGuard guard(m);
+  guard.use(a.value_id());
+  guard.use(b.value_id());
+  const sim::ValueId id = guard.define(LMUL);
+  auto out = poisoned_elems<T>(a.capacity());
+  for (std::size_t i = 0; i < vl; ++i) out[i] = f(a[i], b[i]);
+  return make_vreg<T, LMUL>(m, std::move(out), id);
+}
+
+/// Vector-scalar elementwise instruction: d[i] = f(a[i], x).
+template <VectorElement T, unsigned LMUL, class F>
+[[nodiscard]] vreg<T, LMUL> binary_vx(sim::InstClass cls, const vreg<T, LMUL>& a,
+                                      T x, std::size_t vl, F f) {
+  return unary(cls, a, vl, [&](T ai) { return f(ai, x); });
+}
+
+/// Inactive-element policy for masked instructions: elements whose mask bit
+/// is clear take the maskedoff value (mask-undisturbed) or poison when
+/// maskedoff is vundefined() (mask-agnostic), matching the intrinsic API.
+template <VectorElement T, unsigned LMUL>
+[[nodiscard]] T inactive_value(const vreg<T, LMUL>& maskedoff, std::size_t i) {
+  return maskedoff.defined() ? maskedoff[i] : kTailPoison<T>;
+}
+
+/// Masked vector-vector instruction.
+template <VectorElement T, unsigned LMUL, class F>
+[[nodiscard]] vreg<T, LMUL> masked_binary_vv(sim::InstClass cls, const vmask& mask,
+                                             const vreg<T, LMUL>& maskedoff,
+                                             const vreg<T, LMUL>& a,
+                                             const vreg<T, LMUL>& b,
+                                             std::size_t vl, F f) {
+  Machine& m = a.machine();
+  check_vl(vl, a.capacity());
+  check_vl(vl, mask.capacity());
+  m.counter().add(cls);
+  AllocGuard guard(m);
+  guard.use_mask(mask.value_id());
+  guard.use(maskedoff.defined() ? maskedoff.value_id() : sim::kNoValue);
+  guard.use(a.value_id());
+  guard.use(b.value_id());
+  const sim::ValueId id = guard.define(LMUL);
+  auto out = poisoned_elems<T>(a.capacity());
+  for (std::size_t i = 0; i < vl; ++i) {
+    out[i] = mask[i] ? f(a[i], b[i]) : inactive_value(maskedoff, i);
+  }
+  return make_vreg<T, LMUL>(m, std::move(out), id);
+}
+
+/// Masked vector-scalar instruction.
+template <VectorElement T, unsigned LMUL, class F>
+[[nodiscard]] vreg<T, LMUL> masked_binary_vx(sim::InstClass cls, const vmask& mask,
+                                             const vreg<T, LMUL>& maskedoff,
+                                             const vreg<T, LMUL>& a, T x,
+                                             std::size_t vl, F f) {
+  return masked_binary_vv(cls, mask, maskedoff, a, a, vl,
+                          [&](T ai, T) { return f(ai, x); });
+}
+
+}  // namespace rvvsvm::rvv::detail

@@ -1,0 +1,125 @@
+// Vector permutation instructions: slides, register gather and compress
+// (RVV 1.0 chapter 16).  vslideup is the workhorse of the paper's
+// in-register scan (Figure 1); vcompress/vrgather back the scan vector
+// model's pack and gather operations.
+#pragma once
+
+#include "rvv/ops_detail.hpp"
+
+namespace rvvsvm::rvv {
+
+/// vslideup.vx: d[i] = dest[i] for i < offset, src[i - offset] for
+/// offset <= i < vl.  The destination operand supplies the low elements —
+/// in the intrinsic API the instruction is destructive, so the emulator
+/// takes `dest` by value and returns the merged result.
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vslideup(const vreg<T, L>& dest, const vreg<T, L>& src,
+                                  std::size_t offset, std::size_t vl) {
+  Machine& m = src.machine();
+  if (&dest.machine() != &m) throw std::logic_error("vslideup: operands from different machines");
+  detail::check_vl(vl, src.capacity());
+  m.counter().add(sim::InstClass::kVectorPermute);
+  detail::AllocGuard guard(m);
+  guard.use(dest.value_id());
+  guard.use(src.value_id());
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<T>(src.capacity());
+  for (std::size_t i = 0; i < vl; ++i) {
+    out[i] = i < offset ? dest[i] : src[i - offset];
+  }
+  return detail::make_vreg<T, L>(m, std::move(out), id);
+}
+
+/// vslidedown.vx: d[i] = src[i + offset] when i + offset < VLMAX, else 0.
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vslidedown(const vreg<T, L>& src, std::size_t offset,
+                                    std::size_t vl) {
+  Machine& m = src.machine();
+  detail::check_vl(vl, src.capacity());
+  m.counter().add(sim::InstClass::kVectorPermute);
+  detail::AllocGuard guard(m);
+  guard.use(src.value_id());
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<T>(src.capacity());
+  for (std::size_t i = 0; i < vl; ++i) {
+    const std::size_t from = i + offset;
+    out[i] = from < src.capacity() ? src[from] : T{0};
+  }
+  return detail::make_vreg<T, L>(m, std::move(out), id);
+}
+
+/// vslide1up.vx: d[0] = x, d[i] = src[i-1] — the shift used to turn an
+/// inclusive scan into an exclusive one.
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vslide1up(const vreg<T, L>& src, std::type_identity_t<T> x,
+                                   std::size_t vl) {
+  Machine& m = src.machine();
+  detail::check_vl(vl, src.capacity());
+  m.counter().add(sim::InstClass::kVectorPermute);
+  detail::AllocGuard guard(m);
+  guard.use(src.value_id());
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<T>(src.capacity());
+  for (std::size_t i = 0; i < vl; ++i) out[i] = (i == 0) ? x : src[i - 1];
+  return detail::make_vreg<T, L>(m, std::move(out), id);
+}
+
+/// vslide1down.vx: d[vl-1] = x, d[i] = src[i+1].
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vslide1down(const vreg<T, L>& src, std::type_identity_t<T> x,
+                                     std::size_t vl) {
+  Machine& m = src.machine();
+  detail::check_vl(vl, src.capacity());
+  m.counter().add(sim::InstClass::kVectorPermute);
+  detail::AllocGuard guard(m);
+  guard.use(src.value_id());
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<T>(src.capacity());
+  for (std::size_t i = 0; i < vl; ++i) out[i] = (i + 1 == vl) ? x : src[i + 1];
+  return detail::make_vreg<T, L>(m, std::move(out), id);
+}
+
+/// vrgather.vv: d[i] = index[i] < VLMAX ? src[index[i]] : 0.
+template <VectorElement T, unsigned L, VectorElement I>
+[[nodiscard]] vreg<T, L> vrgather(const vreg<T, L>& src, const vreg<I, L>& index,
+                                  std::size_t vl) {
+  Machine& m = src.machine();
+  detail::check_vl(vl, src.capacity());
+  detail::check_vl(vl, index.capacity());
+  m.counter().add(sim::InstClass::kVectorPermute);
+  detail::AllocGuard guard(m);
+  guard.use(src.value_id());
+  guard.use(index.value_id());
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<T>(src.capacity());
+  for (std::size_t i = 0; i < vl; ++i) {
+    const auto ix = static_cast<std::size_t>(index[i]);
+    out[i] = ix < src.capacity() ? src[ix] : T{0};
+  }
+  return detail::make_vreg<T, L>(m, std::move(out), id);
+}
+
+/// vcompress.vm: packs the elements of src whose mask bit is set to the
+/// front of the result; elements past the packed count hold poison
+/// (tail-agnostic).
+template <VectorElement T, unsigned L>
+[[nodiscard]] vreg<T, L> vcompress(const vreg<T, L>& src, const vmask& mask,
+                                   std::size_t vl) {
+  Machine& m = src.machine();
+  detail::check_vl(vl, src.capacity());
+  detail::check_vl(vl, mask.capacity());
+  m.counter().add(sim::InstClass::kVectorPermute);
+  detail::AllocGuard guard(m);
+  // vcompress takes its mask as a regular vector operand, not through v0.
+  guard.use(mask.value_id());
+  guard.use(src.value_id());
+  const sim::ValueId id = guard.define(L);
+  auto out = detail::poisoned_elems<T>(src.capacity());
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < vl; ++i) {
+    if (mask[i]) out[k++] = src[i];
+  }
+  return detail::make_vreg<T, L>(m, std::move(out), id);
+}
+
+}  // namespace rvvsvm::rvv

@@ -1,0 +1,25 @@
+// Umbrella header for the RVV 1.0 functional emulator.
+//
+// Include this to get the full templated instruction API:
+//
+//   rvv::Machine machine({.vlen_bits = 1024});
+//   rvv::MachineScope scope(machine);
+//   size_t vl = machine.vsetvl<uint32_t>(n);
+//   auto va = rvv::vle<uint32_t>(src, vl);
+//   va = rvv::vadd(va, 1u, vl);
+//   rvv::vse(dst, va, vl);
+//   // machine.counter() now holds the dynamic instruction counts.
+//
+// The paper-faithful C-style spellings (vsetvl_e32m1, vle32_v_u32m1, ...)
+// live in rvv/intrinsics.hpp.
+#pragma once
+
+#include "rvv/arith.hpp"      // IWYU pragma: export
+#include "rvv/config.hpp"     // IWYU pragma: export
+#include "rvv/loadstore.hpp"  // IWYU pragma: export
+#include "rvv/machine.hpp"    // IWYU pragma: export
+#include "rvv/mask_ops.hpp"   // IWYU pragma: export
+#include "rvv/move.hpp"       // IWYU pragma: export
+#include "rvv/permute.hpp"    // IWYU pragma: export
+#include "rvv/reduce.hpp"     // IWYU pragma: export
+#include "rvv/vreg.hpp"       // IWYU pragma: export

@@ -1,0 +1,146 @@
+// Vector register values.
+//
+// vreg<T, LMUL> models one RVV vector operand: a register group of LMUL
+// consecutive vector registers holding VLEN*LMUL/SEW elements of type T.
+// vmask models one mask register (vbool in the intrinsic API).
+//
+// Both are plain C++ values.  That is deliberate: a C++ variable's lifetime
+// *is* the live range a register allocator computes, so construction,
+// copying and destruction of these values drive the register-file pressure
+// model (sim::VRegFileModel).  Copies of a vreg share one allocator value id
+// (copying a variable is not an instruction); producing a new result from an
+// emulated instruction defines a fresh id; destroying the last copy releases
+// the register group.
+//
+// Lifetime contract: a vreg/vmask must not outlive the Machine that produced
+// it (kernels create their vector values inside a MachineScope and let them
+// die before the machine does, exactly like values in a compiled function).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "rvv/config.hpp"
+#include "rvv/machine.hpp"
+#include "sim/regfile_model.hpp"
+
+namespace rvvsvm::rvv {
+
+namespace detail {
+
+/// Shared ownership of a register-allocator value id.  All copies of one
+/// C++ vector value hold the same token; the last copy's destruction tells
+/// the allocator the live range ended.
+class ValueToken {
+ public:
+  ValueToken() = default;
+
+  ValueToken(Machine& machine, sim::ValueId id) : id_(id) {
+    if (id != sim::kNoValue && machine.regfile() != nullptr) {
+      Machine* m = &machine;
+      release_ = std::shared_ptr<void>(
+          nullptr, [m, id](void*) { m->regfile()->release(id); });
+    }
+  }
+
+  [[nodiscard]] sim::ValueId id() const noexcept { return id_; }
+
+ private:
+  sim::ValueId id_ = sim::kNoValue;
+  std::shared_ptr<void> release_;
+};
+
+}  // namespace detail
+
+/// One vector register group of LMUL registers with element type T.
+/// Constructed only by emulated instructions (and vundefined); element
+/// access is read-only — mutation happens by executing instructions.
+template <VectorElement T, unsigned LMUL = 1>
+class vreg {
+ public:
+  static_assert(valid_lmul(LMUL), "LMUL must be 1, 2, 4 or 8");
+  using value_type = T;
+  static constexpr unsigned kLmul = LMUL;
+
+  /// An unattached value ("vundefined" in the intrinsic API).  Reading
+  /// elements of it throws; it is only valid as an agnostic maskedoff.
+  vreg() = default;
+
+  /// Used by the instruction implementations in ops_detail.hpp.
+  vreg(Machine& machine, std::vector<T> elems, detail::ValueToken token)
+      : elems_(std::move(elems)), token_(std::move(token)), machine_(&machine) {}
+
+  [[nodiscard]] bool defined() const noexcept { return machine_ != nullptr; }
+
+  /// Number of elements the group holds (VLMAX for this type/LMUL).
+  [[nodiscard]] std::size_t capacity() const noexcept { return elems_.size(); }
+
+  /// Read element i.  Elements at or beyond the vl of the producing
+  /// instruction hold the tail-agnostic poison pattern.
+  [[nodiscard]] T operator[](std::size_t i) const {
+    if (!defined()) throw std::logic_error("vreg: element read of an undefined value");
+    assert(i < elems_.size());
+    return elems_[i];
+  }
+
+  [[nodiscard]] std::span<const T> elems() const noexcept { return elems_; }
+
+  [[nodiscard]] Machine& machine() const {
+    if (!defined()) throw std::logic_error("vreg: machine() of an undefined value");
+    return *machine_;
+  }
+
+  [[nodiscard]] sim::ValueId value_id() const noexcept { return token_.id(); }
+
+ private:
+  std::vector<T> elems_;
+  detail::ValueToken token_;
+  Machine* machine_ = nullptr;
+};
+
+/// One mask register (vbool).  A mask physically occupies a single vector
+/// register regardless of the SEW/LMUL that produced it; bit i governs
+/// element i.  Bits beyond the producing vl hold poison (set), per the
+/// mask-agnostic policy.
+class vmask {
+ public:
+  vmask() = default;
+
+  vmask(Machine& machine, std::vector<std::uint8_t> bits, detail::ValueToken token)
+      : bits_(std::move(bits)), token_(std::move(token)), machine_(&machine) {}
+
+  [[nodiscard]] bool defined() const noexcept { return machine_ != nullptr; }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return bits_.size(); }
+
+  [[nodiscard]] bool operator[](std::size_t i) const {
+    if (!defined()) throw std::logic_error("vmask: bit read of an undefined value");
+    assert(i < bits_.size());
+    return bits_[i] != 0;
+  }
+
+  [[nodiscard]] Machine& machine() const {
+    if (!defined()) throw std::logic_error("vmask: machine() of an undefined value");
+    return *machine_;
+  }
+
+  [[nodiscard]] sim::ValueId value_id() const noexcept { return token_.id(); }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  detail::ValueToken token_;
+  Machine* machine_ = nullptr;
+};
+
+/// The intrinsic API's vundefined(): a placeholder passed as maskedoff to
+/// select the mask-agnostic policy.
+template <VectorElement T, unsigned LMUL = 1>
+[[nodiscard]] vreg<T, LMUL> vundefined() {
+  return vreg<T, LMUL>{};
+}
+
+}  // namespace rvvsvm::rvv

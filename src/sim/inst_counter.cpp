@@ -1,0 +1,90 @@
+#include "sim/inst_counter.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <ostream>
+
+namespace rvvsvm::sim {
+
+std::string_view to_string(InstClass cls) noexcept {
+  switch (cls) {
+    case InstClass::kVectorConfig:  return "v.config";
+    case InstClass::kVectorLoad:    return "v.load";
+    case InstClass::kVectorStore:   return "v.store";
+    case InstClass::kVectorArith:   return "v.arith";
+    case InstClass::kVectorMask:    return "v.mask";
+    case InstClass::kVectorPermute: return "v.permute";
+    case InstClass::kVectorReduce:  return "v.reduce";
+    case InstClass::kVectorMove:    return "v.move";
+    case InstClass::kVectorSpill:   return "v.spill";
+    case InstClass::kVectorReload:  return "v.reload";
+    case InstClass::kScalarAlu:     return "s.alu";
+    case InstClass::kScalarLoad:    return "s.load";
+    case InstClass::kScalarStore:   return "s.store";
+    case InstClass::kScalarBranch:  return "s.branch";
+    case InstClass::kScalarCall:    return "s.call";
+    case InstClass::kCount:         break;
+  }
+  return "invalid";
+}
+
+namespace {
+
+template <class Pred>
+std::uint64_t sum_if(const std::array<std::uint64_t, kNumInstClasses>& counts,
+                     Pred pred) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumInstClasses; ++i) {
+    if (pred(static_cast<InstClass>(i))) total += counts[i];
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t CountSnapshot::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+std::uint64_t CountSnapshot::vector_total() const noexcept {
+  return sum_if(counts_, [](InstClass c) { return is_vector(c); });
+}
+
+std::uint64_t CountSnapshot::scalar_total() const noexcept {
+  return sum_if(counts_, [](InstClass c) { return !is_vector(c); });
+}
+
+std::uint64_t CountSnapshot::spill_total() const noexcept {
+  return count(InstClass::kVectorSpill) + count(InstClass::kVectorReload);
+}
+
+CountSnapshot CountSnapshot::operator-(const CountSnapshot& earlier) const {
+  CountSnapshot delta;
+  for (std::size_t i = 0; i < kNumInstClasses; ++i) {
+    assert(counts_[i] >= earlier.counts_[i] &&
+           "snapshot subtraction crossed a counter reset");
+    delta.counts_[i] = counts_[i] - earlier.counts_[i];
+  }
+  return delta;
+}
+
+std::ostream& operator<<(std::ostream& os, const CountSnapshot& s) {
+  os << "total=" << s.total();
+  for (std::size_t i = 0; i < kNumInstClasses; ++i) {
+    const auto cls = static_cast<InstClass>(i);
+    if (s.count(cls) != 0) os << ' ' << to_string(cls) << '=' << s.count(cls);
+  }
+  return os;
+}
+
+std::uint64_t InstCounter::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+CountSnapshot InstCounter::snapshot() const noexcept {
+  CountSnapshot s;
+  s.counts_ = counts_;
+  return s;
+}
+
+}  // namespace rvvsvm::sim

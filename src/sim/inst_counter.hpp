@@ -1,0 +1,108 @@
+// Dynamic instruction accounting, the repo's substitute for Spike.
+//
+// The paper evaluates every kernel by its *dynamic instruction count* on the
+// Spike functional simulator (Spike is not cycle-accurate, so retired
+// instructions are the metric).  This module provides the equivalent:
+// a categorized counter that every emulated RVV instruction and every modeled
+// scalar instruction reports into.  Benchmarks read counts or deltas from it
+// and print the paper's tables.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace rvvsvm::sim {
+
+/// Classification of a retired instruction.  Vector classes mirror the RVV
+/// instruction groups used by the paper's kernels; scalar classes mirror the
+/// RV64I base-ISA groups that appear in strip-mined loop bookkeeping and in
+/// the sequential baselines.
+enum class InstClass : std::size_t {
+  kVectorConfig,   ///< vsetvl / vsetvli / vsetivli
+  kVectorLoad,     ///< vle / vlse / vluxei / vloxei / vlm / vl<k>r
+  kVectorStore,    ///< vse / vsse / vsuxei / vsoxei / vsm / vs<k>r
+  kVectorArith,    ///< vadd, vsub, vmul, vand, ..., vmerge
+  kVectorMask,     ///< vmseq/vmsne/..., vmand/vmor/..., viota, vid, vcpop,
+                   ///< vfirst, vmsbf/vmsif/vmsof
+  kVectorPermute,  ///< vslideup/vslidedown/vslide1*, vrgather, vcompress
+  kVectorReduce,   ///< vredsum, vredmax, ...
+  kVectorMove,     ///< vmv.v.x, vmv.v.v, vmv.s.x, vmv.x.s
+  kVectorSpill,    ///< vs<k>r.v emitted by the register-pressure model
+  kVectorReload,   ///< vl<k>r.v emitted by the register-pressure model
+  kScalarAlu,      ///< add/addi/sub/slli/and/... on x-registers
+  kScalarLoad,     ///< lb/lh/lw/ld
+  kScalarStore,    ///< sb/sh/sw/sd
+  kScalarBranch,   ///< beq/bne/blt/... and unconditional jumps
+  kScalarCall,     ///< jal/jalr used as call or return
+  kCount           ///< number of classes (not a class)
+};
+
+inline constexpr std::size_t kNumInstClasses =
+    static_cast<std::size_t>(InstClass::kCount);
+
+/// Short mnemonic name for reports ("v.arith", "s.alu", ...).
+[[nodiscard]] std::string_view to_string(InstClass cls) noexcept;
+
+/// True for the vector instruction classes (including spill/reload traffic,
+/// which consists of whole-vector-register moves).
+[[nodiscard]] constexpr bool is_vector(InstClass cls) noexcept {
+  return static_cast<std::size_t>(cls) <=
+         static_cast<std::size_t>(InstClass::kVectorReload);
+}
+
+/// Immutable copy of the per-class counts at one point in time.  Snapshots
+/// subtract, so a benchmark brackets a kernel with two snapshots and reports
+/// the delta — the kernel's dynamic instruction count.
+class CountSnapshot {
+ public:
+  constexpr CountSnapshot() noexcept : counts_{} {}
+
+  [[nodiscard]] constexpr std::uint64_t count(InstClass cls) const noexcept {
+    return counts_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  [[nodiscard]] std::uint64_t vector_total() const noexcept;
+  [[nodiscard]] std::uint64_t scalar_total() const noexcept;
+  /// Spill + reload traffic inserted by the register-pressure model.
+  [[nodiscard]] std::uint64_t spill_total() const noexcept;
+
+  /// Element-wise difference; requires *this to be taken after `earlier`
+  /// with no intervening reset (checked per class in debug builds).
+  [[nodiscard]] CountSnapshot operator-(const CountSnapshot& earlier) const;
+
+  friend std::ostream& operator<<(std::ostream& os, const CountSnapshot& s);
+
+ private:
+  friend class InstCounter;
+  std::array<std::uint64_t, kNumInstClasses> counts_;
+};
+
+/// Mutable dynamic-instruction counter.  One counter belongs to each
+/// rvv::Machine; all emulated instructions executed under that machine report
+/// here.  Not thread-safe by design: a Machine is a single hart.
+class InstCounter {
+ public:
+  /// Record `n` retired instructions of class `cls`.
+  void add(InstClass cls, std::uint64_t n = 1) noexcept {
+    counts_[static_cast<std::size_t>(cls)] += n;
+  }
+
+  [[nodiscard]] std::uint64_t count(InstClass cls) const noexcept {
+    return counts_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  /// Copy the current counts into a value object.
+  [[nodiscard]] CountSnapshot snapshot() const noexcept;
+
+  /// Zero every class.
+  void reset() noexcept { counts_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, kNumInstClasses> counts_{};
+};
+
+}  // namespace rvvsvm::sim

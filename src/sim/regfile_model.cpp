@@ -1,0 +1,227 @@
+#include "sim/regfile_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace rvvsvm::sim {
+
+namespace {
+
+constexpr bool valid_lmul(unsigned lmul) noexcept {
+  return lmul == 1 || lmul == 2 || lmul == 4 || lmul == 8;
+}
+
+}  // namespace
+
+VRegFileModel::VRegFileModel(InstCounter& counter, Config cfg)
+    : counter_(&counter), cfg_(cfg), reg_owner_(cfg.num_regs, kNoValue) {
+  if (cfg_.num_regs < 2 || cfg_.num_regs % 8 != 0) {
+    throw std::invalid_argument("VRegFileModel: num_regs must be a positive multiple of 8");
+  }
+}
+
+void VRegFileModel::begin_inst() {
+  assert(!in_inst_ && "nested begin_inst");
+  in_inst_ = true;
+  if (trace_sink_) {
+    trace_line_ = "#" + std::to_string(++inst_seq_);
+  }
+}
+
+void VRegFileModel::end_inst() {
+  assert(in_inst_ && "end_inst without begin_inst");
+  if (trace_sink_) {
+    trace_sink_(trace_line_);
+    trace_line_.clear();
+  }
+  for (ValueId v : pinned_) {
+    auto it = values_.find(v);
+    if (it != values_.end()) it->second.pinned = false;
+  }
+  pinned_.clear();
+  in_inst_ = false;
+}
+
+void VRegFileModel::use(ValueId v) {
+  auto it = values_.find(v);
+  if (it == values_.end()) {
+    throw std::logic_error("VRegFileModel::use of unknown or released value");
+  }
+  Value& val = it->second;
+  const bool was_spilled = val.base_reg < 0;
+  if (was_spilled) reload(v, val);
+  touch(val);
+  if (in_inst_ && !val.pinned) {
+    val.pinned = true;
+    pinned_.push_back(v);
+  }
+  trace_event("use v" + std::to_string(val.base_reg) + ":m" +
+              std::to_string(val.lmul) + (was_spilled ? "(reload)" : ""));
+}
+
+void VRegFileModel::use_as_mask(ValueId v) {
+  use(v);
+  if (active_mask_ != v) {
+    // The compiler materializes the mask into v0 (vmv1r.v v0, vK).
+    counter_->add(InstClass::kVectorMove);
+    active_mask_ = v;
+    trace_event("mask->v0");
+  }
+}
+
+ValueId VRegFileModel::define(unsigned lmul) {
+  if (!valid_lmul(lmul)) throw std::invalid_argument("define: lmul must be 1, 2, 4 or 8");
+  const int base = make_room(lmul);
+  const ValueId id = next_id_++;
+  occupy(base, lmul, id);
+  Value val;
+  val.lmul = lmul;
+  val.base_reg = base;
+  if (in_inst_) {
+    val.pinned = true;
+    pinned_.push_back(id);
+  }
+  auto [it, inserted] = values_.emplace(id, val);
+  assert(inserted);
+  static_cast<void>(inserted);
+  touch(it->second);
+  trace_event("def v" + std::to_string(base) + ":m" + std::to_string(lmul));
+  return id;
+}
+
+void VRegFileModel::release(ValueId v) {
+  if (v == kNoValue) return;
+  auto it = values_.find(v);
+  if (it == values_.end()) return;
+  if (it->second.base_reg >= 0) {
+    vacate(it->second.base_reg, it->second.lmul);
+  }
+  if (active_mask_ == v) active_mask_ = kNoValue;
+  // A pinned value released mid-instruction stays in pinned_; end_inst()
+  // tolerates stale ids.
+  values_.erase(it);
+}
+
+unsigned VRegFileModel::live_values() const noexcept {
+  return static_cast<unsigned>(values_.size());
+}
+
+unsigned VRegFileModel::resident_values() const noexcept {
+  unsigned n = 0;
+  for (const auto& [id, val] : values_) n += (val.base_reg >= 0) ? 1u : 0u;
+  return n;
+}
+
+int VRegFileModel::find_free_group(unsigned lmul) const noexcept {
+  const unsigned first = cfg_.reserve_v0 ? std::max(1u, lmul) : 0u;
+  for (unsigned base = first; base + lmul <= cfg_.num_regs; base += lmul) {
+    bool free = true;
+    for (unsigned r = base; r < base + lmul; ++r) {
+      if (reg_owner_[r] != kNoValue) {
+        free = false;
+        break;
+      }
+    }
+    if (free) return static_cast<int>(base);
+  }
+  return -1;
+}
+
+int VRegFileModel::make_room(unsigned lmul) {
+  if (const int base = find_free_group(lmul); base >= 0) return base;
+
+  // No free aligned group: pick the aligned window that is cheapest to
+  // clear — fewest distinct owners, least recently used on ties — and spill
+  // exactly those owners, the way an allocator evicts an interfering live
+  // range rather than arbitrary registers.
+  const unsigned first = cfg_.reserve_v0 ? std::max(1u, lmul) : 0u;
+  int best_base = -1;
+  std::size_t best_owners = std::numeric_limits<std::size_t>::max();
+  std::uint64_t best_recency = std::numeric_limits<std::uint64_t>::max();
+  std::vector<ValueId> best_victims;
+
+  for (unsigned base = first; base + lmul <= cfg_.num_regs; base += lmul) {
+    std::vector<ValueId> owners;
+    std::uint64_t recency = 0;
+    bool usable = true;
+    for (unsigned r = base; r < base + lmul && usable; ++r) {
+      const ValueId owner = reg_owner_[r];
+      if (owner == kNoValue) continue;
+      const Value& val = values_.at(owner);
+      if (val.pinned) {
+        usable = false;
+        break;
+      }
+      if (std::find(owners.begin(), owners.end(), owner) == owners.end()) {
+        owners.push_back(owner);
+        recency = std::max(recency, val.last_touch);
+      }
+    }
+    if (!usable) continue;
+    if (owners.size() < best_owners ||
+        (owners.size() == best_owners && recency < best_recency)) {
+      best_owners = owners.size();
+      best_recency = recency;
+      best_base = static_cast<int>(base);
+      best_victims = std::move(owners);
+    }
+  }
+
+  if (best_base < 0) {
+    throw std::logic_error(
+        "VRegFileModel: register file exhausted by a single instruction "
+        "(more pinned operands than architectural registers)");
+  }
+  for (ValueId victim : best_victims) {
+    Value& val = values_.at(victim);
+    trace_event("spill v" + std::to_string(val.base_reg) + ":m" +
+                std::to_string(val.lmul));
+    vacate(val.base_reg, val.lmul);
+    val.base_reg = -1;
+    ++spills_;
+    // Spilling an LMUL=k group retires k whole-register stores: 2022-era
+    // RISC-V toolchains expanded group spills into per-register vs1r.v
+    // sequences for VLEN-agnostic stack frames (vs<k>r.v grouping came
+    // later), and the paper's Table 5 overheads are consistent with that.
+    counter_->add(InstClass::kVectorSpill, val.lmul);
+  }
+  const int base = find_free_group(lmul);
+  assert(base >= 0);
+  return base;
+}
+
+void VRegFileModel::occupy(int base, unsigned lmul, ValueId v) {
+  for (unsigned r = static_cast<unsigned>(base); r < static_cast<unsigned>(base) + lmul; ++r) {
+    assert(reg_owner_[r] == kNoValue);
+    reg_owner_[r] = v;
+  }
+  occupied_regs_ += lmul;
+  peak_regs_ = std::max(peak_regs_, occupied_regs_);
+}
+
+void VRegFileModel::vacate(int base, unsigned lmul) {
+  for (unsigned r = static_cast<unsigned>(base); r < static_cast<unsigned>(base) + lmul; ++r) {
+    reg_owner_[r] = kNoValue;
+  }
+  occupied_regs_ -= lmul;
+}
+
+void VRegFileModel::trace_event(const std::string& event) {
+  if (!trace_sink_ || !in_inst_) return;
+  trace_line_ += ' ';
+  trace_line_ += event;
+}
+
+void VRegFileModel::reload(ValueId v, Value& val) {
+  const int base = make_room(val.lmul);
+  occupy(base, val.lmul, v);
+  val.base_reg = base;
+  ++reloads_;
+  // Reload mirrors the spill: k per-register vl1r.v moves for an LMUL=k
+  // group (see the note in make_room).
+  counter_->add(InstClass::kVectorReload, val.lmul);
+}
+
+}  // namespace rvvsvm::sim

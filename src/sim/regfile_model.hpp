@@ -1,0 +1,141 @@
+// Vector register-file pressure model.
+//
+// RVV has 32 architectural vector registers.  Setting LMUL = k groups k
+// consecutive, k-aligned registers into one operand, so at LMUL = 8 only the
+// groups {v8, v16, v24} remain allocatable once v0 is reserved for masks.
+// When a kernel keeps more simultaneously-live vector values than the file
+// can hold, the compiler spills whole register groups to the stack
+// (`vs<k>r.v`) and reloads them (`vl<k>r.v`).  Section 6.3 of the paper shows
+// this is why segmented scan at LMUL = 8 is *slower* than LMUL = 1 for small
+// inputs (Table 5).
+//
+// This module reproduces that effect from first principles.  The RVV
+// emulator drives it with the value lifecycle of every emulated instruction:
+//   begin_inst();  use(a); use(b);  d = define(lmul);  end_inst();
+// and with release(v) when a C++ vreg value dies.  A C++ value's lifetime is
+// its live range — exactly the information a register allocator derives —
+// so allocation decisions here mirror what a linear-scan allocator does over
+// the same code.  Evictions target the cheapest aligned register window and
+// prefer least-recently-used values (values touched by the in-flight
+// instruction are pinned).  An eviction of an LMUL=k group charges k
+// kVectorSpill instructions and the first use after eviction charges k
+// kVectorReload instructions: 2022-era RISC-V compilers expanded register-
+// group spills into per-register vs1r.v/vl1r.v sequences for VLEN-agnostic
+// stack frames, which is the overhead regime the paper's Table 5 reflects.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/inst_counter.hpp"
+
+namespace rvvsvm::sim {
+
+/// Identifier of an SSA-like vector value (one per defining instruction).
+using ValueId = std::uint64_t;
+
+/// Sentinel for "no value".
+inline constexpr ValueId kNoValue = 0;
+
+class VRegFileModel {
+ public:
+  struct Config {
+    /// Architectural vector registers (the RVV file size).
+    unsigned num_regs = 32;
+    /// Reserve v0 as the mask register, as RVV mandates for masked ops.
+    bool reserve_v0 = true;
+  };
+
+  explicit VRegFileModel(InstCounter& counter) : VRegFileModel(counter, Config{}) {}
+  VRegFileModel(InstCounter& counter, Config cfg);
+
+  VRegFileModel(const VRegFileModel&) = delete;
+  VRegFileModel& operator=(const VRegFileModel&) = delete;
+
+  /// Bracket one emulated instruction.  Values touched between begin and end
+  /// are pinned and cannot be evicted to make room for each other.
+  void begin_inst();
+  void end_inst();
+
+  /// Operand read.  Reloads the value if it was spilled (charging one
+  /// kVectorReload) and refreshes its LRU stamp.
+  void use(ValueId v);
+
+  /// Operand read through the mask port (v0).  Like use(), but additionally
+  /// charges one vector move when the active mask in v0 changes, the way a
+  /// compiler re-materializes `vmv1r.v v0, vK` before a masked op.
+  void use_as_mask(ValueId v);
+
+  /// Result written by an instruction: allocates an lmul-aligned group for a
+  /// fresh value and returns its id.  Evicts LRU values (charging spills) if
+  /// the file is full.  `lmul` must be 1, 2, 4 or 8; masks occupy one
+  /// register (pass lmul = 1).
+  [[nodiscard]] ValueId define(unsigned lmul);
+
+  /// The C++ value holding `v` died (destructor or overwrite): its register
+  /// group becomes free without spill traffic.  Ignores kNoValue and ids
+  /// already released.
+  void release(ValueId v);
+
+  /// Number of values currently live (in a register or spilled).
+  [[nodiscard]] unsigned live_values() const noexcept;
+  /// Number of live values currently resident in registers.
+  [[nodiscard]] unsigned resident_values() const noexcept;
+  /// Total spill stores charged so far.
+  [[nodiscard]] std::uint64_t spill_count() const noexcept { return spills_; }
+  /// Total reload loads charged so far.
+  [[nodiscard]] std::uint64_t reload_count() const noexcept { return reloads_; }
+  /// High-water mark of registers simultaneously occupied.
+  [[nodiscard]] unsigned peak_registers() const noexcept { return peak_regs_; }
+
+  /// Install a trace sink: one line per emulated instruction describing its
+  /// register-file events ("#42 use v8:m8 use v16:m8(reload) def v24:m8
+  /// [spill v0..]"), the commit-log view Spike users debug with.  Pass
+  /// nullptr to disable.  Tracing does not change any count.
+  void set_trace_sink(std::function<void(const std::string&)> sink) {
+    trace_sink_ = std::move(sink);
+  }
+
+ private:
+  struct Value {
+    unsigned lmul = 1;
+    int base_reg = -1;           // -1 when spilled
+    std::uint64_t last_touch = 0;
+    bool pinned = false;
+  };
+
+  /// Find a free lmul-aligned group; returns base register or -1.
+  [[nodiscard]] int find_free_group(unsigned lmul) const noexcept;
+  /// Make room for an lmul-aligned group, evicting LRU unpinned values.
+  int make_room(unsigned lmul);
+  void occupy(int base, unsigned lmul, ValueId v);
+  void vacate(int base, unsigned lmul);
+  /// Bring a spilled value back into a register.
+  void reload(ValueId v, Value& val);
+  void touch(Value& val) noexcept { val.last_touch = ++clock_; }
+
+  /// Append an event to the in-flight instruction's trace line.
+  void trace_event(const std::string& event);
+
+  InstCounter* counter_;
+  Config cfg_;
+  std::vector<ValueId> reg_owner_;          // per architectural register
+  std::unordered_map<ValueId, Value> values_;
+  std::vector<ValueId> pinned_;             // touched by the in-flight inst
+  ValueId next_id_ = 1;
+  ValueId active_mask_ = kNoValue;          // value currently held in v0
+  std::uint64_t clock_ = 0;
+  std::uint64_t spills_ = 0;
+  std::uint64_t reloads_ = 0;
+  unsigned occupied_regs_ = 0;
+  unsigned peak_regs_ = 0;
+  bool in_inst_ = false;
+  std::function<void(const std::string&)> trace_sink_;
+  std::string trace_line_;
+  std::uint64_t inst_seq_ = 0;
+};
+
+}  // namespace rvvsvm::sim

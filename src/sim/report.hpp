@@ -1,0 +1,46 @@
+// Plain-text table formatting for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables/figures; this
+// module renders them in an aligned, paper-like layout and can annotate each
+// measured row with the value the paper reports so the reader can compare
+// shapes at a glance.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rvvsvm::sim {
+
+/// Column-aligned text table.  Cells are strings; numeric helpers format
+/// counts and ratios consistently across all benches.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; its size must equal the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule and right-aligned numeric-looking cells.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format an instruction count with thousands separators ("2 625 031").
+[[nodiscard]] std::string format_count(std::uint64_t value);
+
+/// Format a speedup/ratio with fixed precision ("21.93x" style without the
+/// suffix; callers append units).
+[[nodiscard]] std::string format_ratio(double value, int precision = 2);
+
+/// Print a titled section header used by every bench binary.
+void print_section(std::ostream& os, std::string_view title);
+
+}  // namespace rvvsvm::sim

@@ -1,0 +1,179 @@
+// Sequential baselines (paper section 6.2).
+//
+// The paper's baselines are "pure C code without the use of RVV intrinsics"
+// compiled for RV64 and measured in dynamic instructions on Spike.  These
+// kernels compute the same results as the vectorized primitives with plain
+// loops and charge the documented per-element RV64 schedule to the active
+// machine's scalar recorder.  The schedules are named constants so tests
+// can assert exact closed forms; their per-element totals (6 for p-add and
+// plus-scan, 11 for segmented plus-scan) match the paper's Tables 2-4
+// baseline columns (6 000 001, 6 000 026 and 11 000 024 instructions for
+// N = 10^6).
+#pragma once
+
+#include <span>
+
+#include "rvv/machine.hpp"
+#include "rvv/ops_detail.hpp"
+#include "sim/scalar_model.hpp"
+
+namespace rvvsvm::svm::baseline {
+
+/// One iteration of `for (i) a[i] += x`: lw, addw, sw, addi (pointer),
+/// addi (count), bne — the -O2 RV64 schedule.
+inline constexpr sim::ScalarCost kPAddPerElement{
+    .alu = 3, .load = 1, .store = 1, .branch = 1};  // total 6
+
+/// One iteration of the running-sum loop (accumulator lives in a register).
+inline constexpr sim::ScalarCost kScanPerElement{
+    .alu = 3, .load = 1, .store = 1, .branch = 1};  // total 6
+
+/// One iteration of the segmented running sum: flag load + value load, the
+/// flag test branch, the accumulator reset select, two pointer bumps, the
+/// count update and the back branch.
+inline constexpr sim::ScalarCost kSegScanPerElement{
+    .alu = 6, .load = 2, .store = 1, .branch = 2};  // total 11
+
+/// One iteration of the enumerate loop (flag load, compare branch, counter
+/// update, store, pointer bumps).
+inline constexpr sim::ScalarCost kEnumeratePerElement{
+    .alu = 4, .load = 1, .store = 1, .branch = 2};  // total 8
+
+/// Sequential p-add: a[i] += x.
+template <rvv::VectorElement T>
+void p_add(std::span<T> a, std::type_identity_t<T> x) {
+  auto& scalar = rvv::Machine::active().scalar();
+  scalar.charge(sim::kKernelPrologue);
+  for (T& v : a) {
+    v = rvv::detail::wrap_add(v, static_cast<T>(x));
+    scalar.charge(kPAddPerElement);
+  }
+}
+
+/// Sequential inclusive plus-scan.
+template <rvv::VectorElement T>
+void plus_scan(std::span<T> data) {
+  auto& scalar = rvv::Machine::active().scalar();
+  scalar.charge(sim::kKernelPrologue);
+  T acc{0};
+  for (T& v : data) {
+    acc = rvv::detail::wrap_add(acc, v);
+    v = acc;
+    scalar.charge(kScanPerElement);
+  }
+}
+
+/// Sequential exclusive plus-scan.
+template <rvv::VectorElement T>
+void plus_scan_exclusive(std::span<T> data) {
+  auto& scalar = rvv::Machine::active().scalar();
+  scalar.charge(sim::kKernelPrologue);
+  T acc{0};
+  for (T& v : data) {
+    const T old = v;
+    v = acc;
+    acc = rvv::detail::wrap_add(acc, old);
+    scalar.charge(kScanPerElement);
+  }
+}
+
+/// Sequential inclusive segmented plus-scan over head-flags.
+template <rvv::VectorElement T>
+void seg_plus_scan(std::span<T> data, std::span<const T> head_flags) {
+  auto& scalar = rvv::Machine::active().scalar();
+  scalar.charge(sim::kKernelPrologue);
+  T acc{0};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (head_flags[i] != T{0}) acc = T{0};
+    acc = rvv::detail::wrap_add(acc, data[i]);
+    data[i] = acc;
+    scalar.charge(kSegScanPerElement);
+  }
+}
+
+/// Sequential enumerate (counts positions with flags[i] == set_bit).
+template <rvv::VectorElement T>
+std::size_t enumerate(std::span<const T> flags, std::span<T> dst, bool set_bit) {
+  auto& scalar = rvv::Machine::active().scalar();
+  scalar.charge(sim::kKernelPrologue);
+  const T want = set_bit ? T{1} : T{0};
+  T count{0};
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    dst[i] = count;
+    if (flags[i] == want) count = rvv::detail::wrap_add(count, T{1});
+    scalar.charge(kEnumeratePerElement);
+  }
+  return static_cast<std::size_t>(count);
+}
+
+/// Sequential stable split by 0/1 flags (0s first); returns the 0 count.
+template <rvv::VectorElement T>
+std::size_t split(std::span<const T> src, std::span<T> dst, std::span<const T> flags) {
+  auto& scalar = rvv::Machine::active().scalar();
+  scalar.charge(sim::kKernelPrologue);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    zeros += flags[i] == T{0} ? 1u : 0u;
+    scalar.charge({.alu = 2, .load = 1, .branch = 1});
+  }
+  std::size_t lo = 0, hi = zeros;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (flags[i] == T{0}) {
+      dst[lo++] = src[i];
+    } else {
+      dst[hi++] = src[i];
+    }
+    scalar.charge({.alu = 3, .load = 2, .store = 1, .branch = 2});
+  }
+  return zeros;
+}
+
+/// Sequential LSD radix sort (byte digits, counting sort per pass) — the
+/// same-algorithm scalar comparison point for the vectorized split radix
+/// sort, complementing the qsort() baseline of the paper's Table 1.
+/// Charged per the modeled RV64 loop schedules.
+template <rvv::VectorElement T>
+void radix_sort(std::span<T> data) {
+  static_assert(std::is_unsigned_v<T>);
+  auto& scalar = rvv::Machine::active().scalar();
+  scalar.charge(sim::kKernelPrologue);
+  const std::size_t n = data.size();
+  if (n < 2) return;
+  std::vector<T> buffer(n);
+  std::span<T> src = data;
+  std::span<T> dst(buffer);
+  constexpr unsigned kPasses = sizeof(T);  // one pass per byte
+  for (unsigned pass = 0; pass < kPasses; ++pass) {
+    const unsigned shift = pass * 8;
+    std::size_t counts[256] = {};
+    // Count: load, shift, mask, indexed load+increment+store, bookkeeping.
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counts[(static_cast<std::size_t>(src[i]) >> shift) & 0xFF];
+      scalar.charge({.alu = 4, .load = 2, .store = 1, .branch = 1});
+    }
+    // Exclusive prefix of the 256 counters.
+    std::size_t total = 0;
+    for (auto& c : counts) {
+      const std::size_t old = c;
+      c = total;
+      total += old;
+      scalar.charge({.alu = 2, .load = 1, .store = 1, .branch = 1});
+    }
+    // Scatter.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t digit = (static_cast<std::size_t>(src[i]) >> shift) & 0xFF;
+      dst[counts[digit]++] = src[i];
+      scalar.charge({.alu = 5, .load = 2, .store = 2, .branch = 1});
+    }
+    std::swap(src, dst);
+    scalar.charge({.alu = 3, .branch = 1});
+  }
+  if (kPasses % 2 != 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = src[i];
+      scalar.charge({.alu = 2, .load = 1, .store = 1, .branch = 1});
+    }
+  }
+}
+
+}  // namespace rvvsvm::svm::baseline

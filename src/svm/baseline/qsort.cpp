@@ -1,0 +1,148 @@
+#include "svm/baseline/qsort.hpp"
+
+#include <utility>
+
+#include "rvv/machine.hpp"
+#include "sim/scalar_model.hpp"
+
+namespace rvvsvm::svm::baseline {
+
+namespace {
+
+thread_local QsortStats g_stats;
+
+/// Cost of one comparator invocation through a function pointer, as qsort()
+/// performs it: argument setup, jalr call, two element loads, the compare,
+/// the result branch in the caller, and the return.
+constexpr sim::ScalarCost kComparatorCall{
+    .alu = 3, .load = 2, .branch = 1, .call = 2};  // total 8
+
+/// Cost of one 4-byte element swap through qsort()'s byte-generic swap loop
+/// (glibc specializes 4-byte objects to a word swap).
+constexpr sim::ScalarCost kSwap{.alu = 3, .load = 2, .store = 2};  // total 7
+
+/// Per-iteration partition-loop bookkeeping around each comparison.
+constexpr sim::ScalarCost kPartitionStep{.alu = 2, .branch = 1};
+
+/// Insertion-sort cutoff used by Bentley–McIlroy.
+constexpr long kInsertionCutoff = 8;
+
+/// Bentley–McIlroy three-way quicksort over data[lo..hi] (inclusive bounds,
+/// signed indices as in the original).  Every modeled instruction is charged
+/// to the scalar recorder.
+class Sorter {
+ public:
+  explicit Sorter(std::span<std::uint32_t> data)
+      : data_(data), scalar_(rvv::Machine::active().scalar()) {}
+
+  void run() {
+    scalar_.charge(sim::kKernelPrologue);
+    if (data_.size() > 1) sort(0, static_cast<long>(data_.size()) - 1);
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t at(long i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] bool less(long i, long j) {
+    ++g_stats.comparisons;
+    scalar_.charge(kComparatorCall);
+    return at(i) < at(j);
+  }
+
+  [[nodiscard]] int compare(long i, long j) {
+    ++g_stats.comparisons;
+    scalar_.charge(kComparatorCall);
+    return at(i) < at(j) ? -1 : (at(i) > at(j) ? 1 : 0);
+  }
+
+  void swap(long i, long j) {
+    ++g_stats.swaps;
+    scalar_.charge(kSwap);
+    std::swap(data_[static_cast<std::size_t>(i)], data_[static_cast<std::size_t>(j)]);
+  }
+
+  void insertion_sort(long lo, long hi) {
+    for (long i = lo + 1; i <= hi; ++i) {
+      scalar_.charge({.alu = 1, .branch = 1});
+      for (long j = i; j > lo && less(j, j - 1); --j) {
+        swap(j, j - 1);
+        scalar_.charge({.alu = 1, .branch = 1});
+      }
+    }
+  }
+
+  /// Median-of-three pivot selection, pivot moved to `lo` (as glibc does).
+  void select_pivot(long lo, long hi) {
+    const long mid = lo + (hi - lo) / 2;
+    scalar_.charge({.alu = 2});
+    if (less(mid, lo)) swap(mid, lo);
+    if (less(hi, lo)) swap(hi, lo);
+    if (less(hi, mid)) swap(hi, mid);
+    swap(lo, mid);
+  }
+
+  void sort(long lo, long hi) {
+    scalar_.charge({.alu = 2, .branch = 1, .call = 2});  // call frame
+    while (hi - lo + 1 > kInsertionCutoff) {
+      select_pivot(lo, hi);
+      // Three-way partition around data[lo] (Bentley–McIlroy).
+      long i = lo;
+      long j = hi + 1;
+      long p = lo;
+      long q = hi + 1;
+      while (true) {
+        scalar_.charge(kPartitionStep);
+        while (compare(++i, lo) < 0) {
+          scalar_.charge(kPartitionStep);
+          if (i == hi) break;
+        }
+        while (compare(lo, --j) < 0) {
+          scalar_.charge(kPartitionStep);
+          if (j == lo) break;
+        }
+        if (i == j && compare(i, lo) == 0) swap(++p, i);
+        if (i >= j) break;
+        swap(i, j);
+        if (compare(i, lo) == 0) swap(++p, i);
+        if (compare(lo, j) == 0) swap(--q, j);
+      }
+      // Move the equal runs from the ends into the middle.
+      i = j + 1;
+      for (long k = lo; k <= p; ++k, --j) {
+        swap(k, j);
+        scalar_.charge({.alu = 2, .branch = 1});
+      }
+      for (long k = hi; k >= q; --k, ++i) {
+        swap(k, i);
+        scalar_.charge({.alu = 2, .branch = 1});
+      }
+      // Recurse on the smaller partition, iterate on the larger so the
+      // modeled stack stays O(log n), as real qsort implementations do.
+      if (j - lo < hi - i) {
+        if (j > lo) sort(lo, j);
+        lo = i;
+      } else {
+        if (i < hi) sort(i, hi);
+        hi = j;
+      }
+    }
+    insertion_sort(lo, hi);
+  }
+
+  std::span<std::uint32_t> data_;
+  sim::ScalarRecorder& scalar_;
+};
+
+}  // namespace
+
+void qsort_u32(std::span<std::uint32_t> data) {
+  g_stats = QsortStats{};
+  Sorter sorter(data);
+  sorter.run();
+}
+
+QsortStats last_qsort_stats() noexcept { return g_stats; }
+
+}  // namespace rvvsvm::svm::baseline

@@ -1,0 +1,28 @@
+// Instrumented stdlib-style qsort (the paper's Table 1 baseline).
+//
+// The paper compares split radix sort against qsort() from the C standard
+// library, whose dominant cost on RISC-V is the indirect comparator call per
+// comparison plus byte-generic swaps.  This module reimplements the classic
+// Bentley–McIlroy three-way quicksort with an insertion-sort cutoff — the
+// scheme glibc-family qsort implementations use — and charges every modeled
+// RV64 instruction (comparator call sequence, element loads, swap traffic,
+// partition bookkeeping) to the active machine's scalar recorder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rvvsvm::svm::baseline {
+
+/// Sorts `data` ascending, charging the modeled qsort() instruction stream.
+/// Requires an active rvv::MachineScope.
+void qsort_u32(std::span<std::uint32_t> data);
+
+/// Statistics from the last qsort_u32 call on this thread (for tests).
+struct QsortStats {
+  std::uint64_t comparisons = 0;
+  std::uint64_t swaps = 0;
+};
+[[nodiscard]] QsortStats last_qsort_stats() noexcept;
+
+}  // namespace rvvsvm::svm::baseline

@@ -1,0 +1,31 @@
+// Strip-mining helper shared by every vectorized SVM kernel.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "rvv/rvv.hpp"
+#include "sim/scalar_model.hpp"
+
+namespace rvvsvm::svm::detail {
+
+/// Runs `body(pos, vl)` over the blocks of an n-element array exactly the
+/// way the paper's Listing 2 strip-mines: one vsetvl per iteration (charged
+/// inside Machine::vsetvl) plus the documented scalar bookkeeping for
+/// `pointer_bumps` live array pointers.  The kernel prologue branch is
+/// charged once.
+template <rvv::VectorElement T, unsigned LMUL, class Body>
+void stripmine(std::size_t n, unsigned pointer_bumps, Body body) {
+  rvv::Machine& m = rvv::Machine::active();
+  m.scalar().charge(sim::kKernelPrologue);
+  std::size_t pos = 0;
+  while (n > 0) {
+    const std::size_t vl = m.vsetvl<T>(n, LMUL);
+    body(pos, vl);
+    pos += vl;
+    n -= vl;
+    m.scalar().charge(sim::stripmine_iteration(pointer_bumps));
+  }
+}
+
+}  // namespace rvvsvm::svm::detail

@@ -1,0 +1,297 @@
+// Elementwise instructions of the scan vector model (paper section 4.1).
+//
+// Every function strip-mines its input with the schedule of the paper's
+// Listing 4: vsetvl + loads + one arithmetic instruction + store per block,
+// plus the scalar loop bookkeeping.  All operate in place on the first
+// operand, mirroring the paper's p-add signature; `LMUL` selects the
+// register-group multiplier studied in section 6.3.
+//
+// A kernel must run inside an rvv::MachineScope; dynamic instruction counts
+// accumulate on that machine's counter.
+#pragma once
+
+#include <span>
+
+#include "svm/detail.hpp"
+
+namespace rvvsvm::svm {
+
+namespace detail {
+
+template <rvv::VectorElement T, unsigned LMUL, class F>
+void elementwise_vx(std::span<T> a, T x, F f) {
+  svm::detail::stripmine<T, LMUL>(a.size(), /*pointer_bumps=*/1,
+                                  [&](std::size_t pos, std::size_t vl) {
+                                    auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
+                                    va = f(va, x, vl);
+                                    rvv::vse(a.subspan(pos), va, vl);
+                                  });
+}
+
+template <rvv::VectorElement T, unsigned LMUL, class F>
+void elementwise_vv(std::span<T> a, std::span<const T> b, F f) {
+  if (b.size() < a.size()) throw std::invalid_argument("elementwise: operand size mismatch");
+  svm::detail::stripmine<T, LMUL>(a.size(), /*pointer_bumps=*/2,
+                                  [&](std::size_t pos, std::size_t vl) {
+                                    auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
+                                    auto vb = rvv::vle<T, LMUL>(b.subspan(pos), vl);
+                                    va = f(va, vb, vl);
+                                    rvv::vse(a.subspan(pos), va, vl);
+                                  });
+}
+
+}  // namespace detail
+
+/// p-add (vector + scalar broadcast): a[i] += x.  The paper's Listing 4.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_add(std::span<T> a, std::type_identity_t<T> x) {
+  detail::elementwise_vx<T, LMUL>(a, x, [](const auto& va, T xx, std::size_t vl) {
+    return rvv::vadd(va, xx, vl);
+  });
+}
+
+/// p-add (vector + vector): a[i] += b[i].
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_add(std::span<T> a, std::span<const T> b) {
+  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
+    return rvv::vadd(va, vb, vl);
+  });
+}
+
+/// p-sub: a[i] -= x.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_sub(std::span<T> a, std::type_identity_t<T> x) {
+  detail::elementwise_vx<T, LMUL>(a, x, [](const auto& va, T xx, std::size_t vl) {
+    return rvv::vsub(va, xx, vl);
+  });
+}
+
+/// p-sub: a[i] -= b[i].
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_sub(std::span<T> a, std::span<const T> b) {
+  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
+    return rvv::vsub(va, vb, vl);
+  });
+}
+
+/// p-multiply: a[i] *= x.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_mul(std::span<T> a, std::type_identity_t<T> x) {
+  detail::elementwise_vx<T, LMUL>(a, x, [](const auto& va, T xx, std::size_t vl) {
+    return rvv::vmul(va, xx, vl);
+  });
+}
+
+/// p-multiply: a[i] *= b[i].
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_mul(std::span<T> a, std::span<const T> b) {
+  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
+    return rvv::vmul(va, vb, vl);
+  });
+}
+
+/// p-maximum: a[i] = max(a[i], b[i]).
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_max(std::span<T> a, std::span<const T> b) {
+  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
+    return rvv::vmax(va, vb, vl);
+  });
+}
+
+/// p-minimum: a[i] = min(a[i], b[i]).
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_min(std::span<T> a, std::span<const T> b) {
+  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
+    return rvv::vmin(va, vb, vl);
+  });
+}
+
+/// p-and: a[i] &= b[i].
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_and(std::span<T> a, std::span<const T> b) {
+  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
+    return rvv::vand(va, vb, vl);
+  });
+}
+
+/// p-or: a[i] |= b[i].
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_or(std::span<T> a, std::span<const T> b) {
+  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
+    return rvv::vor(va, vb, vl);
+  });
+}
+
+/// p-shift-right (logical): a[i] >>= k.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_shift_right(std::span<T> a, std::type_identity_t<T> k) {
+  detail::elementwise_vx<T, LMUL>(a, k, [](const auto& va, T kk, std::size_t vl) {
+    return rvv::vsrl(va, kk, vl);
+  });
+}
+
+/// p-shift-left: a[i] <<= k.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_shift_left(std::span<T> a, std::type_identity_t<T> k) {
+  detail::elementwise_vx<T, LMUL>(a, k, [](const auto& va, T kk, std::size_t vl) {
+    return rvv::vsll(va, kk, vl);
+  });
+}
+
+/// p-xor: a[i] ^= b[i].
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_xor(std::span<T> a, std::span<const T> b) {
+  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
+    return rvv::vxor(va, vb, vl);
+  });
+}
+
+/// p-select, the conditional move of the scan vector model with the paper's
+/// split-operation signature: where flags[i] is non-zero, dst[i] is replaced
+/// by if_true[i]; elsewhere dst keeps its value.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_select(std::span<const T> flags, std::span<const T> if_true, std::span<T> dst) {
+  if (flags.size() < dst.size() || if_true.size() < dst.size()) {
+    throw std::invalid_argument("p_select: operand size mismatch");
+  }
+  detail::stripmine<T, LMUL>(dst.size(), /*pointer_bumps=*/3,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto vf = rvv::vle<T, LMUL>(flags.subspan(pos), vl);
+                               auto vt = rvv::vle<T, LMUL>(if_true.subspan(pos), vl);
+                               auto vd = rvv::vle<T, LMUL>(dst.subspan(pos), vl);
+                               const auto mask = rvv::vmsne(vf, T{0}, vl);
+                               vd = rvv::vmerge(mask, vt, vd, vl);
+                               rvv::vse(dst.subspan(pos), vd, vl);
+                             });
+}
+
+namespace detail {
+
+template <rvv::VectorElement T, unsigned LMUL, class Cmp>
+void flag_compare(std::span<const T> a, std::span<const T> b, std::span<T> dst, Cmp cmp) {
+  if (b.size() < a.size() || dst.size() < a.size()) {
+    throw std::invalid_argument("p_flag: operand size mismatch");
+  }
+  stripmine<T, LMUL>(a.size(), /*pointer_bumps=*/3,
+                     [&](std::size_t pos, std::size_t vl) {
+                       auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
+                       auto vb = rvv::vle<T, LMUL>(b.subspan(pos), vl);
+                       const auto mask = cmp(va, vb, vl);
+                       auto ones = rvv::vmv_v_x<T, LMUL>(T{1}, vl);
+                       auto flags = rvv::vmerge(mask, ones,
+                                                rvv::vmv_v_x<T, LMUL>(T{0}, vl), vl);
+                       rvv::vse(dst.subspan(pos), flags, vl);
+                     });
+}
+
+}  // namespace detail
+
+/// Comparison flags (Blelloch's elementwise predicates): dst[i] = 1 when the
+/// relation holds between a[i] and b[i], else 0 — producing the 0/1 flag
+/// vectors that enumerate/split/segmented kernels consume.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_flag_lt(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
+  detail::flag_compare<T, LMUL>(a, b, dst, [](const auto& x, const auto& y, std::size_t vl) {
+    return rvv::vmslt(x, y, vl);
+  });
+}
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_flag_eq(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
+  detail::flag_compare<T, LMUL>(a, b, dst, [](const auto& x, const auto& y, std::size_t vl) {
+    return rvv::vmseq(x, y, vl);
+  });
+}
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_flag_gt(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
+  detail::flag_compare<T, LMUL>(a, b, dst, [](const auto& x, const auto& y, std::size_t vl) {
+    return rvv::vmsgt(x, y, vl);
+  });
+}
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_flag_ne(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
+  detail::flag_compare<T, LMUL>(a, b, dst, [](const auto& x, const auto& y, std::size_t vl) {
+    return rvv::vmsne(x, y, vl);
+  });
+}
+
+namespace detail {
+
+template <rvv::VectorElement T, unsigned LMUL, class Cmp>
+void flag_compare_vx(std::span<const T> a, T x, std::span<T> dst, Cmp cmp) {
+  if (dst.size() < a.size()) throw std::invalid_argument("p_flag: dst too small");
+  stripmine<T, LMUL>(a.size(), /*pointer_bumps=*/2,
+                     [&](std::size_t pos, std::size_t vl) {
+                       auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
+                       const auto mask = cmp(va, x, vl);
+                       auto flags = rvv::vmerge(
+                           mask, rvv::vmv_v_x<T, LMUL>(T{1}, vl),
+                           rvv::vmv_v_x<T, LMUL>(T{0}, vl), vl);
+                       rvv::vse(dst.subspan(pos), flags, vl);
+                     });
+}
+
+}  // namespace detail
+
+/// Scalar-comparand flags: dst[i] = 1 when the relation holds between a[i]
+/// and x (thresholding, pivot comparisons).
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_flag_gt(std::span<const T> a, std::type_identity_t<T> x, std::span<T> dst) {
+  detail::flag_compare_vx<T, LMUL>(a, x, dst, [](const auto& v, T xx, std::size_t vl) {
+    return rvv::vmsgt(v, xx, vl);
+  });
+}
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_flag_lt(std::span<const T> a, std::type_identity_t<T> x, std::span<T> dst) {
+  detail::flag_compare_vx<T, LMUL>(a, x, dst, [](const auto& v, T xx, std::size_t vl) {
+    return rvv::vmslt(v, xx, vl);
+  });
+}
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_flag_eq(std::span<const T> a, std::type_identity_t<T> x, std::span<T> dst) {
+  detail::flag_compare_vx<T, LMUL>(a, x, dst, [](const auto& v, T xx, std::size_t vl) {
+    return rvv::vmseq(v, xx, vl);
+  });
+}
+
+/// Elementwise width conversion: dst[i] = (To)src[i], strip-mined at the
+/// wider type's VLMAX and using the single-instruction vzext/vsext (widen)
+/// or vnsrl (narrow) forms.  Lets algorithms over narrow keys compute with
+/// wide indices, as RVV mixed-width code does.
+template <rvv::VectorElement From, rvv::VectorElement To, unsigned LMUL = 1>
+void p_convert(std::span<const From> src, std::span<To> dst) {
+  if (dst.size() < src.size()) throw std::invalid_argument("p_convert: dst too small");
+  using Wide = std::conditional_t<(sizeof(From) > sizeof(To)), From, To>;
+  rvv::Machine& m = rvv::Machine::active();
+  m.scalar().charge(sim::kKernelPrologue);
+  std::size_t n = src.size();
+  std::size_t pos = 0;
+  while (n > 0) {
+    const std::size_t vl = m.vsetvl<Wide>(n, LMUL);
+    auto v = rvv::vle<From, LMUL>(src.subspan(pos), vl);
+    if constexpr (sizeof(From) < sizeof(To)) {
+      rvv::vse(dst.subspan(pos), rvv::vext<To>(v, vl), vl);
+    } else if constexpr (sizeof(From) > sizeof(To)) {
+      rvv::vse(dst.subspan(pos), rvv::vnsrl<To>(v, vl), vl);
+    } else {
+      static_assert(std::is_same_v<From, To>,
+                    "same-width type punning is not a vector conversion");
+      rvv::vse(dst.subspan(pos), v, vl);
+    }
+    pos += vl;
+    n -= vl;
+    m.scalar().charge(sim::stripmine_iteration(2));
+  }
+}
+
+/// Elementwise copy (the model's move instruction): dst[i] = src[i].
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void p_copy(std::span<const T> src, std::span<T> dst) {
+  if (src.size() < dst.size()) throw std::invalid_argument("p_copy: source too short");
+  detail::stripmine<T, LMUL>(dst.size(), /*pointer_bumps=*/2,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto v = rvv::vle<T, LMUL>(src.subspan(pos), vl);
+                               rvv::vse(dst.subspan(pos), v, vl);
+                             });
+}
+
+}  // namespace rvvsvm::svm

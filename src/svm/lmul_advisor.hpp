@@ -1,0 +1,63 @@
+// LMUL selection advisor — the paper's section 6.3 conclusion as code.
+//
+// "For workloads with small vector size, the overhead of register spilling
+// can be significant.  For workloads with very large vector size, the
+// dynamic instruction count can be covered."  The deciding quantity is
+// whether the kernel's simultaneously-live vector values still fit the
+// register file once each occupies an LMUL-register group; this module
+// computes that from the same file geometry the pressure model uses.
+#pragma once
+
+#include <cstddef>
+
+#include "rvv/config.hpp"
+
+namespace rvvsvm::svm {
+
+struct LmulAdvice {
+  /// The recommended register-group multiplier.
+  unsigned lmul = 1;
+  /// True when even LMUL=1 cannot hold the live set (spills at any LMUL).
+  bool spills_unavoidable = false;
+  /// Strip-mine iterations the kernel will run at the recommended LMUL.
+  std::size_t iterations = 0;
+};
+
+/// Number of LMUL-aligned register groups available to the allocator
+/// (v0 reserved for masks, as the pressure model assumes).
+[[nodiscard]] constexpr unsigned allocatable_groups(unsigned lmul) noexcept {
+  switch (lmul) {
+    case 1: return 31;  // v1..v31
+    case 2: return 15;  // v2, v4, ..., v30
+    case 4: return 7;   // v4, v8, ..., v28
+    case 8: return 3;   // v8, v16, v24
+    default: return 0;
+  }
+}
+
+/// Recommend the largest LMUL whose register-group demand still fits the
+/// file for a kernel keeping `live_vector_values` vector values (plus masks
+/// in v0) live at once, processing n elements of type T.
+///
+/// Examples from this library: p-add keeps 1 live value -> LMUL 8;
+/// unsegmented scan keeps 3 -> LMUL 8 (just fits); segmented scan keeps ~6
+/// -> LMUL 4, which is exactly where its measured sweet spot sits
+/// (Table 5 / bench/table5_lmul_sweep).
+template <rvv::VectorElement T>
+[[nodiscard]] constexpr LmulAdvice recommend_lmul(std::size_t n, unsigned vlen_bits,
+                                                  unsigned live_vector_values) noexcept {
+  LmulAdvice advice;
+  advice.lmul = 1;
+  advice.spills_unavoidable = live_vector_values > allocatable_groups(1);
+  for (const unsigned lmul : {8u, 4u, 2u, 1u}) {
+    if (live_vector_values <= allocatable_groups(lmul)) {
+      advice.lmul = lmul;
+      break;
+    }
+  }
+  const std::size_t vlmax = rvv::vlmax_for(vlen_bits, rvv::kSewBits<T>, advice.lmul);
+  advice.iterations = vlmax == 0 ? 0 : (n + vlmax - 1) / vlmax;
+  return advice;
+}
+
+}  // namespace rvvsvm::svm

@@ -1,0 +1,228 @@
+// Binary-operator traits for the scan vector model.
+//
+// Blelloch's scan instructions are parameterized by an associative binary
+// operator with a left identity.  Each trait type here bundles one
+// operator's identity, its scalar form (used by baselines and for carry
+// bookkeeping), and its RVV instruction forms (plain, masked, and
+// vector-scalar) so the generic scan kernels in scan.hpp / segmented.hpp can
+// be instantiated for +, max, min, and, or, xor over any element type — or
+// for user-defined operators (apps/bignum.hpp scans a carry-resolution
+// semigroup).
+//
+// ORIENTATION CONTRACT for non-commutative operators (scans fold left to
+// right, and the kernels pass operands in a fixed order):
+//   * scalar(a, b)            computes a ⊕ b with `a` the EARLIER value;
+//   * vv(a, b, vl)            computes b ⊕ a elementwise — the FIRST operand
+//                             is the later value (it is the running vector x
+//                             in the Hillis–Steele step x = x ⊕ slid(x));
+//   * vx(a, x, vl)            computes x ⊕ a[i] — the scalar is the earlier
+//                             value (the cross-block carry);
+//   * vv_m / vx_m             are the same with inactive elements taking
+//                             maskedoff.
+// All named operators below are commutative, so the orientation is only
+// observable for custom operators.
+#pragma once
+
+#include <limits>
+
+#include "rvv/rvv.hpp"
+
+namespace rvvsvm::svm {
+
+struct PlusOp {
+  static constexpr const char* name = "plus";
+  template <rvv::VectorElement T>
+  static constexpr T identity() noexcept { return T{0}; }
+  template <rvv::VectorElement T>
+  static T scalar(T a, T b) noexcept { return rvv::detail::wrap_add(a, b); }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv(const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                            std::size_t vl) {
+    return rvv::vadd(a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx(const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vadd(a, x, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                              std::size_t vl) {
+    return rvv::vadd_m(mask, maskedoff, a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vadd_m(mask, maskedoff, a, x, vl);
+  }
+};
+
+struct MulOp {
+  static constexpr const char* name = "mul";
+  template <rvv::VectorElement T>
+  static constexpr T identity() noexcept { return T{1}; }
+  template <rvv::VectorElement T>
+  static T scalar(T a, T b) noexcept { return rvv::detail::wrap_mul(a, b); }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv(const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                            std::size_t vl) {
+    return rvv::vmul(a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx(const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vmul(a, x, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                              std::size_t vl) {
+    return rvv::vmul_m(mask, maskedoff, a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vmul_m(mask, maskedoff, a, x, vl);
+  }
+};
+
+struct MaxOp {
+  static constexpr const char* name = "max";
+  template <rvv::VectorElement T>
+  static constexpr T identity() noexcept { return std::numeric_limits<T>::min(); }
+  template <rvv::VectorElement T>
+  static T scalar(T a, T b) noexcept { return a > b ? a : b; }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv(const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                            std::size_t vl) {
+    return rvv::vmax(a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx(const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vmax(a, x, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                              std::size_t vl) {
+    return rvv::vmax_m(mask, maskedoff, a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vmax_m(mask, maskedoff, a, x, vl);
+  }
+};
+
+struct MinOp {
+  static constexpr const char* name = "min";
+  template <rvv::VectorElement T>
+  static constexpr T identity() noexcept { return std::numeric_limits<T>::max(); }
+  template <rvv::VectorElement T>
+  static T scalar(T a, T b) noexcept { return a < b ? a : b; }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv(const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                            std::size_t vl) {
+    return rvv::vmin(a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx(const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vmin(a, x, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                              std::size_t vl) {
+    return rvv::vmin_m(mask, maskedoff, a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vmin_m(mask, maskedoff, a, x, vl);
+  }
+};
+
+struct OrOp {
+  static constexpr const char* name = "or";
+  template <rvv::VectorElement T>
+  static constexpr T identity() noexcept { return T{0}; }
+  template <rvv::VectorElement T>
+  static T scalar(T a, T b) noexcept { return static_cast<T>(a | b); }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv(const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                            std::size_t vl) {
+    return rvv::vor(a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx(const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vor(a, x, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                              std::size_t vl) {
+    return rvv::vor_m(mask, maskedoff, a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vor_m(mask, maskedoff, a, x, vl);
+  }
+};
+
+struct AndOp {
+  static constexpr const char* name = "and";
+  template <rvv::VectorElement T>
+  static constexpr T identity() noexcept { return static_cast<T>(~T{0}); }
+  template <rvv::VectorElement T>
+  static T scalar(T a, T b) noexcept { return static_cast<T>(a & b); }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv(const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                            std::size_t vl) {
+    return rvv::vand(a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx(const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vand(a, x, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                              std::size_t vl) {
+    return rvv::vand_m(mask, maskedoff, a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vand_m(mask, maskedoff, a, x, vl);
+  }
+};
+
+struct XorOp {
+  static constexpr const char* name = "xor";
+  template <rvv::VectorElement T>
+  static constexpr T identity() noexcept { return T{0}; }
+  template <rvv::VectorElement T>
+  static T scalar(T a, T b) noexcept { return static_cast<T>(a ^ b); }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv(const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                            std::size_t vl) {
+    return rvv::vxor(a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx(const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vxor(a, x, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vv_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, const rvv::vreg<T, L>& b,
+                              std::size_t vl) {
+    return rvv::vxor_m(mask, maskedoff, a, b, vl);
+  }
+  template <rvv::VectorElement T, unsigned L>
+  static rvv::vreg<T, L> vx_m(const rvv::vmask& mask, const rvv::vreg<T, L>& maskedoff,
+                              const rvv::vreg<T, L>& a, T x, std::size_t vl) {
+    return rvv::vxor_m(mask, maskedoff, a, x, vl);
+  }
+};
+
+}  // namespace rvvsvm::svm

@@ -1,0 +1,84 @@
+// Derived operations of the scan vector model (paper sections 4.4 and 5):
+// enumerate, get_flags, split, and index — the building blocks of the split
+// radix sort and of most Blelloch-style algorithms.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "svm/elementwise.hpp"
+#include "svm/permute_ops.hpp"
+
+namespace rvvsvm::svm {
+
+/// enumerate (paper Listing 8): dst[i] = number of positions j < i with
+/// flags[j] == set_bit; returns the total count of such positions.  The
+/// flags vector must contain only 0 and 1.  Maps to viota per block with the
+/// running count propagated through vcpop, exactly as the paper optimizes it.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+std::size_t enumerate(std::span<const T> flags, std::span<T> dst, bool set_bit) {
+  if (dst.size() < flags.size()) throw std::invalid_argument("enumerate: dst too small");
+  rvv::Machine& m = rvv::Machine::active();
+  T count{0};
+  detail::stripmine<T, LMUL>(flags.size(), /*pointer_bumps=*/2,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto v = rvv::vle<T, LMUL>(flags.subspan(pos), vl);
+                               const auto mask =
+                                   rvv::vmseq(v, set_bit ? T{1} : T{0}, vl);
+                               v = rvv::viota<T, LMUL>(mask, vl);
+                               v = rvv::vadd(v, count, vl);
+                               rvv::vse(dst.subspan(pos), v, vl);
+                               count = rvv::detail::wrap_add(
+                                   count, static_cast<T>(rvv::vcpop(mask, vl)));
+                               m.scalar().charge({.alu = 1});  // count += vcpop
+                             });
+  return static_cast<std::size_t>(count);
+}
+
+/// get_flags: flags[i] = bit `bit` of src[i] (the radix sort key probe).
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void get_flags(std::span<const T> src, std::span<T> flags, unsigned bit) {
+  if (flags.size() < src.size()) throw std::invalid_argument("get_flags: flags too small");
+  detail::stripmine<T, LMUL>(src.size(), /*pointer_bumps=*/2,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto v = rvv::vle<T, LMUL>(src.subspan(pos), vl);
+                               v = rvv::vsrl(v, static_cast<T>(bit), vl);
+                               v = rvv::vand(v, T{1}, vl);
+                               rvv::vse(flags.subspan(pos), v, vl);
+                             });
+}
+
+/// split (paper Listing 7 / Figure 3): stable-partitions src into dst by
+/// flag value — elements with flag 0 first (original order preserved),
+/// then elements with flag 1.  Returns the number of 0-flagged elements.
+/// `flags` must contain only 0 and 1.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+std::size_t split(std::span<const T> src, std::span<T> dst, std::span<const T> flags) {
+  const std::size_t n = src.size();
+  if (dst.size() < n || flags.size() < n) {
+    throw std::invalid_argument("split: operand size mismatch");
+  }
+  std::vector<T> i_down(n);  // destinations of 0-flagged elements
+  std::vector<T> i_up(n);    // destinations of 1-flagged elements
+  const std::size_t count = enumerate<T, LMUL>(flags, std::span<T>(i_down), false);
+  static_cast<void>(enumerate<T, LMUL>(flags, std::span<T>(i_up), true));
+  p_add<T, LMUL>(std::span<T>(i_up), static_cast<T>(count));
+  p_select<T, LMUL>(flags, std::span<const T>(i_up), std::span<T>(i_down));
+  permute<T, LMUL>(src, dst, std::span<const T>(i_down));
+  return count;
+}
+
+/// index (Blelloch's index instruction): dst[i] = start + i.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void index_fill(std::span<T> dst, std::type_identity_t<T> start = T{0}) {
+  detail::stripmine<T, LMUL>(dst.size(), /*pointer_bumps=*/1,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto v = rvv::vid<T, LMUL>(vl);
+                               v = rvv::vadd(v, rvv::detail::wrap_add(
+                                                    start, static_cast<T>(pos)),
+                                             vl);
+                               rvv::vse(dst.subspan(pos), v, vl);
+                             });
+}
+
+}  // namespace rvvsvm::svm

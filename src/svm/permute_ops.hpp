@@ -1,0 +1,103 @@
+// Permutation instructions of the scan vector model (paper section 4.2).
+//
+// permute scatters src[i] to dst[index[i]] with the indexed store (VSUXEI)
+// exactly as the paper's Listing 5; gather is its inverse (indexed load);
+// pack compresses flagged elements to the front of dst (vcompress).  All are
+// out-of-place: in-place permutation would create element dependences the
+// vector unit cannot honor (paper section 4.2).
+#pragma once
+
+#include <span>
+
+#include "svm/detail.hpp"
+
+namespace rvvsvm::svm {
+
+/// permute: dst[index[i]] = src[i].  `index` must be a permutation of
+/// [0, n) for a full permute; duplicate indices follow the ISA's
+/// unordered-scatter semantics (last writer in element order wins in this
+/// emulator, as on in-order implementations).
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void permute(std::span<const T> src, std::span<T> dst, std::span<const T> index) {
+  if (index.size() < src.size()) throw std::invalid_argument("permute: index too short");
+  detail::stripmine<T, LMUL>(src.size(), /*pointer_bumps=*/2,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto vs = rvv::vle<T, LMUL>(src.subspan(pos), vl);
+                               auto vi = rvv::vle<T, LMUL>(index.subspan(pos), vl);
+                               rvv::vsuxei(dst, vi, vs, vl);
+                             });
+}
+
+/// Masked permute: scatters only elements whose flag is non-zero.  Used by
+/// the split-and-segment building blocks.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void permute_masked(std::span<const T> src, std::span<T> dst,
+                    std::span<const T> index, std::span<const T> flags) {
+  if (index.size() < src.size() || flags.size() < src.size()) {
+    throw std::invalid_argument("permute_masked: operand size mismatch");
+  }
+  detail::stripmine<T, LMUL>(src.size(), /*pointer_bumps=*/3,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto vs = rvv::vle<T, LMUL>(src.subspan(pos), vl);
+                               auto vi = rvv::vle<T, LMUL>(index.subspan(pos), vl);
+                               auto vf = rvv::vle<T, LMUL>(flags.subspan(pos), vl);
+                               const auto mask = rvv::vmsne(vf, T{0}, vl);
+                               rvv::vsuxei_m(mask, dst, vi, vs, vl);
+                             });
+}
+
+/// gather (back-permute): dst[i] = src[index[i]] via the indexed load.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void gather(std::span<const T> src, std::span<T> dst, std::span<const T> index) {
+  if (index.size() < dst.size()) throw std::invalid_argument("gather: index too short");
+  detail::stripmine<T, LMUL>(dst.size(), /*pointer_bumps=*/2,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto vi = rvv::vle<T, LMUL>(index.subspan(pos), vl);
+                               auto vd = rvv::vluxei(src, vi, vl);
+                               rvv::vse(dst.subspan(pos), vd, vl);
+                             });
+}
+
+/// pack: moves the elements of src whose flag is non-zero, in order, to the
+/// front of dst.  Returns the number of packed elements.  Uses vcompress
+/// per block plus vcpop to advance the output cursor.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+[[nodiscard]] std::size_t pack(std::span<const T> src, std::span<T> dst,
+                               std::span<const T> flags) {
+  if (flags.size() < src.size()) throw std::invalid_argument("pack: flags too short");
+  rvv::Machine& m = rvv::Machine::active();
+  std::size_t out = 0;
+  detail::stripmine<T, LMUL>(src.size(), /*pointer_bumps=*/2,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto vs = rvv::vle<T, LMUL>(src.subspan(pos), vl);
+                               auto vf = rvv::vle<T, LMUL>(flags.subspan(pos), vl);
+                               const auto mask = rvv::vmsne(vf, T{0}, vl);
+                               const auto packed = rvv::vcompress(vs, mask, vl);
+                               const std::size_t k = rvv::vcpop(mask, vl);
+                               if (dst.size() < out + k) {
+                                 throw std::out_of_range("pack: destination too small");
+                               }
+                               rvv::vse(dst.subspan(out), packed, k);
+                               out += k;
+                               m.scalar().charge({.alu = 1});  // cursor bump
+                             });
+  return out;
+}
+
+/// reverse: dst[i] = src[n-1-i], built from vid + vrsub + indexed store —
+/// the standard scan-vector-model way to express a reversal as a permute.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void reverse(std::span<const T> src, std::span<T> dst) {
+  if (dst.size() < src.size()) throw std::invalid_argument("reverse: destination too small");
+  const std::size_t n = src.size();
+  detail::stripmine<T, LMUL>(n, /*pointer_bumps=*/1,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto vs = rvv::vle<T, LMUL>(src.subspan(pos), vl);
+                               auto vi = rvv::vid<T, LMUL>(vl);
+                               vi = rvv::vadd(vi, static_cast<T>(pos), vl);
+                               vi = rvv::vrsub(vi, static_cast<T>(n - 1), vl);
+                               rvv::vsuxei(dst, vi, vs, vl);
+                             });
+}
+
+}  // namespace rvvsvm::svm

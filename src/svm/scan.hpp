@@ -1,0 +1,126 @@
+// Unsegmented scan instructions (paper section 4.3).
+//
+// The kernels strip-mine the array and run a logarithmic in-register scan
+// per block (Figure 1 of the paper): lg(vl) slideup-and-combine steps, with
+// the identity splat rematerialized per step (vmv.v.x) the way a compiler
+// rematerializes constants instead of keeping them live.  A scalar carry
+// propagates the running total between blocks; as in the paper's Listing 6
+// it is re-read from memory after the block store (one scalar load + one
+// address op).
+//
+// scan_inclusive computes [a0, a0⊕a1, ...]; scan_exclusive computes
+// [I, a0, a0⊕a1, ...] with the identity I of the operator (Blelloch's
+// definitions).  Both operate in place and require an active MachineScope.
+#pragma once
+
+#include <span>
+
+#include "svm/detail.hpp"
+#include "svm/op_traits.hpp"
+
+namespace rvvsvm::svm {
+
+namespace detail {
+
+/// The in-register scan of Figure 1: after the call, x[i] holds the
+/// inclusive Op-scan of the block.  Charges lg(vl) slideup/combine pairs
+/// plus the inner-loop scalar bookkeeping.
+template <class Op, rvv::VectorElement T, unsigned LMUL>
+[[nodiscard]] rvv::vreg<T, LMUL> inregister_scan(rvv::Machine& m,
+                                                 rvv::vreg<T, LMUL> x,
+                                                 std::size_t vl) {
+  for (std::size_t offset = 1; offset < vl; offset <<= 1) {
+    auto y = rvv::vmv_v_x<T, LMUL>(Op::template identity<T>(), vl);
+    y = rvv::vslideup(y, x, offset, vl);
+    x = Op::vv(x, y, vl);
+    m.scalar().charge(sim::kInnerScanStep);
+  }
+  return x;
+}
+
+}  // namespace detail
+
+/// Inclusive Op-scan, in place.
+template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+void scan_inclusive(std::span<T> data) {
+  rvv::Machine& m = rvv::Machine::active();
+  T carry = Op::template identity<T>();
+  detail::stripmine<T, LMUL>(data.size(), /*pointer_bumps=*/1,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto x = rvv::vle<T, LMUL>(data.subspan(pos), vl);
+                               x = detail::inregister_scan<Op>(m, std::move(x), vl);
+                               x = Op::vx(x, carry, vl);
+                               rvv::vse(data.subspan(pos), x, vl);
+                               // carry = data[pos + vl - 1] (Listing 6 line 33)
+                               carry = data[pos + vl - 1];
+                               m.scalar().charge({.alu = 1, .load = 1});
+                             });
+}
+
+/// Exclusive Op-scan, in place: result[0] = I, result[i] = scan of a[0..i).
+/// The block result is derived from the in-register inclusive scan with a
+/// vslide1up that injects the incoming carry; the outgoing carry is read
+/// from the inclusive block tail with vslidedown + vmv.x.s so no extra
+/// memory traffic is needed.
+template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+void scan_exclusive(std::span<T> data) {
+  rvv::Machine& m = rvv::Machine::active();
+  T carry = Op::template identity<T>();
+  detail::stripmine<T, LMUL>(data.size(), /*pointer_bumps=*/1,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto x = rvv::vle<T, LMUL>(data.subspan(pos), vl);
+                               x = detail::inregister_scan<Op>(m, std::move(x), vl);
+                               const T block_total =
+                                   rvv::vmv_x_s(rvv::vslidedown(x, vl - 1, vl));
+                               auto ex = rvv::vslide1up(x, Op::template identity<T>(), vl);
+                               ex = Op::vx(ex, carry, vl);
+                               rvv::vse(data.subspan(pos), ex, vl);
+                               carry = Op::template scalar<T>(carry, block_total);
+                               m.scalar().charge({.alu = 1});
+                             });
+}
+
+/// The named forms of the paper and of Blelloch's model.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void plus_scan(std::span<T> data) { scan_inclusive<PlusOp, T, LMUL>(data); }
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void plus_scan_exclusive(std::span<T> data) { scan_exclusive<PlusOp, T, LMUL>(data); }
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void max_scan(std::span<T> data) { scan_inclusive<MaxOp, T, LMUL>(data); }
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void max_scan_exclusive(std::span<T> data) { scan_exclusive<MaxOp, T, LMUL>(data); }
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void min_scan(std::span<T> data) { scan_inclusive<MinOp, T, LMUL>(data); }
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void or_scan(std::span<T> data) { scan_inclusive<OrOp, T, LMUL>(data); }
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void and_scan(std::span<T> data) { scan_inclusive<AndOp, T, LMUL>(data); }
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void xor_scan(std::span<T> data) { scan_inclusive<XorOp, T, LMUL>(data); }
+
+/// Whole-array reduction via vredsum per block (the model's reduce
+/// instruction; also the total the enumerate operation returns).
+template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+[[nodiscard]] T reduce(std::span<const T> data) {
+  T acc = Op::template identity<T>();
+  detail::stripmine<T, LMUL>(data.size(), /*pointer_bumps=*/1,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto x = rvv::vle<T, LMUL>(data.subspan(pos), vl);
+                               if constexpr (std::is_same_v<Op, PlusOp>) {
+                                 acc = rvv::vredsum(x, vl, acc);
+                               } else if constexpr (std::is_same_v<Op, MaxOp>) {
+                                 acc = rvv::vredmax(x, vl, acc);
+                               } else if constexpr (std::is_same_v<Op, MinOp>) {
+                                 acc = rvv::vredmin(x, vl, acc);
+                               } else if constexpr (std::is_same_v<Op, OrOp>) {
+                                 acc = rvv::vredor(x, vl, acc);
+                               } else if constexpr (std::is_same_v<Op, AndOp>) {
+                                 acc = rvv::vredand(x, vl, acc);
+                               } else {
+                                 acc = rvv::vredxor(x, vl, acc);
+                               }
+                             });
+  return acc;
+}
+
+}  // namespace rvvsvm::svm

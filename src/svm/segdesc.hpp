@@ -1,0 +1,110 @@
+// Segment descriptors (paper section 5, after Blelloch).
+//
+// A segmented vector is an ordinary data vector plus a description of where
+// segments begin.  Blelloch lists three equivalent descriptors: head-flags,
+// lengths, and head-pointers.  The RVV kernels consume head-flags (they map
+// directly onto mask instructions); this module provides the descriptor
+// round-trips so callers can work in whichever form their algorithm
+// produces.  All conversions are vectorized with the model's own primitives
+// so they are counted like any other kernel.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "svm/ops.hpp"
+#include "svm/scan.hpp"
+
+namespace rvvsvm::svm {
+
+/// Validates that `head_flags` is a well-formed 0/1 descriptor for an
+/// n-element vector.  (Element 0 is a segment head regardless of its flag;
+/// kernels plant it themselves.)
+template <rvv::VectorElement T>
+void validate_head_flags(std::span<const T> head_flags) {
+  for (const T f : head_flags) {
+    if (f != T{0} && f != T{1}) {
+      throw std::invalid_argument("head_flags must contain only 0 and 1");
+    }
+  }
+}
+
+/// lengths -> head-flags: a descriptor [3, 2, 4] over 9 elements becomes
+/// flags 1,0,0,1,0,1,0,0,0.  Vectorized as an exclusive plus-scan of the
+/// lengths (giving each segment's start offset) followed by a scatter of
+/// ones.  Zero-length segments are rejected: head-flags cannot express them.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void lengths_to_head_flags(std::span<const T> lengths, std::span<T> head_flags) {
+  for (const T len : lengths) {
+    if (len == T{0}) {
+      throw std::invalid_argument("lengths_to_head_flags: zero-length segment");
+    }
+  }
+  std::vector<T> starts(lengths.begin(), lengths.end());
+  plus_scan_exclusive<T, LMUL>(std::span<T>(starts));
+  // head_flags = 0 everywhere, then 1 scattered at each start.
+  detail::stripmine<T, LMUL>(head_flags.size(), /*pointer_bumps=*/1,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto z = rvv::vmv_v_x<T, LMUL>(T{0}, vl);
+                               rvv::vse(head_flags.subspan(pos), z, vl);
+                             });
+  detail::stripmine<T, LMUL>(starts.size(), /*pointer_bumps=*/1,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto vi = rvv::vle<T, LMUL>(
+                                   std::span<const T>(starts).subspan(pos), vl);
+                               auto ones = rvv::vmv_v_x<T, LMUL>(T{1}, vl);
+                               rvv::vsuxei(head_flags, vi, ones, vl);
+                             });
+}
+
+/// head-flags -> head-pointers (segment start indices).  Returns the number
+/// of segments.  Vectorized as a pack of the index vector by the flags.
+/// Element 0 is always reported as a head.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+std::size_t head_flags_to_pointers(std::span<const T> head_flags, std::span<T> pointers) {
+  const std::size_t n = head_flags.size();
+  if (n == 0) return 0;
+  std::vector<T> flags(head_flags.begin(), head_flags.end());
+  flags[0] = T{1};
+  std::vector<T> indices(n);
+  index_fill<T, LMUL>(std::span<T>(indices));
+  return pack<T, LMUL>(std::span<const T>(indices), pointers,
+                       std::span<const T>(flags));
+}
+
+/// head-pointers -> lengths for an n-element vector: the adjacent
+/// differences of the pointers with n as the final sentinel.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void pointers_to_lengths(std::span<const T> pointers, std::size_t n,
+                         std::span<T> lengths) {
+  const std::size_t s = pointers.size();
+  if (lengths.size() < s) throw std::invalid_argument("pointers_to_lengths: lengths too small");
+  if (s == 0) return;
+  // lengths[i] = next_start[i] - start[i]: slide the loaded starts down by
+  // one and inject the following block's first start (or the sentinel n).
+  rvv::Machine& m = rvv::Machine::active();
+  detail::stripmine<T, LMUL>(s, /*pointer_bumps=*/2,
+                             [&](std::size_t pos, std::size_t vl) {
+                               auto starts = rvv::vle<T, LMUL>(pointers.subspan(pos), vl);
+                               const T tail = (pos + vl < s)
+                                                  ? pointers[pos + vl]
+                                                  : static_cast<T>(n);
+                               m.scalar().charge({.load = 1, .branch = 1});
+                               const auto nexts = rvv::vslide1down(starts, tail, vl);
+                               const auto len = rvv::vsub(nexts, starts, vl);
+                               rvv::vse(lengths.subspan(pos), len, vl);
+                             });
+}
+
+/// head-flags -> lengths.  Returns the number of segments.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+std::size_t head_flags_to_lengths(std::span<const T> head_flags, std::span<T> lengths) {
+  const std::size_t n = head_flags.size();
+  std::vector<T> pointers(n);
+  const std::size_t segs = head_flags_to_pointers<T, LMUL>(head_flags, std::span<T>(pointers));
+  pointers_to_lengths<T, LMUL>(std::span<const T>(pointers).first(segs), n, lengths);
+  return segs;
+}
+
+}  // namespace rvvsvm::svm

@@ -1,0 +1,20 @@
+// Umbrella header for the scan vector model library — the paper's primary
+// contribution.  All kernels run on the thread's active rvv::Machine (see
+// rvv::MachineScope) and report dynamic instruction counts to it.
+//
+//   rvv::Machine machine({.vlen_bits = 1024});
+//   rvv::MachineScope scope(machine);
+//   std::vector<uint32_t> v = ...;
+//   svm::plus_scan<uint32_t>(v);                 // LMUL=1
+//   svm::plus_scan<uint32_t, 4>(v);              // LMUL=4 (section 6.3)
+#pragma once
+
+#include "svm/elementwise.hpp"  // IWYU pragma: export
+#include "svm/lmul_advisor.hpp" // IWYU pragma: export
+#include "svm/op_traits.hpp"    // IWYU pragma: export
+#include "svm/ops.hpp"          // IWYU pragma: export
+#include "svm/permute_ops.hpp"  // IWYU pragma: export
+#include "svm/scan.hpp"         // IWYU pragma: export
+#include "svm/seg_ops.hpp"      // IWYU pragma: export
+#include "svm/segdesc.hpp"      // IWYU pragma: export
+#include "svm/segmented.hpp"    // IWYU pragma: export

@@ -1,0 +1,201 @@
+// Tests for carry-lookahead bignum addition — including adversarial carry
+// chains and the non-commutative operator orientation of the generic scans.
+#include <gtest/gtest.h>
+
+#include "apps/bignum.hpp"
+#include "svm/lmul_advisor.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using T = std::uint32_t;
+
+class BignumTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+
+  static std::pair<std::vector<T>, T> ref_add(const std::vector<T>& a,
+                                              const std::vector<T>& b) {
+    std::vector<T> out(a.size());
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const std::uint64_t s = static_cast<std::uint64_t>(a[i]) + b[i] + carry;
+      out[i] = static_cast<T>(s);
+      carry = s >> 32;
+    }
+    return {out, static_cast<T>(carry)};
+  }
+
+  void check(const std::vector<T>& a, const std::vector<T>& b) {
+    const auto [expect, expect_carry] = ref_add(a, b);
+    std::vector<T> out(a.size());
+    const T carry = apps::bignum_add<1>(std::span<const T>(a), std::span<const T>(b),
+                                        std::span<T>(out));
+    ASSERT_EQ(out, expect);
+    ASSERT_EQ(carry, expect_carry);
+  }
+};
+
+TEST_F(BignumTest, RandomLimbsAllSizes) {
+  for (const std::size_t n : test::boundary_sizes(machine.vlmax<T>())) {
+    if (n == 0) continue;
+    check(test::random_vector<T>(n, static_cast<std::uint32_t>(n) + 80),
+          test::random_vector<T>(n, static_cast<std::uint32_t>(n) + 81));
+  }
+}
+
+TEST_F(BignumTest, CarryChainAcrossEverything) {
+  // 0xFFFF...F + 1: the carry generated in limb 0 must propagate through
+  // dozens of all-ones limbs, across strip-mine block boundaries.
+  const std::size_t n = 3 * machine.vlmax<T>() + 5;
+  std::vector<T> a(n, ~T{0});
+  std::vector<T> b(n, 0);
+  b[0] = 1;
+  const auto [expect, expect_carry] = ref_add(a, b);
+  std::vector<T> out(n);
+  const T carry = apps::bignum_add<1>(std::span<const T>(a), std::span<const T>(b),
+                                      std::span<T>(out));
+  EXPECT_EQ(out, expect);
+  EXPECT_EQ(carry, 1u);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], 0u) << i;
+}
+
+TEST_F(BignumTest, PropagateRunsInterruptedByKills) {
+  // Alternating generate / kill / long propagate runs.
+  std::vector<T> a{~T{0}, ~T{0}, 5, ~T{0}, ~T{0}, ~T{0}, 1};
+  std::vector<T> b{1, 0, 3, 0, 0, 0, 1};
+  check(a, b);
+}
+
+TEST_F(BignumTest, NoCarriesAtAll) {
+  check({1, 2, 3}, {4, 5, 6});
+}
+
+TEST_F(BignumTest, CarryOutOnlyFromLastLimb) {
+  check({0, 0, ~T{0}}, {0, 0, 1});
+}
+
+TEST_F(BignumTest, SingleLimb) {
+  check({~T{0}}, {~T{0}});
+  check({0}, {0});
+}
+
+TEST_F(BignumTest, MatchesBaselineEverywhere) {
+  for (const unsigned seed : {90u, 91u, 92u}) {
+    const auto a = test::random_vector<T>(777, seed);
+    // Bias b towards all-ones limbs to force long propagate chains.
+    auto b = test::random_vector<T>(777, seed + 10);
+    for (std::size_t i = 0; i < b.size(); i += 3) b[i] = ~T{0};
+    std::vector<T> scan_out(777), ripple_out(777);
+    const T c1 = apps::bignum_add<1>(std::span<const T>(a), std::span<const T>(b),
+                                     std::span<T>(scan_out));
+    const T c2 = apps::bignum_add_baseline(std::span<const T>(a),
+                                           std::span<const T>(b),
+                                           std::span<T>(ripple_out));
+    EXPECT_EQ(scan_out, ripple_out);
+    EXPECT_EQ(c1, c2);
+  }
+}
+
+TEST_F(BignumTest, WorksAtEveryLmul) {
+  const auto a = test::random_vector<T>(500, 95);
+  auto b = test::random_vector<T>(500, 96);
+  for (std::size_t i = 0; i < b.size(); i += 2) b[i] = ~T{0};
+  const auto [expect, expect_carry] = ref_add(a, b);
+  std::vector<T> o2(500), o4(500), o8(500);
+  EXPECT_EQ(apps::bignum_add<2>(std::span<const T>(a), std::span<const T>(b),
+                                std::span<T>(o2)),
+            expect_carry);
+  EXPECT_EQ(apps::bignum_add<4>(std::span<const T>(a), std::span<const T>(b),
+                                std::span<T>(o4)),
+            expect_carry);
+  EXPECT_EQ(apps::bignum_add<8>(std::span<const T>(a), std::span<const T>(b),
+                                std::span<T>(o8)),
+            expect_carry);
+  EXPECT_EQ(o2, expect);
+  EXPECT_EQ(o4, expect);
+  EXPECT_EQ(o8, expect);
+}
+
+TEST(CarryOp, MonoidLaws) {
+  using Op = apps::CarryOp;
+  const T states[] = {Op::kKill<T>, Op::kPropagate<T>, Op::kGenerate<T>};
+  const T e = Op::identity<T>();
+  for (const T x : states) {
+    EXPECT_EQ(Op::scalar(e, x), x);  // left identity
+    EXPECT_EQ(Op::scalar(x, e), x);  // right identity
+  }
+  for (const T x : states) {
+    for (const T y : states) {
+      for (const T z : states) {
+        EXPECT_EQ(Op::scalar(Op::scalar(x, y), z), Op::scalar(x, Op::scalar(y, z)));
+      }
+    }
+  }
+  // Non-commutative: K then G resolves G; G then K resolves K.
+  EXPECT_NE(Op::scalar(Op::kKill<T>, Op::kGenerate<T>),
+            Op::scalar(Op::kGenerate<T>, Op::kKill<T>));
+}
+
+// --- saturating arithmetic ---------------------------------------------------
+
+TEST(Saturating, UnsignedClamps) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  const std::vector<T> a{0xFFFFFFF0u, 5, 3};
+  const std::vector<T> b{0x100u, 2, 7};
+  const auto va = rvv::vle<T>(std::span<const T>(a), 3);
+  const auto vb = rvv::vle<T>(std::span<const T>(b), 3);
+  const auto s = rvv::vsadd(va, vb, 3);
+  EXPECT_EQ(s[0], 0xFFFFFFFFu);  // clamped
+  EXPECT_EQ(s[1], 7u);
+  const auto d = rvv::vssub(va, vb, 3);
+  EXPECT_EQ(d[2], 0u);  // 3 - 7 clamps to 0
+  EXPECT_EQ(d[1], 3u);
+}
+
+TEST(Saturating, SignedClampsBothWays) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  using S = std::int32_t;
+  const std::vector<S> a{2000000000, -2000000000, 5};
+  const std::vector<S> b{2000000000, -2000000000, -3};
+  const auto va = rvv::vle<S>(std::span<const S>(a), 3);
+  const auto vb = rvv::vle<S>(std::span<const S>(b), 3);
+  const auto s = rvv::vsadd(va, vb, 3);
+  EXPECT_EQ(s[0], std::numeric_limits<S>::max());
+  EXPECT_EQ(s[1], std::numeric_limits<S>::min());
+  EXPECT_EQ(s[2], 2);
+  const auto d = rvv::vssub(va, vb, 3);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[2], 8);
+}
+
+// --- LMUL advisor -------------------------------------------------------------
+
+TEST(LmulAdvisor, MatchesKernelSweetSpots) {
+  // p-add: 1 live value -> LMUL 8.
+  const auto padd = svm::recommend_lmul<T>(100000, 1024, 1);
+  EXPECT_EQ(padd.lmul, 8u);
+  EXPECT_FALSE(padd.spills_unavoidable);
+  // unsegmented scan: 3 live values -> still LMUL 8 (just fits).
+  EXPECT_EQ(svm::recommend_lmul<T>(100000, 1024, 3).lmul, 8u);
+  // segmented scan: ~6 live values -> LMUL 4, the measured Table 5 winner.
+  EXPECT_EQ(svm::recommend_lmul<T>(100000, 1024, 6).lmul, 4u);
+  // 8..15 live values -> LMUL 2; 16..31 -> LMUL 1.
+  EXPECT_EQ(svm::recommend_lmul<T>(1000, 1024, 10).lmul, 2u);
+  EXPECT_EQ(svm::recommend_lmul<T>(1000, 1024, 20).lmul, 1u);
+  // Beyond 31 live values nothing fits.
+  EXPECT_TRUE(svm::recommend_lmul<T>(1000, 1024, 40).spills_unavoidable);
+}
+
+TEST(LmulAdvisor, IterationCount) {
+  const auto a = svm::recommend_lmul<T>(1000, 1024, 1);  // vlmax = 256 at m8
+  EXPECT_EQ(a.iterations, 4u);
+  const auto b = svm::recommend_lmul<T>(1000, 1024, 6);  // vlmax = 128 at m4
+  EXPECT_EQ(b.iterations, 8u);
+}
+
+}  // namespace

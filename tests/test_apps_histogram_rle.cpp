@@ -1,0 +1,162 @@
+// Tests for the histogram and run-length-encoding applications, plus the
+// width-conversion primitives they depend on (p_convert / vext / vnsrl).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/histogram.hpp"
+#include "apps/rle.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_vector;
+using T = std::uint32_t;
+
+class HistRleTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+};
+
+TEST_F(HistRleTest, HistogramMatchesMapCount) {
+  const std::size_t bins = 64;
+  const auto keys = random_vector<T>(5000, 70, bins);
+  std::vector<T> hist(bins);
+  apps::histogram<T>(std::span<const T>(keys), std::span<T>(hist));
+  std::map<T, T> expect;
+  for (const T k : keys) ++expect[k];
+  for (std::size_t b = 0; b < bins; ++b) {
+    const auto it = expect.find(static_cast<T>(b));
+    ASSERT_EQ(hist[b], it == expect.end() ? 0u : it->second) << b;
+  }
+}
+
+TEST_F(HistRleTest, HistogramCountsSumToN) {
+  const auto keys = random_vector<T>(977, 71, 10);
+  std::vector<T> hist(10);
+  apps::histogram<T>(std::span<const T>(keys), std::span<T>(hist));
+  T sum = 0;
+  for (const T c : hist) sum += c;
+  EXPECT_EQ(sum, 977u);
+}
+
+TEST_F(HistRleTest, HistogramSingleBinAndEmpty) {
+  const std::vector<T> keys(100, 0);
+  std::vector<T> hist(1, 99);
+  apps::histogram<T>(std::span<const T>(keys), std::span<T>(hist));
+  EXPECT_EQ(hist[0], 100u);
+  std::vector<T> hist2(4, 99);
+  apps::histogram<T>(std::span<const T>(), std::span<T>(hist2));
+  EXPECT_EQ(hist2, (std::vector<T>{0, 0, 0, 0}));
+}
+
+TEST_F(HistRleTest, HistogramNonPowerOfTwoBins) {
+  const auto keys = random_vector<T>(3000, 72, 100);
+  std::vector<T> hist(100);
+  apps::histogram<T>(std::span<const T>(keys), std::span<T>(hist));
+  std::vector<T> expect(100, 0);
+  for (const T k : keys) ++expect[k];
+  EXPECT_EQ(hist, expect);
+}
+
+std::vector<T> ref_decode(const apps::RunLength<T>& rl) {
+  std::vector<T> out;
+  for (std::size_t r = 0; r < rl.runs(); ++r) {
+    out.insert(out.end(), rl.lengths[r], rl.values[r]);
+  }
+  return out;
+}
+
+TEST_F(HistRleTest, RleRoundTrip) {
+  // Runs of random lengths.
+  std::mt19937 rng(73);
+  std::vector<T> data;
+  for (int r = 0; r < 60; ++r) {
+    const T v = static_cast<T>(rng() % 10);
+    const std::size_t len = 1 + static_cast<std::size_t>(rng() % 20);
+    data.insert(data.end(), len, v);
+  }
+  const auto rl = apps::rle_encode<T>(std::span<const T>(data));
+  EXPECT_EQ(rl.decoded_size(), data.size());
+  std::vector<T> decoded(data.size());
+  apps::rle_decode<T>(rl, std::span<T>(decoded));
+  EXPECT_EQ(decoded, data);
+}
+
+TEST_F(HistRleTest, RleEncodeMergesAdjacentEqualRuns) {
+  const std::vector<T> data{7, 7, 7, 3, 3, 7};
+  const auto rl = apps::rle_encode<T>(std::span<const T>(data));
+  EXPECT_EQ(rl.values, (std::vector<T>{7, 3, 7}));
+  EXPECT_EQ(rl.lengths, (std::vector<T>{3, 2, 1}));
+}
+
+TEST_F(HistRleTest, RleAllDistinctAndAllEqual) {
+  const std::vector<T> distinct{1, 2, 3, 4};
+  const auto rl1 = apps::rle_encode<T>(std::span<const T>(distinct));
+  EXPECT_EQ(rl1.values, distinct);
+  EXPECT_EQ(rl1.lengths, (std::vector<T>{1, 1, 1, 1}));
+
+  const std::vector<T> equal(37, 9);
+  const auto rl2 = apps::rle_encode<T>(std::span<const T>(equal));
+  EXPECT_EQ(rl2.values, (std::vector<T>{9}));
+  EXPECT_EQ(rl2.lengths, (std::vector<T>{37}));
+  EXPECT_EQ(ref_decode(rl2), equal);
+}
+
+TEST_F(HistRleTest, RleEmpty) {
+  const auto rl = apps::rle_encode<T>(std::span<const T>());
+  EXPECT_EQ(rl.runs(), 0u);
+  std::vector<T> out;
+  apps::rle_decode<T>(rl, std::span<T>(out));
+}
+
+TEST_F(HistRleTest, RleRunsSpanningBlocks) {
+  const std::size_t vl = machine.vlmax<T>();
+  std::vector<T> data(vl * 3, 5);
+  data.insert(data.end(), vl * 2, 6);
+  const auto rl = apps::rle_encode<T>(std::span<const T>(data));
+  EXPECT_EQ(rl.values, (std::vector<T>{5, 6}));
+  EXPECT_EQ(rl.lengths[0], vl * 3);
+  std::vector<T> decoded(data.size());
+  apps::rle_decode<T>(rl, std::span<T>(decoded));
+  EXPECT_EQ(decoded, data);
+}
+
+// --- width conversions -------------------------------------------------------
+
+TEST_F(HistRleTest, PConvertWidensAndNarrows) {
+  const auto narrow = random_vector<std::uint8_t>(300, 74);
+  std::vector<std::uint32_t> wide(300);
+  svm::p_convert<std::uint8_t, std::uint32_t>(std::span<const std::uint8_t>(narrow),
+                                              std::span<std::uint32_t>(wide));
+  for (std::size_t i = 0; i < 300; ++i) ASSERT_EQ(wide[i], narrow[i]) << i;
+  std::vector<std::uint8_t> back(300);
+  svm::p_convert<std::uint32_t, std::uint8_t>(std::span<const std::uint32_t>(wide),
+                                              std::span<std::uint8_t>(back));
+  EXPECT_EQ(back, narrow);
+}
+
+TEST_F(HistRleTest, PConvertNarrowingTruncates) {
+  const std::vector<std::uint32_t> wide{0x1FF, 0x100, 0xAB};
+  std::vector<std::uint8_t> narrow(3);
+  svm::p_convert<std::uint32_t, std::uint8_t>(std::span<const std::uint32_t>(wide),
+                                              std::span<std::uint8_t>(narrow));
+  EXPECT_EQ(narrow, (std::vector<std::uint8_t>{0xFF, 0x00, 0xAB}));
+}
+
+TEST_F(HistRleTest, VextSignExtendsSignedTargets) {
+  const std::vector<std::int8_t> s{-1, 5, -128};
+  const auto v = rvv::vle<std::int8_t>(std::span<const std::int8_t>(s), 3);
+  const auto w = rvv::vext<std::int32_t>(v, 3);
+  EXPECT_EQ(w[0], -1);
+  EXPECT_EQ(w[1], 5);
+  EXPECT_EQ(w[2], -128);
+  const std::vector<std::uint8_t> u{0xFF};
+  const auto vu = rvv::vle<std::uint8_t>(std::span<const std::uint8_t>(u), 1);
+  const auto wu = rvv::vext<std::uint32_t>(vu, 1);
+  EXPECT_EQ(wu[0], 0xFFu);  // zero extension for unsigned targets
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Tests for the remaining applications: sparse matrix-vector product,
+// line-of-sight, and stream compaction.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "apps/compact.hpp"
+#include "apps/line_of_sight.hpp"
+#include "apps/spmv.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_vector;
+using T = std::uint32_t;
+
+class AppsTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+};
+
+apps::CsrMatrix<T> make_matrix(std::size_t rows, std::size_t cols, double density,
+                               std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution occ(density);
+  apps::CsrMatrix<T> m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.push_back(0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (occ(rng)) {
+        m.col_idx.push_back(static_cast<T>(c));
+        m.values.push_back(static_cast<T>(rng() % 50));
+      }
+    }
+    m.row_ptr.push_back(static_cast<T>(m.col_idx.size()));
+  }
+  m.validate();
+  return m;
+}
+
+std::vector<T> ref_spmv(const apps::CsrMatrix<T>& a, const std::vector<T>& x) {
+  std::vector<T> y(a.rows, 0);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    for (T k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      y[r] += a.values[k] * x[a.col_idx[k]];
+    }
+  }
+  return y;
+}
+
+TEST_F(AppsTest, SpmvMatchesScalarReference) {
+  const auto a = make_matrix(100, 80, 0.1, 1);
+  const auto x = random_vector<T>(80, 2, 1000);
+  std::vector<T> y(100);
+  apps::spmv<T>(a, std::span<const T>(x), std::span<T>(y));
+  EXPECT_EQ(y, ref_spmv(a, x));
+}
+
+TEST_F(AppsTest, SpmvHandlesEmptyRows) {
+  apps::CsrMatrix<T> a;
+  a.rows = 5;
+  a.cols = 3;
+  // Rows 0, 2, 4 empty; rows 1 and 3 have entries.
+  a.row_ptr = {0, 0, 2, 2, 3, 3};
+  a.col_idx = {0, 2, 1};
+  a.values = {10, 20, 30};
+  a.validate();
+  const std::vector<T> x{1, 2, 3};
+  std::vector<T> y(5, 99);
+  apps::spmv<T>(a, std::span<const T>(x), std::span<T>(y));
+  EXPECT_EQ(y, (std::vector<T>{0, 10 * 1 + 20 * 3, 0, 30 * 2, 0}));
+}
+
+TEST_F(AppsTest, SpmvLeadingEmptyRow) {
+  apps::CsrMatrix<T> a;
+  a.rows = 2;
+  a.cols = 2;
+  a.row_ptr = {0, 0, 1};
+  a.col_idx = {1};
+  a.values = {7};
+  a.validate();
+  const std::vector<T> x{5, 6};
+  std::vector<T> y(2);
+  apps::spmv<T>(a, std::span<const T>(x), std::span<T>(y));
+  EXPECT_EQ(y, (std::vector<T>{0, 42}));
+}
+
+TEST_F(AppsTest, SpmvAllEmpty) {
+  apps::CsrMatrix<T> a;
+  a.rows = 4;
+  a.cols = 4;
+  a.row_ptr = {0, 0, 0, 0, 0};
+  a.validate();
+  const std::vector<T> x(4, 1);
+  std::vector<T> y(4, 99);
+  apps::spmv<T>(a, std::span<const T>(x), std::span<T>(y));
+  EXPECT_EQ(y, (std::vector<T>{0, 0, 0, 0}));
+}
+
+TEST_F(AppsTest, SpmvIdentityMatrix) {
+  apps::CsrMatrix<T> a;
+  a.rows = a.cols = 6;
+  a.row_ptr.push_back(0);
+  for (T i = 0; i < 6; ++i) {
+    a.col_idx.push_back(i);
+    a.values.push_back(1);
+    a.row_ptr.push_back(i + 1);
+  }
+  a.validate();
+  const auto x = random_vector<T>(6, 3, 100);
+  std::vector<T> y(6);
+  apps::spmv<T>(a, std::span<const T>(x), std::span<T>(y));
+  EXPECT_EQ(y, x);
+}
+
+TEST_F(AppsTest, SpmvWideMatrixAcrossBlocks) {
+  const auto a = make_matrix(300, 200, 0.05, 4);
+  const auto x = random_vector<T>(200, 5, 1000);
+  std::vector<T> y(300);
+  apps::spmv<T>(a, std::span<const T>(x), std::span<T>(y));
+  EXPECT_EQ(y, ref_spmv(a, x));
+}
+
+TEST_F(AppsTest, CsrValidationCatchesCorruption) {
+  auto a = make_matrix(10, 10, 0.2, 6);
+  auto bad = a;
+  bad.row_ptr[3] = bad.row_ptr[4] + 1;  // non-monotone
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  auto bad2 = a;
+  if (!bad2.col_idx.empty()) {
+    bad2.col_idx[0] = 100;  // out of range
+    EXPECT_THROW(bad2.validate(), std::invalid_argument);
+  }
+}
+
+std::vector<std::int64_t> ref_los(const std::vector<std::int64_t>& alt) {
+  std::vector<std::int64_t> vis(alt.size(), 0);
+  if (alt.empty()) return vis;
+  vis[0] = 1;
+  std::int64_t best = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t i = 1; i < alt.size(); ++i) {
+    const std::int64_t slope =
+        (alt[i] - alt[0]) * apps::kSlopeScale / static_cast<std::int64_t>(i);
+    vis[i] = slope > best ? 1 : 0;
+    best = std::max(best, slope);
+  }
+  return vis;
+}
+
+TEST_F(AppsTest, LineOfSightMatchesScalarReference) {
+  std::mt19937 rng(7);
+  std::vector<std::int64_t> alt(500);
+  for (auto& a : alt) a = static_cast<std::int64_t>(rng() % 1000) - 300;
+  std::vector<std::int64_t> vis(alt.size());
+  apps::line_of_sight(std::span<const std::int64_t>(alt), std::span<std::int64_t>(vis));
+  EXPECT_EQ(vis, ref_los(alt));
+}
+
+TEST_F(AppsTest, ConvexDescentSeesEverything) {
+  // alt(i) = (N - i)^2 is convex: every chord from the observer lies above
+  // the terrain between, so every point is visible.  (A *concave* descent
+  // is the opposite: the nearest crest hides everything behind it.)
+  constexpr std::int64_t kPoints = 64;
+  std::vector<std::int64_t> alt(kPoints);
+  for (std::int64_t i = 0; i < kPoints; ++i) alt[static_cast<std::size_t>(i)] = (kPoints - i) * (kPoints - i);
+  std::vector<std::int64_t> vis(alt.size());
+  apps::line_of_sight(std::span<const std::int64_t>(alt), std::span<std::int64_t>(vis));
+  for (std::size_t i = 0; i < vis.size(); ++i) EXPECT_EQ(vis[i], 1) << i;
+}
+
+TEST_F(AppsTest, LineOfSightWallBlocks) {
+  std::vector<std::int64_t> alt(32, 10);
+  alt[5] = 1000;  // a wall
+  std::vector<std::int64_t> vis(alt.size());
+  apps::line_of_sight(std::span<const std::int64_t>(alt), std::span<std::int64_t>(vis));
+  EXPECT_EQ(vis[5], 1);
+  for (std::size_t i = 6; i < vis.size(); ++i) EXPECT_EQ(vis[i], 0) << i;
+}
+
+TEST_F(AppsTest, LineOfSightTinyInputs) {
+  std::vector<std::int64_t> empty;
+  apps::line_of_sight(std::span<const std::int64_t>(empty),
+                      std::span<std::int64_t>(empty));
+  std::vector<std::int64_t> one{5};
+  std::vector<std::int64_t> vis1(1);
+  apps::line_of_sight(std::span<const std::int64_t>(one), std::span<std::int64_t>(vis1));
+  EXPECT_EQ(vis1[0], 1);
+}
+
+TEST_F(AppsTest, CompactGreaterKeepsOrder) {
+  const auto src = random_vector<T>(400, 8, 100);
+  std::vector<T> dst(400);
+  const std::size_t kept =
+      apps::compact_greater<T>(std::span<const T>(src), std::span<T>(dst), 50u);
+  std::vector<T> expect;
+  for (const T v : src) {
+    if (v > 50u) expect.push_back(v);
+  }
+  EXPECT_EQ(kept, expect.size());
+  EXPECT_EQ(std::vector<T>(dst.begin(), dst.begin() + static_cast<long>(kept)), expect);
+}
+
+TEST_F(AppsTest, PartitionByThreshold) {
+  const auto src = random_vector<T>(200, 9, 100);
+  std::vector<T> dst(200);
+  const std::size_t boundary =
+      apps::partition_by_threshold<T>(std::span<const T>(src), std::span<T>(dst), 30u);
+  for (std::size_t i = 0; i < boundary; ++i) EXPECT_LE(dst[i], 30u) << i;
+  for (std::size_t i = boundary; i < dst.size(); ++i) EXPECT_GT(dst[i], 30u) << i;
+  EXPECT_TRUE(std::is_permutation(dst.begin(), dst.end(), src.begin()));
+}
+
+}  // namespace

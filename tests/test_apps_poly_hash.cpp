@@ -1,0 +1,126 @@
+// Tests for polynomial hashing (multiply-scan) and the MulOp trait.
+#include <gtest/gtest.h>
+
+#include "apps/poly_hash.hpp"
+#include "svm/scan.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using T = std::uint32_t;
+
+class PolyHashTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+
+  static T ref_hash(const std::vector<T>& data, T base) {
+    T h = 0, p = 1;
+    for (const T v : data) {
+      h += v * p;
+      p *= base;
+    }
+    return h;
+  }
+};
+
+TEST_F(PolyHashTest, MatchesHornerReference) {
+  for (const std::size_t n : test::boundary_sizes(machine.vlmax<T>())) {
+    const auto data = test::random_vector<T>(n, static_cast<std::uint32_t>(n) + 60);
+    const T expect = ref_hash(data, 31u);
+    EXPECT_EQ((apps::poly_hash<T>(std::span<const T>(data), 31u)), expect) << n;
+  }
+}
+
+TEST_F(PolyHashTest, MatchesCountedBaseline) {
+  const auto data = test::random_vector<T>(1234, 61);
+  EXPECT_EQ((apps::poly_hash<T>(std::span<const T>(data), 1000003u)),
+            (apps::poly_hash_baseline<T>(std::span<const T>(data), 1000003u)));
+}
+
+TEST_F(PolyHashTest, DistinguishesPermutations) {
+  // Position-dependence: a permuted input must (generically) hash different.
+  const std::vector<T> a{1, 2, 3, 4};
+  const std::vector<T> b{4, 3, 2, 1};
+  EXPECT_NE((apps::poly_hash<T>(std::span<const T>(a), 31u)),
+            (apps::poly_hash<T>(std::span<const T>(b), 31u)));
+}
+
+TEST_F(PolyHashTest, EmptyIsZero) {
+  EXPECT_EQ((apps::poly_hash<T>(std::span<const T>(), 31u)), 0u);
+}
+
+TEST_F(PolyHashTest, SegmentedHashEqualsPerSegmentHash) {
+  const std::size_t n = 500;
+  const auto data = test::random_vector<T>(n, 62);
+  const auto flags = test::random_flags<T>(n, 63, 0.05);
+  std::vector<T> hashes(n);
+  const std::size_t segs = apps::seg_poly_hash<T>(std::span<const T>(data),
+                                                  std::span<const T>(flags), 131u,
+                                                  std::span<T>(hashes));
+  // Reference: hash each segment independently.
+  std::vector<T> expect;
+  std::size_t s = 0;
+  while (s < n) {
+    std::size_t e = s + 1;
+    while (e < n && flags[e] == 0) ++e;
+    expect.push_back(ref_hash(std::vector<T>(data.begin() + static_cast<long>(s),
+                                             data.begin() + static_cast<long>(e)),
+                              131u));
+    s = e;
+  }
+  ASSERT_EQ(segs, expect.size());
+  EXPECT_EQ(std::vector<T>(hashes.begin(), hashes.begin() + static_cast<long>(segs)),
+            expect);
+}
+
+TEST_F(PolyHashTest, SegmentedAcrossBlocks) {
+  const std::size_t vl = machine.vlmax<T>();
+  const std::size_t n = 4 * vl + 1;
+  const auto data = test::random_vector<T>(n, 64);
+  std::vector<T> flags(n, 0);
+  flags[0] = 1;
+  flags[2 * vl + 1] = 1;  // one boundary mid-block
+  std::vector<T> hashes(n);
+  const std::size_t segs = apps::seg_poly_hash<T>(std::span<const T>(data),
+                                                  std::span<const T>(flags), 257u,
+                                                  std::span<T>(hashes));
+  ASSERT_EQ(segs, 2u);
+  EXPECT_EQ(hashes[0],
+            ref_hash(std::vector<T>(data.begin(),
+                                    data.begin() + static_cast<long>(2 * vl + 1)),
+                     257u));
+  EXPECT_EQ(hashes[1],
+            ref_hash(std::vector<T>(data.begin() + static_cast<long>(2 * vl + 1),
+                                    data.end()),
+                     257u));
+}
+
+TEST(MulScan, PowersOfBase) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  std::vector<T> v(20, 3u);
+  svm::scan_inclusive<svm::MulOp, T>(std::span<T>(v));
+  T p = 1;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    p *= 3u;
+    ASSERT_EQ(v[i], p) << i;
+  }
+  std::vector<T> e(20, 3u);
+  svm::scan_exclusive<svm::MulOp, T>(std::span<T>(e));
+  EXPECT_EQ(e[0], 1u);
+  EXPECT_EQ(e[1], 3u);
+  EXPECT_EQ(e[5], 243u);
+}
+
+TEST(MulScan, SegmentedMultiplyScan) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  std::vector<T> v{2, 3, 4, 5, 2, 2};
+  const std::vector<T> flags{1, 0, 0, 1, 0, 0};
+  svm::seg_scan_inclusive<svm::MulOp, T>(std::span<T>(v), std::span<const T>(flags));
+  EXPECT_EQ(v, (std::vector<T>{2, 6, 24, 5, 10, 20}));
+}
+
+}  // namespace

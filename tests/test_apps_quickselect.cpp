@@ -1,0 +1,114 @@
+// Tests for scan-based quickselect and the scalar radix-sort baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/quickselect.hpp"
+#include "apps/radix_sort.hpp"
+#include "svm/baseline/baseline.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_vector;
+using T = std::uint32_t;
+
+class QuickselectTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+
+  void check(std::vector<T> v, std::size_t k) {
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    auto scratch = v;
+    ASSERT_EQ((apps::quickselect<T>(std::span<T>(scratch), k)), sorted[k])
+        << "k=" << k << " n=" << v.size();
+  }
+};
+
+TEST_F(QuickselectTest, AllRanksOfASmallInput) {
+  const auto v = random_vector<T>(60, 110, 50);
+  for (std::size_t k = 0; k < v.size(); ++k) check(v, k);
+}
+
+TEST_F(QuickselectTest, MedianMinMaxOfLargeInputs) {
+  for (const std::size_t n : {std::size_t{257}, std::size_t{1000}, std::size_t{4097}}) {
+    const auto v = random_vector<T>(n, static_cast<std::uint32_t>(n) + 111);
+    check(v, 0);
+    check(v, n / 2);
+    check(v, n - 1);
+  }
+}
+
+TEST_F(QuickselectTest, DegenerateDistributions) {
+  check(std::vector<T>(100, 7u), 50);   // all equal
+  std::vector<T> sorted(200);
+  std::iota(sorted.begin(), sorted.end(), 0u);
+  check(sorted, 137);
+  std::vector<T> rev(sorted.rbegin(), sorted.rend());
+  check(rev, 137);
+  check({42u}, 0);  // single element
+}
+
+TEST_F(QuickselectTest, RankOutOfRangeThrows) {
+  std::vector<T> v{1, 2, 3};
+  EXPECT_THROW(static_cast<void>(apps::quickselect<T>(std::span<T>(v), 3)),
+               std::out_of_range);
+}
+
+TEST_F(QuickselectTest, CheaperThanFullSort) {
+  const auto v = random_vector<T>(20000, 112);
+  rvv::Machine m2(rvv::Machine::Config{.vlen_bits = 1024});
+  std::uint64_t select_cost = 0, sort_cost = 0;
+  {
+    rvv::MachineScope s2(m2);
+    auto scratch = v;
+    static_cast<void>(apps::quickselect<T>(std::span<T>(scratch), 10000));
+    select_cost = m2.counter().total();
+  }
+  rvv::Machine m3(rvv::Machine::Config{.vlen_bits = 1024});
+  {
+    rvv::MachineScope s3(m3);
+    auto scratch = v;
+    apps::split_radix_sort<T>(std::span<T>(scratch));
+    sort_cost = m3.counter().total();
+  }
+  EXPECT_LT(select_cost, sort_cost / 2);  // O(n) vs 32 full passes
+}
+
+TEST_F(QuickselectTest, WorksAtHigherLmul) {
+  const auto v = random_vector<T>(999, 113);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  auto scratch = v;
+  EXPECT_EQ((apps::quickselect<T, 4>(std::span<T>(scratch), 499)), sorted[499]);
+}
+
+TEST(ScalarRadixBaseline, SortsAndCharges) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
+  rvv::MachineScope scope(machine);
+  auto v = random_vector<T>(5000, 114);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  const auto before = machine.counter().snapshot();
+  svm::baseline::radix_sort<T>(std::span<T>(v));
+  const auto count = (machine.counter().snapshot() - before).total();
+  EXPECT_EQ(v, expect);
+  // 4 byte passes * (8 count + 10 scatter)/element + histogram prefix work.
+  EXPECT_GT(count, 4u * 18 * 5000);
+  EXPECT_LT(count, 4u * 18 * 5000 + 4 * 256 * 6 + 5000);
+}
+
+TEST(ScalarRadixBaseline, NarrowKeysFewerPasses) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
+  rvv::MachineScope scope(machine);
+  auto v = random_vector<std::uint16_t>(3000, 115);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  svm::baseline::radix_sort<std::uint16_t>(std::span<std::uint16_t>(v));
+  EXPECT_EQ(v, expect);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Property tests for the two scan-vector-model sorting applications:
+// split radix sort (paper section 4.4) and the segmented-scan quicksort.
+// Both must produce std::sort's output on every distribution, element
+// width, VLEN and LMUL.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/quicksort.hpp"
+#include "apps/radix_sort.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_vector;
+
+template <class T>
+std::vector<std::vector<T>> distributions(std::size_t n) {
+  std::vector<std::vector<T>> out;
+  out.push_back(random_vector<T>(n, 1));             // uniform
+  out.push_back(random_vector<T>(n, 2, 5));          // few distinct
+  std::vector<T> sorted(n);
+  std::iota(sorted.begin(), sorted.end(), T{0});
+  out.push_back(sorted);                             // sorted
+  out.emplace_back(sorted.rbegin(), sorted.rend());  // reverse sorted
+  out.push_back(std::vector<T>(n, T{7}));            // all equal
+  auto organ = sorted;                               // organ pipe
+  for (std::size_t i = n / 2; i < n; ++i) organ[i] = static_cast<T>(n - i);
+  out.push_back(organ);
+  return out;
+}
+
+template <class T, unsigned LMUL = 1>
+void check_sorters(unsigned vlen, std::size_t n) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = vlen});
+  rvv::MachineScope scope(machine);
+  for (const auto& input : distributions<T>(n)) {
+    auto expect = input;
+    std::sort(expect.begin(), expect.end());
+
+    auto r = input;
+    apps::split_radix_sort<T, LMUL>(std::span<T>(r));
+    ASSERT_EQ(r, expect) << "radix vlen=" << vlen << " n=" << n;
+
+    auto q = input;
+    apps::scan_quicksort<T, LMUL>(std::span<T>(q));
+    ASSERT_EQ(q, expect) << "quicksort vlen=" << vlen << " n=" << n;
+  }
+}
+
+TEST(Sorts, U32AcrossVlens) {
+  for (const unsigned vlen : {128u, 256u, 1024u}) {
+    check_sorters<std::uint32_t>(vlen, 500);
+  }
+}
+
+TEST(Sorts, U32AcrossLmuls) {
+  check_sorters<std::uint32_t, 2>(512, 300);
+  check_sorters<std::uint32_t, 4>(512, 300);
+  check_sorters<std::uint32_t, 8>(512, 300);
+}
+
+TEST(Sorts, NarrowAndWideKeys) {
+  check_sorters<std::uint8_t>(256, 400);
+  check_sorters<std::uint16_t>(256, 400);
+  check_sorters<std::uint64_t>(256, 200);
+}
+
+TEST(Sorts, TinyInputs) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{3}}) {
+    auto v = random_vector<std::uint32_t>(n, static_cast<std::uint32_t>(n) + 50);
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    auto r = v;
+    apps::split_radix_sort<std::uint32_t>(std::span<std::uint32_t>(r));
+    EXPECT_EQ(r, expect) << n;
+    auto q = v;
+    apps::scan_quicksort<std::uint32_t>(std::span<std::uint32_t>(q));
+    EXPECT_EQ(q, expect) << n;
+  }
+}
+
+TEST(Sorts, RadixIsStableOnKeyBits) {
+  // Sorting already-sorted input must retire the same fixed count as any
+  // other input of the same size: split radix sort is data-oblivious in
+  // instruction count (32 passes regardless).
+  rvv::Machine m1(rvv::Machine::Config{.vlen_bits = 512});
+  std::uint64_t c1, c2;
+  {
+    rvv::MachineScope scope(m1);
+    auto v = random_vector<std::uint32_t>(1000, 60);
+    apps::split_radix_sort<std::uint32_t>(std::span<std::uint32_t>(v));
+    c1 = m1.counter().total();
+  }
+  rvv::Machine m2(rvv::Machine::Config{.vlen_bits = 512});
+  {
+    rvv::MachineScope scope(m2);
+    std::vector<std::uint32_t> v(1000);
+    std::iota(v.begin(), v.end(), 0u);
+    apps::split_radix_sort<std::uint32_t>(std::span<std::uint32_t>(v));
+    c2 = m2.counter().total();
+  }
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(Sorts, QuicksortRoundCountLogarithmicOnRandomInput) {
+  // Middle-element pivots keep the round count near lg n; the instruction
+  // count at n=4096 must stay well below the quadratic regime.
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
+  rvv::MachineScope scope(machine);
+  auto v = random_vector<std::uint32_t>(4096, 61);
+  apps::scan_quicksort<std::uint32_t>(std::span<std::uint32_t>(v));
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  // ~40 passes/round * ~136 instr/pass-block... empirically ~6M; quadratic
+  // behaviour would exceed 100M.
+  EXPECT_LT(machine.counter().total(), 30u * 1000 * 1000);
+}
+
+TEST(Sorts, SortedOutputIsPermutationOfInput) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  const auto input = random_vector<std::uint32_t>(997, 62);
+  auto r = input;
+  apps::split_radix_sort<std::uint32_t>(std::span<std::uint32_t>(r));
+  auto expect = input;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_TRUE(std::is_permutation(r.begin(), r.end(), expect.begin()));
+  EXPECT_TRUE(std::is_sorted(r.begin(), r.end()));
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Tests for the strided-memory applications (transpose, deinterleave) and
+// typed scan coverage across every supported element width.
+#include <gtest/gtest.h>
+
+#include "apps/transpose.hpp"
+#include "svm/scan.hpp"
+#include "svm/segmented.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_vector;
+using T = std::uint32_t;
+
+class TransposeTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+
+  void check(std::size_t rows, std::size_t cols) {
+    const auto src = random_vector<T>(rows * cols, static_cast<std::uint32_t>(rows * 31 + cols));
+    std::vector<T> dst(rows * cols, 0);
+    apps::transpose<T>(std::span<const T>(src), std::span<T>(dst), rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        ASSERT_EQ(dst[c * rows + r], src[r * cols + c]) << r << "," << c;
+      }
+    }
+  }
+};
+
+TEST_F(TransposeTest, VariousShapes) {
+  check(1, 1);
+  check(1, 17);
+  check(17, 1);
+  check(8, 8);
+  check(3, 50);     // cols spanning several blocks
+  check(50, 3);
+  check(13, 29);    // both prime
+}
+
+TEST_F(TransposeTest, DoubleTransposeIsIdentity) {
+  const std::size_t rows = 7, cols = 23;
+  const auto src = random_vector<T>(rows * cols, 500);
+  std::vector<T> once(rows * cols), twice(rows * cols);
+  apps::transpose<T>(std::span<const T>(src), std::span<T>(once), rows, cols);
+  apps::transpose<T>(std::span<const T>(once), std::span<T>(twice), cols, rows);
+  EXPECT_EQ(twice, src);
+}
+
+TEST_F(TransposeTest, ShapeMismatchThrows) {
+  std::vector<T> small(5);
+  EXPECT_THROW(apps::transpose<T>(std::span<const T>(small), std::span<T>(small), 2, 3),
+               std::invalid_argument);
+}
+
+TEST_F(TransposeTest, DeinterleaveExtractsField) {
+  // Records of 3 fields: (x, y, z) * 40.
+  const std::size_t records = 40, stride = 3;
+  const auto src = random_vector<T>(records * stride, 501);
+  for (std::size_t f = 0; f < stride; ++f) {
+    std::vector<T> field(records);
+    apps::deinterleave<T>(std::span<const T>(src), std::span<T>(field), stride, f);
+    for (std::size_t i = 0; i < records; ++i) {
+      ASSERT_EQ(field[i], src[i * stride + f]) << f << "," << i;
+    }
+  }
+}
+
+TEST_F(TransposeTest, DeinterleaveBadFieldThrows) {
+  std::vector<T> src(12);
+  std::vector<T> dst(4);
+  EXPECT_THROW(apps::deinterleave<T>(std::span<const T>(src), std::span<T>(dst), 3, 3),
+               std::invalid_argument);
+  EXPECT_THROW(apps::deinterleave<T>(std::span<const T>(src), std::span<T>(dst), 0, 0),
+               std::invalid_argument);
+}
+
+// --- typed scan coverage across all element widths ---------------------------
+
+template <class E>
+class TypedScanTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+};
+
+using AllElementTypes =
+    ::testing::Types<std::uint8_t, std::uint16_t, std::uint32_t, std::uint64_t,
+                     std::int8_t, std::int16_t, std::int32_t, std::int64_t>;
+TYPED_TEST_SUITE(TypedScanTest, AllElementTypes);
+
+TYPED_TEST(TypedScanTest, InclusiveScanMatchesReference) {
+  using E = TypeParam;
+  const auto input = test::random_vector<E>(153, 70);
+  auto data = input;
+  svm::plus_scan<E>(std::span<E>(data));
+  const auto expect = test::ref_scan_inclusive(
+      input, E{0}, [](E a, E b) { return rvv::detail::wrap_add(a, b); });
+  EXPECT_EQ(data, expect);
+}
+
+TYPED_TEST(TypedScanTest, SegmentedScanMatchesReference) {
+  using E = TypeParam;
+  const auto input = test::random_vector<E>(120, 71);
+  // 0/1 head flags in the same element type.
+  std::vector<E> flags(120, E{0});
+  for (std::size_t i = 0; i < flags.size(); i += 9) flags[i] = E{1};
+  auto data = input;
+  svm::seg_plus_scan<E>(std::span<E>(data), std::span<const E>(flags));
+  const auto expect = test::ref_seg_scan(
+      input, flags, E{0}, [](E a, E b) { return rvv::detail::wrap_add(a, b); });
+  EXPECT_EQ(data, expect);
+}
+
+TYPED_TEST(TypedScanTest, MaxScanMatchesReference) {
+  using E = TypeParam;
+  const auto input = test::random_vector<E>(99, 72);
+  auto data = input;
+  svm::max_scan<E>(std::span<E>(data));
+  const auto expect = test::ref_scan_inclusive(
+      input, std::numeric_limits<E>::min(), [](E a, E b) { return a > b ? a : b; });
+  EXPECT_EQ(data, expect);
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// Tests of the instruction-count model itself: closed forms, determinism,
+// VLEN scaling, and the Table 5 LMUL=8 spill anomaly emerging from the
+// register-pressure model rather than being hard-coded.
+#include <gtest/gtest.h>
+
+#include "svm/baseline/baseline.hpp"
+#include "svm/scan.hpp"
+#include "svm/segmented.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_flags;
+using test::random_vector;
+using T = std::uint32_t;
+
+std::uint64_t count(unsigned vlen, bool pressure,
+                    const std::function<void()>& kernel) {
+  rvv::Machine machine(
+      rvv::Machine::Config{.vlen_bits = vlen, .model_register_pressure = pressure});
+  rvv::MachineScope scope(machine);
+  kernel();
+  return machine.counter().total();
+}
+
+sim::CountSnapshot snapshot(unsigned vlen, const std::function<void()>& kernel) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = vlen});
+  rvv::MachineScope scope(machine);
+  kernel();
+  return machine.counter().snapshot();
+}
+
+TEST(CountModel, PlusScanClosedForm) {
+  // Per full block of vl elements: 4 fixed vector instructions (vsetvl,
+  // vle, carry-add, vse) + lg(vl)*(3 vector + 2 scalar) inner steps +
+  // 5 strip-mine scalars + 2 carry scalars; prologue branch once.
+  const unsigned vlen = 1024;  // vl = 32, lg = 5
+  const std::size_t n = 32 * 10;
+  auto data = random_vector<T>(n, 1);
+  const auto total = count(vlen, true, [&] {
+    svm::plus_scan<T>(std::span<T>(data));
+  });
+  const std::uint64_t per_block = 4 + 5 * 5 + 5 + 2;
+  EXPECT_EQ(total, per_block * 10 + 1);
+}
+
+TEST(CountModel, SegScanPerBlockSchedule) {
+  // Fixed per block: vsetvl + 2 vle + vmsne + vmsbf + vmv.s.x + masked
+  // carry-add + its v0 move + vse = 9 vector, 6 + 2 scalar; inner step:
+  // vmseq + vmv + vslideup + vadd_m + v0 move + vmv + vslideup + vor = 8
+  // vector + 2 scalar.
+  const unsigned vlen = 1024;
+  const std::size_t n = 32 * 7;
+  auto data = random_vector<T>(n, 2);
+  std::vector<T> flags(n, 0);  // no heads: worst-case inner work
+  const auto total = count(vlen, true, [&] {
+    svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
+  });
+  const std::uint64_t per_block = 9 + 8 + 5 * 10;
+  EXPECT_EQ(total, per_block * 7 + 1);
+}
+
+TEST(CountModel, CountsAreDeterministic) {
+  const auto run = [] {
+    auto data = random_vector<T>(12345, 3);
+    const auto flags = random_flags<T>(12345, 4, 0.1);
+    return count(512, true, [&] {
+      svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
+    });
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(CountModel, CountsAreDataIndependent) {
+  // Dynamic instruction count must not depend on the element values —
+  // only on n, VLEN, LMUL (flags shape is fixed here).
+  const auto run = [](std::uint32_t seed) {
+    auto data = random_vector<T>(5000, seed);
+    return count(256, true, [&] {
+      svm::plus_scan<T>(std::span<T>(data));
+    });
+  };
+  EXPECT_EQ(run(7), run(8));
+}
+
+TEST(CountModel, DoublingVlenHalvesPAddCount) {
+  const std::size_t n = 1 << 14;
+  std::array<std::uint64_t, 4> c{};
+  const std::array<unsigned, 4> vlens{128, 256, 512, 1024};
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto data = random_vector<T>(n, 5);
+    c[i] = count(vlens[i], true, [&] {
+      svm::p_add<T>(std::span<T>(data), 1u);
+    });
+  }
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(c[i - 1]) / static_cast<double>(c[i]), 2.0, 0.01);
+  }
+}
+
+TEST(CountModel, ScanScalesSublinearlyWithVlen) {
+  // Doubling VLEN halves the block count but adds one inner scan step:
+  // the ratio must sit strictly between 1 and 2 (Figure 5's point).
+  const std::size_t n = 1 << 14;
+  auto run = [&](unsigned vlen) {
+    auto data = random_vector<T>(n, 6);
+    return count(vlen, true, [&] {
+      svm::plus_scan<T>(std::span<T>(data));
+    });
+  };
+  const auto c128 = run(128);
+  const auto c256 = run(256);
+  const double ratio = static_cast<double>(c128) / static_cast<double>(c256);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(CountModel, SegScanLmul8AnomalyEmergesFromSpills) {
+  // Paper Table 5: at N=100 LMUL=8 is *slower* than LMUL=1; at N=10^6 it is
+  // faster.  Both facts must emerge from the pressure model.
+  const auto run = [](std::size_t n, auto lmul_tag, bool pressure) {
+    auto data = random_vector<T>(n, 7);
+    const auto flags = random_flags<T>(n, 8, 0.01);
+    return count(1024, pressure, [&] {
+      svm::seg_plus_scan<T, decltype(lmul_tag)::value>(std::span<T>(data),
+                                                       std::span<const T>(flags));
+    });
+  };
+  using L1 = std::integral_constant<unsigned, 1>;
+  using L8 = std::integral_constant<unsigned, 8>;
+
+  EXPECT_GT(run(100, L8{}, true), run(100, L1{}, true));        // anomaly
+  EXPECT_LT(run(1000000, L8{}, true), run(1000000, L1{}, true));  // recovery
+  // Without the pressure model the anomaly disappears entirely.
+  EXPECT_LT(run(100, L8{}, false), run(100, L1{}, false));
+}
+
+TEST(CountModel, NoSpillsBelowLmul8ForSegScan) {
+  for (const unsigned lmul : {1u, 2u, 4u}) {
+    rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
+    rvv::MachineScope scope(machine);
+    auto data = random_vector<T>(5000, 9);
+    const auto flags = random_flags<T>(5000, 10, 0.05);
+    switch (lmul) {
+      case 1: svm::seg_plus_scan<T, 1>(std::span<T>(data), std::span<const T>(flags)); break;
+      case 2: svm::seg_plus_scan<T, 2>(std::span<T>(data), std::span<const T>(flags)); break;
+      default: svm::seg_plus_scan<T, 4>(std::span<T>(data), std::span<const T>(flags)); break;
+    }
+    EXPECT_EQ(machine.counter().snapshot().spill_total(), 0u) << "lmul=" << lmul;
+  }
+}
+
+TEST(CountModel, UnsegmentedScanNeverSpills) {
+  // The unsegmented scan keeps at most 3 live LMUL=8 values: it fits the
+  // file exactly and must not spill even at LMUL=8.
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
+  rvv::MachineScope scope(machine);
+  auto data = random_vector<T>(10000, 11);
+  svm::plus_scan<T, 8>(std::span<T>(data));
+  EXPECT_EQ(machine.counter().snapshot().spill_total(), 0u);
+}
+
+TEST(CountModel, BaselineCountsMatchPaperTables) {
+  // Paper Table 2/3/4 baseline columns at N = 10^6.
+  auto a = random_vector<T>(1000000, 12);
+  EXPECT_EQ(count(1024, true, [&] {
+    svm::baseline::p_add<T>(std::span<T>(a), 1u);
+  }), 6000001u);
+  auto b = random_vector<T>(1000000, 13);
+  EXPECT_EQ(count(1024, true, [&] {
+    svm::baseline::plus_scan<T>(std::span<T>(b));
+  }), 6000001u);
+  auto c = random_vector<T>(1000000, 14);
+  const auto flags = random_flags<T>(1000000, 15, 0.01);
+  EXPECT_EQ(count(1024, true, [&] {
+    svm::baseline::seg_plus_scan<T>(std::span<T>(c), std::span<const T>(flags));
+  }), 11000001u);
+}
+
+TEST(CountModel, VectorKernelsReportVectorClasses) {
+  auto data = random_vector<T>(1000, 16);
+  const auto snap = snapshot(512, [&] {
+    svm::plus_scan<T>(std::span<T>(data));
+  });
+  EXPECT_GT(snap.count(sim::InstClass::kVectorConfig), 0u);
+  EXPECT_GT(snap.count(sim::InstClass::kVectorLoad), 0u);
+  EXPECT_GT(snap.count(sim::InstClass::kVectorStore), 0u);
+  EXPECT_GT(snap.count(sim::InstClass::kVectorArith), 0u);
+  EXPECT_GT(snap.count(sim::InstClass::kVectorPermute), 0u);
+  EXPECT_GT(snap.count(sim::InstClass::kVectorMove), 0u);
+  EXPECT_EQ(snap.count(sim::InstClass::kScalarCall), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Integration and robustness tests across the full stack: randomized
+// differential sweeps (vectorized kernels vs counted baselines over many
+// seeds), machine-per-thread isolation, and cross-VLEN result invariance.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+
+#include "apps/apps.hpp"
+#include "svm/baseline/baseline.hpp"
+#include "svm/baseline/qsort.hpp"
+#include "svm/svm.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_flags;
+using test::random_vector;
+using T = std::uint32_t;
+
+// --- randomized differential sweeps (vector vs baseline, many seeds) --------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SeedSweep, AllPrimitivesAgreeWithBaselines) {
+  const std::uint32_t seed = GetParam();
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 128u << (seed % 4)});
+  rvv::MachineScope scope(machine);
+  const std::size_t n = 100 + (seed * 37) % 900;
+
+  const auto data = random_vector<T>(n, seed);
+  const auto flags01 = random_flags<T>(n, seed + 1, 0.5);
+  const auto heads = random_flags<T>(n, seed + 2, 0.08);
+
+  {
+    auto vec = data;
+    auto base = data;
+    svm::p_add<T>(std::span<T>(vec), seed);
+    svm::baseline::p_add<T>(std::span<T>(base), seed);
+    ASSERT_EQ(vec, base);
+  }
+  {
+    auto vec = data;
+    auto base = data;
+    svm::plus_scan<T>(std::span<T>(vec));
+    svm::baseline::plus_scan<T>(std::span<T>(base));
+    ASSERT_EQ(vec, base);
+  }
+  {
+    auto vec = data;
+    auto base = data;
+    svm::plus_scan_exclusive<T>(std::span<T>(vec));
+    svm::baseline::plus_scan_exclusive<T>(std::span<T>(base));
+    ASSERT_EQ(vec, base);
+  }
+  {
+    auto vec = data;
+    auto base = data;
+    svm::seg_plus_scan<T>(std::span<T>(vec), std::span<const T>(heads));
+    svm::baseline::seg_plus_scan<T>(std::span<T>(base), std::span<const T>(heads));
+    ASSERT_EQ(vec, base);
+  }
+  {
+    std::vector<T> vec_dst(n), base_dst(n);
+    const auto a = svm::enumerate<T>(std::span<const T>(flags01), std::span<T>(vec_dst), true);
+    const auto b = svm::baseline::enumerate<T>(std::span<const T>(flags01),
+                                               std::span<T>(base_dst), true);
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(vec_dst, base_dst);
+  }
+  {
+    std::vector<T> vec_dst(n), base_dst(n);
+    const auto a = svm::split<T>(std::span<const T>(data), std::span<T>(vec_dst),
+                                 std::span<const T>(flags01));
+    const auto b = svm::baseline::split<T>(std::span<const T>(data),
+                                           std::span<T>(base_dst),
+                                           std::span<const T>(flags01));
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(vec_dst, base_dst);
+  }
+  {
+    auto radix = data;
+    auto qsorted = data;
+    apps::split_radix_sort<T>(std::span<T>(radix));
+    svm::baseline::qsort_u32(std::span<T>(qsorted));
+    ASSERT_EQ(radix, qsorted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, SeedSweep,
+                         ::testing::Range(1000u, 1020u));
+
+// --- result invariance across machine configurations ------------------------
+
+TEST(Invariance, ResultsIdenticalAcrossVlenAndLmul) {
+  const auto input = random_vector<T>(1777, 300);
+  const auto heads = random_flags<T>(1777, 301, 0.05);
+  std::vector<std::vector<T>> results;
+  for (const unsigned vlen : {128u, 256u, 512u, 1024u}) {
+    rvv::Machine machine(rvv::Machine::Config{.vlen_bits = vlen});
+    rvv::MachineScope scope(machine);
+    auto d = input;
+    svm::seg_plus_scan<T>(std::span<T>(d), std::span<const T>(heads));
+    results.push_back(std::move(d));
+  }
+  {
+    rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 512});
+    rvv::MachineScope scope(machine);
+    auto d = input;
+    svm::seg_plus_scan<T, 8>(std::span<T>(d), std::span<const T>(heads));
+    results.push_back(std::move(d));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i], results[0]) << "config " << i;
+  }
+}
+
+TEST(Invariance, PressureModelNeverChangesResults) {
+  const auto input = random_vector<T>(3000, 302);
+  const auto heads = random_flags<T>(3000, 303, 0.02);
+  std::vector<T> with, without;
+  for (const bool pressure : {true, false}) {
+    rvv::Machine machine(
+        rvv::Machine::Config{.vlen_bits = 1024, .model_register_pressure = pressure});
+    rvv::MachineScope scope(machine);
+    auto d = input;
+    svm::seg_plus_scan<T, 8>(std::span<T>(d), std::span<const T>(heads));
+    (pressure ? with : without) = std::move(d);
+  }
+  EXPECT_EQ(with, without);
+}
+
+// --- threading: the active machine is thread-local --------------------------
+
+TEST(Threading, MachinesAreIsolatedPerThread) {
+  constexpr int kThreads = 4;
+  std::vector<std::future<std::pair<std::vector<T>, std::uint64_t>>> futures;
+  for (int t = 0; t < kThreads; ++t) {
+    futures.push_back(std::async(std::launch::async, [t] {
+      rvv::Machine machine(
+          rvv::Machine::Config{.vlen_bits = 128u << (static_cast<unsigned>(t) % 3)});
+      rvv::MachineScope scope(machine);
+      auto data = random_vector<T>(2000 + static_cast<std::size_t>(t), 400u + static_cast<std::uint32_t>(t));
+      svm::plus_scan<T>(std::span<T>(data));
+      return std::make_pair(std::move(data), machine.counter().total());
+    }));
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    auto [data, count] = futures[static_cast<std::size_t>(t)].get();
+    // Verify against a serial reference.
+    auto expect = random_vector<T>(2000 + static_cast<std::size_t>(t), 400u + static_cast<std::uint32_t>(t));
+    T acc = 0;
+    for (auto& v : expect) {
+      acc += v;
+      v = acc;
+    }
+    ASSERT_EQ(data, expect) << t;
+    ASSERT_GT(count, 0u);
+  }
+  // After all threads finish, this thread has no active machine.
+  EXPECT_EQ(rvv::Machine::active_or_null(), nullptr);
+}
+
+// --- full pipeline composition ----------------------------------------------
+
+TEST(Pipeline, SortThenRleThenHistogramConsistency) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 512});
+  rvv::MachineScope scope(machine);
+  const std::size_t bins = 32;
+  const auto keys = random_vector<T>(4000, 304, bins);
+
+  // Histogram via the app...
+  std::vector<T> hist(bins);
+  apps::histogram<T>(std::span<const T>(keys), std::span<T>(hist));
+
+  // ...must agree with sorting + RLE lengths.
+  auto sorted = keys;
+  apps::split_radix_sort<T>(std::span<T>(sorted));
+  const auto rl = apps::rle_encode<T>(std::span<const T>(sorted));
+  std::vector<T> hist2(bins, 0);
+  for (std::size_t r = 0; r < rl.runs(); ++r) {
+    hist2[rl.values[r]] = rl.lengths[r];
+  }
+  EXPECT_EQ(hist, hist2);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Tests for the paper-style intrinsic alias layer: the aliases must be
+// exact synonyms of the templated API in both results and retired
+// instructions, so code ported from the paper's listings measures the same.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "rvv/intrinsics.hpp"
+#include "svm/scan.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using namespace rvvsvm::rvv::intrinsics;
+
+class IntrinsicsTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+};
+
+TEST_F(IntrinsicsTest, VsetvlFamilies) {
+  EXPECT_EQ(vsetvl_e32m1(100), 8u);
+  EXPECT_EQ(vsetvl_e32m2(100), 16u);
+  EXPECT_EQ(vsetvl_e32m4(100), 32u);
+  EXPECT_EQ(vsetvl_e32m8(100), 64u);
+  EXPECT_EQ(vsetvl_e32m8(10), 10u);
+  EXPECT_EQ(vsetvlmax_e32m1(), 8u);
+}
+
+TEST_F(IntrinsicsTest, LoadComputeStore) {
+  std::vector<std::uint32_t> a(8);
+  std::iota(a.begin(), a.end(), 0u);
+  const std::size_t vl = vsetvl_e32m1(a.size());
+  vuint32m1_t va = vle32_v_u32m1(a.data(), vl);
+  va = vadd_vx_u32m1(va, 100u, vl);
+  va = vadd_vv_u32m1(va, va, vl);
+  vse32(a.data(), va, vl);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(a[i], 2 * (i + 100));
+}
+
+TEST_F(IntrinsicsTest, MaskAliases) {
+  std::vector<std::uint32_t> f{1, 0, 1, 0};
+  const auto vf = vle32_v_u32m1(f.data(), 4);
+  const vbool32_t m = vmsne_vx_u32m1_b32(vf, 0u, 4);
+  EXPECT_TRUE(m[0]);
+  EXPECT_FALSE(m[1]);
+  const auto io = viota_m_u32m1(m, 4);
+  EXPECT_EQ(io[0], 0u);
+  EXPECT_EQ(io[2], 1u);
+  const vbool32_t eq = vmseq_vx_u32m1_b32(vf, 1u, 4);
+  EXPECT_TRUE(eq[0]);
+}
+
+TEST_F(IntrinsicsTest, MoveAndSlideAliases) {
+  const auto z = vmv_v_x_u32m1(0u, 4);
+  const auto s = vmv_s_x_u32m1(z, 7u, 4);
+  EXPECT_EQ(s[0], 7u);
+  EXPECT_EQ(s[1], 0u);
+  std::vector<std::uint32_t> d{1, 2, 3, 4};
+  const auto vd = vle32_v_u32m1(d.data(), 4);
+  const auto up = vslideup_vx_u32m1(z, vd, 2, 4);
+  EXPECT_EQ(up[0], 0u);
+  EXPECT_EQ(up[2], 1u);
+}
+
+TEST_F(IntrinsicsTest, MaskedAddAliases) {
+  std::vector<std::uint32_t> a{1, 2, 3, 4};
+  const auto va = vle32_v_u32m1(a.data(), 4);
+  const auto m = vmsne_vx_u32m1_b32(va, 2u, 4);
+  const auto r = vadd_vv_u32m1_m(m, va, va, va, 4);
+  EXPECT_EQ(r[0], 2u);
+  EXPECT_EQ(r[1], 2u);  // inactive keeps maskedoff (va)
+  const auto rx = vadd_vx_u32m1_m(m, va, va, 10u, 4);
+  EXPECT_EQ(rx[3], 14u);
+  EXPECT_EQ(rx[1], 2u);
+}
+
+TEST_F(IntrinsicsTest, IndexedStoreAlias) {
+  std::vector<std::uint32_t> dst(4, 0);
+  std::vector<std::uint32_t> idx{3, 2, 1, 0};
+  std::vector<std::uint32_t> val{1, 2, 3, 4};
+  const auto vi = vle32_v_u32m1(idx.data(), 4);
+  const auto vv = vle32_v_u32m1(val.data(), 4);
+  vsuxei32(dst.data(), dst.size(), vi, vv, 4);
+  EXPECT_EQ(dst, (std::vector<std::uint32_t>{4, 3, 2, 1}));
+}
+
+TEST_F(IntrinsicsTest, ArithmeticAliasFamily) {
+  std::vector<std::uint32_t> a{8, 12, 16, 20};
+  std::vector<std::uint32_t> b{1, 2, 3, 4};
+  const auto va = vle32_v_u32m1(a.data(), 4);
+  const auto vb = vle32_v_u32m1(b.data(), 4);
+  EXPECT_EQ(vsub_vv_u32m1(va, vb, 4)[2], 13u);
+  EXPECT_EQ(vsub_vx_u32m1(va, 8u, 4)[0], 0u);
+  EXPECT_EQ(vrsub_vx_u32m1(vb, 10u, 4)[3], 6u);
+  EXPECT_EQ(vmul_vv_u32m1(va, vb, 4)[1], 24u);
+  EXPECT_EQ(vand_vx_u32m1(va, 12u, 4)[1], 12u);
+  EXPECT_EQ(vor_vx_u32m1(vb, 8u, 4)[0], 9u);
+  EXPECT_EQ(vxor_vv_u32m1(va, va, 4)[0], 0u);
+  EXPECT_EQ(vsll_vx_u32m1(vb, 4u, 4)[0], 16u);
+  EXPECT_EQ(vsrl_vx_u32m1(va, 2u, 4)[0], 2u);
+  const auto m = vmsgtu_vx_u32m1_b32(va, 12u, 4);
+  EXPECT_EQ(vmerge_vvm_u32m1(m, va, vb, 4)[0], 1u);
+  EXPECT_EQ(vmerge_vvm_u32m1(m, va, vb, 4)[3], 20u);
+}
+
+TEST_F(IntrinsicsTest, MaskUtilityAliasFamily) {
+  std::vector<std::uint32_t> f{0, 3, 0, 7};
+  const auto vf = vle32_v_u32m1(f.data(), 4);
+  const auto m = vmsne_vx_u32m1_b32(vf, 0u, 4);
+  EXPECT_EQ(vcpop_m_b32(m, 4), 2u);
+  EXPECT_EQ(vfirst_m_b32(m, 4), 1);
+  EXPECT_TRUE(vmsbf_m_b32(m, 4)[0]);
+  EXPECT_FALSE(vmsbf_m_b32(m, 4)[1]);
+  EXPECT_TRUE(vmsif_m_b32(m, 4)[1]);
+  EXPECT_TRUE(vmsof_m_b32(m, 4)[1]);
+  EXPECT_FALSE(vmsof_m_b32(m, 4)[3]);
+  const auto eq = vmseq_vv_u32m1_b32(vf, vf, 4);
+  EXPECT_EQ(vcpop_m_b32(vmand_mm_b32(m, eq, 4), 4), 2u);
+  EXPECT_EQ(vcpop_m_b32(vmnot_m_b32(m, 4), 4), 2u);
+  const auto lt = vmsltu_vx_u32m1_b32(vf, 4u, 4);
+  EXPECT_EQ(vcpop_m_b32(lt, 4), 3u);
+  EXPECT_EQ(vid_v_u32m1(4)[3], 3u);
+}
+
+TEST_F(IntrinsicsTest, PermuteAndReduceAliasFamily) {
+  std::vector<std::uint32_t> d{10, 20, 30, 40};
+  const auto vd = vle32_v_u32m1(d.data(), 4);
+  EXPECT_EQ(vslidedown_vx_u32m1(vd, 1, 4)[0], 20u);
+  EXPECT_EQ(vslide1up_vx_u32m1(vd, 5u, 4)[0], 5u);
+  EXPECT_EQ(vslide1down_vx_u32m1(vd, 5u, 4)[3], 5u);
+  std::vector<std::uint32_t> idx{3, 2, 1, 0};
+  const auto vi = vle32_v_u32m1(idx.data(), 4);
+  EXPECT_EQ(vrgather_vv_u32m1(vd, vi, 4)[0], 40u);
+  const auto m = vmsgtu_vx_u32m1_b32(vd, 15u, 4);
+  EXPECT_EQ(vcompress_vm_u32m1(vd, m, 4)[0], 20u);
+  EXPECT_EQ(vredsum_vs_u32m1(vd, 4), 100u);
+  EXPECT_EQ(vredsum_vs_u32m1(vd, 4, 1u), 101u);
+  EXPECT_EQ(vredmaxu_vs_u32m1(vd, 4), 40u);
+  EXPECT_EQ(vmv_x_s_u32m1(vd), 10u);
+}
+
+// A paper-listing kernel written with aliases must retire exactly the same
+// instruction stream as the library's own kernel modulo the documented
+// schedule, and at minimum: identical results.
+TEST_F(IntrinsicsTest, ListingScanMatchesLibraryScan) {
+  const auto input = test::random_vector<std::uint32_t>(100, 42);
+
+  auto lib = input;
+  svm::plus_scan<std::uint32_t>(std::span<std::uint32_t>(lib));
+
+  auto listing = input;
+  {
+    int n = static_cast<int>(listing.size());
+    unsigned int* src = listing.data();
+    std::size_t vl;
+    const std::size_t vlmax = vsetvlmax_e32m1();
+    unsigned int carry = 0;
+    const vuint32m1_t vec_zero = vmv_v_x_u32m1(0, vlmax);
+    for (; n > 0; n -= static_cast<int>(vl)) {
+      vl = vsetvl_e32m1(static_cast<std::size_t>(n));
+      auto x = vle32_v_u32m1(src, vl);
+      for (std::size_t offset = 1; offset < vl; offset <<= 1) {
+        const auto y = vslideup_vx_u32m1(vec_zero, x, offset, vl);
+        x = vadd_vv_u32m1(x, y, vl);
+      }
+      x = vadd_vx_u32m1(x, carry, vl);
+      vse32(src, x, vl);
+      carry = src[vl - 1];
+      src += vl;
+    }
+  }
+  EXPECT_EQ(listing, lib);
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+// Unit tests for the arithmetic/logical vector instructions against the
+// RVV 1.0 integer semantics, across element types (typed tests) and the
+// masked/merge forms with both inactive-element policies.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "rvv/rvv.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+
+template <class T>
+class ArithTyped : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+
+  rvv::vreg<T> load(const std::vector<T>& v) {
+    return rvv::vle<T>(std::span<const T>(v), v.size());
+  }
+};
+
+using ElementTypes =
+    ::testing::Types<std::uint8_t, std::uint16_t, std::uint32_t, std::uint64_t,
+                     std::int8_t, std::int16_t, std::int32_t, std::int64_t>;
+TYPED_TEST_SUITE(ArithTyped, ElementTypes);
+
+TYPED_TEST(ArithTyped, AddSubMulElementwise) {
+  using T = TypeParam;
+  const std::vector<T> a{T(1), T(2), T(3), T(4)};
+  const std::vector<T> b{T(10), T(20), T(30), T(40)};
+  const auto va = this->load(a);
+  const auto vb = this->load(b);
+  const auto sum = rvv::vadd(va, vb, 4);
+  const auto dif = rvv::vsub(vb, va, 4);
+  const auto prd = rvv::vmul(va, vb, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sum[i], static_cast<T>(a[i] + b[i]));
+    EXPECT_EQ(dif[i], static_cast<T>(b[i] - a[i]));
+    EXPECT_EQ(prd[i], static_cast<T>(a[i] * b[i]));
+  }
+}
+
+TYPED_TEST(ArithTyped, OverflowWraps) {
+  using T = TypeParam;
+  using U = std::make_unsigned_t<T>;
+  const T maxv = std::numeric_limits<T>::max();
+  const std::vector<T> a{maxv, maxv};
+  const auto va = this->load(a);
+  const auto sum = rvv::vadd(va, T{1}, 2);
+  EXPECT_EQ(sum[0], static_cast<T>(static_cast<U>(maxv) + U{1}));
+  const auto prd = rvv::vmul(va, T{2}, 2);
+  EXPECT_EQ(prd[0], static_cast<T>(static_cast<U>(maxv) * U{2}));
+}
+
+TYPED_TEST(ArithTyped, RsubAndNeg) {
+  using T = TypeParam;
+  const std::vector<T> a{T(3), T(5)};
+  const auto va = this->load(a);
+  const auto r = rvv::vrsub(va, T{10}, 2);
+  EXPECT_EQ(r[0], static_cast<T>(T{10} - T{3}));
+  const auto n = rvv::vneg(va, 2);
+  EXPECT_EQ(n[1], static_cast<T>(T{0} - T{5}));
+}
+
+TYPED_TEST(ArithTyped, DivisionByZeroProducesAllOnes) {
+  using T = TypeParam;
+  const std::vector<T> a{T(7), T(42)};
+  const std::vector<T> z{T(0), T(6)};
+  const auto q = rvv::vdiv(this->load(a), this->load(z), 2);
+  EXPECT_EQ(q[0], static_cast<T>(~T{0}));  // RVV 1.0 section 11.11
+  EXPECT_EQ(q[1], static_cast<T>(T(42) / T(6)));
+  const auto r = rvv::vrem(this->load(a), this->load(z), 2);
+  EXPECT_EQ(r[0], T(7));  // remainder of /0 is the dividend
+  EXPECT_EQ(r[1], T(0));
+}
+
+TYPED_TEST(ArithTyped, MinMaxRespectSignedness) {
+  using T = TypeParam;
+  const std::vector<T> a{static_cast<T>(-1), T(3)};
+  const std::vector<T> b{T(2), T(2)};
+  const auto mn = rvv::vmin(this->load(a), this->load(b), 2);
+  const auto mx = rvv::vmax(this->load(a), this->load(b), 2);
+  if constexpr (std::is_signed_v<T>) {
+    EXPECT_EQ(mn[0], static_cast<T>(-1));
+    EXPECT_EQ(mx[0], T(2));
+  } else {
+    // static_cast<T>(-1) is the maximum unsigned value.
+    EXPECT_EQ(mn[0], T(2));
+    EXPECT_EQ(mx[0], static_cast<T>(-1));
+  }
+  EXPECT_EQ(mn[1], T(2));
+  EXPECT_EQ(mx[1], T(3));
+}
+
+TYPED_TEST(ArithTyped, ShiftAmountModuloSew) {
+  using T = TypeParam;
+  const std::vector<T> a{T(1), T(1)};
+  const auto va = this->load(a);
+  constexpr auto sew = rvv::kSewBits<T>;
+  // Shift by exactly SEW wraps to 0 (RVV uses only log2(SEW) bits).
+  const auto s = rvv::vsll(va, static_cast<T>(sew), 2);
+  EXPECT_EQ(s[0], T(1));
+  const auto s1 = rvv::vsll(va, T{3}, 2);
+  EXPECT_EQ(s1[0], T(8));
+}
+
+TYPED_TEST(ArithTyped, LogicalOps) {
+  using T = TypeParam;
+  const std::vector<T> a{T(0b1100), T(0b1010)};
+  const std::vector<T> b{T(0b1010), T(0b0110)};
+  const auto va = this->load(a);
+  const auto vb = this->load(b);
+  EXPECT_EQ(rvv::vand(va, vb, 2)[0], T(0b1000));
+  EXPECT_EQ(rvv::vor(va, vb, 2)[0], T(0b1110));
+  EXPECT_EQ(rvv::vxor(va, vb, 2)[0], T(0b0110));
+  EXPECT_EQ(rvv::vnot(va, 2)[0], static_cast<T>(~T(0b1100)));
+}
+
+class ArithU32 : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+  using T = std::uint32_t;
+
+  rvv::vreg<T> load(const std::vector<T>& v) {
+    return rvv::vle<T>(std::span<const T>(v), v.size());
+  }
+};
+
+TEST_F(ArithU32, SraIsArithmetic) {
+  const std::vector<std::int32_t> a{-8, 8};
+  const auto va = rvv::vle<std::int32_t>(std::span<const std::int32_t>(a), 2);
+  const auto r = rvv::vsra(va, 1, 2);
+  EXPECT_EQ(r[0], -4);
+  EXPECT_EQ(r[1], 4);
+  const auto l = rvv::vsrl(va, 1, 2);
+  EXPECT_EQ(l[0], std::int32_t(0x7FFFFFFC));
+}
+
+TEST_F(ArithU32, SignedDivOverflowCase) {
+  const std::int32_t minv = std::numeric_limits<std::int32_t>::min();
+  const std::vector<std::int32_t> a{minv};
+  const std::vector<std::int32_t> b{-1};
+  const auto q = rvv::vdiv(rvv::vle<std::int32_t>(std::span<const std::int32_t>(a), 1),
+                           rvv::vle<std::int32_t>(std::span<const std::int32_t>(b), 1), 1);
+  EXPECT_EQ(q[0], minv);  // RVV: overflow quotient = dividend
+  const auto r = rvv::vrem(rvv::vle<std::int32_t>(std::span<const std::int32_t>(a), 1),
+                           rvv::vle<std::int32_t>(std::span<const std::int32_t>(b), 1), 1);
+  EXPECT_EQ(r[0], 0);
+}
+
+TEST_F(ArithU32, MergePicksByMask) {
+  const std::vector<T> a{1, 2, 3, 4};
+  const std::vector<T> b{10, 20, 30, 40};
+  const auto va = load(a);
+  const auto vb = load(b);
+  const auto mask = rvv::vmslt(va, 3u, 4);  // 1,1,0,0
+  const auto m = rvv::vmerge(mask, va, vb, 4);
+  EXPECT_EQ(m[0], 1u);
+  EXPECT_EQ(m[1], 2u);
+  EXPECT_EQ(m[2], 30u);
+  EXPECT_EQ(m[3], 40u);
+  const auto ms = rvv::vmerge(mask, 99u, vb, 4);
+  EXPECT_EQ(ms[0], 99u);
+  EXPECT_EQ(ms[3], 40u);
+}
+
+TEST_F(ArithU32, MaskedAddUndisturbedTakesMaskedoff) {
+  const std::vector<T> a{1, 2, 3, 4};
+  const std::vector<T> off{100, 200, 300, 400};
+  const auto va = load(a);
+  const auto voff = load(off);
+  const auto mask = rvv::vmseq(va, 2u, 4);  // only element 1 active
+  const auto r = rvv::vadd_m(mask, voff, va, va, 4);
+  EXPECT_EQ(r[0], 100u);  // inactive: maskedoff
+  EXPECT_EQ(r[1], 4u);    // active: 2 + 2
+  EXPECT_EQ(r[2], 300u);
+  EXPECT_EQ(r[3], 400u);
+}
+
+TEST_F(ArithU32, MaskedAddAgnosticPoisonsInactive) {
+  const std::vector<T> a{1, 2, 3, 4};
+  const auto va = load(a);
+  const auto mask = rvv::vmseq(va, 2u, 4);
+  const auto r = rvv::vadd_m(mask, rvv::vundefined<T>(), va, va, 4);
+  EXPECT_EQ(r[1], 4u);
+  EXPECT_EQ(r[0], rvv::kTailPoison<T>);  // agnostic: all-ones poison
+}
+
+TEST_F(ArithU32, MaskedScalarForms) {
+  const std::vector<T> a{5, 6, 7, 8};
+  const auto va = load(a);
+  const auto mask = rvv::vmsgt(va, 6u, 4);  // 0,0,1,1
+  const auto r = rvv::vadd_m(mask, va, va, 10u, 4);
+  EXPECT_EQ(r[0], 5u);
+  EXPECT_EQ(r[2], 17u);
+  const auto x = rvv::vmax_m(mask, va, va, 100u, 4);
+  EXPECT_EQ(x[1], 6u);
+  EXPECT_EQ(x[3], 100u);
+}
+
+TEST_F(ArithU32, TailElementsArePoisoned) {
+  const std::vector<T> a{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto va = load(a);
+  const auto r = rvv::vadd(va, 0u, 4);  // vl = 4 < capacity 8
+  EXPECT_EQ(r[3], 4u);
+  for (std::size_t i = 4; i < r.capacity(); ++i) {
+    EXPECT_EQ(r[i], rvv::kTailPoison<T>) << i;
+  }
+}
+
+TEST_F(ArithU32, VlZeroIsANoOpButRetiresOneInstruction) {
+  const std::vector<T> a{1, 2};
+  const auto va = load(a);
+  const auto before = machine.counter().count(sim::InstClass::kVectorArith);
+  const auto r = rvv::vadd(va, va, 0);
+  EXPECT_EQ(machine.counter().count(sim::InstClass::kVectorArith), before + 1);
+  EXPECT_EQ(r[0], rvv::kTailPoison<T>);  // nothing written
+}
+
+TEST_F(ArithU32, VlBeyondVlmaxThrows) {
+  const std::vector<T> a{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto va = load(a);  // capacity 8 at VLEN=256, SEW=32, LMUL=1
+  EXPECT_THROW(static_cast<void>(rvv::vadd(va, va, 9)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(rvv::vle<T>(std::span<const T>(a), 9)),
+               std::out_of_range);
+}
+
+TEST_F(ArithU32, OperandsFromDifferentMachinesRejected) {
+  const std::vector<T> a{1, 2};
+  const auto va = load(a);
+  rvv::Machine other(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope inner(other);
+  const auto vb = load(a);
+  EXPECT_THROW(static_cast<void>(rvv::vadd(va, vb, 2)), std::logic_error);
+}
+
+TEST_F(ArithU32, UndefinedElementReadThrows) {
+  const auto u = rvv::vundefined<T>();
+  EXPECT_FALSE(u.defined());
+  EXPECT_THROW(static_cast<void>(u[0]), std::logic_error);
+  EXPECT_THROW(static_cast<void>(u.machine()), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Unit tests for rvv::config and rvv::Machine: VLMAX rules, the vsetvl
+// contract, and active-machine scoping.
+#include <gtest/gtest.h>
+
+#include "rvv/rvv.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+
+TEST(Config, VlmaxFollowsSpecFormula) {
+  // VLMAX = VLEN / SEW * LMUL (RVV 1.0 section 3.4.2).
+  EXPECT_EQ(rvv::vlmax_for(1024, 32, 1), 32u);
+  EXPECT_EQ(rvv::vlmax_for(1024, 32, 8), 256u);
+  EXPECT_EQ(rvv::vlmax_for(128, 64, 1), 2u);
+  EXPECT_EQ(rvv::vlmax_for(128, 8, 8), 128u);
+  EXPECT_EQ(rvv::vlmax_for(512, 16, 2), 64u);
+}
+
+TEST(Config, VlRuleIsMinAvlVlmax) {
+  EXPECT_EQ(rvv::vl_for(10, 32), 10u);
+  EXPECT_EQ(rvv::vl_for(32, 32), 32u);
+  EXPECT_EQ(rvv::vl_for(100, 32), 32u);
+  EXPECT_EQ(rvv::vl_for(0, 32), 0u);
+}
+
+TEST(Config, ValidLmulAndSew) {
+  for (unsigned l : {1u, 2u, 4u, 8u}) EXPECT_TRUE(rvv::valid_lmul(l));
+  for (unsigned l : {0u, 3u, 5u, 16u}) EXPECT_FALSE(rvv::valid_lmul(l));
+  for (unsigned s : {8u, 16u, 32u, 64u}) EXPECT_TRUE(rvv::valid_sew(s));
+  for (unsigned s : {0u, 4u, 12u, 128u}) EXPECT_FALSE(rvv::valid_sew(s));
+}
+
+TEST(Config, TailPoisonIsAllOnes) {
+  EXPECT_EQ(rvv::kTailPoison<std::uint32_t>, 0xFFFFFFFFu);
+  EXPECT_EQ(rvv::kTailPoison<std::uint8_t>, 0xFFu);
+  EXPECT_EQ(rvv::kTailPoison<std::int32_t>, -1);
+}
+
+TEST(Machine, RejectsInvalidVlen) {
+  EXPECT_THROW(rvv::Machine(rvv::Machine::Config{.vlen_bits = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(rvv::Machine(rvv::Machine::Config{.vlen_bits = 48}),
+               std::invalid_argument);
+  EXPECT_THROW(rvv::Machine(rvv::Machine::Config{.vlen_bits = 100}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(rvv::Machine(rvv::Machine::Config{.vlen_bits = 64}));
+}
+
+TEST(Machine, VlmaxPerTypeAndLmul) {
+  rvv::Machine m(rvv::Machine::Config{.vlen_bits = 256});
+  EXPECT_EQ(m.vlmax<std::uint8_t>(), 32u);
+  EXPECT_EQ(m.vlmax<std::uint16_t>(), 16u);
+  EXPECT_EQ(m.vlmax<std::uint32_t>(), 8u);
+  EXPECT_EQ(m.vlmax<std::uint64_t>(), 4u);
+  EXPECT_EQ(m.vlmax<std::uint32_t>(8), 64u);
+}
+
+TEST(Machine, VsetvlChargesOneConfigInstruction) {
+  rvv::Machine m(rvv::Machine::Config{.vlen_bits = 256});
+  EXPECT_EQ(m.vsetvl<std::uint32_t>(100), 8u);
+  EXPECT_EQ(m.vsetvl<std::uint32_t>(5), 5u);
+  EXPECT_EQ(m.vsetvlmax<std::uint32_t>(4), 32u);
+  EXPECT_EQ(m.counter().count(sim::InstClass::kVectorConfig), 3u);
+}
+
+TEST(Machine, ActiveRequiresScope) {
+  EXPECT_THROW(static_cast<void>(rvv::Machine::active()), std::logic_error);
+  EXPECT_EQ(rvv::Machine::active_or_null(), nullptr);
+  rvv::Machine m;
+  {
+    rvv::MachineScope scope(m);
+    EXPECT_EQ(&rvv::Machine::active(), &m);
+  }
+  EXPECT_EQ(rvv::Machine::active_or_null(), nullptr);
+}
+
+TEST(Machine, ScopesNestAndRestore) {
+  rvv::Machine outer(rvv::Machine::Config{.vlen_bits = 128});
+  rvv::Machine inner(rvv::Machine::Config{.vlen_bits = 512});
+  rvv::MachineScope s1(outer);
+  {
+    rvv::MachineScope s2(inner);
+    EXPECT_EQ(rvv::Machine::active().vlen_bits(), 512u);
+  }
+  EXPECT_EQ(rvv::Machine::active().vlen_bits(), 128u);
+}
+
+TEST(Machine, RegfilePresentByDefaultAbsentWhenDisabled) {
+  rvv::Machine with(rvv::Machine::Config{.vlen_bits = 128});
+  EXPECT_NE(with.regfile(), nullptr);
+  rvv::Machine without(
+      rvv::Machine::Config{.vlen_bits = 128, .model_register_pressure = false});
+  EXPECT_EQ(without.regfile(), nullptr);
+}
+
+TEST(Machine, DisabledRegfileStillCountsInstructions) {
+  rvv::Machine m(
+      rvv::Machine::Config{.vlen_bits = 128, .model_register_pressure = false});
+  rvv::MachineScope scope(m);
+  const auto v = rvv::vmv_v_x<std::uint32_t>(1u, 4);
+  const auto w = rvv::vadd(v, v, 4);
+  EXPECT_EQ(w[0], 2u);
+  EXPECT_EQ(m.counter().count(sim::InstClass::kVectorMove), 1u);
+  EXPECT_EQ(m.counter().count(sim::InstClass::kVectorArith), 1u);
+}
+
+}  // namespace

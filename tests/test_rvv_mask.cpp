@@ -1,0 +1,154 @@
+// Unit tests for the mask instructions: compares, mask-register logicals,
+// and the mask utility group (vcpop/vfirst/vmsbf/vmsif/vmsof/viota/vid)
+// whose edge cases the paper's enumerate and segmented-scan kernels rely on.
+#include <gtest/gtest.h>
+
+#include "rvv/rvv.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using T = std::uint32_t;
+
+class MaskTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+
+  rvv::vreg<T> load(const std::vector<T>& v) {
+    return rvv::vle<T>(std::span<const T>(v), v.size());
+  }
+  std::vector<bool> bits(const rvv::vmask& m, std::size_t vl) {
+    std::vector<bool> out(vl);
+    for (std::size_t i = 0; i < vl; ++i) out[i] = m[i];
+    return out;
+  }
+};
+
+TEST_F(MaskTest, CompareFamilyVectorVector) {
+  const auto a = load({1, 5, 3, 7});
+  const auto b = load({1, 3, 5, 7});
+  EXPECT_EQ(bits(rvv::vmseq(a, b, 4), 4), (std::vector<bool>{1, 0, 0, 1}));
+  EXPECT_EQ(bits(rvv::vmsne(a, b, 4), 4), (std::vector<bool>{0, 1, 1, 0}));
+  EXPECT_EQ(bits(rvv::vmslt(a, b, 4), 4), (std::vector<bool>{0, 0, 1, 0}));
+  EXPECT_EQ(bits(rvv::vmsle(a, b, 4), 4), (std::vector<bool>{1, 0, 1, 1}));
+  EXPECT_EQ(bits(rvv::vmsgt(a, b, 4), 4), (std::vector<bool>{0, 1, 0, 0}));
+  EXPECT_EQ(bits(rvv::vmsge(a, b, 4), 4), (std::vector<bool>{1, 1, 0, 1}));
+}
+
+TEST_F(MaskTest, CompareFamilyVectorScalar) {
+  const auto a = load({1, 5, 3, 7});
+  EXPECT_EQ(bits(rvv::vmseq(a, 3u, 4), 4), (std::vector<bool>{0, 0, 1, 0}));
+  EXPECT_EQ(bits(rvv::vmsgt(a, 3u, 4), 4), (std::vector<bool>{0, 1, 0, 1}));
+  EXPECT_EQ(bits(rvv::vmslt(a, 3u, 4), 4), (std::vector<bool>{1, 0, 0, 0}));
+}
+
+TEST_F(MaskTest, SignedCompareUsesSignedOrder) {
+  const std::vector<std::int32_t> a{-5, 5};
+  const auto va = rvv::vle<std::int32_t>(std::span<const std::int32_t>(a), 2);
+  const auto m = rvv::vmslt(va, 0, 2);
+  EXPECT_TRUE(m[0]);
+  EXPECT_FALSE(m[1]);
+}
+
+TEST_F(MaskTest, MaskLogicals) {
+  const auto a = load({1, 1, 0, 0});
+  const auto b = load({1, 0, 1, 0});
+  const auto ma = rvv::vmsne(a, 0u, 4);
+  const auto mb = rvv::vmsne(b, 0u, 4);
+  EXPECT_EQ(bits(rvv::vmand(ma, mb, 4), 4), (std::vector<bool>{1, 0, 0, 0}));
+  EXPECT_EQ(bits(rvv::vmor(ma, mb, 4), 4), (std::vector<bool>{1, 1, 1, 0}));
+  EXPECT_EQ(bits(rvv::vmxor(ma, mb, 4), 4), (std::vector<bool>{0, 1, 1, 0}));
+  EXPECT_EQ(bits(rvv::vmnand(ma, mb, 4), 4), (std::vector<bool>{0, 1, 1, 1}));
+  EXPECT_EQ(bits(rvv::vmnor(ma, mb, 4), 4), (std::vector<bool>{0, 0, 0, 1}));
+  EXPECT_EQ(bits(rvv::vmxnor(ma, mb, 4), 4), (std::vector<bool>{1, 0, 0, 1}));
+  EXPECT_EQ(bits(rvv::vmandn(ma, mb, 4), 4), (std::vector<bool>{0, 1, 0, 0}));
+  EXPECT_EQ(bits(rvv::vmorn(ma, mb, 4), 4), (std::vector<bool>{1, 1, 0, 1}));
+  EXPECT_EQ(bits(rvv::vmnot(ma, 4), 4), (std::vector<bool>{0, 0, 1, 1}));
+}
+
+TEST_F(MaskTest, VmclrVmset) {
+  EXPECT_EQ(bits(rvv::vmclr(4), 4), (std::vector<bool>{0, 0, 0, 0}));
+  EXPECT_EQ(bits(rvv::vmset(4), 4), (std::vector<bool>{1, 1, 1, 1}));
+}
+
+TEST_F(MaskTest, VcpopCountsActiveRange) {
+  const auto m = rvv::vmsne(load({1, 0, 1, 1}), 0u, 4);
+  EXPECT_EQ(rvv::vcpop(m, 4), 3u);
+  EXPECT_EQ(rvv::vcpop(m, 2), 1u);
+  EXPECT_EQ(rvv::vcpop(m, 0), 0u);
+}
+
+TEST_F(MaskTest, VfirstFindsFirstOrMinusOne) {
+  const auto m = rvv::vmsne(load({0, 0, 1, 1}), 0u, 4);
+  EXPECT_EQ(rvv::vfirst(m, 4), 2);
+  EXPECT_EQ(rvv::vfirst(m, 2), -1);
+  const auto none = rvv::vmsne(load({0, 0, 0, 0}), 0u, 4);
+  EXPECT_EQ(rvv::vfirst(none, 4), -1);
+}
+
+TEST_F(MaskTest, SetBeforeFirstVariants) {
+  const auto m = rvv::vmsne(load({0, 0, 1, 0, 1, 0}), 0u, 6);
+  EXPECT_EQ(bits(rvv::vmsbf(m, 6), 6), (std::vector<bool>{1, 1, 0, 0, 0, 0}));
+  EXPECT_EQ(bits(rvv::vmsif(m, 6), 6), (std::vector<bool>{1, 1, 1, 0, 0, 0}));
+  EXPECT_EQ(bits(rvv::vmsof(m, 6), 6), (std::vector<bool>{0, 0, 1, 0, 0, 0}));
+}
+
+TEST_F(MaskTest, SetBeforeFirstNoBitSet) {
+  const auto m = rvv::vmsne(load({0, 0, 0}), 0u, 3);
+  EXPECT_EQ(bits(rvv::vmsbf(m, 3), 3), (std::vector<bool>{1, 1, 1}));
+  EXPECT_EQ(bits(rvv::vmsif(m, 3), 3), (std::vector<bool>{1, 1, 1}));
+  EXPECT_EQ(bits(rvv::vmsof(m, 3), 3), (std::vector<bool>{0, 0, 0}));
+}
+
+TEST_F(MaskTest, SetBeforeFirstBitAtZero) {
+  const auto m = rvv::vmsne(load({1, 0, 1}), 0u, 3);
+  EXPECT_EQ(bits(rvv::vmsbf(m, 3), 3), (std::vector<bool>{0, 0, 0}));
+  EXPECT_EQ(bits(rvv::vmsif(m, 3), 3), (std::vector<bool>{1, 0, 0}));
+  EXPECT_EQ(bits(rvv::vmsof(m, 3), 3), (std::vector<bool>{1, 0, 0}));
+}
+
+TEST_F(MaskTest, ViotaIsExclusivePrefixPopcount) {
+  const auto m = rvv::vmsne(load({1, 0, 1, 1, 0, 1}), 0u, 6);
+  const auto io = rvv::viota<T>(m, 6);
+  const std::vector<T> expect{0, 1, 1, 2, 3, 3};
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(io[i], expect[i]) << i;
+}
+
+TEST_F(MaskTest, ViotaAllClearIsZeros) {
+  const auto m = rvv::vmsne(load({0, 0, 0}), 0u, 3);
+  const auto io = rvv::viota<T>(m, 3);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(io[i], 0u);
+}
+
+TEST_F(MaskTest, VidProducesIndices) {
+  const auto v = rvv::vid<T>(5);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST_F(MaskTest, MaskBitsBeyondVlArePoisonSet) {
+  const auto m = rvv::vmseq(load({0, 0}), 1u, 2);  // both false
+  EXPECT_FALSE(m[0]);
+  // Bits past vl follow the mask-agnostic all-ones pattern.
+  EXPECT_TRUE(m[2]);
+}
+
+TEST_F(MaskTest, InstructionClassesCharged) {
+  const auto before = machine.counter().snapshot();
+  const auto a = load({1, 2, 3, 4});
+  const auto m = rvv::vmseq(a, 2u, 4);
+  static_cast<void>(rvv::vcpop(m, 4));
+  static_cast<void>(rvv::viota<T>(m, 4));
+  const auto delta = machine.counter().snapshot() - before;
+  EXPECT_EQ(delta.count(sim::InstClass::kVectorLoad), 1u);
+  EXPECT_EQ(delta.count(sim::InstClass::kVectorMask), 3u);
+}
+
+TEST_F(MaskTest, UndefinedMaskThrows) {
+  rvv::vmask u;
+  EXPECT_FALSE(u.defined());
+  EXPECT_THROW(static_cast<void>(u[0]), std::logic_error);
+  EXPECT_THROW(static_cast<void>(u.machine()), std::logic_error);
+}
+
+}  // namespace

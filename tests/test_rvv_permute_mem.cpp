@@ -1,0 +1,213 @@
+// Unit tests for the permutation instructions (slides, gather, compress)
+// and the memory instructions (unit/strided/indexed loads & stores).
+#include <gtest/gtest.h>
+
+#include "rvv/rvv.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using T = std::uint32_t;
+
+class PermuteTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+
+  rvv::vreg<T> load(const std::vector<T>& v) {
+    return rvv::vle<T>(std::span<const T>(v), v.size());
+  }
+};
+
+TEST_F(PermuteTest, SlideupMergesDestLow) {
+  const auto dest = load({100, 200, 300, 400});
+  const auto src = load({1, 2, 3, 4});
+  const auto r = rvv::vslideup(dest, src, 2, 4);
+  EXPECT_EQ(r[0], 100u);
+  EXPECT_EQ(r[1], 200u);
+  EXPECT_EQ(r[2], 1u);
+  EXPECT_EQ(r[3], 2u);
+}
+
+TEST_F(PermuteTest, SlideupOffsetZeroCopiesSrc) {
+  const auto dest = load({9, 9});
+  const auto src = load({1, 2});
+  const auto r = rvv::vslideup(dest, src, 0, 2);
+  EXPECT_EQ(r[0], 1u);
+  EXPECT_EQ(r[1], 2u);
+}
+
+TEST_F(PermuteTest, SlideupOffsetBeyondVlKeepsDest) {
+  const auto dest = load({9, 8, 7});
+  const auto src = load({1, 2, 3});
+  const auto r = rvv::vslideup(dest, src, 5, 3);
+  EXPECT_EQ(r[0], 9u);
+  EXPECT_EQ(r[1], 8u);
+  EXPECT_EQ(r[2], 7u);
+}
+
+TEST_F(PermuteTest, SlidedownShiftsAndZeroFills) {
+  const auto src = load({1, 2, 3, 4, 5, 6, 7, 8});  // fills capacity
+  const auto r = rvv::vslidedown(src, 3, 8);
+  EXPECT_EQ(r[0], 4u);
+  EXPECT_EQ(r[4], 8u);
+  EXPECT_EQ(r[5], 0u);  // beyond VLMAX: zero
+  EXPECT_EQ(r[7], 0u);
+}
+
+TEST_F(PermuteTest, Slide1UpInjectsScalar) {
+  const auto src = load({1, 2, 3});
+  const auto r = rvv::vslide1up(src, 42u, 3);
+  EXPECT_EQ(r[0], 42u);
+  EXPECT_EQ(r[1], 1u);
+  EXPECT_EQ(r[2], 2u);
+}
+
+TEST_F(PermuteTest, Slide1DownInjectsAtTail) {
+  const auto src = load({1, 2, 3});
+  const auto r = rvv::vslide1down(src, 42u, 3);
+  EXPECT_EQ(r[0], 2u);
+  EXPECT_EQ(r[1], 3u);
+  EXPECT_EQ(r[2], 42u);
+}
+
+TEST_F(PermuteTest, RgatherIndexesAndZeroesOutOfRange) {
+  const auto src = load({10, 20, 30, 40});
+  const auto idx = load({3, 0, 999, 1});
+  const auto r = rvv::vrgather(src, idx, 4);
+  EXPECT_EQ(r[0], 40u);
+  EXPECT_EQ(r[1], 10u);
+  EXPECT_EQ(r[2], 0u);  // index >= VLMAX reads as zero (spec 16.4)
+  EXPECT_EQ(r[3], 20u);
+}
+
+TEST_F(PermuteTest, CompressPacksActiveElements) {
+  const auto src = load({10, 20, 30, 40, 50});
+  const auto flags = load({1, 0, 1, 0, 1});
+  const auto mask = rvv::vmsne(flags, 0u, 5);
+  const auto r = rvv::vcompress(src, mask, 5);
+  EXPECT_EQ(r[0], 10u);
+  EXPECT_EQ(r[1], 30u);
+  EXPECT_EQ(r[2], 50u);
+  EXPECT_EQ(r[3], rvv::kTailPoison<T>);  // past the packed count
+}
+
+class MemoryTest : public PermuteTest {};
+
+TEST_F(MemoryTest, VleVseRoundTrip) {
+  const std::vector<T> src{5, 6, 7, 8};
+  std::vector<T> dst(4, 0);
+  const auto v = rvv::vle<T>(std::span<const T>(src), 4);
+  rvv::vse(std::span<T>(dst), v, 4);
+  EXPECT_EQ(dst, src);
+}
+
+TEST_F(MemoryTest, VlePartialLeavesTailPoison) {
+  const std::vector<T> src{5, 6};
+  const auto v = rvv::vle<T>(std::span<const T>(src), 2);
+  EXPECT_EQ(v[1], 6u);
+  EXPECT_EQ(v[2], rvv::kTailPoison<T>);
+}
+
+TEST_F(MemoryTest, VseShortSpanThrows) {
+  const auto v = load({1, 2, 3, 4});
+  std::vector<T> dst(2);
+  EXPECT_THROW(rvv::vse(std::span<T>(dst), v, 4), std::out_of_range);
+}
+
+TEST_F(MemoryTest, MaskedStoreWritesOnlyActive) {
+  const auto v = load({1, 2, 3, 4});
+  const auto mask = rvv::vmsgt(v, 2u, 4);
+  std::vector<T> dst(4, 99);
+  rvv::vse_m(mask, std::span<T>(dst), v, 4);
+  EXPECT_EQ(dst, (std::vector<T>{99, 99, 3, 4}));
+}
+
+TEST_F(MemoryTest, StridedLoadStore) {
+  const std::vector<T> src{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto v = rvv::vlse<T>(std::span<const T>(src), 3, 3);  // 0, 3, 6
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 3u);
+  EXPECT_EQ(v[2], 6u);
+  std::vector<T> dst(8, 0);
+  rvv::vsse(std::span<T>(dst), 2, v, 3);
+  EXPECT_EQ(dst, (std::vector<T>{0, 0, 3, 0, 6, 0, 0, 0}));
+}
+
+TEST_F(MemoryTest, StridedOutOfBoundsThrows) {
+  const std::vector<T> src{0, 1, 2, 3};
+  EXPECT_THROW(static_cast<void>(rvv::vlse<T>(std::span<const T>(src), 3, 3)),
+               std::out_of_range);
+}
+
+TEST_F(MemoryTest, IndexedLoadGathersByElementIndex) {
+  const std::vector<T> table{100, 101, 102, 103, 104};
+  const auto idx = load({4, 0, 2});
+  const auto v = rvv::vluxei(std::span<const T>(table), idx, 3);
+  EXPECT_EQ(v[0], 104u);
+  EXPECT_EQ(v[1], 100u);
+  EXPECT_EQ(v[2], 102u);
+}
+
+TEST_F(MemoryTest, IndexedLoadOutOfRangeThrows) {
+  const std::vector<T> table{1, 2};
+  const auto idx = load({5});
+  EXPECT_THROW(static_cast<void>(rvv::vluxei(std::span<const T>(table), idx, 1)),
+               std::out_of_range);
+}
+
+TEST_F(MemoryTest, IndexedStoreScatters) {
+  const auto idx = load({3, 1, 0});
+  const auto val = load({30, 10, 0});
+  std::vector<T> dst(4, 99);
+  rvv::vsuxei(std::span<T>(dst), idx, val, 3);
+  EXPECT_EQ(dst, (std::vector<T>{0, 10, 99, 30}));
+}
+
+TEST_F(MemoryTest, IndexedStoreDuplicateLastWriterWins) {
+  const auto idx = load({0, 0, 0});
+  const auto val = load({1, 2, 3});
+  std::vector<T> dst(1, 0);
+  rvv::vsuxei(std::span<T>(dst), idx, val, 3);
+  EXPECT_EQ(dst[0], 3u);  // element-order scatter: last write survives
+}
+
+TEST_F(MemoryTest, MaskedIndexedStore) {
+  const auto idx = load({0, 1, 2});
+  const auto val = load({7, 8, 9});
+  const auto flags = load({1, 0, 1});
+  const auto mask = rvv::vmsne(flags, 0u, 3);
+  std::vector<T> dst(3, 0);
+  rvv::vsuxei_m(mask, std::span<T>(dst), idx, val, 3);
+  EXPECT_EQ(dst, (std::vector<T>{7, 0, 9}));
+}
+
+TEST_F(MemoryTest, MoveFamilies) {
+  const auto splat = rvv::vmv_v_x<T>(77u, 4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(splat[i], 77u);
+  const auto copy = rvv::vmv_v_v(splat, 4);
+  EXPECT_EQ(copy[3], 77u);
+  const auto s = rvv::vmv_s_x(splat, 5u, 4);
+  EXPECT_EQ(s[0], 5u);
+  EXPECT_EQ(s[1], 77u);  // vmv.s.x leaves the rest undisturbed
+  EXPECT_EQ(rvv::vmv_x_s(s), 5u);
+}
+
+TEST_F(MemoryTest, InstructionClassAccounting) {
+  const auto before = machine.counter().snapshot();
+  const std::vector<T> mem{1, 2, 3, 4};
+  std::vector<T> out(4);
+  const auto v = rvv::vle<T>(std::span<const T>(mem), 4);
+  const auto idx = rvv::vid<T>(4);
+  rvv::vsuxei(std::span<T>(out), idx, v, 4);
+  const auto r = rvv::vslideup(v, v, 1, 4);
+  static_cast<void>(rvv::vredsum(r, 4));
+  const auto delta = machine.counter().snapshot() - before;
+  EXPECT_EQ(delta.count(sim::InstClass::kVectorLoad), 1u);
+  EXPECT_EQ(delta.count(sim::InstClass::kVectorStore), 1u);
+  EXPECT_EQ(delta.count(sim::InstClass::kVectorPermute), 1u);
+  EXPECT_EQ(delta.count(sim::InstClass::kVectorReduce), 1u);
+  EXPECT_EQ(delta.count(sim::InstClass::kVectorMask), 1u);  // vid
+}
+
+}  // namespace

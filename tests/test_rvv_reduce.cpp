@@ -1,0 +1,80 @@
+// Unit tests for the reduction instructions (vredsum/vredmax/... and the
+// masked form), including seed handling and vl = 0.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "rvv/rvv.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using T = std::uint32_t;
+
+class ReduceTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+
+  rvv::vreg<T> load(const std::vector<T>& v) {
+    return rvv::vle<T>(std::span<const T>(v), v.size());
+  }
+};
+
+TEST_F(ReduceTest, SumWithAndWithoutSeed) {
+  const auto v = load({1, 2, 3, 4});
+  EXPECT_EQ(rvv::vredsum(v, 4), 10u);
+  EXPECT_EQ(rvv::vredsum(v, 4, 100u), 110u);
+  EXPECT_EQ(rvv::vredsum(v, 2), 3u);  // only the active prefix
+}
+
+TEST_F(ReduceTest, SumWraps) {
+  const auto v = load({0xFFFFFFFFu, 2u});
+  EXPECT_EQ(rvv::vredsum(v, 2), 1u);
+}
+
+TEST_F(ReduceTest, MinMax) {
+  const auto v = load({5, 1, 9, 3});
+  EXPECT_EQ(rvv::vredmax(v, 4), 9u);
+  EXPECT_EQ(rvv::vredmin(v, 4), 1u);
+  EXPECT_EQ(rvv::vredmax(v, 4, 100u), 100u);  // seed participates
+  EXPECT_EQ(rvv::vredmin(v, 4, 0u), 0u);
+}
+
+TEST_F(ReduceTest, SignedMinMax) {
+  const std::vector<std::int32_t> s{-5, 3, -9};
+  const auto v = rvv::vle<std::int32_t>(std::span<const std::int32_t>(s), 3);
+  EXPECT_EQ(rvv::vredmin(v, 3), -9);
+  EXPECT_EQ(rvv::vredmax(v, 3), 3);
+}
+
+TEST_F(ReduceTest, Bitwise) {
+  const auto v = load({0b1100, 0b1010, 0b1001});
+  EXPECT_EQ(rvv::vredand(v, 3), 0b1000u);
+  EXPECT_EQ(rvv::vredor(v, 3), 0b1111u);
+  EXPECT_EQ(rvv::vredxor(v, 3), (0b1100u ^ 0b1010u ^ 0b1001u));
+}
+
+TEST_F(ReduceTest, VlZeroReturnsSeed) {
+  const auto v = load({1, 2});
+  EXPECT_EQ(rvv::vredsum(v, 0), 0u);
+  EXPECT_EQ(rvv::vredsum(v, 0, 42u), 42u);
+  EXPECT_EQ(rvv::vredmax(v, 0), std::numeric_limits<T>::min());
+}
+
+TEST_F(ReduceTest, MaskedSumFoldsOnlyActive) {
+  const auto v = load({1, 2, 3, 4});
+  const auto mask = rvv::vmsgt(v, 2u, 4);
+  EXPECT_EQ(rvv::vredsum_m(mask, v, 4), 7u);
+  EXPECT_EQ(rvv::vredsum_m(mask, v, 4, 1u), 8u);
+}
+
+TEST_F(ReduceTest, ChargesReduceClass) {
+  const auto v = load({1, 2});
+  const auto before = machine.counter().count(sim::InstClass::kVectorReduce);
+  static_cast<void>(rvv::vredsum(v, 2));
+  static_cast<void>(rvv::vredmin(v, 2));
+  EXPECT_EQ(machine.counter().count(sim::InstClass::kVectorReduce), before + 2);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for the vreg/vmask value semantics that drive the register-pressure
+// model: copies share one allocator value, reassignment ends the old live
+// range, destruction frees the register group.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "rvv/rvv.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using T = std::uint32_t;
+
+class VregTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+
+  sim::VRegFileModel& regfile() { return *machine.regfile(); }
+};
+
+TEST_F(VregTest, DefiningOpsAllocateOneValue) {
+  EXPECT_EQ(regfile().live_values(), 0u);
+  const auto v = rvv::vmv_v_x<T>(1u, 4);
+  EXPECT_EQ(regfile().live_values(), 1u);
+  EXPECT_NE(v.value_id(), sim::kNoValue);
+}
+
+TEST_F(VregTest, CopiesShareTheValue) {
+  const auto v = rvv::vmv_v_x<T>(1u, 4);
+  {
+    const auto copy = v;  // NOLINT(performance-unnecessary-copy-initialization)
+    EXPECT_EQ(copy.value_id(), v.value_id());
+    EXPECT_EQ(regfile().live_values(), 1u);  // a C++ copy is not a new register
+  }
+  EXPECT_EQ(regfile().live_values(), 1u);  // inner copy's death frees nothing
+}
+
+TEST_F(VregTest, DestructionReleasesTheGroup) {
+  {
+    const auto v = rvv::vmv_v_x<T>(1u, 4);
+    EXPECT_EQ(regfile().live_values(), 1u);
+  }
+  EXPECT_EQ(regfile().live_values(), 0u);
+}
+
+TEST_F(VregTest, ReassignmentEndsOldLiveRange) {
+  auto v = rvv::vmv_v_x<T>(1u, 4);
+  const auto first_id = v.value_id();
+  v = rvv::vadd(v, 1u, 4);  // new SSA value; old dies with the assignment
+  EXPECT_NE(v.value_id(), first_id);
+  EXPECT_EQ(regfile().live_values(), 1u);
+  EXPECT_EQ(v[0], 2u);
+}
+
+TEST_F(VregTest, LmulGroupsOccupyLmulRegisters) {
+  const auto a = rvv::vmv_v_x<T, 8>(1u, 8);
+  EXPECT_EQ(regfile().peak_registers(), 8u);
+  const auto b = rvv::vmv_v_x<T, 4>(1u, 8);
+  EXPECT_EQ(regfile().peak_registers(), 12u);
+  static_cast<void>(a);
+  static_cast<void>(b);
+}
+
+TEST_F(VregTest, CapacityIsVlmax) {
+  const auto m1 = rvv::vmv_v_x<T, 1>(0u, 1);
+  EXPECT_EQ(m1.capacity(), 8u);  // 256/32
+  const auto m8 = rvv::vmv_v_x<T, 8>(0u, 1);
+  EXPECT_EQ(m8.capacity(), 64u);
+  const auto bytes = rvv::vmv_v_x<std::uint8_t, 1>(0, 1);
+  EXPECT_EQ(bytes.capacity(), 32u);
+}
+
+TEST_F(VregTest, MasksAreValuesToo) {
+  const auto v = rvv::vmv_v_x<T>(1u, 4);
+  EXPECT_EQ(regfile().live_values(), 1u);
+  {
+    const auto m = rvv::vmseq(v, 1u, 4);
+    EXPECT_EQ(regfile().live_values(), 2u);
+    static_cast<void>(m);
+  }
+  EXPECT_EQ(regfile().live_values(), 1u);
+}
+
+TEST_F(VregTest, MoveTransfersOwnership) {
+  auto v = rvv::vmv_v_x<T>(7u, 4);
+  const auto id = v.value_id();
+  const auto moved = std::move(v);
+  EXPECT_EQ(moved.value_id(), id);
+  EXPECT_EQ(regfile().live_values(), 1u);
+  EXPECT_EQ(moved[0], 7u);
+}
+
+TEST_F(VregTest, OptionalAndContainersWork) {
+  std::optional<rvv::vreg<T>> slot;
+  slot = rvv::vmv_v_x<T>(3u, 4);
+  EXPECT_EQ(regfile().live_values(), 1u);
+  std::vector<rvv::vreg<T>> values;
+  for (int i = 0; i < 5; ++i) values.push_back(rvv::vmv_v_x<T>(static_cast<T>(i), 4));
+  EXPECT_EQ(regfile().live_values(), 6u);
+  values.clear();
+  slot.reset();
+  EXPECT_EQ(regfile().live_values(), 0u);
+}
+
+TEST_F(VregTest, ElemsSpanExposesReadOnlyView) {
+  const auto v = rvv::vmv_v_x<T>(9u, 3);
+  const auto view = v.elems();
+  EXPECT_EQ(view.size(), v.capacity());
+  EXPECT_EQ(view[0], 9u);
+  EXPECT_EQ(view[2], 9u);
+  EXPECT_EQ(view[3], rvv::kTailPoison<T>);
+}
+
+TEST(VregNoPressure, ValuesWorkWithoutTheModel) {
+  rvv::Machine machine(
+      rvv::Machine::Config{.vlen_bits = 256, .model_register_pressure = false});
+  rvv::MachineScope scope(machine);
+  auto v = rvv::vmv_v_x<T>(5u, 4);
+  v = rvv::vadd(v, v, 4);
+  EXPECT_EQ(v[3], 10u);
+  EXPECT_EQ(v.value_id(), sim::kNoValue);  // no model, no ids
+}
+
+}  // namespace

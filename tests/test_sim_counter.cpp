@@ -1,0 +1,158 @@
+// Unit tests for the instruction accounting substrate (sim/inst_counter,
+// sim/scalar_model): the foundation every measured number rests on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/inst_counter.hpp"
+#include "sim/scalar_model.hpp"
+
+namespace {
+
+using namespace rvvsvm::sim;
+
+TEST(InstCounter, StartsAtZero) {
+  InstCounter c;
+  EXPECT_EQ(c.total(), 0u);
+  for (std::size_t i = 0; i < kNumInstClasses; ++i) {
+    EXPECT_EQ(c.count(static_cast<InstClass>(i)), 0u);
+  }
+}
+
+TEST(InstCounter, AddAccumulatesPerClass) {
+  InstCounter c;
+  c.add(InstClass::kVectorArith);
+  c.add(InstClass::kVectorArith, 4);
+  c.add(InstClass::kScalarAlu, 2);
+  EXPECT_EQ(c.count(InstClass::kVectorArith), 5u);
+  EXPECT_EQ(c.count(InstClass::kScalarAlu), 2u);
+  EXPECT_EQ(c.total(), 7u);
+}
+
+TEST(InstCounter, ResetZeroesEverything) {
+  InstCounter c;
+  c.add(InstClass::kVectorLoad, 10);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(InstCounter, SnapshotIsImmutableCopy) {
+  InstCounter c;
+  c.add(InstClass::kVectorStore, 3);
+  const CountSnapshot s = c.snapshot();
+  c.add(InstClass::kVectorStore, 7);
+  EXPECT_EQ(s.count(InstClass::kVectorStore), 3u);
+  EXPECT_EQ(c.count(InstClass::kVectorStore), 10u);
+}
+
+TEST(InstCounter, SnapshotDeltaBracketsKernel) {
+  InstCounter c;
+  c.add(InstClass::kVectorArith, 5);
+  const auto before = c.snapshot();
+  c.add(InstClass::kVectorArith, 11);
+  c.add(InstClass::kScalarBranch, 2);
+  const auto delta = c.snapshot() - before;
+  EXPECT_EQ(delta.count(InstClass::kVectorArith), 11u);
+  EXPECT_EQ(delta.count(InstClass::kScalarBranch), 2u);
+  EXPECT_EQ(delta.total(), 13u);
+}
+
+TEST(CountSnapshot, VectorScalarPartition) {
+  InstCounter c;
+  c.add(InstClass::kVectorConfig, 1);
+  c.add(InstClass::kVectorLoad, 2);
+  c.add(InstClass::kVectorStore, 3);
+  c.add(InstClass::kVectorArith, 4);
+  c.add(InstClass::kVectorMask, 5);
+  c.add(InstClass::kVectorPermute, 6);
+  c.add(InstClass::kVectorReduce, 7);
+  c.add(InstClass::kVectorMove, 8);
+  c.add(InstClass::kVectorSpill, 9);
+  c.add(InstClass::kVectorReload, 10);
+  c.add(InstClass::kScalarAlu, 11);
+  c.add(InstClass::kScalarLoad, 12);
+  c.add(InstClass::kScalarStore, 13);
+  c.add(InstClass::kScalarBranch, 14);
+  c.add(InstClass::kScalarCall, 15);
+  const auto s = c.snapshot();
+  EXPECT_EQ(s.vector_total(), 1u + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10);
+  EXPECT_EQ(s.scalar_total(), 11u + 12 + 13 + 14 + 15);
+  EXPECT_EQ(s.spill_total(), 19u);
+  EXPECT_EQ(s.total(), s.vector_total() + s.scalar_total());
+}
+
+TEST(CountSnapshot, StreamOutputListsNonZeroClasses) {
+  InstCounter c;
+  c.add(InstClass::kVectorArith, 3);
+  std::ostringstream os;
+  os << c.snapshot();
+  EXPECT_NE(os.str().find("total=3"), std::string::npos);
+  EXPECT_NE(os.str().find("v.arith=3"), std::string::npos);
+  EXPECT_EQ(os.str().find("s.alu"), std::string::npos);
+}
+
+TEST(InstClass, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kNumInstClasses; ++i) {
+    const auto name = to_string(static_cast<InstClass>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "invalid");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(InstClass, IsVectorPartition) {
+  EXPECT_TRUE(is_vector(InstClass::kVectorConfig));
+  EXPECT_TRUE(is_vector(InstClass::kVectorReload));
+  EXPECT_FALSE(is_vector(InstClass::kScalarAlu));
+  EXPECT_FALSE(is_vector(InstClass::kScalarCall));
+}
+
+TEST(ScalarCost, Algebra) {
+  constexpr ScalarCost a{.alu = 1, .load = 2, .store = 3, .branch = 4, .call = 5};
+  constexpr ScalarCost b{.alu = 10, .load = 20, .store = 30, .branch = 40, .call = 50};
+  constexpr auto sum = a + b;
+  EXPECT_EQ(sum.alu, 11u);
+  EXPECT_EQ(sum.call, 55u);
+  constexpr auto scaled = a * 3;
+  EXPECT_EQ(scaled.store, 9u);
+  EXPECT_EQ(a.total(), 15u);
+  EXPECT_EQ(scaled.total(), 45u);
+}
+
+TEST(ScalarCost, StripmineScheduleMatchesListing2) {
+  // The paper's Listing 2 loop body: slli + per-pointer add + sub + move,
+  // closed by bnez — 5 scalar instructions for one pointer.
+  constexpr auto one_ptr = rvvsvm::sim::stripmine_iteration(1);
+  EXPECT_EQ(one_ptr.total(), 5u);
+  EXPECT_EQ(one_ptr.branch, 1u);
+  constexpr auto two_ptr = rvvsvm::sim::stripmine_iteration(2);
+  EXPECT_EQ(two_ptr.total(), 6u);
+}
+
+TEST(ScalarRecorder, ChargesIntoCounter) {
+  InstCounter c;
+  ScalarRecorder r(c);
+  r.alu(3);
+  r.load();
+  r.store(2);
+  r.branch();
+  r.call(4);
+  EXPECT_EQ(c.count(InstClass::kScalarAlu), 3u);
+  EXPECT_EQ(c.count(InstClass::kScalarLoad), 1u);
+  EXPECT_EQ(c.count(InstClass::kScalarStore), 2u);
+  EXPECT_EQ(c.count(InstClass::kScalarBranch), 1u);
+  EXPECT_EQ(c.count(InstClass::kScalarCall), 4u);
+}
+
+TEST(ScalarRecorder, ChargeScheduleTimesN) {
+  InstCounter c;
+  ScalarRecorder r(c);
+  r.charge({.alu = 2, .load = 1, .branch = 1}, 100);
+  EXPECT_EQ(c.count(InstClass::kScalarAlu), 200u);
+  EXPECT_EQ(c.count(InstClass::kScalarLoad), 100u);
+  EXPECT_EQ(c.count(InstClass::kScalarBranch), 100u);
+  EXPECT_EQ(c.total(), 400u);
+}
+
+}  // namespace

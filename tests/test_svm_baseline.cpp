@@ -1,0 +1,128 @@
+// Tests for the sequential baselines: correctness against references and
+// the exact per-element instruction schedules the paper's Tables 2-4
+// baseline columns imply (6/6/11 instructions per element).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "svm/baseline/baseline.hpp"
+#include "svm/baseline/qsort.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_flags;
+using test::random_vector;
+using T = std::uint32_t;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 1024}};
+  rvv::MachineScope scope{machine};
+
+  std::uint64_t measure(const std::function<void()>& f) {
+    const auto before = machine.counter().snapshot();
+    f();
+    return (machine.counter().snapshot() - before).total();
+  }
+};
+
+TEST_F(BaselineTest, PAddComputesAndCostsSixPerElement) {
+  auto a = random_vector<T>(1000, 1);
+  const auto input = a;
+  const auto count = measure([&] {
+    svm::baseline::p_add<T>(std::span<T>(a), 9u);
+  });
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], input[i] + 9u);
+  EXPECT_EQ(count, 6u * 1000 + 1);  // matches paper Table 2: 6002 for N=1000
+}
+
+TEST_F(BaselineTest, PlusScanComputesAndCostsSixPerElement) {
+  auto a = random_vector<T>(1000, 2);
+  const auto expect = test::ref_scan_inclusive(a, T{0}, [](T x, T y) { return x + y; });
+  const auto count = measure([&] {
+    svm::baseline::plus_scan<T>(std::span<T>(a));
+  });
+  EXPECT_EQ(a, expect);
+  EXPECT_EQ(count, 6u * 1000 + 1);
+}
+
+TEST_F(BaselineTest, ExclusiveScan) {
+  auto a = random_vector<T>(500, 3);
+  const auto expect = test::ref_scan_exclusive(a, T{0}, [](T x, T y) { return x + y; });
+  svm::baseline::plus_scan_exclusive<T>(std::span<T>(a));
+  EXPECT_EQ(a, expect);
+}
+
+TEST_F(BaselineTest, SegScanComputesAndCostsElevenPerElement) {
+  auto a = random_vector<T>(1000, 4);
+  const auto flags = random_flags<T>(1000, 5, 0.05);
+  const auto expect = test::ref_seg_scan(a, flags, T{0}, [](T x, T y) { return x + y; });
+  const auto count = measure([&] {
+    svm::baseline::seg_plus_scan<T>(std::span<T>(a), std::span<const T>(flags));
+  });
+  EXPECT_EQ(a, expect);
+  EXPECT_EQ(count, 11u * 1000 + 1);  // matches paper Table 4: 11024-ish
+}
+
+TEST_F(BaselineTest, EnumerateMatchesVectorizedSemantics) {
+  const auto flags = random_flags<T>(700, 6, 0.5);
+  std::vector<T> dst(700);
+  const auto total = svm::baseline::enumerate<T>(std::span<const T>(flags),
+                                                 std::span<T>(dst), true);
+  T count = 0;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    ASSERT_EQ(dst[i], count);
+    if (flags[i] == 1) ++count;
+  }
+  EXPECT_EQ(total, count);
+}
+
+TEST_F(BaselineTest, QsortSortsEveryDistribution) {
+  const auto check = [&](std::vector<T> v) {
+    auto expect = v;
+    std::sort(expect.begin(), expect.end());
+    svm::baseline::qsort_u32(std::span<T>(v));
+    EXPECT_EQ(v, expect);
+  };
+  check({});
+  check({42});
+  check({2, 1});
+  check(random_vector<T>(1000, 7));
+  check(random_vector<T>(1000, 8, 4));  // many duplicates
+  std::vector<T> sorted(500);
+  std::iota(sorted.begin(), sorted.end(), 0u);
+  check(sorted);
+  std::vector<T> reversed(sorted.rbegin(), sorted.rend());
+  check(reversed);
+  check(std::vector<T>(300, 7u));  // all equal
+}
+
+TEST_F(BaselineTest, QsortStatsAreNLogNShaped) {
+  auto v = random_vector<T>(10000, 9);
+  svm::baseline::qsort_u32(std::span<T>(v));
+  const auto stats = svm::baseline::last_qsort_stats();
+  // n lg n ~ 132877 for n = 10^4: comparisons land within a small factor.
+  EXPECT_GT(stats.comparisons, 100000u);
+  EXPECT_LT(stats.comparisons, 400000u);
+  EXPECT_GT(stats.swaps, 0u);
+}
+
+TEST_F(BaselineTest, QsortAllEqualIsLinear) {
+  std::vector<T> v(10000, 5u);
+  svm::baseline::qsort_u32(std::span<T>(v));
+  const auto stats = svm::baseline::last_qsort_stats();
+  // Three-way partitioning makes the all-equal case O(n), not O(n^2).
+  EXPECT_LT(stats.comparisons, 60000u);
+}
+
+TEST_F(BaselineTest, QsortChargesComparatorCalls) {
+  auto v = random_vector<T>(256, 10);
+  const auto count = measure([&] { svm::baseline::qsort_u32(std::span<T>(v)); });
+  const auto stats = svm::baseline::last_qsort_stats();
+  // Every comparison costs 8 modeled instructions; total must exceed that.
+  EXPECT_GE(count, stats.comparisons * 8);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Tests for the elementwise instruction class: arithmetic against scalar
+// references across boundary sizes, p_select semantics, comparison flags,
+// and the closed-form instruction count of p-add (the paper's Listing 2/4
+// schedule: 9 instructions per strip-mine iteration plus one guard branch).
+#include <gtest/gtest.h>
+
+#include "svm/elementwise.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_vector;
+using T = std::uint32_t;
+
+class ElementwiseTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+};
+
+TEST_F(ElementwiseTest, PAddScalarAllSizes) {
+  for (const std::size_t n : test::boundary_sizes(machine.vlmax<T>())) {
+    auto a = random_vector<T>(n, static_cast<std::uint32_t>(n));
+    const auto input = a;
+    svm::p_add<T>(std::span<T>(a), 77u);
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(a[i], input[i] + 77u) << n << ":" << i;
+  }
+}
+
+TEST_F(ElementwiseTest, VectorVectorOps) {
+  const std::size_t n = 131;
+  const auto b = random_vector<T>(n, 2);
+  struct Case {
+    void (*op)(std::span<T>, std::span<const T>);
+    T (*ref)(T, T);
+  };
+  const Case cases[] = {
+      {&svm::p_add<T, 1>, [](T x, T y) { return x + y; }},
+      {&svm::p_sub<T, 1>, [](T x, T y) { return x - y; }},
+      {&svm::p_mul<T, 1>, [](T x, T y) { return x * y; }},
+      {&svm::p_max<T, 1>, [](T x, T y) { return x > y ? x : y; }},
+      {&svm::p_min<T, 1>, [](T x, T y) { return x < y ? x : y; }},
+      {&svm::p_and<T, 1>, [](T x, T y) { return x & y; }},
+      {&svm::p_or<T, 1>, [](T x, T y) { return x | y; }},
+      {&svm::p_xor<T, 1>, [](T x, T y) { return x ^ y; }},
+  };
+  for (const auto& c : cases) {
+    auto a = random_vector<T>(n, 1);
+    const auto input = a;
+    c.op(std::span<T>(a), std::span<const T>(b));
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(a[i], c.ref(input[i], b[i])) << i;
+    }
+  }
+}
+
+TEST_F(ElementwiseTest, Shifts) {
+  auto a = random_vector<T>(100, 3);
+  const auto input = a;
+  svm::p_shift_right<T>(std::span<T>(a), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], input[i] >> 4);
+  auto b = input;
+  svm::p_shift_left<T>(std::span<T>(b), 3u);
+  for (std::size_t i = 0; i < b.size(); ++i) ASSERT_EQ(b[i], input[i] << 3);
+}
+
+TEST_F(ElementwiseTest, SelectReplacesWhereFlagged) {
+  const std::vector<T> flags{0, 1, 0, 1, 1};
+  const std::vector<T> if_true{10, 20, 30, 40, 50};
+  std::vector<T> dst{1, 2, 3, 4, 5};
+  svm::p_select<T>(std::span<const T>(flags), std::span<const T>(if_true),
+                   std::span<T>(dst));
+  EXPECT_EQ(dst, (std::vector<T>{1, 20, 3, 40, 50}));
+}
+
+TEST_F(ElementwiseTest, SelectTreatsAnyNonZeroAsTrue) {
+  const std::vector<T> flags{0, 7, 0};
+  const std::vector<T> if_true{9, 9, 9};
+  std::vector<T> dst{1, 2, 3};
+  svm::p_select<T>(std::span<const T>(flags), std::span<const T>(if_true),
+                   std::span<T>(dst));
+  EXPECT_EQ(dst, (std::vector<T>{1, 9, 3}));
+}
+
+TEST_F(ElementwiseTest, ComparisonFlags) {
+  const std::vector<T> a{1, 5, 3, 3};
+  const std::vector<T> b{2, 4, 3, 1};
+  std::vector<T> lt(4), eq(4), gt(4), ne(4);
+  svm::p_flag_lt<T>(std::span<const T>(a), std::span<const T>(b), std::span<T>(lt));
+  svm::p_flag_eq<T>(std::span<const T>(a), std::span<const T>(b), std::span<T>(eq));
+  svm::p_flag_gt<T>(std::span<const T>(a), std::span<const T>(b), std::span<T>(gt));
+  svm::p_flag_ne<T>(std::span<const T>(a), std::span<const T>(b), std::span<T>(ne));
+  EXPECT_EQ(lt, (std::vector<T>{1, 0, 0, 0}));
+  EXPECT_EQ(eq, (std::vector<T>{0, 0, 1, 0}));
+  EXPECT_EQ(gt, (std::vector<T>{0, 1, 0, 1}));
+  EXPECT_EQ(ne, (std::vector<T>{1, 1, 0, 1}));
+  // The three partition flags of any pair sum to exactly 1.
+  for (std::size_t i = 0; i < 4; ++i) ASSERT_EQ(lt[i] + eq[i] + gt[i], 1u);
+}
+
+TEST_F(ElementwiseTest, ScalarThresholdFlag) {
+  const std::vector<T> a{1, 5, 3, 9};
+  std::vector<T> f(4);
+  svm::p_flag_gt<T>(std::span<const T>(a), 3u, std::span<T>(f));
+  EXPECT_EQ(f, (std::vector<T>{0, 1, 0, 1}));
+}
+
+TEST_F(ElementwiseTest, CopyAllSizes) {
+  for (const std::size_t n : test::boundary_sizes(machine.vlmax<T>())) {
+    const auto src = random_vector<T>(n, static_cast<std::uint32_t>(n) + 9);
+    std::vector<T> dst(n, 0);
+    svm::p_copy<T>(std::span<const T>(src), std::span<T>(dst));
+    ASSERT_EQ(dst, src) << n;
+  }
+}
+
+TEST_F(ElementwiseTest, SizeMismatchThrows) {
+  std::vector<T> a(10);
+  std::vector<T> b(5);
+  EXPECT_THROW(svm::p_add<T>(std::span<T>(a), std::span<const T>(b)),
+               std::invalid_argument);
+  std::vector<T> dst(10);
+  EXPECT_THROW(svm::p_select<T>(std::span<const T>(b), std::span<const T>(a),
+                                std::span<T>(dst)),
+               std::invalid_argument);
+}
+
+TEST_F(ElementwiseTest, SignedAndNarrowTypes) {
+  std::vector<std::int32_t> s{-5, 0, 5};
+  svm::p_add<std::int32_t>(std::span<std::int32_t>(s), -10);
+  EXPECT_EQ(s, (std::vector<std::int32_t>{-15, -10, -5}));
+  std::vector<std::uint8_t> b{250, 10};
+  svm::p_add<std::uint8_t>(std::span<std::uint8_t>(b), std::uint8_t{10});
+  EXPECT_EQ(b[0], std::uint8_t{4});  // wraps mod 256
+  EXPECT_EQ(b[1], std::uint8_t{20});
+  std::vector<std::uint64_t> w{1ull << 60};
+  svm::p_add<std::uint64_t>(std::span<std::uint64_t>(w), std::uint64_t{5});
+  EXPECT_EQ(w[0], (1ull << 60) + 5);
+}
+
+// --- closed-form instruction counts (the model contract) -------------------
+
+TEST(ElementwiseCounts, PAddMatchesListing2Schedule) {
+  // Per strip-mine iteration: vsetvl + vle + vadd + vse (4 vector) plus the
+  // Listing 2 scalar bookkeeping for one pointer (5) = 9; one guard branch.
+  for (const unsigned vlen : {128u, 256u, 1024u}) {
+    rvv::Machine machine(rvv::Machine::Config{.vlen_bits = vlen});
+    rvv::MachineScope scope(machine);
+    const std::size_t vl = machine.vlmax<T>();
+    for (const std::size_t n : {std::size_t{1}, vl, 3 * vl + 1, std::size_t{1000}}) {
+      auto a = random_vector<T>(n, 4);
+      const auto before = machine.counter().snapshot();
+      svm::p_add<T>(std::span<T>(a), 1u);
+      const auto total = (machine.counter().snapshot() - before).total();
+      const std::uint64_t iters = (n + vl - 1) / vl;
+      EXPECT_EQ(total, 9 * iters + 1) << "vlen=" << vlen << " n=" << n;
+    }
+  }
+}
+
+TEST(ElementwiseCounts, LmulDividesIterationCount) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
+  rvv::MachineScope scope(machine);
+  const std::size_t n = 10000;
+  auto a = random_vector<T>(n, 5);
+  const auto b1 = machine.counter().snapshot();
+  svm::p_add<T, 1>(std::span<T>(a), 1u);
+  const auto c1 = (machine.counter().snapshot() - b1).total();
+  const auto b8 = machine.counter().snapshot();
+  svm::p_add<T, 8>(std::span<T>(a), 1u);
+  const auto c8 = (machine.counter().snapshot() - b8).total();
+  // p-add keeps one live vector value: no spills at any LMUL, so LMUL=8
+  // runs ~8x fewer iterations.
+  EXPECT_NEAR(static_cast<double>(c1) / static_cast<double>(c8), 8.0, 0.3);
+}
+
+TEST(ElementwiseCounts, DeterministicAcrossRuns) {
+  const auto run = [] {
+    rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 512});
+    rvv::MachineScope scope(machine);
+    auto a = random_vector<T>(777, 6);
+    svm::p_add<T>(std::span<T>(a), 3u);
+    return machine.counter().total();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace

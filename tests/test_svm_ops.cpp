@@ -1,0 +1,200 @@
+// Tests for the derived operations (enumerate, get_flags, split) and the
+// permutation class (permute, gather, pack, reverse): the building blocks
+// of the split radix sort, each checked against scalar references and
+// the model's algebraic identities (enumerate == exclusive scan of flags,
+// split is a stable partition, permute is a bijection).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "svm/baseline/baseline.hpp"
+#include "svm/svm.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_flags;
+using test::random_vector;
+using T = std::uint32_t;
+
+class OpsTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+};
+
+TEST_F(OpsTest, EnumerateEqualsExclusiveScanOfFlags) {
+  for (const std::size_t n : test::boundary_sizes(machine.vlmax<T>())) {
+    const auto flags = random_flags<T>(n, static_cast<std::uint32_t>(n) + 1, 0.4);
+    std::vector<T> dst(n);
+    const std::size_t total = svm::enumerate<T>(std::span<const T>(flags),
+                                                std::span<T>(dst), true);
+    T count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(dst[i], count) << i;
+      if (flags[i] == 1) ++count;
+    }
+    EXPECT_EQ(total, count);
+  }
+}
+
+TEST_F(OpsTest, EnumerateZeroFlags) {
+  const std::vector<T> flags{0, 1, 0, 0, 1, 0};
+  std::vector<T> dst(6);
+  const std::size_t zeros = svm::enumerate<T>(std::span<const T>(flags),
+                                              std::span<T>(dst), false);
+  EXPECT_EQ(zeros, 4u);
+  EXPECT_EQ(dst, (std::vector<T>{0, 1, 1, 2, 3, 3}));
+}
+
+TEST_F(OpsTest, EnumerateOfOnesComplementsEnumerateOfZeros) {
+  const auto flags = random_flags<T>(300, 2, 0.5);
+  std::vector<T> e0(300), e1(300);
+  const auto z = svm::enumerate<T>(std::span<const T>(flags), std::span<T>(e0), false);
+  const auto o = svm::enumerate<T>(std::span<const T>(flags), std::span<T>(e1), true);
+  EXPECT_EQ(z + o, 300u);
+  for (std::size_t i = 0; i < 300; ++i) {
+    ASSERT_EQ(e0[i] + e1[i], static_cast<T>(i)) << i;
+  }
+}
+
+TEST_F(OpsTest, GetFlagsExtractsBit) {
+  const auto src = random_vector<T>(200, 3);
+  std::vector<T> flags(200);
+  for (const unsigned bit : {0u, 5u, 31u}) {
+    svm::get_flags<T>(std::span<const T>(src), std::span<T>(flags), bit);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      ASSERT_EQ(flags[i], (src[i] >> bit) & 1u) << "bit=" << bit << " i=" << i;
+    }
+  }
+}
+
+TEST_F(OpsTest, SplitIsStablePartition) {
+  const auto src = random_vector<T>(257, 4, 1000);
+  const auto flags = random_flags<T>(257, 5, 0.5);
+  std::vector<T> dst(257);
+  const std::size_t zeros = svm::split<T>(std::span<const T>(src), std::span<T>(dst),
+                                          std::span<const T>(flags));
+  // Reference stable partition.
+  std::vector<T> expect;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (flags[i] == 0) expect.push_back(src[i]);
+  }
+  const std::size_t expect_zeros = expect.size();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (flags[i] != 0) expect.push_back(src[i]);
+  }
+  EXPECT_EQ(zeros, expect_zeros);
+  EXPECT_EQ(dst, expect);
+}
+
+TEST_F(OpsTest, SplitAllZerosAllOnes) {
+  const auto src = random_vector<T>(50, 6);
+  std::vector<T> dst(50);
+  const std::vector<T> zeros(50, 0);
+  EXPECT_EQ(svm::split<T>(std::span<const T>(src), std::span<T>(dst),
+                          std::span<const T>(zeros)),
+            50u);
+  EXPECT_EQ(dst, src);
+  const std::vector<T> ones(50, 1);
+  EXPECT_EQ(svm::split<T>(std::span<const T>(src), std::span<T>(dst),
+                          std::span<const T>(ones)),
+            0u);
+  EXPECT_EQ(dst, src);
+}
+
+TEST_F(OpsTest, PermuteIsBijection) {
+  const std::size_t n = 123;
+  const auto src = random_vector<T>(n, 7);
+  // Build a random permutation as the index vector.
+  std::vector<T> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::mt19937 rng(8);
+  std::shuffle(idx.begin(), idx.end(), rng);
+  std::vector<T> dst(n, 0);
+  svm::permute<T>(std::span<const T>(src), std::span<T>(dst), std::span<const T>(idx));
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(dst[idx[i]], src[i]) << i;
+  }
+  // Inverting through gather recovers the source.
+  std::vector<T> back(n);
+  svm::gather<T>(std::span<const T>(dst), std::span<T>(back), std::span<const T>(idx));
+  EXPECT_EQ(back, src);
+}
+
+TEST_F(OpsTest, PermuteOutOfRangeIndexThrows) {
+  const std::vector<T> src{1, 2};
+  const std::vector<T> idx{0, 5};
+  std::vector<T> dst(2);
+  EXPECT_THROW(svm::permute<T>(std::span<const T>(src), std::span<T>(dst),
+                               std::span<const T>(idx)),
+               std::out_of_range);
+}
+
+TEST_F(OpsTest, PermuteMaskedScattersOnlyFlagged) {
+  const std::vector<T> src{10, 20, 30};
+  const std::vector<T> idx{0, 1, 2};
+  const std::vector<T> flags{1, 0, 1};
+  std::vector<T> dst(3, 99);
+  svm::permute_masked<T>(std::span<const T>(src), std::span<T>(dst),
+                         std::span<const T>(idx), std::span<const T>(flags));
+  EXPECT_EQ(dst, (std::vector<T>{10, 99, 30}));
+}
+
+TEST_F(OpsTest, PackKeepsOrderAndCount) {
+  const auto src = random_vector<T>(311, 9);
+  const auto flags = random_flags<T>(311, 10, 0.3);
+  std::vector<T> dst(311, 0);
+  const std::size_t kept = svm::pack<T>(std::span<const T>(src), std::span<T>(dst),
+                                        std::span<const T>(flags));
+  std::vector<T> expect;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (flags[i] != 0) expect.push_back(src[i]);
+  }
+  EXPECT_EQ(kept, expect.size());
+  EXPECT_EQ(std::vector<T>(dst.begin(), dst.begin() + static_cast<long>(kept)), expect);
+}
+
+TEST_F(OpsTest, PackDestinationTooSmallThrows) {
+  const std::vector<T> src{1, 2, 3};
+  const std::vector<T> flags{1, 1, 1};
+  std::vector<T> dst(2);
+  EXPECT_THROW(static_cast<void>(svm::pack<T>(std::span<const T>(src), std::span<T>(dst),
+                                              std::span<const T>(flags))),
+               std::out_of_range);
+}
+
+TEST_F(OpsTest, ReverseAllSizes) {
+  for (const std::size_t n : test::boundary_sizes(machine.vlmax<T>())) {
+    const auto src = random_vector<T>(n, static_cast<std::uint32_t>(n) + 11);
+    std::vector<T> dst(n);
+    svm::reverse<T>(std::span<const T>(src), std::span<T>(dst));
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(dst[i], src[n - 1 - i]) << i;
+  }
+}
+
+TEST_F(OpsTest, IndexFill) {
+  std::vector<T> v(100);
+  svm::index_fill<T>(std::span<T>(v));
+  for (std::size_t i = 0; i < v.size(); ++i) ASSERT_EQ(v[i], i);
+  svm::index_fill<T>(std::span<T>(v), 1000u);
+  for (std::size_t i = 0; i < v.size(); ++i) ASSERT_EQ(v[i], 1000 + i);
+}
+
+TEST_F(OpsTest, SplitMatchesBaselineSplit) {
+  const auto src = random_vector<T>(400, 12);
+  const auto flags = random_flags<T>(400, 13, 0.6);
+  std::vector<T> vec_dst(400), base_dst(400);
+  const auto a = svm::split<T>(std::span<const T>(src), std::span<T>(vec_dst),
+                               std::span<const T>(flags));
+  const auto b = svm::baseline::split<T>(std::span<const T>(src),
+                                         std::span<T>(base_dst),
+                                         std::span<const T>(flags));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(vec_dst, base_dst);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Property tests for the unsegmented scans: every operator, inclusive and
+// exclusive, swept across VLEN, LMUL and strip-mining boundary sizes, each
+// checked against a scalar reference (scan(x)[i] = scan(x)[i-1] op x[i]).
+#include <gtest/gtest.h>
+
+#include "svm/scan.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::boundary_sizes;
+using test::random_vector;
+using T = std::uint32_t;
+
+struct SweepParam {
+  unsigned vlen;
+  unsigned lmul;
+};
+
+class ScanSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  template <class Op, unsigned LMUL>
+  void check_op() {
+    const auto [vlen, lmul] = GetParam();
+    if (lmul != LMUL) return;
+    rvv::Machine machine(rvv::Machine::Config{.vlen_bits = vlen});
+    rvv::MachineScope scope(machine);
+    const std::size_t vl = machine.vlmax<T>(LMUL);
+    for (const std::size_t n : boundary_sizes(vl)) {
+      auto data = random_vector<T>(n, static_cast<std::uint32_t>(n) + vlen);
+      const auto input = data;
+      svm::scan_inclusive<Op, T, LMUL>(std::span<T>(data));
+      const auto expect = test::ref_scan_inclusive(
+          input, Op::template identity<T>(),
+          [](T a, T b) { return Op::template scalar<T>(a, b); });
+      ASSERT_EQ(data, expect) << "op=" << Op::name << " n=" << n << " vlen=" << vlen;
+
+      auto ex = input;
+      svm::scan_exclusive<Op, T, LMUL>(std::span<T>(ex));
+      const auto expect_ex = test::ref_scan_exclusive(
+          input, Op::template identity<T>(),
+          [](T a, T b) { return Op::template scalar<T>(a, b); });
+      ASSERT_EQ(ex, expect_ex) << "exclusive op=" << Op::name << " n=" << n;
+    }
+  }
+
+  template <class Op>
+  void check_all_lmuls() {
+    check_op<Op, 1>();
+    check_op<Op, 2>();
+    check_op<Op, 4>();
+    check_op<Op, 8>();
+  }
+};
+
+TEST_P(ScanSweep, Plus) { check_all_lmuls<svm::PlusOp>(); }
+TEST_P(ScanSweep, Max) { check_all_lmuls<svm::MaxOp>(); }
+TEST_P(ScanSweep, Min) { check_all_lmuls<svm::MinOp>(); }
+TEST_P(ScanSweep, Or) { check_all_lmuls<svm::OrOp>(); }
+TEST_P(ScanSweep, And) { check_all_lmuls<svm::AndOp>(); }
+TEST_P(ScanSweep, Xor) { check_all_lmuls<svm::XorOp>(); }
+
+INSTANTIATE_TEST_SUITE_P(
+    VlenLmul, ScanSweep,
+    ::testing::Values(SweepParam{128, 1}, SweepParam{128, 8}, SweepParam{256, 1},
+                      SweepParam{256, 2}, SweepParam{512, 4}, SweepParam{1024, 1},
+                      SweepParam{1024, 2}, SweepParam{1024, 4}, SweepParam{1024, 8}),
+    [](const auto& param_info) {
+      return "vlen" + std::to_string(param_info.param.vlen) + "_m" +
+             std::to_string(param_info.param.lmul);
+    });
+
+TEST(Scan, NamedWrappersMatchGeneric) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  const auto input = random_vector<T>(100, 5);
+  auto a = input;
+  auto b = input;
+  svm::plus_scan<T>(std::span<T>(a));
+  svm::scan_inclusive<svm::PlusOp, T>(std::span<T>(b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Scan, ExclusiveIsShiftedInclusive) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  const auto input = random_vector<T>(333, 6);
+  auto incl = input;
+  auto excl = input;
+  svm::plus_scan<T>(std::span<T>(incl));
+  svm::plus_scan_exclusive<T>(std::span<T>(excl));
+  EXPECT_EQ(excl[0], 0u);
+  for (std::size_t i = 1; i < input.size(); ++i) {
+    ASSERT_EQ(excl[i], incl[i - 1]) << i;
+  }
+}
+
+TEST(Scan, InclusiveRecurrenceHolds) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 512});
+  rvv::MachineScope scope(machine);
+  const auto input = random_vector<T>(1000, 7);
+  auto s = input;
+  svm::plus_scan<T>(std::span<T>(s));
+  EXPECT_EQ(s[0], input[0]);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    ASSERT_EQ(s[i], s[i - 1] + input[i]) << i;
+  }
+}
+
+TEST(Scan, WrapAroundValuesAreExact) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  std::vector<T> data(50, 0xF0000000u);  // overflows every few elements
+  const auto input = data;
+  svm::plus_scan<T>(std::span<T>(data));
+  T acc = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    acc += input[i];
+    ASSERT_EQ(data[i], acc) << i;
+  }
+}
+
+TEST(Scan, SignedElements) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  std::vector<std::int32_t> data{5, -3, 10, -20, 7};
+  svm::plus_scan<std::int32_t>(std::span<std::int32_t>(data));
+  EXPECT_EQ(data, (std::vector<std::int32_t>{5, 2, 12, -8, -1}));
+  std::vector<std::int32_t> mx{-5, -2, -9, 3, 1};
+  svm::max_scan<std::int32_t>(std::span<std::int32_t>(mx));
+  EXPECT_EQ(mx, (std::vector<std::int32_t>{-5, -2, -2, 3, 3}));
+}
+
+TEST(Scan, EmptyAndSingle) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  std::vector<T> empty;
+  svm::plus_scan<T>(std::span<T>(empty));  // no-op, no crash
+  std::vector<T> one{42};
+  svm::plus_scan<T>(std::span<T>(one));
+  EXPECT_EQ(one[0], 42u);
+  std::vector<T> one_ex{42};
+  svm::plus_scan_exclusive<T>(std::span<T>(one_ex));
+  EXPECT_EQ(one_ex[0], 0u);
+}
+
+TEST(Reduce, MatchesScanTail) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 512});
+  rvv::MachineScope scope(machine);
+  const auto input = random_vector<T>(777, 8);
+  auto s = input;
+  svm::plus_scan<T>(std::span<T>(s));
+  EXPECT_EQ((svm::reduce<svm::PlusOp, T>(std::span<const T>(input))), s.back());
+  EXPECT_EQ((svm::reduce<svm::MaxOp, T>(std::span<const T>(input))),
+            *std::max_element(input.begin(), input.end()));
+  EXPECT_EQ((svm::reduce<svm::MinOp, T>(std::span<const T>(input))),
+            *std::min_element(input.begin(), input.end()));
+}
+
+TEST(Reduce, AllOperators) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 256});
+  rvv::MachineScope scope(machine);
+  const auto input = random_vector<T>(100, 9);
+  T sum = 0, band = ~T{0}, bor = 0, bxor = 0;
+  for (const T v : input) {
+    sum += v;
+    band &= v;
+    bor |= v;
+    bxor ^= v;
+  }
+  EXPECT_EQ((svm::reduce<svm::PlusOp, T>(std::span<const T>(input))), sum);
+  EXPECT_EQ((svm::reduce<svm::AndOp, T>(std::span<const T>(input))), band);
+  EXPECT_EQ((svm::reduce<svm::OrOp, T>(std::span<const T>(input))), bor);
+  EXPECT_EQ((svm::reduce<svm::XorOp, T>(std::span<const T>(input))), bxor);
+}
+
+}  // namespace

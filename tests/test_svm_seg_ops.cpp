@@ -1,0 +1,202 @@
+// Tests for the higher-order segmented operations: the generic exclusive
+// segmented scan (any operator), segmented split (split-and-segment), and
+// segmented reduce.
+#include <gtest/gtest.h>
+
+#include "svm/scan.hpp"
+#include "svm/seg_ops.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_flags;
+using test::random_vector;
+using T = std::uint32_t;
+
+class SegOpsTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+};
+
+template <class Op>
+std::vector<T> ref_seg_exclusive(const std::vector<T>& in, const std::vector<T>& heads) {
+  std::vector<T> out(in.size());
+  T acc = Op::template identity<T>();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (i == 0 || heads[i] != 0) acc = Op::template identity<T>();
+    out[i] = acc;
+    acc = Op::template scalar<T>(acc, in[i]);
+  }
+  return out;
+}
+
+TEST_F(SegOpsTest, ExclusiveSegScanPlusAllShapes) {
+  const std::size_t vl = machine.vlmax<T>();
+  for (const std::size_t n : test::boundary_sizes(vl)) {
+    for (const double density : {0.0, 0.15, 1.0}) {
+      auto flags = random_flags<T>(n, static_cast<std::uint32_t>(n) + 40, density);
+      auto data = random_vector<T>(n, static_cast<std::uint32_t>(n) + 41);
+      const auto input = data;
+      svm::seg_scan_exclusive<svm::PlusOp, T>(std::span<T>(data),
+                                              std::span<const T>(flags));
+      ASSERT_EQ(data, ref_seg_exclusive<svm::PlusOp>(input, flags))
+          << "n=" << n << " d=" << density;
+    }
+  }
+}
+
+TEST_F(SegOpsTest, ExclusiveSegScanWorksForNonInvertibleOps) {
+  // max has no inverse: this exercises the genuinely general slide-based
+  // construction, not subtraction.
+  const auto data_in = random_vector<T>(500, 42);
+  const auto flags = random_flags<T>(500, 43, 0.1);
+  auto mx = data_in;
+  svm::seg_scan_exclusive<svm::MaxOp, T>(std::span<T>(mx), std::span<const T>(flags));
+  EXPECT_EQ(mx, ref_seg_exclusive<svm::MaxOp>(data_in, flags));
+
+  auto mn = data_in;
+  svm::seg_scan_exclusive<svm::MinOp, T>(std::span<T>(mn), std::span<const T>(flags));
+  EXPECT_EQ(mn, ref_seg_exclusive<svm::MinOp>(data_in, flags));
+
+  auto o = data_in;
+  svm::seg_scan_exclusive<svm::OrOp, T>(std::span<T>(o), std::span<const T>(flags));
+  EXPECT_EQ(o, ref_seg_exclusive<svm::OrOp>(data_in, flags));
+}
+
+TEST_F(SegOpsTest, ExclusiveCarryCrossesBlocksWithinSegment) {
+  const std::size_t vl = machine.vlmax<T>();
+  const std::size_t n = 3 * vl;
+  const auto input = random_vector<T>(n, 44);
+  std::vector<T> flags(n, 0);  // one giant segment
+  auto ex = input;
+  svm::seg_scan_exclusive<svm::PlusOp, T>(std::span<T>(ex), std::span<const T>(flags));
+  // Must equal the unsegmented exclusive scan.
+  auto ref = input;
+  svm::plus_scan_exclusive<T>(std::span<T>(ref));
+  EXPECT_EQ(ex, ref);
+}
+
+TEST_F(SegOpsTest, SegSplitPartitionsEachSegmentStably) {
+  const std::size_t n = 400;
+  const auto src = random_vector<T>(n, 45, 1000);
+  const auto flags = random_flags<T>(n, 46, 0.5);
+  auto heads = random_flags<T>(n, 47, 0.05);
+  std::vector<T> dst(n);
+  svm::seg_split<T>(std::span<const T>(src), std::span<T>(dst),
+                    std::span<const T>(flags), std::span<const T>(heads));
+  // Reference: stable partition per segment.
+  std::vector<T> expect;
+  std::size_t s = 0;
+  while (s < n) {
+    std::size_t e = s + 1;
+    while (e < n && heads[e] == 0) ++e;
+    for (std::size_t i = s; i < e; ++i) {
+      if (flags[i] == 0) expect.push_back(src[i]);
+    }
+    for (std::size_t i = s; i < e; ++i) {
+      if (flags[i] != 0) expect.push_back(src[i]);
+    }
+    s = e;
+  }
+  EXPECT_EQ(dst, expect);
+}
+
+TEST_F(SegOpsTest, SegSplitSingleSegmentMatchesPlainSplit) {
+  const auto src = random_vector<T>(300, 48, 100);
+  const auto flags = random_flags<T>(300, 49, 0.4);
+  std::vector<T> heads(300, 0);
+  heads[0] = 1;
+  std::vector<T> seg_dst(300), plain_dst(300);
+  svm::seg_split<T>(std::span<const T>(src), std::span<T>(seg_dst),
+                    std::span<const T>(flags), std::span<const T>(heads));
+  static_cast<void>(svm::split<T>(std::span<const T>(src), std::span<T>(plain_dst),
+                                  std::span<const T>(flags)));
+  EXPECT_EQ(seg_dst, plain_dst);
+}
+
+TEST_F(SegOpsTest, SegSplitEmitsNewHeads) {
+  //            seg A          | seg B
+  const std::vector<T> src  {5, 6, 7, 8,   9, 10};
+  const std::vector<T> flags{1, 0, 1, 0,   0, 0};   // A: two 1s; B: none
+  const std::vector<T> heads{1, 0, 0, 0,   1, 0};
+  std::vector<T> dst(6), new_heads(6);
+  svm::seg_split<T>(std::span<const T>(src), std::span<T>(dst),
+                    std::span<const T>(flags), std::span<const T>(heads),
+                    std::span<T>(new_heads));
+  EXPECT_EQ(dst, (std::vector<T>{6, 8, 5, 7, 9, 10}));
+  // New heads: A's old head, A's flag-1 group start (index 2), B's head.
+  EXPECT_EQ(new_heads, (std::vector<T>{1, 0, 1, 0, 1, 0}));
+}
+
+TEST_F(SegOpsTest, SegSplitNewHeadsAllOnesSegmentHarmless) {
+  const std::vector<T> src  {5, 6, 7};
+  const std::vector<T> flags{1, 1, 1};
+  const std::vector<T> heads{1, 0, 0};
+  std::vector<T> dst(3), new_heads(3);
+  svm::seg_split<T>(std::span<const T>(src), std::span<T>(dst),
+                    std::span<const T>(flags), std::span<const T>(heads),
+                    std::span<T>(new_heads));
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(new_heads, (std::vector<T>{1, 0, 0}));  // group boundary == head
+}
+
+TEST_F(SegOpsTest, SegReduceTotalsInSegmentOrder) {
+  const std::vector<T> data {1, 2, 3,  10, 20,  5};
+  const std::vector<T> heads{1, 0, 0,  1, 0,    1};
+  std::vector<T> out(6, 99);
+  const std::size_t segs = svm::seg_reduce<svm::PlusOp, T>(
+      std::span<const T>(data), std::span<const T>(heads), std::span<T>(out));
+  EXPECT_EQ(segs, 3u);
+  EXPECT_EQ(std::vector<T>(out.begin(), out.begin() + 3), (std::vector<T>{6, 30, 5}));
+}
+
+TEST_F(SegOpsTest, SegReduceMaxAcrossBlocks) {
+  const std::size_t vl = machine.vlmax<T>();
+  const std::size_t n = 4 * vl + 3;
+  const auto data = random_vector<T>(n, 50);
+  auto heads = random_flags<T>(n, 51, 0.03);
+  std::vector<T> out(n);
+  const std::size_t segs = svm::seg_reduce<svm::MaxOp, T>(
+      std::span<const T>(data), std::span<const T>(heads), std::span<T>(out));
+  // Reference.
+  std::vector<T> expect;
+  T cur = 0;
+  bool open = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0 || heads[i] != 0) {
+      if (open) expect.push_back(cur);
+      cur = data[i];
+      open = true;
+    } else {
+      cur = std::max(cur, data[i]);
+    }
+  }
+  if (open) expect.push_back(cur);
+  EXPECT_EQ(segs, expect.size());
+  EXPECT_EQ(std::vector<T>(out.begin(), out.begin() + static_cast<long>(segs)), expect);
+}
+
+TEST_F(SegOpsTest, SegReduceImplicitHeadAtZero) {
+  const std::vector<T> data {4, 5,  6};
+  const std::vector<T> heads{0, 0,  1};  // element 0 starts a segment anyway
+  std::vector<T> out(3);
+  const std::size_t segs = svm::seg_reduce<svm::PlusOp, T>(
+      std::span<const T>(data), std::span<const T>(heads), std::span<T>(out));
+  EXPECT_EQ(segs, 2u);
+  EXPECT_EQ(out[0], 9u);
+  EXPECT_EQ(out[1], 6u);
+}
+
+TEST_F(SegOpsTest, EmptyInputs) {
+  std::vector<T> empty;
+  EXPECT_EQ((svm::seg_reduce<svm::PlusOp, T>(std::span<const T>(empty),
+                                             std::span<const T>(empty),
+                                             std::span<T>(empty))),
+            0u);
+  svm::seg_split<T>(std::span<const T>(empty), std::span<T>(empty),
+                    std::span<const T>(empty), std::span<const T>(empty));
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the segment-descriptor conversions (head-flags ⇄ lengths ⇄
+// head-pointers), including round-trips and validation.
+#include <gtest/gtest.h>
+
+#include "svm/segdesc.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using T = std::uint32_t;
+
+class SegDescTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+};
+
+TEST_F(SegDescTest, LengthsToHeadFlags) {
+  const std::vector<T> lengths{3, 2, 4};
+  std::vector<T> flags(9, 99);
+  svm::lengths_to_head_flags<T>(std::span<const T>(lengths), std::span<T>(flags));
+  EXPECT_EQ(flags, (std::vector<T>{1, 0, 0, 1, 0, 1, 0, 0, 0}));
+}
+
+TEST_F(SegDescTest, SingleSegment) {
+  const std::vector<T> lengths{5};
+  std::vector<T> flags(5);
+  svm::lengths_to_head_flags<T>(std::span<const T>(lengths), std::span<T>(flags));
+  EXPECT_EQ(flags, (std::vector<T>{1, 0, 0, 0, 0}));
+}
+
+TEST_F(SegDescTest, AllUnitSegments) {
+  const std::vector<T> lengths{1, 1, 1, 1};
+  std::vector<T> flags(4);
+  svm::lengths_to_head_flags<T>(std::span<const T>(lengths), std::span<T>(flags));
+  EXPECT_EQ(flags, (std::vector<T>{1, 1, 1, 1}));
+}
+
+TEST_F(SegDescTest, ZeroLengthSegmentRejected) {
+  const std::vector<T> lengths{2, 0, 3};
+  std::vector<T> flags(5);
+  EXPECT_THROW(
+      svm::lengths_to_head_flags<T>(std::span<const T>(lengths), std::span<T>(flags)),
+      std::invalid_argument);
+}
+
+TEST_F(SegDescTest, HeadFlagsToPointers) {
+  const std::vector<T> flags{1, 0, 0, 1, 0, 1, 0, 0, 0};
+  std::vector<T> ptrs(9, 99);
+  const std::size_t segs = svm::head_flags_to_pointers<T>(std::span<const T>(flags),
+                                                          std::span<T>(ptrs));
+  EXPECT_EQ(segs, 3u);
+  EXPECT_EQ(std::vector<T>(ptrs.begin(), ptrs.begin() + 3), (std::vector<T>{0, 3, 5}));
+}
+
+TEST_F(SegDescTest, ImplicitHeadAtZeroReported) {
+  const std::vector<T> flags{0, 0, 1, 0};
+  std::vector<T> ptrs(4);
+  const std::size_t segs = svm::head_flags_to_pointers<T>(std::span<const T>(flags),
+                                                          std::span<T>(ptrs));
+  EXPECT_EQ(segs, 2u);
+  EXPECT_EQ(ptrs[0], 0u);
+  EXPECT_EQ(ptrs[1], 2u);
+}
+
+TEST_F(SegDescTest, PointersToLengths) {
+  const std::vector<T> ptrs{0, 3, 5};
+  std::vector<T> lengths(3);
+  svm::pointers_to_lengths<T>(std::span<const T>(ptrs), 9, std::span<T>(lengths));
+  EXPECT_EQ(lengths, (std::vector<T>{3, 2, 4}));
+}
+
+TEST_F(SegDescTest, HeadFlagsToLengthsRoundTrip) {
+  const std::vector<T> lengths{4, 1, 7, 2, 19, 1, 30};
+  std::size_t n = 0;
+  for (const T l : lengths) n += l;
+  std::vector<T> flags(n);
+  svm::lengths_to_head_flags<T>(std::span<const T>(lengths), std::span<T>(flags));
+  std::vector<T> back(lengths.size(), 0);
+  const std::size_t segs = svm::head_flags_to_lengths<T>(std::span<const T>(flags),
+                                                         std::span<T>(back));
+  EXPECT_EQ(segs, lengths.size());
+  EXPECT_EQ(back, lengths);
+}
+
+TEST_F(SegDescTest, RoundTripAcrossBlockBoundaries) {
+  // Lengths vector longer than one strip-mine block.
+  const std::size_t vl = machine.vlmax<T>();
+  std::vector<T> lengths(3 * vl + 2, 1);
+  lengths[0] = 5;
+  lengths[vl] = 3;
+  std::size_t n = 0;
+  for (const T l : lengths) n += l;
+  std::vector<T> flags(n);
+  svm::lengths_to_head_flags<T>(std::span<const T>(lengths), std::span<T>(flags));
+  std::vector<T> back(lengths.size());
+  EXPECT_EQ(svm::head_flags_to_lengths<T>(std::span<const T>(flags), std::span<T>(back)),
+            lengths.size());
+  EXPECT_EQ(back, lengths);
+}
+
+TEST_F(SegDescTest, ValidateHeadFlags) {
+  const std::vector<T> good{1, 0, 1, 0};
+  EXPECT_NO_THROW(svm::validate_head_flags<T>(std::span<const T>(good)));
+  const std::vector<T> bad{1, 0, 2, 0};
+  EXPECT_THROW(svm::validate_head_flags<T>(std::span<const T>(bad)),
+               std::invalid_argument);
+}
+
+TEST_F(SegDescTest, EmptyDescriptors) {
+  std::vector<T> empty;
+  EXPECT_EQ(svm::head_flags_to_pointers<T>(std::span<const T>(empty),
+                                           std::span<T>(empty)),
+            0u);
+  svm::pointers_to_lengths<T>(std::span<const T>(empty), 0, std::span<T>(empty));
+}
+
+}  // namespace

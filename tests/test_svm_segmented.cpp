@@ -1,0 +1,211 @@
+// Property tests for the segmented scans (paper section 5): every operator
+// against a per-segment scalar reference, across VLEN/LMUL/sizes and
+// segmentation shapes (no heads, all heads, random, block-boundary heads).
+#include <gtest/gtest.h>
+
+#include "svm/scan.hpp"
+#include "svm/segmented.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using test::random_flags;
+using test::random_vector;
+using T = std::uint32_t;
+
+struct SweepParam {
+  unsigned vlen;
+  unsigned lmul;
+};
+
+class SegScanSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  template <class Op, unsigned LMUL>
+  void check_op() {
+    const auto [vlen, lmul] = GetParam();
+    if (lmul != LMUL) return;
+    rvv::Machine machine(rvv::Machine::Config{.vlen_bits = vlen});
+    rvv::MachineScope scope(machine);
+    const std::size_t vl = machine.vlmax<T>(LMUL);
+    for (const std::size_t n : test::boundary_sizes(vl)) {
+      for (const double density : {0.0, 0.08, 1.0}) {
+        auto flags = random_flags<T>(n, static_cast<std::uint32_t>(n) + 3, density);
+        if (density == 0.0 && n > 0) flags.assign(n, T{0});  // truly no heads
+        auto data = random_vector<T>(n, static_cast<std::uint32_t>(n) + vlen);
+        const auto input = data;
+        svm::seg_scan_inclusive<Op, T, LMUL>(std::span<T>(data),
+                                             std::span<const T>(flags));
+        const auto expect = test::ref_seg_scan(
+            input, flags, Op::template identity<T>(),
+            [](T a, T b) { return Op::template scalar<T>(a, b); });
+        ASSERT_EQ(data, expect)
+            << "op=" << Op::name << " n=" << n << " density=" << density;
+      }
+    }
+  }
+
+  template <class Op>
+  void check_all_lmuls() {
+    check_op<Op, 1>();
+    check_op<Op, 2>();
+    check_op<Op, 4>();
+    check_op<Op, 8>();
+  }
+};
+
+TEST_P(SegScanSweep, Plus) { check_all_lmuls<svm::PlusOp>(); }
+TEST_P(SegScanSweep, Max) { check_all_lmuls<svm::MaxOp>(); }
+TEST_P(SegScanSweep, Min) { check_all_lmuls<svm::MinOp>(); }
+TEST_P(SegScanSweep, Or) { check_all_lmuls<svm::OrOp>(); }
+
+INSTANTIATE_TEST_SUITE_P(
+    VlenLmul, SegScanSweep,
+    ::testing::Values(SweepParam{128, 1}, SweepParam{256, 1}, SweepParam{256, 2},
+                      SweepParam{512, 4}, SweepParam{1024, 1}, SweepParam{1024, 8}),
+    [](const auto& param_info) {
+      return "vlen" + std::to_string(param_info.param.vlen) + "_m" +
+             std::to_string(param_info.param.lmul);
+    });
+
+class SegTest : public ::testing::Test {
+ protected:
+  rvv::Machine machine{rvv::Machine::Config{.vlen_bits = 256}};
+  rvv::MachineScope scope{machine};
+};
+
+TEST_F(SegTest, NoHeadsEqualsUnsegmentedScan) {
+  const auto input = random_vector<T>(500, 21);
+  std::vector<T> flags(500, 0);
+  auto seg = input;
+  svm::seg_plus_scan<T>(std::span<T>(seg), std::span<const T>(flags));
+  auto unseg = input;
+  svm::plus_scan<T>(std::span<T>(unseg));
+  EXPECT_EQ(seg, unseg);
+}
+
+TEST_F(SegTest, AllHeadsIsIdentityScan) {
+  const auto input = random_vector<T>(200, 22);
+  std::vector<T> flags(200, 1);
+  auto seg = input;
+  svm::seg_plus_scan<T>(std::span<T>(seg), std::span<const T>(flags));
+  EXPECT_EQ(seg, input);  // every element is its own segment
+}
+
+TEST_F(SegTest, HeadsAtBlockBoundaries) {
+  // Heads exactly at vl multiples exercise the carry-mask edge: the first
+  // element of a block starts a segment, so no carry crosses.
+  const std::size_t vl = machine.vlmax<T>();
+  const std::size_t n = vl * 4;
+  const auto input = random_vector<T>(n, 23);
+  std::vector<T> flags(n, 0);
+  for (std::size_t i = 0; i < n; i += vl) flags[i] = 1;
+  auto seg = input;
+  svm::seg_plus_scan<T>(std::span<T>(seg), std::span<const T>(flags));
+  EXPECT_EQ(seg, test::ref_seg_scan(input, flags, T{0},
+                                    [](T a, T b) { return a + b; }));
+}
+
+TEST_F(SegTest, HeadJustAfterBlockBoundary) {
+  const std::size_t vl = machine.vlmax<T>();
+  const std::size_t n = vl * 3;
+  const auto input = random_vector<T>(n, 24);
+  std::vector<T> flags(n, 0);
+  flags[vl + 1] = 1;  // carry must apply to element vl but not vl+1
+  auto seg = input;
+  svm::seg_plus_scan<T>(std::span<T>(seg), std::span<const T>(flags));
+  EXPECT_EQ(seg, test::ref_seg_scan(input, flags, T{0},
+                                    [](T a, T b) { return a + b; }));
+}
+
+TEST_F(SegTest, SegmentSpanningManyBlocks) {
+  const std::size_t vl = machine.vlmax<T>();
+  const std::size_t n = vl * 5 + 3;
+  const auto input = random_vector<T>(n, 25);
+  std::vector<T> flags(n, 0);
+  flags[1] = 1;  // one giant segment from index 1 on
+  auto seg = input;
+  svm::seg_plus_scan<T>(std::span<T>(seg), std::span<const T>(flags));
+  EXPECT_EQ(seg, test::ref_seg_scan(input, flags, T{0},
+                                    [](T a, T b) { return a + b; }));
+}
+
+TEST_F(SegTest, ExclusiveSegmentedPlusScan) {
+  const auto input = random_vector<T>(300, 26);
+  const auto flags = random_flags<T>(300, 27, 0.1);
+  auto ex = input;
+  std::vector<T> scratch(300);
+  svm::seg_plus_scan_exclusive<T>(std::span<T>(ex), std::span<const T>(flags),
+                                  std::span<T>(scratch));
+  // Reference: within each segment, sum of strictly-previous elements.
+  T acc = 0;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (i == 0 || flags[i] != 0) acc = 0;
+    ASSERT_EQ(ex[i], acc) << i;
+    acc += input[i];
+  }
+}
+
+TEST_F(SegTest, DistributeBroadcastsHeadValue) {
+  std::vector<T> data{7, 1, 2, 9, 3, 4, 4, 5};
+  std::vector<T> flags{1, 0, 0, 1, 0, 0, 1, 0};
+  svm::seg_distribute<T>(std::span<T>(data), std::span<const T>(flags));
+  EXPECT_EQ(data, (std::vector<T>{7, 7, 7, 9, 9, 9, 4, 4}));
+}
+
+TEST_F(SegTest, DistributeImplicitFirstHead) {
+  std::vector<T> data{7, 1, 2, 9, 3};
+  std::vector<T> flags{0, 0, 0, 1, 0};  // element 0 unflagged: still a head
+  svm::seg_distribute<T>(std::span<T>(data), std::span<const T>(flags));
+  EXPECT_EQ(data, (std::vector<T>{7, 7, 7, 9, 9}));
+}
+
+TEST_F(SegTest, DistributeSigned) {
+  std::vector<std::int32_t> data{-7, 1, 2, -9, 3};
+  std::vector<std::int32_t> flags{1, 0, 0, 1, 0};
+  svm::seg_distribute<std::int32_t>(std::span<std::int32_t>(data),
+                                    std::span<const std::int32_t>(flags));
+  EXPECT_EQ(data, (std::vector<std::int32_t>{-7, -7, -7, -9, -9}));
+}
+
+TEST_F(SegTest, BroadcastTailPropagatesBackwards) {
+  std::vector<T> data{1, 2, 3, 10, 20, 30, 40, 5};
+  std::vector<T> flags{1, 0, 0, 1, 0, 0, 0, 1};
+  svm::seg_broadcast_tail<T>(std::span<T>(data), std::span<const T>(flags));
+  EXPECT_EQ(data, (std::vector<T>{3, 3, 3, 40, 40, 40, 40, 5}));
+}
+
+TEST_F(SegTest, BroadcastTailAcrossBlocks) {
+  const std::size_t vl = machine.vlmax<T>();
+  const std::size_t n = vl * 3 + 1;
+  auto data = random_vector<T>(n, 28);
+  std::vector<T> flags(n, 0);
+  flags[0] = 1;
+  flags[vl + 2] = 1;
+  std::vector<T> expect(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    expect[i] = (i < vl + 2) ? data[vl + 1] : data[n - 1];
+  }
+  svm::seg_broadcast_tail<T>(std::span<T>(data), std::span<const T>(flags));
+  EXPECT_EQ(data, expect);
+}
+
+TEST_F(SegTest, MismatchedFlagLengthThrows) {
+  std::vector<T> data(10);
+  std::vector<T> flags(5);
+  EXPECT_THROW(svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags)),
+               std::invalid_argument);
+  EXPECT_THROW(svm::seg_distribute<T>(std::span<T>(data), std::span<const T>(flags)),
+               std::invalid_argument);
+  EXPECT_THROW(svm::seg_broadcast_tail<T>(std::span<T>(data), std::span<const T>(flags)),
+               std::invalid_argument);
+}
+
+TEST_F(SegTest, EmptyInputIsNoOp) {
+  std::vector<T> data;
+  std::vector<T> flags;
+  svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
+  svm::seg_broadcast_tail<T>(std::span<T>(data), std::span<const T>(flags));
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "rvv/machine.hpp"
+
+namespace rvvsvm::test {
+
+/// Deterministic random values of any element type.
+template <class T>
+std::vector<T> random_vector(std::size_t n, std::uint32_t seed,
+                             std::uint64_t bound = 0) {
+  std::mt19937_64 rng(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) {
+    std::uint64_t r = rng();
+    if (bound != 0) r %= bound;
+    x = static_cast<T>(r);
+  }
+  return v;
+}
+
+/// Deterministic 0/1 head-flag vectors with roughly `density` flag rate.
+template <class T>
+std::vector<T> random_flags(std::size_t n, std::uint32_t seed, double density = 0.1) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution d(density);
+  std::vector<T> v(n);
+  for (auto& x : v) x = d(rng) ? T{1} : T{0};
+  if (n > 0) v[0] = T{1};
+  return v;
+}
+
+/// Reference inclusive scan with a callable op.
+template <class T, class F>
+std::vector<T> ref_scan_inclusive(const std::vector<T>& in, T identity, F op) {
+  std::vector<T> out(in.size());
+  T acc = identity;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc = op(acc, in[i]);
+    out[i] = acc;
+  }
+  return out;
+}
+
+/// Reference exclusive scan.
+template <class T, class F>
+std::vector<T> ref_scan_exclusive(const std::vector<T>& in, T identity, F op) {
+  std::vector<T> out(in.size());
+  T acc = identity;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc = op(acc, in[i]);
+  }
+  return out;
+}
+
+/// Reference inclusive segmented scan over head flags.
+template <class T, class F>
+std::vector<T> ref_seg_scan(const std::vector<T>& in, const std::vector<T>& heads,
+                            T identity, F op) {
+  std::vector<T> out(in.size());
+  T acc = identity;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (i == 0 || heads[i] != T{0}) acc = identity;
+    acc = op(acc, in[i]);
+    out[i] = acc;
+  }
+  return out;
+}
+
+/// Sizes that exercise strip-mining boundaries for any vl.
+inline std::vector<std::size_t> boundary_sizes(std::size_t vl) {
+  return {0, 1, 2, vl - 1, vl, vl + 1, 2 * vl, 2 * vl + 3, 97, 257};
+}
+
+}  // namespace rvvsvm::test
