@@ -1,0 +1,225 @@
+#include "bench/bench_runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "rvv/machine.hpp"
+#include "svm/svm.hpp"
+
+namespace rvvsvm::bench {
+
+namespace {
+
+using T = std::uint32_t;
+using Clock = std::chrono::steady_clock;
+
+struct Cell {
+  std::string kernel;
+  unsigned vlen = 0;
+  unsigned lmul = 1;
+  bool pooled = true;
+};
+
+/// One kernel pass over pre-built workload buffers.  Kernels run in place:
+/// the emulator's cost per element is what is being measured, and reusing
+/// the working set keeps host cache effects out of the comparison.
+struct Workload {
+  std::vector<T> data;
+  std::vector<T> flags;
+  std::vector<T> index;
+  std::vector<T> scratch;
+
+  explicit Workload(std::size_t n)
+      : data(random_u32(n, 3)),
+        flags(random_head_flags(n, 100, 4)),
+        index(reversal_permutation(n)),
+        scratch(n) {}
+
+  void run(const std::string& kernel) {
+    if (kernel == "elementwise") {
+      svm::p_add<T>(std::span<T>(data), 1u);
+    } else if (kernel == "scan") {
+      svm::plus_scan<T>(std::span<T>(data));
+    } else if (kernel == "permute") {
+      svm::permute<T>(std::span<const T>(data), std::span<T>(scratch),
+                      std::span<const T>(index));
+    } else if (kernel == "seg_scan_m8") {
+      svm::seg_plus_scan<T, 8>(std::span<T>(data),
+                               std::span<const T>(flags));
+    } else {
+      throw std::logic_error("bench_runner: unknown kernel " + kernel);
+    }
+  }
+};
+
+ThroughputResult run_cell(const Cell& cell, const SweepOptions& opt) {
+  ThroughputResult r;
+  r.kernel = cell.kernel;
+  r.vlen = cell.vlen;
+  r.lmul = cell.lmul;
+  r.n = opt.n;
+  r.pooled = cell.pooled;
+
+  Workload work(opt.n);
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = cell.vlen,
+                                            .use_buffer_pool = cell.pooled});
+  rvv::MachineScope scope(machine);
+
+  // Warmup pass doubles as the modeled-count measurement (counts are
+  // deterministic per pass, so one bracketed pass suffices).
+  const auto spills_before = machine.regfile()->spill_count();
+  const auto reloads_before = machine.regfile()->reload_count();
+  const auto before = machine.counter().snapshot();
+  work.run(cell.kernel);
+  r.instructions = (machine.counter().snapshot() - before).total();
+  r.spills = machine.regfile()->spill_count() - spills_before;
+  r.reloads = machine.regfile()->reload_count() - reloads_before;
+
+  std::size_t passes = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    work.run(cell.kernel);
+    ++passes;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed < opt.min_seconds);
+
+  r.seconds_per_pass = elapsed / static_cast<double>(passes);
+  r.elems_per_sec = static_cast<double>(opt.n) / r.seconds_per_pass;
+  return r;
+}
+
+unsigned worker_count(const SweepOptions& opt, std::size_t num_tasks) {
+  unsigned n = opt.threads != 0 ? opt.threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (n > num_tasks) n = static_cast<unsigned>(num_tasks);
+  return n;
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os << std::setprecision(6) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<ThroughputResult> run_throughput_sweep(const SweepOptions& opt) {
+  static const char* kKernels[] = {"elementwise", "scan", "permute", "seg_scan_m8"};
+
+  std::vector<Cell> cells;
+  for (const char* kernel : kKernels) {
+    const unsigned lmul = std::string(kernel) == "seg_scan_m8" ? 8u : 1u;
+    for (const unsigned vlen : opt.vlens) {
+      for (const bool pooled : {false, true}) {
+        cells.push_back(Cell{kernel, vlen, lmul, pooled});
+      }
+    }
+  }
+
+  std::vector<ThroughputResult> results(cells.size());
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < cells.size();
+         i = next.fetch_add(1)) {
+      results[i] = run_cell(cells[i], opt);
+    }
+  };
+
+  const unsigned nthreads = worker_count(opt, cells.size());
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  return results;
+}
+
+double pooled_speedup(const std::vector<ThroughputResult>& results,
+                      const std::string& kernel, unsigned vlen) {
+  const ThroughputResult* pooled = nullptr;
+  const ThroughputResult* unpooled = nullptr;
+  for (const auto& r : results) {
+    if (r.kernel == kernel && r.vlen == vlen) {
+      (r.pooled ? pooled : unpooled) = &r;
+    }
+  }
+  if (pooled == nullptr || unpooled == nullptr || unpooled->elems_per_sec == 0.0) {
+    return 0.0;
+  }
+  return pooled->elems_per_sec / unpooled->elems_per_sec;
+}
+
+void write_bench_json(const std::vector<ThroughputResult>& results,
+                      const SweepOptions& opt, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("bench_runner: cannot write " + path);
+
+  out << "{\n"
+      << "  \"schema\": \"rvvsvm-bench-emulator-v1\",\n"
+      << "  \"n\": " << opt.n << ",\n"
+      << "  \"threads\": " << worker_count(opt, results.size()) << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"kernel\": \"" << r.kernel << "\", \"vlen\": " << r.vlen
+        << ", \"lmul\": " << r.lmul << ", \"n\": " << r.n
+        << ", \"pooled\": " << (r.pooled ? "true" : "false")
+        << ", \"seconds_per_pass\": " << json_number(r.seconds_per_pass)
+        << ", \"elems_per_sec\": " << json_number(r.elems_per_sec)
+        << ", \"instructions\": " << r.instructions
+        << ", \"spills\": " << r.spills << ", \"reloads\": " << r.reloads
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"speedup_pooled_vs_unpooled\": {\n";
+
+  // One entry per (kernel, vlen) pair, in result order.
+  std::vector<std::pair<std::string, unsigned>> pairs;
+  for (const auto& r : results) {
+    const auto key = std::make_pair(r.kernel, r.vlen);
+    bool seen = false;
+    for (const auto& p : pairs) seen = seen || p == key;
+    if (!seen) pairs.push_back(key);
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    out << "    \"" << pairs[i].first << "@vlen" << pairs[i].second
+        << "\": " << json_number(pooled_speedup(results, pairs[i].first, pairs[i].second))
+        << (i + 1 < pairs.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+}
+
+void print_summary(const std::vector<ThroughputResult>& results) {
+  std::cout << std::left << std::setw(14) << "kernel" << std::right
+            << std::setw(6) << "vlen" << std::setw(6) << "lmul"
+            << std::setw(10) << "pooled" << std::setw(16) << "Melems/s"
+            << std::setw(12) << "insts" << '\n';
+  for (const auto& r : results) {
+    std::cout << std::left << std::setw(14) << r.kernel << std::right
+              << std::setw(6) << r.vlen << std::setw(6) << r.lmul
+              << std::setw(10) << (r.pooled ? "yes" : "no") << std::setw(16)
+              << std::fixed << std::setprecision(3) << r.elems_per_sec / 1e6
+              << std::setw(12) << r.instructions << '\n';
+  }
+  std::cout << "\npooled vs unpooled speedup (elements/sec):\n";
+  std::vector<std::pair<std::string, unsigned>> pairs;
+  for (const auto& r : results) {
+    const auto key = std::make_pair(r.kernel, r.vlen);
+    bool seen = false;
+    for (const auto& p : pairs) seen = seen || p == key;
+    if (!seen) pairs.push_back(key);
+  }
+  for (const auto& [kernel, vlen] : pairs) {
+    std::cout << "  " << std::left << std::setw(14) << kernel << " vlen="
+              << std::setw(5) << vlen << std::fixed << std::setprecision(2)
+              << pooled_speedup(results, kernel, vlen) << "x\n";
+  }
+}
+
+}  // namespace rvvsvm::bench

@@ -1,0 +1,64 @@
+// Parallel wall-clock throughput driver for the emulator itself.
+//
+// Where the table benches report *modeled* dynamic-instruction counts, this
+// driver measures how fast the *host* executes the emulation: emulated
+// elements per second of wall-clock, for each kernel × VLEN configuration,
+// with the buffer pool on and off in the same process.  The pool-off rows
+// reproduce the pre-pool allocation-per-instruction emulator, so every run
+// carries its own baseline and the JSON it writes records a trajectory
+// future PRs can regress against.
+//
+// Configurations run on a thread pool: the active machine is thread-local
+// (rvv::MachineScope) and each measurement owns a private Machine, so cells
+// are fully independent — the same property the paper's VLEN/LMUL sweeps
+// exploit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rvvsvm::bench {
+
+/// One measured cell of the throughput sweep.
+struct ThroughputResult {
+  std::string kernel;
+  unsigned vlen = 0;
+  unsigned lmul = 1;
+  std::size_t n = 0;
+  bool pooled = true;               ///< buffer pool recycling on?
+  double seconds_per_pass = 0.0;    ///< mean wall-clock for one kernel pass
+  double elems_per_sec = 0.0;       ///< n / seconds_per_pass
+  std::uint64_t instructions = 0;   ///< modeled dynamic instructions per pass
+  std::uint64_t spills = 0;         ///< modeled spill stores per pass
+  std::uint64_t reloads = 0;        ///< modeled reload loads per pass
+};
+
+struct SweepOptions {
+  std::vector<unsigned> vlens{128, 256, 512, 1024};
+  std::size_t n = 1u << 16;     ///< emulated elements per pass
+  double min_seconds = 0.05;    ///< minimum timed window per cell
+  unsigned threads = 0;         ///< worker threads; 0 = hardware concurrency
+};
+
+/// Runs the kernel × VLEN × {pooled, unpooled} sweep on a thread pool and
+/// returns one result per cell (deterministic order: kernels outer, VLEN
+/// middle, unpooled-then-pooled inner).
+[[nodiscard]] std::vector<ThroughputResult> run_throughput_sweep(
+    const SweepOptions& opt);
+
+/// Pooled-over-unpooled elements/sec ratio for one kernel at one VLEN;
+/// returns 0 when either cell is missing.
+[[nodiscard]] double pooled_speedup(const std::vector<ThroughputResult>& results,
+                                    const std::string& kernel, unsigned vlen);
+
+/// Writes the machine-readable report (results plus per-cell speedups) to
+/// `path` — the BENCH_emulator.json contract.
+void write_bench_json(const std::vector<ThroughputResult>& results,
+                      const SweepOptions& opt, const std::string& path);
+
+/// Prints a human-readable summary table to stdout.
+void print_summary(const std::vector<ThroughputResult>& results);
+
+}  // namespace rvvsvm::bench

@@ -32,6 +32,17 @@ inline std::vector<std::uint32_t> random_u32(std::size_t n, std::uint32_t seed,
   return v;
 }
 
+/// Deterministic full permutation of [0, n) (index reversal): every lane of
+/// a gather stays busy with no rng cost, the workload shape the throughput
+/// driver's permute cell uses.
+inline std::vector<std::uint32_t> reversal_permutation(std::size_t n) {
+  std::vector<std::uint32_t> index(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    index[i] = static_cast<std::uint32_t>(n - 1 - i);
+  }
+  return index;
+}
+
 /// 0/1 head-flag vector with segments of expected length `avg_len`
 /// (geometric), the segmented-workload shape the paper's Table 4 implies.
 inline std::vector<std::uint32_t> random_head_flags(std::size_t n, std::size_t avg_len,

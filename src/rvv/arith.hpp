@@ -214,9 +214,11 @@ template <VectorElement To, VectorElement From, unsigned L>
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<To>(m.vlmax<To>(L));
-  detail::check_vl(vl, out.size());
-  for (std::size_t i = 0; i < vl; ++i) out[i] = static_cast<To>(a[i]);
+  detail::check_vl(vl, m.vlmax<To>(L));
+  auto out = detail::result_elems<To>(m, m.vlmax<To>(L), vl);
+  const From* pa = a.elems().data();
+  To* po = out.data();
+  for (std::size_t i = 0; i < vl; ++i) po[i] = static_cast<To>(pa[i]);
   return detail::make_vreg<To, L>(m, std::move(out), id);
 }
 
@@ -231,9 +233,11 @@ template <VectorElement To, VectorElement From, unsigned L>
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<To>(m.vlmax<To>(L));
-  detail::check_vl(vl, out.size());
-  for (std::size_t i = 0; i < vl; ++i) out[i] = static_cast<To>(a[i]);
+  detail::check_vl(vl, m.vlmax<To>(L));
+  auto out = detail::result_elems<To>(m, m.vlmax<To>(L), vl);
+  const From* pa = a.elems().data();
+  To* po = out.data();
+  for (std::size_t i = 0; i < vl; ++i) po[i] = static_cast<To>(pa[i]);
   return detail::make_vreg<To, L>(m, std::move(out), id);
 }
 

@@ -4,6 +4,7 @@
 // Spike retires one instruction per vector memory op regardless of vl.
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "rvv/ops_detail.hpp"
@@ -20,8 +21,12 @@ template <VectorElement T, unsigned L = 1>
   m.counter().add(sim::InstClass::kVectorLoad);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(cap);
-  for (std::size_t i = 0; i < vl; ++i) out[i] = src[i];
+  auto out = detail::result_elems<T>(m, cap, vl);
+  if (m.pool().recycling()) {
+    std::copy_n(src.data(), vl, out.data());
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) out[i] = src[i];
+  }
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
 
@@ -34,7 +39,11 @@ void vse(std::span<T> dst, const vreg<T, L>& a, std::size_t vl) {
   m.counter().add(sim::InstClass::kVectorStore);
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
-  for (std::size_t i = 0; i < vl; ++i) dst[i] = a[i];
+  if (m.pool().recycling()) {
+    std::copy_n(a.elems().data(), vl, dst.data());
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) dst[i] = a[i];
+  }
 }
 
 /// Masked unit-stride store (vse<SEW>.v, v0.t): only active elements are
@@ -49,8 +58,16 @@ void vse_m(const vmask& mask, std::span<T> dst, const vreg<T, L>& a, std::size_t
   detail::AllocGuard guard(m);
   guard.use_mask(mask.value_id());
   guard.use(a.value_id());
-  for (std::size_t i = 0; i < vl; ++i) {
-    if (mask[i]) dst[i] = a[i];
+  if (m.pool().recycling()) {
+    const std::uint8_t* pm = mask.bits().data();
+    const T* pa = a.elems().data();
+    for (std::size_t i = 0; i < vl; ++i) {
+      if (pm[i] != 0) dst[i] = pa[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) {
+      if (mask[i]) dst[i] = a[i];
+    }
   }
 }
 
@@ -68,8 +85,9 @@ template <VectorElement T, unsigned L = 1>
   m.counter().add(sim::InstClass::kVectorLoad);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(cap);
-  for (std::size_t i = 0; i < vl; ++i) out[i] = src[i * stride];
+  auto out = detail::result_elems<T>(m, cap, vl);
+  T* po = out.data();
+  for (std::size_t i = 0; i < vl; ++i) po[i] = src[i * stride];
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
 
@@ -84,7 +102,8 @@ void vsse(std::span<T> dst, std::size_t stride, const vreg<T, L>& a, std::size_t
   m.counter().add(sim::InstClass::kVectorStore);
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
-  for (std::size_t i = 0; i < vl; ++i) dst[i * stride] = a[i];
+  const T* pa = a.elems().data();
+  for (std::size_t i = 0; i < vl; ++i) dst[i * stride] = pa[i];
 }
 
 /// vluxei<SEW>.v: indexed (gather) load.  `index[i]` is an *element* index
@@ -99,11 +118,21 @@ template <VectorElement T, unsigned L, VectorElement I>
   detail::AllocGuard guard(m);
   guard.use(index.value_id());
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(cap);
-  for (std::size_t i = 0; i < vl; ++i) {
-    const auto ix = static_cast<std::size_t>(index[i]);
-    if (ix >= src.size()) throw std::out_of_range("vluxei: index beyond source span");
-    out[i] = src[ix];
+  auto out = detail::result_elems<T>(m, cap, vl);
+  if (m.pool().recycling()) {
+    const I* pidx = index.elems().data();
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) {
+      const auto ix = static_cast<std::size_t>(pidx[i]);
+      if (ix >= src.size()) throw std::out_of_range("vluxei: index beyond source span");
+      po[i] = src[ix];
+    }
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) {
+      const auto ix = static_cast<std::size_t>(index[i]);
+      if (ix >= src.size()) throw std::out_of_range("vluxei: index beyond source span");
+      out[i] = src[ix];
+    }
   }
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
@@ -120,10 +149,20 @@ void vsuxei(std::span<T> dst, const vreg<I, L>& index, const vreg<T, L>& a,
   detail::AllocGuard guard(m);
   guard.use(index.value_id());
   guard.use(a.value_id());
-  for (std::size_t i = 0; i < vl; ++i) {
-    const auto ix = static_cast<std::size_t>(index[i]);
-    if (ix >= dst.size()) throw std::out_of_range("vsuxei: index beyond destination span");
-    dst[ix] = a[i];
+  if (m.pool().recycling()) {
+    const I* pidx = index.elems().data();
+    const T* pa = a.elems().data();
+    for (std::size_t i = 0; i < vl; ++i) {
+      const auto ix = static_cast<std::size_t>(pidx[i]);
+      if (ix >= dst.size()) throw std::out_of_range("vsuxei: index beyond destination span");
+      dst[ix] = pa[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) {
+      const auto ix = static_cast<std::size_t>(index[i]);
+      if (ix >= dst.size()) throw std::out_of_range("vsuxei: index beyond destination span");
+      dst[ix] = a[i];
+    }
   }
 }
 
@@ -139,11 +178,23 @@ void vsuxei_m(const vmask& mask, std::span<T> dst, const vreg<I, L>& index,
   guard.use_mask(mask.value_id());
   guard.use(index.value_id());
   guard.use(a.value_id());
-  for (std::size_t i = 0; i < vl; ++i) {
-    if (!mask[i]) continue;
-    const auto ix = static_cast<std::size_t>(index[i]);
-    if (ix >= dst.size()) throw std::out_of_range("vsuxei_m: index beyond destination span");
-    dst[ix] = a[i];
+  if (m.pool().recycling()) {
+    const std::uint8_t* pm = mask.bits().data();
+    const I* pidx = index.elems().data();
+    const T* pa = a.elems().data();
+    for (std::size_t i = 0; i < vl; ++i) {
+      if (pm[i] == 0) continue;
+      const auto ix = static_cast<std::size_t>(pidx[i]);
+      if (ix >= dst.size()) throw std::out_of_range("vsuxei_m: index beyond destination span");
+      dst[ix] = pa[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) {
+      if (!mask[i]) continue;
+      const auto ix = static_cast<std::size_t>(index[i]);
+      if (ix >= dst.size()) throw std::out_of_range("vsuxei_m: index beyond destination span");
+      dst[ix] = a[i];
+    }
   }
 }
 

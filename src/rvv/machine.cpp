@@ -11,12 +11,20 @@ thread_local Machine* g_active_machine = nullptr;
 }  // namespace
 
 Machine::Machine(Config cfg)
-    : cfg_(cfg), counter_(), scalar_(counter_) {
+    : cfg_(cfg),
+      counter_(),
+      scalar_(counter_),
+      pool_(sim::BufferPool::Config{.recycle = cfg.use_buffer_pool}) {
   if (cfg_.vlen_bits < 64 || !std::has_single_bit(cfg_.vlen_bits)) {
     throw std::invalid_argument("Machine: vlen_bits must be a power of two >= 64");
   }
   if (cfg_.model_register_pressure) {
-    regfile_ = std::make_unique<sim::VRegFileModel>(counter_);
+    // A pool-off (baseline) machine also gets the pre-pool host cost model
+    // inside the allocator, so the benchmark A/B compares against the
+    // emulator as it was before this subsystem existed.
+    regfile_ = std::make_unique<sim::VRegFileModel>(
+        counter_,
+        sim::VRegFileModel::Config{.legacy_host_costs = !cfg.use_buffer_pool});
   }
 }
 

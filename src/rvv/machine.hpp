@@ -18,6 +18,7 @@
 #include <stdexcept>
 
 #include "rvv/config.hpp"
+#include "sim/buffer_pool.hpp"
 #include "sim/inst_counter.hpp"
 #include "sim/regfile_model.hpp"
 #include "sim/scalar_model.hpp"
@@ -33,6 +34,10 @@ class Machine {
     /// Model vector register pressure (spill/reload traffic at high LMUL).
     /// Disable for the ablation that isolates pure instruction counts.
     bool model_register_pressure = true;
+    /// Recycle result storage through the machine's buffer pool.  Host-side
+    /// only — modeled counts are identical either way; disable to measure
+    /// the pre-pool allocation-per-instruction baseline.
+    bool use_buffer_pool = true;
   };
 
   Machine() : Machine(Config{}) {}
@@ -72,6 +77,14 @@ class Machine {
   /// Register-pressure model, or nullptr when disabled.
   [[nodiscard]] sim::VRegFileModel* regfile() noexcept { return regfile_.get(); }
 
+  /// Recycled storage for vector-register values produced on this machine.
+  [[nodiscard]] sim::BufferPool& pool() noexcept { return pool_; }
+
+  /// Pool counters (acquires, reuse rate, peak bytes) for quick eyeballing.
+  [[nodiscard]] const sim::BufferPool::Stats& pool_stats() const noexcept {
+    return pool_.stats();
+  }
+
   /// The machine the intrinsic-style free functions execute on.
   /// Throws std::logic_error when no MachineScope is active.
   [[nodiscard]] static Machine& active();
@@ -84,6 +97,7 @@ class Machine {
   Config cfg_;
   sim::InstCounter counter_;
   sim::ScalarRecorder scalar_;
+  sim::BufferPool pool_;
   std::unique_ptr<sim::VRegFileModel> regfile_;
 };
 

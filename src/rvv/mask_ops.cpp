@@ -1,5 +1,7 @@
 #include "rvv/mask_ops.hpp"
 
+#include <algorithm>
+
 namespace rvvsvm::rvv {
 
 namespace {
@@ -19,8 +21,8 @@ vmask vmclr(std::size_t vl) {
   m.counter().add(sim::InstClass::kVectorMask);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(1);
-  auto bits = detail::poisoned_bits(cap);
-  for (std::size_t i = 0; i < vl; ++i) bits[i] = 0;
+  auto bits = detail::result_bits(m, cap, vl);
+  std::fill_n(bits.data(), vl, std::uint8_t{0});
   return detail::make_vmask(m, std::move(bits), id);
 }
 
@@ -31,8 +33,8 @@ vmask vmset(std::size_t vl) {
   m.counter().add(sim::InstClass::kVectorMask);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(1);
-  auto bits = detail::poisoned_bits(cap);
-  for (std::size_t i = 0; i < vl; ++i) bits[i] = 1;
+  auto bits = detail::result_bits(m, cap, vl);
+  std::fill_n(bits.data(), vl, std::uint8_t{1});
   return detail::make_vmask(m, std::move(bits), id);
 }
 
@@ -43,7 +45,12 @@ std::size_t vcpop(const vmask& mask, std::size_t vl) {
   detail::AllocGuard guard(m);
   guard.use(mask.value_id());
   std::size_t count = 0;
-  for (std::size_t i = 0; i < vl; ++i) count += mask[i] ? 1u : 0u;
+  if (m.pool().recycling()) {
+    const std::uint8_t* pm = mask.bits().data();
+    for (std::size_t i = 0; i < vl; ++i) count += pm[i] != 0 ? 1u : 0u;
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) count += mask[i] ? 1u : 0u;
+  }
   return count;
 }
 
@@ -53,8 +60,9 @@ long vfirst(const vmask& mask, std::size_t vl) {
   m.counter().add(sim::InstClass::kVectorMask);
   detail::AllocGuard guard(m);
   guard.use(mask.value_id());
+  const std::uint8_t* pm = mask.bits().data();
   for (std::size_t i = 0; i < vl; ++i) {
-    if (mask[i]) return static_cast<long>(i);
+    if (pm[i] != 0) return static_cast<long>(i);
   }
   return -1;
 }
@@ -70,16 +78,19 @@ vmask set_first(const vmask& mask, std::size_t vl, FirstKind kind) {
   detail::AllocGuard guard(m);
   guard.use(mask.value_id());
   const sim::ValueId id = guard.define(1);
-  auto bits = detail::poisoned_bits(mask.capacity());
+  auto bits = detail::result_bits(m, mask.capacity(), vl);
+  const std::uint8_t* pm = mask.bits().data();
+  std::uint8_t* po = bits.data();
   bool seen = false;
   for (std::size_t i = 0; i < vl; ++i) {
-    const bool first_here = !seen && mask[i];
+    const bool here = pm[i] != 0;
+    const bool first_here = !seen && here;
     switch (kind) {
-      case FirstKind::kBefore:    bits[i] = (!seen && !mask[i]) ? 1 : 0; break;
-      case FirstKind::kIncluding: bits[i] = !seen ? 1 : 0; break;
-      case FirstKind::kOnly:      bits[i] = first_here ? 1 : 0; break;
+      case FirstKind::kBefore:    po[i] = (!seen && !here) ? 1 : 0; break;
+      case FirstKind::kIncluding: po[i] = !seen ? 1 : 0; break;
+      case FirstKind::kOnly:      po[i] = first_here ? 1 : 0; break;
     }
-    seen = seen || mask[i];
+    seen = seen || here;
   }
   return detail::make_vmask(m, std::move(bits), id);
 }

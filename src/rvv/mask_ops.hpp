@@ -23,8 +23,15 @@ template <VectorElement T, unsigned L, class F>
   guard.use(a.value_id());
   guard.use(b.value_id());
   const sim::ValueId id = guard.define(1);  // a mask occupies one register
-  auto bits = poisoned_bits(a.capacity());
-  for (std::size_t i = 0; i < vl; ++i) bits[i] = f(a[i], b[i]) ? 1 : 0;
+  auto bits = result_bits(m, a.capacity(), vl);
+  if (m.pool().recycling()) {
+    const T* pa = a.elems().data();
+    const T* pb = b.elems().data();
+    std::uint8_t* po = bits.data();
+    for (std::size_t i = 0; i < vl; ++i) po[i] = f(pa[i], pb[i]) ? 1 : 0;
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) bits[i] = f(a[i], b[i]) ? 1 : 0;
+  }
   return make_vmask(m, std::move(bits), id);
 }
 
@@ -36,8 +43,14 @@ template <VectorElement T, unsigned L, class F>
   AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(1);
-  auto bits = poisoned_bits(a.capacity());
-  for (std::size_t i = 0; i < vl; ++i) bits[i] = f(a[i], x) ? 1 : 0;
+  auto bits = result_bits(m, a.capacity(), vl);
+  if (m.pool().recycling()) {
+    const T* pa = a.elems().data();
+    std::uint8_t* po = bits.data();
+    for (std::size_t i = 0; i < vl; ++i) po[i] = f(pa[i], x) ? 1 : 0;
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) bits[i] = f(a[i], x) ? 1 : 0;
+  }
   return make_vmask(m, std::move(bits), id);
 }
 
@@ -51,8 +64,15 @@ template <class F>
   guard.use(a.value_id());
   guard.use(b.value_id());
   const sim::ValueId id = guard.define(1);
-  auto bits = poisoned_bits(a.capacity());
-  for (std::size_t i = 0; i < vl; ++i) bits[i] = f(a[i], b[i]) ? 1 : 0;
+  auto bits = result_bits(m, a.capacity(), vl);
+  if (m.pool().recycling()) {
+    const std::uint8_t* pa = a.bits().data();
+    const std::uint8_t* pb = b.bits().data();
+    std::uint8_t* po = bits.data();
+    for (std::size_t i = 0; i < vl; ++i) po[i] = f(pa[i] != 0, pb[i] != 0) ? 1 : 0;
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) bits[i] = f(a[i], b[i]) ? 1 : 0;
+  }
   return make_vmask(m, std::move(bits), id);
 }
 
@@ -175,11 +195,20 @@ template <VectorElement T, unsigned L = 1>
   detail::AllocGuard guard(m);
   guard.use(mask.value_id());
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(cap);
+  auto out = detail::result_elems<T>(m, cap, vl);
   T running{0};
-  for (std::size_t i = 0; i < vl; ++i) {
-    out[i] = running;
-    if (mask[i]) running = detail::wrap_add(running, T{1});
+  if (m.pool().recycling()) {
+    const std::uint8_t* pm = mask.bits().data();
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) {
+      po[i] = running;
+      if (pm[i] != 0) running = detail::wrap_add(running, T{1});
+    }
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) {
+      out[i] = running;
+      if (mask[i]) running = detail::wrap_add(running, T{1});
+    }
   }
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
@@ -193,8 +222,13 @@ template <VectorElement T, unsigned L = 1>
   m.counter().add(sim::InstClass::kVectorMask);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(cap);
-  for (std::size_t i = 0; i < vl; ++i) out[i] = static_cast<T>(i);
+  auto out = detail::result_elems<T>(m, cap, vl);
+  if (m.pool().recycling()) {
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) po[i] = static_cast<T>(i);
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) out[i] = static_cast<T>(i);
+  }
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
 

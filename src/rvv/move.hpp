@@ -1,6 +1,8 @@
 // Vector move/splat instructions (vmv family).
 #pragma once
 
+#include <algorithm>
+
 #include "rvv/ops_detail.hpp"
 
 namespace rvvsvm::rvv {
@@ -15,8 +17,12 @@ template <VectorElement T, unsigned L = 1>
   m.counter().add(sim::InstClass::kVectorMove);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(cap);
-  for (std::size_t i = 0; i < vl; ++i) out[i] = x;
+  auto out = detail::result_elems<T>(m, cap, vl);
+  if (m.pool().recycling()) {
+    std::fill_n(out.data(), vl, static_cast<T>(x));
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) out[i] = x;
+  }
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
 
@@ -40,7 +46,7 @@ template <VectorElement T, unsigned L>
   detail::AllocGuard guard(m);
   guard.use(dest.value_id());
   const sim::ValueId id = guard.define(L);
-  std::vector<T> out(dest.elems().begin(), dest.elems().end());
+  auto out = detail::copied_elems<T>(m, dest.elems());
   if (vl > 0) out[0] = x;
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }

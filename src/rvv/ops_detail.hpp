@@ -8,14 +8,16 @@
 // in arith.hpp / mask_ops.hpp / permute.hpp stays a one-line semantic lambda.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <span>
 #include <stdexcept>
 #include <type_traits>
-#include <vector>
 
 #include "rvv/config.hpp"
 #include "rvv/machine.hpp"
 #include "rvv/vreg.hpp"
+#include "sim/buffer_pool.hpp"
 #include "sim/inst_counter.hpp"
 #include "sim/regfile_model.hpp"
 
@@ -81,26 +83,70 @@ inline void check_vl(std::size_t vl, std::size_t capacity) {
   }
 }
 
-/// Result element storage, poisoned to the tail-agnostic pattern.
+/// Result element storage acquired from the machine's buffer pool, poisoned
+/// to the tail-agnostic pattern.
 template <VectorElement T>
-[[nodiscard]] std::vector<T> poisoned_elems(std::size_t capacity) {
-  return std::vector<T>(capacity, kTailPoison<T>);
+[[nodiscard]] sim::PooledBuffer<T> poisoned_elems(Machine& m, std::size_t capacity) {
+  sim::PooledBuffer<T> buf(m.pool(), capacity);
+  std::fill_n(buf.data(), capacity, kTailPoison<T>);
+  return buf;
+}
+
+/// Result storage for an instruction that fully writes the body [0, vl):
+/// only the tail [vl, capacity) needs the poison pattern, so skip the body
+/// fill.  Callers must write every body element (vcompress, which writes
+/// only the packed prefix, uses poisoned_elems instead).
+///
+/// Skipping the body fill is only possible because the pool hands out
+/// uninitialized storage — a std::vector constructor always initializes
+/// every element.  So in non-recycling (baseline) mode we full-fill,
+/// reproducing the pre-pool cost model the benchmark driver A/Bs against.
+/// The result is bit-identical either way: the body is overwritten.
+template <VectorElement T>
+[[nodiscard]] sim::PooledBuffer<T> result_elems(Machine& m, std::size_t capacity,
+                                               std::size_t vl) {
+  sim::PooledBuffer<T> buf(m.pool(), capacity);
+  const std::size_t from = m.pool().recycling() ? vl : 0;
+  std::fill(buf.data() + from, buf.data() + capacity, kTailPoison<T>);
+  return buf;
+}
+
+/// Mask variant of result_elems: bits [0, vl) are the caller's to write,
+/// the tail holds poison (set bits, the mask-agnostic pattern).
+[[nodiscard]] inline sim::PooledBuffer<std::uint8_t> result_bits(
+    Machine& m, std::size_t capacity, std::size_t vl) {
+  sim::PooledBuffer<std::uint8_t> buf(m.pool(), capacity);
+  const std::size_t from = m.pool().recycling() ? vl : 0;
+  std::fill(buf.data() + from, buf.data() + capacity, std::uint8_t{1});
+  return buf;
+}
+
+/// Result element storage initialized to a copy of `src` (the path for
+/// tail/maskedoff-undisturbed destinations such as vmv.s.x).
+template <VectorElement T>
+[[nodiscard]] sim::PooledBuffer<T> copied_elems(Machine& m, std::span<const T> src) {
+  sim::PooledBuffer<T> buf(m.pool(), src.size());
+  std::copy(src.begin(), src.end(), buf.data());
+  return buf;
 }
 
 /// Result mask storage (poison = set bits, the mask-agnostic pattern).
-[[nodiscard]] inline std::vector<std::uint8_t> poisoned_bits(std::size_t capacity) {
-  return std::vector<std::uint8_t>(capacity, std::uint8_t{1});
+[[nodiscard]] inline sim::PooledBuffer<std::uint8_t> poisoned_bits(
+    Machine& m, std::size_t capacity) {
+  sim::PooledBuffer<std::uint8_t> buf(m.pool(), capacity);
+  std::fill_n(buf.data(), capacity, std::uint8_t{1});
+  return buf;
 }
 
 /// Finalize a vector result: attach the machine and the allocator token.
 template <VectorElement T, unsigned LMUL>
-[[nodiscard]] vreg<T, LMUL> make_vreg(Machine& machine, std::vector<T> elems,
+[[nodiscard]] vreg<T, LMUL> make_vreg(Machine& machine, sim::PooledBuffer<T> elems,
                                       sim::ValueId id) {
   return vreg<T, LMUL>(machine, std::move(elems), ValueToken(machine, id));
 }
 
 [[nodiscard]] inline vmask make_vmask(Machine& machine,
-                                      std::vector<std::uint8_t> bits,
+                                      sim::PooledBuffer<std::uint8_t> bits,
                                       sim::ValueId id) {
   return vmask(machine, std::move(bits), ValueToken(machine, id));
 }
@@ -115,8 +161,16 @@ template <VectorElement T, unsigned LMUL, class F>
   AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(LMUL);
-  auto out = poisoned_elems<T>(a.capacity());
-  for (std::size_t i = 0; i < vl; ++i) out[i] = f(a[i]);
+  auto out = result_elems<T>(m, a.capacity(), vl);
+  if (m.pool().recycling()) {
+    const T* pa = a.elems().data();
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) po[i] = f(pa[i]);
+  } else {
+    // The pre-pool emulator's loop (checked per-element access), kept so
+    // baseline-mode timings reproduce its cost.  Same values either way.
+    for (std::size_t i = 0; i < vl; ++i) out[i] = f(a[i]);
+  }
   return make_vreg<T, LMUL>(m, std::move(out), id);
 }
 
@@ -133,8 +187,15 @@ template <VectorElement T, unsigned LMUL, class F>
   guard.use(a.value_id());
   guard.use(b.value_id());
   const sim::ValueId id = guard.define(LMUL);
-  auto out = poisoned_elems<T>(a.capacity());
-  for (std::size_t i = 0; i < vl; ++i) out[i] = f(a[i], b[i]);
+  auto out = result_elems<T>(m, a.capacity(), vl);
+  if (m.pool().recycling()) {
+    const T* pa = a.elems().data();
+    const T* pb = b.elems().data();
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) po[i] = f(pa[i], pb[i]);
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) out[i] = f(a[i], b[i]);
+  }
   return make_vreg<T, LMUL>(m, std::move(out), id);
 }
 
@@ -161,6 +222,11 @@ template <VectorElement T, unsigned LMUL, class F>
                                              const vreg<T, LMUL>& b,
                                              std::size_t vl, F f) {
   Machine& m = a.machine();
+  if (&b.machine() != &m) throw std::logic_error("rvv: operands from different machines");
+  if (&mask.machine() != &m) throw std::logic_error("rvv: mask from a different machine");
+  if (maskedoff.defined() && &maskedoff.machine() != &m) {
+    throw std::logic_error("rvv: maskedoff from a different machine");
+  }
   check_vl(vl, a.capacity());
   check_vl(vl, mask.capacity());
   m.counter().add(cls);
@@ -170,9 +236,21 @@ template <VectorElement T, unsigned LMUL, class F>
   guard.use(a.value_id());
   guard.use(b.value_id());
   const sim::ValueId id = guard.define(LMUL);
-  auto out = poisoned_elems<T>(a.capacity());
-  for (std::size_t i = 0; i < vl; ++i) {
-    out[i] = mask[i] ? f(a[i], b[i]) : inactive_value(maskedoff, i);
+  auto out = result_elems<T>(m, a.capacity(), vl);
+  if (m.pool().recycling()) {
+    const std::uint8_t* pm = mask.bits().data();
+    const T* pa = a.elems().data();
+    const T* pb = b.elems().data();
+    const T* poff = maskedoff.defined() ? maskedoff.elems().data() : nullptr;
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) {
+      po[i] = pm[i] != 0 ? f(pa[i], pb[i])
+                         : (poff != nullptr ? poff[i] : kTailPoison<T>);
+    }
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) {
+      out[i] = mask[i] ? f(a[i], b[i]) : inactive_value(maskedoff, i);
+    }
   }
   return make_vreg<T, LMUL>(m, std::move(out), id);
 }

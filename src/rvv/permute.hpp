@@ -23,9 +23,18 @@ template <VectorElement T, unsigned L>
   guard.use(dest.value_id());
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(src.capacity());
-  for (std::size_t i = 0; i < vl; ++i) {
-    out[i] = i < offset ? dest[i] : src[i - offset];
+  auto out = detail::result_elems<T>(m, src.capacity(), vl);
+  if (m.pool().recycling()) {
+    const T* pd = dest.elems().data();
+    const T* ps = src.elems().data();
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) {
+      po[i] = i < offset ? pd[i] : ps[i - offset];
+    }
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) {
+      out[i] = i < offset ? dest[i] : src[i - offset];
+    }
   }
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
@@ -40,10 +49,20 @@ template <VectorElement T, unsigned L>
   detail::AllocGuard guard(m);
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(src.capacity());
-  for (std::size_t i = 0; i < vl; ++i) {
-    const std::size_t from = i + offset;
-    out[i] = from < src.capacity() ? src[from] : T{0};
+  auto out = detail::result_elems<T>(m, src.capacity(), vl);
+  if (m.pool().recycling()) {
+    const T* ps = src.elems().data();
+    const std::size_t cap = src.capacity();
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) {
+      const std::size_t from = i + offset;
+      po[i] = from < cap ? ps[from] : T{0};
+    }
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) {
+      const std::size_t from = i + offset;
+      out[i] = from < src.capacity() ? src[from] : T{0};
+    }
   }
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
@@ -59,8 +78,14 @@ template <VectorElement T, unsigned L>
   detail::AllocGuard guard(m);
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(src.capacity());
-  for (std::size_t i = 0; i < vl; ++i) out[i] = (i == 0) ? x : src[i - 1];
+  auto out = detail::result_elems<T>(m, src.capacity(), vl);
+  if (m.pool().recycling()) {
+    const T* ps = src.elems().data();
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) po[i] = (i == 0) ? x : ps[i - 1];
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) out[i] = (i == 0) ? x : src[i - 1];
+  }
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
 
@@ -74,8 +99,14 @@ template <VectorElement T, unsigned L>
   detail::AllocGuard guard(m);
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(src.capacity());
-  for (std::size_t i = 0; i < vl; ++i) out[i] = (i + 1 == vl) ? x : src[i + 1];
+  auto out = detail::result_elems<T>(m, src.capacity(), vl);
+  if (m.pool().recycling()) {
+    const T* ps = src.elems().data();
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) po[i] = (i + 1 == vl) ? x : ps[i + 1];
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) out[i] = (i + 1 == vl) ? x : src[i + 1];
+  }
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
 
@@ -91,10 +122,21 @@ template <VectorElement T, unsigned L, VectorElement I>
   guard.use(src.value_id());
   guard.use(index.value_id());
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(src.capacity());
-  for (std::size_t i = 0; i < vl; ++i) {
-    const auto ix = static_cast<std::size_t>(index[i]);
-    out[i] = ix < src.capacity() ? src[ix] : T{0};
+  auto out = detail::result_elems<T>(m, src.capacity(), vl);
+  if (m.pool().recycling()) {
+    const T* ps = src.elems().data();
+    const I* pidx = index.elems().data();
+    const std::size_t cap = src.capacity();
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) {
+      const auto ix = static_cast<std::size_t>(pidx[i]);
+      po[i] = ix < cap ? ps[ix] : T{0};
+    }
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) {
+      const auto ix = static_cast<std::size_t>(index[i]);
+      out[i] = ix < src.capacity() ? src[ix] : T{0};
+    }
   }
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
@@ -114,10 +156,20 @@ template <VectorElement T, unsigned L>
   guard.use(mask.value_id());
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
-  auto out = detail::poisoned_elems<T>(src.capacity());
+  // Keeps the full poison fill: only the packed prefix [0, k) is written.
+  auto out = detail::poisoned_elems<T>(m, src.capacity());
   std::size_t k = 0;
-  for (std::size_t i = 0; i < vl; ++i) {
-    if (mask[i]) out[k++] = src[i];
+  if (m.pool().recycling()) {
+    const std::uint8_t* pm = mask.bits().data();
+    const T* ps = src.elems().data();
+    T* po = out.data();
+    for (std::size_t i = 0; i < vl; ++i) {
+      if (pm[i] != 0) po[k++] = ps[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) {
+      if (mask[i]) out[k++] = src[i];
+    }
   }
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }

@@ -20,7 +20,12 @@ template <VectorElement T, unsigned L, class F>
   AllocGuard guard(m);
   guard.use(a.value_id());
   T acc = seed;
-  for (std::size_t i = 0; i < vl; ++i) acc = f(acc, a[i]);
+  if (m.pool().recycling()) {
+    const T* pa = a.elems().data();
+    for (std::size_t i = 0; i < vl; ++i) acc = f(acc, pa[i]);
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) acc = f(acc, a[i]);
+  }
   return acc;
 }
 
@@ -35,8 +40,16 @@ template <VectorElement T, unsigned L, class F>
   guard.use_mask(mask.value_id());
   guard.use(a.value_id());
   T acc = seed;
-  for (std::size_t i = 0; i < vl; ++i) {
-    if (mask[i]) acc = f(acc, a[i]);
+  if (m.pool().recycling()) {
+    const std::uint8_t* pm = mask.bits().data();
+    const T* pa = a.elems().data();
+    for (std::size_t i = 0; i < vl; ++i) {
+      if (pm[i] != 0) acc = f(acc, pa[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < vl; ++i) {
+      if (mask[i]) acc = f(acc, a[i]);
+    }
   }
   return acc;
 }

@@ -19,13 +19,13 @@
 
 #include <cassert>
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <stdexcept>
-#include <vector>
+#include <utility>
 
 #include "rvv/config.hpp"
 #include "rvv/machine.hpp"
+#include "sim/buffer_pool.hpp"
 #include "sim/regfile_model.hpp"
 
 namespace rvvsvm::rvv {
@@ -34,24 +34,59 @@ namespace detail {
 
 /// Shared ownership of a register-allocator value id.  All copies of one
 /// C++ vector value hold the same token; the last copy's destruction tells
-/// the allocator the live range ended.
+/// the allocator the live range ended.  The shared count lives in an
+/// intrusive cell recycled through the machine's buffer pool, so defining a
+/// value costs no heap allocation in the steady state (the shared_ptr this
+/// replaces allocated one control block per value).
 class ValueToken {
  public:
   ValueToken() = default;
 
   ValueToken(Machine& machine, sim::ValueId id) : id_(id) {
     if (id != sim::kNoValue && machine.regfile() != nullptr) {
-      Machine* m = &machine;
-      release_ = std::shared_ptr<void>(
-          nullptr, [m, id](void*) { m->regfile()->release(id); });
+      cell_ = machine.pool().acquire_cell();
+      cell_->refcount = 1;
+      cell_->id = id;
+      cell_->owner = machine.regfile();
     }
+  }
+
+  ValueToken(const ValueToken& other) noexcept
+      : id_(other.id_), cell_(other.cell_) {
+    if (cell_ != nullptr) ++cell_->refcount;
+  }
+  ValueToken(ValueToken&& other) noexcept
+      : id_(other.id_), cell_(std::exchange(other.cell_, nullptr)) {}
+
+  ValueToken& operator=(const ValueToken& other) noexcept {
+    ValueToken tmp(other);
+    swap(tmp);
+    return *this;
+  }
+  ValueToken& operator=(ValueToken&& other) noexcept {
+    ValueToken tmp(std::move(other));
+    swap(tmp);
+    return *this;
+  }
+
+  ~ValueToken() {
+    if (cell_ != nullptr && --cell_->refcount == 0) {
+      static_cast<sim::VRegFileModel*>(cell_->owner)
+          ->release(static_cast<sim::ValueId>(cell_->id));
+      cell_->pool->release_cell(cell_);
+    }
+  }
+
+  void swap(ValueToken& other) noexcept {
+    std::swap(id_, other.id_);
+    std::swap(cell_, other.cell_);
   }
 
   [[nodiscard]] sim::ValueId id() const noexcept { return id_; }
 
  private:
   sim::ValueId id_ = sim::kNoValue;
-  std::shared_ptr<void> release_;
+  sim::BufferPool::RefCell* cell_ = nullptr;
 };
 
 }  // namespace detail
@@ -70,8 +105,11 @@ class vreg {
   /// elements of it throws; it is only valid as an agnostic maskedoff.
   vreg() = default;
 
-  /// Used by the instruction implementations in ops_detail.hpp.
-  vreg(Machine& machine, std::vector<T> elems, detail::ValueToken token)
+  /// Used by the instruction implementations in ops_detail.hpp.  The pooled
+  /// element storage is shared (not copied) between C++ copies of the value:
+  /// emulated results are immutable once constructed, so sharing is
+  /// observationally identical and keeps copies allocation-free.
+  vreg(Machine& machine, sim::PooledBuffer<T> elems, detail::ValueToken token)
       : elems_(std::move(elems)), token_(std::move(token)), machine_(&machine) {}
 
   [[nodiscard]] bool defined() const noexcept { return machine_ != nullptr; }
@@ -87,7 +125,9 @@ class vreg {
     return elems_[i];
   }
 
-  [[nodiscard]] std::span<const T> elems() const noexcept { return elems_; }
+  [[nodiscard]] std::span<const T> elems() const noexcept {
+    return {elems_.data(), elems_.size()};
+  }
 
   [[nodiscard]] Machine& machine() const {
     if (!defined()) throw std::logic_error("vreg: machine() of an undefined value");
@@ -97,7 +137,7 @@ class vreg {
   [[nodiscard]] sim::ValueId value_id() const noexcept { return token_.id(); }
 
  private:
-  std::vector<T> elems_;
+  sim::PooledBuffer<T> elems_;
   detail::ValueToken token_;
   Machine* machine_ = nullptr;
 };
@@ -110,7 +150,8 @@ class vmask {
  public:
   vmask() = default;
 
-  vmask(Machine& machine, std::vector<std::uint8_t> bits, detail::ValueToken token)
+  vmask(Machine& machine, sim::PooledBuffer<std::uint8_t> bits,
+        detail::ValueToken token)
       : bits_(std::move(bits)), token_(std::move(token)), machine_(&machine) {}
 
   [[nodiscard]] bool defined() const noexcept { return machine_ != nullptr; }
@@ -123,6 +164,11 @@ class vmask {
     return bits_[i] != 0;
   }
 
+  /// Raw 0/1 bit bytes, for the emulated instructions' inner loops.
+  [[nodiscard]] std::span<const std::uint8_t> bits() const noexcept {
+    return {bits_.data(), bits_.size()};
+  }
+
   [[nodiscard]] Machine& machine() const {
     if (!defined()) throw std::logic_error("vmask: machine() of an undefined value");
     return *machine_;
@@ -131,7 +177,7 @@ class vmask {
   [[nodiscard]] sim::ValueId value_id() const noexcept { return token_.id(); }
 
  private:
-  std::vector<std::uint8_t> bits_;
+  sim::PooledBuffer<std::uint8_t> bits_;
   detail::ValueToken token_;
   Machine* machine_ = nullptr;
 };

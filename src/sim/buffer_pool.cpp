@@ -1,0 +1,80 @@
+#include "sim/buffer_pool.hpp"
+
+#include <new>
+
+namespace rvvsvm::sim {
+
+BufferPool::~BufferPool() {
+  for (auto& list : free_blocks_) {
+    for (void* p : list) ::operator delete(p);
+    list.clear();
+  }
+  while (free_cells_ != nullptr) {
+    RefCell* next = free_cells_->next;
+    delete free_cells_;
+    free_cells_ = next;
+  }
+}
+
+BufferPool::BlockHeader* BufferPool::acquire_block(std::size_t payload_bytes) {
+  const unsigned cls = class_for(payload_bytes);
+  assert(cls < kNumClasses);
+  ++stats_.block_acquires;
+  stats_.bytes_in_use += class_bytes(cls);
+  if (stats_.bytes_in_use > stats_.peak_bytes_in_use) {
+    stats_.peak_bytes_in_use = stats_.bytes_in_use;
+  }
+
+  void* raw = nullptr;
+  if (cfg_.recycle && !free_blocks_[cls].empty()) {
+    raw = free_blocks_[cls].back();
+    free_blocks_[cls].pop_back();
+    ++stats_.block_reuses;
+    stats_.bytes_cached -= class_bytes(cls);
+  } else {
+    raw = ::operator new(class_bytes(cls));
+  }
+
+  auto* h = static_cast<BlockHeader*>(raw);
+  h->pool = this;
+  h->refcount = 1;
+  h->class_idx = cls;
+  return h;
+}
+
+void BufferPool::recycle_block(BlockHeader* h) {
+  const unsigned cls = h->class_idx;
+  stats_.bytes_in_use -= class_bytes(cls);
+  if (cfg_.recycle) {
+    free_blocks_[cls].push_back(h);
+    stats_.bytes_cached += class_bytes(cls);
+  } else {
+    ::operator delete(h);
+  }
+}
+
+BufferPool::RefCell* BufferPool::acquire_cell() {
+  ++stats_.cell_acquires;
+  RefCell* cell = nullptr;
+  if (cfg_.recycle && free_cells_ != nullptr) {
+    cell = free_cells_;
+    free_cells_ = cell->next;
+    ++stats_.cell_reuses;
+  } else {
+    cell = new RefCell;
+  }
+  cell->pool = this;
+  cell->next = nullptr;
+  return cell;
+}
+
+void BufferPool::release_cell(RefCell* cell) {
+  if (cfg_.recycle) {
+    cell->next = free_cells_;
+    free_cells_ = cell;
+  } else {
+    delete cell;
+  }
+}
+
+}  // namespace rvvsvm::sim

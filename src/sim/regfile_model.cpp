@@ -17,46 +17,22 @@ constexpr bool valid_lmul(unsigned lmul) noexcept {
 
 VRegFileModel::VRegFileModel(InstCounter& counter, Config cfg)
     : counter_(&counter), cfg_(cfg), reg_owner_(cfg.num_regs, kNoValue) {
-  if (cfg_.num_regs < 2 || cfg_.num_regs % 8 != 0) {
-    throw std::invalid_argument("VRegFileModel: num_regs must be a positive multiple of 8");
+  if (cfg_.num_regs < 2 || cfg_.num_regs % 8 != 0 || cfg_.num_regs > 64) {
+    throw std::invalid_argument(
+        "VRegFileModel: num_regs must be a positive multiple of 8, at most 64");
   }
 }
 
-void VRegFileModel::begin_inst() {
-  assert(!in_inst_ && "nested begin_inst");
-  in_inst_ = true;
-  if (trace_sink_) {
-    trace_line_ = "#" + std::to_string(++inst_seq_);
-  }
+void VRegFileModel::trace_begin() {
+  trace_line_ = "#" + std::to_string(++inst_seq_);
 }
 
-void VRegFileModel::end_inst() {
-  assert(in_inst_ && "end_inst without begin_inst");
-  if (trace_sink_) {
-    trace_sink_(trace_line_);
-    trace_line_.clear();
-  }
-  for (ValueId v : pinned_) {
-    auto it = values_.find(v);
-    if (it != values_.end()) it->second.pinned = false;
-  }
-  pinned_.clear();
-  in_inst_ = false;
+void VRegFileModel::trace_end() {
+  trace_sink_(trace_line_);
+  trace_line_.clear();
 }
 
-void VRegFileModel::use(ValueId v) {
-  auto it = values_.find(v);
-  if (it == values_.end()) {
-    throw std::logic_error("VRegFileModel::use of unknown or released value");
-  }
-  Value& val = it->second;
-  const bool was_spilled = val.base_reg < 0;
-  if (was_spilled) reload(v, val);
-  touch(val);
-  if (in_inst_ && !val.pinned) {
-    val.pinned = true;
-    pinned_.push_back(v);
-  }
+void VRegFileModel::trace_use(const Value& val, bool was_spilled) {
   trace_event("use v" + std::to_string(val.base_reg) + ":m" +
               std::to_string(val.lmul) + (was_spilled ? "(reload)" : ""));
 }
@@ -67,7 +43,7 @@ void VRegFileModel::use_as_mask(ValueId v) {
     // The compiler materializes the mask into v0 (vmv1r.v v0, vK).
     counter_->add(InstClass::kVectorMove);
     active_mask_ = v;
-    trace_event("mask->v0");
+    if (trace_sink_ || cfg_.legacy_host_costs) trace_event("mask->v0");
   }
 }
 
@@ -80,53 +56,59 @@ ValueId VRegFileModel::define(unsigned lmul) {
   val.lmul = lmul;
   val.base_reg = base;
   if (in_inst_) {
-    val.pinned = true;
-    pinned_.push_back(id);
+    val.pin_epoch = pin_epoch_;
+    if (cfg_.legacy_host_costs) legacy_pinned_.push_back(id);
   }
-  auto [it, inserted] = values_.emplace(id, val);
-  assert(inserted);
-  static_cast<void>(inserted);
-  touch(it->second);
-  trace_event("def v" + std::to_string(base) + ":m" + std::to_string(lmul));
+  if (cfg_.legacy_host_costs) {
+    auto [it, inserted] = legacy_values_.emplace(id, val);
+    assert(inserted);
+    static_cast<void>(inserted);
+    touch(it->second);
+  } else {
+    values_.push_back(Entry{id, val});
+    touch(values_.back().val);
+  }
+  if (trace_sink_ || cfg_.legacy_host_costs) {
+    trace_event("def v" + std::to_string(base) + ":m" + std::to_string(lmul));
+  }
   return id;
 }
 
-void VRegFileModel::release(ValueId v) {
-  if (v == kNoValue) return;
-  auto it = values_.find(v);
-  if (it == values_.end()) return;
+// The pre-pool model un-pinned values one map lookup at a time at the end
+// of each instruction; replaying that lookup traffic keeps baseline-mode
+// timings honest.  Clearing pin_epoch is a no-op for correctness (the epoch
+// was already advanced), it just mirrors the old store.
+void VRegFileModel::end_inst_legacy() {
+  for (ValueId v : legacy_pinned_) {
+    auto it = legacy_values_.find(v);
+    if (it != legacy_values_.end()) it->second.pin_epoch = 0;
+  }
+  legacy_pinned_.clear();
+}
+
+void VRegFileModel::release_legacy(ValueId v) {
+  auto it = legacy_values_.find(v);
+  if (it == legacy_values_.end()) return;
   if (it->second.base_reg >= 0) {
     vacate(it->second.base_reg, it->second.lmul);
   }
   if (active_mask_ == v) active_mask_ = kNoValue;
-  // A pinned value released mid-instruction stays in pinned_; end_inst()
-  // tolerates stale ids.
-  values_.erase(it);
+  legacy_values_.erase(it);
 }
 
 unsigned VRegFileModel::live_values() const noexcept {
-  return static_cast<unsigned>(values_.size());
+  return static_cast<unsigned>(cfg_.legacy_host_costs ? legacy_values_.size()
+                                                      : values_.size());
 }
 
 unsigned VRegFileModel::resident_values() const noexcept {
   unsigned n = 0;
-  for (const auto& [id, val] : values_) n += (val.base_reg >= 0) ? 1u : 0u;
-  return n;
-}
-
-int VRegFileModel::find_free_group(unsigned lmul) const noexcept {
-  const unsigned first = cfg_.reserve_v0 ? std::max(1u, lmul) : 0u;
-  for (unsigned base = first; base + lmul <= cfg_.num_regs; base += lmul) {
-    bool free = true;
-    for (unsigned r = base; r < base + lmul; ++r) {
-      if (reg_owner_[r] != kNoValue) {
-        free = false;
-        break;
-      }
-    }
-    if (free) return static_cast<int>(base);
+  if (cfg_.legacy_host_costs) {
+    for (const auto& [id, val] : legacy_values_) n += (val.base_reg >= 0) ? 1u : 0u;
+  } else {
+    for (const Entry& e : values_) n += (e.val.base_reg >= 0) ? 1u : 0u;
   }
-  return -1;
+  return n;
 }
 
 int VRegFileModel::make_room(unsigned lmul) {
@@ -149,8 +131,8 @@ int VRegFileModel::make_room(unsigned lmul) {
     for (unsigned r = base; r < base + lmul && usable; ++r) {
       const ValueId owner = reg_owner_[r];
       if (owner == kNoValue) continue;
-      const Value& val = values_.at(owner);
-      if (val.pinned) {
+      const Value& val = *find_value(owner);
+      if (pinned(val)) {
         usable = false;
         break;
       }
@@ -175,9 +157,11 @@ int VRegFileModel::make_room(unsigned lmul) {
         "(more pinned operands than architectural registers)");
   }
   for (ValueId victim : best_victims) {
-    Value& val = values_.at(victim);
-    trace_event("spill v" + std::to_string(val.base_reg) + ":m" +
-                std::to_string(val.lmul));
+    Value& val = *find_value(victim);
+    if (trace_sink_ || cfg_.legacy_host_costs) {
+      trace_event("spill v" + std::to_string(val.base_reg) + ":m" +
+                  std::to_string(val.lmul));
+    }
     vacate(val.base_reg, val.lmul);
     val.base_reg = -1;
     ++spills_;
@@ -197,6 +181,7 @@ void VRegFileModel::occupy(int base, unsigned lmul, ValueId v) {
     assert(reg_owner_[r] == kNoValue);
     reg_owner_[r] = v;
   }
+  occupied_mask_ |= group_mask(static_cast<unsigned>(base), lmul);
   occupied_regs_ += lmul;
   peak_regs_ = std::max(peak_regs_, occupied_regs_);
 }
@@ -205,6 +190,7 @@ void VRegFileModel::vacate(int base, unsigned lmul) {
   for (unsigned r = static_cast<unsigned>(base); r < static_cast<unsigned>(base) + lmul; ++r) {
     reg_owner_[r] = kNoValue;
   }
+  occupied_mask_ &= ~group_mask(static_cast<unsigned>(base), lmul);
   occupied_regs_ -= lmul;
 }
 

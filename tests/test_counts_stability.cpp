@@ -1,0 +1,155 @@
+// Golden dynamic-instruction-count regression test.
+//
+// The buffer-pool refactor (and any future host-side optimisation of the
+// emulator) must not change what the emulator *models*: the dynamic
+// instruction counts and the spill/reload traffic of every kernel are the
+// paper's reported quantities, so they are pinned here to the exact values
+// the seed emulator produced.  A host-speed change that shifts any of these
+// numbers is a modeling change and must be called out, not slipped in.
+//
+// Workloads are fully deterministic: fixed sizes, fixed mt19937 seeds, the
+// same element distributions the bench harness uses.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "svm/svm.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using T = std::uint32_t;
+
+std::vector<T> random_u32(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(rng());
+  return v;
+}
+
+std::vector<T> random_head_flags(std::size_t n, std::size_t avg_len,
+                                 std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution head(1.0 / static_cast<double>(avg_len));
+  std::vector<T> flags(n, 0);
+  if (n > 0) flags[0] = 1;
+  for (std::size_t i = 1; i < n; ++i) flags[i] = head(rng) ? 1u : 0u;
+  return flags;
+}
+
+struct Golden {
+  unsigned vlen;
+  std::uint64_t total;
+  std::uint64_t spills;
+  std::uint64_t reloads;
+};
+
+/// Runs `kernel` on a fresh pressure-modeling machine and checks the total
+/// dynamic instruction count and the spill/reload traffic against `golden`.
+template <class Kernel>
+void expect_counts(const Golden& golden, Kernel kernel) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = golden.vlen});
+  rvv::MachineScope scope(machine);
+  kernel();
+  const auto snap = machine.counter().snapshot();
+  EXPECT_EQ(snap.total(), golden.total) << "VLEN=" << golden.vlen;
+  EXPECT_EQ(snap.count(sim::InstClass::kVectorSpill), golden.spills)
+      << "VLEN=" << golden.vlen;
+  EXPECT_EQ(snap.count(sim::InstClass::kVectorReload), golden.reloads)
+      << "VLEN=" << golden.vlen;
+}
+
+constexpr std::size_t kN = 10000;
+
+TEST(CountsStability, PlusScanLmul1) {
+  // {vlen, total, spills, reloads} — captured from the seed emulator.
+  for (const auto& golden : {Golden{128, 52501, 0, 0}, Golden{1024, 11264, 0, 0}}) {
+    expect_counts(golden, [] {
+      auto data = random_u32(kN, 3);
+      svm::plus_scan<T>(std::span<T>(data));
+    });
+  }
+}
+
+TEST(CountsStability, PlusScanLmul8) {
+  for (const auto& golden : {Golden{128, 11264, 0, 0}, Golden{1024, 2021, 0, 0}}) {
+    expect_counts(golden, [] {
+      auto data = random_u32(kN, 3);
+      svm::plus_scan<T, 8>(std::span<T>(data));
+    });
+  }
+}
+
+TEST(CountsStability, SegPlusScanLmul8) {
+  // Segmented scan at LMUL=8 is the configuration that exercises the
+  // register-pressure model (paper Table 5): spills/reloads must be pinned
+  // too, not just retired-instruction totals.
+  for (const auto& golden : {Golden{128, 83522, 37536, 25024}, Golden{1024, 16481, 7584, 5056}}) {
+    expect_counts(golden, [] {
+      auto data = random_u32(kN, 3);
+      const auto flags = random_head_flags(kN, 100, 4);
+      svm::seg_plus_scan<T, 8>(std::span<T>(data), std::span<const T>(flags));
+    });
+  }
+}
+
+TEST(CountsStability, RadixSortLmul1) {
+  for (const auto& golden : {Golden{128, 5840320, 0, 0}, Golden{1024, 731488, 0, 0}}) {
+    expect_counts(golden, [] {
+      auto data = random_u32(kN, 7);
+      apps::split_radix_sort<T>(std::span<T>(data));
+    });
+  }
+}
+
+/// Baseline mode (pool off) runs different host code on purpose — the
+/// original checked loops, a node-based value table, deep vreg copies — so
+/// the benchmark driver can A/B against the pre-pool emulator.  Everything it
+/// *models* must still be identical, including the spill/reload traffic of
+/// the register-hungry segmented scan.
+TEST(CountsStability, BaselineModeCountsIdentical) {
+  struct Case {
+    Golden golden;
+    void (*kernel)();
+  };
+  const Case cases[] = {
+      {Golden{1024, 11264, 0, 0},
+       [] {
+         auto data = random_u32(kN, 3);
+         svm::plus_scan<T>(std::span<T>(data));
+       }},
+      {Golden{1024, 16481, 7584, 5056},
+       [] {
+         auto data = random_u32(kN, 3);
+         const auto flags = random_head_flags(kN, 100, 4);
+         svm::seg_plus_scan<T, 8>(std::span<T>(data), std::span<const T>(flags));
+       }},
+  };
+  for (const auto& c : cases) {
+    rvv::Machine machine(rvv::Machine::Config{.vlen_bits = c.golden.vlen,
+                                              .use_buffer_pool = false});
+    rvv::MachineScope scope(machine);
+    c.kernel();
+    const auto snap = machine.counter().snapshot();
+    EXPECT_EQ(snap.total(), c.golden.total);
+    EXPECT_EQ(snap.count(sim::InstClass::kVectorSpill), c.golden.spills);
+    EXPECT_EQ(snap.count(sim::InstClass::kVectorReload), c.golden.reloads);
+  }
+}
+
+/// The same kernel with the pressure model off must also be stable — this
+/// pins the pure instruction-count ablation path.
+TEST(CountsStability, PlusScanNoPressureModel) {
+  rvv::Machine machine(
+      rvv::Machine::Config{.vlen_bits = 1024, .model_register_pressure = false});
+  rvv::MachineScope scope(machine);
+  auto data = random_u32(kN, 3);
+  svm::plus_scan<T>(std::span<T>(data));
+  EXPECT_EQ(machine.counter().snapshot().total(), 11264u);
+}
+
+}  // namespace

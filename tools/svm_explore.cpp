@@ -9,6 +9,7 @@
 //   svm_explore --list
 #include <cstdint>
 #include <functional>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <random>
@@ -170,6 +171,17 @@ void run_kernel(const Options& opt) {
               << "/32 registers, " << machine.regfile()->spill_count() << " spills, "
               << machine.regfile()->reload_count() << " reloads\n";
   }
+  const auto& ps = machine.pool_stats();
+  const auto reuse_pct = [](std::uint64_t reuses, std::uint64_t acquires) {
+    return acquires == 0 ? 0.0 : 100.0 * static_cast<double>(reuses) /
+                                     static_cast<double>(acquires);
+  };
+  std::cout << std::fixed << std::setprecision(1)
+            << "buffer pool: " << ps.block_acquires << " block acquires ("
+            << reuse_pct(ps.block_reuses, ps.block_acquires) << "% recycled), "
+            << ps.cell_acquires << " token cells ("
+            << reuse_pct(ps.cell_reuses, ps.cell_acquires) << "% recycled), peak "
+            << (ps.peak_bytes_in_use + 1023) / 1024 << " KiB live\n";
 }
 
 void usage() {
