@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "bench/common.hpp"
+#include "par/par.hpp"
 #include "rvv/machine.hpp"
 #include "svm/svm.hpp"
 
@@ -161,9 +162,14 @@ void write_bench_json(const std::vector<ThroughputResult>& results,
   if (!out) throw std::runtime_error("bench_runner: cannot write " + path);
 
   out << "{\n"
-      << "  \"schema\": \"rvvsvm-bench-emulator-v1\",\n"
+      << "  \"schema\": \"rvvsvm-bench-emulator\",\n"
+      << "  \"schema_version\": " << kBenchSchemaVersion << ",\n"
       << "  \"n\": " << opt.n << ",\n"
       << "  \"threads\": " << worker_count(opt, results.size()) << ",\n"
+      // Every cell of this sweep is a single-hart machine; shards do not
+      // apply.  Recorded so the two BENCH_*.json files share one vocabulary.
+      << "  \"harts\": 1,\n"
+      << "  \"shard_size\": null,\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -193,6 +199,170 @@ void write_bench_json(const std::vector<ThroughputResult>& results,
         << (i + 1 < pairs.size() ? "," : "") << "\n";
   }
   out << "  }\n}\n";
+}
+
+namespace {
+
+/// One pass of a parallel kernel over prebuilt buffers.  As in Workload,
+/// kernels rerun on their own (mutated) output: split radix sort and the
+/// scans are data-oblivious, so instruction streams and wall-clock per pass
+/// are unaffected.
+struct ParallelWorkload {
+  std::vector<T> data;
+  std::vector<T> flags;
+  std::vector<T> scratch;
+
+  explicit ParallelWorkload(std::size_t n)
+      : data(random_u32(n, 3)), flags(random_head_flags(n, 2, 4)), scratch(n) {}
+
+  void run(par::HartPool& pool, const std::string& kernel) {
+    if (kernel == "scan") {
+      par::plus_scan<T>(pool, std::span<T>(data));
+    } else if (kernel == "scan_exclusive") {
+      par::plus_scan_exclusive<T>(pool, std::span<T>(data));
+    } else if (kernel == "reduce") {
+      static_cast<void>(par::reduce<svm::PlusOp, T>(
+          pool, std::span<const T>(data)));
+    } else if (kernel == "split") {
+      static_cast<void>(par::split<T>(pool, std::span<const T>(data),
+                                      std::span<T>(scratch),
+                                      std::span<const T>(flags)));
+    } else if (kernel == "radix_sort8") {
+      par::split_radix_sort<T>(pool, std::span<T>(data), /*key_bits=*/8);
+    } else {
+      throw std::logic_error("bench_runner: unknown parallel kernel " + kernel);
+    }
+  }
+};
+
+ParallelResult run_parallel_cell(const std::string& kernel, unsigned vlen,
+                                 unsigned harts, const ParallelSweepOptions& opt) {
+  ParallelResult r;
+  r.kernel = kernel;
+  r.vlen = vlen;
+  r.harts = harts;
+  r.shard_size = opt.shard_size;
+  r.n = opt.n;
+
+  ParallelWorkload work(opt.n);
+  par::HartPool pool(par::HartPool::Config{
+      .harts = harts,
+      .shard_size = opt.shard_size,
+      .machine = {.vlen_bits = vlen}});
+
+  // Warmup pass doubles as the count measurement (counts are deterministic
+  // per pass).
+  pool.reset_counts();
+  work.run(pool, kernel);
+  const auto per_hart = pool.per_hart_counts();
+  for (const auto& snap : per_hart) {
+    r.per_hart_instructions.push_back(snap.total());
+  }
+  r.merged_instructions =
+      sim::merge_counts(per_hart.data(), per_hart.size()).total();
+
+  std::size_t passes = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    work.run(pool, kernel);
+    ++passes;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed < opt.min_seconds);
+
+  r.seconds_per_pass = elapsed / static_cast<double>(passes);
+  r.elems_per_sec = static_cast<double>(opt.n) / r.seconds_per_pass;
+  return r;
+}
+
+}  // namespace
+
+std::vector<ParallelResult> run_parallel_sweep(const ParallelSweepOptions& opt) {
+  static const char* kKernels[] = {"scan", "scan_exclusive", "reduce", "split",
+                                   "radix_sort8"};
+  std::vector<ParallelResult> results;
+  for (const char* kernel : kKernels) {
+    for (const unsigned vlen : opt.vlens) {
+      for (const unsigned harts : opt.hart_counts) {
+        results.push_back(run_parallel_cell(kernel, vlen, harts, opt));
+      }
+    }
+  }
+  return results;
+}
+
+double parallel_speedup(const std::vector<ParallelResult>& results,
+                        const std::string& kernel, unsigned vlen,
+                        unsigned harts) {
+  const ParallelResult* cell = nullptr;
+  const ParallelResult* base = nullptr;
+  for (const auto& r : results) {
+    if (r.kernel == kernel && r.vlen == vlen) {
+      if (r.harts == harts) cell = &r;
+      if (r.harts == 1) base = &r;
+    }
+  }
+  if (cell == nullptr || base == nullptr || base->elems_per_sec == 0.0) return 0.0;
+  return cell->elems_per_sec / base->elems_per_sec;
+}
+
+void write_parallel_json(const std::vector<ParallelResult>& results,
+                         const ParallelSweepOptions& opt,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("bench_runner: cannot write " + path);
+
+  out << "{\n"
+      << "  \"schema\": \"rvvsvm-bench-parallel\",\n"
+      << "  \"schema_version\": " << kBenchSchemaVersion << ",\n"
+      << "  \"n\": " << opt.n << ",\n"
+      << "  \"shard_size\": " << opt.shard_size << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"kernel\": \"" << r.kernel << "\", \"vlen\": " << r.vlen
+        << ", \"harts\": " << r.harts << ", \"shard_size\": " << r.shard_size
+        << ", \"n\": " << r.n
+        << ", \"seconds_per_pass\": " << json_number(r.seconds_per_pass)
+        << ", \"elems_per_sec\": " << json_number(r.elems_per_sec)
+        << ", \"merged_instructions\": " << r.merged_instructions
+        << ", \"per_hart_instructions\": [";
+    for (std::size_t h = 0; h < r.per_hart_instructions.size(); ++h) {
+      out << (h == 0 ? "" : ", ") << r.per_hart_instructions[h];
+    }
+    out << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"speedup_vs_1_hart\": {\n";
+
+  std::vector<std::string> keys;
+  std::vector<double> values;
+  for (const auto& r : results) {
+    if (r.harts == 1) continue;
+    keys.push_back(r.kernel + "@vlen" + std::to_string(r.vlen) + "@harts" +
+                   std::to_string(r.harts));
+    values.push_back(parallel_speedup(results, r.kernel, r.vlen, r.harts));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    out << "    \"" << keys[i] << "\": " << json_number(values[i])
+        << (i + 1 < keys.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+}
+
+void print_parallel_summary(const std::vector<ParallelResult>& results) {
+  std::cout << std::left << std::setw(16) << "kernel" << std::right
+            << std::setw(6) << "vlen" << std::setw(7) << "harts"
+            << std::setw(12) << "shard" << std::setw(16) << "Melems/s"
+            << std::setw(14) << "merged insts" << std::setw(10) << "vs 1" << '\n';
+  for (const auto& r : results) {
+    std::cout << std::left << std::setw(16) << r.kernel << std::right
+              << std::setw(6) << r.vlen << std::setw(7) << r.harts
+              << std::setw(12) << r.shard_size << std::setw(16) << std::fixed
+              << std::setprecision(3) << r.elems_per_sec / 1e6 << std::setw(14)
+              << r.merged_instructions << std::setw(9) << std::setprecision(2)
+              << parallel_speedup(results, r.kernel, r.vlen, r.harts) << "x\n";
+  }
 }
 
 void print_summary(const std::vector<ThroughputResult>& results) {

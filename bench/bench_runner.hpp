@@ -42,6 +42,11 @@ struct SweepOptions {
   unsigned threads = 0;         ///< worker threads; 0 = hardware concurrency
 };
 
+/// Version stamped into every JSON report this module writes, so
+/// BENCH_emulator.json and BENCH_parallel.json are self-describing and
+/// diffable across PRs.  Bump when a field changes meaning or moves.
+inline constexpr int kBenchSchemaVersion = 2;
+
 /// Runs the kernel × VLEN × {pooled, unpooled} sweep on a thread pool and
 /// returns one result per cell (deterministic order: kernels outer, VLEN
 /// middle, unpooled-then-pooled inner).
@@ -60,5 +65,52 @@ void write_bench_json(const std::vector<ThroughputResult>& results,
 
 /// Prints a human-readable summary table to stdout.
 void print_summary(const std::vector<ThroughputResult>& results);
+
+// ---------------------------------------------------------------------------
+// Multi-hart scaling sweep (bench/parallel_scaling) — how emulated
+// elements/sec scale with the hart count of the par:: sharded engine, per
+// kernel and VLEN, at a fixed shard size.  Alongside wall-clock it records
+// per-hart and merged dynamic instruction counts; merged counts must not
+// move with the hart count (the engine's determinism invariant), so the
+// JSON doubles as a cross-PR regression anchor for the modeled costs.
+
+/// One measured cell of the hart-scaling sweep.
+struct ParallelResult {
+  std::string kernel;
+  unsigned vlen = 0;
+  unsigned harts = 0;
+  std::size_t shard_size = 0;
+  std::size_t n = 0;
+  double seconds_per_pass = 0.0;
+  double elems_per_sec = 0.0;
+  std::uint64_t merged_instructions = 0;  ///< summed over harts, per pass
+  std::vector<std::uint64_t> per_hart_instructions;  ///< per pass, hart order
+};
+
+struct ParallelSweepOptions {
+  std::vector<unsigned> vlens{128, 256, 512, 1024};
+  std::vector<unsigned> hart_counts{1, 2, 4, 8};
+  std::size_t n = 1u << 16;        ///< emulated elements per pass
+  std::size_t shard_size = 1u << 12;  ///< elements per shard (fixed across cells)
+  double min_seconds = 0.05;       ///< minimum timed window per cell
+};
+
+/// Runs the kernel × VLEN × hart-count sweep.  Cells run one after another
+/// (each cell is internally parallel across its harts) in deterministic
+/// order: kernels outer, VLEN middle, hart count inner.
+[[nodiscard]] std::vector<ParallelResult> run_parallel_sweep(
+    const ParallelSweepOptions& opt);
+
+/// Elements/sec of the cell over its harts=1 sibling; 0 when missing.
+[[nodiscard]] double parallel_speedup(const std::vector<ParallelResult>& results,
+                                      const std::string& kernel, unsigned vlen,
+                                      unsigned harts);
+
+/// Writes the machine-readable report — the BENCH_parallel.json contract.
+void write_parallel_json(const std::vector<ParallelResult>& results,
+                         const ParallelSweepOptions& opt, const std::string& path);
+
+/// Prints a human-readable summary table to stdout.
+void print_parallel_summary(const std::vector<ParallelResult>& results);
 
 }  // namespace rvvsvm::bench

@@ -1,0 +1,235 @@
+// Two-level (sharded) collective kernels over a HartPool.
+//
+// Every collective is the textbook block-parallel form of its svm:: kernel,
+// with the single-hart kernels reused verbatim inside each shard:
+//
+//   scan:    per-shard local scan  ->  exclusive scan of the shard totals on
+//            hart 0  ->  per-shard offset fixup (svm::p_combine).
+//   reduce:  per-shard reduce  ->  reduce of the partials on hart 0.
+//   split:   per-shard 0/1 rank + bucket histogram (svm::enumerate)  ->
+//            exclusive scan of per-shard bucket counts on hart 0  ->
+//            per-shard offset, select and scatter into the global output.
+//
+// Results are bit-identical to the single-hart svm:: kernels: the operators
+// are exact and associative over their element types, so folding the
+// exclusive-scanned shard totals into each shard reproduces the global fold,
+// and split's stable partition is uniquely determined by its input.
+//
+// The cross-shard arrays (shard totals, bucket counts) are host-side staging
+// in the same way the single-hart kernels' scalar carries are host-side;
+// writing a shard's total and reading its base offset are charged as the
+// scalar store/load they would be on a real machine, so the modeled cost of
+// the combine tree is counted, deterministically per shard.
+//
+// Dynamic instruction counts merge across harts (HartPool::merged_counts)
+// and are invariant under the hart count for a fixed shard size: shard
+// decomposition depends only on (n, shard_size), per-shard work only on the
+// shard, and the combine phase always runs on hart 0.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "par/hart_pool.hpp"
+#include "svm/svm.hpp"
+
+namespace rvvsvm::par {
+
+/// Inclusive Op-scan across the pool, in place; bit-identical to
+/// svm::scan_inclusive on one hart.
+template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+void scan_inclusive(HartPool& pool, std::span<T> data) {
+  const auto shards = make_shards(data.size(), pool.shard_size());
+  if (shards.empty()) return;
+  std::vector<T> totals(shards.size());
+
+  pool.for_shards(shards.size(), [&](std::size_t s) {
+    const auto sub = data.subspan(shards[s].begin, shards[s].size());
+    svm::scan_inclusive<Op, T, LMUL>(sub);
+    totals[s] = sub.back();  // shard total = inclusive-scan tail
+    rvv::Machine::active().scalar().charge({.load = 1, .store = 1});
+  });
+
+  pool.on_hart(0, [&] { svm::scan_exclusive<Op, T>(std::span<T>(totals)); });
+
+  pool.for_shards(shards.size(), [&](std::size_t s) {
+    rvv::Machine::active().scalar().charge({.load = 1});  // read shard base
+    svm::p_combine<Op, T, LMUL>(data.subspan(shards[s].begin, shards[s].size()),
+                                totals[s]);
+  });
+}
+
+/// Exclusive Op-scan across the pool, in place; bit-identical to
+/// svm::scan_exclusive on one hart.
+template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+void scan_exclusive(HartPool& pool, std::span<T> data) {
+  const auto shards = make_shards(data.size(), pool.shard_size());
+  if (shards.empty()) return;
+  std::vector<T> totals(shards.size());
+
+  pool.for_shards(shards.size(), [&](std::size_t s) {
+    const auto sub = data.subspan(shards[s].begin, shards[s].size());
+    // The local exclusive scan discards the shard total, so reduce first.
+    totals[s] = svm::reduce<Op, T, LMUL>(std::span<const T>(sub));
+    rvv::Machine::active().scalar().charge({.store = 1});
+    svm::scan_exclusive<Op, T, LMUL>(sub);
+  });
+
+  pool.on_hart(0, [&] { svm::scan_exclusive<Op, T>(std::span<T>(totals)); });
+
+  pool.for_shards(shards.size(), [&](std::size_t s) {
+    rvv::Machine::active().scalar().charge({.load = 1});
+    svm::p_combine<Op, T, LMUL>(data.subspan(shards[s].begin, shards[s].size()),
+                                totals[s]);
+  });
+}
+
+/// Whole-array Op-reduction across the pool.
+template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+[[nodiscard]] T reduce(HartPool& pool, std::span<const T> data) {
+  const auto shards = make_shards(data.size(), pool.shard_size());
+  if (shards.empty()) return Op::template identity<T>();
+  std::vector<T> partials(shards.size());
+
+  pool.for_shards(shards.size(), [&](std::size_t s) {
+    partials[s] = svm::reduce<Op, T, LMUL>(std::span<const T>(
+        data.subspan(shards[s].begin, shards[s].size())));
+    rvv::Machine::active().scalar().charge({.store = 1});
+  });
+
+  T result = Op::template identity<T>();
+  pool.on_hart(0, [&] {
+    result = svm::reduce<Op, T>(std::span<const T>(partials));
+  });
+  return result;
+}
+
+/// The named forms, mirroring svm::.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void plus_scan(HartPool& pool, std::span<T> data) {
+  scan_inclusive<svm::PlusOp, T, LMUL>(pool, data);
+}
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void plus_scan_exclusive(HartPool& pool, std::span<T> data) {
+  scan_exclusive<svm::PlusOp, T, LMUL>(pool, data);
+}
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void max_scan(HartPool& pool, std::span<T> data) {
+  scan_inclusive<svm::MaxOp, T, LMUL>(pool, data);
+}
+
+/// Sharded stable split (two-level form of svm::split): partitions src into
+/// dst with 0-flagged elements first, preserving order; returns the number
+/// of 0-flagged elements.  Per-shard ranks and bucket histograms are
+/// computed with svm::enumerate, the per-shard bucket bases come from
+/// exclusive plus-scans of the histograms on hart 0, and each shard scatters
+/// straight into its global destinations (destinations are disjoint across
+/// shards because the partition is a permutation).
+template <rvv::VectorElement T, unsigned LMUL = 1>
+std::size_t split(HartPool& pool, std::span<const T> src, std::span<T> dst,
+                  std::span<const T> flags) {
+  const std::size_t n = src.size();
+  if (dst.size() < n || flags.size() < n) {
+    throw std::invalid_argument("par::split: operand size mismatch");
+  }
+  const auto shards = make_shards(n, pool.shard_size());
+  if (shards.empty()) return 0;
+
+  std::vector<T> i_down(n);             // rank among 0-flagged, then dst index
+  std::vector<T> i_up(n);               // rank among 1-flagged, then dst index
+  std::vector<T> zeros(shards.size());  // per-shard 0-bucket histogram
+  std::vector<T> ones(shards.size());   // per-shard 1-bucket histogram
+
+  pool.for_shards(shards.size(), [&](std::size_t s) {
+    const auto fsub = flags.subspan(shards[s].begin, shards[s].size());
+    const auto down = std::span<T>(i_down).subspan(shards[s].begin, shards[s].size());
+    const auto up = std::span<T>(i_up).subspan(shards[s].begin, shards[s].size());
+    const std::size_t zero_count = svm::enumerate<T, LMUL>(fsub, down, false);
+    static_cast<void>(svm::enumerate<T, LMUL>(fsub, up, true));
+    zeros[s] = static_cast<T>(zero_count);
+    ones[s] = static_cast<T>(shards[s].size() - zero_count);
+    rvv::Machine::active().scalar().charge({.alu = 1, .store = 2});
+  });
+
+  T total_zeros{};
+  pool.on_hart(0, [&] {
+    total_zeros = svm::reduce<svm::PlusOp, T>(std::span<const T>(zeros));
+    svm::plus_scan_exclusive<T>(std::span<T>(zeros));  // zeros -> 0-bucket base
+    svm::plus_scan_exclusive<T>(std::span<T>(ones));
+    svm::p_add<T>(std::span<T>(ones), total_zeros);    // ones -> 1-bucket base
+  });
+
+  pool.for_shards(shards.size(), [&](std::size_t s) {
+    const auto fsub = flags.subspan(shards[s].begin, shards[s].size());
+    const auto ssub = src.subspan(shards[s].begin, shards[s].size());
+    const auto down = std::span<T>(i_down).subspan(shards[s].begin, shards[s].size());
+    const auto up = std::span<T>(i_up).subspan(shards[s].begin, shards[s].size());
+    rvv::Machine::active().scalar().charge({.load = 2});  // read shard bases
+    svm::p_add<T, LMUL>(down, zeros[s]);
+    svm::p_add<T, LMUL>(up, ones[s]);
+    svm::p_select<T, LMUL>(fsub, std::span<const T>(up), down);
+    svm::permute<T, LMUL>(ssub, dst, std::span<const T>(down));
+  });
+
+  return static_cast<std::size_t>(total_zeros);
+}
+
+/// Sharded split radix sort over the low `key_bits` bits (the bounded-key
+/// form the histogram/RLE applications use); key_bits == bit width of T
+/// sorts arbitrary keys.  Structure of apps::split_radix_sort with every
+/// pass sharded: per-shard get_flags, sharded split, buffer swap.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void split_radix_sort(HartPool& pool, std::span<T> data, unsigned key_bits) {
+  static_assert(std::is_unsigned_v<T>,
+                "split radix sort orders raw key bits; use unsigned keys");
+  const std::size_t n = data.size();
+  if (n < 2 || key_bits == 0) return;
+  if (key_bits > rvv::kSewBits<T>) {
+    throw std::invalid_argument("par::split_radix_sort: key_bits exceeds key width");
+  }
+
+  const auto shards = make_shards(n, pool.shard_size());
+  std::vector<T> buffer(n);
+  std::vector<T> flags(n);
+  std::span<T> src = data;
+  std::span<T> dst(buffer);
+  for (unsigned bit = 0; bit < key_bits; ++bit) {
+    pool.for_shards(shards.size(), [&](std::size_t s) {
+      svm::get_flags<T, LMUL>(
+          std::span<const T>(src.subspan(shards[s].begin, shards[s].size())),
+          std::span<T>(flags).subspan(shards[s].begin, shards[s].size()), bit);
+    });
+    static_cast<void>(split<T, LMUL>(pool, std::span<const T>(src), dst,
+                                     std::span<const T>(flags)));
+    std::swap(src, dst);
+    pool.on_hart(0, [&] {
+      rvv::Machine::active().scalar().charge({.alu = 3, .branch = 1});
+    });
+  }
+  if (key_bits % 2 != 0) {
+    pool.for_shards(shards.size(), [&](std::size_t s) {
+      svm::p_copy<T, LMUL>(
+          std::span<const T>(src.subspan(shards[s].begin, shards[s].size())),
+          data.subspan(shards[s].begin, shards[s].size()));
+    });
+  }
+}
+
+/// Full-width sort, matching apps::split_radix_sort for types wide enough to
+/// index the array.  Split computes destination indices in the element type,
+/// so narrow keys on long arrays (the widening path of
+/// apps::split_radix_sort) are rejected here rather than silently wrapped.
+template <rvv::VectorElement T, unsigned LMUL = 1>
+void split_radix_sort(HartPool& pool, std::span<T> data) {
+  if (!data.empty() &&
+      data.size() - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
+    throw std::invalid_argument(
+        "par::split_radix_sort: destination indices overflow the key type; "
+        "widen the keys first (see apps::split_radix_sort)");
+  }
+  split_radix_sort<T, LMUL>(pool, data, rvv::kSewBits<T>);
+}
+
+}  // namespace rvvsvm::par

@@ -1,0 +1,173 @@
+#include "par/hart_pool.hpp"
+
+#include <bit>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace rvvsvm::par {
+
+// Fork-join core: workers park on cv_start until the epoch advances, run the
+// posted job for their hart index, and the last participant signals cv_done.
+// All published state (job, participants, per-hart machines, counters) is
+// ordered by the mutex handshake, so between jobs the calling thread may
+// read machine counters race-free.
+struct HartPool::Impl {
+  Config cfg;
+  std::mutex mu;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  std::uint64_t epoch = 0;
+  unsigned participants = 0;   // harts [0, participants) run the current job
+  unsigned remaining = 0;      // participants still running
+  unsigned ready = 0;          // workers that finished construction
+  bool stop = false;
+  std::function<void(unsigned hart)> job;
+  std::exception_ptr first_error;
+  std::vector<std::unique_ptr<rvv::Machine>> machines;
+  std::vector<std::thread> workers;
+
+  void worker_main(unsigned hart) {
+    // The machine is created on the worker so its buffer pool binds here.
+    auto machine = std::make_unique<rvv::Machine>(cfg.machine);
+    std::uint64_t seen_epoch = 0;
+    {
+      std::lock_guard lock(mu);
+      machines[hart] = std::move(machine);
+      ++ready;
+    }
+    cv_done.notify_all();
+
+    for (;;) {
+      std::unique_lock lock(mu);
+      cv_start.wait(lock, [&] { return stop || epoch != seen_epoch; });
+      if (stop) return;
+      seen_epoch = epoch;
+      if (hart >= participants) continue;
+      lock.unlock();
+
+      try {
+        rvv::MachineScope scope(*machines[hart]);
+        job(hart);
+      } catch (...) {
+        std::lock_guard guard(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+
+      lock.lock();
+      if (--remaining == 0) {
+        lock.unlock();
+        cv_done.notify_all();
+      }
+    }
+  }
+
+  /// Post `task` to harts [0, nharts) and block until all have finished.
+  void run(unsigned nharts, std::function<void(unsigned)> task) {
+    std::unique_lock lock(mu);
+    job = std::move(task);
+    participants = nharts;
+    remaining = nharts;
+    first_error = nullptr;
+    ++epoch;
+    cv_start.notify_all();
+    cv_done.wait(lock, [&] { return remaining == 0; });
+    if (first_error) {
+      std::exception_ptr err = first_error;
+      first_error = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+};
+
+HartPool::HartPool() : HartPool(Config{}) {}
+
+HartPool::HartPool(Config cfg) : impl_(new Impl) {
+  if (cfg.harts == 0) {
+    cfg.harts = std::thread::hardware_concurrency();
+    if (cfg.harts == 0) cfg.harts = 1;
+  }
+  if (cfg.shard_size == 0) {
+    delete impl_;
+    throw std::invalid_argument("HartPool: shard_size must be non-zero");
+  }
+  // Validate the machine config here so a bad VLEN surfaces as an exception
+  // on the constructing thread, not inside a worker.
+  if (cfg.machine.vlen_bits < 64 || !std::has_single_bit(cfg.machine.vlen_bits)) {
+    delete impl_;
+    throw std::invalid_argument("HartPool: vlen_bits must be a power of two >= 64");
+  }
+
+  impl_->cfg = cfg;
+  impl_->machines.resize(cfg.harts);
+  impl_->workers.reserve(cfg.harts);
+  for (unsigned h = 0; h < cfg.harts; ++h) {
+    impl_->workers.emplace_back([impl = impl_, h] { impl->worker_main(h); });
+  }
+  std::unique_lock lock(impl_->mu);
+  impl_->cv_done.wait(lock, [&] { return impl_->ready == cfg.harts; });
+}
+
+HartPool::~HartPool() {
+  {
+    std::lock_guard lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_start.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+unsigned HartPool::harts() const noexcept {
+  return static_cast<unsigned>(impl_->machines.size());
+}
+
+std::size_t HartPool::shard_size() const noexcept { return impl_->cfg.shard_size; }
+
+void HartPool::for_shards(std::size_t num_shards,
+                          const std::function<void(std::size_t)>& body) {
+  if (num_shards == 0) return;
+  const unsigned nharts = harts();
+  const unsigned active =
+      num_shards < nharts ? static_cast<unsigned>(num_shards) : nharts;
+  impl_->run(active, [&](unsigned hart) {
+    const ShardRange mine = shards_for_hart(num_shards, active, hart);
+    for (std::size_t s = mine.begin; s < mine.end; ++s) body(s);
+  });
+}
+
+void HartPool::on_hart(unsigned hart, const std::function<void()>& body) {
+  if (hart >= harts()) throw std::out_of_range("HartPool::on_hart: bad hart");
+  // Post to harts [0, hart] but only the target runs; the others see a
+  // no-op.  Keeps the fork-join path single and the target deterministic.
+  impl_->run(hart + 1, [&](unsigned h) {
+    if (h == hart) body();
+  });
+}
+
+rvv::Machine& HartPool::machine(unsigned hart) {
+  if (hart >= harts()) throw std::out_of_range("HartPool::machine: bad hart");
+  return *impl_->machines[hart];
+}
+
+std::vector<sim::CountSnapshot> HartPool::per_hart_counts() const {
+  std::vector<sim::CountSnapshot> counts;
+  counts.reserve(impl_->machines.size());
+  for (const auto& m : impl_->machines) counts.push_back(m->counter().snapshot());
+  return counts;
+}
+
+sim::CountSnapshot HartPool::merged_counts() const {
+  const auto per_hart = per_hart_counts();
+  return sim::merge_counts(per_hart.data(), per_hart.size());
+}
+
+void HartPool::reset_counts() noexcept {
+  for (const auto& m : impl_->machines) m->reset_counts();
+}
+
+}  // namespace rvvsvm::par

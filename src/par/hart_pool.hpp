@@ -1,0 +1,89 @@
+// A pool of emulated harts with a reusable fork-join runner.
+//
+// Each worker thread owns one rvv::Machine — one hart — created on the
+// worker itself so the machine's buffer pool binds to that thread.  The
+// active-machine pointer is thread-local, so harts execute svm:: kernels
+// concurrently without aliasing any state: counters, register-pressure
+// models and buffer pools are all per-hart.
+//
+// Collectives dispatch fork-join jobs: for_shards runs a body over every
+// shard index (shards assigned to harts in contiguous, deterministic runs —
+// see partition.hpp) and blocks until all harts finish; on_hart runs a
+// combine phase on one designated hart.  The calling thread never touches a
+// hart's machine directly — it only reads counters between jobs, which the
+// fork-join mutex handshake orders.
+//
+// Instruction accounting: every hart's counter accumulates independently and
+// merged_counts() sums them.  Because shard decomposition and shard-to-hart
+// assignment depend only on (n, shard_size, harts) and each shard's work
+// only on the shard, the merged count for a fixed shard size is identical
+// for 1, 2, 4 or 8 harts — the engine's determinism invariant.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "rvv/machine.hpp"
+#include "par/partition.hpp"
+#include "sim/inst_counter.hpp"
+
+namespace rvvsvm::par {
+
+class HartPool {
+ public:
+  struct Config {
+    /// Worker harts; 0 selects std::thread::hardware_concurrency().
+    unsigned harts = 0;
+    /// Elements per shard for the sharded collectives.  The shard size — not
+    /// the hart count — fixes the work decomposition and therefore the
+    /// merged dynamic instruction count.
+    std::size_t shard_size = 1u << 12;
+    /// Per-hart machine configuration (VLEN, pressure model, buffer pool).
+    rvv::Machine::Config machine{};
+  };
+
+  HartPool();
+  explicit HartPool(Config cfg);
+  ~HartPool();
+
+  HartPool(const HartPool&) = delete;
+  HartPool& operator=(const HartPool&) = delete;
+
+  [[nodiscard]] unsigned harts() const noexcept;
+  [[nodiscard]] std::size_t shard_size() const noexcept;
+
+  /// Fork-join over shard indices [0, num_shards): each hart runs
+  /// body(shard) for its contiguous run of shards under its own
+  /// MachineScope, and the call returns when every hart is done.  A thrown
+  /// exception is captured on the hart and rethrown here (first one wins).
+  void for_shards(std::size_t num_shards,
+                  const std::function<void(std::size_t shard)>& body);
+
+  /// Run one task on hart `hart`'s thread under its MachineScope — the
+  /// cross-shard combine phases of the two-level collectives run on hart 0
+  /// so their instructions land on a deterministic counter.
+  void on_hart(unsigned hart, const std::function<void()>& body);
+
+  /// This hart's machine.  Only valid between jobs (the pool is idle
+  /// whenever the public API is not executing), and only for inspection —
+  /// driving kernels on it from the calling thread would trip the buffer
+  /// pool's ownership assert.
+  [[nodiscard]] rvv::Machine& machine(unsigned hart);
+
+  /// Per-hart dynamic instruction counts since construction or the last
+  /// reset_counts().
+  [[nodiscard]] std::vector<sim::CountSnapshot> per_hart_counts() const;
+
+  /// Sum of the per-hart counts — the whole-pool dynamic instruction count.
+  [[nodiscard]] sim::CountSnapshot merged_counts() const;
+
+  /// Zero every hart's counter.
+  void reset_counts() noexcept;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace rvvsvm::par

@@ -1,0 +1,17 @@
+// Umbrella header for the sharded multi-hart execution engine.
+//
+//   par::HartPool pool({.harts = 4, .shard_size = 1 << 12,
+//                       .machine = {.vlen_bits = 1024}});
+//   std::vector<uint32_t> v = ...;
+//   par::plus_scan<uint32_t>(pool, v);           // two-level inclusive scan
+//   auto merged = pool.merged_counts();          // hart-count-invariant
+//
+// Each hart owns a private rvv::Machine; collectives run the single-hart
+// svm:: kernels per shard and combine across shards on hart 0.  Results are
+// bit-identical to the svm:: kernels and merged dynamic instruction counts
+// depend only on (n, shard_size), never on the hart count.
+#pragma once
+
+#include "par/collectives.hpp"  // IWYU pragma: export
+#include "par/hart_pool.hpp"    // IWYU pragma: export
+#include "par/partition.hpp"    // IWYU pragma: export

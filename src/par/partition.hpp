@@ -1,0 +1,58 @@
+// Work partitioning for the sharded execution engine.
+//
+// Blelloch's scan vector model is defined by block decomposition, and the
+// same decomposition shards across harts: an n-element array is cut into
+// contiguous shards of a fixed element count, shards are assigned to harts
+// in contiguous runs, and every collective is phrased as per-shard work plus
+// a small cross-shard combine.  The shard list depends only on (n,
+// shard_size) — never on the hart count — which is what makes merged dynamic
+// instruction counts invariant under the number of harts (the determinism
+// contract pinned by tests/test_counts_stability.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rvvsvm::par {
+
+/// Half-open index range [begin, end) into the sharded array.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return end - begin; }
+  constexpr bool operator==(const ShardRange&) const noexcept = default;
+};
+
+/// Contiguous decomposition of [0, n) into ceil(n / shard_size) shards of
+/// shard_size elements each (the last shard takes the remainder).  n == 0
+/// yields no shards.
+[[nodiscard]] inline std::vector<ShardRange> make_shards(std::size_t n,
+                                                         std::size_t shard_size) {
+  if (shard_size == 0) shard_size = 1;
+  std::vector<ShardRange> shards;
+  shards.reserve((n + shard_size - 1) / shard_size);
+  for (std::size_t begin = 0; begin < n; begin += shard_size) {
+    const std::size_t end = begin + shard_size < n ? begin + shard_size : n;
+    shards.push_back(ShardRange{begin, end});
+  }
+  return shards;
+}
+
+/// The contiguous run of shard indices hart `hart` executes when
+/// `num_shards` shards are distributed over `num_harts` harts: the first
+/// (num_shards % num_harts) harts take one extra shard.  Deterministic, so
+/// per-hart (not just merged) instruction counts are reproducible for a
+/// fixed (n, shard_size, harts) triple.
+[[nodiscard]] constexpr ShardRange shards_for_hart(std::size_t num_shards,
+                                                   unsigned num_harts,
+                                                   unsigned hart) noexcept {
+  const std::size_t quota = num_shards / num_harts;
+  const std::size_t extra = num_shards % num_harts;
+  const std::size_t begin =
+      hart * quota + (hart < extra ? hart : extra);
+  const std::size_t count = quota + (hart < extra ? 1 : 0);
+  return ShardRange{begin, begin + count};
+}
+
+}  // namespace rvvsvm::par

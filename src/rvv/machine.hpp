@@ -11,6 +11,12 @@
 // maintained with the RAII MachineScope.  Tests and benchmarks create one
 // machine per configuration (VLEN 128..1024, pressure model on/off) and
 // activate it around each kernel.
+//
+// A Machine is one hart: it must be driven from one thread at a time (the
+// buffer pool asserts this in debug builds), but because the active-machine
+// pointer is thread-local, any number of harts may run concurrently as long
+// as each thread scopes its own machine — the contract the par::HartPool
+// sharded engine builds on.
 #pragma once
 
 #include <cstddef>
@@ -73,6 +79,11 @@ class Machine {
   [[nodiscard]] sim::InstCounter& counter() noexcept { return counter_; }
   [[nodiscard]] const sim::InstCounter& counter() const noexcept { return counter_; }
   [[nodiscard]] sim::ScalarRecorder& scalar() noexcept { return scalar_; }
+
+  /// Zero the dynamic-instruction counter.  Per-hart sweeps reuse machines
+  /// across measurement cells and re-baseline with this instead of
+  /// re-constructing (which would also drop the warmed buffer pool).
+  void reset_counts() noexcept { counter_.reset(); }
 
   /// Register-pressure model, or nullptr when disabled.
   [[nodiscard]] sim::VRegFileModel* regfile() noexcept { return regfile_.get(); }

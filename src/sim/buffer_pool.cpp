@@ -17,6 +17,7 @@ BufferPool::~BufferPool() {
 }
 
 BufferPool::BlockHeader* BufferPool::acquire_block(std::size_t payload_bytes) {
+  debug_check_owner();
   const unsigned cls = class_for(payload_bytes);
   assert(cls < kNumClasses);
   ++stats_.block_acquires;
@@ -43,6 +44,7 @@ BufferPool::BlockHeader* BufferPool::acquire_block(std::size_t payload_bytes) {
 }
 
 void BufferPool::recycle_block(BlockHeader* h) {
+  debug_check_owner();
   const unsigned cls = h->class_idx;
   stats_.bytes_in_use -= class_bytes(cls);
   if (cfg_.recycle) {
@@ -54,7 +56,9 @@ void BufferPool::recycle_block(BlockHeader* h) {
 }
 
 BufferPool::RefCell* BufferPool::acquire_cell() {
+  debug_check_owner();
   ++stats_.cell_acquires;
+  ++stats_.cells_in_use;
   RefCell* cell = nullptr;
   if (cfg_.recycle && free_cells_ != nullptr) {
     cell = free_cells_;
@@ -69,6 +73,9 @@ BufferPool::RefCell* BufferPool::acquire_cell() {
 }
 
 void BufferPool::release_cell(RefCell* cell) {
+  debug_check_owner();
+  assert(stats_.cells_in_use > 0);
+  --stats_.cells_in_use;
   if (cfg_.recycle) {
     cell->next = free_cells_;
     free_cells_ = cell;

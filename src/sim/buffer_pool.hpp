@@ -17,8 +17,14 @@
 //
 // The pool is owned by one rvv::Machine and inherits the machine's threading
 // contract: a machine is a single hart driven from one thread at a time, so
-// refcounts and freelists are deliberately non-atomic.  Parallel sweeps run
-// one machine (and therefore one pool) per thread.
+// refcounts and freelists are deliberately non-atomic.  Parallel sweeps and
+// the par:: sharded engine run one machine (and therefore one pool) per
+// thread.  Debug builds enforce the contract: the pool binds to the first
+// thread that acquires from it and asserts if another thread acquires or
+// releases while buffers are still in flight (a cross-thread release would
+// silently corrupt the non-atomic freelists).  A fully drained pool may be
+// re-bound, so serially handing a machine from one thread to another —
+// the fork-join pattern — stays legal.
 //
 // Recycling is host-side only and must never change modeled behavior:
 // dynamic instruction counts, spill/reload traffic and element values are
@@ -33,6 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -52,6 +59,7 @@ class BufferPool {
     std::uint64_t block_reuses = 0;    ///< ... of which came from a freelist
     std::uint64_t cell_acquires = 0;   ///< token refcount cells handed out
     std::uint64_t cell_reuses = 0;     ///< ... of which came from the freelist
+    std::uint64_t cells_in_use = 0;    ///< token cells currently live
     std::size_t bytes_in_use = 0;      ///< block bytes currently owned by values
     std::size_t peak_bytes_in_use = 0; ///< high-water mark of bytes_in_use
     std::size_t bytes_cached = 0;      ///< block bytes parked on freelists
@@ -126,10 +134,28 @@ class BufferPool {
 
   void recycle_block(BlockHeader* h);
 
+  /// Debug-only single-hart enforcement: binds the pool to the first thread
+  /// that touches it, allows re-binding once every block and cell has been
+  /// returned, and asserts on any cross-thread touch while storage is live.
+  void debug_check_owner() noexcept {
+#ifndef NDEBUG
+    const std::thread::id me = std::this_thread::get_id();
+    if (owner_ == me) return;
+    assert((owner_ == std::thread::id{} ||
+            (stats_.bytes_in_use == 0 && stats_.cells_in_use == 0)) &&
+           "BufferPool: cross-thread acquire/release while buffers are in "
+           "flight — a Machine is a single hart; give each thread its own");
+    owner_ = me;
+#endif
+  }
+
   Config cfg_;
   Stats stats_;
   std::vector<void*> free_blocks_[kNumClasses];
   RefCell* free_cells_ = nullptr;
+#ifndef NDEBUG
+  std::thread::id owner_{};  ///< bound lazily; see debug_check_owner
+#endif
 };
 
 /// A refcount-shared, pool-backed array of T — the storage behind vreg and

@@ -68,6 +68,24 @@ CountSnapshot CountSnapshot::operator-(const CountSnapshot& earlier) const {
   return delta;
 }
 
+CountSnapshot& CountSnapshot::operator+=(const CountSnapshot& other) noexcept {
+  for (std::size_t i = 0; i < kNumInstClasses; ++i) counts_[i] += other.counts_[i];
+  return *this;
+}
+
+CountSnapshot CountSnapshot::operator+(const CountSnapshot& other) const noexcept {
+  CountSnapshot sum = *this;
+  sum += other;
+  return sum;
+}
+
+CountSnapshot merge_counts(const CountSnapshot* per_hart,
+                           std::size_t num_harts) noexcept {
+  CountSnapshot merged;
+  for (std::size_t h = 0; h < num_harts; ++h) merged += per_hart[h];
+  return merged;
+}
+
 std::ostream& operator<<(std::ostream& os, const CountSnapshot& s) {
   os << "total=" << s.total();
   for (std::size_t i = 0; i < kNumInstClasses; ++i) {

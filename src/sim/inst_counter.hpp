@@ -73,12 +73,24 @@ class CountSnapshot {
   /// with no intervening reset (checked per class in debug builds).
   [[nodiscard]] CountSnapshot operator-(const CountSnapshot& earlier) const;
 
+  /// Element-wise sum — merges the counts of independent harts.  Retired
+  /// instructions are additive across harts, so the merged snapshot is the
+  /// whole-pool dynamic instruction count.
+  CountSnapshot& operator+=(const CountSnapshot& other) noexcept;
+  [[nodiscard]] CountSnapshot operator+(const CountSnapshot& other) const noexcept;
+
   friend std::ostream& operator<<(std::ostream& os, const CountSnapshot& s);
 
  private:
   friend class InstCounter;
   std::array<std::uint64_t, kNumInstClasses> counts_;
 };
+
+/// Sum of per-hart snapshots: the merged dynamic instruction count of a
+/// multi-hart run.  For a fixed shard decomposition the merged count is
+/// deterministic and independent of how shards were assigned to harts.
+[[nodiscard]] CountSnapshot merge_counts(const CountSnapshot* per_hart,
+                                         std::size_t num_harts) noexcept;
 
 /// Mutable dynamic-instruction counter.  One counter belongs to each
 /// rvv::Machine; all emulated instructions executed under that machine report

@@ -68,4 +68,20 @@ void print_section(std::ostream& os, std::string_view title) {
      << std::string(title.size() + 4, '=') << '\n';
 }
 
+void print_hart_counts(std::ostream& os,
+                       const std::vector<CountSnapshot>& per_hart) {
+  Table table({"hart", "v.insts", "s.insts", "spill+reload", "total"});
+  const auto row_for = [](const std::string& label, const CountSnapshot& s) {
+    return std::vector<std::string>{label, format_count(s.vector_total()),
+                                    format_count(s.scalar_total()),
+                                    format_count(s.spill_total()),
+                                    format_count(s.total())};
+  };
+  for (std::size_t h = 0; h < per_hart.size(); ++h) {
+    table.add_row(row_for(std::to_string(h), per_hart[h]));
+  }
+  table.add_row(row_for("merged", merge_counts(per_hart.data(), per_hart.size())));
+  table.print(os);
+}
+
 }  // namespace rvvsvm::sim

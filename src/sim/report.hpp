@@ -12,6 +12,8 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/inst_counter.hpp"
+
 namespace rvvsvm::sim {
 
 /// Column-aligned text table.  Cells are strings; numeric helpers format
@@ -42,5 +44,11 @@ class Table {
 
 /// Print a titled section header used by every bench binary.
 void print_section(std::ostream& os, std::string_view title);
+
+/// Render a per-hart dynamic-instruction breakdown followed by the merged
+/// (summed) totals row — the multi-hart counterpart of streaming a single
+/// machine's CountSnapshot.  One row per hart: vector / scalar / spill+reload
+/// / total retired instructions.
+void print_hart_counts(std::ostream& os, const std::vector<CountSnapshot>& per_hart);
 
 }  // namespace rvvsvm::sim

@@ -146,6 +146,18 @@ void p_xor(std::span<T> a, std::span<const T> b) {
   });
 }
 
+/// p-combine: a[i] = x ⊕ a[i] for an op-traits operator (see op_traits.hpp;
+/// the scalar is the EARLIER operand, matching the vx orientation contract).
+/// This is the offset-fixup step of two-level scans: after each shard is
+/// scanned locally, the exclusive scan of the shard totals is folded into
+/// every element of the shard with one elementwise pass.
+template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+void p_combine(std::span<T> a, std::type_identity_t<T> x) {
+  detail::elementwise_vx<T, LMUL>(a, x, [](const auto& va, T xx, std::size_t vl) {
+    return Op::template vx<T, LMUL>(va, xx, vl);
+  });
+}
+
 /// p-select, the conditional move of the scan vector model with the paper's
 /// split-operation signature: where flags[i] is non-zero, dst[i] is replaced
 /// by if_true[i]; elsewhere dst keeps its value.

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "apps/apps.hpp"
+#include "par/par.hpp"
 #include "svm/svm.hpp"
 
 namespace {
@@ -139,6 +140,76 @@ TEST(CountsStability, BaselineModeCountsIdentical) {
     EXPECT_EQ(snap.count(sim::InstClass::kVectorSpill), c.golden.spills);
     EXPECT_EQ(snap.count(sim::InstClass::kVectorReload), c.golden.reloads);
   }
+}
+
+/// The sharded engine's determinism invariant: for a fixed shard size the
+/// merged dynamic instruction count of a two-level collective is a golden
+/// constant — identical for 1, 2, 4 and 8 harts, stable across PRs, and
+/// bit-for-bit equal per class.  A change in these numbers is a modeling
+/// change in the sharded engine (or a shard-to-hart leak of work) and must
+/// be called out.
+TEST(CountsStability, ParScanMergedCountsHartInvariant) {
+  struct ParGolden {
+    unsigned vlen;
+    std::uint64_t total;
+  };
+  // {vlen, merged total} for n = 10000, shard_size = 2048 — captured from
+  // the engine at introduction (PR 2).
+  for (const auto& golden : {ParGolden{128, 75062}, ParGolden{1024, 14134}}) {
+    std::uint64_t previous = 0;
+    for (const unsigned harts : {1u, 2u, 4u, 8u}) {
+      par::HartPool pool({.harts = harts, .shard_size = 2048,
+                          .machine = {.vlen_bits = golden.vlen}});
+      auto data = random_u32(kN, 3);
+      par::plus_scan<T>(pool, std::span<T>(data));
+      const auto merged = pool.merged_counts();
+      if (golden.total != 0) {
+        EXPECT_EQ(merged.total(), golden.total)
+            << "VLEN=" << golden.vlen << " harts=" << harts;
+      }
+      if (previous != 0) {
+        EXPECT_EQ(merged.total(), previous);
+      }
+      previous = merged.total();
+    }
+  }
+}
+
+/// Same invariant for the sharded split: the cross-shard histogram combine
+/// must not smuggle hart-count-dependent work into the model.
+TEST(CountsStability, ParSplitMergedCountsHartInvariant) {
+  std::uint64_t previous = 0;
+  for (const unsigned harts : {1u, 2u, 4u, 8u}) {
+    par::HartPool pool({.harts = harts, .shard_size = 2048,
+                        .machine = {.vlen_bits = 1024}});
+    const auto src = random_u32(kN, 7);
+    const auto flags = random_head_flags(kN, 2, 9);
+    std::vector<T> dst(kN);
+    static_cast<void>(par::split<T>(pool, std::span<const T>(src),
+                                    std::span<T>(dst),
+                                    std::span<const T>(flags)));
+    const auto merged = pool.merged_counts();
+    // n = 10000, shard_size = 2048, VLEN = 1024 — captured at introduction.
+    EXPECT_EQ(merged.total(), 22355u) << "harts=" << harts;
+    if (previous != 0) {
+      EXPECT_EQ(merged.total(), previous);
+    }
+    previous = merged.total();
+  }
+}
+
+/// Bit-identical output: the two-level scan is the same function as the
+/// single-hart kernel, not an approximation of it.
+TEST(CountsStability, ParScanOutputBitIdenticalToSingleHart) {
+  auto par_data = random_u32(kN, 3);
+  auto svm_data = par_data;
+  par::HartPool pool({.harts = 4, .shard_size = 1024,
+                      .machine = {.vlen_bits = 1024}});
+  par::plus_scan<T>(pool, std::span<T>(par_data));
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
+  rvv::MachineScope scope(machine);
+  svm::plus_scan<T>(std::span<T>(svm_data));
+  EXPECT_EQ(par_data, svm_data);
 }
 
 /// The same kernel with the pressure model off must also be stable — this

@@ -1,0 +1,74 @@
+// svm::recommend_lmul edge cases (paper section 6.3 as code): empty
+// workloads, live sets that never fit the register file, and the clamping
+// that the v0-reserved file geometry forces at each LMUL.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "svm/lmul_advisor.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+
+TEST(LmulAdvisor, AllocatableGroupsMatchV0ReservedGeometry) {
+  // v0 is reserved for masks, so LMUL=1 has v1..v31 and each doubling
+  // halves the aligned groups with the v0-containing group unusable.
+  EXPECT_EQ(svm::allocatable_groups(1), 31u);
+  EXPECT_EQ(svm::allocatable_groups(2), 15u);
+  EXPECT_EQ(svm::allocatable_groups(4), 7u);
+  EXPECT_EQ(svm::allocatable_groups(8), 3u);
+  // Non-power-of-two (and out-of-range) multipliers hold no groups.
+  EXPECT_EQ(svm::allocatable_groups(0), 0u);
+  EXPECT_EQ(svm::allocatable_groups(3), 0u);
+  EXPECT_EQ(svm::allocatable_groups(16), 0u);
+}
+
+TEST(LmulAdvisor, EmptyWorkloadHasZeroIterations) {
+  const auto advice = svm::recommend_lmul<std::uint32_t>(0, 1024, 3);
+  EXPECT_EQ(advice.iterations, 0u);
+  EXPECT_EQ(advice.lmul, 8u);
+  EXPECT_FALSE(advice.spills_unavoidable);
+}
+
+TEST(LmulAdvisor, ClampsDownAsLiveSetGrows) {
+  // 3 live values fit the 3 groups of LMUL=8; 4 forces LMUL=4, and so on
+  // through each geometry boundary down to LMUL=1.
+  EXPECT_EQ((svm::recommend_lmul<std::uint32_t>(1000, 1024, 1).lmul), 8u);
+  EXPECT_EQ((svm::recommend_lmul<std::uint32_t>(1000, 1024, 3).lmul), 8u);
+  EXPECT_EQ((svm::recommend_lmul<std::uint32_t>(1000, 1024, 4).lmul), 4u);
+  EXPECT_EQ((svm::recommend_lmul<std::uint32_t>(1000, 1024, 7).lmul), 4u);
+  EXPECT_EQ((svm::recommend_lmul<std::uint32_t>(1000, 1024, 8).lmul), 2u);
+  EXPECT_EQ((svm::recommend_lmul<std::uint32_t>(1000, 1024, 15).lmul), 2u);
+  EXPECT_EQ((svm::recommend_lmul<std::uint32_t>(1000, 1024, 16).lmul), 1u);
+  EXPECT_EQ((svm::recommend_lmul<std::uint32_t>(1000, 1024, 31).lmul), 1u);
+}
+
+TEST(LmulAdvisor, LiveSetThatNeverFitsFlagsUnavoidableSpills) {
+  // More than 31 live values spill even at LMUL=1; the advisor still
+  // returns a valid multiplier (1) rather than refusing.
+  const auto advice = svm::recommend_lmul<std::uint32_t>(1000, 1024, 32);
+  EXPECT_TRUE(advice.spills_unavoidable);
+  EXPECT_EQ(advice.lmul, 1u);
+  EXPECT_GT(advice.iterations, 0u);
+
+  // The boundary case: exactly 31 fits and does not spill.
+  EXPECT_FALSE((svm::recommend_lmul<std::uint32_t>(1000, 1024, 31)
+                    .spills_unavoidable));
+}
+
+TEST(LmulAdvisor, IterationCountTracksVlmaxOfChosenLmul) {
+  // VLEN=1024, e32, LMUL=8 -> VLMAX = 256, so 10000 elements strip-mine in
+  // ceil(10000 / 256) = 40 blocks.
+  const auto big = svm::recommend_lmul<std::uint32_t>(10000, 1024, 3);
+  EXPECT_EQ(big.lmul, 8u);
+  EXPECT_EQ(big.iterations, 40u);
+  // Same workload clamped to LMUL=1 (31 live values): VLMAX = 32 -> 313.
+  const auto clamped = svm::recommend_lmul<std::uint32_t>(10000, 1024, 31);
+  EXPECT_EQ(clamped.lmul, 1u);
+  EXPECT_EQ(clamped.iterations, 313u);
+  // One element still needs one iteration at any geometry.
+  EXPECT_EQ((svm::recommend_lmul<std::uint8_t>(1, 128, 1).iterations), 1u);
+}
+
+}  // namespace
