@@ -5,6 +5,8 @@
 #pragma once
 
 #include <bit>
+#include <cstdint>
+#include <limits>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -30,11 +32,29 @@ void histogram(std::span<const T> keys, std::span<T> bins) {
   });
   if (n == 0) return;
 
-  // 1. Sort a copy of the keys over just the bits a bin index needs.
+  // 1. Sort a copy of the keys over just the bits a bin index needs.  The
+  //    split passes compute destination indices in the key type, so narrow
+  //    keys on long arrays are widened for the sort and narrowed back — the
+  //    same mixed-width treatment as apps::split_radix_sort.
   std::vector<T> sorted(keys.begin(), keys.end());
   const unsigned key_bits = static_cast<unsigned>(std::bit_width(num_bins - 1));
   if (key_bits > 0) {
-    detail::radix_sort_passes<T, LMUL>(std::span<T>(sorted), key_bits);
+    bool widened = false;
+    if constexpr (sizeof(T) < sizeof(std::uint32_t)) {
+      if (n - 1 > std::numeric_limits<T>::max()) {
+        std::vector<std::uint32_t> wide(n);
+        svm::p_convert<T, std::uint32_t, LMUL>(std::span<const T>(sorted),
+                                               std::span<std::uint32_t>(wide));
+        detail::radix_sort_passes<std::uint32_t, LMUL>(
+            std::span<std::uint32_t>(wide), key_bits);
+        svm::p_convert<std::uint32_t, T, LMUL>(std::span<const std::uint32_t>(wide),
+                                               std::span<T>(sorted));
+        widened = true;
+      }
+    }
+    if (!widened) {
+      detail::radix_sort_passes<T, LMUL>(std::span<T>(sorted), key_bits);
+    }
   }
 
   // 2. Run boundaries: flags[i] = 1 iff sorted[i] != sorted[i-1] (i = 0 is

@@ -1,0 +1,40 @@
+// The oracle's universal test case: one flat, property-agnostic bag of
+// machine shape and operand data.
+//
+// Every property interprets the same fields (normalizing them to its own
+// domain — see oracle.hpp's totality contract), which is what makes the
+// generic shrinker possible: transforms mutate Case fields without knowing
+// which property they feed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rvvsvm::check {
+
+struct Case {
+  // Machine shape.  Properties normalize: vlen to the nearest power of two
+  // in [128, 1024], lmul to {1, 2, 4, 8}, sew to {8, 16, 32, 64}.
+  unsigned vlen = 256;
+  unsigned sew = 32;
+  unsigned lmul = 1;
+  unsigned harts = 1;
+  std::size_t shard_size = 64;
+
+  // Per-case scalars: vl is clamped to VLMAX by each property; offset is
+  // deliberately unclamped (slide offsets at or beyond VLMAX, including
+  // values near SIZE_MAX, are legal and were a real wraparound bug).
+  std::size_t vl = 0;
+  std::size_t offset = 0;
+  std::uint64_t scalar = 0;
+
+  // Operand data, truncated per-element into the property's element type.
+  // a/b are value operands; m doubles as mask bits (m[i] & 1) and as raw
+  // index/flag material.
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  std::vector<std::uint64_t> m;
+};
+
+}  // namespace rvvsvm::check

@@ -1,0 +1,290 @@
+// The oracle driver: property registry, the generic greedy shrinker, the
+// reproducer emitter, the fuzz loop, and the JSON failure report.
+
+#include "check/oracle.hpp"
+
+#include <exception>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace rvvsvm::check {
+
+std::vector<Property> make_rvv_properties();
+std::vector<Property> make_svm_properties();
+std::vector<Property> make_par_properties();
+
+const std::vector<Property>& properties() {
+  static const std::vector<Property> table = [] {
+    std::vector<Property> t;
+    for (auto* make :
+         {make_rvv_properties, make_svm_properties, make_par_properties}) {
+      for (auto& p : make()) t.push_back(std::move(p));
+    }
+    return t;
+  }();
+  return table;
+}
+
+const Property* find_property(std::string_view name) {
+  for (const Property& p : properties()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Run a check, folding escaped exceptions into the failure string — the
+/// oracle treats an unexpected throw as a divergence, not a crash.
+[[nodiscard]] std::string checked(const Property& prop, const Case& c) {
+  try {
+    return prop.check(c);
+  } catch (const std::exception& e) {
+    return std::string("unexpected exception: ") + e.what();
+  } catch (...) {
+    return "unexpected non-standard exception";
+  }
+}
+
+[[nodiscard]] bool same_case(const Case& a, const Case& b) {
+  return a.vlen == b.vlen && a.sew == b.sew && a.lmul == b.lmul &&
+         a.harts == b.harts && a.shard_size == b.shard_size && a.vl == b.vl &&
+         a.offset == b.offset && a.scalar == b.scalar && a.a == b.a && a.b == b.b &&
+         a.m == b.m;
+}
+
+void emit_words(std::ostream& os, const char* field,
+                const std::vector<std::uint64_t>& v) {
+  if (v.empty()) return;
+  os << "  c." << field << " = {";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << v[i] << "ull";
+  }
+  os << "};\n";
+}
+
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          os << "\\u00" << kHex[(static_cast<unsigned char>(ch) >> 4) & 0xF]
+             << kHex[static_cast<unsigned char>(ch) & 0xF];
+        } else {
+          os << ch;
+        }
+        break;
+    }
+  }
+  os << '"';
+}
+
+void json_words(std::ostream& os, const std::vector<std::uint64_t>& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ',';
+    os << v[i];
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string run_property(std::string_view name, const Case& c) {
+  const Property* prop = find_property(name);
+  if (prop == nullptr) {
+    return "unknown property: " + std::string(name);
+  }
+  return checked(*prop, c);
+}
+
+Case shrink_case(const Property& prop, const Case& failing, std::size_t budget) {
+  // Each transform proposes a strictly "smaller" case; greedy descent keeps
+  // any proposal that still fails, until a full pass makes no progress or
+  // the evaluation budget runs out.
+  using Transform = Case (*)(const Case&);
+  static constexpr Transform kTransforms[] = {
+      [](const Case& c) { Case r = c; r.a.resize(r.a.size() / 2); return r; },
+      [](const Case& c) { Case r = c; r.b.resize(r.b.size() / 2); return r; },
+      [](const Case& c) { Case r = c; r.m.resize(r.m.size() / 2); return r; },
+      [](const Case& c) {
+        Case r = c;
+        if (!r.a.empty()) r.a.pop_back();
+        return r;
+      },
+      [](const Case& c) { Case r = c; r.vl /= 2; return r; },
+      [](const Case& c) { Case r = c; if (r.vl > 0) --r.vl; return r; },
+      [](const Case& c) { Case r = c; r.offset /= 2; return r; },
+      [](const Case& c) { Case r = c; r.scalar /= 2; return r; },
+      [](const Case& c) { Case r = c; r.shard_size = r.shard_size / 2; return r; },
+      [](const Case& c) { Case r = c; r.harts = 1; return r; },
+      [](const Case& c) { Case r = c; r.lmul /= 2; return r; },
+      [](const Case& c) {
+        Case r = c;
+        if (r.vlen > 128) r.vlen /= 2;
+        return r;
+      },
+      [](const Case& c) {
+        Case r = c;
+        for (auto& v : r.a) v %= 8;
+        return r;
+      },
+      [](const Case& c) {
+        Case r = c;
+        for (auto& v : r.b) v = 0;
+        return r;
+      },
+      [](const Case& c) {
+        Case r = c;
+        for (auto& v : r.m) v = 0;
+        return r;
+      },
+  };
+  Case best = failing;
+  bool progressed = true;
+  while (progressed && budget > 0) {
+    progressed = false;
+    for (const Transform transform : kTransforms) {
+      if (budget == 0) break;
+      const Case candidate = transform(best);
+      if (same_case(candidate, best)) continue;
+      --budget;
+      if (!checked(prop, candidate).empty()) {
+        best = candidate;
+        progressed = true;
+      }
+    }
+  }
+  return best;
+}
+
+std::string reproducer_code(const Property& prop, const Case& c,
+                            std::string_view test_name) {
+  std::ostringstream os;
+  os << "TEST(FuzzRegressions, " << test_name << ") {\n";
+  os << "  rvvsvm::check::Case c;\n";
+  os << "  c.vlen = " << c.vlen << ";\n";
+  os << "  c.sew = " << c.sew << ";\n";
+  os << "  c.lmul = " << c.lmul << ";\n";
+  if (c.harts != 1) os << "  c.harts = " << c.harts << ";\n";
+  if (c.shard_size != 64) os << "  c.shard_size = " << c.shard_size << ";\n";
+  os << "  c.vl = " << c.vl << ";\n";
+  if (c.offset != 0) os << "  c.offset = " << c.offset << "u;\n";
+  if (c.scalar != 0) os << "  c.scalar = " << c.scalar << "ull;\n";
+  emit_words(os, "a", c.a);
+  emit_words(os, "b", c.b);
+  emit_words(os, "m", c.m);
+  os << "  EXPECT_EQ(rvvsvm::check::run_property(\"" << prop.name << "\", c), \"\");\n";
+  os << "}\n";
+  return os.str();
+}
+
+FuzzReport fuzz(const FuzzOptions& options, std::ostream* progress) {
+  constexpr std::size_t kMaxFailures = 8;
+  FuzzReport report;
+  report.options = options;
+  std::vector<const Property*> selected;
+  for (const Property& p : properties()) {
+    if (options.layer == "all" || options.layer == p.layer || options.layer == p.name) {
+      selected.push_back(&p);
+    }
+  }
+  if (selected.empty()) {
+    FuzzFailure failure;
+    failure.property = options.layer;
+    failure.message = "no properties match layer filter '" + options.layer + "'";
+    report.failures.push_back(std::move(failure));
+    return report;
+  }
+  for (std::uint64_t i = 0; i < options.iters; ++i) {
+    const Property& prop = *selected[static_cast<std::size_t>(
+        i % static_cast<std::uint64_t>(selected.size()))];
+    const std::uint64_t case_seed = mix_seed(options.seed, i);
+    Rng rng(case_seed);
+    const Case c = prop.gen(rng);
+    const std::string message = checked(prop, c);
+    ++report.cases_run;
+    if (!message.empty()) {
+      FuzzFailure failure;
+      failure.property = prop.name;
+      failure.iteration = i;
+      failure.case_seed = case_seed;
+      failure.message = message;
+      failure.shrunk = options.shrink ? shrink_case(prop, c) : c;
+      std::ostringstream name;
+      name << "Minimized" << report.failures.size();
+      failure.reproducer = reproducer_code(prop, failure.shrunk, name.str());
+      if (progress != nullptr) {
+        *progress << "FAIL " << prop.name << " (iteration " << i << ", case seed "
+                  << case_seed << "): " << message << '\n';
+      }
+      report.failures.push_back(std::move(failure));
+      if (report.failures.size() >= kMaxFailures) {
+        if (progress != nullptr) {
+          *progress << "stopping early after " << kMaxFailures << " failures\n";
+        }
+        break;
+      }
+    }
+    if (progress != nullptr && (i + 1) % 1000 == 0) {
+      *progress << "  " << (i + 1) << "/" << options.iters << " cases, "
+                << report.failures.size() << " failures\n";
+    }
+  }
+  return report;
+}
+
+void write_json_report(const FuzzReport& report, std::ostream& os) {
+  os << "{\n";
+  os << "  \"seed\": " << report.options.seed << ",\n";
+  os << "  \"iters\": " << report.options.iters << ",\n";
+  os << "  \"layer\": ";
+  json_string(os, report.options.layer);
+  os << ",\n";
+  os << "  \"cases_run\": " << report.cases_run << ",\n";
+  os << "  \"failures\": [";
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const FuzzFailure& f = report.failures[i];
+    os << (i > 0 ? ",\n    {" : "\n    {") << "\n";
+    os << "      \"property\": ";
+    json_string(os, f.property);
+    os << ",\n      \"iteration\": " << f.iteration;
+    os << ",\n      \"case_seed\": " << f.case_seed;
+    os << ",\n      \"message\": ";
+    json_string(os, f.message);
+    os << ",\n      \"shrunk_case\": {";
+    os << "\"vlen\": " << f.shrunk.vlen << ", \"sew\": " << f.shrunk.sew
+       << ", \"lmul\": " << f.shrunk.lmul << ", \"harts\": " << f.shrunk.harts
+       << ", \"shard_size\": " << f.shrunk.shard_size << ", \"vl\": " << f.shrunk.vl
+       << ", \"offset\": " << f.shrunk.offset << ", \"scalar\": " << f.shrunk.scalar
+       << ", \"a\": ";
+    json_words(os, f.shrunk.a);
+    os << ", \"b\": ";
+    json_words(os, f.shrunk.b);
+    os << ", \"m\": ";
+    json_words(os, f.shrunk.m);
+    os << "},\n      \"reproducer\": ";
+    json_string(os, f.reproducer);
+    os << "\n    }";
+  }
+  os << (report.failures.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+}
+
+}  // namespace rvvsvm::check

@@ -1,0 +1,95 @@
+// Differential fuzzing oracle for the RVV emulator and the svm/par kernels.
+//
+// A Property is one named differential claim — "this emulated instruction
+// matches this independent scalar reference", "this sharded kernel matches
+// the single-hart kernel bit-for-bit" — bundled with a generator that draws
+// adversarial cases for it.  The oracle's contract:
+//
+//   * check is a TOTAL function over arbitrary Cases.  Properties normalize
+//     every field (clamp vl to VLMAX, round lmul/vlen/sew to legal values,
+//     reduce mask words to their low bit, pad or truncate operand vectors)
+//     rather than rejecting, so any Case the shrinker can reach is valid.
+//     An empty return string means the property holds; anything else is the
+//     divergence description.
+//
+//   * gen is pure in its Rng.  Case i of a run is derived from
+//     mix_seed(seed, i), so one (seed, iteration, property) triple replays a
+//     failure exactly — no state threads between iterations.
+//
+//   * shrinking is generic greedy descent over Case fields (halve sizes,
+//     zero operands, drop harts/lmul/vlen) keeping any transform that still
+//     fails, bounded by a fixed evaluation budget.  The minimized case is
+//     emitted as a ready-to-paste GoogleTest reproducer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/case.hpp"
+#include "check/rng.hpp"
+
+namespace rvvsvm::check {
+
+struct Property {
+  std::string name;   ///< e.g. "rvv.slides"
+  std::string layer;  ///< "rvv", "svm" or "par" (the CLI's --layer filter)
+  std::function<Case(Rng&)> gen;
+  std::function<std::string(const Case&)> check;  ///< "" = holds
+};
+
+/// The full property table (all layers).
+[[nodiscard]] const std::vector<Property>& properties();
+
+/// Lookup by exact name; nullptr when absent.
+[[nodiscard]] const Property* find_property(std::string_view name);
+
+/// Run one named property on one case; returns the divergence description
+/// ("" = holds, which includes unknown-property as a failure message).
+/// Exceptions escaping the check are caught and reported as failures.
+[[nodiscard]] std::string run_property(std::string_view name, const Case& c);
+
+/// Greedy shrink: returns the smallest still-failing case reachable within
+/// `budget` check evaluations (the input case if nothing smaller fails).
+[[nodiscard]] Case shrink_case(const Property& prop, const Case& failing,
+                               std::size_t budget = 256);
+
+/// Ready-to-paste GoogleTest snippet replaying `c` against `prop`.
+[[nodiscard]] std::string reproducer_code(const Property& prop, const Case& c,
+                                          std::string_view test_name);
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 1000;
+  std::string layer = "all";  ///< "all", "rvv", "svm", "par" or property name
+  bool shrink = true;
+};
+
+struct FuzzFailure {
+  std::string property;
+  std::uint64_t iteration = 0;
+  std::uint64_t case_seed = 0;
+  std::string message;
+  Case shrunk;
+  std::string reproducer;
+};
+
+struct FuzzReport {
+  FuzzOptions options;
+  std::uint64_t cases_run = 0;
+  std::vector<FuzzFailure> failures;
+};
+
+/// Run the oracle: iteration i draws a property (round-robin over the
+/// layer-filtered table) and a case from mix_seed(seed, i).  Stops early
+/// after 8 failures (each already shrunk and reported); progress lines go to
+/// `progress` when non-null.
+[[nodiscard]] FuzzReport fuzz(const FuzzOptions& options,
+                              std::ostream* progress = nullptr);
+
+/// Serialize a report as JSON (the CI failure artifact).
+void write_json_report(const FuzzReport& report, std::ostream& os);
+
+}  // namespace rvvsvm::check

@@ -1,0 +1,296 @@
+// Differential properties for the par:: sharded execution layer.
+//
+// Two claims per collective:
+//
+//   * result equivalence — an H-hart pool (H in {1,2,4,8}) produces exactly
+//     the bytes the svm:: kernel produces on a plain single machine, for any
+//     shard_size, including the degenerate shapes (n = 0, n = 1,
+//     n < shard_size, fewer shards than harts);
+//
+//   * count invariance — merged instruction counts are a function of
+//     (n, shard_size) only, never of the hart count: an H-hart pool and a
+//     1-hart pool at the same shard_size must account identically, class by
+//     class.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/harness.hpp"
+#include "check/oracle.hpp"
+#include "par/collectives.hpp"
+#include "par/hart_pool.hpp"
+#include "sim/inst_counter.hpp"
+#include "svm/svm.hpp"
+
+namespace rvvsvm::check {
+
+namespace {
+
+using detail::norm_lmul;
+using detail::norm_vlen;
+using detail::to_elems;
+
+constexpr std::size_t kMaxN = 2048;
+
+/// Normalized par shape derived from a Case.
+struct Shape {
+  unsigned vlen;
+  unsigned harts;
+  std::size_t shard_size;
+  std::size_t n;
+};
+
+[[nodiscard]] Shape par_shape(const Case& c) {
+  Shape s;
+  s.vlen = norm_vlen(c.vlen);
+  s.harts = norm_lmul(c.harts);  // same {1,2,4,8} lattice as LMUL
+  s.shard_size = std::clamp<std::size_t>(c.shard_size, 1, 4096);
+  s.n = c.vl % (kMaxN + 1);
+  return s;
+}
+
+[[nodiscard]] std::string diff_counts(const char* name,
+                                      const sim::CountSnapshot& multi,
+                                      const sim::CountSnapshot& single) {
+  for (std::size_t k = 0; k < sim::kNumInstClasses; ++k) {
+    const auto cls = static_cast<sim::InstClass>(k);
+    if (multi.count(cls) != single.count(cls)) {
+      std::ostringstream msg;
+      msg << name << ": merged " << sim::to_string(cls)
+          << " count depends on hart count (" << multi.count(cls)
+          << " multi-hart vs " << single.count(cls) << " single-hart)";
+      return msg.str();
+    }
+  }
+  return "";
+}
+
+template <class T>
+[[nodiscard]] std::string diff_data(const char* name, const std::vector<T>& par_out,
+                                    const std::vector<T>& svm_out) {
+  if (par_out == svm_out) return "";
+  std::size_t i = 0;
+  while (i < par_out.size() && par_out[i] == svm_out[i]) ++i;
+  std::ostringstream msg;
+  msg << name << ": sharded result diverges from svm kernel at element " << i;
+  if (i < par_out.size()) {
+    msg << " (" << static_cast<std::uint64_t>(par_out[i]) << " vs "
+        << static_cast<std::uint64_t>(svm_out[i]) << ")";
+  }
+  return msg.str();
+}
+
+Case gen_par(Rng& rng) {
+  Case c;
+  detail::gen_shape(rng, c);
+  static constexpr unsigned kHarts[] = {1, 2, 4, 8};
+  c.harts = kHarts[rng.below(4)];
+  // Shard sizes chosen to force every decomposition: one element per shard,
+  // shard == VLMAX-ish, shard > n (single-shard), huge shard.
+  static constexpr std::size_t kShards[] = {1, 2, 16, 64, 256, 4096};
+  c.shard_size = kShards[rng.below(6)];
+  const std::size_t vlmax = rvv::vlmax_for(c.vlen, c.sew, c.lmul);
+  c.vl = detail::gen_size(rng, vlmax, kMaxN);
+  detail::gen_values(rng, c.a, c.vl);
+  detail::gen_mask(rng, c.m, c.vl);
+  c.scalar = rng.next();
+  c.offset = rng.below(64);
+  return c;
+}
+
+/// Run `kernel(pool, buf)` under an H-hart and a 1-hart pool (same
+/// shard_size) plus `reference(buf)` under a plain machine; require
+/// identical data everywhere and hart-count-invariant merged counts.
+template <class T, class Kernel, class Reference>
+[[nodiscard]] std::string run_pools(const char* name, const Shape& s,
+                                    const std::vector<T>& input, Kernel&& kernel,
+                                    Reference&& reference) {
+  par::HartPool multi({.harts = s.harts,
+                       .shard_size = s.shard_size,
+                       .machine = {.vlen_bits = s.vlen}});
+  par::HartPool single({.harts = 1,
+                        .shard_size = s.shard_size,
+                        .machine = {.vlen_bits = s.vlen}});
+  std::vector<T> buf_multi(input);
+  std::vector<T> buf_single(input);
+  std::vector<T> buf_ref(input);
+  kernel(multi, buf_multi);
+  kernel(single, buf_single);
+  {
+    rvv::Machine machine({.vlen_bits = s.vlen});
+    rvv::MachineScope scope(machine);
+    reference(buf_ref);
+  }
+  if (std::string err = diff_data(name, buf_multi, buf_single); !err.empty()) {
+    return std::string(name) + ": multi-hart vs single-hart pools disagree";
+  }
+  if (std::string err = diff_data(name, buf_multi, buf_ref); !err.empty()) {
+    return err;
+  }
+  return diff_counts(name, multi.merged_counts(), single.merged_counts());
+}
+
+// --- properties -------------------------------------------------------------
+
+std::string check_scan(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const Shape s = par_shape(c);
+    const std::vector<T> a = to_elems<T>(c.a, s.n);
+    std::string err;
+    auto all = [&](std::string e) { if (err.empty()) err = std::move(e); };
+    all(run_pools<T>(
+        "par.plus_scan", s, a,
+        [](par::HartPool& p, std::vector<T>& d) { par::plus_scan<T, L>(p, std::span<T>(d)); },
+        [](std::vector<T>& d) { svm::plus_scan<T, L>(std::span<T>(d)); }));
+    all(run_pools<T>(
+        "par.plus_scan_exclusive", s, a,
+        [](par::HartPool& p, std::vector<T>& d) {
+          par::plus_scan_exclusive<T, L>(p, std::span<T>(d));
+        },
+        [](std::vector<T>& d) { svm::plus_scan_exclusive<T, L>(std::span<T>(d)); }));
+    all(run_pools<T>(
+        "par.max_scan", s, a,
+        [](par::HartPool& p, std::vector<T>& d) { par::max_scan<T, L>(p, std::span<T>(d)); },
+        [](std::vector<T>& d) { svm::max_scan<T, L>(std::span<T>(d)); }));
+    all(run_pools<T>(
+        "par.min_scan_exclusive", s, a,
+        [](par::HartPool& p, std::vector<T>& d) {
+          par::scan_exclusive<svm::MinOp, T, L>(p, std::span<T>(d));
+        },
+        [](std::vector<T>& d) { svm::scan_exclusive<svm::MinOp, T, L>(std::span<T>(d)); }));
+    return err;
+  });
+}
+
+std::string check_reduce(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const Shape s = par_shape(c);
+    const std::vector<T> a = to_elems<T>(c.a, s.n);
+    auto one = [&]<class Op>(const char* name) -> std::string {
+      // Fold the scalar result into a one-element "data" vector so the
+      // generic pool runner can compare it.
+      return run_pools<T>(
+          name, s, std::vector<T>{T{0}},
+          [&](par::HartPool& p, std::vector<T>& d) {
+            d[0] = par::reduce<Op, T, L>(p, std::span<const T>(a));
+          },
+          [&](std::vector<T>& d) { d[0] = svm::reduce<Op, T, L>(std::span<const T>(a)); });
+    };
+    std::string err;
+    auto all = [&](std::string e) { if (err.empty()) err = std::move(e); };
+    all(one.template operator()<svm::PlusOp>("par.reduce<Plus>"));
+    all(one.template operator()<svm::MaxOp>("par.reduce<Max>"));
+    all(one.template operator()<svm::MinOp>("par.reduce<Min>"));
+    all(one.template operator()<svm::XorOp>("par.reduce<Xor>"));
+    return err;
+  });
+}
+
+std::string check_split(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const Shape s = par_shape(c);
+    const std::vector<T> a = to_elems<T>(c.a, s.n);
+    const auto bits = detail::to_bits(c.m, s.n);
+    std::vector<T> flags(s.n);
+    for (std::size_t i = 0; i < s.n; ++i) flags[i] = static_cast<T>(bits[i]);
+    const bool overflow =
+        s.n != 0 && s.n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max());
+    std::size_t host_zeros = 0;
+    for (const auto bit : bits) {
+      if (bit == 0) ++host_zeros;
+    }
+    // Encode (threw?, count, data) into the comparison buffer.
+    auto run_split = [&](auto&& do_split, std::vector<T>& out) {
+      std::vector<T> dst(s.n, T{0});
+      std::size_t zeros = 0;
+      bool threw = false;
+      try {
+        zeros = do_split(dst);
+      } catch (const std::invalid_argument&) {
+        threw = true;
+      }
+      out.clear();
+      out.push_back(threw ? T{1} : T{0});
+      out.push_back(static_cast<T>(zeros % 251));  // low-entropy count check
+      out.insert(out.end(), dst.begin(), dst.end());
+      if (!threw && zeros != host_zeros) {
+        out.push_back(T{9});  // host-count mismatch marker
+      }
+    };
+    return run_pools<T>(
+        "par.split", s, std::vector<T>{},
+        [&](par::HartPool& p, std::vector<T>& out) {
+          run_split(
+              [&](std::vector<T>& dst) {
+                return par::split<T, L>(p, std::span<const T>(a), std::span<T>(dst),
+                                        std::span<const T>(flags));
+              },
+              out);
+          if (out[0] != (overflow ? T{1} : T{0})) out.push_back(T{8});
+        },
+        [&](std::vector<T>& out) {
+          run_split(
+              [&](std::vector<T>& dst) {
+                return svm::split<T, L>(std::span<const T>(a), std::span<T>(dst),
+                                        std::span<const T>(flags));
+              },
+              out);
+        });
+  });
+}
+
+std::string check_sort(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const Shape s = par_shape(c);
+    const unsigned key_bits = 1 + static_cast<unsigned>(c.offset % 8);
+    std::vector<T> keys = to_elems<T>(c.a, s.n);
+    for (auto& key : keys) {
+      key = static_cast<T>(static_cast<std::uint64_t>(key) &
+                           ((std::uint64_t{1} << key_bits) - 1));
+    }
+    const bool overflow =
+        s.n != 0 && s.n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max());
+    std::vector<T> expected(keys);
+    std::sort(expected.begin(), expected.end());
+    par::HartPool multi({.harts = s.harts,
+                         .shard_size = s.shard_size,
+                         .machine = {.vlen_bits = s.vlen}});
+    std::vector<T> buf(keys);
+    bool threw = false;
+    try {
+      par::split_radix_sort<T, L>(multi, std::span<T>(buf), key_bits);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    if (threw != overflow) {
+      return std::string("par.sort: narrow-index guard ") +
+             (threw ? "fired for a legal size" : "missed an overflowing size");
+    }
+    if (!overflow && buf != expected) {
+      return diff_data("par.sort", buf, expected);
+    }
+    return "";
+  });
+}
+
+}  // namespace
+
+std::vector<Property> make_par_properties() {
+  std::vector<Property> props;
+  auto add = [&](const char* name, std::function<std::string(const Case&)> check) {
+    props.push_back(Property{name, "par", gen_par, std::move(check)});
+  };
+  add("par.scan", check_scan);
+  add("par.reduce", check_reduce);
+  add("par.split", check_split);
+  add("par.sort", check_sort);
+  return props;
+}
+
+}  // namespace rvvsvm::check

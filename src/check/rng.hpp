@@ -1,0 +1,48 @@
+// Deterministic random source for the differential fuzzing oracle.
+//
+// SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+// generators") — 64 bits of state, full-period, and cheap enough that a
+// generator per case keeps every case a pure function of (seed, iteration).
+// That purity is the oracle's seed discipline: a failure report only needs
+// the two integers to replay, and the shrinker can re-derive nothing.
+#pragma once
+
+#include <cstdint>
+
+namespace rvvsvm::check {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniform bits.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound); bound == 0 yields 0.
+  std::uint64_t below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// True with probability pct/100.
+  bool chance(unsigned pct) { return below(100) < pct; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of (seed, iteration) into an independent per-case seed, so
+/// iteration k of a run is reproducible without replaying iterations < k.
+[[nodiscard]] inline std::uint64_t mix_seed(std::uint64_t seed,
+                                            std::uint64_t iteration) {
+  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL * (iteration + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rvvsvm::check

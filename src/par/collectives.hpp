@@ -134,6 +134,11 @@ std::size_t split(HartPool& pool, std::span<const T> src, std::span<T> dst,
   if (dst.size() < n || flags.size() < n) {
     throw std::invalid_argument("par::split: operand size mismatch");
   }
+  // Same index-width contract as svm::split: destination indices live in T.
+  if (n != 0 && n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
+    throw std::invalid_argument(
+        "par::split: destination indices overflow the element type; widen first");
+  }
   const auto shards = make_shards(n, pool.shard_size());
   if (shards.empty()) return 0;
 
@@ -141,6 +146,9 @@ std::size_t split(HartPool& pool, std::span<const T> src, std::span<T> dst,
   std::vector<T> i_up(n);               // rank among 1-flagged, then dst index
   std::vector<T> zeros(shards.size());  // per-shard 0-bucket histogram
   std::vector<T> ones(shards.size());   // per-shard 1-bucket histogram
+  // Host-side per-shard counts: the returned total must not wrap in T
+  // (u8 flags with n == 256 and no set bits is a legal input).
+  std::vector<std::size_t> zero_counts(shards.size());
 
   pool.for_shards(shards.size(), [&](std::size_t s) {
     const auto fsub = flags.subspan(shards[s].begin, shards[s].size());
@@ -150,6 +158,7 @@ std::size_t split(HartPool& pool, std::span<const T> src, std::span<T> dst,
     static_cast<void>(svm::enumerate<T, LMUL>(fsub, up, true));
     zeros[s] = static_cast<T>(zero_count);
     ones[s] = static_cast<T>(shards[s].size() - zero_count);
+    zero_counts[s] = zero_count;
     rvv::Machine::active().scalar().charge({.alu = 1, .store = 2});
   });
 
@@ -160,6 +169,11 @@ std::size_t split(HartPool& pool, std::span<const T> src, std::span<T> dst,
     svm::plus_scan_exclusive<T>(std::span<T>(ones));
     svm::p_add<T>(std::span<T>(ones), total_zeros);    // ones -> 1-bucket base
   });
+  // The modeled reduce above feeds the 1-bucket bases (wrapping in T is
+  // benign there: a wrapped base is only selected when flags rule it out);
+  // the exact return value comes from the host-side counts.
+  std::size_t host_total_zeros = 0;
+  for (const std::size_t c : zero_counts) host_total_zeros += c;
 
   pool.for_shards(shards.size(), [&](std::size_t s) {
     const auto fsub = flags.subspan(shards[s].begin, shards[s].size());
@@ -173,7 +187,7 @@ std::size_t split(HartPool& pool, std::span<const T> src, std::span<T> dst,
     svm::permute<T, LMUL>(ssub, dst, std::span<const T>(down));
   });
 
-  return static_cast<std::size_t>(total_zeros);
+  return host_total_zeros;
 }
 
 /// Sharded split radix sort over the low `key_bits` bits (the bounded-key

@@ -51,6 +51,9 @@ void vse(std::span<T> dst, const vreg<T, L>& a, std::size_t vl) {
 template <VectorElement T, unsigned L>
 void vse_m(const vmask& mask, std::span<T> dst, const vreg<T, L>& a, std::size_t vl) {
   Machine& m = a.machine();
+  if (&mask.machine() != &m) {
+    throw std::logic_error("vse_m: operands from different machines");
+  }
   detail::check_vl(vl, a.capacity());
   detail::check_vl(vl, mask.capacity());
   if (dst.size() < vl) throw std::out_of_range("vse_m: destination span shorter than vl");
@@ -107,29 +110,33 @@ void vsse(std::span<T> dst, std::size_t stride, const vreg<T, L>& a, std::size_t
 }
 
 /// vluxei<SEW>.v: indexed (gather) load.  `index[i]` is an *element* index
-/// into `src` (the ISA's byte offsets scaled by sizeof(T)).
+/// into `src` (the ISA's byte offsets scaled by sizeof(T)).  As in the ISA,
+/// index elements are read as unsigned SEW-wide integers, so a signed index
+/// type is reinterpreted bit-for-bit rather than sign-extended.
 template <VectorElement T, unsigned L, VectorElement I>
 [[nodiscard]] vreg<T, L> vluxei(std::span<const T> src, const vreg<I, L>& index,
                                 std::size_t vl) {
   Machine& m = index.machine();
   const std::size_t cap = m.vlmax<T>(L);
   detail::check_vl(vl, cap);
+  detail::check_vl(vl, index.capacity());
   m.counter().add(sim::InstClass::kVectorLoad);
   detail::AllocGuard guard(m);
   guard.use(index.value_id());
   const sim::ValueId id = guard.define(L);
   auto out = detail::result_elems<T>(m, cap, vl);
+  using UI = std::make_unsigned_t<I>;
   if (m.pool().recycling()) {
     const I* pidx = index.elems().data();
     T* po = out.data();
     for (std::size_t i = 0; i < vl; ++i) {
-      const auto ix = static_cast<std::size_t>(pidx[i]);
+      const auto ix = static_cast<std::size_t>(static_cast<UI>(pidx[i]));
       if (ix >= src.size()) throw std::out_of_range("vluxei: index beyond source span");
       po[i] = src[ix];
     }
   } else {
     for (std::size_t i = 0; i < vl; ++i) {
-      const auto ix = static_cast<std::size_t>(index[i]);
+      const auto ix = static_cast<std::size_t>(static_cast<UI>(index[i]));
       if (ix >= src.size()) throw std::out_of_range("vluxei: index beyond source span");
       out[i] = src[ix];
     }
@@ -143,23 +150,27 @@ template <VectorElement T, unsigned L, VectorElement I>
 void vsuxei(std::span<T> dst, const vreg<I, L>& index, const vreg<T, L>& a,
             std::size_t vl) {
   Machine& m = a.machine();
+  if (&index.machine() != &m) {
+    throw std::logic_error("vsuxei: operands from different machines");
+  }
   detail::check_vl(vl, a.capacity());
   detail::check_vl(vl, index.capacity());
   m.counter().add(sim::InstClass::kVectorStore);
   detail::AllocGuard guard(m);
   guard.use(index.value_id());
   guard.use(a.value_id());
+  using UI = std::make_unsigned_t<I>;
   if (m.pool().recycling()) {
     const I* pidx = index.elems().data();
     const T* pa = a.elems().data();
     for (std::size_t i = 0; i < vl; ++i) {
-      const auto ix = static_cast<std::size_t>(pidx[i]);
+      const auto ix = static_cast<std::size_t>(static_cast<UI>(pidx[i]));
       if (ix >= dst.size()) throw std::out_of_range("vsuxei: index beyond destination span");
       dst[ix] = pa[i];
     }
   } else {
     for (std::size_t i = 0; i < vl; ++i) {
-      const auto ix = static_cast<std::size_t>(index[i]);
+      const auto ix = static_cast<std::size_t>(static_cast<UI>(index[i]));
       if (ix >= dst.size()) throw std::out_of_range("vsuxei: index beyond destination span");
       dst[ix] = a[i];
     }
@@ -171,27 +182,32 @@ template <VectorElement T, unsigned L, VectorElement I>
 void vsuxei_m(const vmask& mask, std::span<T> dst, const vreg<I, L>& index,
               const vreg<T, L>& a, std::size_t vl) {
   Machine& m = a.machine();
+  if (&mask.machine() != &m || &index.machine() != &m) {
+    throw std::logic_error("vsuxei_m: operands from different machines");
+  }
   detail::check_vl(vl, a.capacity());
   detail::check_vl(vl, mask.capacity());
+  detail::check_vl(vl, index.capacity());
   m.counter().add(sim::InstClass::kVectorStore);
   detail::AllocGuard guard(m);
   guard.use_mask(mask.value_id());
   guard.use(index.value_id());
   guard.use(a.value_id());
+  using UI = std::make_unsigned_t<I>;
   if (m.pool().recycling()) {
     const std::uint8_t* pm = mask.bits().data();
     const I* pidx = index.elems().data();
     const T* pa = a.elems().data();
     for (std::size_t i = 0; i < vl; ++i) {
       if (pm[i] == 0) continue;
-      const auto ix = static_cast<std::size_t>(pidx[i]);
+      const auto ix = static_cast<std::size_t>(static_cast<UI>(pidx[i]));
       if (ix >= dst.size()) throw std::out_of_range("vsuxei_m: index beyond destination span");
       dst[ix] = pa[i];
     }
   } else {
     for (std::size_t i = 0; i < vl; ++i) {
       if (!mask[i]) continue;
-      const auto ix = static_cast<std::size_t>(index[i]);
+      const auto ix = static_cast<std::size_t>(static_cast<UI>(index[i]));
       if (ix >= dst.size()) throw std::out_of_range("vsuxei_m: index beyond destination span");
       dst[ix] = a[i];
     }

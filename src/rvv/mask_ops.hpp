@@ -17,7 +17,11 @@ template <VectorElement T, unsigned L, class F>
 [[nodiscard]] vmask compare_vv(const vreg<T, L>& a, const vreg<T, L>& b,
                                std::size_t vl, F f) {
   Machine& m = a.machine();
+  if (&b.machine() != &m) {
+    throw std::logic_error("compare: operands from different machines");
+  }
   check_vl(vl, a.capacity());
+  check_vl(vl, b.capacity());
   m.counter().add(sim::InstClass::kVectorMask);
   AllocGuard guard(m);
   guard.use(a.value_id());
@@ -57,6 +61,9 @@ template <VectorElement T, unsigned L, class F>
 template <class F>
 [[nodiscard]] vmask mask_logical(const vmask& a, const vmask& b, std::size_t vl, F f) {
   Machine& m = a.machine();
+  if (&b.machine() != &m) {
+    throw std::logic_error("mask logical: operands from different machines");
+  }
   check_vl(vl, a.capacity());
   check_vl(vl, b.capacity());
   m.counter().add(sim::InstClass::kVectorMask);

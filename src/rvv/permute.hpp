@@ -40,6 +40,9 @@ template <VectorElement T, unsigned L>
 }
 
 /// vslidedown.vx: d[i] = src[i + offset] when i + offset < VLMAX, else 0.
+/// The ISA compares i + OFFSET mathematically, so an offset at or beyond
+/// VLMAX zeroes every element; `i + offset` must not be formed first, or a
+/// huge offset wraps std::size_t and reads a live element instead.
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vslidedown(const vreg<T, L>& src, std::size_t offset,
                                     std::size_t vl) {
@@ -50,18 +53,19 @@ template <VectorElement T, unsigned L>
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
   auto out = detail::result_elems<T>(m, src.capacity(), vl);
+  const std::size_t cap = src.capacity();
+  const bool all_out = offset >= cap;
   if (m.pool().recycling()) {
     const T* ps = src.elems().data();
-    const std::size_t cap = src.capacity();
     T* po = out.data();
     for (std::size_t i = 0; i < vl; ++i) {
       const std::size_t from = i + offset;
-      po[i] = from < cap ? ps[from] : T{0};
+      po[i] = !all_out && from < cap ? ps[from] : T{0};
     }
   } else {
     for (std::size_t i = 0; i < vl; ++i) {
       const std::size_t from = i + offset;
-      out[i] = from < src.capacity() ? src[from] : T{0};
+      out[i] = !all_out && from < cap ? src[from] : T{0};
     }
   }
   return detail::make_vreg<T, L>(m, std::move(out), id);
@@ -110,11 +114,17 @@ template <VectorElement T, unsigned L>
   return detail::make_vreg<T, L>(m, std::move(out), id);
 }
 
-/// vrgather.vv: d[i] = index[i] < VLMAX ? src[index[i]] : 0.
+/// vrgather.vv: d[i] = index[i] < VLMAX ? src[index[i]] : 0.  The ISA reads
+/// the index elements as *unsigned* SEW-wide integers, so a signed index
+/// type is reinterpreted bit-for-bit (int8 -1 selects element 255), not
+/// sign-extended into an always-out-of-range value.
 template <VectorElement T, unsigned L, VectorElement I>
 [[nodiscard]] vreg<T, L> vrgather(const vreg<T, L>& src, const vreg<I, L>& index,
                                   std::size_t vl) {
   Machine& m = src.machine();
+  if (&index.machine() != &m) {
+    throw std::logic_error("vrgather: operands from different machines");
+  }
   detail::check_vl(vl, src.capacity());
   detail::check_vl(vl, index.capacity());
   m.counter().add(sim::InstClass::kVectorPermute);
@@ -123,18 +133,19 @@ template <VectorElement T, unsigned L, VectorElement I>
   guard.use(index.value_id());
   const sim::ValueId id = guard.define(L);
   auto out = detail::result_elems<T>(m, src.capacity(), vl);
+  using UI = std::make_unsigned_t<I>;
   if (m.pool().recycling()) {
     const T* ps = src.elems().data();
     const I* pidx = index.elems().data();
     const std::size_t cap = src.capacity();
     T* po = out.data();
     for (std::size_t i = 0; i < vl; ++i) {
-      const auto ix = static_cast<std::size_t>(pidx[i]);
+      const auto ix = static_cast<std::size_t>(static_cast<UI>(pidx[i]));
       po[i] = ix < cap ? ps[ix] : T{0};
     }
   } else {
     for (std::size_t i = 0; i < vl; ++i) {
-      const auto ix = static_cast<std::size_t>(index[i]);
+      const auto ix = static_cast<std::size_t>(static_cast<UI>(index[i]));
       out[i] = ix < src.capacity() ? src[ix] : T{0};
     }
   }
@@ -148,6 +159,9 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vcompress(const vreg<T, L>& src, const vmask& mask,
                                    std::size_t vl) {
   Machine& m = src.machine();
+  if (&mask.machine() != &m) {
+    throw std::logic_error("vcompress: operands from different machines");
+  }
   detail::check_vl(vl, src.capacity());
   detail::check_vl(vl, mask.capacity());
   m.counter().add(sim::InstClass::kVectorPermute);

@@ -97,13 +97,19 @@ std::size_t enumerate(std::span<const T> flags, std::span<T> dst, bool set_bit) 
   auto& scalar = rvv::Machine::active().scalar();
   scalar.charge(sim::kKernelPrologue);
   const T want = set_bit ? T{1} : T{0};
+  // Per-element offsets wrap in T (matching svm::enumerate); the returned
+  // total is a host-side count that must not wrap for narrow T.
   T count{0};
+  std::size_t total = 0;
   for (std::size_t i = 0; i < flags.size(); ++i) {
     dst[i] = count;
-    if (flags[i] == want) count = rvv::detail::wrap_add(count, T{1});
+    if (flags[i] == want) {
+      count = rvv::detail::wrap_add(count, T{1});
+      ++total;
+    }
     scalar.charge(kEnumeratePerElement);
   }
-  return static_cast<std::size_t>(count);
+  return total;
 }
 
 /// Sequential stable split by 0/1 flags (0s first); returns the 0 count.

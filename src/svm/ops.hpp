@@ -3,6 +3,7 @@
 // radix sort and of most Blelloch-style algorithms.
 #pragma once
 
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -19,7 +20,11 @@ template <rvv::VectorElement T, unsigned LMUL = 1>
 std::size_t enumerate(std::span<const T> flags, std::span<T> dst, bool set_bit) {
   if (dst.size() < flags.size()) throw std::invalid_argument("enumerate: dst too small");
   rvv::Machine& m = rvv::Machine::active();
+  // The per-element offsets wrap in T (they feed T-wide destination indices),
+  // but the returned total is a host-side count: for narrow T it must not
+  // wrap at n >= 2^SEW (e.g. u8 flags with n == 256 and no set bits).
   T count{0};
+  std::size_t total = 0;
   detail::stripmine<T, LMUL>(flags.size(), /*pointer_bumps=*/2,
                              [&](std::size_t pos, std::size_t vl) {
                                auto v = rvv::vle<T, LMUL>(flags.subspan(pos), vl);
@@ -28,11 +33,12 @@ std::size_t enumerate(std::span<const T> flags, std::span<T> dst, bool set_bit) 
                                v = rvv::viota<T, LMUL>(mask, vl);
                                v = rvv::vadd(v, count, vl);
                                rvv::vse(dst.subspan(pos), v, vl);
-                               count = rvv::detail::wrap_add(
-                                   count, static_cast<T>(rvv::vcpop(mask, vl)));
+                               const std::size_t pop = rvv::vcpop(mask, vl);
+                               count = rvv::detail::wrap_add(count, static_cast<T>(pop));
+                               total += pop;
                                m.scalar().charge({.alu = 1});  // count += vcpop
                              });
-  return static_cast<std::size_t>(count);
+  return total;
 }
 
 /// get_flags: flags[i] = bit `bit` of src[i] (the radix sort key probe).
@@ -57,6 +63,14 @@ std::size_t split(std::span<const T> src, std::span<T> dst, std::span<const T> f
   const std::size_t n = src.size();
   if (dst.size() < n || flags.size() < n) {
     throw std::invalid_argument("split: operand size mismatch");
+  }
+  // Destination indices are computed in T; when the largest index n-1 does
+  // not fit, the scatter would silently collide.  (n == 2^SEW exactly is
+  // fine: indices 0..2^SEW-1 all fit, and the wrapped count cast below is
+  // only ever selected when some flag is 1, i.e. count < n.)
+  if (n != 0 && n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
+    throw std::invalid_argument(
+        "split: destination indices overflow the element type; widen first");
   }
   std::vector<T> i_down(n);  // destinations of 0-flagged elements
   std::vector<T> i_up(n);    // destinations of 1-flagged elements

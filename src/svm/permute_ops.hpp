@@ -7,7 +7,9 @@
 // vector unit cannot honor (paper section 4.2).
 #pragma once
 
+#include <limits>
 #include <span>
+#include <stdexcept>
 
 #include "svm/detail.hpp"
 
@@ -90,6 +92,12 @@ template <rvv::VectorElement T, unsigned LMUL = 1>
 void reverse(std::span<const T> src, std::span<T> dst) {
   if (dst.size() < src.size()) throw std::invalid_argument("reverse: destination too small");
   const std::size_t n = src.size();
+  // The vrsub below computes n-1-i in T; when n-1 itself does not fit the
+  // indices wrap and the scatter silently lands on the wrong elements.
+  if (n != 0 && n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
+    throw std::invalid_argument(
+        "reverse: indices overflow the element type; widen first");
+  }
   detail::stripmine<T, LMUL>(n, /*pointer_bumps=*/1,
                              [&](std::size_t pos, std::size_t vl) {
                                auto vs = rvv::vle<T, LMUL>(src.subspan(pos), vl);

@@ -4,6 +4,7 @@
 // histogramming and run-length encoding are thin wrappers over them.
 #pragma once
 
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,12 @@ void seg_split(std::span<const T> src, std::span<T> dst, std::span<const T> flag
     throw std::invalid_argument("seg_split: new_heads too small");
   }
   if (n == 0) return;
+  // Destination indices are computed in T; the same narrow-index overflow
+  // guard as svm::split (n == 2^SEW exactly is fine: indices 0..2^SEW-1 fit).
+  if (n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
+    throw std::invalid_argument(
+        "seg_split: destination indices overflow the element type; widen first");
+  }
 
   // rank0 / rank1: exclusive per-segment counts of each group.
   std::vector<T> rank0(flags.begin(), flags.begin() + static_cast<long>(n));
@@ -75,15 +82,17 @@ void seg_split(std::span<const T> src, std::span<T> dst, std::span<const T> flag
     // onto an existing head (all-ones segment: tot0 = 0) is harmless.
     std::vector<T> boundary(seg_start);
     p_add<T, LMUL>(std::span<T>(boundary), std::span<const T>(tot0));
-    // mask = heads .* count1 (non-zero only at heads of segments that have
-    // flag-1 elements).
-    std::vector<T> count1(flags.begin(), flags.begin() + static_cast<long>(n));
-    seg_plus_scan<T, LMUL>(std::span<T>(count1), head_flags);
-    seg_broadcast_tail<T, LMUL>(std::span<T>(count1), head_flags);
-    std::vector<T> mask(count1);
+    // mask = heads .* has1 (non-zero only at heads of segments that have
+    // flag-1 elements).  has1 is a segmented OR, not a plus-scan: a count
+    // would wrap to zero for a segment of exactly 2^SEW one-flags and drop
+    // that segment's boundary head.
+    std::vector<T> has1(flags.begin(), flags.begin() + static_cast<long>(n));
+    seg_or_scan<T, LMUL>(std::span<T>(has1), head_flags);
+    seg_broadcast_tail<T, LMUL>(std::span<T>(has1), head_flags);
+    std::vector<T> mask(has1);
     p_mul<T, LMUL>(std::span<T>(mask), head_flags.first(n));
     // Element 0's segment is headed implicitly; include it in the mask.
-    if (head_flags[0] == T{0} && count1[0] != T{0}) mask[0] = T{1};
+    if (head_flags[0] == T{0} && has1[0] != T{0}) mask[0] = T{1};
     const std::vector<T> ones(n, T{1});
     permute_masked<T, LMUL>(std::span<const T>(ones), new_heads.first(n),
                             std::span<const T>(boundary), std::span<const T>(mask));

@@ -18,6 +18,7 @@
 // mask-register slide instruction (paper section 5.2).
 #pragma once
 
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -177,6 +178,11 @@ void seg_broadcast_tail(std::span<T> data, std::span<const T> head_flags) {
   if (n == 0) return;
   if (head_flags.size() < n) {
     throw std::invalid_argument("seg_broadcast_tail: head_flags shorter than data");
+  }
+  // Built on reverse(), whose scatter indices are computed in T.
+  if (n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
+    throw std::invalid_argument(
+        "seg_broadcast_tail: indices overflow the element type; widen first");
   }
   rvv::Machine& m = rvv::Machine::active();
   // tails[i] = 1 when element i is the last of its segment:

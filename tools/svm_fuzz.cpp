@@ -1,0 +1,120 @@
+// svm_fuzz — the differential fuzzing oracle's command-line driver.
+//
+//   svm_fuzz [--seed N] [--iters N] [--layer all|rvv|svm|par|<property>]
+//            [--json PATH] [--no-shrink] [--list]
+//
+// Exit status 0 when every case holds, 1 on any divergence (each failure is
+// printed with its shrunk case and a ready-to-paste GoogleTest reproducer),
+// 2 on usage errors.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "check/oracle.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: svm_fuzz [--seed N] [--iters N] [--layer L] [--json PATH]\n"
+        "                [--no-shrink] [--list]\n"
+        "  --seed N      base seed (default 1); (seed, iteration) replays a case\n"
+        "  --iters N     number of cases to run (default 1000)\n"
+        "  --layer L     all | rvv | svm | par | an exact property name\n"
+        "  --json PATH   write the failure report as JSON\n"
+        "  --no-shrink   report raw failing cases without minimizing\n"
+        "  --list        print the property table and exit\n";
+}
+
+[[nodiscard]] bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rvvsvm::check::FuzzOptions options;
+  std::string json_path;
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> std::string_view {
+      if (i + 1 >= argc) {
+        std::cerr << "svm_fuzz: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      if (!parse_u64(value(), options.seed)) {
+        std::cerr << "svm_fuzz: bad --seed\n";
+        return 2;
+      }
+    } else if (arg == "--iters") {
+      if (!parse_u64(value(), options.iters)) {
+        std::cerr << "svm_fuzz: bad --iters\n";
+        return 2;
+      }
+    } else if (arg == "--layer") {
+      options.layer = std::string(value());
+    } else if (arg == "--json") {
+      json_path = std::string(value());
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "svm_fuzz: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const auto& prop : rvvsvm::check::properties()) {
+      std::cout << prop.name << "  (layer " << prop.layer << ")\n";
+    }
+    return 0;
+  }
+
+  std::cout << "svm_fuzz: seed " << options.seed << ", " << options.iters
+            << " cases, layer " << options.layer << "\n";
+  const rvvsvm::check::FuzzReport report = rvvsvm::check::fuzz(options, &std::cout);
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "svm_fuzz: cannot write " << json_path << "\n";
+      return 2;
+    }
+    rvvsvm::check::write_json_report(report, json);
+  }
+
+  if (report.failures.empty()) {
+    std::cout << "OK: " << report.cases_run << " cases, zero divergences\n";
+    return 0;
+  }
+  std::cout << "\n" << report.failures.size() << " failing propert"
+            << (report.failures.size() == 1 ? "y" : "ies") << ":\n";
+  for (const auto& failure : report.failures) {
+    std::cout << "\n--- " << failure.property << " (iteration " << failure.iteration
+              << ", case seed " << failure.case_seed << ")\n"
+              << "    " << failure.message << "\n"
+              << "reproducer:\n"
+              << failure.reproducer;
+  }
+  return 1;
+}
