@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build2/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[bench_throughput_smoke]=] "/root/repo/build2/bench/microbench_emulator" "--throughput" "--smoke" "--json" "/root/repo/build2/bench/BENCH_emulator_smoke.json")
+set_tests_properties([=[bench_throughput_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test([=[bench_parallel_smoke]=] "/root/repo/build2/bench/parallel_scaling" "--smoke" "--json" "/root/repo/build2/bench/BENCH_parallel_smoke.json")
+set_tests_properties([=[bench_parallel_smoke]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
