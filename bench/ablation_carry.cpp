@@ -1,89 +1,8 @@
-// Ablation: cross-block carry through memory vs through a register.
-//
-// The paper's Listing 6 reads the carry back from memory after the block
-// store (`carry = src[vl - 1]`).  The alternative extracts it from the
-// register with vslidedown + vmv.x.s before the store.  This bench compares
-// the two schedules — a design choice DESIGN.md calls out — by implementing
-// both directly against the emulator.
-#include <iostream>
-#include <vector>
+// Ablation: cross-block carry through memory vs through a register.  The
+// two hand-scheduled kernels live in the table library next to their
+// measurement (tables::ablation_carry()); this binary just formats the rows.
+#include "tables/paper_tables.hpp"
 
-#include "bench/common.hpp"
-#include "rvv/rvv.hpp"
-#include "sim/scalar_model.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-
-/// Paper-style: carry re-read from memory after the store.
-std::uint64_t scan_carry_via_memory(std::vector<std::uint32_t> data) {
-  return bench::count_instructions(1024, [&] {
-    rvv::Machine& m = rvv::Machine::active();
-    m.scalar().charge(sim::kKernelPrologue);
-    std::uint32_t carry = 0;
-    std::size_t n = data.size(), pos = 0, vl = 0;
-    for (; n > 0; n -= vl, pos += vl) {
-      vl = m.vsetvl<std::uint32_t>(n);
-      auto x = rvv::vle<std::uint32_t>(std::span<const std::uint32_t>(data).subspan(pos), vl);
-      for (std::size_t offset = 1; offset < vl; offset <<= 1) {
-        auto y = rvv::vmv_v_x<std::uint32_t>(0u, vl);
-        y = rvv::vslideup(y, x, offset, vl);
-        x = rvv::vadd(x, y, vl);
-        m.scalar().charge(sim::kInnerScanStep);
-      }
-      x = rvv::vadd(x, carry, vl);
-      rvv::vse(std::span<std::uint32_t>(data).subspan(pos), x, vl);
-      carry = data[pos + vl - 1];
-      m.scalar().charge({.alu = 1, .load = 1});
-      m.scalar().charge(sim::stripmine_iteration(1));
-    }
-  });
-}
-
-/// Register-carry variant: vslidedown + vmv.x.s, no memory round-trip.
-std::uint64_t scan_carry_via_register(std::vector<std::uint32_t> data) {
-  return bench::count_instructions(1024, [&] {
-    rvv::Machine& m = rvv::Machine::active();
-    m.scalar().charge(sim::kKernelPrologue);
-    std::uint32_t carry = 0;
-    std::size_t n = data.size(), pos = 0, vl = 0;
-    for (; n > 0; n -= vl, pos += vl) {
-      vl = m.vsetvl<std::uint32_t>(n);
-      auto x = rvv::vle<std::uint32_t>(std::span<const std::uint32_t>(data).subspan(pos), vl);
-      for (std::size_t offset = 1; offset < vl; offset <<= 1) {
-        auto y = rvv::vmv_v_x<std::uint32_t>(0u, vl);
-        y = rvv::vslideup(y, x, offset, vl);
-        x = rvv::vadd(x, y, vl);
-        m.scalar().charge(sim::kInnerScanStep);
-      }
-      x = rvv::vadd(x, carry, vl);
-      carry = rvv::vmv_x_s(rvv::vslidedown(x, vl - 1, vl));
-      rvv::vse(std::span<std::uint32_t>(data).subspan(pos), x, vl);
-      m.scalar().charge(sim::stripmine_iteration(1));
-    }
-  });
-}
-
-}  // namespace
-
-int main() {
-  sim::print_section(std::cout,
-                     "Ablation: plus-scan carry via memory (paper Listing 6) vs "
-                     "via register extraction (VLEN=1024, LMUL=1)");
-  sim::Table table({"N", "carry via memory", "carry via register", "ratio"});
-  for (const std::size_t n : bench::kSizes) {
-    const auto input = bench::random_u32(n, /*seed=*/13);
-    const std::uint64_t mem = scan_carry_via_memory(input);
-    const std::uint64_t reg = scan_carry_via_register(input);
-    table.add_row({std::to_string(n), sim::format_count(mem), sim::format_count(reg),
-                   sim::format_ratio(static_cast<double>(mem) / static_cast<double>(reg), 3)});
-  }
-  table.print(std::cout);
-  std::cout << "\nBoth schedules cost the same instruction count per block "
-               "(load+alu vs slidedown+mv); the memory variant adds a "
-               "store-to-load dependency a real pipeline would stall on, which "
-               "instruction counting cannot see — the reason the paper's "
-               "choice is count-neutral here.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "ablation_carry");
 }

@@ -1,56 +1,8 @@
-// Ablation: the paper's enumerate optimization (section 4.4).
-//
-// Enumerate is an exclusive plus-scan over 0/1 flags.  The paper notes that
-// the restriction to 0/1 inputs lets viota.m + vcpop.m replace the generic
-// lg(vl)-step in-register scan — one mask instruction per block instead of a
-// logarithmic slide/add chain.  This bench quantifies that choice by
-// implementing enumerate both ways.
-#include <iostream>
-#include <vector>
+// Ablation: the paper's enumerate optimization (viota/vcpop vs generic
+// exclusive scan).  Thin formatter over the table library
+// (tables::ablation_enumerate()).
+#include "tables/paper_tables.hpp"
 
-#include "bench/common.hpp"
-#include "svm/ops.hpp"
-#include "svm/scan.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-using T = std::uint32_t;
-
-/// Generic version: exclusive plus-scan of the flags (no viota).
-std::uint64_t enumerate_via_scan(const std::vector<T>& flags) {
-  auto data = flags;
-  return bench::count_instructions(1024, [&] {
-    svm::plus_scan_exclusive<T>(std::span<T>(data));
-  });
-}
-
-/// The paper's version: viota + vcpop per block (svm::enumerate).
-std::uint64_t enumerate_via_viota(const std::vector<T>& flags) {
-  std::vector<T> dst(flags.size());
-  return bench::count_instructions(1024, [&] {
-    static_cast<void>(svm::enumerate<T>(std::span<const T>(flags),
-                                        std::span<T>(dst), true));
-  });
-}
-
-}  // namespace
-
-int main() {
-  sim::print_section(std::cout,
-                     "Ablation: enumerate via viota/vcpop (paper section 4.4) vs "
-                     "generic exclusive scan (VLEN=1024, LMUL=1)");
-  sim::Table table({"N", "viota+vcpop", "generic scan", "speedup"});
-  for (const std::size_t n : bench::kSizes) {
-    const auto flags = bench::random_head_flags(n, /*avg_len=*/2, /*seed=*/31);
-    const auto fast = enumerate_via_viota(flags);
-    const auto slow = enumerate_via_scan(flags);
-    table.add_row({std::to_string(n), sim::format_count(fast), sim::format_count(slow),
-                   sim::format_ratio(static_cast<double>(slow) / static_cast<double>(fast))});
-  }
-  table.print(std::cout);
-  std::cout << "\nviota collapses the lg(vl) in-register scan steps into one "
-               "mask instruction per block — the optimization that makes the "
-               "paper's split (and hence radix sort) competitive.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "ablation_enumerate");
 }

@@ -1,72 +1,7 @@
-// Ablation: how much of the LMUL=8 cost is register spilling?
-//
-// Runs the Table 5 sweep twice — once with the register-file pressure model
-// enabled (the default, matching a real compiler's spill code) and once with
-// it disabled (pure instruction semantics, as if the machine had unlimited
-// vector registers).  The gap is exactly the spill/reload traffic; without
-// it, larger LMUL would always look better, which is the naive expectation
-// the paper's section 6.3 corrects.
-#include <array>
-#include <iostream>
+// Ablation: how much of the LMUL=8 cost is register spilling?  Thin
+// formatter over the table library (tables::ablation_spill_model()).
+#include "tables/paper_tables.hpp"
 
-#include "bench/common.hpp"
-#include "svm/segmented.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-
-struct Cell {
-  std::uint64_t total = 0;
-  std::uint64_t spill_traffic = 0;  // kVectorSpill + kVectorReload
-};
-
-template <unsigned LMUL>
-Cell run(std::size_t n, bool pressure) {
-  auto data = bench::random_u32(n, /*seed=*/17);
-  const auto flags = bench::random_head_flags(n, /*avg_len=*/100, /*seed=*/18);
-  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024,
-                                            .model_register_pressure = pressure});
-  rvv::MachineScope scope(machine);
-  const auto before = machine.counter().snapshot();
-  svm::seg_plus_scan<std::uint32_t, LMUL>(std::span<std::uint32_t>(data),
-                                          std::span<const std::uint32_t>(flags));
-  const auto delta = machine.counter().snapshot() - before;
-  return {delta.total(), delta.spill_total()};
-}
-
-}  // namespace
-
-int main() {
-  sim::print_section(std::cout,
-                     "Ablation: seg_plus_scan with and without the register-file "
-                     "pressure model (VLEN=1024)");
-  sim::Table table({"N", "LMUL", "with model", "spill+reload instrs",
-                    "model off (infinite regs)", "overhead"});
-  for (const std::size_t n : {std::size_t{100}, std::size_t{10000}, std::size_t{1000000}}) {
-    const std::array<std::array<Cell, 2>, 4> cells = {{
-        {run<1>(n, true), run<1>(n, false)},
-        {run<2>(n, true), run<2>(n, false)},
-        {run<4>(n, true), run<4>(n, false)},
-        {run<8>(n, true), run<8>(n, false)},
-    }};
-    constexpr std::array<unsigned, 4> lmuls{1, 2, 4, 8};
-    for (std::size_t i = 0; i < 4; ++i) {
-      const auto [with, without] = std::pair{cells[i][0], cells[i][1]};
-      table.add_row({std::to_string(n), std::to_string(lmuls[i]),
-                     sim::format_count(with.total),
-                     sim::format_count(with.spill_traffic),
-                     sim::format_count(without.total),
-                     sim::format_ratio(static_cast<double>(with.total) /
-                                           static_cast<double>(without.total),
-                                       3)});
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nReading the columns: LMUL in {1, 2, 4} retires zero spill "
-               "instructions — the remaining ~10% gap versus the model-off run "
-               "is the vmv-to-v0 mask materialization the model also accounts "
-               "for, identical across LMUL.  Only LMUL=8 adds real spill/reload "
-               "traffic; that traffic is the entire Table 5 anomaly.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "ablation_spill");
 }

@@ -1,63 +1,7 @@
-// Extension bench (not a paper table): carry-lookahead scan addition vs
-// sequential ripple carry, across limb counts and LMUL — the same
-// vector-vs-scalar story as the paper's Tables 2-4, applied to Blelloch's
-// binary-addition scan example with a non-commutative operator.
-#include <iostream>
+// Extension bench: carry-lookahead scan addition vs sequential ripple
+// carry.  Thin formatter over the table library (tables::extension_bignum()).
+#include "tables/paper_tables.hpp"
 
-#include "apps/bignum.hpp"
-#include "bench/common.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-
-template <unsigned LMUL>
-std::uint64_t scan_add(const std::vector<std::uint32_t>& a,
-                       const std::vector<std::uint32_t>& b,
-                       std::vector<std::uint32_t>& out, std::uint32_t& carry) {
-  return bench::count_instructions(1024, [&] {
-    carry = apps::bignum_add<LMUL>(std::span<const std::uint32_t>(a),
-                                   std::span<const std::uint32_t>(b),
-                                   std::span<std::uint32_t>(out));
-  });
-}
-
-}  // namespace
-
-int main() {
-  sim::print_section(std::cout,
-                     "Extension: bignum add — carry-lookahead scan vs ripple "
-                     "carry (VLEN=1024)");
-  sim::Table table({"limbs", "ripple (seq)", "scan LMUL=1", "scan LMUL=4",
-                    "speedup (best)"});
-  for (const std::size_t n : bench::kSizes) {
-    const auto a = bench::random_u32(n, 41);
-    const auto b = bench::random_u32(n, 42);
-    std::vector<std::uint32_t> out_ref(n), out1(n), out4(n);
-
-    std::uint32_t carry_ref = 0;
-    const auto ripple = bench::count_instructions(1024, [&] {
-      carry_ref = apps::bignum_add_baseline(std::span<const std::uint32_t>(a),
-                                            std::span<const std::uint32_t>(b),
-                                            std::span<std::uint32_t>(out_ref));
-    });
-
-    std::uint32_t c1 = 0, c4 = 0;
-    const auto s1 = scan_add<1>(a, b, out1, c1);
-    const auto s4 = scan_add<4>(a, b, out4, c4);
-    if (out1 != out_ref || out4 != out_ref || c1 != carry_ref || c4 != carry_ref) {
-      std::cerr << "FATAL: bignum results disagree at n=" << n << '\n';
-      return 1;
-    }
-    const auto best = std::min(s1, s4);
-    table.add_row({std::to_string(n), sim::format_count(ripple),
-                   sim::format_count(s1), sim::format_count(s4),
-                   sim::format_ratio(static_cast<double>(ripple) /
-                                     static_cast<double>(best))});
-  }
-  table.print(std::cout);
-  std::cout << "\nThe carry semigroup is non-commutative, so this bench also "
-               "validates the generic scan kernels' operand-orientation "
-               "contract end to end.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "bignum");
 }

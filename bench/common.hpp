@@ -1,24 +1,17 @@
-// Shared helpers for the table/figure benchmark binaries.
-//
-// Every bench brackets a kernel between two counter snapshots on a fresh
-// machine and reports the dynamic-instruction delta, next to the value the
-// paper reports for the same cell, so shapes can be compared line by line.
-// Counts here are deterministic: same input, same VLEN/LMUL, same count.
+// Workload helpers for the *throughput* benchmarks (bench_runner /
+// microbench_emulator), which time the emulator itself and use their own
+// seeds.  Paper-table inputs and instruction-count measurement do NOT live
+// here: every table number comes from src/tables (tables::workloads for the
+// seeded inputs, tables::count_instructions for the bracketing), so the
+// bench binaries, the golden suite and tools/regen_tables can never drift
+// apart.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <random>
-#include <span>
 #include <vector>
 
-#include "rvv/machine.hpp"
-#include "sim/report.hpp"
-
 namespace rvvsvm::bench {
-
-/// The N sweep every paper table uses.
-inline constexpr std::size_t kSizes[] = {100, 1000, 10000, 100000, 1000000};
 
 /// Uniform random 32-bit keys (deterministic per seed).
 inline std::vector<std::uint32_t> random_u32(std::size_t n, std::uint32_t seed,
@@ -53,31 +46,6 @@ inline std::vector<std::uint32_t> random_head_flags(std::size_t n, std::size_t a
   if (n > 0) flags[0] = 1;
   for (std::size_t i = 1; i < n; ++i) flags[i] = head(rng) ? 1u : 0u;
   return flags;
-}
-
-/// Runs `kernel` inside a scope on `machine` and returns the total dynamic
-/// instructions it retired.
-inline std::uint64_t count_instructions(rvv::Machine& machine,
-                                        const std::function<void()>& kernel) {
-  rvv::MachineScope scope(machine);
-  const auto before = machine.counter().snapshot();
-  kernel();
-  return (machine.counter().snapshot() - before).total();
-}
-
-/// One fresh machine per measurement so register-file state never leaks
-/// between cells.
-inline std::uint64_t count_instructions(unsigned vlen_bits,
-                                        const std::function<void()>& kernel,
-                                        bool model_register_pressure = true) {
-  rvv::Machine machine(rvv::Machine::Config{
-      .vlen_bits = vlen_bits, .model_register_pressure = model_register_pressure});
-  return count_instructions(machine, kernel);
-}
-
-/// Formats `ours` next to the paper's reported value.
-inline std::string with_paper(std::uint64_t ours, std::uint64_t paper) {
-  return sim::format_count(ours) + " (paper " + sim::format_count(paper) + ")";
 }
 
 }  // namespace rvvsvm::bench

@@ -1,0 +1,9 @@
+// Full VLEN × LMUL grid: the four core kernels at N=10^4 under every
+// (VLEN, LMUL) combination — Table 5's LMUL axis and Table 7's VLEN axis
+// generalized to the whole plane.  Thin formatter over the table library
+// (tables::grid_sweep()).
+#include "tables/paper_tables.hpp"
+
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "grid");
+}

@@ -1,93 +1,7 @@
-// Reproduces the paper's headline (abstract) numbers: plus-scan and
-// segmented plus-scan speedup over the sequential baselines at LMUL = 1,
-// and the best speedup achievable with the LMUL optimization of section 6.3
-// (the paper quotes 2.85x / 4.29x and 21.93x / 15.09x at N = 10^6,
-// VLEN = 1024).
-#include <array>
-#include <iostream>
+// Reproduces the paper's headline (abstract) numbers.  Thin formatter over
+// the table library (tables::headline_summary()).
+#include "tables/paper_tables.hpp"
 
-#include "bench/common.hpp"
-#include "svm/baseline/baseline.hpp"
-#include "svm/scan.hpp"
-#include "svm/segmented.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-
-constexpr std::size_t kN = 1000000;
-
-template <unsigned LMUL>
-std::uint64_t scan_count(const std::vector<std::uint32_t>& input) {
-  auto data = input;
-  return bench::count_instructions(1024, [&] {
-    svm::plus_scan<std::uint32_t, LMUL>(std::span<std::uint32_t>(data));
-  });
-}
-
-template <unsigned LMUL>
-std::uint64_t seg_count(const std::vector<std::uint32_t>& input,
-                        const std::vector<std::uint32_t>& flags) {
-  auto data = input;
-  return bench::count_instructions(1024, [&] {
-    svm::seg_plus_scan<std::uint32_t, LMUL>(std::span<std::uint32_t>(data),
-                                            std::span<const std::uint32_t>(flags));
-  });
-}
-
-}  // namespace
-
-int main() {
-  const auto input = bench::random_u32(kN, /*seed=*/29);
-  const auto flags = bench::random_head_flags(kN, /*avg_len=*/100, /*seed=*/30);
-
-  auto base_scan_data = input;
-  const std::uint64_t base_scan = bench::count_instructions(1024, [&] {
-    svm::baseline::plus_scan<std::uint32_t>(std::span<std::uint32_t>(base_scan_data));
-  });
-  auto base_seg_data = input;
-  const std::uint64_t base_seg = bench::count_instructions(1024, [&] {
-    svm::baseline::seg_plus_scan<std::uint32_t>(std::span<std::uint32_t>(base_seg_data),
-                                                std::span<const std::uint32_t>(flags));
-  });
-
-  const std::array<std::uint64_t, 4> scans{scan_count<1>(input), scan_count<2>(input),
-                                           scan_count<4>(input), scan_count<8>(input)};
-  const std::array<std::uint64_t, 4> segs{seg_count<1>(input, flags),
-                                          seg_count<2>(input, flags),
-                                          seg_count<4>(input, flags),
-                                          seg_count<8>(input, flags)};
-  constexpr std::array<unsigned, 4> lmuls{1, 2, 4, 8};
-
-  sim::print_section(std::cout,
-                     "Headline: scan & segmented scan speedup over sequential "
-                     "(N=10^6, VLEN=1024)");
-  sim::Table table({"kernel", "LMUL", "instructions", "speedup vs sequential"});
-  const auto speed = [](std::uint64_t base, std::uint64_t vec) {
-    return sim::format_ratio(static_cast<double>(base) / static_cast<double>(vec));
-  };
-  for (std::size_t i = 0; i < lmuls.size(); ++i) {
-    table.add_row({"plus_scan", std::to_string(lmuls[i]),
-                   sim::format_count(scans[i]), speed(base_scan, scans[i])});
-  }
-  for (std::size_t i = 0; i < lmuls.size(); ++i) {
-    table.add_row({"seg_plus_scan", std::to_string(lmuls[i]),
-                   sim::format_count(segs[i]), speed(base_seg, segs[i])});
-  }
-  table.print(std::cout);
-
-  std::size_t best_scan = 0, best_seg = 0;
-  for (std::size_t i = 1; i < 4; ++i) {
-    if (scans[i] < scans[best_scan]) best_scan = i;
-    if (segs[i] < segs[best_seg]) best_seg = i;
-  }
-  std::cout << "\nPaper headline: 2.85x (scan) / 4.29x (seg) at LMUL=1; "
-               "21.93x / 15.09x with the LMUL optimization.\n"
-            << "Ours at LMUL=1: "
-            << speed(base_scan, scans[0]) << "x / " << speed(base_seg, segs[0])
-            << "x; best over LMUL: " << speed(base_scan, scans[best_scan])
-            << "x (LMUL=" << lmuls[best_scan] << ") / "
-            << speed(base_seg, segs[best_seg]) << "x (LMUL=" << lmuls[best_seg]
-            << ").\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "headline");
 }

@@ -1,0 +1,9 @@
+// Multi-hart parity: merged dynamic-instruction counts of the par::
+// collectives at 1/2/4/8 harts — the engine's hart-count-invariance
+// contract as a table.  Thin formatter over the table library
+// (tables::par_parity()).
+#include "tables/paper_tables.hpp"
+
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "par_parity");
+}

@@ -1,58 +1,8 @@
-// Extension bench: vectorized split radix sort vs a *same-algorithm* scalar
-// baseline (LSD radix with byte digits), complementing Table 1's qsort()
-// comparison.  The qsort baseline pays per-comparison callback overhead; a
-// scalar radix sort is the strongest sequential competitor, so this is the
-// conservative speedup estimate.
-#include <iostream>
+// Extension bench: vectorized split radix sort vs a same-algorithm scalar
+// baseline.  Thin formatter over the table library
+// (tables::extension_radix_same_algorithm()).
+#include "tables/paper_tables.hpp"
 
-#include "apps/radix_sort.hpp"
-#include "bench/common.hpp"
-#include "svm/baseline/baseline.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-
-}  // namespace
-
-int main() {
-  sim::print_section(std::cout,
-                     "Extension: split radix sort (RVV) vs scalar LSD radix sort "
-                     "(VLEN=1024)");
-  sim::Table table({"N", "vector (LMUL=1)", "vector (LMUL=8)", "scalar byte radix",
-                    "speedup (m1)", "speedup (m8)"});
-  for (const std::size_t n : bench::kSizes) {
-    const auto keys = bench::random_u32(n, 51);
-
-    auto vec = keys;
-    const auto vcount = bench::count_instructions(1024, [&] {
-      apps::split_radix_sort<std::uint32_t>(std::span<std::uint32_t>(vec));
-    });
-    auto vec8 = keys;
-    const auto vcount8 = bench::count_instructions(1024, [&] {
-      apps::split_radix_sort<std::uint32_t, 8>(std::span<std::uint32_t>(vec8));
-    });
-    auto seq = keys;
-    const auto scount = bench::count_instructions(1024, [&] {
-      svm::baseline::radix_sort<std::uint32_t>(std::span<std::uint32_t>(seq));
-    });
-    if (vec != seq || vec8 != seq) {
-      std::cerr << "FATAL: sorters disagree at N=" << n << '\n';
-      return 1;
-    }
-    table.add_row({std::to_string(n), sim::format_count(vcount),
-                   sim::format_count(vcount8), sim::format_count(scount),
-                   sim::format_ratio(static_cast<double>(scount) /
-                                     static_cast<double>(vcount)),
-                   sim::format_ratio(static_cast<double>(scount) /
-                                     static_cast<double>(vcount8))});
-  }
-  table.print(std::cout);
-  std::cout << "\nThe scalar radix needs only 4 byte passes (~72 instructions "
-               "per element) against the vector sort's 32 bit passes, so at "
-               "LMUL=1 they tie — the honest headroom of the paper's running "
-               "example.  The LMUL optimization (section 6.3) restores a ~7x "
-               "margin: every split sub-kernel keeps few enough live values "
-               "to run spill-free at LMUL=8.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "radix_same");
 }

@@ -1,55 +1,7 @@
-// Extension bench: segmented plus-scan cost vs segmentation density.
-//
-// The paper evaluates one segment shape; this sweep checks a property the
-// kernel design implies — the dynamic instruction count of seg_plus_scan is
-// *independent* of where (and how many) segment boundaries fall, because
-// the in-register segmented scan always runs its lg(vl) steps and masks do
-// the rest.  The sequential baseline is also density-independent per
-// element, so the speedup is flat.  (Contrast with per-segment-dispatch
-// implementations whose cost explodes with many short segments.)
-#include <iostream>
+// Extension bench: segmented plus-scan cost vs segmentation density.  Thin
+// formatter over the table library (tables::extension_seg_density()).
+#include "tables/paper_tables.hpp"
 
-#include "bench/common.hpp"
-#include "svm/baseline/baseline.hpp"
-#include "svm/segmented.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-using T = std::uint32_t;
-
-}  // namespace
-
-int main() {
-  constexpr std::size_t kN = 100000;
-  sim::print_section(std::cout,
-                     "Extension: seg_plus_scan vs segment density (N=10^5, "
-                     "VLEN=1024, LMUL=1)");
-  sim::Table table({"avg segment len", "segments", "seg_plus_scan", "baseline",
-                    "speedup"});
-  for (const std::size_t avg_len : {std::size_t{2}, std::size_t{10},
-                                    std::size_t{100}, std::size_t{1000},
-                                    std::size_t{100000}}) {
-    const auto flags = bench::random_head_flags(kN, avg_len, 77);
-    std::size_t segments = 0;
-    for (const T f : flags) segments += f;
-
-    auto data = bench::random_u32(kN, 78);
-    const auto vec = bench::count_instructions(1024, [&] {
-      svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
-    });
-    auto base_data = bench::random_u32(kN, 78);
-    const auto base = bench::count_instructions(1024, [&] {
-      svm::baseline::seg_plus_scan<T>(std::span<T>(base_data),
-                                      std::span<const T>(flags));
-    });
-    table.add_row({std::to_string(avg_len), std::to_string(segments),
-                   sim::format_count(vec), sim::format_count(base),
-                   sim::format_ratio(static_cast<double>(base) /
-                                     static_cast<double>(vec))});
-  }
-  table.print(std::cout);
-  std::cout << "\nExpected: identical counts on every row — the segmented scan "
-               "is boundary-oblivious by construction.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "seg_density");
 }

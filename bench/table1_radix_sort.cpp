@@ -1,62 +1,8 @@
 // Reproduces Table 1: dynamic instruction counts of split radix sort (scan
-// vector model on RVV) vs the stdlib-style qsort baseline, VLEN = 1024,
-// LMUL = 1, N = 10^2 .. 10^6 of uniform random u32 keys.
-#include <iostream>
+// vector model on RVV) vs the stdlib-style qsort baseline.  Thin formatter
+// over the table library; the numbers come from tables::table1_radix_sort().
+#include "tables/paper_tables.hpp"
 
-#include "apps/radix_sort.hpp"
-#include "bench/common.hpp"
-#include "svm/baseline/qsort.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-
-struct PaperRow {
-  std::size_t n;
-  std::uint64_t radix;
-  std::uint64_t qsort;
-};
-constexpr PaperRow kPaper[] = {
-    {100, 23988, 17158},         {1000, 94842, 277480},
-    {10000, 803690, 3470344},    {100000, 19603490, 43004753},
-    {1000000, 195102988, 511107188},
-};
-
-}  // namespace
-
-int main() {
-  sim::print_section(std::cout,
-                     "Table 1: split_radix_sort() vs qsort() — dynamic instructions "
-                     "(VLEN=1024, LMUL=1)");
-  sim::Table table({"N", "split_radix_sort()", "qsort()", "speedup",
-                    "paper radix", "paper qsort", "paper speedup"});
-  for (const auto& row : kPaper) {
-    auto keys = bench::random_u32(row.n, /*seed=*/7);
-
-    auto sorted = keys;
-    const std::uint64_t radix = bench::count_instructions(1024, [&] {
-      apps::split_radix_sort<std::uint32_t>(std::span<std::uint32_t>(sorted));
-    });
-
-    auto qsorted = keys;
-    const std::uint64_t qsort = bench::count_instructions(1024, [&] {
-      svm::baseline::qsort_u32(std::span<std::uint32_t>(qsorted));
-    });
-
-    if (sorted != qsorted) {
-      std::cerr << "FATAL: sort outputs disagree at N=" << row.n << '\n';
-      return 1;
-    }
-
-    table.add_row({std::to_string(row.n), sim::format_count(radix),
-                   sim::format_count(qsort),
-                   sim::format_ratio(static_cast<double>(qsort) / static_cast<double>(radix)),
-                   sim::format_count(row.radix), sim::format_count(row.qsort),
-                   sim::format_ratio(static_cast<double>(row.qsort) /
-                                     static_cast<double>(row.radix))});
-  }
-  table.print(std::cout);
-  std::cout << "\nShape check: vectorized radix sort loses at N=100 (paper: 0.72x)\n"
-               "and wins for N >= 1000, as in the paper.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "table1");
 }

@@ -1,60 +1,7 @@
-// Reproduces Table 2: p-add (RVV) vs the sequential baseline,
-// VLEN = 1024, LMUL = 1, N = 10^2 .. 10^6.
-#include <iostream>
+// Reproduces Table 2: p-add (RVV) vs the sequential baseline.  Thin
+// formatter over the table library (tables::table2_p_add()).
+#include "tables/paper_tables.hpp"
 
-#include "bench/common.hpp"
-#include "svm/baseline/baseline.hpp"
-#include "svm/elementwise.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-
-struct PaperRow {
-  std::size_t n;
-  std::uint64_t vec;
-  std::uint64_t base;
-};
-constexpr PaperRow kPaper[] = {
-    {100, 66, 632},         {1000, 297, 6002},     {10000, 2826, 60001},
-    {100000, 28134, 600001}, {1000000, 281259, 6000001},
-};
-
-}  // namespace
-
-int main() {
-  sim::print_section(std::cout,
-                     "Table 2: p_add() vs sequential baseline — dynamic instructions "
-                     "(VLEN=1024, LMUL=1)");
-  sim::Table table({"N", "p_add()", "p_add_baseline()", "speedup",
-                    "paper p_add", "paper baseline", "paper speedup"});
-  for (const auto& row : kPaper) {
-    auto data = bench::random_u32(row.n, /*seed=*/11);
-
-    auto vec_out = data;
-    const std::uint64_t vec = bench::count_instructions(1024, [&] {
-      svm::p_add<std::uint32_t>(std::span<std::uint32_t>(vec_out), 123u);
-    });
-
-    auto base_out = data;
-    const std::uint64_t base = bench::count_instructions(1024, [&] {
-      svm::baseline::p_add<std::uint32_t>(std::span<std::uint32_t>(base_out), 123u);
-    });
-
-    if (vec_out != base_out) {
-      std::cerr << "FATAL: p_add outputs disagree at N=" << row.n << '\n';
-      return 1;
-    }
-
-    table.add_row({std::to_string(row.n), sim::format_count(vec),
-                   sim::format_count(base),
-                   sim::format_ratio(static_cast<double>(base) / static_cast<double>(vec)),
-                   sim::format_count(row.vec), sim::format_count(row.base),
-                   sim::format_ratio(static_cast<double>(row.base) /
-                                     static_cast<double>(row.vec))});
-  }
-  table.print(std::cout);
-  std::cout << "\nShape check: speedup saturates near vl-bounded ~21x as N grows "
-               "(paper: 21.33x at N=10^6).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "table2");
 }

@@ -1,62 +1,7 @@
 // Reproduces Table 3: unsegmented plus-scan (RVV) vs the sequential
-// baseline, VLEN = 1024, LMUL = 1, N = 10^2 .. 10^6.
-#include <iostream>
+// baseline.  Thin formatter over the table library (tables::table3_plus_scan()).
+#include "tables/paper_tables.hpp"
 
-#include "bench/common.hpp"
-#include "svm/baseline/baseline.hpp"
-#include "svm/scan.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-
-struct PaperRow {
-  std::size_t n;
-  std::uint64_t vec;
-  std::uint64_t base;
-};
-constexpr PaperRow kPaper[] = {
-    {100, 311, 626},          {1000, 2670, 6026},     {10000, 26281, 60026},
-    {100000, 262531, 600026}, {1000000, 2625031, 6000026},
-};
-
-}  // namespace
-
-int main() {
-  sim::print_section(std::cout,
-                     "Table 3: plus_scan() vs sequential baseline — dynamic "
-                     "instructions (VLEN=1024, LMUL=1)");
-  sim::Table table({"N", "plus_scan()", "plus_scan_baseline()", "speedup",
-                    "paper scan", "paper baseline", "paper speedup"});
-  for (const auto& row : kPaper) {
-    auto data = bench::random_u32(row.n, /*seed=*/13);
-
-    auto vec_out = data;
-    const std::uint64_t vec = bench::count_instructions(1024, [&] {
-      svm::plus_scan<std::uint32_t>(std::span<std::uint32_t>(vec_out));
-    });
-
-    auto base_out = data;
-    const std::uint64_t base = bench::count_instructions(1024, [&] {
-      svm::baseline::plus_scan<std::uint32_t>(std::span<std::uint32_t>(base_out));
-    });
-
-    if (vec_out != base_out) {
-      std::cerr << "FATAL: plus_scan outputs disagree at N=" << row.n << '\n';
-      return 1;
-    }
-
-    table.add_row({std::to_string(row.n), sim::format_count(vec),
-                   sim::format_count(base),
-                   sim::format_ratio(static_cast<double>(base) / static_cast<double>(vec)),
-                   sim::format_count(row.vec), sim::format_count(row.base),
-                   sim::format_ratio(static_cast<double>(row.base) /
-                                     static_cast<double>(row.vec))});
-  }
-  table.print(std::cout);
-  std::cout << "\nShape check: scan speedup is far below p-add's (the lg(vl) "
-               "in-register steps); the paper measures 2.29x, our leaner "
-               "per-iteration schedule lands higher but with the same plateau "
-               "shape.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "table3");
 }

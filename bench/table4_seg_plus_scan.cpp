@@ -1,64 +1,7 @@
-// Reproduces Table 4: segmented plus-scan (RVV) vs the sequential baseline,
-// VLEN = 1024, LMUL = 1, N = 10^2 .. 10^6, segments of expected length 100.
-#include <iostream>
+// Reproduces Table 4: segmented plus-scan (RVV) vs the sequential baseline.
+// Thin formatter over the table library (tables::table4_seg_plus_scan()).
+#include "tables/paper_tables.hpp"
 
-#include "bench/common.hpp"
-#include "svm/baseline/baseline.hpp"
-#include "svm/segmented.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-
-struct PaperRow {
-  std::size_t n;
-  std::uint64_t vec;
-  std::uint64_t base;
-};
-constexpr PaperRow kPaper[] = {
-    {100, 331, 1124},           {1000, 2639, 11024},     {10000, 25693, 110024},
-    {100000, 256289, 1100024},  {1000000, 2562539, 11000024},
-};
-
-}  // namespace
-
-int main() {
-  sim::print_section(std::cout,
-                     "Table 4: seg_plus_scan() vs sequential baseline — dynamic "
-                     "instructions (VLEN=1024, LMUL=1)");
-  sim::Table table({"N", "seg_plus_scan()", "seg_baseline()", "speedup",
-                    "paper seg", "paper baseline", "paper speedup"});
-  for (const auto& row : kPaper) {
-    auto data = bench::random_u32(row.n, /*seed=*/17);
-    const auto flags = bench::random_head_flags(row.n, /*avg_len=*/100, /*seed=*/18);
-
-    auto vec_out = data;
-    const std::uint64_t vec = bench::count_instructions(1024, [&] {
-      svm::seg_plus_scan<std::uint32_t>(std::span<std::uint32_t>(vec_out),
-                                        std::span<const std::uint32_t>(flags));
-    });
-
-    auto base_out = data;
-    const std::uint64_t base = bench::count_instructions(1024, [&] {
-      svm::baseline::seg_plus_scan<std::uint32_t>(std::span<std::uint32_t>(base_out),
-                                                  std::span<const std::uint32_t>(flags));
-    });
-
-    if (vec_out != base_out) {
-      std::cerr << "FATAL: seg_plus_scan outputs disagree at N=" << row.n << '\n';
-      return 1;
-    }
-
-    table.add_row({std::to_string(row.n), sim::format_count(vec),
-                   sim::format_count(base),
-                   sim::format_ratio(static_cast<double>(base) / static_cast<double>(vec)),
-                   sim::format_count(row.vec), sim::format_count(row.base),
-                   sim::format_ratio(static_cast<double>(row.base) /
-                                     static_cast<double>(row.vec))});
-  }
-  table.print(std::cout);
-  std::cout << "\nShape check: segmented scan's speedup exceeds unsegmented "
-               "scan's because its sequential baseline is heavier per element "
-               "(11 vs 6 instructions) — the paper's 4.29x vs 2.29x ordering.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "table4");
 }

@@ -1,104 +1,8 @@
-// Reproduces Tables 5 and 6: segmented plus-scan dynamic instruction counts
-// across LMUL in {1, 2, 4, 8} at VLEN = 1024, and the efficiency ratio
-// (speedup over LMUL=1) / LMUL.
-//
-// The paper's Table 5 LMUL=2 column exactly repeats Table 4's *baseline*
-// column (1124, 11024, ...), which is almost certainly a transcription
-// error; the measured LMUL=2 counts here fall between LMUL=1 and LMUL=4 as
-// the analysis in section 6.3 predicts.  The LMUL=8 anomaly — slower than
-// LMUL=1 at small N because of register spilling, faster at large N — is
-// produced by the register-file pressure model, not hard-coded.
-#include <array>
-#include <iostream>
+// Reproduces Tables 5 and 6: segmented plus-scan across LMUL and the
+// efficiency ratio.  Thin formatter over the table library
+// (tables::table5_lmul_sweep(); Table 6 is derived at render time).
+#include "tables/paper_tables.hpp"
 
-#include "bench/common.hpp"
-#include "svm/segmented.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-
-constexpr std::array<unsigned, 4> kLmuls{1, 2, 4, 8};
-
-struct PaperRow {
-  std::size_t n;
-  std::array<std::uint64_t, 4> counts;  // LMUL 1, 2, 4, 8
-};
-constexpr PaperRow kPaper[] = {
-    {100, {331, 1124, 145, 2090}},
-    {1000, {2639, 11024, 887, 2668}},
-    {10000, {25693, 110024, 8377, 9284}},
-    {100000, {256289, 1100024, 82907, 74650}},
-    {1000000, {2562539, 11000024, 828205, 728586}},
-};
-
-template <unsigned LMUL>
-std::uint64_t run(std::span<std::uint32_t> data, std::span<const std::uint32_t> flags) {
-  return bench::count_instructions(1024, [&] {
-    svm::seg_plus_scan<std::uint32_t, LMUL>(data, flags);
-  });
-}
-
-}  // namespace
-
-int main() {
-  sim::print_section(std::cout,
-                     "Table 5: seg_plus_scan() dynamic instructions across LMUL "
-                     "(VLEN=1024)");
-  sim::Table t5({"N", "LMUL=1", "LMUL=2", "LMUL=4", "LMUL=8",
-                 "paper(1)", "paper(2)*", "paper(4)", "paper(8)"});
-  std::array<std::array<std::uint64_t, 4>, std::size(kPaper)> measured{};
-
-  std::size_t r = 0;
-  for (const auto& row : kPaper) {
-    const auto flags = bench::random_head_flags(row.n, /*avg_len=*/100, /*seed=*/18);
-    auto reference = bench::random_u32(row.n, /*seed=*/17);
-
-    std::array<std::uint64_t, 4> cells{};
-    std::array<std::vector<std::uint32_t>, 4> outs;
-    for (std::size_t li = 0; li < kLmuls.size(); ++li) {
-      outs[li] = bench::random_u32(row.n, /*seed=*/17);
-      std::span<std::uint32_t> d(outs[li]);
-      std::span<const std::uint32_t> f(flags);
-      switch (kLmuls[li]) {
-        case 1: cells[li] = run<1>(d, f); break;
-        case 2: cells[li] = run<2>(d, f); break;
-        case 4: cells[li] = run<4>(d, f); break;
-        default: cells[li] = run<8>(d, f); break;
-      }
-      if (outs[li] != outs[0]) {
-        std::cerr << "FATAL: LMUL=" << kLmuls[li] << " result differs at N=" << row.n << '\n';
-        return 1;
-      }
-    }
-    measured[r++] = cells;
-
-    t5.add_row({std::to_string(row.n), sim::format_count(cells[0]),
-                sim::format_count(cells[1]), sim::format_count(cells[2]),
-                sim::format_count(cells[3]), sim::format_count(row.counts[0]),
-                sim::format_count(row.counts[1]), sim::format_count(row.counts[2]),
-                sim::format_count(row.counts[3])});
-    static_cast<void>(reference);
-  }
-  t5.print(std::cout);
-  std::cout << "* the paper's LMUL=2 column duplicates its Table 4 baseline "
-               "column — a transcription error (see EXPERIMENTS.md).\n";
-
-  sim::print_section(std::cout,
-                     "Table 6: (speedup over LMUL=1) / LMUL efficiency ratio");
-  sim::Table t6({"N", "LMUL=2", "LMUL=4", "LMUL=8"});
-  for (std::size_t i = 0; i < std::size(kPaper); ++i) {
-    const auto& cells = measured[i];
-    const auto ratio = [&](std::size_t li) {
-      const double speedup = static_cast<double>(cells[0]) / static_cast<double>(cells[li]);
-      return sim::format_ratio(speedup / kLmuls[li], 4);
-    };
-    t6.add_row({std::to_string(kPaper[i].n), ratio(1), ratio(2), ratio(3)});
-  }
-  t6.print(std::cout);
-  std::cout << "\nShape checks: LMUL=8 is worse than LMUL=1 at N=100 (spilling; "
-               "paper: 2090 vs 331) and better at N=10^6 (paper: 728,586 vs "
-               "2,562,539); the efficiency ratio falls as LMUL grows "
-               "(paper Table 6).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "table5");
 }

@@ -1,82 +1,8 @@
-// Reproduces Table 7 and Figure 5: dynamic instruction counts of segmented
-// plus-scan and p-add across VLEN in {128, 256, 512, 1024} at N = 10^4,
-// LMUL = 1, and the speedup-vs-VLEN=128 scalability series.
-//
-// Figure 5's point: p-add scales almost ideally with VLEN (speedup ~
-// VLEN/128) while scan-class kernels scale sublinearly because the
-// in-register scan needs lg(vl) extra steps per block.
-#include <array>
-#include <iostream>
+// Reproduces Table 7 and Figure 5: seg_plus_scan and p_add across VLEN.
+// Thin formatter over the table library (tables::table7_vlen_sweep();
+// Figure 5 is derived at render time).
+#include "tables/paper_tables.hpp"
 
-#include "bench/common.hpp"
-#include "svm/elementwise.hpp"
-#include "svm/segmented.hpp"
-
-namespace {
-
-using namespace rvvsvm;
-
-constexpr std::array<unsigned, 4> kVlens{128, 256, 512, 1024};
-constexpr std::size_t kN = 10000;
-
-struct PaperRow {
-  unsigned vlen;
-  std::uint64_t seg_scan;
-  std::uint64_t p_add;
-};
-constexpr PaperRow kPaper[] = {
-    {128, 115039, 22534},
-    {256, 72539, 11284},
-    {512, 43789, 5659},
-    {1024, 25693, 2851},
-};
-
-}  // namespace
-
-int main() {
-  sim::print_section(std::cout,
-                     "Table 7: instruction count over VLEN for seg_plus_scan and "
-                     "p_add (N=10^4, LMUL=1)");
-  sim::Table t7({"vlen", "seg_plus_scan", "p_add", "paper seg", "paper p_add"});
-
-  std::array<std::uint64_t, 4> seg{};
-  std::array<std::uint64_t, 4> padd{};
-  const auto flags = bench::random_head_flags(kN, /*avg_len=*/100, /*seed=*/18);
-
-  for (std::size_t i = 0; i < kVlens.size(); ++i) {
-    auto data = bench::random_u32(kN, /*seed=*/17);
-    seg[i] = bench::count_instructions(kVlens[i], [&] {
-      svm::seg_plus_scan<std::uint32_t>(std::span<std::uint32_t>(data),
-                                        std::span<const std::uint32_t>(flags));
-    });
-    auto data2 = bench::random_u32(kN, /*seed=*/17);
-    padd[i] = bench::count_instructions(kVlens[i], [&] {
-      svm::p_add<std::uint32_t>(std::span<std::uint32_t>(data2), 123u);
-    });
-    t7.add_row({std::to_string(kVlens[i]), sim::format_count(seg[i]),
-                sim::format_count(padd[i]), sim::format_count(kPaper[i].seg_scan),
-                sim::format_count(kPaper[i].p_add)});
-  }
-  t7.print(std::cout);
-
-  sim::print_section(std::cout,
-                     "Figure 5: speedup vs VLEN=128 (ideal = vlen/128)");
-  sim::Table fig({"vlen", "ideal", "p_add (ours)", "p_add (paper)",
-                  "seg_scan (ours)", "seg_scan (paper)"});
-  for (std::size_t i = 0; i < kVlens.size(); ++i) {
-    const double ideal = static_cast<double>(kVlens[i]) / 128.0;
-    const double ours_padd = static_cast<double>(padd[0]) / static_cast<double>(padd[i]);
-    const double paper_padd = static_cast<double>(kPaper[0].p_add) /
-                              static_cast<double>(kPaper[i].p_add);
-    const double ours_seg = static_cast<double>(seg[0]) / static_cast<double>(seg[i]);
-    const double paper_seg = static_cast<double>(kPaper[0].seg_scan) /
-                             static_cast<double>(kPaper[i].seg_scan);
-    fig.add_row({std::to_string(kVlens[i]), sim::format_ratio(ideal),
-                 sim::format_ratio(ours_padd), sim::format_ratio(paper_padd),
-                 sim::format_ratio(ours_seg), sim::format_ratio(paper_seg)});
-  }
-  fig.print(std::cout);
-  std::cout << "\nShape check: p-add tracks the ideal line; segmented scan "
-               "saturates well below it (paper: 4.48x at VLEN=1024 vs ideal 8x).\n";
-  return 0;
+int main(int argc, char** argv) {
+  return rvvsvm::tables::table_main(argc, argv, "table7");
 }

@@ -1,0 +1,294 @@
+#include "tables/json.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace rvvsvm::tables {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Recursive-descent parser over the subset to_json emits.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  TableData parse_table() {
+    TableData table;
+    bool saw_schema = false;
+    expect('{');
+    for (bool first = true;; first = false) {
+      skip_ws();
+      if (peek() == '}') break;
+      if (!first) expect(',');
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "schema") {
+        if (parse_uint() != static_cast<std::uint64_t>(kTableSchemaVersion)) {
+          fail("unsupported table schema version");
+        }
+        saw_schema = true;
+      } else if (key == "id") {
+        table.id = parse_string();
+      } else if (key == "title") {
+        table.title = parse_string();
+      } else if (key == "rows") {
+        parse_rows(table);
+      } else {
+        fail("unknown table key '" + key + "'");
+      }
+    }
+    expect('}');
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after table object");
+    if (!saw_schema) fail("missing schema field");
+    return table;
+  }
+
+ private:
+  void parse_rows(TableData& table) {
+    expect('[');
+    for (bool first = true;; first = false) {
+      skip_ws();
+      if (peek() == ']') break;
+      if (!first) expect(',');
+      table.rows.push_back(parse_row());
+    }
+    expect(']');
+  }
+
+  Row parse_row() {
+    Row row;
+    expect('{');
+    for (bool first = true;; first = false) {
+      skip_ws();
+      if (peek() == '}') break;
+      if (!first) expect(',');
+      const std::string key = parse_string();
+      expect(':');
+      if (key == "workload") {
+        row.workload = parse_string();
+      } else if (key == "n") {
+        row.n = parse_uint();
+      } else if (key == "vlen") {
+        row.vlen = static_cast<unsigned>(parse_uint());
+      } else if (key == "lmul") {
+        row.lmul = static_cast<unsigned>(parse_uint());
+      } else if (key == "harts") {
+        row.harts = static_cast<unsigned>(parse_uint());
+      } else if (key == "counts") {
+        parse_counts(row);
+      } else {
+        fail("unknown row key '" + key + "'");
+      }
+    }
+    expect('}');
+    return row;
+  }
+
+  void parse_counts(Row& row) {
+    expect('{');
+    for (bool first = true;; first = false) {
+      skip_ws();
+      if (peek() == '}') break;
+      if (!first) expect(',');
+      std::string key = parse_string();
+      expect(':');
+      const std::uint64_t value = parse_uint();
+      row.counts.emplace_back(std::move(key), value);
+    }
+    expect('}');
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape digit");
+            }
+            if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
+            out.push_back(static_cast<char>(code));
+            break;
+          }
+          default: fail(std::string("unsupported escape \\") + esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  std::uint64_t parse_uint() {
+    skip_ws();
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("expected unsigned integer");
+    }
+    std::uint64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      const std::uint64_t digit = static_cast<std::uint64_t>(text_[pos_++] - '0');
+      if (value > (UINT64_MAX - digit) / 10) fail("integer overflow");
+      value = value * 10 + digit;
+    }
+    return value;
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') { ++line; col = 1; } else { ++col; }
+    }
+    throw std::runtime_error("table JSON parse error at line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(col) + ": " + what);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string row_key(const Row& row) {
+  return row.workload + " n=" + std::to_string(row.n) + " vlen=" +
+         std::to_string(row.vlen) + " lmul=" + std::to_string(row.lmul) +
+         (row.harts != 0 ? " harts=" + std::to_string(row.harts) : "");
+}
+
+}  // namespace
+
+std::string to_json(const TableData& table) {
+  std::string out;
+  out += "{\n  \"schema\": " + std::to_string(kTableSchemaVersion) + ",\n  \"id\": ";
+  append_escaped(out, table.id);
+  out += ",\n  \"title\": ";
+  append_escaped(out, table.title);
+  out += ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    const Row& row = table.rows[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"workload\": ";
+    append_escaped(out, row.workload);
+    out += ", \"n\": " + std::to_string(row.n);
+    out += ", \"vlen\": " + std::to_string(row.vlen);
+    out += ", \"lmul\": " + std::to_string(row.lmul);
+    out += ", \"harts\": " + std::to_string(row.harts);
+    out += ", \"counts\": {";
+    for (std::size_t c = 0; c < row.counts.size(); ++c) {
+      if (c != 0) out += ", ";
+      append_escaped(out, row.counts[c].first);
+      out += ": " + std::to_string(row.counts[c].second);
+    }
+    out += "}}";
+  }
+  out += table.rows.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+TableData from_json(std::string_view text) { return Parser(text).parse_table(); }
+
+std::string diff_tables(const TableData& golden, const TableData& actual) {
+  std::ostringstream out;
+  if (golden.id != actual.id) {
+    out << "id: golden '" << golden.id << "' vs actual '" << actual.id << "'\n";
+  }
+  if (golden.title != actual.title) {
+    out << "title: golden '" << golden.title << "' vs actual '" << actual.title
+        << "'\n";
+  }
+  const std::size_t common = std::min(golden.rows.size(), actual.rows.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const Row& g = golden.rows[i];
+    const Row& a = actual.rows[i];
+    if (row_key(g) != row_key(a)) {
+      out << "row " << i << ": golden [" << row_key(g) << "] vs actual ["
+          << row_key(a) << "]\n";
+      continue;
+    }
+    if (g.counts == a.counts) continue;
+    const std::size_t ncounts = std::min(g.counts.size(), a.counts.size());
+    for (std::size_t c = 0; c < ncounts; ++c) {
+      if (g.counts[c] != a.counts[c]) {
+        out << "row [" << row_key(g) << "] " << g.counts[c].first
+            << ": golden " << g.counts[c].second << " vs actual "
+            << a.counts[c].first << " = " << a.counts[c].second << "\n";
+      }
+    }
+    for (std::size_t c = ncounts; c < g.counts.size(); ++c) {
+      out << "row [" << row_key(g) << "]: count " << g.counts[c].first
+          << " missing from actual\n";
+    }
+    for (std::size_t c = ncounts; c < a.counts.size(); ++c) {
+      out << "row [" << row_key(a) << "]: unexpected count "
+          << a.counts[c].first << " in actual\n";
+    }
+  }
+  for (std::size_t i = common; i < golden.rows.size(); ++i) {
+    out << "row [" << row_key(golden.rows[i]) << "] missing from actual\n";
+  }
+  for (std::size_t i = common; i < actual.rows.size(); ++i) {
+    out << "row [" << row_key(actual.rows[i]) << "] not present in golden\n";
+  }
+  return out.str();
+}
+
+}  // namespace rvvsvm::tables

@@ -1,0 +1,48 @@
+// Canonical JSON serialization for paper tables.
+//
+// The golden files under tests/golden/, the --json output of every table
+// binary and the regen tool's diff reports all use this one format:
+//
+//   {
+//     "schema": 1,
+//     "id": "table1",
+//     "title": "Table 1: ...",
+//     "rows": [
+//       {"workload": "...", "n": 100, "vlen": 1024, "lmul": 1, "harts": 0,
+//        "counts": {"split_radix_sort": 9664, "qsort": 9223}},
+//       ...
+//     ]
+//   }
+//
+// The writer emits one row per line with fixed key order so goldens diff
+// cleanly; the reader parses exactly this subset (objects, arrays, strings,
+// unsigned integers) — no external JSON dependency.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "tables/rows.hpp"
+
+namespace rvvsvm::tables {
+
+/// Schema version stamped into every serialized table; bump when a field
+/// changes meaning or moves.
+inline constexpr int kTableSchemaVersion = 1;
+
+/// Serializes one table to canonical JSON text (trailing newline included).
+[[nodiscard]] std::string to_json(const TableData& table);
+
+/// Parses text produced by to_json (or hand-maintained goldens in the same
+/// subset).  Throws std::runtime_error with a line/column message on
+/// malformed input or a schema mismatch.
+[[nodiscard]] TableData from_json(std::string_view text);
+
+/// Human-readable difference between a golden table and a recomputed one;
+/// empty when they are identical.  Lists every divergent cell with both
+/// values, plus added/removed rows — the message the golden tests and
+/// `regen_tables --check` print.
+[[nodiscard]] std::string diff_tables(const TableData& golden,
+                                      const TableData& actual);
+
+}  // namespace rvvsvm::tables

@@ -1,0 +1,64 @@
+// Measurement brackets shared by every paper-table computation: run a
+// kernel on a fresh machine between two counter snapshots and report the
+// dynamic-instruction delta.  Moved here from bench/common.hpp so the
+// table library, the golden tests and the bench binaries share one
+// implementation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "rvv/machine.hpp"
+#include "sim/inst_counter.hpp"
+
+namespace rvvsvm::tables {
+
+/// Runs `kernel` inside a scope on `machine` and returns the total dynamic
+/// instructions it retired.
+inline std::uint64_t count_instructions(rvv::Machine& machine,
+                                        const std::function<void()>& kernel) {
+  rvv::MachineScope scope(machine);
+  const auto before = machine.counter().snapshot();
+  kernel();
+  return (machine.counter().snapshot() - before).total();
+}
+
+/// One fresh machine per measurement so register-file state never leaks
+/// between cells.
+inline std::uint64_t count_instructions(unsigned vlen_bits,
+                                        const std::function<void()>& kernel,
+                                        bool model_register_pressure = true) {
+  rvv::Machine machine(rvv::Machine::Config{
+      .vlen_bits = vlen_bits, .model_register_pressure = model_register_pressure});
+  return count_instructions(machine, kernel);
+}
+
+/// As above but also returns the categorized snapshot delta (the spill
+/// ablation needs the spill/reload classes, not just the total).
+inline sim::CountSnapshot count_snapshot(unsigned vlen_bits,
+                                         const std::function<void()>& kernel,
+                                         bool model_register_pressure = true) {
+  rvv::Machine machine(rvv::Machine::Config{
+      .vlen_bits = vlen_bits, .model_register_pressure = model_register_pressure});
+  rvv::MachineScope scope(machine);
+  const auto before = machine.counter().snapshot();
+  kernel();
+  return machine.counter().snapshot() - before;
+}
+
+/// Invokes `fn` with the LMUL as a compile-time constant, dispatching on
+/// the runtime value — the bridge between grid sweeps and the LMUL-templated
+/// kernels.
+template <class Fn>
+decltype(auto) with_lmul(unsigned lmul, Fn&& fn) {
+  switch (lmul) {
+    case 1: return fn(std::integral_constant<unsigned, 1>{});
+    case 2: return fn(std::integral_constant<unsigned, 2>{});
+    case 4: return fn(std::integral_constant<unsigned, 4>{});
+    case 8: return fn(std::integral_constant<unsigned, 8>{});
+    default:
+      throw std::invalid_argument("with_lmul: LMUL must be 1, 2, 4 or 8");
+  }
+}
+
+}  // namespace rvvsvm::tables

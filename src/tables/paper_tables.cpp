@@ -1,0 +1,665 @@
+#include "tables/paper_tables.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+
+#include "apps/bignum.hpp"
+#include "apps/radix_sort.hpp"
+#include "par/par.hpp"
+#include "rvv/rvv.hpp"
+#include "sim/scalar_model.hpp"
+#include "svm/baseline/baseline.hpp"
+#include "svm/baseline/qsort.hpp"
+#include "svm/elementwise.hpp"
+#include "svm/ops.hpp"
+#include "svm/scan.hpp"
+#include "svm/segmented.hpp"
+#include "tables/json.hpp"
+#include "tables/measure.hpp"
+#include "tables/render.hpp"
+#include "tables/workloads.hpp"
+
+namespace rvvsvm::tables {
+
+namespace {
+
+using T = std::uint32_t;
+
+constexpr std::array<unsigned, 4> kLmuls{1, 2, 4, 8};
+constexpr std::array<unsigned, 4> kVlens{128, 256, 512, 1024};
+
+[[noreturn]] void result_mismatch(const std::string& table,
+                                  const std::string& what, std::uint64_t n) {
+  throw std::runtime_error(table + ": " + what + " disagree at N=" +
+                           std::to_string(n) +
+                           " — kernel result bug, not a count change");
+}
+
+Row make_row(std::string workload, std::uint64_t n, unsigned vlen, unsigned lmul,
+             std::vector<std::pair<std::string, std::uint64_t>> counts,
+             unsigned harts = 0) {
+  return Row{std::move(workload), n, vlen, lmul, harts, std::move(counts)};
+}
+
+}  // namespace
+
+TableData table1_radix_sort() {
+  TableData t{"table1",
+              "Table 1: split_radix_sort() vs qsort() — dynamic instructions "
+              "(VLEN=1024, LMUL=1)",
+              {}};
+  for (const std::size_t n : workloads::kSizes) {
+    const auto keys = workloads::sort_keys(n);
+
+    auto sorted = keys;
+    const std::uint64_t radix = count_instructions(1024, [&] {
+      apps::split_radix_sort<T>(std::span<T>(sorted));
+    });
+
+    auto qsorted = keys;
+    const std::uint64_t qsort = count_instructions(1024, [&] {
+      svm::baseline::qsort_u32(std::span<T>(qsorted));
+    });
+
+    if (sorted != qsorted) result_mismatch(t.id, "sort outputs", n);
+    t.rows.push_back(make_row("split_radix_sort_vs_qsort", n, 1024, 1,
+                              {{"split_radix_sort", radix}, {"qsort", qsort}}));
+  }
+  return t;
+}
+
+TableData table2_p_add() {
+  TableData t{"table2",
+              "Table 2: p_add() vs sequential baseline — dynamic instructions "
+              "(VLEN=1024, LMUL=1)",
+              {}};
+  for (const std::size_t n : workloads::kSizes) {
+    const auto data = workloads::padd_input(n);
+
+    auto vec_out = data;
+    const std::uint64_t vec = count_instructions(1024, [&] {
+      svm::p_add<T>(std::span<T>(vec_out), 123u);
+    });
+
+    auto base_out = data;
+    const std::uint64_t base = count_instructions(1024, [&] {
+      svm::baseline::p_add<T>(std::span<T>(base_out), 123u);
+    });
+
+    if (vec_out != base_out) result_mismatch(t.id, "p_add outputs", n);
+    t.rows.push_back(make_row("p_add_vs_baseline", n, 1024, 1,
+                              {{"p_add", vec}, {"baseline", base}}));
+  }
+  return t;
+}
+
+TableData table3_plus_scan() {
+  TableData t{"table3",
+              "Table 3: plus_scan() vs sequential baseline — dynamic "
+              "instructions (VLEN=1024, LMUL=1)",
+              {}};
+  for (const std::size_t n : workloads::kSizes) {
+    const auto data = workloads::scan_input(n);
+
+    auto vec_out = data;
+    const std::uint64_t vec = count_instructions(1024, [&] {
+      svm::plus_scan<T>(std::span<T>(vec_out));
+    });
+
+    auto base_out = data;
+    const std::uint64_t base = count_instructions(1024, [&] {
+      svm::baseline::plus_scan<T>(std::span<T>(base_out));
+    });
+
+    if (vec_out != base_out) result_mismatch(t.id, "plus_scan outputs", n);
+    t.rows.push_back(make_row("plus_scan_vs_baseline", n, 1024, 1,
+                              {{"plus_scan", vec}, {"baseline", base}}));
+  }
+  return t;
+}
+
+TableData table4_seg_plus_scan() {
+  TableData t{"table4",
+              "Table 4: seg_plus_scan() vs sequential baseline — dynamic "
+              "instructions (VLEN=1024, LMUL=1)",
+              {}};
+  for (const std::size_t n : workloads::kSizes) {
+    const auto data = workloads::seg_input(n);
+    const auto flags = workloads::seg_head_flags(n);
+
+    auto vec_out = data;
+    const std::uint64_t vec = count_instructions(1024, [&] {
+      svm::seg_plus_scan<T>(std::span<T>(vec_out), std::span<const T>(flags));
+    });
+
+    auto base_out = data;
+    const std::uint64_t base = count_instructions(1024, [&] {
+      svm::baseline::seg_plus_scan<T>(std::span<T>(base_out),
+                                      std::span<const T>(flags));
+    });
+
+    if (vec_out != base_out) result_mismatch(t.id, "seg_plus_scan outputs", n);
+    t.rows.push_back(make_row("seg_plus_scan_vs_baseline", n, 1024, 1,
+                              {{"seg_plus_scan", vec}, {"baseline", base}}));
+  }
+  return t;
+}
+
+TableData table5_lmul_sweep() {
+  TableData t{"table5",
+              "Table 5: seg_plus_scan() dynamic instructions across LMUL "
+              "(VLEN=1024)",
+              {}};
+  for (const std::size_t n : workloads::kSizes) {
+    const auto flags = workloads::seg_head_flags(n);
+    std::vector<T> reference;
+    for (const unsigned lmul : kLmuls) {
+      auto data = workloads::seg_input(n);
+      const std::uint64_t cell = with_lmul(lmul, [&](auto lc) {
+        return count_instructions(1024, [&] {
+          svm::seg_plus_scan<T, decltype(lc)::value>(std::span<T>(data),
+                                                     std::span<const T>(flags));
+        });
+      });
+      if (reference.empty()) {
+        reference = data;
+      } else if (data != reference) {
+        result_mismatch(t.id, "LMUL=" + std::to_string(lmul) + " results", n);
+      }
+      t.rows.push_back(
+          make_row("seg_plus_scan", n, 1024, lmul, {{"seg_plus_scan", cell}}));
+    }
+  }
+  return t;
+}
+
+TableData table7_vlen_sweep() {
+  constexpr std::size_t kN = 10000;
+  TableData t{"table7",
+              "Table 7: instruction count over VLEN for seg_plus_scan and "
+              "p_add (N=10^4, LMUL=1)",
+              {}};
+  const auto flags = workloads::seg_head_flags(kN);
+  for (const unsigned vlen : kVlens) {
+    auto data = workloads::seg_input(kN);
+    const std::uint64_t seg = count_instructions(vlen, [&] {
+      svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
+    });
+    auto data2 = workloads::seg_input(kN);
+    const std::uint64_t padd = count_instructions(vlen, [&] {
+      svm::p_add<T>(std::span<T>(data2), 123u);
+    });
+    t.rows.push_back(make_row("vlen_scaling", kN, vlen, 1,
+                              {{"seg_plus_scan", seg}, {"p_add", padd}}));
+  }
+  return t;
+}
+
+TableData headline_summary() {
+  constexpr std::size_t kN = 1000000;
+  TableData t{"headline",
+              "Headline: scan & segmented scan speedup over sequential "
+              "(N=10^6, VLEN=1024)",
+              {}};
+  const auto input = workloads::headline_input(kN);
+  const auto flags = workloads::headline_flags(kN);
+
+  auto base_scan_data = input;
+  const std::uint64_t base_scan = count_instructions(1024, [&] {
+    svm::baseline::plus_scan<T>(std::span<T>(base_scan_data));
+  });
+  auto base_seg_data = input;
+  const std::uint64_t base_seg = count_instructions(1024, [&] {
+    svm::baseline::seg_plus_scan<T>(std::span<T>(base_seg_data),
+                                    std::span<const T>(flags));
+  });
+
+  for (const unsigned lmul : kLmuls) {
+    auto data = input;
+    const std::uint64_t scan = with_lmul(lmul, [&](auto lc) {
+      return count_instructions(1024, [&] {
+        svm::plus_scan<T, decltype(lc)::value>(std::span<T>(data));
+      });
+    });
+    if (data != base_scan_data) {
+      result_mismatch(t.id, "plus_scan LMUL=" + std::to_string(lmul), kN);
+    }
+    t.rows.push_back(make_row("plus_scan", kN, 1024, lmul,
+                              {{"instructions", scan}, {"baseline", base_scan}}));
+  }
+  for (const unsigned lmul : kLmuls) {
+    auto data = input;
+    const std::uint64_t seg = with_lmul(lmul, [&](auto lc) {
+      return count_instructions(1024, [&] {
+        svm::seg_plus_scan<T, decltype(lc)::value>(std::span<T>(data),
+                                                   std::span<const T>(flags));
+      });
+    });
+    if (data != base_seg_data) {
+      result_mismatch(t.id, "seg_plus_scan LMUL=" + std::to_string(lmul), kN);
+    }
+    t.rows.push_back(make_row("seg_plus_scan", kN, 1024, lmul,
+                              {{"instructions", seg}, {"baseline", base_seg}}));
+  }
+  return t;
+}
+
+TableData ablation_spill_model() {
+  TableData t{"ablation_spill",
+              "Ablation: seg_plus_scan with and without the register-file "
+              "pressure model (VLEN=1024)",
+              {}};
+  for (const std::size_t n :
+       {std::size_t{100}, std::size_t{10000}, std::size_t{1000000}}) {
+    const auto flags = workloads::seg_head_flags(n);
+    for (const unsigned lmul : kLmuls) {
+      const auto run = [&](bool pressure) {
+        auto data = workloads::seg_input(n);
+        return count_snapshot(1024, [&] {
+          with_lmul(lmul, [&](auto lc) {
+            svm::seg_plus_scan<T, decltype(lc)::value>(std::span<T>(data),
+                                                       std::span<const T>(flags));
+          });
+        }, pressure);
+      };
+      const auto with_model = run(true);
+      const auto without = run(false);
+      t.rows.push_back(make_row(
+          "seg_plus_scan", n, 1024, lmul,
+          {{"with_model", with_model.total()},
+           {"spill_reload", with_model.spill_total()},
+           {"model_off", without.total()}}));
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// Paper-style carry schedule (Listing 6): carry re-read from memory after
+/// the block store.
+std::uint64_t scan_carry_via_memory(std::vector<T> data) {
+  return count_instructions(1024, [&] {
+    rvv::Machine& m = rvv::Machine::active();
+    m.scalar().charge(sim::kKernelPrologue);
+    T carry = 0;
+    std::size_t n = data.size(), pos = 0, vl = 0;
+    for (; n > 0; n -= vl, pos += vl) {
+      vl = m.vsetvl<T>(n);
+      auto x = rvv::vle<T>(std::span<const T>(data).subspan(pos), vl);
+      for (std::size_t offset = 1; offset < vl; offset <<= 1) {
+        auto y = rvv::vmv_v_x<T>(0u, vl);
+        y = rvv::vslideup(y, x, offset, vl);
+        x = rvv::vadd(x, y, vl);
+        m.scalar().charge(sim::kInnerScanStep);
+      }
+      x = rvv::vadd(x, carry, vl);
+      rvv::vse(std::span<T>(data).subspan(pos), x, vl);
+      carry = data[pos + vl - 1];
+      m.scalar().charge({.alu = 1, .load = 1});
+      m.scalar().charge(sim::stripmine_iteration(1));
+    }
+  });
+}
+
+/// Register-carry variant: vslidedown + vmv.x.s, no memory round-trip.
+std::uint64_t scan_carry_via_register(std::vector<T> data) {
+  return count_instructions(1024, [&] {
+    rvv::Machine& m = rvv::Machine::active();
+    m.scalar().charge(sim::kKernelPrologue);
+    T carry = 0;
+    std::size_t n = data.size(), pos = 0, vl = 0;
+    for (; n > 0; n -= vl, pos += vl) {
+      vl = m.vsetvl<T>(n);
+      auto x = rvv::vle<T>(std::span<const T>(data).subspan(pos), vl);
+      for (std::size_t offset = 1; offset < vl; offset <<= 1) {
+        auto y = rvv::vmv_v_x<T>(0u, vl);
+        y = rvv::vslideup(y, x, offset, vl);
+        x = rvv::vadd(x, y, vl);
+        m.scalar().charge(sim::kInnerScanStep);
+      }
+      x = rvv::vadd(x, carry, vl);
+      carry = rvv::vmv_x_s(rvv::vslidedown(x, vl - 1, vl));
+      rvv::vse(std::span<T>(data).subspan(pos), x, vl);
+      m.scalar().charge(sim::stripmine_iteration(1));
+    }
+  });
+}
+
+}  // namespace
+
+TableData ablation_carry() {
+  TableData t{"ablation_carry",
+              "Ablation: plus-scan carry via memory (paper Listing 6) vs via "
+              "register extraction (VLEN=1024, LMUL=1)",
+              {}};
+  for (const std::size_t n : workloads::kSizes) {
+    const auto input = workloads::scan_input(n);
+    const std::uint64_t mem = scan_carry_via_memory(input);
+    const std::uint64_t reg = scan_carry_via_register(input);
+    t.rows.push_back(make_row("plus_scan_carry", n, 1024, 1,
+                              {{"carry_via_memory", mem},
+                               {"carry_via_register", reg}}));
+  }
+  return t;
+}
+
+TableData ablation_enumerate() {
+  TableData t{"ablation_enumerate",
+              "Ablation: enumerate via viota/vcpop (paper section 4.4) vs "
+              "generic exclusive scan (VLEN=1024, LMUL=1)",
+              {}};
+  for (const std::size_t n : workloads::kSizes) {
+    const auto flags = workloads::enumerate_flags(n);
+
+    std::vector<T> dst(flags.size());
+    const std::uint64_t fast = count_instructions(1024, [&] {
+      static_cast<void>(svm::enumerate<T>(std::span<const T>(flags),
+                                          std::span<T>(dst), true));
+    });
+
+    auto generic = flags;
+    const std::uint64_t slow = count_instructions(1024, [&] {
+      svm::plus_scan_exclusive<T>(std::span<T>(generic));
+    });
+
+    t.rows.push_back(make_row("enumerate", n, 1024, 1,
+                              {{"viota_vcpop", fast}, {"generic_scan", slow}}));
+  }
+  return t;
+}
+
+TableData extension_bignum() {
+  TableData t{"bignum",
+              "Extension: bignum add — carry-lookahead scan vs ripple carry "
+              "(VLEN=1024)",
+              {}};
+  for (const std::size_t n : workloads::kSizes) {
+    const auto a = workloads::bignum_a(n);
+    const auto b = workloads::bignum_b(n);
+    std::vector<T> out_ref(n), out1(n), out4(n);
+
+    T carry_ref = 0;
+    const std::uint64_t ripple = count_instructions(1024, [&] {
+      carry_ref = apps::bignum_add_baseline(std::span<const T>(a),
+                                            std::span<const T>(b),
+                                            std::span<T>(out_ref));
+    });
+
+    T c1 = 0, c4 = 0;
+    const std::uint64_t s1 = count_instructions(1024, [&] {
+      c1 = apps::bignum_add<1>(std::span<const T>(a), std::span<const T>(b),
+                               std::span<T>(out1));
+    });
+    const std::uint64_t s4 = count_instructions(1024, [&] {
+      c4 = apps::bignum_add<4>(std::span<const T>(a), std::span<const T>(b),
+                               std::span<T>(out4));
+    });
+    if (out1 != out_ref || out4 != out_ref || c1 != carry_ref ||
+        c4 != carry_ref) {
+      result_mismatch(t.id, "bignum results", n);
+    }
+    t.rows.push_back(make_row(
+        "bignum_add", n, 1024, 1,
+        {{"ripple", ripple}, {"scan_lmul1", s1}, {"scan_lmul4", s4}}));
+  }
+  return t;
+}
+
+TableData extension_seg_density() {
+  constexpr std::size_t kN = 100000;
+  TableData t{"seg_density",
+              "Extension: seg_plus_scan vs segment density (N=10^5, "
+              "VLEN=1024, LMUL=1)",
+              {}};
+  for (const std::size_t avg_len :
+       {std::size_t{2}, std::size_t{10}, std::size_t{100}, std::size_t{1000},
+        std::size_t{100000}}) {
+    const auto flags = workloads::density_flags(kN, avg_len);
+    std::uint64_t segments = 0;
+    for (const T f : flags) segments += f;
+
+    auto data = workloads::density_input(kN);
+    const std::uint64_t vec = count_instructions(1024, [&] {
+      svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
+    });
+    auto base_data = workloads::density_input(kN);
+    const std::uint64_t base = count_instructions(1024, [&] {
+      svm::baseline::seg_plus_scan<T>(std::span<T>(base_data),
+                                      std::span<const T>(flags));
+    });
+    if (data != base_data) result_mismatch(t.id, "seg_plus_scan outputs", kN);
+    t.rows.push_back(make_row("seg_plus_scan", kN, 1024, 1,
+                              {{"avg_segment_len", avg_len},
+                               {"segments", segments},
+                               {"seg_plus_scan", vec},
+                               {"baseline", base}}));
+  }
+  return t;
+}
+
+TableData extension_radix_same_algorithm() {
+  TableData t{"radix_same",
+              "Extension: split radix sort (RVV) vs scalar LSD radix sort "
+              "(VLEN=1024)",
+              {}};
+  for (const std::size_t n : workloads::kSizes) {
+    const auto keys = workloads::radix_ext_keys(n);
+
+    auto vec = keys;
+    const std::uint64_t vcount = count_instructions(1024, [&] {
+      apps::split_radix_sort<T>(std::span<T>(vec));
+    });
+    auto vec8 = keys;
+    const std::uint64_t vcount8 = count_instructions(1024, [&] {
+      apps::split_radix_sort<T, 8>(std::span<T>(vec8));
+    });
+    auto seq = keys;
+    const std::uint64_t scount = count_instructions(1024, [&] {
+      svm::baseline::radix_sort<T>(std::span<T>(seq));
+    });
+    if (vec != seq || vec8 != seq) result_mismatch(t.id, "sorters", n);
+    t.rows.push_back(make_row("split_radix_vs_scalar_radix", n, 1024, 1,
+                              {{"vector_lmul1", vcount},
+                               {"vector_lmul8", vcount8},
+                               {"scalar_radix", scount}}));
+  }
+  return t;
+}
+
+TableData grid_sweep() {
+  constexpr std::size_t kN = 10000;
+  TableData t{"grid",
+              "Grid: kernel dynamic instructions across VLEN × LMUL (N=10^4)",
+              {}};
+  // References computed once, host-side: every grid cell must still produce
+  // the right answer, not just a count.
+  const auto padd_in = workloads::padd_input(kN);
+  std::vector<T> padd_ref(kN);
+  for (std::size_t i = 0; i < kN; ++i) padd_ref[i] = padd_in[i] + 123u;
+  const auto scan_in = workloads::scan_input(kN);
+  std::vector<T> scan_ref(kN);
+  std::partial_sum(scan_in.begin(), scan_in.end(), scan_ref.begin());
+  const auto seg_in = workloads::seg_input(kN);
+  const auto seg_flags = workloads::seg_head_flags(kN);
+  std::vector<T> seg_ref(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    seg_ref[i] = (i == 0 || seg_flags[i]) ? seg_in[i] : seg_ref[i - 1] + seg_in[i];
+  }
+  const auto keys = workloads::sort_keys(kN);
+  auto sort_ref = keys;
+  std::sort(sort_ref.begin(), sort_ref.end());
+
+  for (const unsigned vlen : kVlens) {
+    for (const unsigned lmul : kLmuls) {
+      const auto measure = [&](const std::vector<T>& input,
+                               const std::vector<T>& expect, auto kernel) {
+        auto data = input;
+        const std::uint64_t count = with_lmul(lmul, [&](auto lc) {
+          return count_instructions(vlen, [&] { kernel(std::span<T>(data), lc); });
+        });
+        if (data != expect) {
+          result_mismatch(t.id,
+                          "vlen=" + std::to_string(vlen) + " lmul=" +
+                              std::to_string(lmul) + " results",
+                          kN);
+        }
+        return count;
+      };
+      const std::uint64_t padd = measure(padd_in, padd_ref, [](std::span<T> d, auto lc) {
+        svm::p_add<T, decltype(lc)::value>(d, 123u);
+      });
+      const std::uint64_t scan = measure(scan_in, scan_ref, [](std::span<T> d, auto lc) {
+        svm::plus_scan<T, decltype(lc)::value>(d);
+      });
+      const std::uint64_t seg =
+          measure(seg_in, seg_ref, [&seg_flags](std::span<T> d, auto lc) {
+            svm::seg_plus_scan<T, decltype(lc)::value>(
+                d, std::span<const T>(seg_flags));
+          });
+      const std::uint64_t sort = measure(keys, sort_ref, [](std::span<T> d, auto lc) {
+        apps::split_radix_sort<T, decltype(lc)::value>(d);
+      });
+      t.rows.push_back(make_row("core_kernels", kN, vlen, lmul,
+                                {{"p_add", padd},
+                                 {"plus_scan", scan},
+                                 {"seg_plus_scan", seg},
+                                 {"split_radix_sort", sort}}));
+    }
+  }
+  return t;
+}
+
+TableData par_parity() {
+  constexpr std::size_t kN = 10000;
+  constexpr std::size_t kShard = 1024;
+  TableData t{"par_parity",
+              "Parity: par:: collective merged counts across hart counts "
+              "(N=10^4, VLEN=1024, shard=1024)",
+              {}};
+
+  // Single-hart svm:: references for result validation.
+  auto scan_ref = workloads::scan_input(kN);
+  const auto split_src = workloads::sort_keys(kN);
+  const auto split_fl = workloads::split_flags(kN);
+  std::vector<T> split_ref(kN);
+  auto sort_ref = workloads::sort_keys(kN);
+  {
+    rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
+    rvv::MachineScope scope(machine);
+    svm::plus_scan<T>(std::span<T>(scan_ref));
+    static_cast<void>(svm::split<T>(std::span<const T>(split_src),
+                                    std::span<T>(split_ref),
+                                    std::span<const T>(split_fl)));
+    apps::split_radix_sort<T>(std::span<T>(sort_ref));
+  }
+
+  struct Kernel {
+    const char* name;
+    std::function<void(par::HartPool&)> run;
+  };
+  const std::array<Kernel, 3> kernels{{
+      {"plus_scan",
+       [&](par::HartPool& pool) {
+         auto data = workloads::scan_input(kN);
+         par::plus_scan<T>(pool, std::span<T>(data));
+         if (data != scan_ref) result_mismatch("par_parity", "plus_scan", kN);
+       }},
+      {"split",
+       [&](par::HartPool& pool) {
+         std::vector<T> dst(kN);
+         static_cast<void>(par::split<T>(pool, std::span<const T>(split_src),
+                                         std::span<T>(dst),
+                                         std::span<const T>(split_fl)));
+         if (dst != split_ref) result_mismatch("par_parity", "split", kN);
+       }},
+      {"split_radix_sort",
+       [&](par::HartPool& pool) {
+         auto data = workloads::sort_keys(kN);
+         par::split_radix_sort<T>(pool, std::span<T>(data));
+         if (data != sort_ref) result_mismatch("par_parity", "radix sort", kN);
+       }},
+  }};
+
+  for (const auto& kernel : kernels) {
+    for (const unsigned harts : {1u, 2u, 4u, 8u}) {
+      par::HartPool pool({.harts = harts, .shard_size = kShard,
+                          .machine = {.vlen_bits = 1024}});
+      kernel.run(pool);
+      const sim::CountSnapshot merged = pool.merged_counts();
+      t.rows.push_back(make_row(kernel.name, kN, 1024, 1,
+                                {{"total", merged.total()},
+                                 {"vector", merged.vector_total()},
+                                 {"scalar", merged.scalar_total()},
+                                 {"spill_reload", merged.spill_total()}},
+                                harts));
+    }
+  }
+  return t;
+}
+
+const std::vector<TableSpec>& registry() {
+  static const std::vector<TableSpec> kRegistry{
+      {"table1", table1_radix_sort, render_table1},
+      {"table2", table2_p_add, render_table2},
+      {"table3", table3_plus_scan, render_table3},
+      {"table4", table4_seg_plus_scan, render_table4},
+      {"table5", table5_lmul_sweep, render_table5},
+      {"table7", table7_vlen_sweep, render_table7},
+      {"headline", headline_summary, render_headline},
+      {"ablation_spill", ablation_spill_model, render_ablation_spill},
+      {"ablation_carry", ablation_carry, render_ablation_carry},
+      {"ablation_enumerate", ablation_enumerate, render_ablation_enumerate},
+      {"radix_same", extension_radix_same_algorithm, render_radix_same},
+      {"bignum", extension_bignum, render_bignum},
+      {"seg_density", extension_seg_density, render_seg_density},
+      {"grid", grid_sweep, render_grid},
+      {"par_parity", par_parity, render_par_parity},
+  };
+  return kRegistry;
+}
+
+const TableSpec& spec(const std::string& id) {
+  for (const auto& s : registry()) {
+    if (id == s.id) return s;
+  }
+  throw std::out_of_range("tables::spec: unknown table id '" + id + "'");
+}
+
+int table_main(int argc, char** argv, const char* id) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--json <path>]\n";
+      return 2;
+    }
+  }
+  try {
+    const TableSpec& s = spec(id);
+    const TableData data = s.compute();
+    s.render(std::cout, data);
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "cannot open " << json_path << " for writing\n";
+        return 1;
+      }
+      out << to_json(data);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "FATAL: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace rvvsvm::tables

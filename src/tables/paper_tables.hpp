@@ -1,0 +1,73 @@
+// Computation of every table in EXPERIMENTS.md as structured rows.
+//
+// Each function recomputes one paper table (or ablation/extension) on the
+// emulator and returns a TableData; every count that appears anywhere in
+// the repo — bench binary stdout, EXPERIMENTS.md, the golden JSON under
+// tests/golden/, regen diffs — is produced by exactly one of these
+// functions over the shared workload streams in tables::workloads.
+// Computations validate kernel *results* as they measure (vector output ==
+// baseline output) and throw std::runtime_error on a mismatch.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tables/rows.hpp"
+
+namespace rvvsvm::tables {
+
+/// Paper tables (canonical configuration, full N sweep).
+[[nodiscard]] TableData table1_radix_sort();
+[[nodiscard]] TableData table2_p_add();
+[[nodiscard]] TableData table3_plus_scan();
+[[nodiscard]] TableData table4_seg_plus_scan();
+/// Tables 5 & 6 (Table 6 is derived from these rows at render time).
+[[nodiscard]] TableData table5_lmul_sweep();
+/// Table 7 & Figure 5 (the figure is derived at render time).
+[[nodiscard]] TableData table7_vlen_sweep();
+/// Abstract headline numbers.
+[[nodiscard]] TableData headline_summary();
+
+/// Ablations.
+[[nodiscard]] TableData ablation_spill_model();
+[[nodiscard]] TableData ablation_carry();
+[[nodiscard]] TableData ablation_enumerate();
+
+/// Extensions beyond the paper.
+[[nodiscard]] TableData extension_bignum();
+[[nodiscard]] TableData extension_seg_density();
+[[nodiscard]] TableData extension_radix_same_algorithm();
+
+/// Full VLEN × LMUL grid: the four core kernels at N=10^4 under every
+/// (VLEN, LMUL) in {128,256,512,1024} × {1,2,4,8}.  Generalizes Table 5
+/// (LMUL axis) and Table 7 (VLEN axis) to the whole plane.
+[[nodiscard]] TableData grid_sweep();
+
+/// Multi-hart parity: merged dynamic-instruction counts of the par::
+/// collectives (scan / split / radix sort) at 1, 2, 4 and 8 harts.  The
+/// merged counts must be identical on every row of a kernel — the engine's
+/// hart-count-invariance contract, pinned as a golden.
+[[nodiscard]] TableData par_parity();
+
+/// One registered table: its compute function plus the renderer that
+/// reproduces the historical bench stdout byte-for-byte.
+struct TableSpec {
+  const char* id;                                   ///< "table1", ...
+  TableData (*compute)();
+  void (*render)(std::ostream&, const TableData&);  ///< exact bench text
+};
+
+/// Every table, in EXPERIMENTS.md order.  Bench binaries, the golden suite
+/// and tools/regen_tables all iterate this.
+[[nodiscard]] const std::vector<TableSpec>& registry();
+
+/// Registry lookup by id; throws std::out_of_range for unknown ids.
+[[nodiscard]] const TableSpec& spec(const std::string& id);
+
+/// Shared main() for the one-binary-per-table bench executables: renders
+/// the table to stdout and honors `--json <path>` (machine-readable copy of
+/// the same rows).  Returns the process exit code.
+int table_main(int argc, char** argv, const char* id);
+
+}  // namespace rvvsvm::tables

@@ -1,0 +1,397 @@
+#include "tables/render.hpp"
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/report.hpp"
+
+namespace rvvsvm::tables {
+
+namespace {
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return static_cast<double>(num) / static_cast<double>(den);
+}
+
+struct PaperPair {
+  std::size_t n;
+  std::uint64_t vec;
+  std::uint64_t base;
+};
+
+/// Shared layout of Tables 1-4: measured pair + speedup, paper pair +
+/// speedup, one row per N.
+void render_paper_pair_table(
+    std::ostream& os, const TableData& t,
+    const std::vector<std::string>& columns, const char* vec_count,
+    const char* base_count, const PaperPair (&paper)[5], const char* footer) {
+  sim::print_section(os, t.title);
+  sim::Table table(columns);
+  for (std::size_t i = 0; i < t.rows.size(); ++i) {
+    const Row& row = t.rows[i];
+    const std::uint64_t vec = row.count(vec_count);
+    const std::uint64_t base = row.count(base_count);
+    table.add_row({std::to_string(row.n), sim::format_count(vec),
+                   sim::format_count(base), sim::format_ratio(ratio(base, vec)),
+                   sim::format_count(paper[i].vec),
+                   sim::format_count(paper[i].base),
+                   sim::format_ratio(ratio(paper[i].base, paper[i].vec))});
+  }
+  table.print(os);
+  os << footer;
+}
+
+}  // namespace
+
+void render_table1(std::ostream& os, const TableData& t) {
+  static constexpr PaperPair kPaper[5] = {
+      {100, 23988, 17158},         {1000, 94842, 277480},
+      {10000, 803690, 3470344},    {100000, 19603490, 43004753},
+      {1000000, 195102988, 511107188},
+  };
+  render_paper_pair_table(
+      os, t,
+      {"N", "split_radix_sort()", "qsort()", "speedup", "paper radix",
+       "paper qsort", "paper speedup"},
+      "split_radix_sort", "qsort", kPaper,
+      "\nShape check: vectorized radix sort loses at N=100 (paper: 0.72x)\n"
+      "and wins for N >= 1000, as in the paper.\n");
+}
+
+void render_table2(std::ostream& os, const TableData& t) {
+  static constexpr PaperPair kPaper[5] = {
+      {100, 66, 632},         {1000, 297, 6002},     {10000, 2826, 60001},
+      {100000, 28134, 600001}, {1000000, 281259, 6000001},
+  };
+  render_paper_pair_table(
+      os, t,
+      {"N", "p_add()", "p_add_baseline()", "speedup", "paper p_add",
+       "paper baseline", "paper speedup"},
+      "p_add", "baseline", kPaper,
+      "\nShape check: speedup saturates near vl-bounded ~21x as N grows "
+      "(paper: 21.33x at N=10^6).\n");
+}
+
+void render_table3(std::ostream& os, const TableData& t) {
+  static constexpr PaperPair kPaper[5] = {
+      {100, 311, 626},          {1000, 2670, 6026},     {10000, 26281, 60026},
+      {100000, 262531, 600026}, {1000000, 2625031, 6000026},
+  };
+  render_paper_pair_table(
+      os, t,
+      {"N", "plus_scan()", "plus_scan_baseline()", "speedup", "paper scan",
+       "paper baseline", "paper speedup"},
+      "plus_scan", "baseline", kPaper,
+      "\nShape check: scan speedup is far below p-add's (the lg(vl) "
+      "in-register steps); the paper measures 2.29x, our leaner "
+      "per-iteration schedule lands higher but with the same plateau "
+      "shape.\n");
+}
+
+void render_table4(std::ostream& os, const TableData& t) {
+  static constexpr PaperPair kPaper[5] = {
+      {100, 331, 1124},           {1000, 2639, 11024},     {10000, 25693, 110024},
+      {100000, 256289, 1100024},  {1000000, 2562539, 11000024},
+  };
+  render_paper_pair_table(
+      os, t,
+      {"N", "seg_plus_scan()", "seg_baseline()", "speedup", "paper seg",
+       "paper baseline", "paper speedup"},
+      "seg_plus_scan", "baseline", kPaper,
+      "\nShape check: segmented scan's speedup exceeds unsegmented "
+      "scan's because its sequential baseline is heavier per element "
+      "(11 vs 6 instructions) — the paper's 4.29x vs 2.29x ordering.\n");
+}
+
+void render_table5(std::ostream& os, const TableData& t) {
+  constexpr std::array<unsigned, 4> kLmuls{1, 2, 4, 8};
+  struct PaperRow {
+    std::size_t n;
+    std::array<std::uint64_t, 4> counts;  // LMUL 1, 2, 4, 8
+  };
+  static constexpr PaperRow kPaper[] = {
+      {100, {331, 1124, 145, 2090}},
+      {1000, {2639, 11024, 887, 2668}},
+      {10000, {25693, 110024, 8377, 9284}},
+      {100000, {256289, 1100024, 82907, 74650}},
+      {1000000, {2562539, 11000024, 828205, 728586}},
+  };
+
+  sim::print_section(os, t.title);
+  sim::Table t5({"N", "LMUL=1", "LMUL=2", "LMUL=4", "LMUL=8",
+                 "paper(1)", "paper(2)*", "paper(4)", "paper(8)"});
+  for (std::size_t i = 0; i < std::size(kPaper); ++i) {
+    const PaperRow& row = kPaper[i];
+    std::array<std::uint64_t, 4> cells{};
+    for (std::size_t li = 0; li < kLmuls.size(); ++li) {
+      cells[li] = t.row("seg_plus_scan", row.n, 1024, kLmuls[li])
+                      .count("seg_plus_scan");
+    }
+    t5.add_row({std::to_string(row.n), sim::format_count(cells[0]),
+                sim::format_count(cells[1]), sim::format_count(cells[2]),
+                sim::format_count(cells[3]), sim::format_count(row.counts[0]),
+                sim::format_count(row.counts[1]), sim::format_count(row.counts[2]),
+                sim::format_count(row.counts[3])});
+  }
+  t5.print(os);
+  os << "* the paper's LMUL=2 column duplicates its Table 4 baseline "
+        "column — a transcription error (see EXPERIMENTS.md).\n";
+
+  sim::print_section(os,
+                     "Table 6: (speedup over LMUL=1) / LMUL efficiency ratio");
+  sim::Table t6({"N", "LMUL=2", "LMUL=4", "LMUL=8"});
+  for (const PaperRow& row : kPaper) {
+    const std::uint64_t lmul1 =
+        t.row("seg_plus_scan", row.n, 1024, 1).count("seg_plus_scan");
+    const auto eff = [&](std::size_t li) {
+      const std::uint64_t cell =
+          t.row("seg_plus_scan", row.n, 1024, kLmuls[li]).count("seg_plus_scan");
+      return sim::format_ratio(ratio(lmul1, cell) / kLmuls[li], 4);
+    };
+    t6.add_row({std::to_string(row.n), eff(1), eff(2), eff(3)});
+  }
+  t6.print(os);
+  os << "\nShape checks: LMUL=8 is worse than LMUL=1 at N=100 (spilling; "
+        "paper: 2090 vs 331) and better at N=10^6 (paper: 728,586 vs "
+        "2,562,539); the efficiency ratio falls as LMUL grows "
+        "(paper Table 6).\n";
+}
+
+void render_table7(std::ostream& os, const TableData& t) {
+  struct PaperRow {
+    unsigned vlen;
+    std::uint64_t seg_scan;
+    std::uint64_t p_add;
+  };
+  static constexpr PaperRow kPaper[] = {
+      {128, 115039, 22534},
+      {256, 72539, 11284},
+      {512, 43789, 5659},
+      {1024, 25693, 2851},
+  };
+
+  sim::print_section(os, t.title);
+  sim::Table t7({"vlen", "seg_plus_scan", "p_add", "paper seg", "paper p_add"});
+  for (std::size_t i = 0; i < t.rows.size(); ++i) {
+    const Row& row = t.rows[i];
+    t7.add_row({std::to_string(row.vlen),
+                sim::format_count(row.count("seg_plus_scan")),
+                sim::format_count(row.count("p_add")),
+                sim::format_count(kPaper[i].seg_scan),
+                sim::format_count(kPaper[i].p_add)});
+  }
+  t7.print(os);
+
+  sim::print_section(os, "Figure 5: speedup vs VLEN=128 (ideal = vlen/128)");
+  sim::Table fig({"vlen", "ideal", "p_add (ours)", "p_add (paper)",
+                  "seg_scan (ours)", "seg_scan (paper)"});
+  const Row& first = t.rows.front();
+  for (std::size_t i = 0; i < t.rows.size(); ++i) {
+    const Row& row = t.rows[i];
+    fig.add_row({std::to_string(row.vlen),
+                 sim::format_ratio(static_cast<double>(row.vlen) / 128.0),
+                 sim::format_ratio(
+                     ratio(first.count("p_add"), row.count("p_add"))),
+                 sim::format_ratio(ratio(kPaper[0].p_add, kPaper[i].p_add)),
+                 sim::format_ratio(
+                     ratio(first.count("seg_plus_scan"), row.count("seg_plus_scan"))),
+                 sim::format_ratio(ratio(kPaper[0].seg_scan, kPaper[i].seg_scan))});
+  }
+  fig.print(os);
+  os << "\nShape check: p-add tracks the ideal line; segmented scan "
+        "saturates well below it (paper: 4.48x at VLEN=1024 vs ideal 8x).\n";
+}
+
+void render_headline(std::ostream& os, const TableData& t) {
+  constexpr std::array<unsigned, 4> kLmuls{1, 2, 4, 8};
+  constexpr std::size_t kN = 1000000;
+  sim::print_section(os, t.title);
+  sim::Table table({"kernel", "LMUL", "instructions", "speedup vs sequential"});
+  const auto speed = [](std::uint64_t base, std::uint64_t vec) {
+    return sim::format_ratio(ratio(base, vec));
+  };
+  std::array<std::uint64_t, 4> scans{}, segs{};
+  std::uint64_t base_scan = 0, base_seg = 0;
+  for (std::size_t i = 0; i < kLmuls.size(); ++i) {
+    const Row& row = t.row("plus_scan", kN, 1024, kLmuls[i]);
+    scans[i] = row.count("instructions");
+    base_scan = row.count("baseline");
+    table.add_row({"plus_scan", std::to_string(kLmuls[i]),
+                   sim::format_count(scans[i]), speed(base_scan, scans[i])});
+  }
+  for (std::size_t i = 0; i < kLmuls.size(); ++i) {
+    const Row& row = t.row("seg_plus_scan", kN, 1024, kLmuls[i]);
+    segs[i] = row.count("instructions");
+    base_seg = row.count("baseline");
+    table.add_row({"seg_plus_scan", std::to_string(kLmuls[i]),
+                   sim::format_count(segs[i]), speed(base_seg, segs[i])});
+  }
+  table.print(os);
+
+  std::size_t best_scan = 0, best_seg = 0;
+  for (std::size_t i = 1; i < 4; ++i) {
+    if (scans[i] < scans[best_scan]) best_scan = i;
+    if (segs[i] < segs[best_seg]) best_seg = i;
+  }
+  os << "\nPaper headline: 2.85x (scan) / 4.29x (seg) at LMUL=1; "
+        "21.93x / 15.09x with the LMUL optimization.\n"
+     << "Ours at LMUL=1: "
+     << speed(base_scan, scans[0]) << "x / " << speed(base_seg, segs[0])
+     << "x; best over LMUL: " << speed(base_scan, scans[best_scan])
+     << "x (LMUL=" << kLmuls[best_scan] << ") / "
+     << speed(base_seg, segs[best_seg]) << "x (LMUL=" << kLmuls[best_seg]
+     << ").\n";
+}
+
+void render_ablation_spill(std::ostream& os, const TableData& t) {
+  sim::print_section(os, t.title);
+  sim::Table table({"N", "LMUL", "with model", "spill+reload instrs",
+                    "model off (infinite regs)", "overhead"});
+  for (const Row& row : t.rows) {
+    table.add_row({std::to_string(row.n), std::to_string(row.lmul),
+                   sim::format_count(row.count("with_model")),
+                   sim::format_count(row.count("spill_reload")),
+                   sim::format_count(row.count("model_off")),
+                   sim::format_ratio(
+                       ratio(row.count("with_model"), row.count("model_off")),
+                       3)});
+  }
+  table.print(os);
+  os << "\nReading the columns: LMUL in {1, 2, 4} retires zero spill "
+        "instructions — the remaining ~10% gap versus the model-off run "
+        "is the vmv-to-v0 mask materialization the model also accounts "
+        "for, identical across LMUL.  Only LMUL=8 adds real spill/reload "
+        "traffic; that traffic is the entire Table 5 anomaly.\n";
+}
+
+void render_ablation_carry(std::ostream& os, const TableData& t) {
+  sim::print_section(os, t.title);
+  sim::Table table({"N", "carry via memory", "carry via register", "ratio"});
+  for (const Row& row : t.rows) {
+    table.add_row({std::to_string(row.n),
+                   sim::format_count(row.count("carry_via_memory")),
+                   sim::format_count(row.count("carry_via_register")),
+                   sim::format_ratio(ratio(row.count("carry_via_memory"),
+                                           row.count("carry_via_register")),
+                                     3)});
+  }
+  table.print(os);
+  os << "\nBoth schedules cost the same instruction count per block "
+        "(load+alu vs slidedown+mv); the memory variant adds a "
+        "store-to-load dependency a real pipeline would stall on, which "
+        "instruction counting cannot see — the reason the paper's "
+        "choice is count-neutral here.\n";
+}
+
+void render_ablation_enumerate(std::ostream& os, const TableData& t) {
+  sim::print_section(os, t.title);
+  sim::Table table({"N", "viota+vcpop", "generic scan", "speedup"});
+  for (const Row& row : t.rows) {
+    table.add_row({std::to_string(row.n),
+                   sim::format_count(row.count("viota_vcpop")),
+                   sim::format_count(row.count("generic_scan")),
+                   sim::format_ratio(ratio(row.count("generic_scan"),
+                                           row.count("viota_vcpop")))});
+  }
+  table.print(os);
+  os << "\nviota collapses the lg(vl) in-register scan steps into one "
+        "mask instruction per block — the optimization that makes the "
+        "paper's split (and hence radix sort) competitive.\n";
+}
+
+void render_bignum(std::ostream& os, const TableData& t) {
+  sim::print_section(os, t.title);
+  sim::Table table({"limbs", "ripple (seq)", "scan LMUL=1", "scan LMUL=4",
+                    "speedup (best)"});
+  for (const Row& row : t.rows) {
+    const std::uint64_t s1 = row.count("scan_lmul1");
+    const std::uint64_t s4 = row.count("scan_lmul4");
+    const std::uint64_t best = s1 < s4 ? s1 : s4;
+    table.add_row({std::to_string(row.n), sim::format_count(row.count("ripple")),
+                   sim::format_count(s1), sim::format_count(s4),
+                   sim::format_ratio(ratio(row.count("ripple"), best))});
+  }
+  table.print(os);
+  os << "\nThe carry semigroup is non-commutative, so this bench also "
+        "validates the generic scan kernels' operand-orientation "
+        "contract end to end.\n";
+}
+
+void render_seg_density(std::ostream& os, const TableData& t) {
+  sim::print_section(os, t.title);
+  sim::Table table({"avg segment len", "segments", "seg_plus_scan", "baseline",
+                    "speedup"});
+  for (const Row& row : t.rows) {
+    table.add_row({std::to_string(row.count("avg_segment_len")),
+                   std::to_string(row.count("segments")),
+                   sim::format_count(row.count("seg_plus_scan")),
+                   sim::format_count(row.count("baseline")),
+                   sim::format_ratio(ratio(row.count("baseline"),
+                                           row.count("seg_plus_scan")))});
+  }
+  table.print(os);
+  os << "\nExpected: identical counts on every row — the segmented scan "
+        "is boundary-oblivious by construction.\n";
+}
+
+void render_radix_same(std::ostream& os, const TableData& t) {
+  sim::print_section(os, t.title);
+  sim::Table table({"N", "vector (LMUL=1)", "vector (LMUL=8)", "scalar byte radix",
+                    "speedup (m1)", "speedup (m8)"});
+  for (const Row& row : t.rows) {
+    table.add_row({std::to_string(row.n),
+                   sim::format_count(row.count("vector_lmul1")),
+                   sim::format_count(row.count("vector_lmul8")),
+                   sim::format_count(row.count("scalar_radix")),
+                   sim::format_ratio(ratio(row.count("scalar_radix"),
+                                           row.count("vector_lmul1"))),
+                   sim::format_ratio(ratio(row.count("scalar_radix"),
+                                           row.count("vector_lmul8")))});
+  }
+  table.print(os);
+  os << "\nThe scalar radix needs only 4 byte passes (~72 instructions "
+        "per element) against the vector sort's 32 bit passes, so at "
+        "LMUL=1 they tie — the honest headroom of the paper's running "
+        "example.  The LMUL optimization (section 6.3) restores a ~7x "
+        "margin: every split sub-kernel keeps few enough live values "
+        "to run spill-free at LMUL=8.\n";
+}
+
+void render_grid(std::ostream& os, const TableData& t) {
+  sim::print_section(os, t.title);
+  sim::Table table({"vlen", "LMUL", "p_add", "plus_scan", "seg_plus_scan",
+                    "split_radix_sort"});
+  for (const Row& row : t.rows) {
+    table.add_row({std::to_string(row.vlen), std::to_string(row.lmul),
+                   sim::format_count(row.count("p_add")),
+                   sim::format_count(row.count("plus_scan")),
+                   sim::format_count(row.count("seg_plus_scan")),
+                   sim::format_count(row.count("split_radix_sort"))});
+  }
+  table.print(os);
+  os << "\nEvery cell recomputes the kernel and checks its result against a "
+        "host-side reference before counting; the LMUL=8 column shows the "
+        "spill-model anomaly at every VLEN, not just the paper's 1024.\n";
+}
+
+void render_par_parity(std::ostream& os, const TableData& t) {
+  sim::print_section(os, t.title);
+  sim::Table table({"kernel", "harts", "total", "vector", "scalar",
+                    "spill+reload"});
+  for (const Row& row : t.rows) {
+    table.add_row({row.workload, std::to_string(row.harts),
+                   sim::format_count(row.count("total")),
+                   sim::format_count(row.count("vector")),
+                   sim::format_count(row.count("scalar")),
+                   sim::format_count(row.count("spill_reload"))});
+  }
+  table.print(os);
+  os << "\nContract: merged counts are identical on every row of a kernel — "
+        "sharded execution must retire the same work regardless of how many "
+        "harts it is spread across.\n";
+}
+
+}  // namespace rvvsvm::tables

@@ -1,0 +1,31 @@
+// Text renderers: TableData rows -> the exact stdout the bench table
+// binaries have always printed (section banner, sim::Table, paper reference
+// columns, shape-check footer).  The paper's published numbers live here as
+// presentation constants; the *measured* numbers only ever come from the
+// compute functions in paper_tables.hpp.  Table 6 and Figure 5 are derived
+// views rendered from the Table 5 / Table 7 rows.
+#pragma once
+
+#include <iosfwd>
+
+#include "tables/rows.hpp"
+
+namespace rvvsvm::tables {
+
+void render_table1(std::ostream& os, const TableData& t);
+void render_table2(std::ostream& os, const TableData& t);
+void render_table3(std::ostream& os, const TableData& t);
+void render_table4(std::ostream& os, const TableData& t);
+void render_table5(std::ostream& os, const TableData& t);  ///< Tables 5 & 6
+void render_table7(std::ostream& os, const TableData& t);  ///< Table 7 & Fig 5
+void render_headline(std::ostream& os, const TableData& t);
+void render_ablation_spill(std::ostream& os, const TableData& t);
+void render_ablation_carry(std::ostream& os, const TableData& t);
+void render_ablation_enumerate(std::ostream& os, const TableData& t);
+void render_bignum(std::ostream& os, const TableData& t);
+void render_seg_density(std::ostream& os, const TableData& t);
+void render_radix_same(std::ostream& os, const TableData& t);
+void render_grid(std::ostream& os, const TableData& t);
+void render_par_parity(std::ostream& os, const TableData& t);
+
+}  // namespace rvvsvm::tables

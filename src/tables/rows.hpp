@@ -1,0 +1,76 @@
+// Structured rows for the paper-table library.
+//
+// Every table in EXPERIMENTS.md is computed as a TableData: one Row per
+// measured configuration cell, carrying the workload name, the problem
+// size, the machine shape (VLEN/LMUL, hart count for par:: tables) and an
+// ordered list of named dynamic-instruction counts.  The bench binaries,
+// the golden regression suite (tests/test_paper_tables.cpp) and
+// tools/regen_tables all consume this one representation, so a count can
+// only ever exist in one place.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rvvsvm::tables {
+
+/// One measured cell: a workload at one (n, vlen, lmul[, harts])
+/// configuration with its named dynamic-instruction counts.  Counts are an
+/// ordered sequence (not a map) so serialization is deterministic.
+struct Row {
+  std::string workload;
+  std::uint64_t n = 0;
+  unsigned vlen = 0;
+  unsigned lmul = 0;
+  unsigned harts = 0;  ///< 0 for single-hart tables
+  std::vector<std::pair<std::string, std::uint64_t>> counts;
+
+  [[nodiscard]] std::uint64_t count(std::string_view name) const {
+    for (const auto& [key, value] : counts) {
+      if (key == name) return value;
+    }
+    throw std::out_of_range("Row::count: no count named '" + std::string(name) +
+                            "' in workload '" + workload + "'");
+  }
+  [[nodiscard]] bool has_count(std::string_view name) const noexcept {
+    for (const auto& [key, value] : counts) {
+      if (key == name) return true;
+    }
+    return false;
+  }
+
+  friend bool operator==(const Row&, const Row&) = default;
+};
+
+/// One whole paper table: id ("table1", "ablation_carry", ...), the section
+/// title the renderer prints, and the measured rows.
+struct TableData {
+  std::string id;
+  std::string title;
+  std::vector<Row> rows;
+
+  /// First row matching the given coordinates; throws if absent.
+  [[nodiscard]] const Row& row(std::string_view workload, std::uint64_t n,
+                               unsigned vlen, unsigned lmul,
+                               unsigned harts = 0) const {
+    for (const auto& r : rows) {
+      if (r.workload == workload && r.n == n && r.vlen == vlen &&
+          r.lmul == lmul && r.harts == harts) {
+        return r;
+      }
+    }
+    throw std::out_of_range("TableData::row: no row (" + std::string(workload) +
+                            ", n=" + std::to_string(n) + ", vlen=" +
+                            std::to_string(vlen) + ", lmul=" +
+                            std::to_string(lmul) + ", harts=" +
+                            std::to_string(harts) + ") in " + id);
+  }
+
+  friend bool operator==(const TableData&, const TableData&) = default;
+};
+
+}  // namespace rvvsvm::tables

@@ -1,0 +1,93 @@
+#include "tables/workloads.hpp"
+
+#include <random>
+
+namespace rvvsvm::tables::workloads {
+
+namespace {
+
+// Every table workload's RNG stream, in one place.  The values are the
+// seeds the bench binaries historically used, preserved so the committed
+// goldens and EXPERIMENTS.md stay continuous across the refactor.
+enum Stream : std::uint32_t {
+  kSortKeys = 7,
+  kPAddInput = 11,
+  kScanInput = 13,
+  kSegInput = 17,
+  kSegHeadFlags = 18,
+  kSplitFlags = 19,
+  kHeadlineInput = 29,
+  kHeadlineFlags = 30,
+  kEnumerateFlags = 31,
+  kBignumA = 41,
+  kBignumB = 42,
+  kRadixExtKeys = 51,
+  kDensityFlags = 77,
+  kDensityInput = 78,
+};
+
+std::vector<std::uint32_t> uniform_u32(std::size_t n, Stream stream) {
+  std::mt19937 rng(static_cast<std::uint32_t>(stream));
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng());
+  return v;
+}
+
+std::vector<std::uint32_t> head_flags(std::size_t n, std::size_t avg_len,
+                                      Stream stream) {
+  std::mt19937 rng(static_cast<std::uint32_t>(stream));
+  std::bernoulli_distribution head(1.0 / static_cast<double>(avg_len));
+  std::vector<std::uint32_t> flags(n, 0);
+  if (n > 0) flags[0] = 1;
+  for (std::size_t i = 1; i < n; ++i) flags[i] = head(rng) ? 1u : 0u;
+  return flags;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> sort_keys(std::size_t n) {
+  return uniform_u32(n, kSortKeys);
+}
+std::vector<std::uint32_t> radix_ext_keys(std::size_t n) {
+  return uniform_u32(n, kRadixExtKeys);
+}
+std::vector<std::uint32_t> padd_input(std::size_t n) {
+  return uniform_u32(n, kPAddInput);
+}
+std::vector<std::uint32_t> scan_input(std::size_t n) {
+  return uniform_u32(n, kScanInput);
+}
+std::vector<std::uint32_t> seg_input(std::size_t n) {
+  return uniform_u32(n, kSegInput);
+}
+std::vector<std::uint32_t> seg_head_flags(std::size_t n, std::size_t avg_len) {
+  return head_flags(n, avg_len, kSegHeadFlags);
+}
+std::vector<std::uint32_t> enumerate_flags(std::size_t n) {
+  return head_flags(n, /*avg_len=*/2, kEnumerateFlags);
+}
+std::vector<std::uint32_t> headline_input(std::size_t n) {
+  return uniform_u32(n, kHeadlineInput);
+}
+std::vector<std::uint32_t> headline_flags(std::size_t n) {
+  return head_flags(n, /*avg_len=*/100, kHeadlineFlags);
+}
+std::vector<std::uint32_t> bignum_a(std::size_t n) {
+  return uniform_u32(n, kBignumA);
+}
+std::vector<std::uint32_t> bignum_b(std::size_t n) {
+  return uniform_u32(n, kBignumB);
+}
+std::vector<std::uint32_t> density_input(std::size_t n) {
+  return uniform_u32(n, kDensityInput);
+}
+std::vector<std::uint32_t> density_flags(std::size_t n, std::size_t avg_len) {
+  return head_flags(n, avg_len, kDensityFlags);
+}
+std::vector<std::uint32_t> split_flags(std::size_t n) {
+  auto v = uniform_u32(n, kSplitFlags);
+  for (auto& x : v) x &= 1u;
+  return v;
+}
+
+}  // namespace rvvsvm::tables::workloads

@@ -1,0 +1,49 @@
+// The single seeded workload source for every paper table.
+//
+// Each workload is a named deterministic stream: the bench binaries, the
+// golden regression suite and tools/regen_tables all call these accessors,
+// so every consumer sees byte-identical inputs.  Seeds live in exactly one
+// translation unit (workloads.cpp); nothing else in the repo derives table
+// RNG state.  Changing a seed here is a golden-refresh event, same as a
+// kernel schedule change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rvvsvm::tables::workloads {
+
+/// The N sweep every paper table uses (10^2 .. 10^6).
+inline constexpr std::size_t kSizes[] = {100, 1000, 10000, 100000, 1000000};
+
+/// Table 1 / radix extension: uniform random u32 sort keys.
+[[nodiscard]] std::vector<std::uint32_t> sort_keys(std::size_t n);
+/// Extension (same-algorithm radix): its historical independent key stream.
+[[nodiscard]] std::vector<std::uint32_t> radix_ext_keys(std::size_t n);
+/// Table 2: p-add operand vector.
+[[nodiscard]] std::vector<std::uint32_t> padd_input(std::size_t n);
+/// Table 3 / carry ablation: plus-scan operand vector.
+[[nodiscard]] std::vector<std::uint32_t> scan_input(std::size_t n);
+/// Tables 4, 5, 7: segmented-scan operand vector.
+[[nodiscard]] std::vector<std::uint32_t> seg_input(std::size_t n);
+/// Tables 4, 5, 7: 0/1 head flags with geometric segments (expected length
+/// `avg_len`); flags[0] is always 1.
+[[nodiscard]] std::vector<std::uint32_t> seg_head_flags(std::size_t n,
+                                                        std::size_t avg_len = 100);
+/// Enumerate ablation: dense 0/1 flags (expected segment length 2).
+[[nodiscard]] std::vector<std::uint32_t> enumerate_flags(std::size_t n);
+/// Headline summary: its historical independent data/flag streams.
+[[nodiscard]] std::vector<std::uint32_t> headline_input(std::size_t n);
+[[nodiscard]] std::vector<std::uint32_t> headline_flags(std::size_t n);
+/// Bignum extension: the two limb vectors.
+[[nodiscard]] std::vector<std::uint32_t> bignum_a(std::size_t n);
+[[nodiscard]] std::vector<std::uint32_t> bignum_b(std::size_t n);
+/// Segment-density extension: data and density-swept head flags.
+[[nodiscard]] std::vector<std::uint32_t> density_input(std::size_t n);
+[[nodiscard]] std::vector<std::uint32_t> density_flags(std::size_t n,
+                                                       std::size_t avg_len);
+/// Multi-hart parity table: uniform 0/1 split flags.
+[[nodiscard]] std::vector<std::uint32_t> split_flags(std::size_t n);
+
+}  // namespace rvvsvm::tables::workloads

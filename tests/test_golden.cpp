@@ -1,72 +1,78 @@
-// Golden-count regression tests: exact dynamic-instruction totals for the
-// benchmark cells, pinned so that any accidental change to an instruction
-// schedule, the strip-mine bookkeeping, or the pressure model shows up as a
-// test failure with the before/after delta — not as silently shifted tables.
-// If a change is *intentional*, update these numbers together with
-// EXPERIMENTS.md.
+// Golden-count regression tests: exact dynamic-instruction totals for a
+// handful of benchmark cells, pinned so that any accidental change to an
+// instruction schedule, the strip-mine bookkeeping, or the pressure model
+// shows up as a test failure with the before/after delta — not as silently
+// shifted tables.  The full-table version of this check (every cell of
+// every EXPERIMENTS.md table against committed JSON) lives in
+// test_paper_tables.cpp; these spot checks stay because they fail fast and
+// name the kernel directly.  If a change is *intentional*, refresh with
+// tools/regen_tables and update these numbers together with EXPERIMENTS.md.
 #include <gtest/gtest.h>
 
 #include "apps/radix_sort.hpp"
-#include "bench/common.hpp"
 #include "svm/baseline/qsort.hpp"
 #include "svm/scan.hpp"
 #include "svm/segmented.hpp"
+#include "tables/measure.hpp"
+#include "tables/workloads.hpp"
 
 namespace {
 
 using namespace rvvsvm;
+using tables::count_instructions;
+namespace workloads = tables::workloads;
 using T = std::uint32_t;
 
 TEST(Golden, Table1RadixSortCells) {
-  // Must match bench/table1_radix_sort (seed 7, VLEN=1024, LMUL=1).
-  auto keys = bench::random_u32(10000, 7);
-  EXPECT_EQ(bench::count_instructions(1024, [&] {
+  // Must match tables::table1_radix_sort (VLEN=1024, LMUL=1).
+  auto keys = workloads::sort_keys(10000);
+  EXPECT_EQ(count_instructions(1024, [&] {
     apps::split_radix_sort<T>(std::span<T>(keys));
   }), 731488u);
 }
 
 TEST(Golden, Table1QsortCells) {
-  auto keys = bench::random_u32(10000, 7);
-  EXPECT_EQ(bench::count_instructions(1024, [&] {
+  auto keys = workloads::sort_keys(10000);
+  EXPECT_EQ(count_instructions(1024, [&] {
     svm::baseline::qsort_u32(std::span<T>(keys));
   }), 2171801u);
 }
 
 TEST(Golden, Table2PAddCells) {
-  auto data = bench::random_u32(1000000, 11);
-  EXPECT_EQ(bench::count_instructions(1024, [&] {
+  auto data = workloads::padd_input(1000000);
+  EXPECT_EQ(count_instructions(1024, [&] {
     svm::p_add<T>(std::span<T>(data), 123u);
   }), 281251u);
 }
 
 TEST(Golden, Table3PlusScanCells) {
-  auto data = bench::random_u32(1000000, 13);
-  EXPECT_EQ(bench::count_instructions(1024, [&] {
+  auto data = workloads::scan_input(1000000);
+  EXPECT_EQ(count_instructions(1024, [&] {
     svm::plus_scan<T>(std::span<T>(data));
   }), 1125001u);
 }
 
 TEST(Golden, Table4SegPlusScanCells) {
-  auto data = bench::random_u32(1000000, 17);
-  const auto flags = bench::random_head_flags(1000000, 100, 18);
-  EXPECT_EQ(bench::count_instructions(1024, [&] {
+  auto data = workloads::seg_input(1000000);
+  const auto flags = workloads::seg_head_flags(1000000);
+  EXPECT_EQ(count_instructions(1024, [&] {
     svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
   }), 2093751u);
 }
 
 TEST(Golden, Table5Lmul8Cells) {
   // The spill-model-dependent cell: any allocator policy change moves this.
-  auto small = bench::random_u32(100, 17);
-  const auto small_flags = bench::random_head_flags(100, 100, 18);
-  EXPECT_EQ(bench::count_instructions(1024, [&] {
+  auto small = workloads::seg_input(100);
+  const auto small_flags = workloads::seg_head_flags(100);
+  EXPECT_EQ(count_instructions(1024, [&] {
     svm::seg_plus_scan<T, 8>(std::span<T>(small), std::span<const T>(small_flags));
   }), 368u);
 }
 
 TEST(Golden, Table7Vlen128Cells) {
-  auto data = bench::random_u32(10000, 17);
-  const auto flags = bench::random_head_flags(10000, 100, 18);
-  EXPECT_EQ(bench::count_instructions(128, [&] {
+  auto data = workloads::seg_input(10000);
+  const auto flags = workloads::seg_head_flags(10000);
+  EXPECT_EQ(count_instructions(128, [&] {
     svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
   }), 92501u);
 }

@@ -1,0 +1,210 @@
+// Regenerates (or verifies) every machine-produced table artifact from the
+// table library in src/tables:
+//
+//   tests/golden/<id>.json   — canonical JSON golden for each paper table
+//   EXPERIMENTS.md           — every ```text block is one table's rendered
+//                              stdout; blocks are matched to tables by their
+//                              `= Title =` banner line and spliced in place
+//                              (the prose around them is never touched)
+//
+// Default mode rewrites both.  `--check` writes nothing and exits non-zero
+// if any golden or document block differs from a fresh recomputation — the
+// CI gate that EXPERIMENTS.md can never drift from the code.  After an
+// intentional kernel/schedule change: run `regen_tables`, review the diff,
+// commit goldens + EXPERIMENTS.md together.
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tables/json.hpp"
+#include "tables/paper_tables.hpp"
+
+#ifndef RVVSVM_SOURCE_DIR
+#error "RVVSVM_SOURCE_DIR must be defined (see tools/CMakeLists.txt)"
+#endif
+
+namespace {
+
+using namespace rvvsvm;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+}
+
+/// Extracts the `= Title =` banner from a ```text block's content; empty if
+/// the block has none (not a table block).
+std::string block_title(std::string_view content) {
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string_view::npos) eol = content.size();
+    const std::string_view line = content.substr(pos, eol - pos);
+    if (line.size() > 4 && line.substr(0, 2) == "= " &&
+        line.substr(line.size() - 2) == " =") {
+      return std::string(line.substr(2, line.size() - 4));
+    }
+    pos = eol + 1;
+  }
+  return {};
+}
+
+/// Splices freshly rendered table text into every recognized ```text block
+/// of the document.  Returns the updated document; `changed` lists the
+/// titles whose content differed, `matched` collects the titles found.
+std::string splice_document(const std::string& doc,
+                            const std::map<std::string, std::string>& by_title,
+                            std::vector<std::string>& changed,
+                            std::vector<std::string>& matched) {
+  static constexpr std::string_view kOpen = "```text\n";
+  static constexpr std::string_view kClose = "\n```";
+  std::string out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t open = doc.find(kOpen, pos);
+    if (open == std::string::npos) {
+      out.append(doc, pos, doc.size() - pos);
+      break;
+    }
+    const std::size_t content_begin = open + kOpen.size();
+    const std::size_t close = doc.find(kClose, content_begin);
+    if (close == std::string::npos) {
+      throw std::runtime_error("EXPERIMENTS.md: unterminated ```text block");
+    }
+    // Block content includes its trailing newline; the close fence eats one.
+    const std::string content = doc.substr(content_begin, close + 1 - content_begin);
+    const std::string title = block_title(content);
+    out.append(doc, pos, content_begin - pos);
+    const auto it = by_title.find(title);
+    if (it != by_title.end()) {
+      matched.push_back(title);
+      if (content != it->second) changed.push_back(title);
+      out += it->second;
+    } else {
+      out += content;
+    }
+    pos = close + 1;  // keep the "\n```" (minus the newline we consumed)
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " [--check] [--repo <dir>]\n"
+            << "  default     rewrite tests/golden/*.json and the table blocks"
+               " of EXPERIMENTS.md\n"
+            << "  --check     recompute and compare only; non-zero exit on any"
+               " difference\n"
+            << "  --repo DIR  repository root (default: the source tree this"
+               " tool was built from)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string repo = RVVSVM_SOURCE_DIR;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--repo" && i + 1 < argc) {
+      repo = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    int failures = 0;
+
+    // Recompute every table once; goldens and document blocks are two views
+    // of the same TableData.
+    std::vector<std::pair<const tables::TableSpec*, tables::TableData>> computed;
+    for (const auto& spec : tables::registry()) {
+      std::cerr << "computing " << spec.id << "...\n";
+      computed.emplace_back(&spec, spec.compute());
+    }
+
+    for (const auto& [spec, data] : computed) {
+      const std::string path = repo + "/tests/golden/" + spec->id + ".json";
+      const std::string fresh = tables::to_json(data);
+      if (!check) {
+        write_file(path, fresh);
+        continue;
+      }
+      std::string existing;
+      try {
+        existing = read_file(path);
+      } catch (const std::exception& e) {
+        std::cerr << "MISSING golden: " << e.what() << '\n';
+        ++failures;
+        continue;
+      }
+      if (existing == fresh) continue;
+      ++failures;
+      std::cerr << "GOLDEN DIFFERS: " << path << '\n';
+      try {
+        std::cerr << tables::diff_tables(tables::from_json(existing), data);
+      } catch (const std::exception& e) {
+        std::cerr << "  (golden unparsable: " << e.what() << ")\n";
+      }
+    }
+
+    // Render every table and splice into EXPERIMENTS.md.  Block content is
+    // the renderer's stdout minus the leading blank line print_section emits.
+    std::map<std::string, std::string> by_title;
+    for (const auto& [spec, data] : computed) {
+      std::ostringstream os;
+      spec->render(os, data);
+      by_title[data.title] = os.str().substr(1);
+    }
+    const std::string doc_path = repo + "/EXPERIMENTS.md";
+    const std::string doc = read_file(doc_path);
+    std::vector<std::string> changed, matched;
+    const std::string updated = splice_document(doc, by_title, changed, matched);
+    for (const auto& [title, text] : by_title) {
+      bool found = false;
+      for (const auto& m : matched) found = found || m == title;
+      if (!found) {
+        std::cerr << "EXPERIMENTS.md has no ```text block titled '" << title
+                  << "' — add a section for it\n";
+        ++failures;
+      }
+    }
+    if (check) {
+      for (const auto& title : changed) {
+        std::cerr << "EXPERIMENTS.md block differs: " << title << '\n';
+        ++failures;
+      }
+    } else if (updated != doc) {
+      write_file(doc_path, updated);
+      std::cerr << "EXPERIMENTS.md: updated " << changed.size() << " block(s)\n";
+    }
+
+    if (failures != 0) {
+      std::cerr << failures << " artifact(s) out of date; run tools/regen_tables "
+                   "and commit the result if the change is intentional\n";
+      return 1;
+    }
+    std::cerr << (check ? "all tables up to date\n" : "regenerated all tables\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "FATAL: " << e.what() << '\n';
+    return 1;
+  }
+}
