@@ -1,0 +1,46 @@
+#include "check/fault_injection.hpp"
+
+namespace rvvsvm::check {
+
+void FaultInjector::on_instruction(sim::InstClass cls, const TrapContext& ctx) {
+  ++seen_;
+  const bool is_mem = cls == sim::InstClass::kVectorLoad ||
+                      cls == sim::InstClass::kVectorStore;
+  if (is_mem) ++mem_seen_;
+
+  // seen_ only moves forward, so the strict-equality (one-shot) form fires
+  // exactly once even across retries of the same shard: the retry replays
+  // the same instructions but at higher observation counts.
+  const bool inst_hit =
+      plan_.trap_at_instruction != 0 &&
+      (plan_.persistent ? seen_ >= plan_.trap_at_instruction
+                        : seen_ == plan_.trap_at_instruction);
+  if (inst_hit) {
+    ++fired_;
+    if (plan_.crash) {
+      throw HartCrash("injected hart crash at dynamic instruction #" +
+                      std::to_string(seen_) + " (" + std::string(ctx.op) + ")");
+    }
+    throw InjectedTrap("injected fault at dynamic instruction #" +
+                           std::to_string(seen_),
+                       ctx);
+  }
+
+  const bool mem_hit =
+      is_mem && plan_.fault_at_memory_op != 0 &&
+      (plan_.persistent ? mem_seen_ >= plan_.fault_at_memory_op
+                        : mem_seen_ == plan_.fault_at_memory_op);
+  if (mem_hit) {
+    ++fired_;
+    if (plan_.crash) {
+      throw HartCrash("injected hart crash at memory op #" +
+                      std::to_string(mem_seen_) + " (" + std::string(ctx.op) +
+                      ")");
+    }
+    throw MemoryAccessTrap("injected memory fault at memory op #" +
+                               std::to_string(mem_seen_),
+                           plan_.fault_element, ctx);
+  }
+}
+
+}  // namespace rvvsvm::check

@@ -1,0 +1,109 @@
+// Deterministic fault-injection engine for the chaos test suite.
+//
+// A FaultInjector is a rvvsvm::FaultHook: a machine with one installed
+// reports every emulated instruction to on_instruction() after operand
+// validation and before the counter charge.  The injector counts dynamic
+// instructions and, per its Plan, throws at a chosen point:
+//
+//   trap_at_instruction  — InjectedTrap on the Nth dynamic instruction
+//   fault_at_memory_op   — MemoryAccessTrap (carrying fault_element) on the
+//                          Nth vector load/store
+//   crash = true         — either channel throws HartCrash instead: a plain
+//                          std::runtime_error modeling a hart dying
+//                          mid-shard, not an architectural trap
+//
+// Because the hook fires inside the validate-then-charge window, an injected
+// fault is architecturally indistinguishable from a real operand trap: the
+// instruction never retires, the counter is never charged, and pool-backed
+// storage unwinds via RAII.  The chaos properties (properties_chaos.cpp)
+// lean on exactly that: after any injected fault the machine must be
+// reusable, the pool must show zero bytes in use, and a rerun must be
+// bit-identical in both data and counts.
+//
+// The fourth injector class — buffer-pool allocation failure — does not go
+// through the hook at all: arm it with
+// `machine.pool().trap_allocation_after(n)`, which makes the nth subsequent
+// pool acquisition throw PoolAllocTrap.
+//
+// Everything is seed-driven and deterministic: the Plan is plain data, the
+// injector has no hidden state beyond its instruction counters, and the same
+// (plan, kernel, input) triple always faults at the same instruction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/inst_counter.hpp"
+#include "sim/trap.hpp"
+
+namespace rvvsvm::check {
+
+/// Exception modeling a worker hart dying mid-shard (injected by a
+/// FaultInjector with Plan::crash set).  Deliberately NOT a typed trap:
+/// HartPool must isolate and recover from arbitrary foreign exceptions, not
+/// just the emulator's own trap taxonomy.
+class HartCrash : public std::runtime_error {
+ public:
+  explicit HartCrash(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Seed-driven fault hook.  Install on a machine with set_fault_hook(); the
+/// injector must outlive the installation (clear the hook before destroying
+/// the injector).
+class FaultInjector final : public FaultHook {
+ public:
+  struct Plan {
+    /// Throw on the Nth (1-based) dynamic instruction the hook observes.
+    /// Zero disables this channel.
+    std::uint64_t trap_at_instruction = 0;
+    /// Throw on the Nth (1-based) vector memory instruction (load or
+    /// store).  Zero disables this channel.
+    std::uint64_t fault_at_memory_op = 0;
+    /// Faulting element index reported by the injected MemoryAccessTrap.
+    std::size_t fault_element = 0;
+    /// Throw HartCrash (a non-trap std::runtime_error) instead of the typed
+    /// trap when a channel fires.
+    bool crash = false;
+    /// When set, the channel keeps firing on every instruction at or past
+    /// its threshold — so a retried shard fails again and again, driving
+    /// execution into HartPool's inline fallback.  When clear, each channel
+    /// fires exactly once (its threshold is strictly equal, and the
+    /// observation counters only move forward), so a retry succeeds.
+    bool persistent = false;
+  };
+
+  explicit FaultInjector(const Plan& plan) noexcept : plan_(plan) {}
+
+  /// Called by the machine between validation and charge; throws per plan.
+  void on_instruction(sim::InstClass cls, const TrapContext& ctx) override;
+
+  /// Dynamic instructions observed since construction / reset().
+  [[nodiscard]] std::uint64_t instructions_seen() const noexcept {
+    return seen_;
+  }
+  /// Vector memory instructions observed since construction / reset().
+  [[nodiscard]] std::uint64_t memory_ops_seen() const noexcept {
+    return mem_seen_;
+  }
+  /// Times a fault was injected (throws that left on_instruction).
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+
+  /// Zero the observation counters; the plan is retained, so the same
+  /// thresholds re-arm relative to the next instruction stream.
+  void reset() noexcept {
+    seen_ = 0;
+    mem_seen_ = 0;
+    fired_ = 0;
+  }
+
+ private:
+  Plan plan_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t mem_seen_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace rvvsvm::check

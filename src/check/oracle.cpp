@@ -13,12 +13,13 @@ namespace rvvsvm::check {
 std::vector<Property> make_rvv_properties();
 std::vector<Property> make_svm_properties();
 std::vector<Property> make_par_properties();
+std::vector<Property> make_chaos_properties();
 
 const std::vector<Property>& properties() {
   static const std::vector<Property> table = [] {
     std::vector<Property> t;
-    for (auto* make :
-         {make_rvv_properties, make_svm_properties, make_par_properties}) {
+    for (auto* make : {make_rvv_properties, make_svm_properties,
+                       make_par_properties, make_chaos_properties}) {
       for (auto& p : make()) t.push_back(std::move(p));
     }
     return t;

@@ -1,0 +1,402 @@
+// Chaos properties: seed-driven fault injection against the trap model's
+// central promises.  Every property follows the same three-act script:
+//
+//   1. golden   — run a kernel fault-free, recording result + counts (and,
+//                 through a passive FaultInjector, how many instructions the
+//                 fault hook can observe, so injection points always land
+//                 inside the kernel).
+//   2. faulted  — rerun with a deterministic fault armed (trap the Nth
+//                 instruction, fault the Nth memory op, fail the Nth pool
+//                 allocation, or crash a chosen hart mid-shard) and require
+//                 the documented failure shape: the right exception type
+//                 with its machine context intact, or — under a HartPool
+//                 recovery policy — no exception at all.
+//   3. recovered — require zero buffer-pool leak, then rerun on the very
+//                 same machine/pool and require bit-identical data AND
+//                 dynamic instruction counts.  This is the strong exception
+//                 guarantee made executable: a trapped instruction never
+//                 retires, never half-charges, never poisons later runs.
+//
+// Cases are generated from the same seeded Rng stream as every other layer,
+// so `svm_fuzz --chaos <seed>` (or --layer chaos) replays and shrinks chaos
+// failures exactly like differential ones.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/fault_injection.hpp"
+#include "check/harness.hpp"
+#include "check/oracle.hpp"
+#include "par/par.hpp"
+#include "svm/svm.hpp"
+
+namespace rvvsvm::check {
+
+namespace {
+
+using detail::norm_vlen;
+using detail::to_bits;
+using detail::to_elems;
+
+// Chaos cases run every kernel up to four times (golden, faulted, rerun,
+// reference), so the size cap sits below the differential layers'.
+constexpr std::size_t kMaxN = 512;
+
+[[nodiscard]] std::string diff_counts(const char* name,
+                                      const sim::CountSnapshot& rerun,
+                                      const sim::CountSnapshot& golden) {
+  for (std::size_t k = 0; k < sim::kNumInstClasses; ++k) {
+    const auto cls = static_cast<sim::InstClass>(k);
+    if (rerun.count(cls) != golden.count(cls)) {
+      std::ostringstream msg;
+      msg << name << ": rerun after an injected fault charges a different "
+          << sim::to_string(cls) << " count (" << rerun.count(cls) << " vs "
+          << golden.count(cls) << " golden)";
+      return msg.str();
+    }
+  }
+  return "";
+}
+
+/// Clears a machine's fault hook on scope exit, fault or no fault.
+struct HookGuard {
+  rvv::Machine& m;
+  explicit HookGuard(rvv::Machine& machine, FaultInjector& inj) : m(machine) {
+    m.set_fault_hook(&inj);
+  }
+  ~HookGuard() { m.set_fault_hook(nullptr); }
+};
+
+enum class Channel { kInstruction, kMemory, kPoolAlloc };
+
+/// The single-machine chaos script.  `run` executes one kernel over fixed
+/// inputs and deposits its observable output; it must be deterministic.
+template <class T, class Run>
+[[nodiscard]] std::string chaos_svm(const char* name, unsigned vlen,
+                                    Channel channel, std::uint64_t salt,
+                                    std::size_t fault_element, Run&& run) {
+  rvv::Machine m({.vlen_bits = vlen});
+  rvv::MachineScope scope(m);
+
+  // Act 1: golden.  The passive probe (a plan with every channel disabled)
+  // measures how many instructions / memory ops the hook will observe, so
+  // the injection point below always lands inside the kernel.  It also
+  // keeps the machine in fault-armed mode, pinning that arming the rollback
+  // guards changes no counts (the unarmed rerun in act 3 must match).
+  FaultInjector probe({});
+  const std::uint64_t allocs_before =
+      m.pool_stats().block_acquires + m.pool_stats().cell_acquires;
+  std::vector<T> golden;
+  {
+    HookGuard guard(m, probe);
+    run(golden);
+  }
+  const sim::CountSnapshot golden_counts = m.counter().snapshot();
+  std::uint64_t window = 0;
+  switch (channel) {
+    case Channel::kInstruction: window = probe.instructions_seen(); break;
+    case Channel::kMemory: window = probe.memory_ops_seen(); break;
+    case Channel::kPoolAlloc:
+      window = m.pool_stats().block_acquires + m.pool_stats().cell_acquires -
+               allocs_before;
+      break;
+  }
+  if (window == 0) return "";  // empty case: no observable point to fault
+
+  // Act 2: the same kernel with one deterministic fault armed.
+  const std::uint64_t nth = 1 + salt % window;
+  FaultInjector::Plan plan;
+  if (channel == Channel::kInstruction) plan.trap_at_instruction = nth;
+  if (channel == Channel::kMemory) {
+    plan.fault_at_memory_op = nth;
+    plan.fault_element = fault_element;
+  }
+  FaultInjector inj(plan);
+  bool fired = false;
+  std::string err;
+  {
+    HookGuard guard(m, inj);
+    if (channel == Channel::kPoolAlloc) m.pool().trap_allocation_after(nth);
+    try {
+      std::vector<T> scratch;
+      run(scratch);
+    } catch (const InjectedTrap& t) {
+      fired = true;
+      if (channel != Channel::kInstruction) {
+        err = std::string(name) + ": InjectedTrap from a non-instruction channel";
+      } else if (t.context().vlen_bits != vlen) {
+        err = std::string(name) + ": injected trap lost its machine context";
+      }
+    } catch (const MemoryAccessTrap& t) {
+      fired = true;
+      if (channel != Channel::kMemory) {
+        err = std::string(name) + ": MemoryAccessTrap from a non-memory channel";
+      } else if (t.element() != fault_element) {
+        err = std::string(name) + ": faulting element index lost in transit";
+      }
+    } catch (const PoolAllocTrap&) {
+      fired = true;
+      if (channel != Channel::kPoolAlloc) {
+        err = std::string(name) + ": PoolAllocTrap from a non-allocation channel";
+      }
+    } catch (const std::exception& e) {
+      err = std::string(name) + ": unexpected exception type: " + e.what();
+    }
+    m.pool().trap_allocation_after(0);  // disarm if the countdown never hit
+  }
+  if (!err.empty()) return err;
+  if (!fired) {
+    return std::string(name) +
+           ": fault armed inside the measured window but never fired";
+  }
+
+  // Act 3: recovered.  RAII must have returned every pool byte, and the
+  // machine must replay the kernel bit-identically in data and counts.
+  const auto& st = m.pool_stats();
+  if (st.bytes_in_use != 0 || st.cells_in_use != 0) {
+    std::ostringstream msg;
+    msg << name << ": buffer pool leaked across an injected fault ("
+        << st.bytes_in_use << " bytes, " << st.cells_in_use
+        << " cells still in use)";
+    return msg.str();
+  }
+  m.reset_counts();
+  std::vector<T> again;
+  run(again);
+  if (again != golden) {
+    return std::string(name) + ": rerun after recovery diverges from golden";
+  }
+  return diff_counts(name, m.counter().snapshot(), golden_counts);
+}
+
+/// Normalized pool shape for the hart-level injectors.
+struct Shape {
+  unsigned vlen;
+  unsigned harts;
+  std::size_t shard_size;
+  std::size_t n;
+};
+
+[[nodiscard]] Shape par_shape(const Case& c) {
+  static constexpr unsigned kHarts[] = {2, 4, 8};
+  Shape s;
+  s.vlen = norm_vlen(c.vlen);
+  s.harts = kHarts[c.harts % 3];
+  s.shard_size = std::clamp<std::size_t>(c.shard_size, 1, 1024);
+  s.n = c.vl % (kMaxN + 1);
+  return s;
+}
+
+/// The hart-level chaos script: run par::plus_scan on a recovery-armed pool
+/// with a FaultInjector installed on one hart's machine, and require the
+/// pool to absorb every injected failure — same data, same merged counts,
+/// failures visible (and recovered) in the epoch report.
+template <class T, unsigned L>
+[[nodiscard]] std::string chaos_pool(const char* name, const Shape& s,
+                                     const std::vector<T>& input,
+                                     const FaultInjector::Plan& plan,
+                                     unsigned target_hart) {
+  const par::HartPool::Config cfg{
+      .harts = s.harts,
+      .shard_size = s.shard_size,
+      .machine = {.vlen_bits = s.vlen},
+      .recovery = {.max_retries = plan.persistent ? 1u : 2u,
+                   .fallback_inline = true}};
+
+  // Fault-free references: an identically configured (recovery-armed) pool
+  // and a plain single machine.  The armed pool checkpoints shard state but
+  // must charge nothing for it.
+  par::HartPool golden(cfg);
+  std::vector<T> want(input);
+  par::plus_scan<T, L>(golden, std::span<T>(want));
+  {
+    rvv::Machine m({.vlen_bits = s.vlen});
+    rvv::MachineScope scope(m);
+    std::vector<T> ref(input);
+    svm::plus_scan<T, L>(std::span<T>(ref));
+    if (want != ref) {
+      return std::string(name) + ": recovery-armed pool diverges from svm kernel";
+    }
+  }
+
+  par::HartPool pool(cfg);
+  FaultInjector inj(plan);
+  std::string err;
+  std::vector<T> got(input);
+  {
+    HookGuard guard(pool.machine(target_hart), inj);
+    try {
+      par::plus_scan<T, L>(pool, std::span<T>(got));
+    } catch (const par::ShardExecutionError& e) {
+      err = std::string(name) +
+            ": recovery policy failed to absorb the injected fault: " + e.what();
+    } catch (const std::exception& e) {
+      err = std::string(name) + ": unexpected exception type: " + e.what();
+    }
+  }
+  if (!err.empty()) return err;
+  if (got != want) {
+    return std::string(name) + ": recovered result diverges from fault-free run";
+  }
+  if (std::string e = diff_counts(name, pool.merged_counts(), golden.merged_counts());
+      !e.empty()) {
+    return std::string(name) + ": merged counts drift under recovery (" + e + ")";
+  }
+  // Structural checks on the report: every recorded failure was recovered
+  // (nothing threw) and blames the one hart that carries the injector.
+  for (const auto& f : pool.last_report().failures) {
+    if (!f.recovered) {
+      return std::string(name) + ": unrecovered failure in a clean epoch";
+    }
+    if (f.hart != static_cast<int>(target_hart)) {
+      std::ostringstream msg;
+      msg << name << ": failure blamed on hart " << f.hart
+          << " but only hart " << target_hart << " carries an injector";
+      return msg.str();
+    }
+  }
+  return "";
+}
+
+Case gen_chaos(Rng& rng) {
+  Case c;
+  detail::gen_shape(rng, c);
+  c.harts = static_cast<unsigned>(rng.below(3));
+  static constexpr std::size_t kShards[] = {1, 16, 64, 256};
+  c.shard_size = kShards[rng.below(4)];
+  const std::size_t vlmax = rvv::vlmax_for(c.vlen, c.sew, c.lmul);
+  c.vl = detail::gen_size(rng, vlmax, kMaxN);
+  detail::gen_values(rng, c.a, c.vl);
+  detail::gen_mask(rng, c.b, c.vl);
+  detail::gen_mask(rng, c.m, c.vl);
+  c.scalar = rng.next();
+  c.offset = rng.below(64);
+  return c;
+}
+
+// --- properties -------------------------------------------------------------
+
+std::string check_trap_instruction(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const unsigned vlen = norm_vlen(c.vlen);
+    const std::size_t n = c.vl % (kMaxN + 1);
+    const std::vector<T> a = to_elems<T>(c.a, n);
+    const auto hb = to_bits(c.m, n);
+    std::vector<T> hflags(n);
+    for (std::size_t i = 0; i < n; ++i) hflags[i] = static_cast<T>(hb[i]);
+    std::string err = chaos_svm<T>(
+        "chaos.trap_instruction[plus_scan]", vlen, Channel::kInstruction,
+        c.scalar, 0, [&](std::vector<T>& out) {
+          out = a;
+          svm::plus_scan<T, L>(std::span<T>(out));
+        });
+    if (!err.empty()) return err;
+    return chaos_svm<T>(
+        "chaos.trap_instruction[seg_plus_scan]", vlen, Channel::kInstruction,
+        c.scalar ^ 0x9E3779B97F4A7C15ull, 0, [&](std::vector<T>& out) {
+          out = a;
+          svm::seg_plus_scan<T, L>(std::span<T>(out), std::span<const T>(hflags));
+        });
+  });
+}
+
+std::string check_memory_fault(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const unsigned vlen = norm_vlen(c.vlen);
+    const std::size_t n = c.vl % (kMaxN + 1);
+    const std::vector<T> a = to_elems<T>(c.a, n);
+    const auto bb = to_bits(c.b, n);
+    std::vector<T> flags(n);
+    for (std::size_t i = 0; i < n; ++i) flags[i] = static_cast<T>(bb[i]);
+    // In-range scatter indices (the T cast keeps them below n, matching the
+    // differential layer's construction).
+    std::vector<T> idx(n, T{0});
+    for (std::size_t i = 0; i < n; ++i) {
+      idx[i] = static_cast<T>(n == 0 ? 0 : (i < c.m.size() ? c.m[i] : 0) % n);
+    }
+    const std::size_t fault_element = n == 0 ? 0 : c.offset % n;
+    std::string err = chaos_svm<T>(
+        "chaos.memory_fault[permute]", vlen, Channel::kMemory, c.scalar,
+        fault_element, [&](std::vector<T>& out) {
+          out.assign(n, static_cast<T>(0x5A));
+          svm::permute<T, L>(std::span<const T>(a), std::span<T>(out),
+                             std::span<const T>(idx));
+        });
+    if (!err.empty()) return err;
+    return chaos_svm<T>(
+        "chaos.memory_fault[pack]", vlen, Channel::kMemory,
+        c.scalar ^ 0x9E3779B97F4A7C15ull, fault_element,
+        [&](std::vector<T>& out) {
+          out.assign(n + 1, static_cast<T>(0x5A));
+          std::vector<T> dst(n, static_cast<T>(0x5A));
+          out[0] = static_cast<T>(svm::pack<T, L>(
+              std::span<const T>(a), std::span<T>(dst), std::span<const T>(flags)));
+          std::copy(dst.begin(), dst.end(), out.begin() + 1);
+        });
+  });
+}
+
+std::string check_pool_alloc(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const unsigned vlen = norm_vlen(c.vlen);
+    const std::size_t n = c.vl % (kMaxN + 1);
+    const std::vector<T> a = to_elems<T>(c.a, n);
+    return chaos_svm<T>(
+        "chaos.pool_alloc[plus_scan_exclusive]", vlen, Channel::kPoolAlloc,
+        c.scalar, 0, [&](std::vector<T>& out) {
+          out = a;
+          svm::plus_scan_exclusive<T, L>(std::span<T>(out));
+        });
+  });
+}
+
+std::string check_hart_crash(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const Shape s = par_shape(c);
+    const std::vector<T> a = to_elems<T>(c.a, s.n);
+    // One-shot crash: the hart dies once mid-shard, the retry (same hart,
+    // replayed from the checkpoint) succeeds.
+    FaultInjector::Plan plan;
+    plan.trap_at_instruction = 1 + c.scalar % 64;
+    plan.crash = true;
+    return chaos_pool<T, L>("chaos.hart_crash", s, a, plan,
+                            static_cast<unsigned>(c.offset) % s.harts);
+  });
+}
+
+std::string check_hart_fallback(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const Shape s = par_shape(c);
+    const std::vector<T> a = to_elems<T>(c.a, s.n);
+    // Persistent trap: every attempt on the target hart fails, so recovery
+    // must escalate through retries into the inline rescue machine.
+    FaultInjector::Plan plan;
+    plan.trap_at_instruction = 1 + c.scalar % 64;
+    plan.persistent = true;
+    return chaos_pool<T, L>("chaos.hart_fallback", s, a, plan,
+                            static_cast<unsigned>(c.offset) % s.harts);
+  });
+}
+
+}  // namespace
+
+std::vector<Property> make_chaos_properties() {
+  std::vector<Property> props;
+  auto add = [&](const char* name, std::function<std::string(const Case&)> check) {
+    props.push_back(Property{name, "chaos", gen_chaos, std::move(check)});
+  };
+  add("chaos.trap_instruction", check_trap_instruction);
+  add("chaos.memory_fault", check_memory_fault);
+  add("chaos.pool_alloc", check_pool_alloc);
+  add("chaos.hart_crash", check_hart_crash);
+  add("chaos.hart_fallback", check_hart_fallback);
+  return props;
+}
+
+}  // namespace rvvsvm::check

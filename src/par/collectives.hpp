@@ -27,7 +27,9 @@
 // shard, and the combine phase always runs on hart 0.
 #pragma once
 
+#include <algorithm>
 #include <limits>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -37,6 +39,77 @@
 
 namespace rvvsvm::par {
 
+namespace detail {
+
+// Checkpoint hooks for the collectives' in-place phases.  A phase whose
+// shard body mutates its input (the local scans, p_combine, p_add/p_select)
+// cannot simply be re-run after a mid-shard fault, so when the pool's
+// recovery policy is armed each shard's element range is copied host-side
+// before the first attempt and copied back before every re-attempt.  The
+// copies are recovery bookkeeping, not modeled work — no instructions are
+// charged, which keeps recovered runs count-identical to fault-free ones.
+// Phases that only write fresh outputs from const inputs are idempotent and
+// pass no hooks.
+
+/// Hooks checkpointing shard s's range of `data` (per the shard table).
+template <rvv::VectorElement T>
+[[nodiscard]] RecoveryHooks checkpoint_shards(
+    const HartPool& pool, std::span<T> data,
+    const std::vector<ShardRange>& shards) {
+  if (!pool.recovery_armed()) return {};
+  auto ranges = std::make_shared<std::vector<ShardRange>>(shards);
+  auto saved = std::make_shared<std::vector<std::vector<T>>>(ranges->size());
+  return RecoveryHooks{
+      .save =
+          [data, ranges, saved](std::size_t s) {
+            const auto sub = data.subspan((*ranges)[s].begin, (*ranges)[s].size());
+            (*saved)[s].assign(sub.begin(), sub.end());
+          },
+      .restore =
+          [data, ranges, saved](std::size_t s) {
+            const auto& buf = (*saved)[s];
+            std::copy(buf.begin(), buf.end(),
+                      data.begin() + static_cast<std::ptrdiff_t>((*ranges)[s].begin));
+          },
+  };
+}
+
+/// Hooks checkpointing a whole host-side staging vector (the cross-shard
+/// combine phases run as a single on_hart task, reported as shard 0).
+template <rvv::VectorElement T>
+[[nodiscard]] RecoveryHooks checkpoint_whole(const HartPool& pool,
+                                             std::span<T> data) {
+  if (!pool.recovery_armed()) return {};
+  auto saved = std::make_shared<std::vector<T>>();
+  return RecoveryHooks{
+      .save = [data, saved](std::size_t) { saved->assign(data.begin(), data.end()); },
+      .restore =
+          [data, saved](std::size_t) {
+            std::copy(saved->begin(), saved->end(), data.begin());
+          },
+  };
+}
+
+/// Sequences two checkpoint hook sets over the same shard indices.
+[[nodiscard]] inline RecoveryHooks checkpoint_both(RecoveryHooks a,
+                                                   RecoveryHooks b) {
+  if (!a.save && !b.save) return {};
+  return RecoveryHooks{
+      .save =
+          [a, b](std::size_t s) {
+            if (a.save) a.save(s);
+            if (b.save) b.save(s);
+          },
+      .restore =
+          [a, b](std::size_t s) {
+            if (a.restore) a.restore(s);
+            if (b.restore) b.restore(s);
+          },
+  };
+}
+
+}  // namespace detail
+
 /// Inclusive Op-scan across the pool, in place; bit-identical to
 /// svm::scan_inclusive on one hart.
 template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
@@ -45,20 +118,27 @@ void scan_inclusive(HartPool& pool, std::span<T> data) {
   if (shards.empty()) return;
   std::vector<T> totals(shards.size());
 
-  pool.for_shards(shards.size(), [&](std::size_t s) {
-    const auto sub = data.subspan(shards[s].begin, shards[s].size());
-    svm::scan_inclusive<Op, T, LMUL>(sub);
-    totals[s] = sub.back();  // shard total = inclusive-scan tail
-    rvv::Machine::active().scalar().charge({.load = 1, .store = 1});
-  });
+  pool.for_shards(
+      shards.size(),
+      [&](std::size_t s) {
+        const auto sub = data.subspan(shards[s].begin, shards[s].size());
+        svm::scan_inclusive<Op, T, LMUL>(sub);
+        totals[s] = sub.back();  // shard total = inclusive-scan tail
+        rvv::Machine::active().scalar().charge({.load = 1, .store = 1});
+      },
+      detail::checkpoint_shards(pool, data, shards));
 
-  pool.on_hart(0, [&] { svm::scan_exclusive<Op, T>(std::span<T>(totals)); });
+  pool.on_hart(0, [&] { svm::scan_exclusive<Op, T>(std::span<T>(totals)); },
+               detail::checkpoint_whole(pool, std::span<T>(totals)));
 
-  pool.for_shards(shards.size(), [&](std::size_t s) {
-    rvv::Machine::active().scalar().charge({.load = 1});  // read shard base
-    svm::p_combine<Op, T, LMUL>(data.subspan(shards[s].begin, shards[s].size()),
-                                totals[s]);
-  });
+  pool.for_shards(
+      shards.size(),
+      [&](std::size_t s) {
+        rvv::Machine::active().scalar().charge({.load = 1});  // read shard base
+        svm::p_combine<Op, T, LMUL>(
+            data.subspan(shards[s].begin, shards[s].size()), totals[s]);
+      },
+      detail::checkpoint_shards(pool, data, shards));
 }
 
 /// Exclusive Op-scan across the pool, in place; bit-identical to
@@ -69,21 +149,28 @@ void scan_exclusive(HartPool& pool, std::span<T> data) {
   if (shards.empty()) return;
   std::vector<T> totals(shards.size());
 
-  pool.for_shards(shards.size(), [&](std::size_t s) {
-    const auto sub = data.subspan(shards[s].begin, shards[s].size());
-    // The local exclusive scan discards the shard total, so reduce first.
-    totals[s] = svm::reduce<Op, T, LMUL>(std::span<const T>(sub));
-    rvv::Machine::active().scalar().charge({.store = 1});
-    svm::scan_exclusive<Op, T, LMUL>(sub);
-  });
+  pool.for_shards(
+      shards.size(),
+      [&](std::size_t s) {
+        const auto sub = data.subspan(shards[s].begin, shards[s].size());
+        // The local exclusive scan discards the shard total, so reduce first.
+        totals[s] = svm::reduce<Op, T, LMUL>(std::span<const T>(sub));
+        rvv::Machine::active().scalar().charge({.store = 1});
+        svm::scan_exclusive<Op, T, LMUL>(sub);
+      },
+      detail::checkpoint_shards(pool, data, shards));
 
-  pool.on_hart(0, [&] { svm::scan_exclusive<Op, T>(std::span<T>(totals)); });
+  pool.on_hart(0, [&] { svm::scan_exclusive<Op, T>(std::span<T>(totals)); },
+               detail::checkpoint_whole(pool, std::span<T>(totals)));
 
-  pool.for_shards(shards.size(), [&](std::size_t s) {
-    rvv::Machine::active().scalar().charge({.load = 1});
-    svm::p_combine<Op, T, LMUL>(data.subspan(shards[s].begin, shards[s].size()),
-                                totals[s]);
-  });
+  pool.for_shards(
+      shards.size(),
+      [&](std::size_t s) {
+        rvv::Machine::active().scalar().charge({.load = 1});
+        svm::p_combine<Op, T, LMUL>(
+            data.subspan(shards[s].begin, shards[s].size()), totals[s]);
+      },
+      detail::checkpoint_shards(pool, data, shards));
 }
 
 /// Whole-array Op-reduction across the pool.
@@ -132,12 +219,13 @@ std::size_t split(HartPool& pool, std::span<const T> src, std::span<T> dst,
                   std::span<const T> flags) {
   const std::size_t n = src.size();
   if (dst.size() < n || flags.size() < n) {
-    throw std::invalid_argument("par::split: operand size mismatch");
+    svm::detail::invalid_input("par::split", "operand size mismatch");
   }
   // Same index-width contract as svm::split: destination indices live in T.
   if (n != 0 && n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
-    throw std::invalid_argument(
-        "par::split: destination indices overflow the element type; widen first");
+    svm::detail::invalid_input(
+        "par::split",
+        "destination indices overflow the element type; widen first");
   }
   const auto shards = make_shards(n, pool.shard_size());
   if (shards.empty()) return 0;
@@ -163,29 +251,42 @@ std::size_t split(HartPool& pool, std::span<const T> src, std::span<T> dst,
   });
 
   T total_zeros{};
-  pool.on_hart(0, [&] {
-    total_zeros = svm::reduce<svm::PlusOp, T>(std::span<const T>(zeros));
-    svm::plus_scan_exclusive<T>(std::span<T>(zeros));  // zeros -> 0-bucket base
-    svm::plus_scan_exclusive<T>(std::span<T>(ones));
-    svm::p_add<T>(std::span<T>(ones), total_zeros);    // ones -> 1-bucket base
-  });
+  pool.on_hart(
+      0,
+      [&] {
+        total_zeros = svm::reduce<svm::PlusOp, T>(std::span<const T>(zeros));
+        svm::plus_scan_exclusive<T>(std::span<T>(zeros));  // zeros -> 0-bucket base
+        svm::plus_scan_exclusive<T>(std::span<T>(ones));
+        svm::p_add<T>(std::span<T>(ones), total_zeros);    // ones -> 1-bucket base
+      },
+      detail::checkpoint_both(
+          detail::checkpoint_whole(pool, std::span<T>(zeros)),
+          detail::checkpoint_whole(pool, std::span<T>(ones))));
   // The modeled reduce above feeds the 1-bucket bases (wrapping in T is
   // benign there: a wrapped base is only selected when flags rule it out);
   // the exact return value comes from the host-side counts.
   std::size_t host_total_zeros = 0;
   for (const std::size_t c : zero_counts) host_total_zeros += c;
 
-  pool.for_shards(shards.size(), [&](std::size_t s) {
-    const auto fsub = flags.subspan(shards[s].begin, shards[s].size());
-    const auto ssub = src.subspan(shards[s].begin, shards[s].size());
-    const auto down = std::span<T>(i_down).subspan(shards[s].begin, shards[s].size());
-    const auto up = std::span<T>(i_up).subspan(shards[s].begin, shards[s].size());
-    rvv::Machine::active().scalar().charge({.load = 2});  // read shard bases
-    svm::p_add<T, LMUL>(down, zeros[s]);
-    svm::p_add<T, LMUL>(up, ones[s]);
-    svm::p_select<T, LMUL>(fsub, std::span<const T>(up), down);
-    svm::permute<T, LMUL>(ssub, dst, std::span<const T>(down));
-  });
+  // The scatter into dst is idempotent given restored down/up indices
+  // (destinations are disjoint and recomputed bit-identically), so only the
+  // in-place index fixups need checkpoints.
+  pool.for_shards(
+      shards.size(),
+      [&](std::size_t s) {
+        const auto fsub = flags.subspan(shards[s].begin, shards[s].size());
+        const auto ssub = src.subspan(shards[s].begin, shards[s].size());
+        const auto down = std::span<T>(i_down).subspan(shards[s].begin, shards[s].size());
+        const auto up = std::span<T>(i_up).subspan(shards[s].begin, shards[s].size());
+        rvv::Machine::active().scalar().charge({.load = 2});  // read shard bases
+        svm::p_add<T, LMUL>(down, zeros[s]);
+        svm::p_add<T, LMUL>(up, ones[s]);
+        svm::p_select<T, LMUL>(fsub, std::span<const T>(up), down);
+        svm::permute<T, LMUL>(ssub, dst, std::span<const T>(down));
+      },
+      detail::checkpoint_both(
+          detail::checkpoint_shards(pool, std::span<T>(i_down), shards),
+          detail::checkpoint_shards(pool, std::span<T>(i_up), shards)));
 
   return host_total_zeros;
 }
@@ -201,7 +302,8 @@ void split_radix_sort(HartPool& pool, std::span<T> data, unsigned key_bits) {
   const std::size_t n = data.size();
   if (n < 2 || key_bits == 0) return;
   if (key_bits > rvv::kSewBits<T>) {
-    throw std::invalid_argument("par::split_radix_sort: key_bits exceeds key width");
+    svm::detail::invalid_input("par::split_radix_sort",
+                               "key_bits exceeds key width");
   }
 
   const auto shards = make_shards(n, pool.shard_size());
@@ -239,9 +341,10 @@ template <rvv::VectorElement T, unsigned LMUL = 1>
 void split_radix_sort(HartPool& pool, std::span<T> data) {
   if (!data.empty() &&
       data.size() - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
-    throw std::invalid_argument(
-        "par::split_radix_sort: destination indices overflow the key type; "
-        "widen the keys first (see apps::split_radix_sort)");
+    svm::detail::invalid_input(
+        "par::split_radix_sort",
+        "destination indices overflow the key type; widen the keys first "
+        "(see apps::split_radix_sort)");
   }
   split_radix_sort<T, LMUL>(pool, data, rvv::kSewBits<T>);
 }

@@ -1,88 +1,348 @@
 #include "par/hart_pool.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
-#include <stdexcept>
 #include <thread>
+#include <utility>
 
 namespace rvvsvm::par {
 
-// Fork-join core: workers park on cv_start until the epoch advances, run the
-// posted job for their hart index, and the last participant signals cv_done.
-// All published state (job, participants, per-hart machines, counters) is
-// ordered by the mutex handshake, so between jobs the calling thread may
-// read machine counters race-free.
-struct HartPool::Impl {
-  Config cfg;
-  std::mutex mu;
-  std::condition_variable cv_start;
-  std::condition_variable cv_done;
-  std::uint64_t epoch = 0;
-  unsigned participants = 0;   // harts [0, participants) run the current job
-  unsigned remaining = 0;      // participants still running
-  unsigned ready = 0;          // workers that finished construction
-  bool stop = false;
-  std::function<void(unsigned hart)> job;
-  std::exception_ptr first_error;
-  std::vector<std::unique_ptr<rvv::Machine>> machines;
-  std::vector<std::thread> workers;
+namespace {
 
-  void worker_main(unsigned hart) {
-    // The machine is created on the worker so its buffer pool binds here.
-    auto machine = std::make_unique<rvv::Machine>(cfg.machine);
-    std::uint64_t seen_epoch = 0;
-    {
-      std::lock_guard lock(mu);
-      machines[hart] = std::move(machine);
-      ++ready;
-    }
-    cv_done.notify_all();
-
-    for (;;) {
-      std::unique_lock lock(mu);
-      cv_start.wait(lock, [&] { return stop || epoch != seen_epoch; });
-      if (stop) return;
-      seen_epoch = epoch;
-      if (hart >= participants) continue;
-      lock.unlock();
-
-      try {
-        rvv::MachineScope scope(*machines[hart]);
-        job(hart);
-      } catch (...) {
-        std::lock_guard guard(mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-
-      lock.lock();
-      if (--remaining == 0) {
-        lock.unlock();
-        cv_done.notify_all();
-      }
-    }
+/// Classify the in-flight exception into a ShardFailure.  Typed traps keep
+/// their machine context; anything else keeps its what().
+void describe_current_exception(ShardFailure& fail) {
+  try {
+    throw;
+  } catch (const Trap& t) {
+    fail.message = t.message();
+    fail.context = t.context();
+    fail.has_context = true;
+  } catch (const std::exception& e) {
+    fail.message = e.what();
+  } catch (...) {
+    fail.message = "unknown exception";
   }
+}
 
-  /// Post `task` to harts [0, nharts) and block until all have finished.
-  void run(unsigned nharts, std::function<void(unsigned)> task) {
-    std::unique_lock lock(mu);
-    job = std::move(task);
-    participants = nharts;
-    remaining = nharts;
-    first_error = nullptr;
-    ++epoch;
-    cv_start.notify_all();
-    cv_done.wait(lock, [&] { return remaining == 0; });
-    if (first_error) {
-      std::exception_ptr err = first_error;
-      first_error = nullptr;
-      lock.unlock();
-      std::rethrow_exception(err);
-    }
+std::string summarize(const EpochReport& report) {
+  std::size_t unrecovered = 0;
+  const ShardFailure* first = nullptr;
+  for (const auto& f : report.failures) {
+    if (f.recovered) continue;
+    ++unrecovered;
+    if (first == nullptr) first = &f;
+  }
+  std::string msg = "par: " + std::to_string(unrecovered) + " of " +
+                    std::to_string(report.failures.size()) +
+                    " shard failure(s) unrecovered";
+  if (first != nullptr) {
+    msg += "; first: shard " + std::to_string(first->shard) + " on hart " +
+           std::to_string(first->hart) + ": " + first->message;
+  }
+  return msg;
+}
+
+}  // namespace
+
+ShardExecutionError::ShardExecutionError(EpochReport report)
+    : std::runtime_error(summarize(report)),
+      report_(std::make_shared<const EpochReport>(std::move(report))) {}
+
+// One fork-join dispatch.  Held in a shared_ptr by the calling thread and by
+// every participating worker, and it owns *copies* of the body and hooks: a
+// hart abandoned by the watchdog may resume long after the collective
+// returned, and must find the epoch's machinery (not the caller's stack
+// frame) still alive.  All mutable fields are guarded by the pool mutex.
+struct EpochState {
+  std::uint64_t id = 0;
+  std::size_t num_shards = 0;
+  unsigned nslots = 0;
+  bool single_target = false;             // on_hart: one task, reported as shard 0
+  std::function<void(std::size_t)> body;  // copied — outlives the caller's frame
+  RecoveryHooks hooks;
+  std::vector<unsigned> slot_hart;        // slot -> hart id (live harts only)
+  unsigned remaining = 0;                 // slots still running
+  bool abandoned = false;                 // watchdog gave up on this epoch
+  std::vector<char> slot_done;
+  std::vector<std::size_t> slot_next;     // first shard a slot has NOT committed
+  std::vector<ShardFailure> failures;
+  sim::CountSnapshot abandoned_counts;
+
+  [[nodiscard]] ShardRange slot_range(unsigned slot) const noexcept {
+    return single_target ? ShardRange{0, 1}
+                         : shards_for_hart(num_shards, nslots, slot);
   }
 };
+
+// Fork-join core: workers park on cv_start until a new epoch is posted, run
+// their slot's contiguous shard run with per-shard failure isolation, and
+// the last participant signals cv_done.  All published state (epoch, lost
+// set, per-hart machines, counters) is ordered by the mutex handshake, so
+// between jobs the calling thread may read machine counters race-free.
+struct HartPool::Impl {
+  Config cfg;
+  mutable std::mutex mu;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  bool stop = false;
+  std::uint64_t next_epoch_id = 0;
+  std::shared_ptr<EpochState> current;
+  unsigned ready = 0;      // workers that finished construction
+  std::vector<char> lost;  // hart abandoned by the watchdog, awaiting rejoin
+  std::vector<std::unique_ptr<rvv::Machine>> machines;
+  std::unique_ptr<rvv::Machine> rescue;  // lazily created for inline fallback
+  std::vector<std::thread> workers;
+  EpochReport last_report;
+  sim::CountSnapshot abandoned_total;
+
+  void worker_main(unsigned hart);
+  void run_slot(EpochState& ep, unsigned slot, unsigned hart, rvv::Machine& m);
+  bool run_shard(EpochState& ep, rvv::Machine& m, unsigned hart, std::size_t s);
+  void post_and_wait(const std::shared_ptr<EpochState>& ep);
+  void finish_epoch(EpochState& ep);
+};
+
+void HartPool::Impl::worker_main(unsigned hart) {
+  // Traps raised on this thread self-identify in their context.
+  set_current_hart(static_cast<int>(hart));
+  // The machine is created on the worker so its buffer pool binds here.
+  auto owned = std::make_unique<rvv::Machine>(cfg.machine);
+  rvv::Machine* m = owned.get();
+  {
+    std::lock_guard lock(mu);
+    machines[hart] = std::move(owned);
+    ++ready;
+  }
+  cv_done.notify_all();
+
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<EpochState> ep;
+    unsigned slot = 0;
+    {
+      std::unique_lock lock(mu);
+      cv_start.wait(lock, [&] { return stop || (current && current->id != seen); });
+      if (stop) return;
+      ep = current;
+      seen = ep->id;
+      unsigned found = ep->nslots;
+      for (unsigned i = 0; i < ep->nslots; ++i) {
+        if (ep->slot_hart[i] == hart) {
+          found = i;
+          break;
+        }
+      }
+      if (found == ep->nslots) continue;  // not participating this epoch
+      slot = found;
+    }
+
+    try {
+      rvv::MachineScope scope(*m);
+      run_slot(*ep, slot, hart, *m);
+    } catch (...) {
+      // run_slot catches per shard; anything escaping is a hook or pool
+      // defect — record it against the slot's first uncommitted shard.
+      ShardFailure fail;
+      fail.hart = static_cast<int>(hart);
+      describe_current_exception(fail);
+      std::lock_guard lock(mu);
+      fail.shard = ep->slot_next[slot];
+      if (!ep->abandoned) ep->failures.push_back(std::move(fail));
+    }
+
+    {
+      std::lock_guard lock(mu);
+      ep->slot_done[slot] = true;
+      --ep->remaining;
+      // A hart declared lost rejoins the pool the moment its stuck job ends.
+      if (ep->abandoned) lost[hart] = false;
+    }
+    cv_done.notify_all();
+  }
+}
+
+void HartPool::Impl::run_slot(EpochState& ep, unsigned slot, unsigned hart,
+                              rvv::Machine& m) {
+  const ShardRange mine = ep.slot_range(slot);
+  for (std::size_t s = mine.begin; s < mine.end; ++s) {
+    run_shard(ep, m, hart, s);  // failures are recorded inside
+    std::lock_guard lock(mu);
+    if (ep.abandoned) return;  // caller already re-issued the rest inline
+    ep.slot_next[slot] = s + 1;
+  }
+}
+
+// Executes shard `s` on this hart with the configured retry budget.
+// Returns true when the shard committed here.  Every failed attempt's
+// counts are rolled back off the hart's counter and ledgered as abandoned,
+// so merged totals only ever contain committed work.
+bool HartPool::Impl::run_shard(EpochState& ep, rvv::Machine& m, unsigned hart,
+                               std::size_t s) {
+  const RecoveryPolicy& policy = cfg.recovery;
+  ShardFailure fail;
+  fail.shard = s;
+  fail.hart = static_cast<int>(hart);
+  unsigned attempts = 0;
+
+  if (policy.armed() && ep.hooks.save) {
+    try {
+      ep.hooks.save(s);
+    } catch (...) {
+      describe_current_exception(fail);
+      fail.message.insert(0, "checkpoint save failed: ");
+      fail.attempts = 1;
+      std::lock_guard lock(mu);
+      if (!ep.abandoned) ep.failures.push_back(std::move(fail));
+      return false;
+    }
+  }
+
+  for (;;) {
+    const sim::CountSnapshot pre = m.counter().snapshot();
+    try {
+      ep.body(s);
+    } catch (...) {
+      ++attempts;
+      const sim::CountSnapshot wasted = m.counter().snapshot() - pre;
+      m.counter().restore(pre);
+      if (attempts == 1) describe_current_exception(fail);
+      const bool give_up = attempts > policy.max_retries;
+      {
+        std::lock_guard lock(mu);
+        if (ep.abandoned) {
+          // The caller already reported this shard as timed out and owns
+          // its recovery; just ledger the wasted work at pool scope.
+          abandoned_total += wasted;
+          return false;
+        }
+        ep.abandoned_counts += wasted;
+        if (give_up) {
+          fail.attempts = attempts;
+          ep.failures.push_back(std::move(fail));
+          return false;
+        }
+      }
+      if (ep.hooks.restore) {
+        try {
+          ep.hooks.restore(s);
+        } catch (...) {
+          describe_current_exception(fail);
+          fail.message.insert(0, "checkpoint restore failed: ");
+          fail.attempts = attempts;
+          std::lock_guard lock(mu);
+          if (!ep.abandoned) ep.failures.push_back(std::move(fail));
+          return false;
+        }
+      }
+      continue;
+    }
+
+    std::lock_guard lock(mu);
+    if (ep.abandoned) {
+      // Committed too late: the caller has re-issued this shard inline.
+      // Roll our duplicate work back out of the golden totals.
+      abandoned_total += m.counter().snapshot() - pre;
+      m.counter().restore(pre);
+      return false;
+    }
+    if (attempts > 0) {
+      fail.attempts = attempts + 1;
+      fail.recovered = true;
+      ep.failures.push_back(std::move(fail));
+    }
+    return true;
+  }
+}
+
+void HartPool::Impl::post_and_wait(const std::shared_ptr<EpochState>& ep) {
+  std::unique_lock lock(mu);
+  ep->id = ++next_epoch_id;
+  current = ep;
+  cv_start.notify_all();
+  const auto timeout = cfg.recovery.watchdog;
+  if (timeout.count() > 0) {
+    if (!cv_done.wait_for(lock, timeout, [&] { return ep->remaining == 0; })) {
+      // Abandon the epoch: every slot still running is declared lost and
+      // its uncommitted shards are handed to the inline-recovery path.
+      // (A "hung" hart that is merely slow may still be mutating its
+      // current shard — RecoveryHooks::restore re-baselines it inline, and
+      // the hart rolls its late counts back when it finally returns.)
+      ep->abandoned = true;
+      for (unsigned slot = 0; slot < ep->nslots; ++slot) {
+        if (ep->slot_done[slot]) continue;
+        const unsigned hart = ep->slot_hart[slot];
+        lost[hart] = true;
+        const ShardRange range = ep->slot_range(slot);
+        for (std::size_t s = ep->slot_next[slot]; s < range.end; ++s) {
+          ShardFailure fail;
+          fail.shard = s;
+          fail.hart = static_cast<int>(hart);
+          fail.timed_out = true;
+          fail.message = "watchdog: hart unresponsive; shard abandoned";
+          ep->failures.push_back(std::move(fail));
+        }
+      }
+    }
+  } else {
+    cv_done.wait(lock, [&] { return ep->remaining == 0; });
+  }
+}
+
+// Harvest the epoch, run the inline fallback over unrecovered shards, and
+// publish the report.  Throws ShardExecutionError when recovery fell short.
+void HartPool::Impl::finish_epoch(EpochState& ep) {
+  EpochReport report;
+  {
+    std::lock_guard lock(mu);
+    report.failures = std::move(ep.failures);
+    report.abandoned_counts = ep.abandoned_counts;
+  }
+
+  if (cfg.recovery.fallback_inline) {
+    for (auto& fail : report.failures) {
+      if (fail.recovered) continue;
+      if (!rescue) rescue = std::make_unique<rvv::Machine>(cfg.machine);
+      if (ep.hooks.restore) {
+        try {
+          ep.hooks.restore(fail.shard);
+        } catch (const std::exception& e) {
+          fail.message += std::string("; fallback restore failed: ") + e.what();
+          ++fail.attempts;
+          continue;
+        }
+      }
+      const sim::CountSnapshot pre = rescue->counter().snapshot();
+      try {
+        rvv::MachineScope scope(*rescue);
+        ep.body(fail.shard);
+        fail.recovered = true;
+        fail.inline_fallback = true;
+        ++fail.attempts;
+      } catch (...) {
+        report.abandoned_counts += rescue->counter().snapshot() - pre;
+        rescue->counter().restore(pre);
+        ++fail.attempts;
+        ShardFailure scratch;
+        describe_current_exception(scratch);
+        fail.message += "; fallback: " + scratch.message;
+      }
+    }
+  }
+
+  const bool ok = report.all_recovered();
+  {
+    std::lock_guard lock(mu);
+    abandoned_total += report.abandoned_counts;
+    last_report = report;
+  }
+  if (!ok) throw ShardExecutionError(std::move(report));
+}
 
 HartPool::HartPool() : HartPool(Config{}) {}
 
@@ -93,16 +353,25 @@ HartPool::HartPool(Config cfg) : impl_(new Impl) {
   }
   if (cfg.shard_size == 0) {
     delete impl_;
-    throw std::invalid_argument("HartPool: shard_size must be non-zero");
+    TrapContext ctx;
+    ctx.op = "HartPool";
+    ctx.hart = current_hart();
+    throw IllegalConfigTrap("HartPool: shard_size must be non-zero", ctx);
   }
   // Validate the machine config here so a bad VLEN surfaces as an exception
   // on the constructing thread, not inside a worker.
   if (cfg.machine.vlen_bits < 64 || !std::has_single_bit(cfg.machine.vlen_bits)) {
     delete impl_;
-    throw std::invalid_argument("HartPool: vlen_bits must be a power of two >= 64");
+    TrapContext ctx;
+    ctx.op = "HartPool";
+    ctx.vlen_bits = cfg.machine.vlen_bits;
+    ctx.hart = current_hart();
+    throw IllegalConfigTrap("HartPool: vlen_bits must be a power of two >= 64",
+                            ctx);
   }
 
   impl_->cfg = cfg;
+  impl_->lost.assign(cfg.harts, 0);
   impl_->machines.resize(cfg.harts);
   impl_->workers.reserve(cfg.harts);
   for (unsigned h = 0; h < cfg.harts; ++h) {
@@ -128,46 +397,145 @@ unsigned HartPool::harts() const noexcept {
 
 std::size_t HartPool::shard_size() const noexcept { return impl_->cfg.shard_size; }
 
-void HartPool::for_shards(std::size_t num_shards,
-                          const std::function<void(std::size_t)>& body) {
-  if (num_shards == 0) return;
-  const unsigned nharts = harts();
-  const unsigned active =
-      num_shards < nharts ? static_cast<unsigned>(num_shards) : nharts;
-  impl_->run(active, [&](unsigned hart) {
-    const ShardRange mine = shards_for_hart(num_shards, active, hart);
-    for (std::size_t s = mine.begin; s < mine.end; ++s) body(s);
-  });
+bool HartPool::recovery_armed() const noexcept {
+  return impl_->cfg.recovery.armed();
 }
 
-void HartPool::on_hart(unsigned hart, const std::function<void()>& body) {
-  if (hart >= harts()) throw std::out_of_range("HartPool::on_hart: bad hart");
-  // Post to harts [0, hart] but only the target runs; the others see a
-  // no-op.  Keeps the fork-join path single and the target deterministic.
-  impl_->run(hart + 1, [&](unsigned h) {
-    if (h == hart) body();
-  });
+void HartPool::for_shards(std::size_t num_shards,
+                          const std::function<void(std::size_t)>& body,
+                          const RecoveryHooks& hooks) {
+  if (num_shards == 0) {
+    std::lock_guard lock(impl_->mu);
+    impl_->last_report = EpochReport{};
+    return;
+  }
+  auto ep = std::make_shared<EpochState>();
+  ep->num_shards = num_shards;
+  ep->body = body;
+  ep->hooks = hooks;
+  {
+    std::lock_guard lock(impl_->mu);
+    for (unsigned h = 0; h < impl_->machines.size(); ++h) {
+      if (!impl_->lost[h]) ep->slot_hart.push_back(h);
+    }
+  }
+  // With no lost harts slot == hart, so the decomposition (and therefore
+  // every per-hart count) is identical to the pre-recovery engine.
+  if (ep->slot_hart.size() > num_shards) ep->slot_hart.resize(num_shards);
+  ep->nslots = static_cast<unsigned>(ep->slot_hart.size());
+  ep->remaining = ep->nslots;
+  ep->slot_done.assign(ep->nslots, 0);
+  ep->slot_next.resize(ep->nslots);
+  for (unsigned slot = 0; slot < ep->nslots; ++slot) {
+    ep->slot_next[slot] = ep->slot_range(slot).begin;
+  }
+
+  if (ep->nslots == 0) {
+    // Every hart is lost: report the whole job failed there and let the
+    // inline fallback (when enabled) carry it.
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      ShardFailure fail;
+      fail.shard = s;
+      fail.timed_out = true;
+      fail.message = "no live harts";
+      ep->failures.push_back(std::move(fail));
+    }
+  } else {
+    impl_->post_and_wait(ep);
+  }
+  impl_->finish_epoch(*ep);
+}
+
+void HartPool::on_hart(unsigned hart, const std::function<void()>& body,
+                       const RecoveryHooks& hooks) {
+  if (hart >= harts()) {
+    TrapContext ctx;
+    ctx.op = "HartPool::on_hart";
+    ctx.hart = static_cast<int>(hart);
+    throw OperandTrap("HartPool::on_hart: bad hart", ctx);
+  }
+  auto ep = std::make_shared<EpochState>();
+  ep->num_shards = 1;
+  ep->single_target = true;
+  ep->body = [task = body](std::size_t) { task(); };
+  ep->hooks = hooks;
+  bool hart_lost;
+  {
+    std::lock_guard lock(impl_->mu);
+    hart_lost = impl_->lost[hart] != 0;
+  }
+  if (!hart_lost) {
+    ep->slot_hart.assign(1, hart);
+    ep->nslots = 1;
+    ep->remaining = 1;
+    ep->slot_done.assign(1, 0);
+    ep->slot_next.assign(1, 0);
+    impl_->post_and_wait(ep);
+  } else {
+    ShardFailure fail;
+    fail.hart = static_cast<int>(hart);
+    fail.timed_out = true;
+    fail.message = "target hart lost";
+    ep->failures.push_back(std::move(fail));
+  }
+  impl_->finish_epoch(*ep);
 }
 
 rvv::Machine& HartPool::machine(unsigned hart) {
-  if (hart >= harts()) throw std::out_of_range("HartPool::machine: bad hart");
+  if (hart >= harts()) {
+    TrapContext ctx;
+    ctx.op = "HartPool::machine";
+    ctx.hart = static_cast<int>(hart);
+    throw OperandTrap("HartPool::machine: bad hart", ctx);
+  }
   return *impl_->machines[hart];
 }
 
+const EpochReport& HartPool::last_report() const noexcept {
+  return impl_->last_report;
+}
+
+unsigned HartPool::lost_harts() const {
+  std::lock_guard lock(impl_->mu);
+  unsigned n = 0;
+  for (const char l : impl_->lost) n += l != 0;
+  return n;
+}
+
 std::vector<sim::CountSnapshot> HartPool::per_hart_counts() const {
+  std::lock_guard lock(impl_->mu);
   std::vector<sim::CountSnapshot> counts;
   counts.reserve(impl_->machines.size());
-  for (const auto& m : impl_->machines) counts.push_back(m->counter().snapshot());
+  for (unsigned h = 0; h < impl_->machines.size(); ++h) {
+    counts.push_back(impl_->lost[h] ? sim::CountSnapshot{}
+                                    : impl_->machines[h]->counter().snapshot());
+  }
   return counts;
 }
 
 sim::CountSnapshot HartPool::merged_counts() const {
-  const auto per_hart = per_hart_counts();
-  return sim::merge_counts(per_hart.data(), per_hart.size());
+  std::lock_guard lock(impl_->mu);
+  sim::CountSnapshot sum;
+  for (unsigned h = 0; h < impl_->machines.size(); ++h) {
+    if (impl_->lost[h]) continue;  // a lost hart's counter is not readable
+    sum += impl_->machines[h]->counter().snapshot();
+  }
+  if (impl_->rescue) sum += impl_->rescue->counter().snapshot();
+  return sum;
+}
+
+sim::CountSnapshot HartPool::abandoned_counts() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->abandoned_total;
 }
 
 void HartPool::reset_counts() noexcept {
-  for (const auto& m : impl_->machines) m->reset_counts();
+  std::lock_guard lock(impl_->mu);
+  for (unsigned h = 0; h < impl_->machines.size(); ++h) {
+    if (!impl_->lost[h]) impl_->machines[h]->reset_counts();
+  }
+  if (impl_->rescue) impl_->rescue->reset_counts();
+  impl_->abandoned_total = sim::CountSnapshot{};
 }
 
 }  // namespace rvvsvm::par

@@ -1,4 +1,4 @@
-// A pool of emulated harts with a reusable fork-join runner.
+// A pool of emulated harts with a reusable, self-healing fork-join runner.
 //
 // Each worker thread owns one rvv::Machine — one hart — created on the
 // worker itself so the machine's buffer pool binds to that thread.  The
@@ -13,22 +13,133 @@
 // hart's machine directly — it only reads counters between jobs, which the
 // fork-join mutex handshake orders.
 //
+// Failure isolation (the robustness layer): every shard executes under a
+// per-shard catch.  A shard whose body throws is retried on its hart up to
+// RecoveryPolicy::max_retries times (the caller's RecoveryHooks restore any
+// in-place state first), then — if fallback_inline is set — re-executed on
+// the calling thread under a lazily created rescue machine.  Every failure,
+// recovered or not, lands in a structured ShardFailure inside the epoch's
+// EpochReport; if any shard remains unrecovered the whole report is thrown
+// as ShardExecutionError.  A watchdog (RecoveryPolicy::watchdog) bounds how
+// long the calling thread waits: on timeout the epoch is abandoned, hung
+// harts are marked lost (excluded from later jobs until they come back),
+// and their unfinished shards are recovered inline.
+//
 // Instruction accounting: every hart's counter accumulates independently and
-// merged_counts() sums them.  Because shard decomposition and shard-to-hart
-// assignment depend only on (n, shard_size, harts) and each shard's work
-// only on the shard, the merged count for a fixed shard size is identical
-// for 1, 2, 4 or 8 harts — the engine's determinism invariant.
+// merged_counts() sums them (plus the rescue machine).  Because shard
+// decomposition and shard-to-hart assignment depend only on (n, shard_size,
+// harts) and each shard's work only on the shard, the merged count for a
+// fixed shard size is identical for 1, 2, 4 or 8 harts — the engine's
+// determinism invariant.  Recovery preserves it exactly: a failed attempt's
+// counts are rolled back off the hart's counter before the retry, so golden
+// totals only ever contain work that committed once.  The rolled-back
+// counts are reported separately via EpochReport::abandoned_counts and the
+// pool-lifetime abandoned_counts() — never folded into merged_counts().
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "rvv/machine.hpp"
 #include "par/partition.hpp"
 #include "sim/inst_counter.hpp"
+#include "sim/trap.hpp"
 
 namespace rvvsvm::par {
+
+/// What the pool does when a shard body throws or a hart stops responding.
+/// The default policy is report-only: no retries, no fallback, no watchdog —
+/// every failure is collected and the epoch throws ShardExecutionError.
+struct RecoveryPolicy {
+  /// Re-run a failed shard on its own hart up to this many times before
+  /// declaring it failed there.  RecoveryHooks::restore runs before each
+  /// retry so in-place kernels restart from clean input.
+  unsigned max_retries = 0;
+  /// After the hart gives up, re-execute the shard on the calling thread
+  /// under the pool's rescue machine (whose counts merge like a hart's).
+  bool fallback_inline = false;
+  /// Longest the calling thread waits for an epoch; zero disables the
+  /// watchdog.  On expiry the epoch is abandoned: unresponsive harts are
+  /// marked lost and their unfinished shards recovered inline (when
+  /// fallback_inline is set).  A lost hart that eventually finishes rolls
+  /// its late work back off its counter and rejoins the pool.
+  std::chrono::milliseconds watchdog{0};
+
+  /// True when any recovery channel is live — the signal for collectives to
+  /// allocate checkpoint storage (RecoveryHooks) for their in-place phases.
+  [[nodiscard]] constexpr bool armed() const noexcept {
+    return max_retries > 0 || fallback_inline || watchdog.count() > 0;
+  }
+};
+
+/// Structured record of one shard's failure.  Present in the epoch report
+/// whether or not the shard was eventually recovered.
+struct ShardFailure {
+  /// Shard index within the collective (0 for on_hart tasks).
+  std::size_t shard = 0;
+  /// Hart that owned the shard when it first failed.
+  int hart = -1;
+  /// Executions attempted (initial try + retries + inline fallback).
+  unsigned attempts = 0;
+  /// A retry or the inline fallback eventually committed the shard.
+  bool recovered = false;
+  /// Recovery happened on the calling thread's rescue machine.
+  bool inline_fallback = false;
+  /// The watchdog abandoned the hart while this shard was outstanding.
+  bool timed_out = false;
+  /// what() of the first exception (with "; fallback: ..." appended when the
+  /// inline re-execution failed too).
+  std::string message;
+  /// True when the exception was a typed rvvsvm::Trap, making `context`
+  /// meaningful (op, vl, LMUL, instruction number, hart at throw).
+  bool has_context = false;
+  TrapContext context{};
+};
+
+/// Everything the pool knows about one fork-join epoch's failures.
+struct EpochReport {
+  std::vector<ShardFailure> failures;
+  /// Counts rolled back from failed/abandoned attempts this epoch — work
+  /// that executed but never committed.  Reported separately so golden
+  /// merged totals stay exact.
+  sim::CountSnapshot abandoned_counts;
+
+  [[nodiscard]] bool all_recovered() const noexcept {
+    for (const auto& f : failures) {
+      if (!f.recovered) return false;
+    }
+    return true;
+  }
+};
+
+/// Thrown by for_shards / on_hart when at least one shard could not be
+/// recovered under the pool's policy.  Carries the full epoch report;
+/// derives std::runtime_error so pre-trap catch sites keep working.
+class ShardExecutionError : public std::runtime_error {
+ public:
+  explicit ShardExecutionError(EpochReport report);
+
+  [[nodiscard]] const EpochReport& report() const noexcept { return *report_; }
+
+ private:
+  std::shared_ptr<const EpochReport> report_;  // shared: exceptions are copied
+};
+
+/// Per-shard checkpoint callbacks supplied by collectives whose shard body
+/// mutates state in place (and therefore cannot simply be re-run).  Only
+/// invoked while the pool's recovery policy is armed: `save` once before a
+/// shard's first attempt, `restore` before every re-attempt (retry, inline
+/// fallback, or watchdog re-issue).  Both run unlocked on the executing
+/// thread and must not touch any emulated machine.
+struct RecoveryHooks {
+  std::function<void(std::size_t shard)> save;
+  std::function<void(std::size_t shard)> restore;
+};
 
 class HartPool {
  public:
@@ -41,6 +152,8 @@ class HartPool {
     std::size_t shard_size = 1u << 12;
     /// Per-hart machine configuration (VLEN, pressure model, buffer pool).
     rvv::Machine::Config machine{};
+    /// Failure handling; default is collect-and-report with no recovery.
+    RecoveryPolicy recovery{};
   };
 
   HartPool();
@@ -52,18 +165,26 @@ class HartPool {
 
   [[nodiscard]] unsigned harts() const noexcept;
   [[nodiscard]] std::size_t shard_size() const noexcept;
+  /// True when the configured recovery policy has any channel armed.
+  [[nodiscard]] bool recovery_armed() const noexcept;
 
-  /// Fork-join over shard indices [0, num_shards): each hart runs
+  /// Fork-join over shard indices [0, num_shards): each live hart runs
   /// body(shard) for its contiguous run of shards under its own
-  /// MachineScope, and the call returns when every hart is done.  A thrown
-  /// exception is captured on the hart and rethrown here (first one wins).
+  /// MachineScope, and the call returns when every hart is done.  Shard
+  /// failures are isolated, retried and recovered per the pool's
+  /// RecoveryPolicy; if any shard stays unrecovered, the collected
+  /// EpochReport is thrown as ShardExecutionError (a std::runtime_error).
+  /// `hooks` checkpoint in-place shard state for re-execution.
   void for_shards(std::size_t num_shards,
-                  const std::function<void(std::size_t shard)>& body);
+                  const std::function<void(std::size_t shard)>& body,
+                  const RecoveryHooks& hooks = {});
 
   /// Run one task on hart `hart`'s thread under its MachineScope — the
   /// cross-shard combine phases of the two-level collectives run on hart 0
-  /// so their instructions land on a deterministic counter.
-  void on_hart(unsigned hart, const std::function<void()>& body);
+  /// so their instructions land on a deterministic counter.  Failure
+  /// handling matches for_shards, with the task reported as shard 0.
+  void on_hart(unsigned hart, const std::function<void()>& body,
+               const RecoveryHooks& hooks = {});
 
   /// This hart's machine.  Only valid between jobs (the pool is idle
   /// whenever the public API is not executing), and only for inspection —
@@ -71,14 +192,31 @@ class HartPool {
   /// pool's ownership assert.
   [[nodiscard]] rvv::Machine& machine(unsigned hart);
 
+  /// Failure report of the most recent for_shards / on_hart call (empty
+  /// `failures` after a clean epoch).  Valid between jobs.
+  [[nodiscard]] const EpochReport& last_report() const noexcept;
+
+  /// Harts currently excluded from scheduling because the watchdog marked
+  /// them lost.  A lost hart rejoins automatically when its stuck job ends.
+  [[nodiscard]] unsigned lost_harts() const;
+
   /// Per-hart dynamic instruction counts since construction or the last
-  /// reset_counts().
+  /// reset_counts().  A lost hart's slot reads as zero: its counter cannot
+  /// be read race-free until the hart rejoins.
   [[nodiscard]] std::vector<sim::CountSnapshot> per_hart_counts() const;
 
-  /// Sum of the per-hart counts — the whole-pool dynamic instruction count.
+  /// Sum of the per-hart counts plus the rescue machine — the whole-pool
+  /// dynamic instruction count.  Failed attempts never appear here (their
+  /// counts are rolled back), so after full recovery this matches a
+  /// fault-free run exactly.
   [[nodiscard]] sim::CountSnapshot merged_counts() const;
 
-  /// Zero every hart's counter.
+  /// Pool-lifetime sum of rolled-back (non-committed) attempt counts — the
+  /// other side of the merged_counts() ledger.  Zeroed by reset_counts().
+  [[nodiscard]] sim::CountSnapshot abandoned_counts() const;
+
+  /// Zero every live hart's counter, the rescue machine's counter, and the
+  /// abandoned-count ledger.
   void reset_counts() noexcept;
 
  private:

@@ -19,24 +19,24 @@ namespace rvvsvm::rvv {
 
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vadd(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, detail::wrap_add<T>);
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vadd", a, b, vl, detail::wrap_add<T>);
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vadd(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl, detail::wrap_add<T>);
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vadd", a, x, vl, detail::wrap_add<T>);
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vsub(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, detail::wrap_sub<T>);
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vsub", a, b, vl, detail::wrap_sub<T>);
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vsub(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl, detail::wrap_sub<T>);
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vsub", a, x, vl, detail::wrap_sub<T>);
 }
 /// vrsub.vx: d[i] = x - a[i].
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vrsub(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vrsub", a, x, vl,
                            [](T ai, T xx) { return detail::wrap_sub(xx, ai); });
 }
 /// vneg.v pseudo-instruction (vrsub.vx with x = 0).
@@ -49,18 +49,18 @@ template <VectorElement T, unsigned L>
 
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmul(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, detail::wrap_mul<T>);
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vmul", a, b, vl, detail::wrap_mul<T>);
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmul(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl, detail::wrap_mul<T>);
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vmul", a, x, vl, detail::wrap_mul<T>);
 }
 
 /// vdiv[u].vv.  Division by zero yields all-ones; signed overflow
 /// (INT_MIN / -1) yields the dividend (RVV 1.0 section 11.11).
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vdiv(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, [](T ai, T bi) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vdiv", a, b, vl, [](T ai, T bi) {
     if (bi == T{0}) return static_cast<T>(~T{0});
     if constexpr (std::is_signed_v<T>) {
       if (ai == std::numeric_limits<T>::min() && bi == T{-1}) return ai;
@@ -73,7 +73,7 @@ template <VectorElement T, unsigned L>
 /// overflow yields zero (RVV 1.0 section 11.11).
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vrem(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, [](T ai, T bi) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vrem", a, b, vl, [](T ai, T bi) {
     if (bi == T{0}) return ai;
     if constexpr (std::is_signed_v<T>) {
       if (ai == std::numeric_limits<T>::min() && bi == T{-1}) return T{0};
@@ -86,22 +86,22 @@ template <VectorElement T, unsigned L>
 
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmin(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl,
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vmin", a, b, vl,
                            [](T ai, T bi) { return ai < bi ? ai : bi; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmin(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vmin", a, x, vl,
                            [](T ai, T xx) { return ai < xx ? ai : xx; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmax(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl,
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vmax", a, b, vl,
                            [](T ai, T bi) { return ai > bi ? ai : bi; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmax(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vmax", a, x, vl,
                            [](T ai, T xx) { return ai > xx ? ai : xx; });
 }
 
@@ -109,32 +109,32 @@ template <VectorElement T, unsigned L>
 
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vand(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl,
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vand", a, b, vl,
                            [](T ai, T bi) { return static_cast<T>(ai & bi); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vand(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vand", a, x, vl,
                            [](T ai, T xx) { return static_cast<T>(ai & xx); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vor(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl,
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vor", a, b, vl,
                            [](T ai, T bi) { return static_cast<T>(ai | bi); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vor(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vor", a, x, vl,
                            [](T ai, T xx) { return static_cast<T>(ai | xx); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vxor(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl,
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vxor", a, b, vl,
                            [](T ai, T bi) { return static_cast<T>(ai ^ bi); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vxor(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, x, vl,
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vxor", a, x, vl,
                            [](T ai, T xx) { return static_cast<T>(ai ^ xx); });
 }
 /// vnot.v pseudo-instruction (vxor.vi with -1).
@@ -147,21 +147,21 @@ template <VectorElement T, unsigned L>
 
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vsll(const vreg<T, L>& a, std::type_identity_t<T> shift, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, shift, vl, [](T ai, T s) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vsll", a, shift, vl, [](T ai, T s) {
     using U = detail::Wide<T>;
     return static_cast<T>(static_cast<U>(static_cast<U>(ai) << detail::shamt(s)));
   });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vsrl(const vreg<T, L>& a, std::type_identity_t<T> shift, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, shift, vl, [](T ai, T s) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vsrl", a, shift, vl, [](T ai, T s) {
     using U = detail::Wide<T>;
     return static_cast<T>(static_cast<U>(ai) >> detail::shamt(s));
   });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vsra(const vreg<T, L>& a, std::type_identity_t<T> shift, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, a, shift, vl, [](T ai, T s) {
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vsra", a, shift, vl, [](T ai, T s) {
     using S = std::make_signed_t<T>;
     return static_cast<T>(static_cast<S>(ai) >> detail::shamt(s));
   });
@@ -173,7 +173,7 @@ template <VectorElement T, unsigned L>
 /// wrapping.
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vsadd(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, [](T x, T y) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vsadd", a, b, vl, [](T x, T y) {
     const T wrapped = detail::wrap_add(x, y);
     if constexpr (std::is_unsigned_v<T>) {
       return wrapped < x ? std::numeric_limits<T>::max() : wrapped;
@@ -188,7 +188,7 @@ template <VectorElement T, unsigned L>
 /// vssub[u].vv: saturating subtract.
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vssub(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, a, b, vl, [](T x, T y) {
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vssub", a, b, vl, [](T x, T y) {
     const T wrapped = detail::wrap_sub(x, y);
     if constexpr (std::is_unsigned_v<T>) {
       return wrapped > x ? T{0} : wrapped;
@@ -209,12 +209,13 @@ template <VectorElement To, VectorElement From, unsigned L>
 [[nodiscard]] vreg<To, L> vext(const vreg<From, L>& a, std::size_t vl) {
   static_assert(sizeof(To) > sizeof(From), "vext widens; use vnsrl to narrow");
   Machine& m = a.machine();
-  detail::check_vl(vl, a.capacity());
-  m.counter().add(sim::InstClass::kVectorArith);
+  const detail::OpCtx ctx{m, "vext", vl, L};
+  ctx.check_vl(a.capacity(), "source");
+  ctx.check_vl(m.vlmax<To>(L), "widened destination");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorArith, "vext", vl, L);
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(L);
-  detail::check_vl(vl, m.vlmax<To>(L));
   auto out = detail::result_elems<To>(m, m.vlmax<To>(L), vl);
   const From* pa = a.elems().data();
   To* po = out.data();
@@ -228,12 +229,13 @@ template <VectorElement To, VectorElement From, unsigned L>
 [[nodiscard]] vreg<To, L> vnsrl(const vreg<From, L>& a, std::size_t vl) {
   static_assert(sizeof(To) < sizeof(From), "vnsrl narrows; use vext to widen");
   Machine& m = a.machine();
-  detail::check_vl(vl, a.capacity());
-  m.counter().add(sim::InstClass::kVectorArith);
+  const detail::OpCtx ctx{m, "vnsrl", vl, L};
+  ctx.check_vl(a.capacity(), "source");
+  ctx.check_vl(m.vlmax<To>(L), "narrowed destination");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorArith, "vnsrl", vl, L);
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(L);
-  detail::check_vl(vl, m.vlmax<To>(L));
   auto out = detail::result_elems<To>(m, m.vlmax<To>(L), vl);
   const From* pa = a.elems().data();
   To* po = out.data();
@@ -247,14 +249,14 @@ template <VectorElement To, VectorElement From, unsigned L>
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmerge(const vmask& mask, const vreg<T, L>& a,
                                 const vreg<T, L>& b, std::size_t vl) {
-  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, b, a, b, vl,
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vmerge", mask, b, a, b, vl,
                                   [](T ai, T) { return ai; });
 }
 /// vmerge.vxm: d[i] = mask[i] ? x : b[i].
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmerge(const vmask& mask, std::type_identity_t<T> x, const vreg<T, L>& b,
                                 std::size_t vl) {
-  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, b, b, b, vl,
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vmerge", mask, b, b, b, vl,
                                   [x](T, T) { return x; });
 }
 
@@ -264,27 +266,27 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vadd_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, const vreg<T, L>& b,
                                 std::size_t vl) {
-  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vadd", mask, maskedoff,
                                   a, b, vl, detail::wrap_add<T>);
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vadd_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, "vadd", mask, maskedoff,
                                   a, x, vl, detail::wrap_add<T>);
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vsub_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, const vreg<T, L>& b,
                                 std::size_t vl) {
-  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vsub", mask, maskedoff,
                                   a, b, vl, detail::wrap_sub<T>);
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vor_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                const vreg<T, L>& a, const vreg<T, L>& b,
                                std::size_t vl) {
-  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vor", mask, maskedoff,
                                   a, b, vl,
                                   [](T ai, T bi) { return static_cast<T>(ai | bi); });
 }
@@ -292,7 +294,7 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vand_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, const vreg<T, L>& b,
                                 std::size_t vl) {
-  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vand", mask, maskedoff,
                                   a, b, vl,
                                   [](T ai, T bi) { return static_cast<T>(ai & bi); });
 }
@@ -300,7 +302,7 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmax_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, const vreg<T, L>& b,
                                 std::size_t vl) {
-  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vmax", mask, maskedoff,
                                   a, b, vl,
                                   [](T ai, T bi) { return ai > bi ? ai : bi; });
 }
@@ -308,7 +310,7 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmin_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, const vreg<T, L>& b,
                                 std::size_t vl) {
-  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vmin", mask, maskedoff,
                                   a, b, vl,
                                   [](T ai, T bi) { return ai < bi ? ai : bi; });
 }
@@ -316,14 +318,14 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmul_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, const vreg<T, L>& b,
                                 std::size_t vl) {
-  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vmul", mask, maskedoff,
                                   a, b, vl, detail::wrap_mul<T>);
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vxor_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, const vreg<T, L>& b,
                                 std::size_t vl) {
-  return detail::masked_binary_vv(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vxor", mask, maskedoff,
                                   a, b, vl,
                                   [](T ai, T bi) { return static_cast<T>(ai ^ bi); });
 }
@@ -334,7 +336,7 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vor_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                const vreg<T, L>& a, std::type_identity_t<T> x,
                                std::size_t vl) {
-  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, "vor", mask, maskedoff,
                                   a, x, vl,
                                   [](T ai, T xx) { return static_cast<T>(ai | xx); });
 }
@@ -342,7 +344,7 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vand_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, std::type_identity_t<T> x,
                                 std::size_t vl) {
-  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, "vand", mask, maskedoff,
                                   a, x, vl,
                                   [](T ai, T xx) { return static_cast<T>(ai & xx); });
 }
@@ -350,7 +352,7 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vxor_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, std::type_identity_t<T> x,
                                 std::size_t vl) {
-  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, "vxor", mask, maskedoff,
                                   a, x, vl,
                                   [](T ai, T xx) { return static_cast<T>(ai ^ xx); });
 }
@@ -358,7 +360,7 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmax_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, std::type_identity_t<T> x,
                                 std::size_t vl) {
-  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, "vmax", mask, maskedoff,
                                   a, x, vl,
                                   [](T ai, T xx) { return ai > xx ? ai : xx; });
 }
@@ -366,7 +368,7 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmin_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, std::type_identity_t<T> x,
                                 std::size_t vl) {
-  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, "vmin", mask, maskedoff,
                                   a, x, vl,
                                   [](T ai, T xx) { return ai < xx ? ai : xx; });
 }
@@ -374,7 +376,7 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmul_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, std::type_identity_t<T> x,
                                 std::size_t vl) {
-  return detail::masked_binary_vx(sim::InstClass::kVectorArith, mask, maskedoff,
+  return detail::masked_binary_vx(sim::InstClass::kVectorArith, "vmul", mask, maskedoff,
                                   a, x, vl, detail::wrap_mul<T>);
 }
 

@@ -16,7 +16,13 @@ Machine::Machine(Config cfg)
       scalar_(counter_),
       pool_(sim::BufferPool::Config{.recycle = cfg.use_buffer_pool}) {
   if (cfg_.vlen_bits < 64 || !std::has_single_bit(cfg_.vlen_bits)) {
-    throw std::invalid_argument("Machine: vlen_bits must be a power of two >= 64");
+    // No machine exists yet, so the context carries only the requested VLEN.
+    TrapContext ctx;
+    ctx.op = "Machine";
+    ctx.vlen_bits = cfg_.vlen_bits;
+    ctx.hart = current_hart();
+    throw IllegalConfigTrap("Machine: vlen_bits must be a power of two >= 64",
+                            ctx);
   }
   if (cfg_.model_register_pressure) {
     // A pool-off (baseline) machine also gets the pre-pool host cost model

@@ -28,6 +28,7 @@
 #include "sim/inst_counter.hpp"
 #include "sim/regfile_model.hpp"
 #include "sim/scalar_model.hpp"
+#include "sim/trap.hpp"
 
 namespace rvvsvm::rvv {
 
@@ -63,16 +64,19 @@ class Machine {
 
   /// Execute a vsetvl configuration instruction: returns
   /// vl = min(avl, VLMAX) and charges one kVectorConfig instruction.
+  /// An unsupported LMUL raises IllegalConfigTrap before the charge.
   template <VectorElement T>
   std::size_t vsetvl(std::size_t avl, unsigned lmul = 1) {
-    counter_.add(sim::InstClass::kVectorConfig);
+    check_lmul("vsetvl", avl, lmul);
+    charge(sim::InstClass::kVectorConfig, "vsetvl", avl, lmul);
     return vl_for(avl, vlmax<T>(lmul));
   }
 
   /// VLMAX query via vsetvlmax — also a retired vsetvli instruction.
   template <VectorElement T>
   std::size_t vsetvlmax(unsigned lmul = 1) {
-    counter_.add(sim::InstClass::kVectorConfig);
+    check_lmul("vsetvlmax", 0, lmul);
+    charge(sim::InstClass::kVectorConfig, "vsetvlmax", 0, lmul);
     return vlmax<T>(lmul);
   }
 
@@ -96,6 +100,38 @@ class Machine {
     return pool_.stats();
   }
 
+  /// Install (or clear, with nullptr) the pre-charge fault hook.  The hook
+  /// is consulted once per emulated instruction after operand validation and
+  /// before the counter charge; it may throw to abort the instruction with
+  /// no machine state change.  Owned by the caller; must outlive its use.
+  void set_fault_hook(FaultHook* hook) noexcept { fault_hook_ = hook; }
+  [[nodiscard]] FaultHook* fault_hook() const noexcept { return fault_hook_; }
+
+  /// True when any fault-injection channel is live on this machine — the
+  /// signal for ops to arm their (otherwise free) rollback guards.
+  [[nodiscard]] bool fault_armed() const noexcept {
+    return fault_hook_ != nullptr || pool_.alloc_trap_armed();
+  }
+
+  /// Build the trap context for an instruction executing on this machine.
+  [[nodiscard]] TrapContext trap_context(const char* op, std::size_t vl,
+                                         unsigned lmul) const noexcept {
+    return TrapContext{op,        vl,
+                       lmul,      cfg_.vlen_bits,
+                       counter_.total(), current_hart()};
+  }
+
+  /// Step 2 of the instruction protocol (validate, charge, allocate,
+  /// compute): give the fault hook its pre-charge trap window, then charge
+  /// the counter.  Call only after every operand check has passed.
+  void charge(sim::InstClass cls, const char* op, std::size_t vl,
+              unsigned lmul) {
+    if (fault_hook_ != nullptr) {
+      fault_hook_->on_instruction(cls, trap_context(op, vl, lmul));
+    }
+    counter_.add(cls);
+  }
+
   /// The machine the intrinsic-style free functions execute on.
   /// Throws std::logic_error when no MachineScope is active.
   [[nodiscard]] static Machine& active();
@@ -105,11 +141,19 @@ class Machine {
  private:
   friend class MachineScope;
 
+  void check_lmul(const char* op, std::size_t avl, unsigned lmul) const {
+    if (!valid_lmul(lmul)) {
+      throw IllegalConfigTrap("vsetvl: unsupported LMUL",
+                              trap_context(op, avl, lmul));
+    }
+  }
+
   Config cfg_;
   sim::InstCounter counter_;
   sim::ScalarRecorder scalar_;
   sim::BufferPool pool_;
   std::unique_ptr<sim::VRegFileModel> regfile_;
+  FaultHook* fault_hook_ = nullptr;
 };
 
 /// Activates a machine for the current thread for the scope's lifetime.

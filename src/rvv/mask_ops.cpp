@@ -17,8 +17,9 @@ std::size_t mask_capacity(const Machine& m) {
 vmask vmclr(std::size_t vl) {
   Machine& m = Machine::active();
   const std::size_t cap = mask_capacity(m);
-  detail::check_vl(vl, cap);
-  m.counter().add(sim::InstClass::kVectorMask);
+  const detail::OpCtx ctx{m, "vmclr", vl, 1};
+  ctx.check_vl(cap, "destination");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMask, "vmclr", vl, 1);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(1);
   auto bits = detail::result_bits(m, cap, vl);
@@ -29,8 +30,9 @@ vmask vmclr(std::size_t vl) {
 vmask vmset(std::size_t vl) {
   Machine& m = Machine::active();
   const std::size_t cap = mask_capacity(m);
-  detail::check_vl(vl, cap);
-  m.counter().add(sim::InstClass::kVectorMask);
+  const detail::OpCtx ctx{m, "vmset", vl, 1};
+  ctx.check_vl(cap, "destination");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMask, "vmset", vl, 1);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(1);
   auto bits = detail::result_bits(m, cap, vl);
@@ -40,8 +42,9 @@ vmask vmset(std::size_t vl) {
 
 std::size_t vcpop(const vmask& mask, std::size_t vl) {
   Machine& m = mask.machine();
-  detail::check_vl(vl, mask.capacity());
-  m.counter().add(sim::InstClass::kVectorMask);
+  const detail::OpCtx ctx{m, "vcpop", vl, 1};
+  ctx.check_vl(mask.capacity(), "mask");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMask, "vcpop", vl, 1);
   detail::AllocGuard guard(m);
   guard.use(mask.value_id());
   std::size_t count = 0;
@@ -56,8 +59,9 @@ std::size_t vcpop(const vmask& mask, std::size_t vl) {
 
 long vfirst(const vmask& mask, std::size_t vl) {
   Machine& m = mask.machine();
-  detail::check_vl(vl, mask.capacity());
-  m.counter().add(sim::InstClass::kVectorMask);
+  const detail::OpCtx ctx{m, "vfirst", vl, 1};
+  ctx.check_vl(mask.capacity(), "mask");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMask, "vfirst", vl, 1);
   detail::AllocGuard guard(m);
   guard.use(mask.value_id());
   const std::uint8_t* pm = mask.bits().data();
@@ -71,10 +75,12 @@ namespace {
 
 enum class FirstKind { kBefore, kIncluding, kOnly };
 
-vmask set_first(const vmask& mask, std::size_t vl, FirstKind kind) {
+vmask set_first(const char* op, const vmask& mask, std::size_t vl,
+                FirstKind kind) {
   Machine& m = mask.machine();
-  detail::check_vl(vl, mask.capacity());
-  m.counter().add(sim::InstClass::kVectorMask);
+  const detail::OpCtx ctx{m, op, vl, 1};
+  ctx.check_vl(mask.capacity(), "mask");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMask, op, vl, 1);
   detail::AllocGuard guard(m);
   guard.use(mask.value_id());
   const sim::ValueId id = guard.define(1);
@@ -98,15 +104,15 @@ vmask set_first(const vmask& mask, std::size_t vl, FirstKind kind) {
 }  // namespace
 
 vmask vmsbf(const vmask& mask, std::size_t vl) {
-  return set_first(mask, vl, FirstKind::kBefore);
+  return set_first("vmsbf", mask, vl, FirstKind::kBefore);
 }
 
 vmask vmsif(const vmask& mask, std::size_t vl) {
-  return set_first(mask, vl, FirstKind::kIncluding);
+  return set_first("vmsif", mask, vl, FirstKind::kIncluding);
 }
 
 vmask vmsof(const vmask& mask, std::size_t vl) {
-  return set_first(mask, vl, FirstKind::kOnly);
+  return set_first("vmsof", mask, vl, FirstKind::kOnly);
 }
 
 }  // namespace rvvsvm::rvv

@@ -14,15 +14,14 @@ namespace rvvsvm::rvv {
 namespace detail {
 
 template <VectorElement T, unsigned L, class F>
-[[nodiscard]] vmask compare_vv(const vreg<T, L>& a, const vreg<T, L>& b,
-                               std::size_t vl, F f) {
+[[nodiscard]] vmask compare_vv(const char* op, const vreg<T, L>& a,
+                               const vreg<T, L>& b, std::size_t vl, F f) {
   Machine& m = a.machine();
-  if (&b.machine() != &m) {
-    throw std::logic_error("compare: operands from different machines");
-  }
-  check_vl(vl, a.capacity());
-  check_vl(vl, b.capacity());
-  m.counter().add(sim::InstClass::kVectorMask);
+  const OpCtx ctx{m, op, vl, L};
+  ctx.check_machine(b.machine(), "second source operand");
+  ctx.check_vl(a.capacity(), "source");
+  ctx.check_vl(b.capacity(), "second source");
+  ChargeGuard charge(m, sim::InstClass::kVectorMask, op, vl, L);
   AllocGuard guard(m);
   guard.use(a.value_id());
   guard.use(b.value_id());
@@ -40,10 +39,12 @@ template <VectorElement T, unsigned L, class F>
 }
 
 template <VectorElement T, unsigned L, class F>
-[[nodiscard]] vmask compare_vx(const vreg<T, L>& a, T x, std::size_t vl, F f) {
+[[nodiscard]] vmask compare_vx(const char* op, const vreg<T, L>& a, T x,
+                               std::size_t vl, F f) {
   Machine& m = a.machine();
-  check_vl(vl, a.capacity());
-  m.counter().add(sim::InstClass::kVectorMask);
+  const OpCtx ctx{m, op, vl, L};
+  ctx.check_vl(a.capacity(), "source");
+  ChargeGuard charge(m, sim::InstClass::kVectorMask, op, vl, L);
   AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(1);
@@ -59,14 +60,14 @@ template <VectorElement T, unsigned L, class F>
 }
 
 template <class F>
-[[nodiscard]] vmask mask_logical(const vmask& a, const vmask& b, std::size_t vl, F f) {
+[[nodiscard]] vmask mask_logical(const char* op, const vmask& a, const vmask& b,
+                                 std::size_t vl, F f) {
   Machine& m = a.machine();
-  if (&b.machine() != &m) {
-    throw std::logic_error("mask logical: operands from different machines");
-  }
-  check_vl(vl, a.capacity());
-  check_vl(vl, b.capacity());
-  m.counter().add(sim::InstClass::kVectorMask);
+  const OpCtx ctx{m, op, vl, 1};
+  ctx.check_machine(b.machine(), "second source operand");
+  ctx.check_vl(a.capacity(), "source");
+  ctx.check_vl(b.capacity(), "second source");
+  ChargeGuard charge(m, sim::InstClass::kVectorMask, op, vl, 1);
   AllocGuard guard(m);
   guard.use(a.value_id());
   guard.use(b.value_id());
@@ -89,78 +90,78 @@ template <class F>
 
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmseq(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::compare_vv(a, b, vl, [](T x, T y) { return x == y; });
+  return detail::compare_vv("vmseq", a, b, vl, [](T x, T y) { return x == y; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmseq(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::compare_vx(a, x, vl, [](T e, T y) { return e == y; });
+  return detail::compare_vx("vmseq", a, x, vl, [](T e, T y) { return e == y; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmsne(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::compare_vv(a, b, vl, [](T x, T y) { return x != y; });
+  return detail::compare_vv("vmsne", a, b, vl, [](T x, T y) { return x != y; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmsne(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::compare_vx(a, x, vl, [](T e, T y) { return e != y; });
+  return detail::compare_vx("vmsne", a, x, vl, [](T e, T y) { return e != y; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmslt(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::compare_vv(a, b, vl, [](T x, T y) { return x < y; });
+  return detail::compare_vv("vmslt", a, b, vl, [](T x, T y) { return x < y; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmslt(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::compare_vx(a, x, vl, [](T e, T y) { return e < y; });
+  return detail::compare_vx("vmslt", a, x, vl, [](T e, T y) { return e < y; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmsle(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::compare_vv(a, b, vl, [](T x, T y) { return x <= y; });
+  return detail::compare_vv("vmsle", a, b, vl, [](T x, T y) { return x <= y; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmsle(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::compare_vx(a, x, vl, [](T e, T y) { return e <= y; });
+  return detail::compare_vx("vmsle", a, x, vl, [](T e, T y) { return e <= y; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmsgt(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::compare_vv(a, b, vl, [](T x, T y) { return x > y; });
+  return detail::compare_vv("vmsgt", a, b, vl, [](T x, T y) { return x > y; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmsgt(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::compare_vx(a, x, vl, [](T e, T y) { return e > y; });
+  return detail::compare_vx("vmsgt", a, x, vl, [](T e, T y) { return e > y; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmsge(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::compare_vv(a, b, vl, [](T x, T y) { return x >= y; });
+  return detail::compare_vv("vmsge", a, b, vl, [](T x, T y) { return x >= y; });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vmask vmsge(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::compare_vx(a, x, vl, [](T e, T y) { return e >= y; });
+  return detail::compare_vx("vmsge", a, x, vl, [](T e, T y) { return e >= y; });
 }
 
 // --- mask-register logical instructions -------------------------------------
 
 [[nodiscard]] inline vmask vmand(const vmask& a, const vmask& b, std::size_t vl) {
-  return detail::mask_logical(a, b, vl, [](bool x, bool y) { return x && y; });
+  return detail::mask_logical("vmand", a, b, vl, [](bool x, bool y) { return x && y; });
 }
 [[nodiscard]] inline vmask vmor(const vmask& a, const vmask& b, std::size_t vl) {
-  return detail::mask_logical(a, b, vl, [](bool x, bool y) { return x || y; });
+  return detail::mask_logical("vmor", a, b, vl, [](bool x, bool y) { return x || y; });
 }
 [[nodiscard]] inline vmask vmxor(const vmask& a, const vmask& b, std::size_t vl) {
-  return detail::mask_logical(a, b, vl, [](bool x, bool y) { return x != y; });
+  return detail::mask_logical("vmxor", a, b, vl, [](bool x, bool y) { return x != y; });
 }
 [[nodiscard]] inline vmask vmnand(const vmask& a, const vmask& b, std::size_t vl) {
-  return detail::mask_logical(a, b, vl, [](bool x, bool y) { return !(x && y); });
+  return detail::mask_logical("vmnand", a, b, vl, [](bool x, bool y) { return !(x && y); });
 }
 [[nodiscard]] inline vmask vmnor(const vmask& a, const vmask& b, std::size_t vl) {
-  return detail::mask_logical(a, b, vl, [](bool x, bool y) { return !(x || y); });
+  return detail::mask_logical("vmnor", a, b, vl, [](bool x, bool y) { return !(x || y); });
 }
 [[nodiscard]] inline vmask vmxnor(const vmask& a, const vmask& b, std::size_t vl) {
-  return detail::mask_logical(a, b, vl, [](bool x, bool y) { return x == y; });
+  return detail::mask_logical("vmxnor", a, b, vl, [](bool x, bool y) { return x == y; });
 }
 [[nodiscard]] inline vmask vmandn(const vmask& a, const vmask& b, std::size_t vl) {
-  return detail::mask_logical(a, b, vl, [](bool x, bool y) { return x && !y; });
+  return detail::mask_logical("vmandn", a, b, vl, [](bool x, bool y) { return x && !y; });
 }
 [[nodiscard]] inline vmask vmorn(const vmask& a, const vmask& b, std::size_t vl) {
-  return detail::mask_logical(a, b, vl, [](bool x, bool y) { return x || !y; });
+  return detail::mask_logical("vmorn", a, b, vl, [](bool x, bool y) { return x || !y; });
 }
 /// vmnot.m pseudo-instruction (vmnand vs, vs).
 [[nodiscard]] inline vmask vmnot(const vmask& a, std::size_t vl) {
@@ -196,9 +197,10 @@ template <VectorElement T, unsigned L = 1>
 [[nodiscard]] vreg<T, L> viota(const vmask& mask, std::size_t vl) {
   Machine& m = mask.machine();
   const std::size_t cap = m.vlmax<T>(L);
-  detail::check_vl(vl, cap);
-  detail::check_vl(vl, mask.capacity());
-  m.counter().add(sim::InstClass::kVectorMask);
+  const detail::OpCtx ctx{m, "viota", vl, L};
+  ctx.check_vl(cap, "destination");
+  ctx.check_vl(mask.capacity(), "mask");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMask, "viota", vl, L);
   detail::AllocGuard guard(m);
   guard.use(mask.value_id());
   const sim::ValueId id = guard.define(L);
@@ -225,8 +227,9 @@ template <VectorElement T, unsigned L = 1>
 [[nodiscard]] vreg<T, L> vid(std::size_t vl) {
   Machine& m = Machine::active();
   const std::size_t cap = m.vlmax<T>(L);
-  detail::check_vl(vl, cap);
-  m.counter().add(sim::InstClass::kVectorMask);
+  const detail::OpCtx ctx{m, "vid", vl, L};
+  ctx.check_vl(cap, "destination");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMask, "vid", vl, L);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(L);
   auto out = detail::result_elems<T>(m, cap, vl);

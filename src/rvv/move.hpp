@@ -13,8 +13,9 @@ template <VectorElement T, unsigned L = 1>
 [[nodiscard]] vreg<T, L> vmv_v_x(std::type_identity_t<T> x, std::size_t vl) {
   Machine& m = Machine::active();
   const std::size_t cap = m.vlmax<T>(L);
-  detail::check_vl(vl, cap);
-  m.counter().add(sim::InstClass::kVectorMove);
+  const detail::OpCtx ctx{m, "vmv_v_x", vl, L};
+  ctx.check_vl(cap, "destination");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMove, "vmv_v_x", vl, L);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(L);
   auto out = detail::result_elems<T>(m, cap, vl);
@@ -31,7 +32,8 @@ template <VectorElement T, unsigned L = 1>
 /// vslideup).
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmv_v_v(const vreg<T, L>& a, std::size_t vl) {
-  return detail::unary(sim::InstClass::kVectorMove, a, vl, [](T ai) { return ai; });
+  return detail::unary(sim::InstClass::kVectorMove, "vmv_v_v", a, vl,
+                       [](T ai) { return ai; });
 }
 
 /// vmv.s.x intrinsic form with a tail-undisturbed destination: writes x to
@@ -41,8 +43,9 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmv_s_x(const vreg<T, L>& dest, std::type_identity_t<T> x,
                                  std::size_t vl) {
   Machine& m = dest.machine();
-  detail::check_vl(vl, dest.capacity());
-  m.counter().add(sim::InstClass::kVectorMove);
+  const detail::OpCtx ctx{m, "vmv_s_x", vl, L};
+  ctx.check_vl(dest.capacity(), "destination");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMove, "vmv_s_x", vl, L);
   detail::AllocGuard guard(m);
   guard.use(dest.value_id());
   const sim::ValueId id = guard.define(L);
@@ -55,10 +58,11 @@ template <VectorElement T, unsigned L>
 template <VectorElement T, unsigned L>
 [[nodiscard]] T vmv_x_s(const vreg<T, L>& a) {
   Machine& m = a.machine();
-  m.counter().add(sim::InstClass::kVectorMove);
+  const detail::OpCtx ctx{m, "vmv_x_s", 1, L};
+  if (a.capacity() == 0) ctx.trap_operand("empty vector register");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMove, "vmv_x_s", 1, L);
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
-  if (a.capacity() == 0) throw std::logic_error("vmv_x_s: empty vector register");
   return a[0];
 }
 

@@ -1,17 +1,27 @@
 // Shared machinery for the emulated instruction implementations.
 //
-// Every emulated RVV instruction follows the same protocol:
-//   1. charge one dynamic instruction of its class to the machine's counter,
-//   2. drive the register-pressure model (pin operands, define the result),
-//   3. compute the result elements for [0, vl) and poison the tail.
-// The helpers here implement that protocol once so the per-instruction code
-// in arith.hpp / mask_ops.hpp / permute.hpp stays a one-line semantic lambda.
+// Every emulated RVV instruction follows the same validate-then-charge
+// protocol (the trap discipline — see sim/trap.hpp):
+//   1. validate every operand (cross-machine, capacity, memory bounds);
+//      violations raise a typed trap before anything is charged,
+//   2. charge one dynamic instruction of its class to the machine's counter
+//      (via ChargeGuard, which also gives the fault-injection hook its
+//      pre-charge window and un-charges if the instruction aborts later),
+//   3. drive the register-pressure model (pin operands, define the result),
+//   4. compute the result elements for [0, vl) and poison the tail.
+// A trapped instruction therefore never retires: the counter is not
+// half-charged, the register file holds no leaked value, and pool storage
+// unwinds by RAII.  The helpers here implement that protocol once so the
+// per-instruction code in arith.hpp / mask_ops.hpp / permute.hpp stays a
+// one-line semantic lambda.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <exception>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 
 #include "rvv/config.hpp"
@@ -20,6 +30,7 @@
 #include "sim/buffer_pool.hpp"
 #include "sim/inst_counter.hpp"
 #include "sim/regfile_model.hpp"
+#include "sim/trap.hpp"
 
 namespace rvvsvm::rvv::detail {
 
@@ -49,15 +60,97 @@ template <VectorElement T>
   return static_cast<unsigned>(static_cast<Wide<T>>(b) & (kSewBits<T> - 1));
 }
 
+/// Validation context of the instruction being emulated: the machine plus
+/// the identity fields every trap must carry.  Step 1 of the protocol runs
+/// entirely through this object, so every operand violation raises a typed
+/// trap with full context before anything is charged.
+struct OpCtx {
+  Machine& m;
+  const char* op;
+  std::size_t vl;
+  unsigned lmul;
+
+  [[nodiscard]] TrapContext context() const noexcept {
+    return m.trap_context(op, vl, lmul);
+  }
+
+  [[noreturn]] void trap_operand(const std::string& detail) const {
+    throw OperandTrap(std::string(op) + ": " + detail, context());
+  }
+  [[noreturn]] void trap_memory(const std::string& detail,
+                                std::size_t element) const {
+    throw MemoryAccessTrap(std::string(op) + ": " + detail, element, context());
+  }
+
+  /// Validate vl against an operand's capacity (VLMAX for its SEW/LMUL).
+  void check_vl(std::size_t capacity, const char* operand) const {
+    if (vl > capacity) {
+      trap_operand(std::string("vl exceeds capacity of ") + operand +
+                   " (VLMAX for this SEW/LMUL)");
+    }
+  }
+
+  /// Validate that an operand was produced on this instruction's machine.
+  void check_machine(const Machine& other, const char* operand) const {
+    if (&other != &m) {
+      trap_operand(std::string(operand) + " from a different machine");
+    }
+  }
+};
+
+/// Step 2 of the protocol: charge exactly one dynamic instruction of class
+/// `cls`.  In normal operation this is a plain counter add (plus one
+/// predictable branch).  When fault injection is armed on the machine, the
+/// constructor routes through Machine::charge — giving the hook its
+/// pre-charge trap window — and the destructor un-charges everything the
+/// instruction added (including spill/reload traffic from its allocator
+/// events) if it aborts after the charge, e.g. on an injected allocation
+/// failure.  A trapped instruction never retires, so it never half-charges.
+class ChargeGuard {
+ public:
+  ChargeGuard(Machine& m, sim::InstClass cls, const char* op, std::size_t vl,
+              unsigned lmul)
+      : m_(m),
+        armed_(m.fault_armed()),
+        uncaught_(std::uncaught_exceptions()) {
+    if (armed_) snap_ = m.counter().snapshot();
+    m.charge(cls, op, vl, lmul);
+  }
+  ~ChargeGuard() {
+    if (armed_ && std::uncaught_exceptions() > uncaught_) {
+      m_.counter().restore(snap_);
+    }
+  }
+  ChargeGuard(const ChargeGuard&) = delete;
+  ChargeGuard& operator=(const ChargeGuard&) = delete;
+
+ private:
+  Machine& m_;
+  bool armed_;
+  int uncaught_;
+  sim::CountSnapshot snap_;
+};
+
 /// RAII bracket around one instruction's register-allocator events.
 /// All operand use() calls must precede define().
 class AllocGuard {
  public:
-  explicit AllocGuard(Machine& machine) : regfile_(machine.regfile()) {
+  explicit AllocGuard(Machine& machine)
+      : regfile_(machine.regfile()), uncaught_(std::uncaught_exceptions()) {
     if (regfile_ != nullptr) regfile_->begin_inst();
   }
   ~AllocGuard() {
-    if (regfile_ != nullptr) regfile_->end_inst();
+    if (regfile_ == nullptr) return;
+    // If the instruction aborts between define() and the result token
+    // taking ownership (an injected allocation failure inside make_vreg),
+    // the defined register group would leak and the machine would lose one
+    // register per trap.  Release it so a trapped instruction leaves the
+    // register file exactly as it found it.  (release() ignores ids the
+    // token did take ownership of and already released.)
+    if (pending_ != sim::kNoValue && std::uncaught_exceptions() > uncaught_) {
+      regfile_->release(pending_);
+    }
+    regfile_->end_inst();
   }
   AllocGuard(const AllocGuard&) = delete;
   AllocGuard& operator=(const AllocGuard&) = delete;
@@ -69,19 +162,15 @@ class AllocGuard {
     if (regfile_ != nullptr && id != sim::kNoValue) regfile_->use_as_mask(id);
   }
   [[nodiscard]] sim::ValueId define(unsigned lmul) {
-    return regfile_ != nullptr ? regfile_->define(lmul) : sim::kNoValue;
+    pending_ = regfile_ != nullptr ? regfile_->define(lmul) : sim::kNoValue;
+    return pending_;
   }
 
  private:
   sim::VRegFileModel* regfile_;
+  sim::ValueId pending_ = sim::kNoValue;
+  int uncaught_;
 };
-
-/// Validate a vl argument against the operand capacity (VLMAX).
-inline void check_vl(std::size_t vl, std::size_t capacity) {
-  if (vl > capacity) {
-    throw std::out_of_range("rvv: vl exceeds VLMAX for this SEW/LMUL");
-  }
-}
 
 /// Result element storage acquired from the machine's buffer pool, poisoned
 /// to the tail-agnostic pattern.
@@ -153,11 +242,12 @@ template <VectorElement T, unsigned LMUL>
 
 /// Unary elementwise instruction: d[i] = f(a[i]).
 template <VectorElement T, unsigned LMUL, class F>
-[[nodiscard]] vreg<T, LMUL> unary(sim::InstClass cls, const vreg<T, LMUL>& a,
-                                  std::size_t vl, F f) {
+[[nodiscard]] vreg<T, LMUL> unary(sim::InstClass cls, const char* op,
+                                  const vreg<T, LMUL>& a, std::size_t vl, F f) {
   Machine& m = a.machine();
-  check_vl(vl, a.capacity());
-  m.counter().add(cls);
+  const OpCtx ctx{m, op, vl, LMUL};
+  ctx.check_vl(a.capacity(), "source");
+  ChargeGuard charge(m, cls, op, vl, LMUL);
   AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(LMUL);
@@ -176,13 +266,16 @@ template <VectorElement T, unsigned LMUL, class F>
 
 /// Vector-vector elementwise instruction: d[i] = f(a[i], b[i]).
 template <VectorElement T, unsigned LMUL, class F>
-[[nodiscard]] vreg<T, LMUL> binary_vv(sim::InstClass cls, const vreg<T, LMUL>& a,
+[[nodiscard]] vreg<T, LMUL> binary_vv(sim::InstClass cls, const char* op,
+                                      const vreg<T, LMUL>& a,
                                       const vreg<T, LMUL>& b, std::size_t vl,
                                       F f) {
   Machine& m = a.machine();
-  if (&b.machine() != &m) throw std::logic_error("rvv: operands from different machines");
-  check_vl(vl, a.capacity());
-  m.counter().add(cls);
+  const OpCtx ctx{m, op, vl, LMUL};
+  ctx.check_machine(b.machine(), "second source operand");
+  ctx.check_vl(a.capacity(), "source");
+  ctx.check_vl(b.capacity(), "second source");
+  ChargeGuard charge(m, cls, op, vl, LMUL);
   AllocGuard guard(m);
   guard.use(a.value_id());
   guard.use(b.value_id());
@@ -201,9 +294,10 @@ template <VectorElement T, unsigned LMUL, class F>
 
 /// Vector-scalar elementwise instruction: d[i] = f(a[i], x).
 template <VectorElement T, unsigned LMUL, class F>
-[[nodiscard]] vreg<T, LMUL> binary_vx(sim::InstClass cls, const vreg<T, LMUL>& a,
-                                      T x, std::size_t vl, F f) {
-  return unary(cls, a, vl, [&](T ai) { return f(ai, x); });
+[[nodiscard]] vreg<T, LMUL> binary_vx(sim::InstClass cls, const char* op,
+                                      const vreg<T, LMUL>& a, T x,
+                                      std::size_t vl, F f) {
+  return unary(cls, op, a, vl, [&](T ai) { return f(ai, x); });
 }
 
 /// Inactive-element policy for masked instructions: elements whose mask bit
@@ -216,20 +310,24 @@ template <VectorElement T, unsigned LMUL>
 
 /// Masked vector-vector instruction.
 template <VectorElement T, unsigned LMUL, class F>
-[[nodiscard]] vreg<T, LMUL> masked_binary_vv(sim::InstClass cls, const vmask& mask,
+[[nodiscard]] vreg<T, LMUL> masked_binary_vv(sim::InstClass cls, const char* op,
+                                             const vmask& mask,
                                              const vreg<T, LMUL>& maskedoff,
                                              const vreg<T, LMUL>& a,
                                              const vreg<T, LMUL>& b,
                                              std::size_t vl, F f) {
   Machine& m = a.machine();
-  if (&b.machine() != &m) throw std::logic_error("rvv: operands from different machines");
-  if (&mask.machine() != &m) throw std::logic_error("rvv: mask from a different machine");
-  if (maskedoff.defined() && &maskedoff.machine() != &m) {
-    throw std::logic_error("rvv: maskedoff from a different machine");
+  const OpCtx ctx{m, op, vl, LMUL};
+  ctx.check_machine(b.machine(), "second source operand");
+  ctx.check_machine(mask.machine(), "mask operand");
+  if (maskedoff.defined()) {
+    ctx.check_machine(maskedoff.machine(), "maskedoff operand");
+    ctx.check_vl(maskedoff.capacity(), "maskedoff");
   }
-  check_vl(vl, a.capacity());
-  check_vl(vl, mask.capacity());
-  m.counter().add(cls);
+  ctx.check_vl(a.capacity(), "source");
+  ctx.check_vl(b.capacity(), "second source");
+  ctx.check_vl(mask.capacity(), "mask");
+  ChargeGuard charge(m, cls, op, vl, LMUL);
   AllocGuard guard(m);
   guard.use_mask(mask.value_id());
   guard.use(maskedoff.defined() ? maskedoff.value_id() : sim::kNoValue);
@@ -257,11 +355,12 @@ template <VectorElement T, unsigned LMUL, class F>
 
 /// Masked vector-scalar instruction.
 template <VectorElement T, unsigned LMUL, class F>
-[[nodiscard]] vreg<T, LMUL> masked_binary_vx(sim::InstClass cls, const vmask& mask,
+[[nodiscard]] vreg<T, LMUL> masked_binary_vx(sim::InstClass cls, const char* op,
+                                             const vmask& mask,
                                              const vreg<T, LMUL>& maskedoff,
                                              const vreg<T, LMUL>& a, T x,
                                              std::size_t vl, F f) {
-  return masked_binary_vv(cls, mask, maskedoff, a, a, vl,
+  return masked_binary_vv(cls, op, mask, maskedoff, a, a, vl,
                           [&](T ai, T) { return f(ai, x); });
 }
 

@@ -16,9 +16,11 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vslideup(const vreg<T, L>& dest, const vreg<T, L>& src,
                                   std::size_t offset, std::size_t vl) {
   Machine& m = src.machine();
-  if (&dest.machine() != &m) throw std::logic_error("vslideup: operands from different machines");
-  detail::check_vl(vl, src.capacity());
-  m.counter().add(sim::InstClass::kVectorPermute);
+  const detail::OpCtx ctx{m, "vslideup", vl, L};
+  ctx.check_machine(dest.machine(), "destination operand");
+  ctx.check_vl(src.capacity(), "source");
+  ctx.check_vl(dest.capacity(), "destination");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslideup", vl, L);
   detail::AllocGuard guard(m);
   guard.use(dest.value_id());
   guard.use(src.value_id());
@@ -47,8 +49,9 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vslidedown(const vreg<T, L>& src, std::size_t offset,
                                     std::size_t vl) {
   Machine& m = src.machine();
-  detail::check_vl(vl, src.capacity());
-  m.counter().add(sim::InstClass::kVectorPermute);
+  const detail::OpCtx ctx{m, "vslidedown", vl, L};
+  ctx.check_vl(src.capacity(), "source");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslidedown", vl, L);
   detail::AllocGuard guard(m);
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
@@ -77,8 +80,9 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vslide1up(const vreg<T, L>& src, std::type_identity_t<T> x,
                                    std::size_t vl) {
   Machine& m = src.machine();
-  detail::check_vl(vl, src.capacity());
-  m.counter().add(sim::InstClass::kVectorPermute);
+  const detail::OpCtx ctx{m, "vslide1up", vl, L};
+  ctx.check_vl(src.capacity(), "source");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslide1up", vl, L);
   detail::AllocGuard guard(m);
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
@@ -98,8 +102,9 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vslide1down(const vreg<T, L>& src, std::type_identity_t<T> x,
                                      std::size_t vl) {
   Machine& m = src.machine();
-  detail::check_vl(vl, src.capacity());
-  m.counter().add(sim::InstClass::kVectorPermute);
+  const detail::OpCtx ctx{m, "vslide1down", vl, L};
+  ctx.check_vl(src.capacity(), "source");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslide1down", vl, L);
   detail::AllocGuard guard(m);
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
@@ -122,12 +127,11 @@ template <VectorElement T, unsigned L, VectorElement I>
 [[nodiscard]] vreg<T, L> vrgather(const vreg<T, L>& src, const vreg<I, L>& index,
                                   std::size_t vl) {
   Machine& m = src.machine();
-  if (&index.machine() != &m) {
-    throw std::logic_error("vrgather: operands from different machines");
-  }
-  detail::check_vl(vl, src.capacity());
-  detail::check_vl(vl, index.capacity());
-  m.counter().add(sim::InstClass::kVectorPermute);
+  const detail::OpCtx ctx{m, "vrgather", vl, L};
+  ctx.check_machine(index.machine(), "index operand");
+  ctx.check_vl(src.capacity(), "source");
+  ctx.check_vl(index.capacity(), "index");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vrgather", vl, L);
   detail::AllocGuard guard(m);
   guard.use(src.value_id());
   guard.use(index.value_id());
@@ -159,12 +163,11 @@ template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vcompress(const vreg<T, L>& src, const vmask& mask,
                                    std::size_t vl) {
   Machine& m = src.machine();
-  if (&mask.machine() != &m) {
-    throw std::logic_error("vcompress: operands from different machines");
-  }
-  detail::check_vl(vl, src.capacity());
-  detail::check_vl(vl, mask.capacity());
-  m.counter().add(sim::InstClass::kVectorPermute);
+  const detail::OpCtx ctx{m, "vcompress", vl, L};
+  ctx.check_machine(mask.machine(), "mask operand");
+  ctx.check_vl(src.capacity(), "source");
+  ctx.check_vl(mask.capacity(), "mask");
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vcompress", vl, L);
   detail::AllocGuard guard(m);
   // vcompress takes its mask as a regular vector operand, not through v0.
   guard.use(mask.value_id());

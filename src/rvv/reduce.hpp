@@ -13,10 +13,12 @@ namespace rvvsvm::rvv {
 namespace detail {
 
 template <VectorElement T, unsigned L, class F>
-[[nodiscard]] T reduce(const vreg<T, L>& a, std::size_t vl, T seed, F f) {
+[[nodiscard]] T reduce(const char* op, const vreg<T, L>& a, std::size_t vl,
+                       T seed, F f) {
   Machine& m = a.machine();
-  check_vl(vl, a.capacity());
-  m.counter().add(sim::InstClass::kVectorReduce);
+  const OpCtx ctx{m, op, vl, L};
+  ctx.check_vl(a.capacity(), "source");
+  ChargeGuard charge(m, sim::InstClass::kVectorReduce, op, vl, L);
   AllocGuard guard(m);
   guard.use(a.value_id());
   T acc = seed;
@@ -30,12 +32,14 @@ template <VectorElement T, unsigned L, class F>
 }
 
 template <VectorElement T, unsigned L, class F>
-[[nodiscard]] T reduce_m(const vmask& mask, const vreg<T, L>& a, std::size_t vl,
-                         T seed, F f) {
+[[nodiscard]] T reduce_m(const char* op, const vmask& mask,
+                         const vreg<T, L>& a, std::size_t vl, T seed, F f) {
   Machine& m = a.machine();
-  check_vl(vl, a.capacity());
-  check_vl(vl, mask.capacity());
-  m.counter().add(sim::InstClass::kVectorReduce);
+  const OpCtx ctx{m, op, vl, L};
+  ctx.check_machine(mask.machine(), "mask operand");
+  ctx.check_vl(a.capacity(), "source");
+  ctx.check_vl(mask.capacity(), "mask");
+  ChargeGuard charge(m, sim::InstClass::kVectorReduce, op, vl, L);
   AllocGuard guard(m);
   guard.use_mask(mask.value_id());
   guard.use(a.value_id());
@@ -60,7 +64,7 @@ template <VectorElement T, unsigned L, class F>
 template <VectorElement T, unsigned L>
 [[nodiscard]] T vredsum(const vreg<T, L>& a, std::size_t vl,
                         std::type_identity_t<T> seed = T{0}) {
-  return detail::reduce(a, vl, seed, detail::wrap_add<T>);
+  return detail::reduce("vredsum", a, vl, seed, detail::wrap_add<T>);
 }
 
 /// vredmax[u].vs.  Default seed is the type's minimum so the result is the
@@ -68,42 +72,42 @@ template <VectorElement T, unsigned L>
 template <VectorElement T, unsigned L>
 [[nodiscard]] T vredmax(const vreg<T, L>& a, std::size_t vl,
                         std::type_identity_t<T> seed = std::numeric_limits<T>::min()) {
-  return detail::reduce(a, vl, seed, [](T x, T y) { return x > y ? x : y; });
+  return detail::reduce("vredmax", a, vl, seed, [](T x, T y) { return x > y ? x : y; });
 }
 
 /// vredmin[u].vs.
 template <VectorElement T, unsigned L>
 [[nodiscard]] T vredmin(const vreg<T, L>& a, std::size_t vl,
                         std::type_identity_t<T> seed = std::numeric_limits<T>::max()) {
-  return detail::reduce(a, vl, seed, [](T x, T y) { return x < y ? x : y; });
+  return detail::reduce("vredmin", a, vl, seed, [](T x, T y) { return x < y ? x : y; });
 }
 
 /// vredand.vs.
 template <VectorElement T, unsigned L>
 [[nodiscard]] T vredand(const vreg<T, L>& a, std::size_t vl,
                         std::type_identity_t<T> seed = static_cast<T>(~T{0})) {
-  return detail::reduce(a, vl, seed, [](T x, T y) { return static_cast<T>(x & y); });
+  return detail::reduce("vredand", a, vl, seed, [](T x, T y) { return static_cast<T>(x & y); });
 }
 
 /// vredor.vs.
 template <VectorElement T, unsigned L>
 [[nodiscard]] T vredor(const vreg<T, L>& a, std::size_t vl,
                        std::type_identity_t<T> seed = T{0}) {
-  return detail::reduce(a, vl, seed, [](T x, T y) { return static_cast<T>(x | y); });
+  return detail::reduce("vredor", a, vl, seed, [](T x, T y) { return static_cast<T>(x | y); });
 }
 
 /// vredxor.vs.
 template <VectorElement T, unsigned L>
 [[nodiscard]] T vredxor(const vreg<T, L>& a, std::size_t vl,
                         std::type_identity_t<T> seed = T{0}) {
-  return detail::reduce(a, vl, seed, [](T x, T y) { return static_cast<T>(x ^ y); });
+  return detail::reduce("vredxor", a, vl, seed, [](T x, T y) { return static_cast<T>(x ^ y); });
 }
 
 /// Masked vredsum (vredsum.vs, v0.t): folds only active elements.
 template <VectorElement T, unsigned L>
 [[nodiscard]] T vredsum_m(const vmask& mask, const vreg<T, L>& a, std::size_t vl,
                           std::type_identity_t<T> seed = T{0}) {
-  return detail::reduce_m(mask, a, vl, seed, detail::wrap_add<T>);
+  return detail::reduce_m("vredsum", mask, a, vl, seed, detail::wrap_add<T>);
 }
 
 }  // namespace rvvsvm::rvv

@@ -2,7 +2,18 @@
 
 #include <new>
 
+#include "sim/trap.hpp"
+
 namespace rvvsvm::sim {
+
+void BufferPool::maybe_trap_alloc(const char* kind) {
+  if (alloc_trap_in_ == 0) return;
+  if (--alloc_trap_in_ != 0) return;
+  TrapContext ctx;
+  ctx.op = kind;
+  ctx.hart = current_hart();
+  throw PoolAllocTrap("buffer-pool: injected allocation failure", ctx);
+}
 
 BufferPool::~BufferPool() {
   for (auto& list : free_blocks_) {
@@ -18,6 +29,7 @@ BufferPool::~BufferPool() {
 
 BufferPool::BlockHeader* BufferPool::acquire_block(std::size_t payload_bytes) {
   debug_check_owner();
+  maybe_trap_alloc("pool.block");
   const unsigned cls = class_for(payload_bytes);
   assert(cls < kNumClasses);
   ++stats_.block_acquires;
@@ -57,6 +69,7 @@ void BufferPool::recycle_block(BlockHeader* h) {
 
 BufferPool::RefCell* BufferPool::acquire_cell() {
   debug_check_owner();
+  maybe_trap_alloc("pool.cell");
   ++stats_.cell_acquires;
   ++stats_.cells_in_use;
   RefCell* cell = nullptr;

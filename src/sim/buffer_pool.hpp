@@ -114,6 +114,17 @@ class BufferPool {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] bool recycling() const noexcept { return cfg_.recycle; }
 
+  /// Fault injection (chaos testing): arm a one-shot countdown so the n-th
+  /// subsequent acquire (block or cell, n >= 1) throws rvvsvm::PoolAllocTrap
+  /// instead of handing out storage.  The trap fires before any stats or
+  /// freelist mutation, so pool occupancy accounting stays exact; the
+  /// countdown disarms when it fires so recovery retries succeed.  n == 0
+  /// disarms.  Production machines never arm this and pay one branch.
+  void trap_allocation_after(std::uint64_t n) noexcept { alloc_trap_in_ = n; }
+  [[nodiscard]] bool alloc_trap_armed() const noexcept {
+    return alloc_trap_in_ != 0;
+  }
+
  private:
   static constexpr std::size_t kHeaderBytes = 16;
   /// Smallest block (header + payload) in bytes; everything rounds up to a
@@ -134,6 +145,9 @@ class BufferPool {
 
   void recycle_block(BlockHeader* h);
 
+  /// Decrement the armed countdown; throws PoolAllocTrap when it reaches 0.
+  void maybe_trap_alloc(const char* kind);
+
   /// Debug-only single-hart enforcement: binds the pool to the first thread
   /// that touches it, allows re-binding once every block and cell has been
   /// returned, and asserts on any cross-thread touch while storage is live.
@@ -151,6 +165,7 @@ class BufferPool {
 
   Config cfg_;
   Stats stats_;
+  std::uint64_t alloc_trap_in_ = 0;  ///< 0 = disarmed; see trap_allocation_after
   std::vector<void*> free_blocks_[kNumClasses];
   RefCell* free_cells_ = nullptr;
 #ifndef NDEBUG

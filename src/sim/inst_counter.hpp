@@ -110,6 +110,12 @@ class InstCounter {
   /// Copy the current counts into a value object.
   [[nodiscard]] CountSnapshot snapshot() const noexcept;
 
+  /// Overwrite the counts with a snapshot taken earlier on this counter.
+  /// This is the rollback primitive behind trap recovery: a trapped
+  /// instruction, or a whole abandoned shard attempt, restores the counter
+  /// so the golden totals only ever contain retired work.
+  void restore(const CountSnapshot& snap) noexcept { counts_ = snap.counts_; }
+
   /// Zero every class.
   void reset() noexcept { counts_.fill(0); }
 

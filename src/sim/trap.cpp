@@ -1,0 +1,69 @@
+#include "sim/trap.hpp"
+
+namespace rvvsvm {
+namespace {
+
+thread_local int t_current_hart = -1;
+
+std::string compose(std::string_view detail, const TrapContext& ctx) {
+  std::string msg(detail);
+  msg += " [";
+  msg += to_string(ctx);
+  msg += ']';
+  return msg;
+}
+
+std::string compose_memory(std::string_view detail, std::size_t element,
+                           const TrapContext& ctx) {
+  std::string msg(detail);
+  msg += " (faulting element ";
+  msg += std::to_string(element);
+  msg += ") [";
+  msg += to_string(ctx);
+  msg += ']';
+  return msg;
+}
+
+}  // namespace
+
+std::string to_string(const TrapContext& ctx) {
+  std::string s = "op=";
+  s += (ctx.op != nullptr && ctx.op[0] != '\0') ? ctx.op : "?";
+  s += " vl=" + std::to_string(ctx.vl);
+  s += " lmul=" + std::to_string(ctx.lmul);
+  s += " vlen=" + std::to_string(ctx.vlen_bits);
+  s += " inst=" + std::to_string(ctx.inst_number);
+  s += " hart=" + std::to_string(ctx.hart);
+  return s;
+}
+
+Trap::~Trap() = default;
+FaultHook::~FaultHook() = default;
+
+IllegalConfigTrap::IllegalConfigTrap(std::string_view detail,
+                                     const TrapContext& ctx)
+    : std::invalid_argument(compose(detail, ctx)), Trap(ctx) {}
+
+OperandTrap::OperandTrap(std::string_view detail, const TrapContext& ctx)
+    : std::out_of_range(compose(detail, ctx)), Trap(ctx) {}
+
+MemoryAccessTrap::MemoryAccessTrap(std::string_view detail, std::size_t element,
+                                   const TrapContext& ctx)
+    : std::out_of_range(compose_memory(detail, element, ctx)),
+      Trap(ctx),
+      element_(element) {}
+
+InvalidInputTrap::InvalidInputTrap(std::string_view detail,
+                                   const TrapContext& ctx)
+    : std::invalid_argument(compose(detail, ctx)), Trap(ctx) {}
+
+PoolAllocTrap::PoolAllocTrap(std::string_view detail, const TrapContext& ctx)
+    : std::runtime_error(compose(detail, ctx)), Trap(ctx) {}
+
+InjectedTrap::InjectedTrap(std::string_view detail, const TrapContext& ctx)
+    : std::runtime_error(compose(detail, ctx)), Trap(ctx) {}
+
+int current_hart() noexcept { return t_current_hart; }
+void set_current_hart(int hart) noexcept { t_current_hart = hart; }
+
+}  // namespace rvvsvm

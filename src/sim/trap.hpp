@@ -1,0 +1,154 @@
+// Typed trap model: the emulator's substitute for a precise-trap machine.
+//
+// Spike's value over "run the C loop and hope" is that faulty vector code
+// traps *deterministically* with enough machine context to diagnose and
+// recover.  This header gives the emulator the same property.  Every error a
+// kernel can provoke is one of a small closed set of trap types, each of
+// which captures the machine context at throw time (op name, vl, LMUL, VLEN,
+// dynamic-instruction number, hart id) and derives from both the
+// `rvvsvm::Trap` mixin and the standard-library exception its call sites
+// historically threw:
+//
+//   IllegalConfigTrap  : std::invalid_argument  bad vsetvl / LMUL / VLEN
+//   OperandTrap        : std::out_of_range      vl/capacity/cross-machine
+//   MemoryAccessTrap   : std::out_of_range      out-of-bounds element access,
+//                                               carries the faulting element
+//                                               index (RVV vstart semantics)
+//   InvalidInputTrap   : std::invalid_argument  svm/par kernel input contract
+//   PoolAllocTrap      : std::runtime_error     injected allocation failure
+//   InjectedTrap       : std::runtime_error     fault-injection engine
+//
+// The dual inheritance keeps two audiences happy at once: robust callers
+// `catch (const rvvsvm::Trap&)` and inspect `context()`; existing code and
+// tests that catch `std::out_of_range` / `std::logic_error` /
+// `std::invalid_argument` keep working unchanged (`std::out_of_range` derives
+// from `std::logic_error`, so OperandTrap satisfies both).
+//
+// Trap discipline (the strong exception guarantee, pinned by
+// tests/test_traps.cpp and the chaos suite): every emulated instruction
+// validates its operands *before* charging the instruction counter, so a
+// trapped instruction never retires and never half-charges; pool-backed
+// storage is RAII-released on unwind, so the buffer pool leaks nothing; the
+// machine remains fully usable after any trap is caught.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sim/inst_counter.hpp"
+
+namespace rvvsvm {
+
+/// Machine context captured at the moment a trap is raised.  Fields the
+/// raising site cannot know are left at their defaults (e.g. a Machine
+/// constructor trap has no instruction number yet).
+struct TrapContext {
+  const char* op = "";            ///< mnemonic of the trapping op ("vle", ...)
+  std::size_t vl = 0;             ///< active vector length, if any
+  unsigned lmul = 0;              ///< register-group multiplier, 0 = n/a
+  unsigned vlen_bits = 0;         ///< machine VLEN, 0 = no machine yet
+  std::uint64_t inst_number = 0;  ///< dynamic instructions retired before trap
+  int hart = -1;                  ///< pool hart id, -1 = not a pool worker
+};
+
+/// Render "op=vle vl=8 lmul=2 vlen=256 inst=123 hart=0" for messages.
+[[nodiscard]] std::string to_string(const TrapContext& ctx);
+
+/// Mixin base of every typed trap.  Deliberately not derived from
+/// std::exception: each concrete trap also derives from the specific
+/// standard exception its call sites historically threw, and a second
+/// std::exception base would make those catch sites ambiguous.
+class Trap {
+ public:
+  explicit Trap(const TrapContext& ctx) noexcept : ctx_(ctx) {}
+  virtual ~Trap();
+
+  [[nodiscard]] const TrapContext& context() const noexcept { return ctx_; }
+  /// The full human-readable message (same text as the std exception base).
+  [[nodiscard]] virtual const char* message() const noexcept = 0;
+
+ private:
+  TrapContext ctx_;
+};
+
+/// Bad machine or vector configuration: invalid VLEN, SEW or LMUL handed to
+/// Machine / vsetvl, or an invalid HartPool configuration.
+class IllegalConfigTrap : public std::invalid_argument, public Trap {
+ public:
+  IllegalConfigTrap(std::string_view detail, const TrapContext& ctx);
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+};
+
+/// Operand violation on an emulated instruction: vl exceeds a register
+/// group's capacity, or an operand belongs to a different machine.
+class OperandTrap : public std::out_of_range, public Trap {
+ public:
+  OperandTrap(std::string_view detail, const TrapContext& ctx);
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+};
+
+/// Out-of-bounds element access on an emulated vector load/store.  Carries
+/// the index of the first faulting element, mirroring RVV's precise-trap
+/// vstart semantics; unlike hardware the emulator validates before any
+/// element commits, so the destination is untouched (strong guarantee).
+class MemoryAccessTrap : public std::out_of_range, public Trap {
+ public:
+  MemoryAccessTrap(std::string_view detail, std::size_t element,
+                   const TrapContext& ctx);
+  /// Index of the first faulting element (the vstart a trap handler would
+  /// see).  Elements [0, element()) were validated in-bounds.
+  [[nodiscard]] std::size_t element() const noexcept { return element_; }
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+
+ private:
+  std::size_t element_;
+};
+
+/// Host-side kernel input-contract violation (mismatched span sizes, bad
+/// segment descriptor, ...) raised by svm:: / par:: entry points before any
+/// instruction is charged.
+class InvalidInputTrap : public std::invalid_argument, public Trap {
+ public:
+  InvalidInputTrap(std::string_view detail, const TrapContext& ctx);
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+};
+
+/// Buffer-pool allocation failure (raised by the fault-injection engine via
+/// BufferPool::trap_allocation_after; a real std::bad_alloc would surface as
+/// itself).  The instruction that requested the storage does not retire.
+class PoolAllocTrap : public std::runtime_error, public Trap {
+ public:
+  PoolAllocTrap(std::string_view detail, const TrapContext& ctx);
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+};
+
+/// Trap raised deliberately by a fault injector (check::FaultInjector)
+/// between operand validation and the counter charge of a chosen dynamic
+/// instruction.
+class InjectedTrap : public std::runtime_error, public Trap {
+ public:
+  InjectedTrap(std::string_view detail, const TrapContext& ctx);
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+};
+
+/// Pre-charge fault hook.  A machine with a hook installed reports every
+/// emulated instruction here after operand validation and *before* the
+/// counter charge; the hook may throw to abort the instruction with no
+/// machine state change.  This is the seam the fault-injection engine plugs
+/// into — production machines leave it null and pay nothing.
+class FaultHook {
+ public:
+  virtual ~FaultHook();
+  virtual void on_instruction(sim::InstClass cls, const TrapContext& ctx) = 0;
+};
+
+/// Hart identity of the current thread, captured into every TrapContext.
+/// par::HartPool workers set their hart id for the thread's lifetime;
+/// everything else reports -1 ("not a pool hart").
+[[nodiscard]] int current_hart() noexcept;
+void set_current_hart(int hart) noexcept;
+
+}  // namespace rvvsvm

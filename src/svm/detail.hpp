@@ -9,6 +9,26 @@
 
 namespace rvvsvm::svm::detail {
 
+/// Trap context for a kernel input-contract violation, raised before any
+/// instruction is charged.  Best-effort: machine fields are filled from the
+/// active machine when one is scoped (kernels may validate before scoping).
+[[nodiscard]] inline TrapContext input_context(const char* op) noexcept {
+  TrapContext ctx;
+  ctx.op = op;
+  ctx.hart = current_hart();
+  if (rvv::Machine* m = rvv::Machine::active_or_null()) {
+    ctx.vlen_bits = m->vlen_bits();
+    ctx.inst_number = m->counter().total();
+  }
+  return ctx;
+}
+
+/// Raise the typed input-contract trap.  InvalidInputTrap derives
+/// std::invalid_argument, so existing catch sites keep working.
+[[noreturn]] inline void invalid_input(const char* op, const char* detail) {
+  throw InvalidInputTrap(std::string(op) + ": " + detail, input_context(op));
+}
+
 /// Runs `body(pos, vl)` over the blocks of an n-element array exactly the
 /// way the paper's Listing 2 strip-mines: one vsetvl per iteration (charged
 /// inside Machine::vsetvl) plus the documented scalar bookkeeping for

@@ -30,7 +30,7 @@ void elementwise_vx(std::span<T> a, T x, F f) {
 
 template <rvv::VectorElement T, unsigned LMUL, class F>
 void elementwise_vv(std::span<T> a, std::span<const T> b, F f) {
-  if (b.size() < a.size()) throw std::invalid_argument("elementwise: operand size mismatch");
+  if (b.size() < a.size()) detail::invalid_input("elementwise", "operand size mismatch");
   svm::detail::stripmine<T, LMUL>(a.size(), /*pointer_bumps=*/2,
                                   [&](std::size_t pos, std::size_t vl) {
                                     auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
@@ -164,7 +164,7 @@ void p_combine(std::span<T> a, std::type_identity_t<T> x) {
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_select(std::span<const T> flags, std::span<const T> if_true, std::span<T> dst) {
   if (flags.size() < dst.size() || if_true.size() < dst.size()) {
-    throw std::invalid_argument("p_select: operand size mismatch");
+    detail::invalid_input("p_select", "operand size mismatch");
   }
   detail::stripmine<T, LMUL>(dst.size(), /*pointer_bumps=*/3,
                              [&](std::size_t pos, std::size_t vl) {
@@ -182,7 +182,7 @@ namespace detail {
 template <rvv::VectorElement T, unsigned LMUL, class Cmp>
 void flag_compare(std::span<const T> a, std::span<const T> b, std::span<T> dst, Cmp cmp) {
   if (b.size() < a.size() || dst.size() < a.size()) {
-    throw std::invalid_argument("p_flag: operand size mismatch");
+    detail::invalid_input("p_flag", "operand size mismatch");
   }
   stripmine<T, LMUL>(a.size(), /*pointer_bumps=*/3,
                      [&](std::size_t pos, std::size_t vl) {
@@ -230,7 +230,7 @@ namespace detail {
 
 template <rvv::VectorElement T, unsigned LMUL, class Cmp>
 void flag_compare_vx(std::span<const T> a, T x, std::span<T> dst, Cmp cmp) {
-  if (dst.size() < a.size()) throw std::invalid_argument("p_flag: dst too small");
+  if (dst.size() < a.size()) detail::invalid_input("p_flag", "dst too small");
   stripmine<T, LMUL>(a.size(), /*pointer_bumps=*/2,
                      [&](std::size_t pos, std::size_t vl) {
                        auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
@@ -271,7 +271,7 @@ void p_flag_eq(std::span<const T> a, std::type_identity_t<T> x, std::span<T> dst
 /// wide indices, as RVV mixed-width code does.
 template <rvv::VectorElement From, rvv::VectorElement To, unsigned LMUL = 1>
 void p_convert(std::span<const From> src, std::span<To> dst) {
-  if (dst.size() < src.size()) throw std::invalid_argument("p_convert: dst too small");
+  if (dst.size() < src.size()) detail::invalid_input("p_convert", "dst too small");
   using Wide = std::conditional_t<(sizeof(From) > sizeof(To)), From, To>;
   rvv::Machine& m = rvv::Machine::active();
   m.scalar().charge(sim::kKernelPrologue);
@@ -298,7 +298,7 @@ void p_convert(std::span<const From> src, std::span<To> dst) {
 /// Elementwise copy (the model's move instruction): dst[i] = src[i].
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_copy(std::span<const T> src, std::span<T> dst) {
-  if (src.size() < dst.size()) throw std::invalid_argument("p_copy: source too short");
+  if (src.size() < dst.size()) detail::invalid_input("p_copy", "source too short");
   detail::stripmine<T, LMUL>(dst.size(), /*pointer_bumps=*/2,
                              [&](std::size_t pos, std::size_t vl) {
                                auto v = rvv::vle<T, LMUL>(src.subspan(pos), vl);

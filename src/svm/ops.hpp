@@ -18,7 +18,7 @@ namespace rvvsvm::svm {
 /// running count propagated through vcpop, exactly as the paper optimizes it.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 std::size_t enumerate(std::span<const T> flags, std::span<T> dst, bool set_bit) {
-  if (dst.size() < flags.size()) throw std::invalid_argument("enumerate: dst too small");
+  if (dst.size() < flags.size()) detail::invalid_input("enumerate", "dst too small");
   rvv::Machine& m = rvv::Machine::active();
   // The per-element offsets wrap in T (they feed T-wide destination indices),
   // but the returned total is a host-side count: for narrow T it must not
@@ -44,7 +44,7 @@ std::size_t enumerate(std::span<const T> flags, std::span<T> dst, bool set_bit) 
 /// get_flags: flags[i] = bit `bit` of src[i] (the radix sort key probe).
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void get_flags(std::span<const T> src, std::span<T> flags, unsigned bit) {
-  if (flags.size() < src.size()) throw std::invalid_argument("get_flags: flags too small");
+  if (flags.size() < src.size()) detail::invalid_input("get_flags", "flags too small");
   detail::stripmine<T, LMUL>(src.size(), /*pointer_bumps=*/2,
                              [&](std::size_t pos, std::size_t vl) {
                                auto v = rvv::vle<T, LMUL>(src.subspan(pos), vl);
@@ -62,15 +62,14 @@ template <rvv::VectorElement T, unsigned LMUL = 1>
 std::size_t split(std::span<const T> src, std::span<T> dst, std::span<const T> flags) {
   const std::size_t n = src.size();
   if (dst.size() < n || flags.size() < n) {
-    throw std::invalid_argument("split: operand size mismatch");
+    detail::invalid_input("split", "operand size mismatch");
   }
   // Destination indices are computed in T; when the largest index n-1 does
   // not fit, the scatter would silently collide.  (n == 2^SEW exactly is
   // fine: indices 0..2^SEW-1 all fit, and the wrapped count cast below is
   // only ever selected when some flag is 1, i.e. count < n.)
   if (n != 0 && n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
-    throw std::invalid_argument(
-        "split: destination indices overflow the element type; widen first");
+    detail::invalid_input("split", "destination indices overflow the element type; widen first");
   }
   std::vector<T> i_down(n);  // destinations of 0-flagged elements
   std::vector<T> i_up(n);    // destinations of 1-flagged elements

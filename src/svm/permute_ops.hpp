@@ -21,7 +21,7 @@ namespace rvvsvm::svm {
 /// emulator, as on in-order implementations).
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void permute(std::span<const T> src, std::span<T> dst, std::span<const T> index) {
-  if (index.size() < src.size()) throw std::invalid_argument("permute: index too short");
+  if (index.size() < src.size()) detail::invalid_input("permute", "index too short");
   detail::stripmine<T, LMUL>(src.size(), /*pointer_bumps=*/2,
                              [&](std::size_t pos, std::size_t vl) {
                                auto vs = rvv::vle<T, LMUL>(src.subspan(pos), vl);
@@ -36,7 +36,7 @@ template <rvv::VectorElement T, unsigned LMUL = 1>
 void permute_masked(std::span<const T> src, std::span<T> dst,
                     std::span<const T> index, std::span<const T> flags) {
   if (index.size() < src.size() || flags.size() < src.size()) {
-    throw std::invalid_argument("permute_masked: operand size mismatch");
+    detail::invalid_input("permute_masked", "operand size mismatch");
   }
   detail::stripmine<T, LMUL>(src.size(), /*pointer_bumps=*/3,
                              [&](std::size_t pos, std::size_t vl) {
@@ -51,7 +51,7 @@ void permute_masked(std::span<const T> src, std::span<T> dst,
 /// gather (back-permute): dst[i] = src[index[i]] via the indexed load.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void gather(std::span<const T> src, std::span<T> dst, std::span<const T> index) {
-  if (index.size() < dst.size()) throw std::invalid_argument("gather: index too short");
+  if (index.size() < dst.size()) detail::invalid_input("gather", "index too short");
   detail::stripmine<T, LMUL>(dst.size(), /*pointer_bumps=*/2,
                              [&](std::size_t pos, std::size_t vl) {
                                auto vi = rvv::vle<T, LMUL>(index.subspan(pos), vl);
@@ -66,7 +66,7 @@ void gather(std::span<const T> src, std::span<T> dst, std::span<const T> index) 
 template <rvv::VectorElement T, unsigned LMUL = 1>
 [[nodiscard]] std::size_t pack(std::span<const T> src, std::span<T> dst,
                                std::span<const T> flags) {
-  if (flags.size() < src.size()) throw std::invalid_argument("pack: flags too short");
+  if (flags.size() < src.size()) detail::invalid_input("pack", "flags too short");
   rvv::Machine& m = rvv::Machine::active();
   std::size_t out = 0;
   detail::stripmine<T, LMUL>(src.size(), /*pointer_bumps=*/2,
@@ -77,7 +77,12 @@ template <rvv::VectorElement T, unsigned LMUL = 1>
                                const auto packed = rvv::vcompress(vs, mask, vl);
                                const std::size_t k = rvv::vcpop(mask, vl);
                                if (dst.size() < out + k) {
-                                 throw std::out_of_range("pack: destination too small");
+                                 // Discovered mid-kernel, once the packed
+                                 // count is known — a capacity violation
+                                 // (out_of_range), not an input-shape one.
+                                 throw OperandTrap(
+                                     "pack: destination too small",
+                                     detail::input_context("pack"));
                                }
                                rvv::vse(dst.subspan(out), packed, k);
                                out += k;
@@ -90,13 +95,12 @@ template <rvv::VectorElement T, unsigned LMUL = 1>
 /// the standard scan-vector-model way to express a reversal as a permute.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void reverse(std::span<const T> src, std::span<T> dst) {
-  if (dst.size() < src.size()) throw std::invalid_argument("reverse: destination too small");
+  if (dst.size() < src.size()) detail::invalid_input("reverse", "destination too small");
   const std::size_t n = src.size();
   // The vrsub below computes n-1-i in T; when n-1 itself does not fit the
   // indices wrap and the scatter silently lands on the wrong elements.
   if (n != 0 && n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
-    throw std::invalid_argument(
-        "reverse: indices overflow the element type; widen first");
+    detail::invalid_input("reverse", "indices overflow the element type; widen first");
   }
   detail::stripmine<T, LMUL>(n, /*pointer_bumps=*/1,
                              [&](std::size_t pos, std::size_t vl) {

@@ -27,17 +27,16 @@ void seg_split(std::span<const T> src, std::span<T> dst, std::span<const T> flag
                std::span<const T> head_flags, std::span<T> new_heads = {}) {
   const std::size_t n = src.size();
   if (dst.size() < n || flags.size() < n || head_flags.size() < n) {
-    throw std::invalid_argument("seg_split: operand size mismatch");
+    detail::invalid_input("seg_split", "operand size mismatch");
   }
   if (!new_heads.empty() && new_heads.size() < n) {
-    throw std::invalid_argument("seg_split: new_heads too small");
+    detail::invalid_input("seg_split", "new_heads too small");
   }
   if (n == 0) return;
   // Destination indices are computed in T; the same narrow-index overflow
   // guard as svm::split (n == 2^SEW exactly is fine: indices 0..2^SEW-1 fit).
   if (n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
-    throw std::invalid_argument(
-        "seg_split: destination indices overflow the element type; widen first");
+    detail::invalid_input("seg_split", "destination indices overflow the element type; widen first");
   }
 
   // rank0 / rank1: exclusive per-segment counts of each group.
@@ -108,7 +107,7 @@ std::size_t seg_reduce(std::span<const T> data, std::span<const T> head_flags,
                        std::span<T> out) {
   const std::size_t n = data.size();
   if (head_flags.size() < n) {
-    throw std::invalid_argument("seg_reduce: head_flags shorter than data");
+    detail::invalid_input("seg_reduce", "head_flags shorter than data");
   }
   if (n == 0) return 0;
   rvv::Machine& m = rvv::Machine::active();

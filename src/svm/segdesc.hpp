@@ -25,7 +25,8 @@ template <rvv::VectorElement T>
 void validate_head_flags(std::span<const T> head_flags) {
   for (const T f : head_flags) {
     if (f != T{0} && f != T{1}) {
-      throw std::invalid_argument("head_flags must contain only 0 and 1");
+      throw InvalidInputTrap("head_flags must contain only 0 and 1",
+                             detail::input_context("validate_head_flags"));
     }
   }
 }
@@ -38,7 +39,7 @@ template <rvv::VectorElement T, unsigned LMUL = 1>
 void lengths_to_head_flags(std::span<const T> lengths, std::span<T> head_flags) {
   for (const T len : lengths) {
     if (len == T{0}) {
-      throw std::invalid_argument("lengths_to_head_flags: zero-length segment");
+      detail::invalid_input("lengths_to_head_flags", "zero-length segment");
     }
   }
   std::vector<T> starts(lengths.begin(), lengths.end());
@@ -79,7 +80,7 @@ template <rvv::VectorElement T, unsigned LMUL = 1>
 void pointers_to_lengths(std::span<const T> pointers, std::size_t n,
                          std::span<T> lengths) {
   const std::size_t s = pointers.size();
-  if (lengths.size() < s) throw std::invalid_argument("pointers_to_lengths: lengths too small");
+  if (lengths.size() < s) detail::invalid_input("pointers_to_lengths", "lengths too small");
   if (s == 0) return;
   // lengths[i] = next_start[i] - start[i]: slide the loaded starts down by
   // one and inject the following block's first start (or the sentinel n).

@@ -57,7 +57,7 @@ template <class Op, rvv::VectorElement T, unsigned LMUL>
 template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
 void seg_scan_inclusive(std::span<T> data, std::span<const T> head_flags) {
   if (head_flags.size() < data.size()) {
-    throw std::invalid_argument("seg_scan: head_flags shorter than data");
+    detail::invalid_input("seg_scan", "head_flags shorter than data");
   }
   rvv::Machine& m = rvv::Machine::active();
   T carry = Op::template identity<T>();
@@ -103,7 +103,7 @@ void seg_or_scan(std::span<T> data, std::span<const T> head_flags) {
 template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
 void seg_scan_exclusive(std::span<T> data, std::span<const T> head_flags) {
   if (head_flags.size() < data.size()) {
-    throw std::invalid_argument("seg_scan_exclusive: head_flags shorter than data");
+    detail::invalid_input("seg_scan_exclusive", "head_flags shorter than data");
   }
   rvv::Machine& m = rvv::Machine::active();
   T carry = Op::template identity<T>();
@@ -148,7 +148,7 @@ void seg_plus_scan_exclusive(std::span<T> data, std::span<const T> head_flags,
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void seg_distribute(std::span<T> data, std::span<const T> head_flags) {
   if (head_flags.size() < data.size()) {
-    throw std::invalid_argument("seg_distribute: head_flags shorter than data");
+    detail::invalid_input("seg_distribute", "head_flags shorter than data");
   }
   // Force non-head elements to the max-scan identity, then scan.
   detail::stripmine<T, LMUL>(
@@ -177,12 +177,11 @@ void seg_broadcast_tail(std::span<T> data, std::span<const T> head_flags) {
   const std::size_t n = data.size();
   if (n == 0) return;
   if (head_flags.size() < n) {
-    throw std::invalid_argument("seg_broadcast_tail: head_flags shorter than data");
+    detail::invalid_input("seg_broadcast_tail", "head_flags shorter than data");
   }
   // Built on reverse(), whose scatter indices are computed in T.
   if (n - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {
-    throw std::invalid_argument(
-        "seg_broadcast_tail: indices overflow the element type; widen first");
+    detail::invalid_input("seg_broadcast_tail", "indices overflow the element type; widen first");
   }
   rvv::Machine& m = rvv::Machine::active();
   // tails[i] = 1 when element i is the last of its segment:

@@ -1,0 +1,258 @@
+// The typed trap model's contract, pinned as unit tests: every trap class
+// fires as its documented type with machine context attached; validation
+// always precedes the counter charge (a trapped instruction never retires
+// and never half-charges); pool-backed storage unwinds leak-free; and the
+// machine — or a whole HartPool — stays fully usable after any trap is
+// caught.  The chaos suite (test_chaos.cpp) stresses the same promises
+// under randomized fault injection; these tests keep each clause readable
+// and individually attributable.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "par/par.hpp"
+#include "rvv/rvv.hpp"
+#include "svm/svm.hpp"
+
+namespace rvvsvm {
+namespace {
+
+using u32 = std::uint32_t;
+
+// --- trap types carry their context ----------------------------------------
+
+TEST(Traps, MachineConfigTrapIsTyped) {
+  try {
+    rvv::Machine m({.vlen_bits = 100});  // not a power of two
+    FAIL() << "bad vlen must trap";
+  } catch (const IllegalConfigTrap& t) {
+    EXPECT_STREQ(t.context().op, "Machine");
+    EXPECT_EQ(t.context().vlen_bits, 100u);
+  }
+  // Same object catchable as the historical std type.
+  EXPECT_THROW(rvv::Machine({.vlen_bits = 100}), std::invalid_argument);
+}
+
+TEST(Traps, VsetvlBadLmulTrap) {
+  rvv::Machine m({.vlen_bits = 256});
+  try {
+    (void)m.vsetvl<u32>(16, /*lmul=*/3);
+    FAIL() << "LMUL=3 must trap";
+  } catch (const IllegalConfigTrap& t) {
+    EXPECT_STREQ(t.context().op, "vsetvl");
+    EXPECT_EQ(t.context().lmul, 3u);
+    EXPECT_EQ(t.context().vlen_bits, 256u);
+  }
+  // The trapped vsetvl never retired.
+  EXPECT_EQ(m.counter().snapshot().total(), 0u);
+}
+
+TEST(Traps, OperandTrapOnOverlongVl) {
+  rvv::Machine m({.vlen_bits = 128});
+  rvv::MachineScope scope(m);
+  const std::size_t vlmax = m.vsetvlmax<u32>();  // charges one vsetvli
+  const auto before = m.counter().snapshot();
+  std::vector<u32> data(2 * vlmax + 1, 1);
+  try {
+    (void)rvv::vle<u32, 1>(std::span<const u32>(data), vlmax + 1);
+    FAIL() << "vl beyond VLMAX must trap";
+  } catch (const OperandTrap& t) {
+    EXPECT_EQ(t.context().vl, vlmax + 1);
+    EXPECT_EQ(t.context().inst_number, before.total());
+  }
+  EXPECT_EQ(m.counter().snapshot().total(), before.total());
+}
+
+TEST(Traps, MemoryAccessTrapCarriesFaultingElement) {
+  rvv::Machine m({.vlen_bits = 128});
+  rvv::MachineScope scope(m);
+  std::vector<u32> shortspan(3, 7);
+  try {
+    (void)rvv::vle<u32, 1>(std::span<const u32>(shortspan), 4);
+    FAIL() << "load beyond the span must trap";
+  } catch (const MemoryAccessTrap& t) {
+    // Elements [0, 3) are in bounds; 3 is the vstart a handler would see.
+    EXPECT_EQ(t.element(), 3u);
+    EXPECT_STREQ(t.context().op, "vle");
+    EXPECT_EQ(t.context().vl, 4u);
+  }
+  EXPECT_EQ(m.counter().snapshot().total(), 0u) << "trapped load retired";
+}
+
+TEST(Traps, TrappedScatterLeavesDestinationUntouched) {
+  rvv::Machine m({.vlen_bits = 128});
+  rvv::MachineScope scope(m);
+  // Index 9 faults on a 4-element destination; element 0 is in bounds, but
+  // validate-before-commit means even it must not be written.
+  std::vector<u32> src{10, 20, 30, 40};
+  std::vector<u32> idx{0, 9, 1, 2};
+  std::vector<u32> dst(4, 777);
+  auto vs = rvv::vle<u32, 1>(std::span<const u32>(src), 4);
+  auto vi = rvv::vle<u32, 1>(std::span<const u32>(idx), 4);
+  const auto before = m.counter().snapshot();
+  try {
+    rvv::vsuxei(std::span<u32>(dst), vi, vs, 4);
+    FAIL() << "out-of-bounds index must trap";
+  } catch (const MemoryAccessTrap& t) {
+    EXPECT_EQ(t.element(), 1u);  // lowest faulting element
+  }
+  EXPECT_EQ(dst, (std::vector<u32>(4, 777)));
+  EXPECT_EQ(m.counter().snapshot().total(), before.total());
+}
+
+TEST(Traps, CrossMachineOperandTrap) {
+  rvv::Machine a({.vlen_bits = 128});
+  rvv::Machine b({.vlen_bits = 128});
+  rvv::vreg<u32, 1> foreign;
+  {
+    rvv::MachineScope scope(b);
+    foreign = rvv::vmv_v_x<u32, 1>(5, 4);
+  }
+  rvv::MachineScope scope(a);
+  const auto va = rvv::vmv_v_x<u32, 1>(1, 4);
+  const auto before = a.counter().snapshot();
+  EXPECT_THROW((void)rvv::vadd(va, foreign, 4), OperandTrap);
+  EXPECT_EQ(a.counter().snapshot().total(), before.total());
+}
+
+TEST(Traps, InvalidInputTrapFromKernelContract) {
+  rvv::Machine m({.vlen_bits = 128});
+  rvv::MachineScope scope(m);
+  std::vector<u32> flags{0, 2, 1};  // 2 is not a flag
+  try {
+    svm::validate_head_flags<u32>(std::span<const u32>(flags));
+    FAIL() << "non-0/1 head flag must trap";
+  } catch (const InvalidInputTrap& t) {
+    EXPECT_STREQ(t.context().op, "validate_head_flags");
+  }
+}
+
+TEST(Traps, PoolAllocTrapAndZeroLeak) {
+  rvv::Machine m({.vlen_bits = 128});
+  rvv::MachineScope scope(m);
+  std::vector<u32> data(64);
+  std::iota(data.begin(), data.end(), 0);
+  m.pool().trap_allocation_after(3);
+  std::vector<u32> buf(data);
+  EXPECT_THROW((svm::plus_scan<u32, 1>(std::span<u32>(buf))), PoolAllocTrap);
+  EXPECT_EQ(m.pool_stats().bytes_in_use, 0u);
+  EXPECT_EQ(m.pool_stats().cells_in_use, 0u);
+  // One-shot: the countdown disarmed itself, so the machine works again.
+  buf = data;
+  svm::plus_scan<u32, 1>(std::span<u32>(buf));
+  u32 acc = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    acc += data[i];
+    EXPECT_EQ(buf[i], acc);
+  }
+}
+
+// --- validate-then-charge: count stability across traps ---------------------
+
+/// A hook that traps the Nth observed instruction — the minimal in-test
+/// stand-in for the chaos engine's FaultInjector.
+struct TrapNth final : FaultHook {
+  explicit TrapNth(std::uint64_t n) : countdown(n) {}
+  std::uint64_t countdown;
+  void on_instruction(sim::InstClass, const TrapContext& ctx) override {
+    if (--countdown == 0) throw InjectedTrap("test trap", ctx);
+  }
+};
+
+TEST(Traps, KernelCountsIdenticalAfterMidKernelTrap) {
+  rvv::Machine m({.vlen_bits = 128});
+  rvv::MachineScope scope(m);
+  std::vector<u32> data(300);
+  std::iota(data.begin(), data.end(), 1);
+
+  std::vector<u32> golden(data);
+  svm::plus_scan<u32, 1>(std::span<u32>(golden));
+  const auto golden_counts = m.counter().snapshot();
+
+  for (const std::uint64_t nth : {1u, 2u, 7u, 23u}) {
+    TrapNth hook(nth);
+    m.set_fault_hook(&hook);
+    std::vector<u32> buf(data);
+    EXPECT_THROW((svm::plus_scan<u32, 1>(std::span<u32>(buf))), InjectedTrap);
+    m.set_fault_hook(nullptr);
+    EXPECT_EQ(m.pool_stats().bytes_in_use, 0u);
+
+    m.reset_counts();
+    buf = data;
+    svm::plus_scan<u32, 1>(std::span<u32>(buf));
+    EXPECT_EQ(buf, golden) << "rerun diverged after trap at instruction " << nth;
+    const auto rerun = m.counter().snapshot();
+    for (std::size_t k = 0; k < sim::kNumInstClasses; ++k) {
+      const auto cls = static_cast<sim::InstClass>(k);
+      EXPECT_EQ(rerun.count(cls), golden_counts.count(cls))
+          << "class " << sim::to_string(cls) << " drifted after trap at "
+          << nth;
+    }
+    m.reset_counts();
+  }
+}
+
+// --- HartPool failure aggregation -------------------------------------------
+
+TEST(Traps, HartPoolCollectsEveryShardFailure) {
+  par::HartPool pool({.harts = 4, .shard_size = 8, .machine = {.vlen_bits = 128}});
+  try {
+    pool.for_shards(8, [](std::size_t shard) {
+      throw std::runtime_error("shard " + std::to_string(shard) + " broke");
+    });
+    FAIL() << "all-failing epoch must throw";
+  } catch (const par::ShardExecutionError& e) {
+    const par::EpochReport& report = e.report();
+    ASSERT_EQ(report.failures.size(), 8u)
+        << "only a subset of failures was collected";
+    std::vector<bool> seen(8, false);
+    for (const auto& f : report.failures) {
+      ASSERT_LT(f.shard, 8u);
+      seen[f.shard] = true;
+      EXPECT_FALSE(f.recovered);
+      EXPECT_EQ(f.attempts, 1u);
+      EXPECT_EQ(f.message, "shard " + std::to_string(f.shard) + " broke");
+      EXPECT_GE(f.hart, 0);
+      EXPECT_LT(f.hart, 4);
+    }
+    for (std::size_t s = 0; s < 8; ++s) {
+      EXPECT_TRUE(seen[s]) << "failure of shard " << s << " was dropped";
+    }
+    EXPECT_FALSE(report.all_recovered());
+  }
+  // The pool survives the failed epoch.
+  std::vector<int> hits(8, 0);
+  pool.for_shards(8, [&](std::size_t shard) { ++hits[shard]; });
+  EXPECT_EQ(hits, std::vector<int>(8, 1));
+  EXPECT_TRUE(pool.last_report().failures.empty());
+}
+
+TEST(Traps, HartPoolTrapFailurePreservesContext) {
+  par::HartPool pool({.harts = 2, .shard_size = 4, .machine = {.vlen_bits = 128}});
+  std::vector<u32> data(8, 1);
+  try {
+    pool.for_shards(2, [&](std::size_t shard) {
+      if (shard == 1) {
+        // An overlong unit-stride load: a genuine typed trap from inside a
+        // shard body, whose context must survive into the report.
+        (void)rvv::vle<u32, 1>(std::span<const u32>(data).first(2), 3);
+      }
+    });
+    FAIL() << "epoch with a trapping shard must throw";
+  } catch (const par::ShardExecutionError& e) {
+    ASSERT_EQ(e.report().failures.size(), 1u);
+    const par::ShardFailure& f = e.report().failures[0];
+    EXPECT_EQ(f.shard, 1u);
+    ASSERT_TRUE(f.has_context);
+    EXPECT_STREQ(f.context.op, "vle");
+    EXPECT_EQ(f.context.vl, 3u);
+    EXPECT_EQ(f.context.hart, f.hart);
+  }
+}
+
+}  // namespace
+}  // namespace rvvsvm

@@ -1,7 +1,7 @@
 // svm_fuzz — the differential fuzzing oracle's command-line driver.
 //
-//   svm_fuzz [--seed N] [--iters N] [--layer all|rvv|svm|par|<property>]
-//            [--json PATH] [--no-shrink] [--list]
+//   svm_fuzz [--seed N] [--iters N] [--layer all|rvv|svm|par|chaos|<property>]
+//            [--chaos N] [--json PATH] [--no-shrink] [--list]
 //
 // Exit status 0 when every case holds, 1 on any divergence (each failure is
 // printed with its shrunk case and a ready-to-paste GoogleTest reproducer),
@@ -23,7 +23,8 @@ void usage(std::ostream& os) {
         "                [--no-shrink] [--list]\n"
         "  --seed N      base seed (default 1); (seed, iteration) replays a case\n"
         "  --iters N     number of cases to run (default 1000)\n"
-        "  --layer L     all | rvv | svm | par | an exact property name\n"
+        "  --layer L     all | rvv | svm | par | chaos | an exact property name\n"
+        "  --chaos N     shorthand for --layer chaos --seed N (fault injection)\n"
         "  --json PATH   write the failure report as JSON\n"
         "  --no-shrink   report raw failing cases without minimizing\n"
         "  --list        print the property table and exit\n";
@@ -67,6 +68,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--layer") {
       options.layer = std::string(value());
+    } else if (arg == "--chaos") {
+      options.layer = "chaos";
+      if (!parse_u64(value(), options.seed)) {
+        std::cerr << "svm_fuzz: bad --chaos seed\n";
+        return 2;
+      }
     } else if (arg == "--json") {
       json_path = std::string(value());
     } else if (arg == "--no-shrink") {
