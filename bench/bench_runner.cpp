@@ -1,8 +1,10 @@
 #include "bench/bench_runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <limits>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -25,6 +27,7 @@ struct Cell {
   unsigned vlen = 0;
   unsigned lmul = 1;
   bool pooled = true;
+  bool cached = true;
 };
 
 /// One kernel pass over pre-built workload buffers.  Kernels run in place:
@@ -66,10 +69,12 @@ ThroughputResult run_cell(const Cell& cell, const SweepOptions& opt) {
   r.lmul = cell.lmul;
   r.n = opt.n;
   r.pooled = cell.pooled;
+  r.cached = cell.cached;
 
   Workload work(opt.n);
   rvv::Machine machine(rvv::Machine::Config{.vlen_bits = cell.vlen,
-                                            .use_buffer_pool = cell.pooled});
+                                            .use_buffer_pool = cell.pooled,
+                                            .use_exec_cache = cell.cached});
   rvv::MachineScope scope(machine);
 
   // Warmup pass doubles as the modeled-count measurement (counts are
@@ -82,17 +87,27 @@ ThroughputResult run_cell(const Cell& cell, const SweepOptions& opt) {
   r.spills = machine.regfile()->spill_count() - spills_before;
   r.reloads = machine.regfile()->reload_count() - reloads_before;
 
-  std::size_t passes = 0;
-  const auto t0 = Clock::now();
-  double elapsed = 0.0;
-  do {
-    work.run(cell.kernel);
-    ++passes;
-    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
-  } while (elapsed < opt.min_seconds);
+  // Best of `repetitions` timed windows: host-side interference (scheduler
+  // preemption, VM steal time) only ever slows a pass down, so the fastest
+  // window is the least-contaminated estimate of the emulator's own cost.
+  const unsigned reps = opt.repetitions == 0 ? 1 : opt.repetitions;
+  double best = std::numeric_limits<double>::infinity();
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    std::size_t passes = 0;
+    const auto t0 = Clock::now();
+    double elapsed = 0.0;
+    do {
+      work.run(cell.kernel);
+      ++passes;
+      elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+    } while (elapsed < opt.min_seconds);
+    best = std::min(best, elapsed / static_cast<double>(passes));
+  }
 
-  r.seconds_per_pass = elapsed / static_cast<double>(passes);
+  r.seconds_per_pass = best;
   r.elems_per_sec = static_cast<double>(opt.n) / r.seconds_per_pass;
+  r.trace_replays = machine.exec_cache().stats().trace_replays;
+  r.ops_replayed = machine.exec_cache().stats().ops_replayed;
   return r;
 }
 
@@ -118,9 +133,11 @@ std::vector<ThroughputResult> run_throughput_sweep(const SweepOptions& opt) {
   for (const char* kernel : kKernels) {
     const unsigned lmul = std::string(kernel) == "seg_scan_m8" ? 8u : 1u;
     for (const unsigned vlen : opt.vlens) {
-      for (const bool pooled : {false, true}) {
-        cells.push_back(Cell{kernel, vlen, lmul, pooled});
-      }
+      // unpooled+uncached = pre-pool emulator; pooled+uncached = interpreted
+      // path (the cached cell's baseline); pooled+cached = full fast path.
+      cells.push_back(Cell{kernel, vlen, lmul, /*pooled=*/false, /*cached=*/false});
+      cells.push_back(Cell{kernel, vlen, lmul, /*pooled=*/true, /*cached=*/false});
+      cells.push_back(Cell{kernel, vlen, lmul, /*pooled=*/true, /*cached=*/true});
     }
   }
 
@@ -146,7 +163,7 @@ double pooled_speedup(const std::vector<ThroughputResult>& results,
   const ThroughputResult* pooled = nullptr;
   const ThroughputResult* unpooled = nullptr;
   for (const auto& r : results) {
-    if (r.kernel == kernel && r.vlen == vlen) {
+    if (r.kernel == kernel && r.vlen == vlen && !r.cached) {
       (r.pooled ? pooled : unpooled) = &r;
     }
   }
@@ -154,6 +171,22 @@ double pooled_speedup(const std::vector<ThroughputResult>& results,
     return 0.0;
   }
   return pooled->elems_per_sec / unpooled->elems_per_sec;
+}
+
+double cached_speedup(const std::vector<ThroughputResult>& results,
+                      const std::string& kernel, unsigned vlen) {
+  const ThroughputResult* cached = nullptr;
+  const ThroughputResult* interpreted = nullptr;
+  for (const auto& r : results) {
+    if (r.kernel == kernel && r.vlen == vlen && r.pooled) {
+      (r.cached ? cached : interpreted) = &r;
+    }
+  }
+  if (cached == nullptr || interpreted == nullptr ||
+      interpreted->elems_per_sec == 0.0) {
+    return 0.0;
+  }
+  return cached->elems_per_sec / interpreted->elems_per_sec;
 }
 
 void write_bench_json(const std::vector<ThroughputResult>& results,
@@ -176,14 +209,15 @@ void write_bench_json(const std::vector<ThroughputResult>& results,
     out << "    {\"kernel\": \"" << r.kernel << "\", \"vlen\": " << r.vlen
         << ", \"lmul\": " << r.lmul << ", \"n\": " << r.n
         << ", \"pooled\": " << (r.pooled ? "true" : "false")
+        << ", \"cached\": " << (r.cached ? "true" : "false")
         << ", \"seconds_per_pass\": " << json_number(r.seconds_per_pass)
         << ", \"elems_per_sec\": " << json_number(r.elems_per_sec)
         << ", \"instructions\": " << r.instructions
         << ", \"spills\": " << r.spills << ", \"reloads\": " << r.reloads
+        << ", \"trace_replays\": " << r.trace_replays
+        << ", \"ops_replayed\": " << r.ops_replayed
         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  out << "  ],\n"
-      << "  \"speedup_pooled_vs_unpooled\": {\n";
 
   // One entry per (kernel, vlen) pair, in result order.
   std::vector<std::pair<std::string, unsigned>> pairs;
@@ -193,9 +227,18 @@ void write_bench_json(const std::vector<ThroughputResult>& results,
     for (const auto& p : pairs) seen = seen || p == key;
     if (!seen) pairs.push_back(key);
   }
+  out << "  ],\n"
+      << "  \"speedup_pooled_vs_unpooled\": {\n";
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     out << "    \"" << pairs[i].first << "@vlen" << pairs[i].second
         << "\": " << json_number(pooled_speedup(results, pairs[i].first, pairs[i].second))
+        << (i + 1 < pairs.size() ? "," : "") << "\n";
+  }
+  out << "  },\n"
+      << "  \"speedup_cached_vs_interpreted\": {\n";
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    out << "    \"" << pairs[i].first << "@vlen" << pairs[i].second
+        << "\": " << json_number(cached_speedup(results, pairs[i].first, pairs[i].second))
         << (i + 1 < pairs.size() ? "," : "") << "\n";
   }
   out << "  }\n}\n";
@@ -368,16 +411,18 @@ void print_parallel_summary(const std::vector<ParallelResult>& results) {
 void print_summary(const std::vector<ThroughputResult>& results) {
   std::cout << std::left << std::setw(14) << "kernel" << std::right
             << std::setw(6) << "vlen" << std::setw(6) << "lmul"
-            << std::setw(10) << "pooled" << std::setw(16) << "Melems/s"
-            << std::setw(12) << "insts" << '\n';
+            << std::setw(10) << "pooled" << std::setw(10) << "cached"
+            << std::setw(16) << "Melems/s" << std::setw(12) << "insts"
+            << std::setw(12) << "replays" << '\n';
   for (const auto& r : results) {
     std::cout << std::left << std::setw(14) << r.kernel << std::right
               << std::setw(6) << r.vlen << std::setw(6) << r.lmul
-              << std::setw(10) << (r.pooled ? "yes" : "no") << std::setw(16)
+              << std::setw(10) << (r.pooled ? "yes" : "no")
+              << std::setw(10) << (r.cached ? "yes" : "no") << std::setw(16)
               << std::fixed << std::setprecision(3) << r.elems_per_sec / 1e6
-              << std::setw(12) << r.instructions << '\n';
+              << std::setw(12) << r.instructions
+              << std::setw(12) << r.trace_replays << '\n';
   }
-  std::cout << "\npooled vs unpooled speedup (elements/sec):\n";
   std::vector<std::pair<std::string, unsigned>> pairs;
   for (const auto& r : results) {
     const auto key = std::make_pair(r.kernel, r.vlen);
@@ -385,10 +430,17 @@ void print_summary(const std::vector<ThroughputResult>& results) {
     for (const auto& p : pairs) seen = seen || p == key;
     if (!seen) pairs.push_back(key);
   }
+  std::cout << "\npooled vs unpooled speedup (elements/sec, cache off):\n";
   for (const auto& [kernel, vlen] : pairs) {
     std::cout << "  " << std::left << std::setw(14) << kernel << " vlen="
               << std::setw(5) << vlen << std::fixed << std::setprecision(2)
               << pooled_speedup(results, kernel, vlen) << "x\n";
+  }
+  std::cout << "\nexec cache vs interpreted speedup (elements/sec, pool on):\n";
+  for (const auto& [kernel, vlen] : pairs) {
+    std::cout << "  " << std::left << std::setw(14) << kernel << " vlen="
+              << std::setw(5) << vlen << std::fixed << std::setprecision(2)
+              << cached_speedup(results, kernel, vlen) << "x\n";
   }
 }
 

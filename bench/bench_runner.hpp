@@ -28,34 +28,45 @@ struct ThroughputResult {
   unsigned lmul = 1;
   std::size_t n = 0;
   bool pooled = true;               ///< buffer pool recycling on?
+  bool cached = true;               ///< two-level execution cache on?
   double seconds_per_pass = 0.0;    ///< mean wall-clock for one kernel pass
   double elems_per_sec = 0.0;       ///< n / seconds_per_pass
   std::uint64_t instructions = 0;   ///< modeled dynamic instructions per pass
   std::uint64_t spills = 0;         ///< modeled spill stores per pass
   std::uint64_t reloads = 0;        ///< modeled reload loads per pass
+  std::uint64_t trace_replays = 0;  ///< fused-trace iterations replayed (total)
+  std::uint64_t ops_replayed = 0;   ///< per-op charges satisfied from traces
 };
 
 struct SweepOptions {
   std::vector<unsigned> vlens{128, 256, 512, 1024};
   std::size_t n = 1u << 16;     ///< emulated elements per pass
-  double min_seconds = 0.05;    ///< minimum timed window per cell
+  double min_seconds = 0.05;    ///< minimum timed window per repetition
+  unsigned repetitions = 3;     ///< timed windows per cell; best one is kept
   unsigned threads = 0;         ///< worker threads; 0 = hardware concurrency
 };
 
 /// Version stamped into every JSON report this module writes, so
 /// BENCH_emulator.json and BENCH_parallel.json are self-describing and
 /// diffable across PRs.  Bump when a field changes meaning or moves.
-inline constexpr int kBenchSchemaVersion = 2;
+inline constexpr int kBenchSchemaVersion = 3;
 
-/// Runs the kernel × VLEN × {pooled, unpooled} sweep on a thread pool and
+/// Runs the kernel × VLEN × configuration sweep on a thread pool and
 /// returns one result per cell (deterministic order: kernels outer, VLEN
-/// middle, unpooled-then-pooled inner).
+/// middle; inner: unpooled+uncached, pooled+uncached, pooled+cached).
+/// The pooled+uncached cell is the interpreted path — the pre-cache
+/// emulator — and the baseline the cached cell's speedup is quoted against.
 [[nodiscard]] std::vector<ThroughputResult> run_throughput_sweep(
     const SweepOptions& opt);
 
-/// Pooled-over-unpooled elements/sec ratio for one kernel at one VLEN;
-/// returns 0 when either cell is missing.
+/// Pooled-over-unpooled elements/sec ratio for one kernel at one VLEN
+/// (execution cache off in both cells); returns 0 when either is missing.
 [[nodiscard]] double pooled_speedup(const std::vector<ThroughputResult>& results,
+                                    const std::string& kernel, unsigned vlen);
+
+/// Cached-over-interpreted elements/sec ratio for one kernel at one VLEN
+/// (buffer pool on in both cells); returns 0 when either is missing.
+[[nodiscard]] double cached_speedup(const std::vector<ThroughputResult>& results,
                                     const std::string& kernel, unsigned vlen);
 
 /// Writes the machine-readable report (results plus per-cell speedups) to

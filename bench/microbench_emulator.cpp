@@ -10,6 +10,8 @@
 //     writes the machine-readable BENCH_emulator.json perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -117,6 +119,7 @@ BENCHMARK(BM_RegFilePressureModel);
 int run_throughput_mode(int argc, char** argv) {
   bench::SweepOptions opt;
   std::string json_path = "BENCH_emulator.json";
+  double min_speedup = 0.0;  // 0 = no floor
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--throughput") continue;
@@ -126,6 +129,8 @@ int run_throughput_mode(int argc, char** argv) {
       opt.n = std::stoul(argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
       opt.threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--min-speedup" && i + 1 < argc) {
+      min_speedup = std::stod(argv[++i]);
     } else if (arg == "--smoke") {
       // CI-sized run: small input, short timing windows, two VLENs.
       opt.n = 1u << 12;
@@ -133,7 +138,7 @@ int run_throughput_mode(int argc, char** argv) {
       opt.vlens = {128, 1024};
     } else {
       std::cerr << "usage: microbench_emulator [--throughput [--json FILE] "
-                   "[--n N] [--threads T] [--smoke]]\n";
+                   "[--n N] [--threads T] [--min-speedup X] [--smoke]]\n";
       return 2;
     }
   }
@@ -141,6 +146,34 @@ int run_throughput_mode(int argc, char** argv) {
   bench::print_summary(results);
   bench::write_bench_json(results, opt, json_path);
   std::cout << "\nwrote " << json_path << '\n';
+
+  if (min_speedup > 0.0) {
+    // Perf floor: the geometric-mean cached-vs-interpreted speedup over all
+    // kernels at the widest swept VLEN must reach the committed bar.
+    const unsigned vlen = *std::max_element(opt.vlens.begin(), opt.vlens.end());
+    double log_sum = 0.0;
+    int cells = 0;
+    for (const char* kernel : {"elementwise", "scan", "permute", "seg_scan_m8"}) {
+      const double s = bench::cached_speedup(results, kernel, vlen);
+      std::cout << "cached speedup " << kernel << "@vlen" << vlen << ": "
+                << s << "x\n";
+      if (s <= 0.0) {
+        std::cerr << "microbench_emulator: missing cached/interpreted cell for "
+                  << kernel << "@vlen" << vlen << '\n';
+        return 1;
+      }
+      log_sum += std::log(s);
+      ++cells;
+    }
+    const double geomean = std::exp(log_sum / cells);
+    std::cout << "cached speedup geomean@vlen" << vlen << ": " << geomean
+              << "x (floor " << min_speedup << "x)\n";
+    if (geomean < min_speedup) {
+      std::cerr << "microbench_emulator: cached-path speedup " << geomean
+                << "x fell below the committed floor " << min_speedup << "x\n";
+      return 1;
+    }
+  }
   return 0;
 }
 

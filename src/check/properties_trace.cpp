@@ -1,0 +1,314 @@
+// Trace-layer differential properties: the two-level execution cache
+// (decoded-op dispatch + fused trace replay, rvv/decode.hpp) must be
+// invisible — bit-identical data AND per-class dynamic instruction counts —
+// relative to a cache-disabled machine, across every lifecycle phase:
+// record (pass 1), verify (pass 2), stable replay (pass 3+), invalidation
+// under reconfiguration, and a trap unwinding a half-consumed replay.
+//
+// Counts are the paper's currency, so these properties compare per-pass
+// CountSnapshot deltas class by class, plus the register-file model's
+// spill/reload stats (which replay maintains via bulk mirroring).
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/radix_sort.hpp"
+#include "check/harness.hpp"
+#include "check/oracle.hpp"
+#include "svm/svm.hpp"
+
+namespace rvvsvm::check {
+
+namespace {
+
+using detail::norm_vlen;
+using detail::to_bits;
+using detail::to_elems;
+
+constexpr std::size_t kMaxN = 1024;
+
+[[nodiscard]] std::string diff_counts(const char* name, int pass,
+                                      const sim::CountSnapshot& cached,
+                                      const sim::CountSnapshot& plain) {
+  for (std::size_t k = 0; k < sim::kNumInstClasses; ++k) {
+    const auto cls = static_cast<sim::InstClass>(k);
+    if (cached.count(cls) != plain.count(cls)) {
+      std::ostringstream msg;
+      msg << name << ": cached run charges a different " << sim::to_string(cls)
+          << " count than the interpreted run (" << cached.count(cls) << " vs "
+          << plain.count(cls) << ", pass " << pass << ")";
+      return msg.str();
+    }
+  }
+  return "";
+}
+
+/// Run `run` `passes` times on a cache-on and a cache-off machine of the
+/// same configuration, requiring bit-identical data and per-pass count
+/// deltas.  `invalidate_before_pass` (or -1) drops the cached machine's
+/// execution caches before that pass — the reconfiguration case.
+template <class T, class Run>
+[[nodiscard]] std::string differential(const char* name, unsigned vlen,
+                                       bool pressure, int passes,
+                                       int invalidate_before_pass, Run&& run) {
+  rvv::Machine cached({.vlen_bits = vlen,
+                       .model_register_pressure = pressure,
+                       .use_exec_cache = true});
+  rvv::Machine plain({.vlen_bits = vlen,
+                      .model_register_pressure = pressure,
+                      .use_exec_cache = false});
+  for (int pass = 0; pass < passes; ++pass) {
+    if (pass == invalidate_before_pass) cached.invalidate_exec_caches();
+    const sim::CountSnapshot c0 = cached.counter().snapshot();
+    const sim::CountSnapshot p0 = plain.counter().snapshot();
+    std::vector<T> got, want;
+    {
+      rvv::MachineScope scope(cached);
+      run(got);
+    }
+    {
+      rvv::MachineScope scope(plain);
+      run(want);
+    }
+    if (got != want) {
+      return std::string(name) +
+             ": cached data diverges from interpreted data (pass " +
+             std::to_string(pass) + ")";
+    }
+    if (std::string e = diff_counts(name, pass, cached.counter().snapshot() - c0,
+                                    plain.counter().snapshot() - p0);
+        !e.empty()) {
+      return e;
+    }
+  }
+  if (pressure &&
+      (cached.regfile()->spill_count() != plain.regfile()->spill_count() ||
+       cached.regfile()->reload_count() != plain.regfile()->reload_count())) {
+    return std::string(name) +
+           ": register-file spill/reload stats diverge between cached and "
+           "interpreted runs";
+  }
+  if (invalidate_before_pass >= 0) {
+    const auto& st = cached.exec_cache().stats();
+    if (st.invalidations != 1) {
+      return std::string(name) + ": expected exactly one cache invalidation, saw " +
+             std::to_string(st.invalidations);
+    }
+  }
+  return "";
+}
+
+Case gen_trace(Rng& rng) {
+  Case c;
+  detail::gen_shape(rng, c);
+  const std::size_t vlmax = rvv::vlmax_for(c.vlen, c.sew, c.lmul);
+  c.vl = detail::gen_size(rng, vlmax, kMaxN);
+  detail::gen_values(rng, c.a, c.vl);
+  detail::gen_mask(rng, c.b, c.vl);
+  detail::gen_mask(rng, c.m, c.vl);
+  c.scalar = rng.next();
+  c.offset = rng.below(64);
+  return c;
+}
+
+// --- properties -------------------------------------------------------------
+
+/// Unsegmented scans across the whole trace lifecycle, both pressure modes.
+/// Pass 1 records, pass 2 verifies, passes 3-4 replay; with n > 0 the
+/// stable traces must actually be hit (the speedup is not optional).
+std::string check_scan_lifecycle(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const unsigned vlen = norm_vlen(c.vlen);
+    const std::size_t n = c.vl % (kMaxN + 1);
+    const std::vector<T> a = to_elems<T>(c.a, n);
+    for (const bool pressure : {true, false}) {
+      rvv::Machine cached({.vlen_bits = vlen,
+                           .model_register_pressure = pressure,
+                           .use_exec_cache = true});
+      rvv::Machine plain({.vlen_bits = vlen,
+                          .model_register_pressure = pressure,
+                          .use_exec_cache = false});
+      for (int pass = 0; pass < 4; ++pass) {
+        const sim::CountSnapshot c0 = cached.counter().snapshot();
+        const sim::CountSnapshot p0 = plain.counter().snapshot();
+        std::vector<T> got(a), want(a);
+        {
+          rvv::MachineScope scope(cached);
+          svm::plus_scan<T, L>(std::span<T>(got));
+          svm::plus_scan_exclusive<T, L>(std::span<T>(got));
+          svm::max_scan<T, L>(std::span<T>(got));
+        }
+        {
+          rvv::MachineScope scope(plain);
+          svm::plus_scan<T, L>(std::span<T>(want));
+          svm::plus_scan_exclusive<T, L>(std::span<T>(want));
+          svm::max_scan<T, L>(std::span<T>(want));
+        }
+        if (got != want) {
+          return std::string("trace.scan: cached data diverges (pass ") +
+                 std::to_string(pass) + ")";
+        }
+        if (std::string e =
+                diff_counts("trace.scan", pass, cached.counter().snapshot() - c0,
+                            plain.counter().snapshot() - p0);
+            !e.empty()) {
+          return e;
+        }
+      }
+      const auto& st = cached.exec_cache().stats();
+      if (n > 0 && st.trace_replays == 0) {
+        return "trace.scan: four passes over stable shapes produced zero "
+               "trace replays";
+      }
+      if (n > 0 && st.decode_hits == 0) {
+        return "trace.scan: decoded-op cache saw no hits across four passes";
+      }
+    }
+    return "";
+  });
+}
+
+/// Segmented scan: at high LMUL its blocks spill inside the traced window,
+/// so replay's bulk spill/reload accounting is on the line here.
+std::string check_seg_scan(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const unsigned vlen = norm_vlen(c.vlen);
+    const std::size_t n = c.vl % (kMaxN + 1);
+    const std::vector<T> a = to_elems<T>(c.a, n);
+    const auto hb = to_bits(c.m, n);
+    std::vector<T> hflags(n);
+    for (std::size_t i = 0; i < n; ++i) hflags[i] = static_cast<T>(hb[i]);
+    for (const bool pressure : {true, false}) {
+      if (std::string e = differential<T>(
+              "trace.seg_scan", vlen, pressure, 3, -1,
+              [&](std::vector<T>& out) {
+                out = a;
+                svm::seg_plus_scan<T, L>(std::span<T>(out),
+                                         std::span<const T>(hflags));
+              });
+          !e.empty()) {
+        return e;
+      }
+    }
+    return "";
+  });
+}
+
+/// Cache invalidation under reconfiguration: dropping the caches between
+/// passes must change nothing but the stats.
+std::string check_invalidate(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const unsigned vlen = norm_vlen(c.vlen);
+    const std::size_t n = c.vl % (kMaxN + 1);
+    const std::vector<T> a = to_elems<T>(c.a, n);
+    return differential<T>("trace.invalidate", vlen, true, 4, 2,
+                           [&](std::vector<T>& out) {
+                             out = a;
+                             svm::plus_scan<T, L>(std::span<T>(out));
+                             svm::p_add<T, L>(std::span<T>(out), T{1});
+                           });
+  });
+}
+
+/// A composite app (radix sort: enumerate + split + permute + scans) runs
+/// many distinct strip-mine sites back to back through the shared cache.
+std::string check_apps(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const unsigned vlen = norm_vlen(c.vlen);
+    const std::size_t n = c.vl % (kMaxN + 1);
+    const std::vector<T> a = to_elems<T>(c.a, n);
+    return differential<T>("trace.apps", vlen, true, 2, -1,
+                           [&](std::vector<T>& out) {
+                             out = a;
+                             apps::split_radix_sort<T, L>(std::span<T>(out));
+                           });
+  });
+}
+
+/// A memory trap mid-iteration after the trace went stable: the unwinding
+/// replay must charge exactly its consumed prefix, leaving data, counts and
+/// the later recovery run identical to the interpreted machine's.
+std::string check_trap_mid_replay(const Case& c) {
+  return detail::dispatch_sew_lmul(c, [&]<class T, unsigned L>() -> std::string {
+    const unsigned vlen = norm_vlen(c.vlen);
+    const std::size_t n = c.vl % (kMaxN + 1);
+    if (n == 0) return "";
+    const std::vector<T> a = to_elems<T>(c.a, n);
+    // d[i] = a[i] + 1 through an explicit strip-mine whose store span can be
+    // truncated: the last block's vse then traps after the block's loads and
+    // adds already retired.
+    auto kernel = [&](std::span<const T> src, T* out, std::size_t out_len) {
+      svm::detail::stripmine<T, L>(
+          src.size(), 2, [&](std::size_t pos, std::size_t vl) {
+            auto x = rvv::vle<T, L>(src.subspan(pos), vl);
+            x = rvv::vadd(x, T{1}, vl);
+            const std::size_t avail =
+                pos < out_len ? std::min(out_len - pos, vl) : 0;
+            rvv::vse(std::span<T>(out + pos, avail), x, vl);
+          });
+    };
+    auto script = [&](rvv::Machine& m, std::string& trap, std::vector<T>& data) {
+      rvv::MachineScope scope(m);
+      std::vector<T> out(n, T{0});
+      // Two full passes warm the cached machine through record + verify, so
+      // the truncated pass below replays stable traces.
+      kernel(std::span<const T>(a), out.data(), n);
+      kernel(std::span<const T>(a), out.data(), n);
+      std::fill(out.begin(), out.end(), T{0});
+      try {
+        kernel(std::span<const T>(a), out.data(), n - 1);
+        trap = "none";
+      } catch (const MemoryAccessTrap&) {
+        trap = "memory";
+      } catch (const std::exception& e) {
+        trap = std::string("other: ") + e.what();
+      }
+      data = out;
+      // Recovery: the machine (and its poise-unharmed caches) must still run
+      // the untruncated kernel correctly after the unwound replay.
+      kernel(std::span<const T>(a), out.data(), n);
+      data.insert(data.end(), out.begin(), out.end());
+    };
+    rvv::Machine cached({.vlen_bits = vlen});
+    rvv::Machine plain({.vlen_bits = vlen, .use_exec_cache = false});
+    std::string trap_cached, trap_plain;
+    std::vector<T> data_cached, data_plain;
+    script(cached, trap_cached, data_cached);
+    script(plain, trap_plain, data_plain);
+    if (trap_cached != trap_plain) {
+      return "trace.trap_mid_replay: trap shape diverges (cached: " +
+             trap_cached + ", interpreted: " + trap_plain + ")";
+    }
+    if (n > 1 && trap_cached != "memory") {
+      return "trace.trap_mid_replay: truncated store never trapped (" +
+             trap_cached + ")";
+    }
+    if (data_cached != data_plain) {
+      return "trace.trap_mid_replay: data diverges across the trap";
+    }
+    return diff_counts("trace.trap_mid_replay", -1, cached.counter().snapshot(),
+                       plain.counter().snapshot());
+  });
+}
+
+}  // namespace
+
+std::vector<Property> make_trace_properties() {
+  std::vector<Property> props;
+  auto add = [&](const char* name, std::function<std::string(const Case&)> check) {
+    props.push_back(Property{name, "trace", gen_trace, std::move(check)});
+  };
+  add("trace.scan", check_scan_lifecycle);
+  add("trace.seg_scan", check_seg_scan);
+  add("trace.invalidate", check_invalidate);
+  add("trace.apps", check_apps);
+  add("trace.trap_mid_replay", check_trap_mid_replay);
+  return props;
+}
+
+}  // namespace rvvsvm::check

@@ -19,19 +19,19 @@ namespace rvvsvm::rvv {
 
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vadd(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, "vadd", a, b, vl, detail::wrap_add<T>);
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vadd", a, b, vl, [](T ai, T bi) noexcept { return detail::wrap_add(ai, bi); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vadd(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, "vadd", a, x, vl, detail::wrap_add<T>);
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vadd", a, x, vl, [](T ai, T bi) noexcept { return detail::wrap_add(ai, bi); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vsub(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, "vsub", a, b, vl, detail::wrap_sub<T>);
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vsub", a, b, vl, [](T ai, T bi) noexcept { return detail::wrap_sub(ai, bi); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vsub(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, "vsub", a, x, vl, detail::wrap_sub<T>);
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vsub", a, x, vl, [](T ai, T bi) noexcept { return detail::wrap_sub(ai, bi); });
 }
 /// vrsub.vx: d[i] = x - a[i].
 template <VectorElement T, unsigned L>
@@ -49,11 +49,11 @@ template <VectorElement T, unsigned L>
 
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmul(const vreg<T, L>& a, const vreg<T, L>& b, std::size_t vl) {
-  return detail::binary_vv(sim::InstClass::kVectorArith, "vmul", a, b, vl, detail::wrap_mul<T>);
+  return detail::binary_vv(sim::InstClass::kVectorArith, "vmul", a, b, vl, [](T ai, T bi) noexcept { return detail::wrap_mul(ai, bi); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vmul(const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
-  return detail::binary_vx(sim::InstClass::kVectorArith, "vmul", a, x, vl, detail::wrap_mul<T>);
+  return detail::binary_vx(sim::InstClass::kVectorArith, "vmul", a, x, vl, [](T ai, T bi) noexcept { return detail::wrap_mul(ai, bi); });
 }
 
 /// vdiv[u].vv.  Division by zero yields all-ones; signed overflow
@@ -212,7 +212,7 @@ template <VectorElement To, VectorElement From, unsigned L>
   const detail::OpCtx ctx{m, "vext", vl, L};
   ctx.check_vl(a.capacity(), "source");
   ctx.check_vl(m.vlmax<To>(L), "widened destination");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorArith, "vext", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorArith, "vext", vl, L, kSewBits<To>);
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(L);
@@ -232,7 +232,7 @@ template <VectorElement To, VectorElement From, unsigned L>
   const detail::OpCtx ctx{m, "vnsrl", vl, L};
   ctx.check_vl(a.capacity(), "source");
   ctx.check_vl(m.vlmax<To>(L), "narrowed destination");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorArith, "vnsrl", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorArith, "vnsrl", vl, L, kSewBits<To>);
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(L);
@@ -267,20 +267,20 @@ template <VectorElement T, unsigned L>
                                 const vreg<T, L>& a, const vreg<T, L>& b,
                                 std::size_t vl) {
   return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vadd", mask, maskedoff,
-                                  a, b, vl, detail::wrap_add<T>);
+                                  a, b, vl, [](T ai, T bi) noexcept { return detail::wrap_add(ai, bi); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vadd_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, std::type_identity_t<T> x, std::size_t vl) {
   return detail::masked_binary_vx(sim::InstClass::kVectorArith, "vadd", mask, maskedoff,
-                                  a, x, vl, detail::wrap_add<T>);
+                                  a, x, vl, [](T ai, T bi) noexcept { return detail::wrap_add(ai, bi); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vsub_m(const vmask& mask, const vreg<T, L>& maskedoff,
                                 const vreg<T, L>& a, const vreg<T, L>& b,
                                 std::size_t vl) {
   return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vsub", mask, maskedoff,
-                                  a, b, vl, detail::wrap_sub<T>);
+                                  a, b, vl, [](T ai, T bi) noexcept { return detail::wrap_sub(ai, bi); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vor_m(const vmask& mask, const vreg<T, L>& maskedoff,
@@ -319,7 +319,7 @@ template <VectorElement T, unsigned L>
                                 const vreg<T, L>& a, const vreg<T, L>& b,
                                 std::size_t vl) {
   return detail::masked_binary_vv(sim::InstClass::kVectorArith, "vmul", mask, maskedoff,
-                                  a, b, vl, detail::wrap_mul<T>);
+                                  a, b, vl, [](T ai, T bi) noexcept { return detail::wrap_mul(ai, bi); });
 }
 template <VectorElement T, unsigned L>
 [[nodiscard]] vreg<T, L> vxor_m(const vmask& mask, const vreg<T, L>& maskedoff,
@@ -377,7 +377,7 @@ template <VectorElement T, unsigned L>
                                 const vreg<T, L>& a, std::type_identity_t<T> x,
                                 std::size_t vl) {
   return detail::masked_binary_vx(sim::InstClass::kVectorArith, "vmul", mask, maskedoff,
-                                  a, x, vl, detail::wrap_mul<T>);
+                                  a, x, vl, [](T ai, T bi) noexcept { return detail::wrap_mul(ai, bi); });
 }
 
 }  // namespace rvvsvm::rvv

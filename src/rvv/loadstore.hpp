@@ -76,7 +76,7 @@ template <VectorElement T, unsigned L = 1>
   const detail::OpCtx ctx{m, "vle", vl, L};
   ctx.check_vl(cap, "destination");
   detail::check_contiguous(ctx, src.size(), "source");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorLoad, "vle", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorLoad, "vle", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(L);
   auto out = detail::result_elems<T>(m, cap, vl);
@@ -95,7 +95,7 @@ void vse(std::span<T> dst, const vreg<T, L>& a, std::size_t vl) {
   const detail::OpCtx ctx{m, "vse", vl, L};
   ctx.check_vl(a.capacity(), "source");
   detail::check_contiguous(ctx, dst.size(), "destination");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorStore, "vse", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorStore, "vse", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
   if (m.pool().recycling()) {
@@ -117,7 +117,7 @@ void vse_m(const vmask& mask, std::span<T> dst, const vreg<T, L>& a, std::size_t
   ctx.check_vl(a.capacity(), "source");
   ctx.check_vl(mask.capacity(), "mask");
   detail::check_contiguous(ctx, dst.size(), "destination");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorStore, "vse_m", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorStore, "vse_m", vl, L, kSewBits<T>, /*masked=*/true);
   detail::AllocGuard guard(m);
   guard.use_mask(mask.value_id());
   guard.use(a.value_id());
@@ -144,7 +144,7 @@ template <VectorElement T, unsigned L = 1>
   const detail::OpCtx ctx{m, "vlse", vl, L};
   ctx.check_vl(cap, "destination");
   detail::check_strided(ctx, src.size(), stride, "source");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorLoad, "vlse", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorLoad, "vlse", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(L);
   auto out = detail::result_elems<T>(m, cap, vl);
@@ -160,7 +160,7 @@ void vsse(std::span<T> dst, std::size_t stride, const vreg<T, L>& a, std::size_t
   const detail::OpCtx ctx{m, "vsse", vl, L};
   ctx.check_vl(a.capacity(), "source");
   detail::check_strided(ctx, dst.size(), stride, "destination");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorStore, "vsse", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorStore, "vsse", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
   const T* pa = a.elems().data();
@@ -180,7 +180,7 @@ template <VectorElement T, unsigned L, VectorElement I>
   ctx.check_vl(cap, "destination");
   ctx.check_vl(index.capacity(), "index");
   detail::check_indexed(ctx, index, src.size(), nullptr, "source");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorLoad, "vluxei", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorLoad, "vluxei", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   guard.use(index.value_id());
   const sim::ValueId id = guard.define(L);
@@ -211,7 +211,7 @@ void vsuxei(std::span<T> dst, const vreg<I, L>& index, const vreg<T, L>& a,
   ctx.check_vl(a.capacity(), "source");
   ctx.check_vl(index.capacity(), "index");
   detail::check_indexed(ctx, index, dst.size(), nullptr, "destination");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorStore, "vsuxei", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorStore, "vsuxei", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   guard.use(index.value_id());
   guard.use(a.value_id());
@@ -243,7 +243,7 @@ void vsuxei_m(const vmask& mask, std::span<T> dst, const vreg<I, L>& index,
   ctx.check_vl(index.capacity(), "index");
   detail::check_indexed(ctx, index, dst.size(), mask.bits().data(),
                         "destination");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorStore, "vsuxei_m", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorStore, "vsuxei_m", vl, L, kSewBits<T>, /*masked=*/true);
   detail::AllocGuard guard(m);
   guard.use_mask(mask.value_id());
   guard.use(index.value_id());

@@ -24,6 +24,7 @@
 #include <stdexcept>
 
 #include "rvv/config.hpp"
+#include "rvv/decode.hpp"
 #include "sim/buffer_pool.hpp"
 #include "sim/inst_counter.hpp"
 #include "sim/regfile_model.hpp"
@@ -45,6 +46,12 @@ class Machine {
     /// only — modeled counts are identical either way; disable to measure
     /// the pre-pool allocation-per-instruction baseline.
     bool use_buffer_pool = true;
+    /// Two-level execution cache (decoded-op dispatch + fused strip-mine
+    /// traces, see rvv/decode.hpp).  Host-side only — data and modeled
+    /// counts are bit-identical either way (the trace fuzz layer and the
+    /// paper-table goldens pin this); disable to force the interpreted
+    /// path, which is also the benchmark driver's baseline.
+    bool use_exec_cache = true;
   };
 
   Machine() : Machine(Config{}) {}
@@ -65,19 +72,32 @@ class Machine {
   /// Execute a vsetvl configuration instruction: returns
   /// vl = min(avl, VLMAX) and charges one kVectorConfig instruction.
   /// An unsupported LMUL raises IllegalConfigTrap before the charge.
+  /// The (SEW, LMUL) validation and VLMAX computation are memoized on the
+  /// last configuration — a strip-mine loop re-executes vsetvl with the
+  /// same vtype every iteration, so the steady state is two compares.
   template <VectorElement T>
   std::size_t vsetvl(std::size_t avl, unsigned lmul = 1) {
-    check_lmul("vsetvl", avl, lmul);
+    if (kSewBits<T> != vset_memo_sew_ || lmul != vset_memo_lmul_) {
+      check_lmul("vsetvl", avl, lmul);
+      vset_memo_sew_ = kSewBits<T>;
+      vset_memo_lmul_ = lmul;
+      vset_memo_vlmax_ = vlmax<T>(lmul);
+    }
     charge(sim::InstClass::kVectorConfig, "vsetvl", avl, lmul);
-    return vl_for(avl, vlmax<T>(lmul));
+    return vl_for(avl, vset_memo_vlmax_);
   }
 
   /// VLMAX query via vsetvlmax — also a retired vsetvli instruction.
   template <VectorElement T>
   std::size_t vsetvlmax(unsigned lmul = 1) {
-    check_lmul("vsetvlmax", 0, lmul);
+    if (kSewBits<T> != vset_memo_sew_ || lmul != vset_memo_lmul_) {
+      check_lmul("vsetvlmax", 0, lmul);
+      vset_memo_sew_ = kSewBits<T>;
+      vset_memo_lmul_ = lmul;
+      vset_memo_vlmax_ = vlmax<T>(lmul);
+    }
     charge(sim::InstClass::kVectorConfig, "vsetvlmax", 0, lmul);
-    return vlmax<T>(lmul);
+    return vset_memo_vlmax_;
   }
 
   [[nodiscard]] sim::InstCounter& counter() noexcept { return counter_; }
@@ -132,6 +152,39 @@ class Machine {
     counter_.add(cls);
   }
 
+  /// The two-level execution cache (decoded ops + fused traces) and its
+  /// per-op engine.  ChargeGuard consults the tracer on every emulated
+  /// instruction; tools read the cache's stats.
+  [[nodiscard]] ExecTracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] ExecCache& exec_cache() noexcept { return exec_cache_; }
+  [[nodiscard]] const ExecCache& exec_cache() const noexcept {
+    return exec_cache_;
+  }
+
+  /// Drop both execution-cache levels and the vsetvl memo — the machine
+  /// reconfiguration hook.  Counts never depend on cache contents (trace
+  /// deltas are relative), so this is always safe; it exists so long-lived
+  /// machines can bound memory and so tests can force cold-cache paths.
+  void invalidate_exec_caches() noexcept {
+    exec_cache_.invalidate();
+    vset_memo_sew_ = 0;
+    vset_memo_lmul_ = 0;
+    vset_memo_vlmax_ = 0;
+  }
+
+  /// Iteration brackets for TraceIteration.  Engagement requires the cache
+  /// enabled and no fault-injection channel armed (chaos runs interpret, so
+  /// every op keeps its pre-charge trap window and rollback guard).
+  [[nodiscard]] bool begin_trace_iteration(const TraceSite& site,
+                                           std::size_t vl, unsigned sew_bits,
+                                           unsigned lmul) {
+    if (!cfg_.use_exec_cache || fault_armed()) return false;
+    return tracer_.begin_iteration(exec_cache_, site, vl, sew_bits, lmul,
+                                   cfg_.vlen_bits, counter_, regfile_.get());
+  }
+  void end_trace_iteration() { tracer_.end_iteration(); }
+  void abort_trace_iteration() { tracer_.abort_iteration(); }
+
   /// The machine the intrinsic-style free functions execute on.
   /// Throws std::logic_error when no MachineScope is active.
   [[nodiscard]] static Machine& active();
@@ -154,6 +207,57 @@ class Machine {
   sim::BufferPool pool_;
   std::unique_ptr<sim::VRegFileModel> regfile_;
   FaultHook* fault_hook_ = nullptr;
+  ExecCache exec_cache_;
+  ExecTracer tracer_;
+  unsigned vset_memo_sew_ = 0;  // 0 = memo empty (valid SEWs are >= 8)
+  unsigned vset_memo_lmul_ = 0;
+  std::size_t vset_memo_vlmax_ = 0;
+};
+
+/// RAII bracket around one strip-mine loop iteration, driving the fused-
+/// trace engine (level 2 of the execution cache).  Constructed right after
+/// the iteration's vsetvl with the loop body's shape key; the body's
+/// emulated ops then record into or replay from the machine's trace cache.
+/// finish() commits the iteration as its last statement; unwinding without
+/// finish() (a trap inside the body) charges exactly the replayed prefix
+/// and leaves machine state consistent.  When the tracer declines to engage
+/// (cache disabled, fault injection armed, nested strip-mines, values live
+/// across the iteration boundary) every op interprets exactly as before.
+class TraceIteration {
+ public:
+  TraceIteration(Machine& m, const TraceSite& site, std::size_t vl,
+                 unsigned sew_bits, unsigned lmul)
+      : m_(m), engaged_(m.begin_trace_iteration(site, vl, sew_bits, lmul)) {}
+  ~TraceIteration() {
+    if (engaged_) m_.abort_trace_iteration();
+  }
+  TraceIteration(const TraceIteration&) = delete;
+  TraceIteration& operator=(const TraceIteration&) = delete;
+
+  void finish() {
+    if (engaged_) {
+      m_.end_trace_iteration();
+      engaged_ = false;
+    }
+  }
+
+  /// True when a stable trace covers this iteration.  The whole iteration's
+  /// counts (per-op charges plus the body's scalar bookkeeping) have then
+  /// been charged in bulk and the tracer disengaged: the caller must run a
+  /// data-equivalent, non-trapping fused body instead of the op body, and
+  /// must not call finish().  False engages the normal record/verify or
+  /// per-op replay path.
+  [[nodiscard]] bool replay_fused() {
+    if (engaged_ && m_.tracer().take_bulk_replay()) {
+      engaged_ = false;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  Machine& m_;
+  bool engaged_;
 };
 
 /// Activates a machine for the current thread for the scope's lifetime.

@@ -21,7 +21,7 @@ template <VectorElement T, unsigned L, class F>
   ctx.check_machine(b.machine(), "second source operand");
   ctx.check_vl(a.capacity(), "source");
   ctx.check_vl(b.capacity(), "second source");
-  ChargeGuard charge(m, sim::InstClass::kVectorMask, op, vl, L);
+  ChargeGuard charge(m, sim::InstClass::kVectorMask, op, vl, L, kSewBits<T>);
   AllocGuard guard(m);
   guard.use(a.value_id());
   guard.use(b.value_id());
@@ -44,7 +44,7 @@ template <VectorElement T, unsigned L, class F>
   Machine& m = a.machine();
   const OpCtx ctx{m, op, vl, L};
   ctx.check_vl(a.capacity(), "source");
-  ChargeGuard charge(m, sim::InstClass::kVectorMask, op, vl, L);
+  ChargeGuard charge(m, sim::InstClass::kVectorMask, op, vl, L, kSewBits<T>);
   AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(1);
@@ -200,7 +200,7 @@ template <VectorElement T, unsigned L = 1>
   const detail::OpCtx ctx{m, "viota", vl, L};
   ctx.check_vl(cap, "destination");
   ctx.check_vl(mask.capacity(), "mask");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorMask, "viota", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMask, "viota", vl, L, kSewBits<T>, /*masked=*/true);
   detail::AllocGuard guard(m);
   guard.use(mask.value_id());
   const sim::ValueId id = guard.define(L);
@@ -229,7 +229,7 @@ template <VectorElement T, unsigned L = 1>
   const std::size_t cap = m.vlmax<T>(L);
   const detail::OpCtx ctx{m, "vid", vl, L};
   ctx.check_vl(cap, "destination");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorMask, "vid", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMask, "vid", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(L);
   auto out = detail::result_elems<T>(m, cap, vl);

@@ -15,7 +15,7 @@ template <VectorElement T, unsigned L = 1>
   const std::size_t cap = m.vlmax<T>(L);
   const detail::OpCtx ctx{m, "vmv_v_x", vl, L};
   ctx.check_vl(cap, "destination");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorMove, "vmv_v_x", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMove, "vmv_v_x", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   const sim::ValueId id = guard.define(L);
   auto out = detail::result_elems<T>(m, cap, vl);
@@ -45,7 +45,7 @@ template <VectorElement T, unsigned L>
   Machine& m = dest.machine();
   const detail::OpCtx ctx{m, "vmv_s_x", vl, L};
   ctx.check_vl(dest.capacity(), "destination");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorMove, "vmv_s_x", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMove, "vmv_s_x", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   guard.use(dest.value_id());
   const sim::ValueId id = guard.define(L);
@@ -60,7 +60,7 @@ template <VectorElement T, unsigned L>
   Machine& m = a.machine();
   const detail::OpCtx ctx{m, "vmv_x_s", 1, L};
   if (a.capacity() == 0) ctx.trap_operand("empty vector register");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorMove, "vmv_x_s", 1, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorMove, "vmv_x_s", 1, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   guard.use(a.value_id());
   return a[0];

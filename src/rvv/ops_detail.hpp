@@ -106,38 +106,96 @@ struct OpCtx {
 /// instruction added (including spill/reload traffic from its allocator
 /// events) if it aborts after the charge, e.g. on an injected allocation
 /// failure.  A trapped instruction never retires, so it never half-charges.
+///
+/// This is also the per-op hook of the execution cache (rvv/decode.hpp).
+/// When the machine's tracer is recording a strip-mine iteration, the
+/// guard's lifetime is the op's charge window: the constructor opens it
+/// (resolving the op through the level-1 decoded-op cache) and the
+/// destructor closes it with the exact per-class counts it retired.  When
+/// the tracer is replaying, a matching op is consumed from the trace and
+/// the guard does nothing at all — no fault window, no counter add, no
+/// rollback snapshot; the counts land with the iteration's bulk charge.
+/// `sew_bits` and `masked` extend the op identity to the full
+/// (op, SEW, LMUL, masked?) decode key; mask-register ops pass sew_bits 0.
 class ChargeGuard {
  public:
   ChargeGuard(Machine& m, sim::InstClass cls, const char* op, std::size_t vl,
-              unsigned lmul)
-      : m_(m),
-        armed_(m.fault_armed()),
-        uncaught_(std::uncaught_exceptions()) {
-    if (armed_) snap_ = m.counter().snapshot();
+              unsigned lmul, unsigned sew_bits = 0, bool masked = false)
+      : m_(m) {
+    // Replay first: it is the per-op hot path when the execution cache is
+    // engaged, and `replaying()` is a single mode compare.  The record and
+    // fault-armed paths run at most once per (trace, shape) resp. only
+    // under an armed chaos schedule, so they stay out of line.
+    ExecTracer& tr = m.tracer();
+    if (tr.replaying()) {
+      if (tr.match(op, cls, vl, lmul, sew_bits, masked)) {
+        mode_ = Mode::kReplayed;
+        return;
+      }
+      // Diverged from the trace: the tracer charged the consumed prefix
+      // and disengaged; interpret this op normally below.
+    } else if (tr.engaged()) {
+      if (tr.record_begin(op, cls, vl, lmul, sew_bits, masked)) {
+        mode_ = Mode::kRecording;
+        uncaught_ = std::uncaught_exceptions();
+        m.charge(cls, op, vl, lmul);
+        return;
+      }
+    }
+    if (m.fault_armed()) {
+      mode_ = Mode::kArmed;
+      uncaught_ = std::uncaught_exceptions();
+      snap_ = m.counter().snapshot();
+    }
     m.charge(cls, op, vl, lmul);
   }
   ~ChargeGuard() {
-    if (armed_ && std::uncaught_exceptions() > uncaught_) {
-      m_.counter().restore(snap_);
+    switch (mode_) {
+      case Mode::kFast:
+      case Mode::kReplayed:
+        return;
+      case Mode::kRecording:
+        if (std::uncaught_exceptions() > uncaught_) {
+          m_.tracer().record_abandon();
+        } else {
+          m_.tracer().record_commit();
+        }
+        return;
+      case Mode::kArmed:
+        if (std::uncaught_exceptions() > uncaught_) {
+          m_.counter().restore(snap_);
+        }
+        return;
     }
   }
   ChargeGuard(const ChargeGuard&) = delete;
   ChargeGuard& operator=(const ChargeGuard&) = delete;
 
  private:
+  enum class Mode : std::uint8_t { kFast, kReplayed, kRecording, kArmed };
+
   Machine& m_;
-  bool armed_;
-  int uncaught_;
+  Mode mode_ = Mode::kFast;
+  int uncaught_ = 0;
   sim::CountSnapshot snap_;
 };
 
 /// RAII bracket around one instruction's register-allocator events.
 /// All operand use() calls must precede define().
+///
+/// During trace replay the allocator is skipped entirely: the record pass
+/// captured the iteration's spill/reload charges in the trace, and the
+/// self-containment precondition (no values live across the iteration
+/// boundary) makes them reproducible.  define() then returns kNoValue, so
+/// replay-produced vregs carry no allocator token.
 class AllocGuard {
  public:
   explicit AllocGuard(Machine& machine)
-      : regfile_(machine.regfile()), uncaught_(std::uncaught_exceptions()) {
-    if (regfile_ != nullptr) regfile_->begin_inst();
+      : regfile_(machine.tracer().replaying() ? nullptr : machine.regfile()) {
+    if (regfile_ != nullptr) {
+      uncaught_ = std::uncaught_exceptions();
+      regfile_->begin_inst();
+    }
   }
   ~AllocGuard() {
     if (regfile_ == nullptr) return;
@@ -169,7 +227,7 @@ class AllocGuard {
  private:
   sim::VRegFileModel* regfile_;
   sim::ValueId pending_ = sim::kNoValue;
-  int uncaught_;
+  int uncaught_ = 0;
 };
 
 /// Result element storage acquired from the machine's buffer pool, poisoned
@@ -247,7 +305,7 @@ template <VectorElement T, unsigned LMUL, class F>
   Machine& m = a.machine();
   const OpCtx ctx{m, op, vl, LMUL};
   ctx.check_vl(a.capacity(), "source");
-  ChargeGuard charge(m, cls, op, vl, LMUL);
+  ChargeGuard charge(m, cls, op, vl, LMUL, kSewBits<T>);
   AllocGuard guard(m);
   guard.use(a.value_id());
   const sim::ValueId id = guard.define(LMUL);
@@ -275,7 +333,7 @@ template <VectorElement T, unsigned LMUL, class F>
   ctx.check_machine(b.machine(), "second source operand");
   ctx.check_vl(a.capacity(), "source");
   ctx.check_vl(b.capacity(), "second source");
-  ChargeGuard charge(m, cls, op, vl, LMUL);
+  ChargeGuard charge(m, cls, op, vl, LMUL, kSewBits<T>);
   AllocGuard guard(m);
   guard.use(a.value_id());
   guard.use(b.value_id());
@@ -327,7 +385,7 @@ template <VectorElement T, unsigned LMUL, class F>
   ctx.check_vl(a.capacity(), "source");
   ctx.check_vl(b.capacity(), "second source");
   ctx.check_vl(mask.capacity(), "mask");
-  ChargeGuard charge(m, cls, op, vl, LMUL);
+  ChargeGuard charge(m, cls, op, vl, LMUL, kSewBits<T>, /*masked=*/true);
   AllocGuard guard(m);
   guard.use_mask(mask.value_id());
   guard.use(maskedoff.defined() ? maskedoff.value_id() : sim::kNoValue);

@@ -20,7 +20,7 @@ template <VectorElement T, unsigned L>
   ctx.check_machine(dest.machine(), "destination operand");
   ctx.check_vl(src.capacity(), "source");
   ctx.check_vl(dest.capacity(), "destination");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslideup", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslideup", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   guard.use(dest.value_id());
   guard.use(src.value_id());
@@ -51,7 +51,7 @@ template <VectorElement T, unsigned L>
   Machine& m = src.machine();
   const detail::OpCtx ctx{m, "vslidedown", vl, L};
   ctx.check_vl(src.capacity(), "source");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslidedown", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslidedown", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
@@ -82,7 +82,7 @@ template <VectorElement T, unsigned L>
   Machine& m = src.machine();
   const detail::OpCtx ctx{m, "vslide1up", vl, L};
   ctx.check_vl(src.capacity(), "source");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslide1up", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslide1up", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
@@ -104,7 +104,7 @@ template <VectorElement T, unsigned L>
   Machine& m = src.machine();
   const detail::OpCtx ctx{m, "vslide1down", vl, L};
   ctx.check_vl(src.capacity(), "source");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslide1down", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vslide1down", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   guard.use(src.value_id());
   const sim::ValueId id = guard.define(L);
@@ -131,7 +131,7 @@ template <VectorElement T, unsigned L, VectorElement I>
   ctx.check_machine(index.machine(), "index operand");
   ctx.check_vl(src.capacity(), "source");
   ctx.check_vl(index.capacity(), "index");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vrgather", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vrgather", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   guard.use(src.value_id());
   guard.use(index.value_id());
@@ -167,7 +167,7 @@ template <VectorElement T, unsigned L>
   ctx.check_machine(mask.machine(), "mask operand");
   ctx.check_vl(src.capacity(), "source");
   ctx.check_vl(mask.capacity(), "mask");
-  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vcompress", vl, L);
+  detail::ChargeGuard charge(m, sim::InstClass::kVectorPermute, "vcompress", vl, L, kSewBits<T>);
   detail::AllocGuard guard(m);
   // vcompress takes its mask as a regular vector operand, not through v0.
   guard.use(mask.value_id());

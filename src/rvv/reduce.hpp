@@ -18,7 +18,7 @@ template <VectorElement T, unsigned L, class F>
   Machine& m = a.machine();
   const OpCtx ctx{m, op, vl, L};
   ctx.check_vl(a.capacity(), "source");
-  ChargeGuard charge(m, sim::InstClass::kVectorReduce, op, vl, L);
+  ChargeGuard charge(m, sim::InstClass::kVectorReduce, op, vl, L, kSewBits<T>);
   AllocGuard guard(m);
   guard.use(a.value_id());
   T acc = seed;
@@ -39,7 +39,7 @@ template <VectorElement T, unsigned L, class F>
   ctx.check_machine(mask.machine(), "mask operand");
   ctx.check_vl(a.capacity(), "source");
   ctx.check_vl(mask.capacity(), "mask");
-  ChargeGuard charge(m, sim::InstClass::kVectorReduce, op, vl, L);
+  ChargeGuard charge(m, sim::InstClass::kVectorReduce, op, vl, L, kSewBits<T>, /*masked=*/true);
   AllocGuard guard(m);
   guard.use_mask(mask.value_id());
   guard.use(a.value_id());
@@ -64,7 +64,7 @@ template <VectorElement T, unsigned L, class F>
 template <VectorElement T, unsigned L>
 [[nodiscard]] T vredsum(const vreg<T, L>& a, std::size_t vl,
                         std::type_identity_t<T> seed = T{0}) {
-  return detail::reduce("vredsum", a, vl, seed, detail::wrap_add<T>);
+  return detail::reduce("vredsum", a, vl, seed, [](T ai, T bi) noexcept { return detail::wrap_add(ai, bi); });
 }
 
 /// vredmax[u].vs.  Default seed is the type's minimum so the result is the
@@ -107,7 +107,7 @@ template <VectorElement T, unsigned L>
 template <VectorElement T, unsigned L>
 [[nodiscard]] T vredsum_m(const vmask& mask, const vreg<T, L>& a, std::size_t vl,
                           std::type_identity_t<T> seed = T{0}) {
-  return detail::reduce_m("vredsum", mask, a, vl, seed, detail::wrap_add<T>);
+  return detail::reduce_m("vredsum", mask, a, vl, seed, [](T ai, T bi) noexcept { return detail::wrap_add(ai, bi); });
 }
 
 }  // namespace rvvsvm::rvv

@@ -73,6 +73,10 @@ class CountSnapshot {
   /// with no intervening reset (checked per class in debug builds).
   [[nodiscard]] CountSnapshot operator-(const CountSnapshot& earlier) const;
 
+  /// Per-class equality — the trace cache verifies a recorded iteration
+  /// against its successor by comparing whole per-op count deltas.
+  [[nodiscard]] bool operator==(const CountSnapshot&) const noexcept = default;
+
   /// Element-wise sum — merges the counts of independent harts.  Retired
   /// instructions are additive across harts, so the merged snapshot is the
   /// whole-pool dynamic instruction count.
@@ -100,6 +104,16 @@ class InstCounter {
   /// Record `n` retired instructions of class `cls`.
   void add(InstClass cls, std::uint64_t n = 1) noexcept {
     counts_[static_cast<std::size_t>(cls)] += n;
+  }
+
+  /// Record a whole snapshot's worth of retired instructions at once — the
+  /// bulk-charge primitive behind trace replay: a replayed strip-mine
+  /// iteration lands all its per-class counts in one call instead of one
+  /// add() per emulated instruction.
+  void add_all(const CountSnapshot& delta) noexcept {
+    for (std::size_t i = 0; i < kNumInstClasses; ++i) {
+      counts_[i] += delta.counts_[i];
+    }
   }
 
   [[nodiscard]] std::uint64_t count(InstClass cls) const noexcept {

@@ -151,6 +151,17 @@ class VRegFileModel {
   /// High-water mark of registers simultaneously occupied.
   [[nodiscard]] unsigned peak_registers() const noexcept { return peak_regs_; }
 
+  /// Fold the spill/reload traffic of a replayed trace into the stats.
+  /// Replay skips the per-instruction allocator events (the record pass
+  /// proved the iteration self-contained and captured their charges), but
+  /// its bulk charge includes recorded kVectorSpill/kVectorReload
+  /// instructions; mirroring them here keeps spill_count()/reload_count()
+  /// consistent with the machine's counter whether or not a trace replayed.
+  void add_replayed_traffic(std::uint64_t spills, std::uint64_t reloads) noexcept {
+    spills_ += spills;
+    reloads_ += reloads;
+  }
+
   /// Install a trace sink: one line per emulated instruction describing its
   /// register-file events ("#42 use v8:m8 use v16:m8(reload) def v24:m8
   /// [spill v0..]"), the commit-log view Spike users debug with.  Pass

@@ -34,14 +34,65 @@ namespace rvvsvm::svm::detail {
 /// inside Machine::vsetvl) plus the documented scalar bookkeeping for
 /// `pointer_bumps` live array pointers.  The kernel prologue branch is
 /// charged once.
+///
+/// Each iteration is bracketed by a TraceIteration, feeding the machine's
+/// fused-trace cache (rvv/decode.hpp): the first execution of a given
+/// (call site, vl, SEW, LMUL) shape records the body's op sequence, the
+/// second verifies it, and later iterations — and later calls reaching the
+/// same shape — replay it with one bulk charge instead of per-op
+/// accounting.  `Body` is a distinct closure type per kernel call site, so
+/// the function-local static gives each strip-mined loop its own trace
+/// identity.  Scalar bookkeeping (and any scalar charges inside the body)
+/// stays live-charged: it sits outside the per-op charge windows, so it is
+/// never double-counted by a replay.
 template <rvv::VectorElement T, unsigned LMUL, class Body>
 void stripmine(std::size_t n, unsigned pointer_bumps, Body body) {
   rvv::Machine& m = rvv::Machine::active();
+  static const rvv::TraceSite site{"stripmine"};
   m.scalar().charge(sim::kKernelPrologue);
   std::size_t pos = 0;
   while (n > 0) {
     const std::size_t vl = m.vsetvl<T>(n, LMUL);
-    body(pos, vl);
+    {
+      rvv::TraceIteration trace(m, site, vl, rvv::kSewBits<T>, LMUL);
+      body(pos, vl);
+      trace.finish();
+    }
+    pos += vl;
+    n -= vl;
+    m.scalar().charge(sim::stripmine_iteration(pointer_bumps));
+  }
+}
+
+/// Fused-execution variant: once the iteration's trace is stable, the whole
+/// iteration is charged in bulk and `fused(pos, vl)` runs in place of
+/// `body(pos, vl)` — no per-op emulation at all, the trace-JIT idea applied
+/// to the emulator's hot loop.  The kernel author asserts the contract that
+/// makes this exact:
+///   * `fused` writes bit-identical data to `body` for every (pos, vl) —
+///     shape-deterministic bodies only (op sequence depends on vl, never on
+///     element values); the fuzz oracle's trace layer enforces this;
+///   * `fused` cannot trap (all of `body`'s validation is shape-derived and
+///     the shape was validated when the trace recorded).
+/// Recording, verification, divergence handling, and machines with the
+/// cache disabled (or a fault schedule armed) all run `body` unchanged.
+template <rvv::VectorElement T, unsigned LMUL, class Body, class Fused>
+void stripmine(std::size_t n, unsigned pointer_bumps, Body body, Fused fused) {
+  rvv::Machine& m = rvv::Machine::active();
+  static const rvv::TraceSite site{"stripmine"};
+  m.scalar().charge(sim::kKernelPrologue);
+  std::size_t pos = 0;
+  while (n > 0) {
+    const std::size_t vl = m.vsetvl<T>(n, LMUL);
+    {
+      rvv::TraceIteration trace(m, site, vl, rvv::kSewBits<T>, LMUL);
+      if (trace.replay_fused()) {
+        fused(pos, vl);
+      } else {
+        body(pos, vl);
+        trace.finish();
+      }
+    }
     pos += vl;
     n -= vl;
     m.scalar().charge(sim::stripmine_iteration(pointer_bumps));

@@ -18,132 +18,170 @@ namespace rvvsvm::svm {
 
 namespace detail {
 
-template <rvv::VectorElement T, unsigned LMUL, class F>
-void elementwise_vx(std::span<T> a, T x, F f) {
-  svm::detail::stripmine<T, LMUL>(a.size(), /*pointer_bumps=*/1,
-                                  [&](std::size_t pos, std::size_t vl) {
-                                    auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
-                                    va = f(va, x, vl);
-                                    rvv::vse(a.subspan(pos), va, vl);
-                                  });
+/// `f` is the strip-mined op body; `s` is its exact scalar semantic
+/// (s(a[i], x) == element i of f's result), which the fused trace replay
+/// runs directly over the array once the block's trace is stable.
+template <rvv::VectorElement T, unsigned LMUL, class F, class S>
+void elementwise_vx(std::span<T> a, T x, F f, S s) {
+  svm::detail::stripmine<T, LMUL>(
+      a.size(), /*pointer_bumps=*/1,
+      [&](std::size_t pos, std::size_t vl) {
+        auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
+        va = f(va, x, vl);
+        rvv::vse(a.subspan(pos), va, vl);
+      },
+      [&](std::size_t pos, std::size_t vl) {
+        T* pa = a.data() + pos;
+        for (std::size_t i = 0; i < vl; ++i) pa[i] = s(pa[i], x);
+      });
 }
 
-template <rvv::VectorElement T, unsigned LMUL, class F>
-void elementwise_vv(std::span<T> a, std::span<const T> b, F f) {
+template <rvv::VectorElement T, unsigned LMUL, class F, class S>
+void elementwise_vv(std::span<T> a, std::span<const T> b, F f, S s) {
   if (b.size() < a.size()) detail::invalid_input("elementwise", "operand size mismatch");
-  svm::detail::stripmine<T, LMUL>(a.size(), /*pointer_bumps=*/2,
-                                  [&](std::size_t pos, std::size_t vl) {
-                                    auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
-                                    auto vb = rvv::vle<T, LMUL>(b.subspan(pos), vl);
-                                    va = f(va, vb, vl);
-                                    rvv::vse(a.subspan(pos), va, vl);
-                                  });
+  svm::detail::stripmine<T, LMUL>(
+      a.size(), /*pointer_bumps=*/2,
+      [&](std::size_t pos, std::size_t vl) {
+        auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
+        auto vb = rvv::vle<T, LMUL>(b.subspan(pos), vl);
+        va = f(va, vb, vl);
+        rvv::vse(a.subspan(pos), va, vl);
+      },
+      [&](std::size_t pos, std::size_t vl) {
+        T* pa = a.data() + pos;
+        const T* pb = b.data() + pos;
+        for (std::size_t i = 0; i < vl; ++i) pa[i] = s(pa[i], pb[i]);
+      });
 }
 
 }  // namespace detail
 
+// Each kernel passes the strip-mined op body AND the scalar lambda that is
+// its exact elementwise semantic — the same expression the emulated op's
+// lane loop evaluates (arith.hpp), so fused trace replay is bit-identical.
+
 /// p-add (vector + scalar broadcast): a[i] += x.  The paper's Listing 4.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_add(std::span<T> a, std::type_identity_t<T> x) {
-  detail::elementwise_vx<T, LMUL>(a, x, [](const auto& va, T xx, std::size_t vl) {
-    return rvv::vadd(va, xx, vl);
-  });
+  detail::elementwise_vx<T, LMUL>(
+      a, x,
+      [](const auto& va, T xx, std::size_t vl) { return rvv::vadd(va, xx, vl); },
+      [](T ai, T xx) { return rvv::detail::wrap_add(ai, xx); });
 }
 
 /// p-add (vector + vector): a[i] += b[i].
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_add(std::span<T> a, std::span<const T> b) {
-  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
-    return rvv::vadd(va, vb, vl);
-  });
+  detail::elementwise_vv<T, LMUL>(
+      a, b,
+      [](const auto& va, const auto& vb, std::size_t vl) { return rvv::vadd(va, vb, vl); },
+      [](T ai, T bi) { return rvv::detail::wrap_add(ai, bi); });
 }
 
 /// p-sub: a[i] -= x.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_sub(std::span<T> a, std::type_identity_t<T> x) {
-  detail::elementwise_vx<T, LMUL>(a, x, [](const auto& va, T xx, std::size_t vl) {
-    return rvv::vsub(va, xx, vl);
-  });
+  detail::elementwise_vx<T, LMUL>(
+      a, x,
+      [](const auto& va, T xx, std::size_t vl) { return rvv::vsub(va, xx, vl); },
+      [](T ai, T xx) { return rvv::detail::wrap_sub(ai, xx); });
 }
 
 /// p-sub: a[i] -= b[i].
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_sub(std::span<T> a, std::span<const T> b) {
-  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
-    return rvv::vsub(va, vb, vl);
-  });
+  detail::elementwise_vv<T, LMUL>(
+      a, b,
+      [](const auto& va, const auto& vb, std::size_t vl) { return rvv::vsub(va, vb, vl); },
+      [](T ai, T bi) { return rvv::detail::wrap_sub(ai, bi); });
 }
 
 /// p-multiply: a[i] *= x.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_mul(std::span<T> a, std::type_identity_t<T> x) {
-  detail::elementwise_vx<T, LMUL>(a, x, [](const auto& va, T xx, std::size_t vl) {
-    return rvv::vmul(va, xx, vl);
-  });
+  detail::elementwise_vx<T, LMUL>(
+      a, x,
+      [](const auto& va, T xx, std::size_t vl) { return rvv::vmul(va, xx, vl); },
+      [](T ai, T xx) { return rvv::detail::wrap_mul(ai, xx); });
 }
 
 /// p-multiply: a[i] *= b[i].
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_mul(std::span<T> a, std::span<const T> b) {
-  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
-    return rvv::vmul(va, vb, vl);
-  });
+  detail::elementwise_vv<T, LMUL>(
+      a, b,
+      [](const auto& va, const auto& vb, std::size_t vl) { return rvv::vmul(va, vb, vl); },
+      [](T ai, T bi) { return rvv::detail::wrap_mul(ai, bi); });
 }
 
 /// p-maximum: a[i] = max(a[i], b[i]).
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_max(std::span<T> a, std::span<const T> b) {
-  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
-    return rvv::vmax(va, vb, vl);
-  });
+  detail::elementwise_vv<T, LMUL>(
+      a, b,
+      [](const auto& va, const auto& vb, std::size_t vl) { return rvv::vmax(va, vb, vl); },
+      [](T ai, T bi) { return ai > bi ? ai : bi; });
 }
 
 /// p-minimum: a[i] = min(a[i], b[i]).
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_min(std::span<T> a, std::span<const T> b) {
-  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
-    return rvv::vmin(va, vb, vl);
-  });
+  detail::elementwise_vv<T, LMUL>(
+      a, b,
+      [](const auto& va, const auto& vb, std::size_t vl) { return rvv::vmin(va, vb, vl); },
+      [](T ai, T bi) { return ai < bi ? ai : bi; });
 }
 
 /// p-and: a[i] &= b[i].
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_and(std::span<T> a, std::span<const T> b) {
-  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
-    return rvv::vand(va, vb, vl);
-  });
+  detail::elementwise_vv<T, LMUL>(
+      a, b,
+      [](const auto& va, const auto& vb, std::size_t vl) { return rvv::vand(va, vb, vl); },
+      [](T ai, T bi) { return static_cast<T>(ai & bi); });
 }
 
 /// p-or: a[i] |= b[i].
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_or(std::span<T> a, std::span<const T> b) {
-  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
-    return rvv::vor(va, vb, vl);
-  });
+  detail::elementwise_vv<T, LMUL>(
+      a, b,
+      [](const auto& va, const auto& vb, std::size_t vl) { return rvv::vor(va, vb, vl); },
+      [](T ai, T bi) { return static_cast<T>(ai | bi); });
 }
 
 /// p-shift-right (logical): a[i] >>= k.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_shift_right(std::span<T> a, std::type_identity_t<T> k) {
-  detail::elementwise_vx<T, LMUL>(a, k, [](const auto& va, T kk, std::size_t vl) {
-    return rvv::vsrl(va, kk, vl);
-  });
+  detail::elementwise_vx<T, LMUL>(
+      a, k,
+      [](const auto& va, T kk, std::size_t vl) { return rvv::vsrl(va, kk, vl); },
+      [](T ai, T kk) {
+        using U = rvv::detail::Wide<T>;
+        return static_cast<T>(static_cast<U>(ai) >> rvv::detail::shamt(kk));
+      });
 }
 
 /// p-shift-left: a[i] <<= k.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_shift_left(std::span<T> a, std::type_identity_t<T> k) {
-  detail::elementwise_vx<T, LMUL>(a, k, [](const auto& va, T kk, std::size_t vl) {
-    return rvv::vsll(va, kk, vl);
-  });
+  detail::elementwise_vx<T, LMUL>(
+      a, k,
+      [](const auto& va, T kk, std::size_t vl) { return rvv::vsll(va, kk, vl); },
+      [](T ai, T kk) {
+        using U = rvv::detail::Wide<T>;
+        return static_cast<T>(
+            static_cast<U>(static_cast<U>(ai) << rvv::detail::shamt(kk)));
+      });
 }
 
 /// p-xor: a[i] ^= b[i].
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_xor(std::span<T> a, std::span<const T> b) {
-  detail::elementwise_vv<T, LMUL>(a, b, [](const auto& va, const auto& vb, std::size_t vl) {
-    return rvv::vxor(va, vb, vl);
-  });
+  detail::elementwise_vv<T, LMUL>(
+      a, b,
+      [](const auto& va, const auto& vb, std::size_t vl) { return rvv::vxor(va, vb, vl); },
+      [](T ai, T bi) { return static_cast<T>(ai ^ bi); });
 }
 
 /// p-combine: a[i] = x ⊕ a[i] for an op-traits operator (see op_traits.hpp;
@@ -153,9 +191,13 @@ void p_xor(std::span<T> a, std::span<const T> b) {
 /// every element of the shard with one elementwise pass.
 template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
 void p_combine(std::span<T> a, std::type_identity_t<T> x) {
-  detail::elementwise_vx<T, LMUL>(a, x, [](const auto& va, T xx, std::size_t vl) {
-    return Op::template vx<T, LMUL>(va, xx, vl);
-  });
+  detail::elementwise_vx<T, LMUL>(
+      a, x,
+      [](const auto& va, T xx, std::size_t vl) {
+        return Op::template vx<T, LMUL>(va, xx, vl);
+      },
+      // vx computes x ⊕ a[i]: the scalar is the earlier operand.
+      [](T ai, T xx) { return Op::scalar(xx, ai); });
 }
 
 /// p-select, the conditional move of the scan vector model with the paper's
@@ -166,34 +208,53 @@ void p_select(std::span<const T> flags, std::span<const T> if_true, std::span<T>
   if (flags.size() < dst.size() || if_true.size() < dst.size()) {
     detail::invalid_input("p_select", "operand size mismatch");
   }
-  detail::stripmine<T, LMUL>(dst.size(), /*pointer_bumps=*/3,
-                             [&](std::size_t pos, std::size_t vl) {
-                               auto vf = rvv::vle<T, LMUL>(flags.subspan(pos), vl);
-                               auto vt = rvv::vle<T, LMUL>(if_true.subspan(pos), vl);
-                               auto vd = rvv::vle<T, LMUL>(dst.subspan(pos), vl);
-                               const auto mask = rvv::vmsne(vf, T{0}, vl);
-                               vd = rvv::vmerge(mask, vt, vd, vl);
-                               rvv::vse(dst.subspan(pos), vd, vl);
-                             });
+  detail::stripmine<T, LMUL>(
+      dst.size(), /*pointer_bumps=*/3,
+      [&](std::size_t pos, std::size_t vl) {
+        auto vf = rvv::vle<T, LMUL>(flags.subspan(pos), vl);
+        auto vt = rvv::vle<T, LMUL>(if_true.subspan(pos), vl);
+        auto vd = rvv::vle<T, LMUL>(dst.subspan(pos), vl);
+        const auto mask = rvv::vmsne(vf, T{0}, vl);
+        vd = rvv::vmerge(mask, vt, vd, vl);
+        rvv::vse(dst.subspan(pos), vd, vl);
+      },
+      [&](std::size_t pos, std::size_t vl) {
+        const T* pf = flags.data() + pos;
+        const T* pt = if_true.data() + pos;
+        T* pd = dst.data() + pos;
+        for (std::size_t i = 0; i < vl; ++i) {
+          if (pf[i] != T{0}) pd[i] = pt[i];
+        }
+      });
 }
 
 namespace detail {
 
-template <rvv::VectorElement T, unsigned LMUL, class Cmp>
-void flag_compare(std::span<const T> a, std::span<const T> b, std::span<T> dst, Cmp cmp) {
+/// `cmp` drives the mask op; `scmp(a[i], b[i])` is its exact scalar relation,
+/// run directly by fused trace replay.
+template <rvv::VectorElement T, unsigned LMUL, class Cmp, class SCmp>
+void flag_compare(std::span<const T> a, std::span<const T> b, std::span<T> dst,
+                  Cmp cmp, SCmp scmp) {
   if (b.size() < a.size() || dst.size() < a.size()) {
     detail::invalid_input("p_flag", "operand size mismatch");
   }
-  stripmine<T, LMUL>(a.size(), /*pointer_bumps=*/3,
-                     [&](std::size_t pos, std::size_t vl) {
-                       auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
-                       auto vb = rvv::vle<T, LMUL>(b.subspan(pos), vl);
-                       const auto mask = cmp(va, vb, vl);
-                       auto ones = rvv::vmv_v_x<T, LMUL>(T{1}, vl);
-                       auto flags = rvv::vmerge(mask, ones,
-                                                rvv::vmv_v_x<T, LMUL>(T{0}, vl), vl);
-                       rvv::vse(dst.subspan(pos), flags, vl);
-                     });
+  stripmine<T, LMUL>(
+      a.size(), /*pointer_bumps=*/3,
+      [&](std::size_t pos, std::size_t vl) {
+        auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
+        auto vb = rvv::vle<T, LMUL>(b.subspan(pos), vl);
+        const auto mask = cmp(va, vb, vl);
+        auto ones = rvv::vmv_v_x<T, LMUL>(T{1}, vl);
+        auto flags = rvv::vmerge(mask, ones,
+                                 rvv::vmv_v_x<T, LMUL>(T{0}, vl), vl);
+        rvv::vse(dst.subspan(pos), flags, vl);
+      },
+      [&](std::size_t pos, std::size_t vl) {
+        const T* pa = a.data() + pos;
+        const T* pb = b.data() + pos;
+        T* pd = dst.data() + pos;
+        for (std::size_t i = 0; i < vl; ++i) pd[i] = scmp(pa[i], pb[i]) ? T{1} : T{0};
+      });
 }
 
 }  // namespace detail
@@ -203,43 +264,53 @@ void flag_compare(std::span<const T> a, std::span<const T> b, std::span<T> dst, 
 /// vectors that enumerate/split/segmented kernels consume.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_flag_lt(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
-  detail::flag_compare<T, LMUL>(a, b, dst, [](const auto& x, const auto& y, std::size_t vl) {
-    return rvv::vmslt(x, y, vl);
-  });
+  detail::flag_compare<T, LMUL>(
+      a, b, dst,
+      [](const auto& x, const auto& y, std::size_t vl) { return rvv::vmslt(x, y, vl); },
+      [](T x, T y) { return x < y; });
 }
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_flag_eq(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
-  detail::flag_compare<T, LMUL>(a, b, dst, [](const auto& x, const auto& y, std::size_t vl) {
-    return rvv::vmseq(x, y, vl);
-  });
+  detail::flag_compare<T, LMUL>(
+      a, b, dst,
+      [](const auto& x, const auto& y, std::size_t vl) { return rvv::vmseq(x, y, vl); },
+      [](T x, T y) { return x == y; });
 }
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_flag_gt(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
-  detail::flag_compare<T, LMUL>(a, b, dst, [](const auto& x, const auto& y, std::size_t vl) {
-    return rvv::vmsgt(x, y, vl);
-  });
+  detail::flag_compare<T, LMUL>(
+      a, b, dst,
+      [](const auto& x, const auto& y, std::size_t vl) { return rvv::vmsgt(x, y, vl); },
+      [](T x, T y) { return x > y; });
 }
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_flag_ne(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
-  detail::flag_compare<T, LMUL>(a, b, dst, [](const auto& x, const auto& y, std::size_t vl) {
-    return rvv::vmsne(x, y, vl);
-  });
+  detail::flag_compare<T, LMUL>(
+      a, b, dst,
+      [](const auto& x, const auto& y, std::size_t vl) { return rvv::vmsne(x, y, vl); },
+      [](T x, T y) { return x != y; });
 }
 
 namespace detail {
 
-template <rvv::VectorElement T, unsigned LMUL, class Cmp>
-void flag_compare_vx(std::span<const T> a, T x, std::span<T> dst, Cmp cmp) {
+template <rvv::VectorElement T, unsigned LMUL, class Cmp, class SCmp>
+void flag_compare_vx(std::span<const T> a, T x, std::span<T> dst, Cmp cmp,
+                     SCmp scmp) {
   if (dst.size() < a.size()) detail::invalid_input("p_flag", "dst too small");
-  stripmine<T, LMUL>(a.size(), /*pointer_bumps=*/2,
-                     [&](std::size_t pos, std::size_t vl) {
-                       auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
-                       const auto mask = cmp(va, x, vl);
-                       auto flags = rvv::vmerge(
-                           mask, rvv::vmv_v_x<T, LMUL>(T{1}, vl),
-                           rvv::vmv_v_x<T, LMUL>(T{0}, vl), vl);
-                       rvv::vse(dst.subspan(pos), flags, vl);
-                     });
+  stripmine<T, LMUL>(
+      a.size(), /*pointer_bumps=*/2,
+      [&](std::size_t pos, std::size_t vl) {
+        auto va = rvv::vle<T, LMUL>(a.subspan(pos), vl);
+        const auto mask = cmp(va, x, vl);
+        auto flags = rvv::vmerge(mask, rvv::vmv_v_x<T, LMUL>(T{1}, vl),
+                                 rvv::vmv_v_x<T, LMUL>(T{0}, vl), vl);
+        rvv::vse(dst.subspan(pos), flags, vl);
+      },
+      [&](std::size_t pos, std::size_t vl) {
+        const T* pa = a.data() + pos;
+        T* pd = dst.data() + pos;
+        for (std::size_t i = 0; i < vl; ++i) pd[i] = scmp(pa[i], x) ? T{1} : T{0};
+      });
 }
 
 }  // namespace detail
@@ -248,21 +319,24 @@ void flag_compare_vx(std::span<const T> a, T x, std::span<T> dst, Cmp cmp) {
 /// and x (thresholding, pivot comparisons).
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_flag_gt(std::span<const T> a, std::type_identity_t<T> x, std::span<T> dst) {
-  detail::flag_compare_vx<T, LMUL>(a, x, dst, [](const auto& v, T xx, std::size_t vl) {
-    return rvv::vmsgt(v, xx, vl);
-  });
+  detail::flag_compare_vx<T, LMUL>(
+      a, x, dst,
+      [](const auto& v, T xx, std::size_t vl) { return rvv::vmsgt(v, xx, vl); },
+      [](T e, T xx) { return e > xx; });
 }
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_flag_lt(std::span<const T> a, std::type_identity_t<T> x, std::span<T> dst) {
-  detail::flag_compare_vx<T, LMUL>(a, x, dst, [](const auto& v, T xx, std::size_t vl) {
-    return rvv::vmslt(v, xx, vl);
-  });
+  detail::flag_compare_vx<T, LMUL>(
+      a, x, dst,
+      [](const auto& v, T xx, std::size_t vl) { return rvv::vmslt(v, xx, vl); },
+      [](T e, T xx) { return e < xx; });
 }
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_flag_eq(std::span<const T> a, std::type_identity_t<T> x, std::span<T> dst) {
-  detail::flag_compare_vx<T, LMUL>(a, x, dst, [](const auto& v, T xx, std::size_t vl) {
-    return rvv::vmseq(v, xx, vl);
-  });
+  detail::flag_compare_vx<T, LMUL>(
+      a, x, dst,
+      [](const auto& v, T xx, std::size_t vl) { return rvv::vmseq(v, xx, vl); },
+      [](T e, T xx) { return e == xx; });
 }
 
 /// Elementwise width conversion: dst[i] = (To)src[i], strip-mined at the
@@ -299,11 +373,17 @@ void p_convert(std::span<const From> src, std::span<To> dst) {
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void p_copy(std::span<const T> src, std::span<T> dst) {
   if (src.size() < dst.size()) detail::invalid_input("p_copy", "source too short");
-  detail::stripmine<T, LMUL>(dst.size(), /*pointer_bumps=*/2,
-                             [&](std::size_t pos, std::size_t vl) {
-                               auto v = rvv::vle<T, LMUL>(src.subspan(pos), vl);
-                               rvv::vse(dst.subspan(pos), v, vl);
-                             });
+  detail::stripmine<T, LMUL>(
+      dst.size(), /*pointer_bumps=*/2,
+      [&](std::size_t pos, std::size_t vl) {
+        auto v = rvv::vle<T, LMUL>(src.subspan(pos), vl);
+        rvv::vse(dst.subspan(pos), v, vl);
+      },
+      [&](std::size_t pos, std::size_t vl) {
+        const T* ps = src.data() + pos;
+        T* pd = dst.data() + pos;
+        for (std::size_t i = 0; i < vl; ++i) pd[i] = ps[i];
+      });
 }
 
 }  // namespace rvvsvm::svm

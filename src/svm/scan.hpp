@@ -41,20 +41,37 @@ template <class Op, rvv::VectorElement T, unsigned LMUL>
 }  // namespace detail
 
 /// Inclusive Op-scan, in place.
+///
+/// The fused body replays a stable trace as the sequential left fold
+/// `acc = acc ⊕ a[i]`.  That is bit-identical to the emulated block
+/// (carry applied over a Hillis-Steele tree scan) because the op-traits
+/// operators are exactly associative on their integer element types and
+/// the identity is two-sided — the kernel contract stripmine documents,
+/// and the fuzz oracle's trace layer checks.
 template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
 void scan_inclusive(std::span<T> data) {
   rvv::Machine& m = rvv::Machine::active();
   T carry = Op::template identity<T>();
-  detail::stripmine<T, LMUL>(data.size(), /*pointer_bumps=*/1,
-                             [&](std::size_t pos, std::size_t vl) {
-                               auto x = rvv::vle<T, LMUL>(data.subspan(pos), vl);
-                               x = detail::inregister_scan<Op>(m, std::move(x), vl);
-                               x = Op::vx(x, carry, vl);
-                               rvv::vse(data.subspan(pos), x, vl);
-                               // carry = data[pos + vl - 1] (Listing 6 line 33)
-                               carry = data[pos + vl - 1];
-                               m.scalar().charge({.alu = 1, .load = 1});
-                             });
+  detail::stripmine<T, LMUL>(
+      data.size(), /*pointer_bumps=*/1,
+      [&](std::size_t pos, std::size_t vl) {
+        auto x = rvv::vle<T, LMUL>(data.subspan(pos), vl);
+        x = detail::inregister_scan<Op>(m, std::move(x), vl);
+        x = Op::vx(x, carry, vl);
+        rvv::vse(data.subspan(pos), x, vl);
+        // carry = data[pos + vl - 1] (Listing 6 line 33)
+        carry = data[pos + vl - 1];
+        m.scalar().charge({.alu = 1, .load = 1});
+      },
+      [&](std::size_t pos, std::size_t vl) {
+        T* p = data.data() + pos;
+        T acc = carry;
+        for (std::size_t i = 0; i < vl; ++i) {
+          acc = Op::template scalar<T>(acc, p[i]);
+          p[i] = acc;
+        }
+        carry = p[vl - 1];
+      });
 }
 
 /// Exclusive Op-scan, in place: result[0] = I, result[i] = scan of a[0..i).
@@ -66,18 +83,33 @@ template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
 void scan_exclusive(std::span<T> data) {
   rvv::Machine& m = rvv::Machine::active();
   T carry = Op::template identity<T>();
-  detail::stripmine<T, LMUL>(data.size(), /*pointer_bumps=*/1,
-                             [&](std::size_t pos, std::size_t vl) {
-                               auto x = rvv::vle<T, LMUL>(data.subspan(pos), vl);
-                               x = detail::inregister_scan<Op>(m, std::move(x), vl);
-                               const T block_total =
-                                   rvv::vmv_x_s(rvv::vslidedown(x, vl - 1, vl));
-                               auto ex = rvv::vslide1up(x, Op::template identity<T>(), vl);
-                               ex = Op::vx(ex, carry, vl);
-                               rvv::vse(data.subspan(pos), ex, vl);
-                               carry = Op::template scalar<T>(carry, block_total);
-                               m.scalar().charge({.alu = 1});
-                             });
+  detail::stripmine<T, LMUL>(
+      data.size(), /*pointer_bumps=*/1,
+      [&](std::size_t pos, std::size_t vl) {
+        auto x = rvv::vle<T, LMUL>(data.subspan(pos), vl);
+        x = detail::inregister_scan<Op>(m, std::move(x), vl);
+        const T block_total =
+            rvv::vmv_x_s(rvv::vslidedown(x, vl - 1, vl));
+        auto ex = rvv::vslide1up(x, Op::template identity<T>(), vl);
+        ex = Op::vx(ex, carry, vl);
+        rvv::vse(data.subspan(pos), ex, vl);
+        carry = Op::template scalar<T>(carry, block_total);
+        m.scalar().charge({.alu = 1});
+      },
+      [&](std::size_t pos, std::size_t vl) {
+        // out[i] = carry ⊕ (I-prefixed inclusive fold of a[0..i)); the
+        // running fold replaces the slide1up-shifted tree scan, element
+        // by element identical for the same associativity reasons as the
+        // inclusive fused body.
+        T* p = data.data() + pos;
+        T run = Op::template identity<T>();
+        for (std::size_t i = 0; i < vl; ++i) {
+          const T ai = p[i];
+          p[i] = Op::template scalar<T>(carry, run);
+          run = Op::template scalar<T>(run, ai);
+        }
+        carry = Op::template scalar<T>(carry, run);
+      });
 }
 
 /// The named forms of the paper and of Blelloch's model.
@@ -103,23 +135,32 @@ void xor_scan(std::span<T> data) { scan_inclusive<XorOp, T, LMUL>(data); }
 template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
 [[nodiscard]] T reduce(std::span<const T> data) {
   T acc = Op::template identity<T>();
-  detail::stripmine<T, LMUL>(data.size(), /*pointer_bumps=*/1,
-                             [&](std::size_t pos, std::size_t vl) {
-                               auto x = rvv::vle<T, LMUL>(data.subspan(pos), vl);
-                               if constexpr (std::is_same_v<Op, PlusOp>) {
-                                 acc = rvv::vredsum(x, vl, acc);
-                               } else if constexpr (std::is_same_v<Op, MaxOp>) {
-                                 acc = rvv::vredmax(x, vl, acc);
-                               } else if constexpr (std::is_same_v<Op, MinOp>) {
-                                 acc = rvv::vredmin(x, vl, acc);
-                               } else if constexpr (std::is_same_v<Op, OrOp>) {
-                                 acc = rvv::vredor(x, vl, acc);
-                               } else if constexpr (std::is_same_v<Op, AndOp>) {
-                                 acc = rvv::vredand(x, vl, acc);
-                               } else {
-                                 acc = rvv::vredxor(x, vl, acc);
-                               }
-                             });
+  detail::stripmine<T, LMUL>(
+      data.size(), /*pointer_bumps=*/1,
+      [&](std::size_t pos, std::size_t vl) {
+        auto x = rvv::vle<T, LMUL>(data.subspan(pos), vl);
+        if constexpr (std::is_same_v<Op, PlusOp>) {
+          acc = rvv::vredsum(x, vl, acc);
+        } else if constexpr (std::is_same_v<Op, MaxOp>) {
+          acc = rvv::vredmax(x, vl, acc);
+        } else if constexpr (std::is_same_v<Op, MinOp>) {
+          acc = rvv::vredmin(x, vl, acc);
+        } else if constexpr (std::is_same_v<Op, OrOp>) {
+          acc = rvv::vredor(x, vl, acc);
+        } else if constexpr (std::is_same_v<Op, AndOp>) {
+          acc = rvv::vredand(x, vl, acc);
+        } else {
+          acc = rvv::vredxor(x, vl, acc);
+        }
+      },
+      [&](std::size_t pos, std::size_t vl) {
+        // The emulated vred* folds acc = f(acc, a[i]) left to right with
+        // f textually equal to Op::scalar — this IS that loop.
+        const T* p = data.data() + pos;
+        for (std::size_t i = 0; i < vl; ++i) {
+          acc = Op::template scalar<T>(acc, p[i]);
+        }
+      });
   return acc;
 }
 

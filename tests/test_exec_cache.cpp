@@ -1,0 +1,312 @@
+// The two-level execution cache (rvv/decode.hpp): directed tests for the
+// decoded-op dispatch table, the fused-trace lifecycle, invalidation,
+// per-hart isolation in the HartPool, and the chaos interaction where a
+// trapped instruction mid-trace must roll back bulk charges exactly.
+//
+// The trace fuzz layer (src/check/properties_trace.cpp) covers the same
+// contracts over random shapes; these tests pin each mechanism one at a
+// time with exact stats assertions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "check/fault_injection.hpp"
+#include "par/par.hpp"
+#include "rvv/rvv.hpp"
+#include "svm/detail.hpp"
+#include "svm/svm.hpp"
+
+namespace rvvsvm {
+namespace {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+std::vector<u32> iota_data(std::size_t n) {
+  std::vector<u32> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+void expect_same_counts(const sim::CountSnapshot& got,
+                        const sim::CountSnapshot& want, const char* what) {
+  for (std::size_t k = 0; k < sim::kNumInstClasses; ++k) {
+    const auto cls = static_cast<sim::InstClass>(k);
+    EXPECT_EQ(got.count(cls), want.count(cls))
+        << what << ": " << sim::to_string(cls) << " drifted";
+  }
+}
+
+// --- level 1: decoded-op dispatch cache ------------------------------------
+
+TEST(ExecCache, DecodedKeysSeparateSewAndLmul) {
+  rvv::Machine m({.vlen_bits = 256});
+  rvv::MachineScope scope(m);
+  std::vector<u32> a32(64, 1);
+  std::vector<u64> a64(64, 1);
+
+  svm::p_add<u32, 1>(std::span<u32>(a32), u32{1});
+  const std::size_t after_u32l1 = m.exec_cache().decoded_op_count();
+  EXPECT_GT(after_u32l1, 0u);
+
+  // Same ops at a different LMUL and a different SEW must occupy distinct
+  // decoded entries — the key is (op, class, SEW, LMUL, masked).
+  svm::p_add<u32, 2>(std::span<u32>(a32), u32{1});
+  const std::size_t after_u32l2 = m.exec_cache().decoded_op_count();
+  EXPECT_GT(after_u32l2, after_u32l1);
+
+  svm::p_add<u64, 1>(std::span<u64>(a64), u64{1});
+  EXPECT_GT(m.exec_cache().decoded_op_count(), after_u32l2);
+
+  // Re-running an already-decoded shape adds no entries, only hits.
+  const std::size_t stable = m.exec_cache().decoded_op_count();
+  const std::uint64_t hits_before = m.exec_cache().stats().decode_hits;
+  svm::p_add<u32, 1>(std::span<u32>(a32), u32{1});
+  EXPECT_EQ(m.exec_cache().decoded_op_count(), stable);
+  EXPECT_GE(m.exec_cache().stats().decode_hits, hits_before);
+}
+
+TEST(ExecCache, VlenChangesVlmaxInDecodedOps) {
+  // The cache is per machine, so VLEN is implicit in the key — but the
+  // decoded VLMAX must reflect each machine's configuration.
+  for (const unsigned vlen : {128u, 1024u}) {
+    rvv::Machine m({.vlen_bits = vlen});
+    rvv::MachineScope scope(m);
+    std::vector<u32> a = iota_data(64);
+    svm::plus_scan<u32, 1>(std::span<u32>(a));
+    std::vector<u32> want = iota_data(64);
+    std::partial_sum(want.begin(), want.end(), want.begin());
+    EXPECT_EQ(a, want) << "VLEN " << vlen;
+    EXPECT_GT(m.exec_cache().decoded_op_count(), 0u) << "VLEN " << vlen;
+  }
+}
+
+// --- level 2: trace lifecycle ----------------------------------------------
+
+TEST(ExecCache, TraceRecordsVerifiesThenReplays) {
+  rvv::Machine m({.vlen_bits = 1024});
+  rvv::MachineScope scope(m);
+  // VLMAX(u32, LMUL=1, VLEN=1024) = 32; four full blocks: iteration 1
+  // records, iteration 2 verifies and promotes, iterations 3-4 replay.
+  std::vector<u32> a(128, 2);
+  svm::p_add<u32, 1>(std::span<u32>(a), u32{3});
+  const auto& st = m.exec_cache().stats();
+  EXPECT_EQ(st.trace_records, 1u);
+  EXPECT_EQ(st.trace_promotions, 1u);
+  EXPECT_EQ(st.trace_replays, 2u);
+  EXPECT_GT(st.ops_replayed, 0u);
+  EXPECT_EQ(st.trace_poisons, 0u);
+  EXPECT_EQ(m.exec_cache().trace_count(), 1u);
+  EXPECT_TRUE(std::all_of(a.begin(), a.end(), [](u32 v) { return v == 5; }));
+
+  // A second call reuses the stable trace immediately: replays for every
+  // full block, no new recordings.
+  svm::p_add<u32, 1>(std::span<u32>(a), u32{3});
+  EXPECT_EQ(st.trace_records, 1u);
+  EXPECT_EQ(st.trace_replays, 6u);
+}
+
+TEST(ExecCache, CountsIdenticalCacheOnAndOff) {
+  const auto run = [](bool cache) {
+    rvv::Machine m({.vlen_bits = 512, .use_exec_cache = cache});
+    rvv::MachineScope scope(m);
+    std::vector<u32> a = iota_data(777);
+    std::vector<u32> flags(777, 0);
+    for (std::size_t i = 0; i < flags.size(); i += 100) flags[i] = 1;
+    for (int pass = 0; pass < 3; ++pass) {
+      svm::plus_scan<u32, 2>(std::span<u32>(a));
+      svm::seg_plus_scan<u32, 4>(std::span<u32>(a),
+                                 std::span<const u32>(flags));
+      svm::p_add<u32, 1>(std::span<u32>(a), u32{9});
+    }
+    return std::pair{a, m.counter().snapshot()};
+  };
+  const auto [data_on, counts_on] = run(true);
+  const auto [data_off, counts_off] = run(false);
+  EXPECT_EQ(data_on, data_off);
+  expect_same_counts(counts_on, counts_off, "cache on vs off");
+}
+
+// --- invalidation ----------------------------------------------------------
+
+TEST(ExecCache, InvalidationDropsBothLevelsAndRebuilds) {
+  rvv::Machine m({.vlen_bits = 256});
+  rvv::MachineScope scope(m);
+  std::vector<u32> a = iota_data(300);
+  svm::plus_scan<u32, 1>(std::span<u32>(a));
+  ASSERT_GT(m.exec_cache().decoded_op_count(), 0u);
+  ASSERT_GT(m.exec_cache().trace_count(), 0u);
+
+  m.invalidate_exec_caches();
+  EXPECT_EQ(m.exec_cache().decoded_op_count(), 0u);
+  EXPECT_EQ(m.exec_cache().trace_count(), 0u);
+  EXPECT_EQ(m.exec_cache().stats().invalidations, 1u);
+
+  // The next run re-records and must still be exact: compare data + counts
+  // against a machine that never cached.
+  rvv::Machine plain({.vlen_bits = 256, .use_exec_cache = false});
+  std::vector<u32> b = iota_data(300);
+  svm::plus_scan<u32, 1>(std::span<u32>(a));
+  {
+    rvv::MachineScope inner(plain);
+    svm::plus_scan<u32, 1>(std::span<u32>(b));
+    svm::plus_scan<u32, 1>(std::span<u32>(b));  // match a's two passes
+  }
+  EXPECT_GT(m.exec_cache().trace_count(), 0u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExecCache, VsetvlMemoStillRejectsIllegalLmul) {
+  // The memoized vsetvl fast path must not swallow validation: an illegal
+  // LMUL traps even right after a legal configuration warmed the memo.
+  rvv::Machine m({.vlen_bits = 256});
+  rvv::MachineScope scope(m);
+  EXPECT_EQ(m.vsetvl<u32>(100, 1), 8u);
+  EXPECT_THROW((void)m.vsetvl<u32>(100, 3), IllegalConfigTrap);
+  EXPECT_THROW((void)m.vsetvl<u32>(100, 5), IllegalConfigTrap);
+  // And the memo recovers: legal configs on both sides still work.
+  EXPECT_EQ(m.vsetvl<u32>(100, 2), 16u);
+  EXPECT_EQ(m.vsetvl<u32>(100, 1), 8u);
+  // Each successful vsetvl retires one config instruction, memoized or not.
+  const auto snap = m.counter().snapshot();
+  EXPECT_EQ(m.vsetvl<u32>(50, 1), 8u);
+  EXPECT_EQ(m.vsetvl<u32>(50, 1), 8u);
+  EXPECT_EQ((m.counter().snapshot() - snap).count(sim::InstClass::kVectorConfig),
+            2u);
+}
+
+// --- per-hart isolation ----------------------------------------------------
+
+TEST(ExecCache, HartPoolMachinesHaveIsolatedCaches) {
+  par::HartPool pool({.harts = 2, .shard_size = 64,
+                      .machine = {.vlen_bits = 256}});
+  ASSERT_NE(&pool.machine(0).exec_cache(), &pool.machine(1).exec_cache());
+
+  std::vector<u32> buf = iota_data(2000);
+  par::plus_scan<u32, 1>(pool, std::span<u32>(buf));
+  std::vector<u32> want = iota_data(2000);
+  std::partial_sum(want.begin(), want.end(), want.begin());
+  EXPECT_EQ(buf, want);
+
+  // Both harts processed shards, each through its own cache.
+  EXPECT_GT(pool.machine(0).exec_cache().decoded_op_count(), 0u);
+  EXPECT_GT(pool.machine(1).exec_cache().decoded_op_count(), 0u);
+
+  // Invalidating one hart's cache must not disturb the other, and the next
+  // collective still computes the exact result.
+  const std::size_t hart1_traces = pool.machine(1).exec_cache().trace_count();
+  pool.machine(0).invalidate_exec_caches();
+  EXPECT_EQ(pool.machine(0).exec_cache().trace_count(), 0u);
+  EXPECT_EQ(pool.machine(1).exec_cache().trace_count(), hart1_traces);
+
+  buf = iota_data(2000);
+  par::plus_scan<u32, 1>(pool, std::span<u32>(buf));
+  EXPECT_EQ(buf, want);
+}
+
+// --- chaos interaction -----------------------------------------------------
+
+/// d[i] = src[i] + 1 through an explicit strip-mine whose store span can be
+/// truncated, so the final block's vse traps after that block's load and
+/// add already retired — mid-trace once the loop's traces are stable.
+void add_one_kernel(std::span<const u32> src, u32* out, std::size_t out_len) {
+  svm::detail::stripmine<u32, 1>(src.size(), 2,
+                                 [&](std::size_t pos, std::size_t vl) {
+                                   auto x = rvv::vle<u32, 1>(src.subspan(pos), vl);
+                                   x = rvv::vadd(x, u32{1}, vl);
+                                   const std::size_t avail =
+                                       pos < out_len
+                                           ? std::min(out_len - pos, vl)
+                                           : 0;
+                                   rvv::vse(std::span<u32>(out + pos, avail), x,
+                                            vl);
+                                 });
+}
+
+TEST(ExecCache, TrapMidReplayChargesExactPrefix) {
+  constexpr std::size_t kN = 200;  // VLMAX 32 at VLEN=1024: 6 full + 8 tail
+  const std::vector<u32> src = iota_data(kN);
+  const auto run = [&](bool cache) {
+    rvv::Machine m({.vlen_bits = 1024, .use_exec_cache = cache});
+    rvv::MachineScope scope(m);
+    std::vector<u32> out(kN, 0);
+    // Warm through record + verify so the truncated pass replays.
+    add_one_kernel(std::span<const u32>(src), out.data(), kN);
+    add_one_kernel(std::span<const u32>(src), out.data(), kN);
+    std::fill(out.begin(), out.end(), 0u);
+    bool trapped = false;
+    try {
+      add_one_kernel(std::span<const u32>(src), out.data(), kN - 1);
+    } catch (const MemoryAccessTrap&) {
+      trapped = true;
+    }
+    EXPECT_TRUE(trapped);
+    // Recovery after the unwound iteration: the full kernel still runs.
+    add_one_kernel(std::span<const u32>(src), out.data(), kN);
+    if (cache) {
+      const auto& st = m.exec_cache().stats();
+      EXPECT_GT(st.trace_replays, 0u);
+      // The trap was the data's fault, not the trace's: nothing poisoned,
+      // and the stable trace kept replaying after the trap.
+      EXPECT_EQ(st.trace_poisons, 0u);
+      EXPECT_EQ(st.trace_aborts, 0u);
+    }
+    return std::pair{out, m.counter().snapshot()};
+  };
+  const auto [data_cached, counts_cached] = run(true);
+  const auto [data_plain, counts_plain] = run(false);
+  EXPECT_EQ(data_cached, data_plain);
+  expect_same_counts(counts_cached, counts_plain, "trap mid-replay");
+}
+
+TEST(ExecCache, FaultHookDisengagesTracing) {
+  // With any fault-injection channel armed the tracer must stand down:
+  // every op keeps its pre-charge trap window, and counts match a machine
+  // that never cached.
+  rvv::Machine cached({.vlen_bits = 512});
+  rvv::Machine plain({.vlen_bits = 512, .use_exec_cache = false});
+  check::FaultInjector probe({});  // passive: observes, never fires
+  for (rvv::Machine* m : {&cached, &plain}) {
+    m->set_fault_hook(&probe);
+    rvv::MachineScope scope(*m);
+    std::vector<u32> a = iota_data(500);
+    svm::plus_scan<u32, 2>(std::span<u32>(a));
+    svm::plus_scan<u32, 2>(std::span<u32>(a));
+    m->set_fault_hook(nullptr);
+  }
+  EXPECT_EQ(cached.exec_cache().stats().trace_records, 0u);
+  EXPECT_EQ(cached.exec_cache().stats().trace_replays, 0u);
+  expect_same_counts(cached.counter().snapshot(), plain.counter().snapshot(),
+                     "armed hook");
+}
+
+TEST(ExecCache, PoolAllocTrapRollsBackMidTraceCharges) {
+  // A buffer-pool allocation trap inside what would be a traced body: the
+  // interpreted rollback path and a cache-off machine must agree on counts
+  // after the failed run plus a clean rerun.
+  const auto run = [](bool cache) {
+    rvv::Machine m({.vlen_bits = 256, .use_exec_cache = cache});
+    rvv::MachineScope scope(m);
+    std::vector<u32> a = iota_data(400);
+    svm::plus_scan<u32, 1>(std::span<u32>(a));  // warm pool + traces
+    m.pool().trap_allocation_after(5);
+    std::vector<u32> b = iota_data(400);
+    EXPECT_THROW((svm::plus_scan<u32, 1>(std::span<u32>(b))), PoolAllocTrap);
+    EXPECT_EQ(m.pool_stats().bytes_in_use, 0u);
+    std::vector<u32> c = iota_data(400);
+    svm::plus_scan<u32, 1>(std::span<u32>(c));
+    return std::pair{c, m.counter().snapshot()};
+  };
+  const auto [data_cached, counts_cached] = run(true);
+  const auto [data_plain, counts_plain] = run(false);
+  EXPECT_EQ(data_cached, data_plain);
+  expect_same_counts(counts_cached, counts_plain, "pool trap");
+}
+
+}  // namespace
+}  // namespace rvvsvm

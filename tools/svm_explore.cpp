@@ -33,6 +33,7 @@ struct Options {
   unsigned vlen = 1024;
   unsigned lmul = 1;
   bool pressure = true;
+  bool exec_cache = true;
   std::uint32_t seed = 1;
   std::size_t trace = 0;  // print the first N register-file trace lines
 };
@@ -140,7 +141,8 @@ void run_kernel(const Options& opt) {
   }
 
   rvv::Machine machine(rvv::Machine::Config{.vlen_bits = opt.vlen,
-                                            .model_register_pressure = opt.pressure});
+                                            .model_register_pressure = opt.pressure,
+                                            .use_exec_cache = opt.exec_cache});
   std::size_t traced = 0;
   if (opt.trace > 0 && machine.regfile() != nullptr) {
     machine.regfile()->set_trace_sink([&](const std::string& line) {
@@ -182,12 +184,25 @@ void run_kernel(const Options& opt) {
             << ps.cell_acquires << " token cells ("
             << reuse_pct(ps.cell_reuses, ps.cell_acquires) << "% recycled), peak "
             << (ps.peak_bytes_in_use + 1023) / 1024 << " KiB live\n";
+  const auto& cs = machine.exec_cache().stats();
+  if (opt.exec_cache) {
+    std::cout << "exec cache: " << machine.exec_cache().decoded_op_count()
+              << " decoded ops (" << cs.decode_hits << " hits, "
+              << cs.decode_misses << " misses), "
+              << machine.exec_cache().trace_count() << " traces ("
+              << cs.trace_replays << " replays, " << cs.trace_fused
+              << " fused, " << cs.ops_replayed << " ops replayed, "
+              << cs.trace_aborts << " aborts)\n";
+  } else {
+    std::cout << "exec cache: disabled (interpreted path)\n";
+  }
 }
 
 void usage() {
   std::cout <<
       "svm_explore --kernel NAME [--n N] [--vlen BITS] [--lmul 1|2|4|8]\n"
-      "            [--no-pressure] [--seed S] [--trace LINES] [--list]\n";
+      "            [--no-pressure] [--no-exec-cache] [--seed S]\n"
+      "            [--trace LINES] [--list]\n";
 }
 
 }  // namespace
@@ -217,6 +232,8 @@ int main(int argc, char** argv) {
       opt.trace = std::stoul(next());
     } else if (arg == "--no-pressure") {
       opt.pressure = false;
+    } else if (arg == "--no-exec-cache") {
+      opt.exec_cache = false;
     } else if (arg == "--list") {
       opt.kernel = "list";
     } else if (arg == "--help" || arg == "-h") {
