@@ -90,8 +90,11 @@ ThroughputResult run_cell(const Cell& cell, const SweepOptions& opt) {
   // Best of `repetitions` timed windows: host-side interference (scheduler
   // preemption, VM steal time) only ever slows a pass down, so the fastest
   // window is the least-contaminated estimate of the emulator's own cost.
+  // Every window's raw sample is kept alongside the minimum so the JSON
+  // records how noisy the selection was.
   const unsigned reps = opt.repetitions == 0 ? 1 : opt.repetitions;
   double best = std::numeric_limits<double>::infinity();
+  r.window_seconds.reserve(reps);
   for (unsigned rep = 0; rep < reps; ++rep) {
     std::size_t passes = 0;
     const auto t0 = Clock::now();
@@ -101,8 +104,17 @@ ThroughputResult run_cell(const Cell& cell, const SweepOptions& opt) {
       ++passes;
       elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
     } while (elapsed < opt.min_seconds);
-    best = std::min(best, elapsed / static_cast<double>(passes));
+    const double window = elapsed / static_cast<double>(passes);
+    r.window_seconds.push_back(window);
+    best = std::min(best, window);
   }
+  double mean = 0.0;
+  for (const double w : r.window_seconds) mean += w;
+  mean /= static_cast<double>(r.window_seconds.size());
+  for (const double w : r.window_seconds) {
+    r.window_variance += (w - mean) * (w - mean);
+  }
+  r.window_variance /= static_cast<double>(r.window_seconds.size());
 
   r.seconds_per_pass = best;
   r.elems_per_sec = static_cast<double>(opt.n) / r.seconds_per_pass;
@@ -216,6 +228,11 @@ void write_bench_json(const std::vector<ThroughputResult>& results,
         << ", \"spills\": " << r.spills << ", \"reloads\": " << r.reloads
         << ", \"trace_replays\": " << r.trace_replays
         << ", \"ops_replayed\": " << r.ops_replayed
+        << ", \"window_seconds_per_pass\": [";
+    for (std::size_t w = 0; w < r.window_seconds.size(); ++w) {
+      out << (w == 0 ? "" : ", ") << json_number(r.window_seconds[w]);
+    }
+    out << "], \"window_variance\": " << json_number(r.window_variance)
         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
 

@@ -29,8 +29,15 @@ struct ThroughputResult {
   std::size_t n = 0;
   bool pooled = true;               ///< buffer pool recycling on?
   bool cached = true;               ///< two-level execution cache on?
-  double seconds_per_pass = 0.0;    ///< mean wall-clock for one kernel pass
+  double seconds_per_pass = 0.0;    ///< best timed window's per-pass wall-clock
   double elems_per_sec = 0.0;       ///< n / seconds_per_pass
+  /// Raw seconds-per-pass of every timed window, in measurement order.  The
+  /// best-of-N selection keeps only the minimum; recording the raw samples
+  /// lets cross-PR diffs distinguish a real regression from a noisy host.
+  std::vector<double> window_seconds;
+  /// Population variance of window_seconds — a one-number noise figure for
+  /// the cell (0 when a single window was taken).
+  double window_variance = 0.0;
   std::uint64_t instructions = 0;   ///< modeled dynamic instructions per pass
   std::uint64_t spills = 0;         ///< modeled spill stores per pass
   std::uint64_t reloads = 0;        ///< modeled reload loads per pass
@@ -49,7 +56,8 @@ struct SweepOptions {
 /// Version stamped into every JSON report this module writes, so
 /// BENCH_emulator.json and BENCH_parallel.json are self-describing and
 /// diffable across PRs.  Bump when a field changes meaning or moves.
-inline constexpr int kBenchSchemaVersion = 3;
+/// v4: throughput cells carry per-window raw samples + window variance.
+inline constexpr int kBenchSchemaVersion = 4;
 
 /// Runs the kernel × VLEN × configuration sweep on a thread pool and
 /// returns one result per cell (deterministic order: kernels outer, VLEN

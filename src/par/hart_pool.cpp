@@ -22,6 +22,7 @@ void describe_current_exception(ShardFailure& fail) {
   } catch (const Trap& t) {
     fail.message = t.message();
     fail.context = t.context();
+    fail.trap_kind = t.kind();
     fail.has_context = true;
   } catch (const std::exception& e) {
     fail.message = e.what();
@@ -527,6 +528,11 @@ sim::CountSnapshot HartPool::merged_counts() const {
 sim::CountSnapshot HartPool::abandoned_counts() const {
   std::lock_guard lock(impl_->mu);
   return impl_->abandoned_total;
+}
+
+std::uint64_t HartPool::epochs() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->next_epoch_id;
 }
 
 void HartPool::reset_counts() noexcept {

@@ -96,9 +96,13 @@ struct ShardFailure {
   /// inline re-execution failed too).
   std::string message;
   /// True when the exception was a typed rvvsvm::Trap, making `context`
-  /// meaningful (op, vl, LMUL, instruction number, hart at throw).
+  /// and `trap_kind` meaningful (op, vl, LMUL, instruction number, hart at
+  /// throw, taxonomy member).
   bool has_context = false;
   TrapContext context{};
+  /// Taxonomy member of the typed trap (valid only when has_context) — the
+  /// key service layers map to stable per-request error codes.
+  sim::TrapKind trap_kind = sim::TrapKind::kInjected;
 };
 
 /// Everything the pool knows about one fork-join epoch's failures.
@@ -214,6 +218,46 @@ class HartPool {
   /// Pool-lifetime sum of rolled-back (non-committed) attempt counts — the
   /// other side of the merged_counts() ledger.  Zeroed by reset_counts().
   [[nodiscard]] sim::CountSnapshot abandoned_counts() const;
+
+  /// Fork-join epochs dispatched to the workers since construction
+  /// (for_shards and on_hart each count one; degenerate calls that never
+  /// reach a worker count zero).  Service telemetry reads this to relate
+  /// request throughput to pool dispatch pressure.
+  [[nodiscard]] std::uint64_t epochs() const;
+
+  /// A count bracket over a span of pool work: snapshots the committed and
+  /// abandoned ledgers at construction, then reports deltas.  This is the
+  /// billing primitive for layers that interleave many jobs on one pool —
+  /// a service opens a lease, runs an execution wave, and reads exactly the
+  /// counts that wave committed.  Requires every hart live at both ends
+  /// (a lost hart's counter is unreadable, so deltas would under-report);
+  /// valid only between jobs, like every pool read.
+  class Lease {
+   public:
+    /// Counts committed to the merged ledger since the lease opened.
+    [[nodiscard]] sim::CountSnapshot committed() const {
+      return pool_->merged_counts() - base_merged_;
+    }
+    /// Rolled-back (executed but never committed) counts since the lease
+    /// opened — retry and abandonment waste, never billed to tenants.
+    [[nodiscard]] sim::CountSnapshot abandoned() const {
+      return pool_->abandoned_counts() - base_abandoned_;
+    }
+
+   private:
+    friend class HartPool;
+    explicit Lease(const HartPool& pool)
+        : pool_(&pool),
+          base_merged_(pool.merged_counts()),
+          base_abandoned_(pool.abandoned_counts()) {}
+
+    const HartPool* pool_;
+    sim::CountSnapshot base_merged_;
+    sim::CountSnapshot base_abandoned_;
+  };
+
+  /// Open a count bracket at the current ledger position.
+  [[nodiscard]] Lease lease() const { return Lease(*this); }
 
   /// Zero every live hart's counter, the rescue machine's counter, and the
   /// abandoned-count ledger.

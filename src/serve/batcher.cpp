@@ -1,0 +1,115 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+namespace rvvsvm::serve {
+
+Envelope build_envelope(std::span<const Request* const> members) {
+  Envelope env;
+  std::size_t total = 0;
+  for (const Request* r : members) total += r->data.size();
+
+  env.data.reserve(total);
+  env.heads.assign(total, Value{0});
+  env.offsets.reserve(members.size() + 1);
+  env.offsets.push_back(0);
+
+  const bool want_flags = !members.empty() && members[0]->kind == Kind::kCompress;
+  if (want_flags) env.flags.reserve(total);
+
+  for (const Request* r : members) {
+    const std::size_t begin = env.data.size();
+    env.data.insert(env.data.end(), r->data.begin(), r->data.end());
+    if (want_flags) {
+      env.flags.insert(env.flags.end(), r->flags.begin(), r->flags.end());
+    }
+    if (!r->data.empty()) env.heads[begin] = Value{1};
+    env.offsets.push_back(env.data.size());
+  }
+  return env;
+}
+
+std::vector<GroupRange> partition_groups(const Envelope& env,
+                                         unsigned max_groups) {
+  std::vector<GroupRange> groups;
+  const std::size_t members = env.members();
+  if (members == 0 || max_groups == 0) return groups;
+
+  const std::size_t ngroups = std::min<std::size_t>(max_groups, members);
+  const std::size_t total = env.total();
+  groups.reserve(ngroups);
+
+  std::size_t member = 0;
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    GroupRange range;
+    range.first_member = member;
+    range.begin_elem = env.offsets[member];
+    // Ideal cumulative boundary after this group, in elements.
+    const std::size_t target = (total * (g + 1)) / ngroups;
+    // Take members until the cumulative element count reaches the target,
+    // but always at least one, and never so many that a later group
+    // would be left empty.
+    const std::size_t groups_after = ngroups - g - 1;
+    const std::size_t max_end = members - groups_after;
+    do {
+      ++member;
+    } while (member < max_end && env.offsets[member] < target);
+    range.end_member = member;
+    range.end_elem = env.offsets[member];
+    groups.push_back(range);
+  }
+  return groups;
+}
+
+std::vector<sim::CountSnapshot> apportion_bill(
+    const sim::CountSnapshot& group,
+    std::span<const std::size_t> member_sizes) {
+  const std::size_t members = member_sizes.size();
+  std::vector<sim::InstCounter> bills(members);
+  const std::uint64_t total_elems =
+      std::accumulate(member_sizes.begin(), member_sizes.end(),
+                      std::uint64_t{0});
+
+  for (std::size_t c = 0; c < sim::kNumInstClasses; ++c) {
+    const auto cls = static_cast<sim::InstClass>(c);
+    const std::uint64_t total = group.count(cls);
+    if (total == 0) continue;
+    if (total_elems == 0) {
+      // Degenerate batch of empty payloads that still charged (it cannot —
+      // empty members never execute — but stay sum-preserving regardless).
+      bills[0].add(cls, total);
+      continue;
+    }
+    // base_i = floor(total * size_i / total_elems); the class counts and
+    // member sizes seen in practice keep the product far below 2^64.
+    std::vector<std::uint64_t> rem(members);
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < members; ++i) {
+      const std::uint64_t num = total * member_sizes[i];
+      const std::uint64_t base = num / total_elems;
+      rem[i] = num % total_elems;
+      bills[i].add(cls, base);
+      assigned += base;
+    }
+    // Largest remainder gets the leftover units; ties to the lower index.
+    std::uint64_t leftover = total - assigned;
+    std::vector<std::size_t> order(members);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return rem[a] > rem[b]; });
+    for (std::size_t k = 0; k < members && leftover > 0; ++k) {
+      if (member_sizes[order[k]] == 0) continue;  // empty members bill zero
+      bills[order[k]].add(cls, 1);
+      --leftover;
+    }
+  }
+
+  std::vector<sim::CountSnapshot> out;
+  out.reserve(members);
+  for (const auto& counter : bills) out.push_back(counter.snapshot());
+  return out;
+}
+
+}  // namespace rvvsvm::serve

@@ -1,0 +1,101 @@
+// Batch coalescing: many small same-kind requests -> one segmented pass.
+//
+// The scan vector model's segmented operations make batching natural: an
+// inclusive scan that restarts at head flags *is* a batch of independent
+// scans, so N small scan requests concatenate into one envelope (data +
+// head flags) and execute as a single strip-mined seg_plus_scan — one
+// vsetvl/loop engine, one fused-trace site, instead of N tiny kernel
+// launches.  Reduce batches the same way (seg_reduce emits per-segment
+// totals in order) and compress via stable pack (vcompress preserves
+// order, so packing the concatenation yields each member's packed output
+// concatenated in member order).
+//
+// The envelope is then cut into at most `harts` *groups at member
+// boundaries* — contiguous member runs balanced by element count — and the
+// groups run as one fork-join epoch.  Cutting at member boundaries keeps
+// every member's segment whole inside one group, which is what makes the
+// coalesced result bit-identical to direct per-request execution (pinned by
+// the serve fuzz layer) and lets a group failure be re-attributed to
+// exactly its member requests.
+//
+// Billing: a group's measured count delta is apportioned to its members by
+// element share with a deterministic largest-remainder rule, so the sum of
+// member bills equals the measured group count per instruction class —
+// which keeps the service-wide invariant "bills sum exactly to the pool's
+// merged counts" exact even for coalesced work.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "sim/inst_counter.hpp"
+
+namespace rvvsvm::serve {
+
+/// True for kinds whose small requests coalesce into a segmented envelope.
+/// Histogram and sort always execute individually: their passes are not
+/// segment-composable (bin scatter and radix ranks cross segment borders).
+[[nodiscard]] constexpr bool coalescible(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kScan:
+    case Kind::kScanExclusive:
+    case Kind::kReduce:
+    case Kind::kCompress:
+      return true;
+    case Kind::kHistogram:
+    case Kind::kSort:
+      return false;
+  }
+  return false;
+}
+
+/// Concatenation of a same-kind batch: member i's payload occupies
+/// data[offsets[i], offsets[i+1]), heads holds 1 at each member start.
+struct Envelope {
+  std::vector<Value> data;
+  std::vector<Value> heads;
+  std::vector<Value> flags;  ///< kCompress only: concatenated keep-flags
+  std::vector<std::size_t> offsets;  ///< size members()+1, offsets[0] == 0
+
+  [[nodiscard]] std::size_t members() const noexcept {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  [[nodiscard]] std::size_t member_size(std::size_t i) const noexcept {
+    return offsets[i + 1] - offsets[i];
+  }
+  [[nodiscard]] std::size_t total() const noexcept {
+    return offsets.empty() ? 0 : offsets.back();
+  }
+};
+
+/// Build the envelope for a same-kind batch.  `members` must be non-empty
+/// and all of one coalescible kind; empty payloads are allowed (they
+/// occupy no elements and bill zero).
+[[nodiscard]] Envelope build_envelope(std::span<const Request* const> members);
+
+/// Contiguous member run [first_member, end_member) forming one group,
+/// covering envelope elements [begin_elem, end_elem).
+struct GroupRange {
+  std::size_t first_member = 0;
+  std::size_t end_member = 0;
+  std::size_t begin_elem = 0;
+  std::size_t end_elem = 0;
+};
+
+/// Cut the envelope into at most `max_groups` groups at member boundaries,
+/// balanced by element count (greedy to the ideal share, but never leaving
+/// more groups than members).  Deterministic in the envelope alone.
+[[nodiscard]] std::vector<GroupRange> partition_groups(const Envelope& env,
+                                                       unsigned max_groups);
+
+/// Split a group's measured count delta across its members proportionally
+/// to element count, per instruction class, with the largest-remainder
+/// rule (ties to the lower member index).  Sum-preserving per class:
+/// the member bills add back to `group` exactly.  Members with zero
+/// elements bill zero.
+[[nodiscard]] std::vector<sim::CountSnapshot> apportion_bill(
+    const sim::CountSnapshot& group, std::span<const std::size_t> member_sizes);
+
+}  // namespace rvvsvm::serve

@@ -1,0 +1,59 @@
+#include "serve/billing.hpp"
+
+#include <limits>
+
+namespace rvvsvm::serve {
+
+void Billing::set_budget(sim::TenantId tenant, std::uint64_t max_instructions) {
+  std::lock_guard lock(mu_);
+  budgets_[tenant] = max_instructions;
+}
+
+std::uint64_t Billing::budget(sim::TenantId tenant) const {
+  std::lock_guard lock(mu_);
+  const auto it = budgets_.find(tenant);
+  return it == budgets_.end() ? std::numeric_limits<std::uint64_t>::max()
+                              : it->second;
+}
+
+std::uint64_t Billing::spent(sim::TenantId tenant) const {
+  std::lock_guard lock(mu_);
+  return ledger_.billed_total(tenant);
+}
+
+bool Billing::would_exceed(sim::TenantId tenant, std::uint64_t estimate) const {
+  std::lock_guard lock(mu_);
+  const auto it = budgets_.find(tenant);
+  if (it == budgets_.end()) return false;
+  const std::uint64_t used = ledger_.billed_total(tenant);
+  // used + estimate > budget, phrased overflow-safe.
+  return estimate > it->second || used > it->second - estimate;
+}
+
+void Billing::charge(sim::TenantId tenant, const sim::CountSnapshot& bill) {
+  std::lock_guard lock(mu_);
+  ledger_.charge(tenant, bill);
+}
+
+sim::CountSnapshot Billing::billed(sim::TenantId tenant) const {
+  std::lock_guard lock(mu_);
+  return ledger_.billed(tenant);
+}
+
+sim::CountSnapshot Billing::grand_total() const {
+  std::lock_guard lock(mu_);
+  return ledger_.grand_total();
+}
+
+std::vector<sim::TenantId> Billing::tenants() const {
+  std::lock_guard lock(mu_);
+  return ledger_.tenants();
+}
+
+void Billing::reset() {
+  std::lock_guard lock(mu_);
+  ledger_.reset();
+  budgets_.clear();
+}
+
+}  // namespace rvvsvm::serve

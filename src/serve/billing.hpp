@@ -1,0 +1,59 @@
+// Thread-safe per-tenant billing: budgets in front, the ledger behind.
+//
+// Billing wraps sim::TenantLedger (the plain attribution map) with the
+// service's two concurrent concerns: admission reads ("would this request
+// blow the tenant's budget?") from producer threads, and bill charges from
+// the scheduler.  One mutex covers both — billing touches are tiny next to
+// kernel execution.
+//
+// The charging rule the serve fuzz layer pins: only *committed* counts are
+// ever charged (HartPool rolls failed attempts back before the service
+// reads its brackets), admission rejections charge nothing, and the sum of
+// all bills equals the pool's merged-count delta exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "sim/inst_counter.hpp"
+#include "sim/tenant_ledger.hpp"
+
+namespace rvvsvm::serve {
+
+class Billing {
+ public:
+  /// Per-tenant spend cap in retired instructions; tenants without one are
+  /// unlimited.  A zero budget blocks every non-empty request.
+  void set_budget(sim::TenantId tenant, std::uint64_t max_instructions);
+
+  /// The tenant's budget, or UINT64_MAX when unlimited.
+  [[nodiscard]] std::uint64_t budget(sim::TenantId tenant) const;
+
+  /// Instructions billed to the tenant so far.
+  [[nodiscard]] std::uint64_t spent(sim::TenantId tenant) const;
+
+  /// Admission gate: true when `estimate` more instructions would push the
+  /// tenant past its budget.  Read-only — a rejected request must leave the
+  /// ledger untouched (fuzz property: rejection never charges).
+  [[nodiscard]] bool would_exceed(sim::TenantId tenant,
+                                  std::uint64_t estimate) const;
+
+  /// Charge a completed request's exact bill.
+  void charge(sim::TenantId tenant, const sim::CountSnapshot& bill);
+
+  [[nodiscard]] sim::CountSnapshot billed(sim::TenantId tenant) const;
+  [[nodiscard]] sim::CountSnapshot grand_total() const;
+  [[nodiscard]] std::vector<sim::TenantId> tenants() const;
+
+  /// Drop every account and budget (tests and billing-epoch rollover).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  sim::TenantLedger ledger_;
+  std::map<sim::TenantId, std::uint64_t> budgets_;
+};
+
+}  // namespace rvvsvm::serve

@@ -1,0 +1,81 @@
+#include "serve/error.hpp"
+
+namespace rvvsvm::serve {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kQueueFull:
+      return "queue_full";
+    case ErrorCode::kBudgetExceeded:
+      return "budget_exceeded";
+    case ErrorCode::kMalformed:
+      return "malformed";
+    case ErrorCode::kShutdown:
+      return "shutdown";
+    case ErrorCode::kIllegalConfig:
+      return "illegal_config";
+    case ErrorCode::kOperandFault:
+      return "operand_fault";
+    case ErrorCode::kMemoryFault:
+      return "memory_fault";
+    case ErrorCode::kInvalidInput:
+      return "invalid_input";
+    case ErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorCode::kFaultInjected:
+      return "fault_injected";
+    case ErrorCode::kWorkerCrash:
+      return "worker_crash";
+  }
+  return "?";
+}
+
+ErrorCode error_code(sim::TrapKind kind) noexcept {
+  // Exhaustive by construction: no default case, so -Wswitch (-Werror)
+  // rejects this translation unit the moment sim::TrapKind grows a member
+  // without a service code.
+  switch (kind) {
+    case sim::TrapKind::kIllegalConfig:
+      return ErrorCode::kIllegalConfig;
+    case sim::TrapKind::kOperand:
+      return ErrorCode::kOperandFault;
+    case sim::TrapKind::kMemoryAccess:
+      return ErrorCode::kMemoryFault;
+    case sim::TrapKind::kInvalidInput:
+      return ErrorCode::kInvalidInput;
+    case sim::TrapKind::kPoolAlloc:
+      return ErrorCode::kResourceExhausted;
+    case sim::TrapKind::kInjected:
+      return ErrorCode::kFaultInjected;
+  }
+  return ErrorCode::kWorkerCrash;  // unreachable for in-range kinds
+}
+
+std::optional<sim::TrapKind> trap_kind(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kIllegalConfig:
+      return sim::TrapKind::kIllegalConfig;
+    case ErrorCode::kOperandFault:
+      return sim::TrapKind::kOperand;
+    case ErrorCode::kMemoryFault:
+      return sim::TrapKind::kMemoryAccess;
+    case ErrorCode::kInvalidInput:
+      return sim::TrapKind::kInvalidInput;
+    case ErrorCode::kResourceExhausted:
+      return sim::TrapKind::kPoolAlloc;
+    case ErrorCode::kFaultInjected:
+      return sim::TrapKind::kInjected;
+    case ErrorCode::kOk:
+    case ErrorCode::kQueueFull:
+    case ErrorCode::kBudgetExceeded:
+    case ErrorCode::kMalformed:
+    case ErrorCode::kShutdown:
+    case ErrorCode::kWorkerCrash:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rvvsvm::serve

@@ -1,0 +1,110 @@
+// Bounded MPSC request queue — the service's admission boundary.
+//
+// Producers are client threads calling ScanService::submit; the single
+// consumer is the batching scheduler (a dedicated thread in background
+// mode, the caller's thread in foreground mode).  The queue is bounded so
+// overload turns into an immediate kQueueFull rejection instead of
+// unbounded memory growth — admission control's first gate.
+//
+// Implementation is a mutex + condition variable around a deque: the
+// service's unit of work is an entire SVM kernel request (thousands of
+// emulated instructions), so queue overhead is noise and the simple,
+// obviously-TSan-clean structure wins over a lock-free ring.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace rvvsvm::serve {
+
+/// One queued request and the promise its response is delivered through.
+struct Pending {
+  Request req;
+  std::promise<Response> promise;
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admission push: false when the queue is at capacity or closed (the
+  /// caller maps the two via is_closed()).  Never blocks.
+  [[nodiscard]] bool try_push(Pending&& p) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(p));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Consumer side: move out up to `max` requests (FIFO).  Returns an empty
+  /// vector when nothing is queued.
+  [[nodiscard]] std::vector<Pending> pop_batch(std::size_t max) {
+    std::lock_guard lock(mu_);
+    return pop_locked(max);
+  }
+
+  /// Consumer side: block until at least one request is queued or the queue
+  /// is closed, then move out up to `max`.  An empty result means closed
+  /// and drained — the scheduler's exit condition.
+  [[nodiscard]] std::vector<Pending> wait_batch(std::size_t max) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    return pop_locked(max);
+  }
+
+  /// Stop admitting (try_push fails from now on) and wake the consumer so
+  /// it can drain the tail and exit.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool is_closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  [[nodiscard]] std::vector<Pending> pop_locked(std::size_t max) {
+    std::vector<Pending> out;
+    const std::size_t take = items_.size() < max ? items_.size() : max;
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return out;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rvvsvm::serve

@@ -1,0 +1,155 @@
+// ScanService: the long-lived multi-tenant front-end over the hart pool.
+//
+// This is where the repo's substrate composes into a daemon: a warm
+// par::HartPool (one emulated hart per worker, fused-trace caches hot), a
+// bounded MPSC admission queue, and a batching scheduler that turns queued
+// requests into pool epochs:
+//
+//   submit ──► admission (shape, queue depth, tenant budget)
+//          ──► queue ──► scheduler wave:
+//                 small same-kind requests  -> segmented-envelope batch
+//                                              (one fork-join epoch, one
+//                                              strip-mined seg pass/group)
+//                 histogram/sort/chaos/odd  -> individual epoch (request i
+//                                              is shard i: failure isolation
+//                                              maps 1:1 to requests)
+//                 large requests            -> par:: collectives across the
+//                                              whole pool, one at a time,
+//                                              billed under a pool lease
+//
+// Billing: every execution path brackets exact committed counts (HartPool
+// rolls failed attempts back before the service reads its brackets), so the
+// sum of all tenant bills equals the pool's merged-count delta exactly —
+// the invariant the serve fuzz layer pins, chaos crashes included.
+//
+// Failure isolation: a faulting request gets an error response with a
+// stable code (serve/error.hpp) while RecoveryPolicy keeps the pool and
+// every other in-flight request alive.  An envelope group whose pass fails
+// is re-executed member-by-member on the individual path, so one poisoned
+// request cannot fail its batch peers.
+//
+// Threading: producers call submit()/call() from any thread; exactly one
+// consumer runs waves — a dedicated scheduler thread in background mode, or
+// the caller's thread via drain() in foreground mode (deterministic, used
+// by the fuzz layer).  The pool is only ever touched by the consumer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "par/hart_pool.hpp"
+#include "serve/batcher.hpp"
+#include "serve/billing.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace rvvsvm::serve {
+
+class ScanService {
+ public:
+  struct Config {
+    /// Pool shape (see par::HartPool::Config).
+    unsigned harts = 4;
+    std::size_t shard_size = 1u << 12;
+    rvv::Machine::Config machine{};
+    /// Self-healing policy for request execution.  The default retries once
+    /// and falls back inline, so transient faults are absorbed invisibly.
+    /// The watchdog stays off: a lost hart's counter is unreadable, which
+    /// would break exact billing (see HartPool::merged_counts).
+    par::RecoveryPolicy recovery{.max_retries = 1, .fallback_inline = true};
+    /// Admission bound: submit rejects with kQueueFull beyond this depth.
+    std::size_t queue_capacity = 1024;
+    /// Requests below this element count coalesce; at or above it they run
+    /// as whole-pool par:: collectives.
+    std::size_t coalesce_threshold = 1u << 12;
+    /// Most requests one scheduler wave drains from the queue.
+    std::size_t max_batch = 128;
+    /// true: a dedicated scheduler thread pumps the queue (the daemon
+    /// shape).  false: the caller pumps via drain() — single-threaded and
+    /// deterministic, which is what the fuzz layer and unit tests use.
+    bool background = true;
+  };
+
+  /// Monotonic service counters (all guarded; read with stats()).
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_budget = 0;
+    std::uint64_t rejected_malformed = 0;
+    std::uint64_t rejected_shutdown = 0;
+    std::uint64_t completed = 0;  ///< responses with error == kOk
+    std::uint64_t failed = 0;     ///< responses with an execution error
+    std::uint64_t waves = 0;
+    std::uint64_t coalesced_batches = 0;
+    std::uint64_t coalesced_requests = 0;
+    std::uint64_t individual_requests = 0;
+    std::uint64_t large_requests = 0;
+  };
+
+  explicit ScanService(Config cfg);
+  ~ScanService();
+
+  ScanService(const ScanService&) = delete;
+  ScanService& operator=(const ScanService&) = delete;
+
+  /// Per-tenant instruction budget (admission gate; see Billing).
+  void set_budget(sim::TenantId tenant, std::uint64_t max_instructions);
+
+  /// Admit a request.  On rejection the returned future is already
+  /// fulfilled with the rejection code and nothing was charged; on
+  /// admission it resolves when a scheduler wave executes the request.
+  [[nodiscard]] std::future<Response> submit(Request req);
+
+  /// Submit and wait.  In foreground mode this pumps drain() so a single
+  /// thread can use the service synchronously.
+  [[nodiscard]] Response call(Request req);
+
+  /// Foreground mode only: execute every currently queued request on the
+  /// calling thread.  Returns the number of requests executed.  (In
+  /// background mode this is a no-op — the scheduler thread owns the pool.)
+  std::size_t drain();
+
+  /// Stop admitting, drain the queue, and join the scheduler.  Idempotent;
+  /// the destructor calls it.  Requests submitted after stop() are rejected
+  /// with kShutdown.
+  void stop();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Billing& billing() noexcept { return billing_; }
+  [[nodiscard]] const Billing& billing() const noexcept { return billing_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// The warm pool, for inspection between waves (count ledgers, chaos
+  /// injection in tests).  Foreground mode only — in background mode the
+  /// scheduler thread may be mid-wave.
+  [[nodiscard]] par::HartPool& pool() noexcept { return pool_; }
+
+  /// Admission-time cost estimate (retired instructions) for a request
+  /// shape.  Deliberately cheap and approximate: it gates budgets, it is
+  /// never billed.
+  [[nodiscard]] std::uint64_t estimate(Kind kind, std::size_t n) const;
+
+ private:
+  void scheduler_main();
+  void run_wave(std::vector<Pending> wave);
+  void execute_batch(Kind kind, std::vector<Pending*>& members);
+  void execute_individual(const std::vector<Pending*>& members);
+  void execute_large(Pending& p);
+  void finish(Pending& p, Response&& resp);
+
+  Config cfg_;
+  par::HartPool pool_;
+  Billing billing_;
+  RequestQueue queue_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+  std::atomic<bool> stopped_{false};
+  std::thread scheduler_;
+};
+
+}  // namespace rvvsvm::serve

@@ -1,0 +1,78 @@
+// Per-tenant view of the dynamic-instruction ledger.
+//
+// The merged per-hart counts (sim::merge_counts, par::HartPool) answer "what
+// did the whole pool retire"; a multi-tenant service also has to answer "who
+// retired it".  TenantLedger is that attribution layer: a map from tenant id
+// to an accumulated CountSnapshot, charged one request-bill delta at a time.
+// Because every bill is itself an exact snapshot delta (bracketed inside the
+// shard body, after HartPool has rolled back any failed attempt), the
+// invariant the serve fuzz layer pins is simple additivity:
+//
+//   sum over tenants of billed(t)  ==  pool merged-count delta
+//
+// The ledger is a plain value type — it does no locking.  The service layer
+// (serve::Billing) owns one under its own mutex; tests and benches use it
+// directly from one thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/inst_counter.hpp"
+
+namespace rvvsvm::sim {
+
+/// Tenant identity.  Opaque to the ledger; the service assigns them.
+using TenantId = std::uint64_t;
+
+class TenantLedger {
+ public:
+  /// Accumulate a bill for `tenant`.  Deltas are additive, so charging the
+  /// same tenant from many completed requests composes exactly.
+  void charge(TenantId tenant, const CountSnapshot& bill) {
+    accounts_[tenant] += bill;
+  }
+
+  /// Everything billed to `tenant` so far (a zero snapshot for a tenant
+  /// never charged — asking about an unknown tenant is not an error).
+  [[nodiscard]] CountSnapshot billed(TenantId tenant) const {
+    const auto it = accounts_.find(tenant);
+    return it == accounts_.end() ? CountSnapshot{} : it->second;
+  }
+
+  /// Total retired instructions billed to `tenant` — the number admission
+  /// control compares against the tenant's budget.
+  [[nodiscard]] std::uint64_t billed_total(TenantId tenant) const {
+    return billed(tenant).total();
+  }
+
+  /// Sum over every tenant: must equal the pool's merged-count delta when
+  /// every retired instruction was attributed (the serve fuzz invariant).
+  [[nodiscard]] CountSnapshot grand_total() const {
+    CountSnapshot sum;
+    for (const auto& [tenant, bill] : accounts_) sum += bill;
+    return sum;
+  }
+
+  /// Tenant ids with at least one charge, ascending — deterministic
+  /// iteration order for reports and bills.
+  [[nodiscard]] std::vector<TenantId> tenants() const {
+    std::vector<TenantId> ids;
+    ids.reserve(accounts_.size());
+    for (const auto& [tenant, bill] : accounts_) ids.push_back(tenant);
+    return ids;
+  }
+
+  [[nodiscard]] std::size_t num_tenants() const noexcept {
+    return accounts_.size();
+  }
+
+  /// Drop every account (new billing epoch).
+  void reset() noexcept { accounts_.clear(); }
+
+ private:
+  std::map<TenantId, CountSnapshot> accounts_;
+};
+
+}  // namespace rvvsvm::sim

@@ -37,6 +37,28 @@ std::string to_string(const TrapContext& ctx) {
   return s;
 }
 
+namespace sim {
+
+const char* to_string(TrapKind kind) noexcept {
+  switch (kind) {
+    case TrapKind::kIllegalConfig:
+      return "illegal_config";
+    case TrapKind::kOperand:
+      return "operand";
+    case TrapKind::kMemoryAccess:
+      return "memory_access";
+    case TrapKind::kInvalidInput:
+      return "invalid_input";
+    case TrapKind::kPoolAlloc:
+      return "pool_alloc";
+    case TrapKind::kInjected:
+      return "injected";
+  }
+  return "?";
+}
+
+}  // namespace sim
+
 Trap::~Trap() = default;
 FaultHook::~FaultHook() = default;
 

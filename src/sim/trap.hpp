@@ -57,6 +57,29 @@ struct TrapContext {
 /// Render "op=vle vl=8 lmul=2 vlen=256 inst=123 hart=0" for messages.
 [[nodiscard]] std::string to_string(const TrapContext& ctx);
 
+namespace sim {
+
+/// Closed enumeration of the trap taxonomy, one value per concrete trap
+/// class.  Layers that must stay exhaustive over the taxonomy (the service's
+/// trap -> error-code mapping, telemetry) switch over this enum with no
+/// default case, so adding a trap class without extending every consumer is
+/// a compile error (-Wswitch under -Werror).
+enum class TrapKind : std::uint8_t {
+  kIllegalConfig,
+  kOperand,
+  kMemoryAccess,
+  kInvalidInput,
+  kPoolAlloc,
+  kInjected,
+};
+
+inline constexpr std::size_t kNumTrapKinds = 6;
+
+/// Mnemonic for reports ("illegal_config", "memory_access", ...).
+[[nodiscard]] const char* to_string(TrapKind kind) noexcept;
+
+}  // namespace sim
+
 /// Mixin base of every typed trap.  Deliberately not derived from
 /// std::exception: each concrete trap also derives from the specific
 /// standard exception its call sites historically threw, and a second
@@ -69,6 +92,9 @@ class Trap {
   [[nodiscard]] const TrapContext& context() const noexcept { return ctx_; }
   /// The full human-readable message (same text as the std exception base).
   [[nodiscard]] virtual const char* message() const noexcept = 0;
+  /// Which member of the closed taxonomy this trap is — the switch key for
+  /// exhaustive consumers (serve::error_code, failure telemetry).
+  [[nodiscard]] virtual sim::TrapKind kind() const noexcept = 0;
 
  private:
   TrapContext ctx_;
@@ -80,6 +106,9 @@ class IllegalConfigTrap : public std::invalid_argument, public Trap {
  public:
   IllegalConfigTrap(std::string_view detail, const TrapContext& ctx);
   [[nodiscard]] const char* message() const noexcept override { return what(); }
+  [[nodiscard]] sim::TrapKind kind() const noexcept override {
+    return sim::TrapKind::kIllegalConfig;
+  }
 };
 
 /// Operand violation on an emulated instruction: vl exceeds a register
@@ -88,6 +117,9 @@ class OperandTrap : public std::out_of_range, public Trap {
  public:
   OperandTrap(std::string_view detail, const TrapContext& ctx);
   [[nodiscard]] const char* message() const noexcept override { return what(); }
+  [[nodiscard]] sim::TrapKind kind() const noexcept override {
+    return sim::TrapKind::kOperand;
+  }
 };
 
 /// Out-of-bounds element access on an emulated vector load/store.  Carries
@@ -102,6 +134,9 @@ class MemoryAccessTrap : public std::out_of_range, public Trap {
   /// see).  Elements [0, element()) were validated in-bounds.
   [[nodiscard]] std::size_t element() const noexcept { return element_; }
   [[nodiscard]] const char* message() const noexcept override { return what(); }
+  [[nodiscard]] sim::TrapKind kind() const noexcept override {
+    return sim::TrapKind::kMemoryAccess;
+  }
 
  private:
   std::size_t element_;
@@ -114,6 +149,9 @@ class InvalidInputTrap : public std::invalid_argument, public Trap {
  public:
   InvalidInputTrap(std::string_view detail, const TrapContext& ctx);
   [[nodiscard]] const char* message() const noexcept override { return what(); }
+  [[nodiscard]] sim::TrapKind kind() const noexcept override {
+    return sim::TrapKind::kInvalidInput;
+  }
 };
 
 /// Buffer-pool allocation failure (raised by the fault-injection engine via
@@ -123,6 +161,9 @@ class PoolAllocTrap : public std::runtime_error, public Trap {
  public:
   PoolAllocTrap(std::string_view detail, const TrapContext& ctx);
   [[nodiscard]] const char* message() const noexcept override { return what(); }
+  [[nodiscard]] sim::TrapKind kind() const noexcept override {
+    return sim::TrapKind::kPoolAlloc;
+  }
 };
 
 /// Trap raised deliberately by a fault injector (check::FaultInjector)
@@ -132,6 +173,9 @@ class InjectedTrap : public std::runtime_error, public Trap {
  public:
   InjectedTrap(std::string_view detail, const TrapContext& ctx);
   [[nodiscard]] const char* message() const noexcept override { return what(); }
+  [[nodiscard]] sim::TrapKind kind() const noexcept override {
+    return sim::TrapKind::kInjected;
+  }
 };
 
 /// Pre-charge fault hook.  A machine with a hook installed reports every

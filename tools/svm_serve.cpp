@@ -1,0 +1,290 @@
+// svm_serve — command-line driver for the multi-tenant scan service.
+//
+//   svm_serve [--harts N] [--vlen BITS] [--queue N] [--threshold N]
+//             [--budget TENANT:MAX]... [--foreground] [--quiet]
+//
+// Speaks a line protocol on stdin/stdout (one request per line, one response
+// line per request), so the same session loop can later sit behind a socket
+// accept() without touching the service:
+//
+//   scan <tenant> <v0> <v1> ...          inclusive plus-scan
+//   scan_exclusive <tenant> <v0> ...     exclusive plus-scan
+//   reduce <tenant> <v0> ...             plus-reduce to one scalar
+//   compress <tenant> <n> <v0..v_{n-1}> <f0..f_{n-1}>
+//   histogram <tenant> <bins> <k0> ...   bin counts
+//   sort <tenant> <v0> ...               split radix sort
+//   budget <tenant> <max_instructions>   set the tenant's admission budget
+//   bills                                print every tenant's ledger
+//   stats                                print service counters
+//   quit                                 stop the service and exit
+//
+// Responses: `ok kind=<k> bill=<n> coalesced=<0|1> [scalar=<v>] [data=...]`
+// on success, `err code=<mnemonic> detail=<message>` on failure.  Exit
+// status 0 on clean quit/EOF, 2 on usage errors.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace {
+
+using rvvsvm::serve::ErrorCode;
+using rvvsvm::serve::Kind;
+using rvvsvm::serve::Request;
+using rvvsvm::serve::Response;
+using rvvsvm::serve::ScanService;
+using rvvsvm::serve::Value;
+
+void usage(std::ostream& os) {
+  os << "usage: svm_serve [--harts N] [--vlen BITS] [--queue N]\n"
+        "                 [--threshold N] [--budget TENANT:MAX]...\n"
+        "                 [--foreground] [--quiet]\n"
+        "  --harts N          pool size (default 4)\n"
+        "  --vlen BITS        emulated VLEN (default 256)\n"
+        "  --queue N          admission queue capacity (default 1024)\n"
+        "  --threshold N      elements at which a request goes whole-pool\n"
+        "  --budget T:MAX     per-tenant instruction budget (repeatable)\n"
+        "  --foreground       no scheduler thread; drain per request\n"
+        "  --quiet            suppress the banner\n"
+        "then drive it over stdin; `quit` or EOF stops the service.\n";
+}
+
+[[nodiscard]] bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  out = value;
+  return true;
+}
+
+[[nodiscard]] bool read_values(std::istringstream& in, std::vector<Value>& out,
+                               std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    std::string tok;
+    if (!(in >> tok) || !parse_u64(tok, v)) return false;
+    out.push_back(static_cast<Value>(v));
+  }
+  return true;
+}
+
+/// Drain the rest of the line as Values; false on a non-numeric token.
+[[nodiscard]] bool read_rest(std::istringstream& in, std::vector<Value>& out) {
+  std::string tok;
+  while (in >> tok) {
+    std::uint64_t v = 0;
+    if (!parse_u64(tok, v)) return false;
+    out.push_back(static_cast<Value>(v));
+  }
+  return true;
+}
+
+void print_response(std::ostream& os, Kind kind, const Response& resp) {
+  if (!resp.ok()) {
+    os << "err code=" << to_string(resp.error) << " detail=" << resp.message
+       << "\n";
+    return;
+  }
+  os << "ok kind=" << to_string(kind) << " bill=" << resp.billed_total
+     << " coalesced=" << (resp.coalesced ? 1 : 0);
+  if (kind == Kind::kReduce) {
+    os << " scalar=" << resp.scalar;
+  } else {
+    os << " data=";
+    for (std::size_t i = 0; i < resp.data.size(); ++i) {
+      os << (i == 0 ? "" : ",") << resp.data[i];
+    }
+  }
+  os << "\n";
+}
+
+void print_bills(std::ostream& os, const ScanService& svc) {
+  for (const auto tenant : svc.billing().tenants()) {
+    os << "tenant " << tenant << ": " << svc.billing().billed(tenant).total()
+       << " instructions (budget ";
+    const std::uint64_t budget = svc.billing().budget(tenant);
+    if (budget == std::numeric_limits<std::uint64_t>::max()) {
+      os << "unlimited";
+    } else {
+      os << budget;
+    }
+    os << ")\n";
+  }
+  os << "grand total: " << svc.billing().grand_total().total()
+     << " instructions\n";
+}
+
+void print_stats(std::ostream& os, const ScanService& svc) {
+  const ScanService::Stats s = svc.stats();
+  os << "submitted " << s.submitted << ", admitted " << s.admitted
+     << ", completed " << s.completed << ", failed " << s.failed << "\n"
+     << "rejected: queue_full " << s.rejected_queue_full << ", budget "
+     << s.rejected_budget << ", malformed " << s.rejected_malformed
+     << ", shutdown " << s.rejected_shutdown << "\n"
+     << "waves " << s.waves << ", coalesced " << s.coalesced_requests
+     << " requests in " << s.coalesced_batches << " batches, individual "
+     << s.individual_requests << ", large " << s.large_requests << "\n";
+}
+
+/// One protocol session: read commands from `in`, write responses to `out`.
+/// This is the transport-independent core — a socket front-end would call
+/// it with the connection's streams.
+int run_session(std::istream& in, std::ostream& out, ScanService& svc) {
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    std::string cmd;
+    if (!(tokens >> cmd) || cmd[0] == '#') continue;
+
+    if (cmd == "quit") break;
+    if (cmd == "bills") {
+      print_bills(out, svc);
+      continue;
+    }
+    if (cmd == "stats") {
+      print_stats(out, svc);
+      continue;
+    }
+    if (cmd == "budget") {
+      std::string tenant_tok;
+      std::string max_tok;
+      std::uint64_t tenant = 0;
+      std::uint64_t max = 0;
+      if (!(tokens >> tenant_tok >> max_tok) ||
+          !parse_u64(tenant_tok, tenant) || !parse_u64(max_tok, max)) {
+        out << "err code=malformed detail=budget needs <tenant> <max>\n";
+        continue;
+      }
+      svc.set_budget(tenant, max);
+      out << "ok kind=budget\n";
+      continue;
+    }
+
+    Request req;
+    bool parsed = true;
+    std::string tenant_tok;
+    std::uint64_t tenant = 0;
+    if (!(tokens >> tenant_tok) || !parse_u64(tenant_tok, tenant)) {
+      out << "err code=malformed detail=missing tenant id\n";
+      continue;
+    }
+    req.tenant = tenant;
+
+    if (cmd == "scan") {
+      req.kind = Kind::kScan;
+      parsed = read_rest(tokens, req.data);
+    } else if (cmd == "scan_exclusive") {
+      req.kind = Kind::kScanExclusive;
+      parsed = read_rest(tokens, req.data);
+    } else if (cmd == "reduce") {
+      req.kind = Kind::kReduce;
+      parsed = read_rest(tokens, req.data);
+    } else if (cmd == "sort") {
+      req.kind = Kind::kSort;
+      parsed = read_rest(tokens, req.data);
+    } else if (cmd == "compress") {
+      req.kind = Kind::kCompress;
+      std::uint64_t n = 0;
+      std::string n_tok;
+      parsed = (tokens >> n_tok) && parse_u64(n_tok, n) &&
+               read_values(tokens, req.data, n) &&
+               read_values(tokens, req.flags, n);
+    } else if (cmd == "histogram") {
+      req.kind = Kind::kHistogram;
+      std::uint64_t bins = 0;
+      std::string bins_tok;
+      parsed = (tokens >> bins_tok) && parse_u64(bins_tok, bins) &&
+               read_rest(tokens, req.data);
+      req.bins = bins;
+    } else {
+      out << "err code=malformed detail=unknown command " << cmd << "\n";
+      continue;
+    }
+    if (!parsed) {
+      out << "err code=malformed detail=bad operand list\n";
+      continue;
+    }
+
+    const Kind kind = req.kind;
+    print_response(out, kind, svc.call(std::move(req)));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScanService::Config cfg;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> budgets;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> std::string_view {
+      if (i + 1 >= argc) {
+        std::cerr << "svm_serve: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (arg == "--harts") {
+      if (!parse_u64(value(), v) || v == 0) return 2;
+      cfg.harts = static_cast<unsigned>(v);
+    } else if (arg == "--vlen") {
+      if (!parse_u64(value(), v) || v == 0) return 2;
+      cfg.machine.vlen_bits = static_cast<unsigned>(v);
+    } else if (arg == "--queue") {
+      if (!parse_u64(value(), v) || v == 0) return 2;
+      cfg.queue_capacity = v;
+    } else if (arg == "--threshold") {
+      if (!parse_u64(value(), v) || v == 0) return 2;
+      cfg.coalesce_threshold = v;
+    } else if (arg == "--budget") {
+      const std::string_view spec = value();
+      const std::size_t colon = spec.find(':');
+      std::uint64_t tenant = 0;
+      std::uint64_t max = 0;
+      if (colon == std::string_view::npos ||
+          !parse_u64(spec.substr(0, colon), tenant) ||
+          !parse_u64(spec.substr(colon + 1), max)) {
+        std::cerr << "svm_serve: bad --budget, want TENANT:MAX\n";
+        return 2;
+      }
+      budgets.emplace_back(tenant, max);
+    } else if (arg == "--foreground") {
+      cfg.background = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "svm_serve: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  ScanService svc(cfg);
+  for (const auto& [tenant, max] : budgets) svc.set_budget(tenant, max);
+  if (!quiet) {
+    std::cout << "svm_serve: " << cfg.harts << " harts, vlen "
+              << cfg.machine.vlen_bits << ", queue " << cfg.queue_capacity
+              << (cfg.background ? ", background scheduler" : ", foreground")
+              << " — `quit` or EOF to stop\n";
+  }
+  const int rc = run_session(std::cin, std::cout, svc);
+  svc.stop();
+  return rc;
+}
