@@ -1,0 +1,362 @@
+// Autotuner sweep and acceptance gate: the five core kernels across the
+// full VLEN × n grid, each cell measured three ways — tuned (a fresh
+// AutoTuner per cell, so every cell pays its own measurement miss), pinned
+// always-LMUL=1, and pinned always-LMUL=8 — plus the full static LMUL row
+// for reference.
+//
+// Two checks run after the sweep:
+//
+//   * per cell, the tuned count must not lose to the best static LMUL
+//     (exact at power-of-two n, where the bucket representative equals n;
+//     within --tolerance elsewhere, where the winner was measured at the
+//     bucket edge below n);
+//
+//   * over the grid, the geometric-mean improvement of tuned over
+//     always-LMUL=1 AND over always-LMUL=8 must reach --min-improvement —
+//     the PR gate that the tuner beats both static extremes overall.
+//
+// --fit refits the offline cost model (base, per_block, per_block_log per
+// shape × LMUL, least squares over the static grid) and writes it as the
+// JSON src/tune/cost_model.json is regenerated from.
+//
+// Usage: autotune_sweep [--json FILE] [--min-improvement F] [--tolerance F]
+//                       [--smoke] [--fit FILE]
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "par/par.hpp"
+#include "svm/svm.hpp"
+#include "tune/autotuner.hpp"
+#include "tune/cost_model.hpp"
+
+namespace {
+
+using namespace rvvsvm;
+using T = std::uint32_t;
+
+std::vector<T> random_u32(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) x = static_cast<T>(rng());
+  return v;
+}
+
+std::vector<T> head_flags(std::size_t n, std::size_t avg_len, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution head(1.0 / static_cast<double>(avg_len));
+  std::vector<T> flags(n, 0);
+  if (n > 0) flags[0] = 1;
+  for (std::size_t i = 1; i < n; ++i) flags[i] = head(rng) ? 1u : 0u;
+  return flags;
+}
+
+std::vector<T> bit_flags(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<T> flags(n);
+  for (auto& f : flags) f = rng() & 1u;
+  return flags;
+}
+
+/// One kernel of the sweep: run(n, lmul_or_0) executes the workload at a
+/// pinned LMUL, or tuned when lmul == 0.
+struct Kernel {
+  const char* name;
+  tune::Shape shape;
+  std::function<void(std::size_t n, unsigned lmul)> run;
+};
+
+template <class Fn>
+void at_lmul(unsigned lmul, Fn&& fn) {
+  // lmul == 0 is the tuned default (svm::kTunedLmul).
+  switch (lmul) {
+    case 1: fn(std::integral_constant<unsigned, 1>{}); break;
+    case 2: fn(std::integral_constant<unsigned, 2>{}); break;
+    case 4: fn(std::integral_constant<unsigned, 4>{}); break;
+    case 8: fn(std::integral_constant<unsigned, 8>{}); break;
+    default: fn(std::integral_constant<unsigned, svm::kTunedLmul>{}); break;
+  }
+}
+
+std::vector<Kernel> make_kernels() {
+  std::vector<Kernel> kernels;
+  kernels.push_back({"p_add", tune::Shape::kElementwiseVx, [](std::size_t n, unsigned lmul) {
+    auto data = random_u32(n, 11);
+    at_lmul(lmul, [&](auto lc) {
+      svm::p_add<T, decltype(lc)::value>(std::span<T>(data), 123u);
+    });
+  }});
+  kernels.push_back({"plus_scan", tune::Shape::kScanInclusive, [](std::size_t n, unsigned lmul) {
+    auto data = random_u32(n, 12);
+    at_lmul(lmul, [&](auto lc) {
+      svm::plus_scan<T, decltype(lc)::value>(std::span<T>(data));
+    });
+  }});
+  kernels.push_back({"reduce", tune::Shape::kReduce, [](std::size_t n, unsigned lmul) {
+    const auto data = random_u32(n, 13);
+    at_lmul(lmul, [&](auto lc) {
+      static_cast<void>(svm::reduce<svm::PlusOp, T, decltype(lc)::value>(
+          std::span<const T>(data)));
+    });
+  }});
+  kernels.push_back({"seg_plus_scan", tune::Shape::kSegScanInclusive,
+                     [](std::size_t n, unsigned lmul) {
+    auto data = random_u32(n, 14);
+    const auto flags = head_flags(n, 100, 15);
+    at_lmul(lmul, [&](auto lc) {
+      svm::seg_plus_scan<T, decltype(lc)::value>(std::span<T>(data),
+                                                 std::span<const T>(flags));
+    });
+  }});
+  kernels.push_back({"split", tune::Shape::kSplit, [](std::size_t n, unsigned lmul) {
+    const auto src = random_u32(n, 16);
+    const auto flags = bit_flags(n, 17);
+    std::vector<T> dst(n);
+    at_lmul(lmul, [&](auto lc) {
+      static_cast<void>(svm::split<T, decltype(lc)::value>(
+          std::span<const T>(src), std::span<T>(dst), std::span<const T>(flags)));
+    });
+  }});
+  return kernels;
+}
+
+struct Cell {
+  std::string kernel;
+  tune::Shape shape;
+  unsigned vlen = 0;
+  std::size_t n = 0;
+  std::uint64_t tuned = 0;
+  unsigned winner = 0;
+  std::array<std::uint64_t, 4> fixed{};  // LMUL 1, 2, 4, 8
+  [[nodiscard]] std::uint64_t best_static() const {
+    std::uint64_t best = fixed[0];
+    for (const auto c : fixed) best = c < best ? c : best;
+    return best;
+  }
+};
+
+std::uint64_t count_run(unsigned vlen, const std::function<void()>& body) {
+  rvv::Machine machine(rvv::Machine::Config{.vlen_bits = vlen});
+  rvv::MachineScope scope(machine);
+  body();
+  return machine.counter().total();
+}
+
+double geomean_ratio(const std::vector<Cell>& cells,
+                     const std::function<double(const Cell&)>& ratio) {
+  double log_sum = 0.0;
+  for (const auto& c : cells) log_sum += std::log(ratio(c));
+  return std::exp(log_sum / static_cast<double>(cells.size()));
+}
+
+// --- cost-model refit -------------------------------------------------------
+
+/// Least squares of count ~ base + blocks*per_block + blocks*log_steps*
+/// per_block_log over this sweep's static cells for one (shape, lmul).
+tune::Coefficients fit_one(const std::vector<Cell>& cells, tune::Shape shape,
+                           unsigned lmul) {
+  const std::size_t slot = tune::CostModel::lmul_slot(lmul);
+  // Normal equations for the 3-parameter linear model.
+  std::array<std::array<double, 3>, 3> a{};
+  std::array<double, 3> b{};
+  std::size_t samples = 0;
+  for (const auto& c : cells) {
+    if (c.shape != shape) continue;
+    const std::size_t vlmax = rvv::vlmax_for(c.vlen, 32, lmul);
+    const double blocks =
+        static_cast<double>((c.n + vlmax - 1) / (vlmax == 0 ? 1 : vlmax));
+    const std::size_t vl = c.n < vlmax ? c.n : vlmax;
+    unsigned log_steps = 0;
+    for (std::size_t offset = 1; offset < vl; offset <<= 1) ++log_steps;
+    const std::array<double, 3> x{1.0, blocks, blocks * static_cast<double>(log_steps)};
+    const double y = static_cast<double>(c.fixed[slot]);
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) a[i][j] += x[i] * x[j];
+      b[i] += x[i] * y;
+    }
+    ++samples;
+  }
+  if (samples < 3) return {};
+  // Gaussian elimination with partial pivoting on the 3x3 system.
+  for (std::size_t col = 0; col < 3; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < 3; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    if (std::fabs(a[col][col]) < 1e-12) return {};
+    for (std::size_t row = 0; row < 3; ++row) {
+      if (row == col) continue;
+      const double f = a[row][col] / a[col][col];
+      for (std::size_t j = 0; j < 3; ++j) a[row][j] -= f * a[col][j];
+      b[row] -= f * b[col];
+    }
+  }
+  return tune::Coefficients{.base = b[0] / a[0][0],
+                            .per_block = b[1] / a[1][1],
+                            .per_block_log = b[2] / a[2][2],
+                            .valid = true};
+}
+
+void write_json(const std::string& path, const std::vector<Cell>& cells,
+                double vs_l1, double vs_l8, double vs_best,
+                const tune::Stats& stats) {
+  std::ofstream os(path, std::ios::trunc);
+  os << "{\n  \"schema_version\": 1,\n  \"element_type\": \"u32\",\n"
+     << "  \"summary\": {\n"
+     << "    \"geomean_improvement_vs_lmul1\": " << (vs_l1 - 1.0) << ",\n"
+     << "    \"geomean_improvement_vs_lmul8\": " << (vs_l8 - 1.0) << ",\n"
+     << "    \"geomean_tuned_over_best_static\": " << vs_best << ",\n"
+     << "    \"tuner_misses\": " << stats.misses << ",\n"
+     << "    \"tuner_measurements\": " << stats.measurements << ",\n"
+     << "    \"model_pruned_candidates\": " << stats.model_pruned << "\n"
+     << "  },\n  \"cells\": [";
+  bool first = true;
+  for (const auto& c : cells) {
+    os << (first ? "" : ",") << "\n    {\"kernel\": \"" << c.kernel
+       << "\", \"vlen\": " << c.vlen << ", \"n\": " << c.n
+       << ", \"tuned\": " << c.tuned << ", \"winner_lmul\": " << c.winner
+       << ", \"lmul1\": " << c.fixed[0] << ", \"lmul2\": " << c.fixed[1]
+       << ", \"lmul4\": " << c.fixed[2] << ", \"lmul8\": " << c.fixed[3] << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_autotune.json";
+  std::string fit_path;
+  double min_improvement = 0.0;
+  double tolerance = 0.05;
+  std::vector<unsigned> vlens{128, 256, 512, 1024};
+  std::vector<std::size_t> sizes{64, 256, 1024, 4096, 10000, 16384, 65536};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--fit" && i + 1 < argc) {
+      fit_path = argv[++i];
+    } else if (arg == "--min-improvement" && i + 1 < argc) {
+      min_improvement = std::stod(argv[++i]);
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::stod(argv[++i]);
+    } else if (arg == "--smoke") {
+      vlens = {128, 1024};
+      sizes = {64, 1024, 10000};
+    } else {
+      std::cerr << "usage: autotune_sweep [--json FILE] [--min-improvement F]\n"
+                   "                      [--tolerance F] [--smoke] [--fit FILE]\n";
+      return 2;
+    }
+  }
+
+  const auto kernels = make_kernels();
+  std::vector<Cell> cells;
+  tune::Stats total_stats;
+  int failures = 0;
+
+  for (const auto& kernel : kernels) {
+    for (const unsigned vlen : vlens) {
+      for (const std::size_t n : sizes) {
+        Cell cell;
+        cell.kernel = kernel.name;
+        cell.shape = kernel.shape;
+        cell.vlen = vlen;
+        cell.n = n;
+        for (const unsigned lmul : {1u, 2u, 4u, 8u}) {
+          cell.fixed[tune::CostModel::lmul_slot(lmul)] =
+              count_run(vlen, [&] { kernel.run(n, lmul); });
+        }
+        // A fresh tuner per cell: the tuned count includes nothing from
+        // other cells, and the cell's miss measures on scratch machines that
+        // charge nothing to the measured run.
+        tune::AutoTuner tuner;
+        {
+          tune::TunerScope scope(tuner);
+          cell.tuned = count_run(vlen, [&] { kernel.run(n, 0); });
+        }
+        const auto winners = tuner.winners();
+        cell.winner = winners.size() == 1 ? winners[0].lmul : 0;
+        const tune::Stats s = tuner.stats();
+        total_stats.misses += s.misses;
+        total_stats.measurements += s.measurements;
+        total_stats.model_pruned += s.model_pruned;
+
+        const bool pow2 = (n & (n - 1)) == 0;
+        const double limit = static_cast<double>(cell.best_static()) *
+                             (pow2 ? 1.0 : 1.0 + tolerance);
+        if (static_cast<double>(cell.tuned) > limit) {
+          std::cerr << "FAIL: " << cell.kernel << " vlen=" << vlen << " n=" << n
+                    << ": tuned " << cell.tuned << " > best static "
+                    << cell.best_static() << (pow2 ? "" : " (with tolerance)")
+                    << '\n';
+          ++failures;
+        }
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  const double vs_l1 = geomean_ratio(cells, [](const Cell& c) {
+    return static_cast<double>(c.fixed[0]) / static_cast<double>(c.tuned);
+  });
+  const double vs_l8 = geomean_ratio(cells, [](const Cell& c) {
+    return static_cast<double>(c.fixed[3]) / static_cast<double>(c.tuned);
+  });
+  const double vs_best = geomean_ratio(cells, [](const Cell& c) {
+    return static_cast<double>(c.tuned) / static_cast<double>(c.best_static());
+  });
+
+  std::cout << "= Autotune sweep (" << cells.size() << " cells) =\n"
+            << "geomean improvement vs always-LMUL=1: "
+            << (vs_l1 - 1.0) * 100.0 << "%\n"
+            << "geomean improvement vs always-LMUL=8: "
+            << (vs_l8 - 1.0) * 100.0 << "%\n"
+            << "geomean tuned / best-static: " << vs_best << "\n"
+            << "tuner misses " << total_stats.misses << ", measurements "
+            << total_stats.measurements << ", model-pruned "
+            << total_stats.model_pruned << '\n';
+
+  write_json(json_path, cells, vs_l1, vs_l8, vs_best, total_stats);
+  std::cout << "wrote " << json_path << '\n';
+
+  if (!fit_path.empty()) {
+    tune::CostModel model;
+    for (const auto& kernel : kernels) {
+      for (const unsigned lmul : {1u, 2u, 4u, 8u}) {
+        const auto c = fit_one(cells, kernel.shape, lmul);
+        if (c.valid) model.set(kernel.shape, lmul, c);
+      }
+    }
+    std::ofstream os(fit_path, std::ios::trunc);
+    model.write_json(os);
+    std::cout << "wrote cost model " << fit_path << '\n';
+  }
+
+  if (vs_l1 - 1.0 < min_improvement) {
+    std::cerr << "FAIL: improvement vs always-LMUL=1 below threshold "
+              << min_improvement << '\n';
+    ++failures;
+  }
+  if (vs_l8 - 1.0 < min_improvement) {
+    std::cerr << "FAIL: improvement vs always-LMUL=8 below threshold "
+              << min_improvement << '\n';
+    ++failures;
+  }
+  if (failures != 0) {
+    std::cerr << failures << " gate failure(s)\n";
+    return 1;
+  }
+  std::cout << "all autotune gates passed\n";
+  return 0;
+}

@@ -108,12 +108,57 @@ template <rvv::VectorElement T>
   };
 }
 
+/// Tuned-LMUL choice for a collective, made ONCE at the entry point so every
+/// shard of the job runs the same LMUL (per-shard tuning would break the
+/// hart-count invariance of merged counts).  The key carries the pool's hart
+/// count next to the svm-level fields; measurement runs the per-shard svm
+/// kernel at the shard's representative size on a scratch machine cloned
+/// from hart 0's shape, exactly like the single-hart path in svm/tuning.hpp.
+template <rvv::VectorElement T, class Measure>
+[[nodiscard]] unsigned tuned_collective_lmul(HartPool& pool, tune::Shape shape,
+                                             std::size_t n, Measure&& measure) {
+  tune::AutoTuner& tuner = tune::AutoTuner::active();
+  if (n == 0 || !tuner.enabled()) return 1;
+  rvv::Machine& m0 = pool.machine(0);
+  const std::size_t shard_n = std::min(n, pool.shard_size());
+  const tune::Key key{.shape = shape,
+                      .bucket = tune::n_bucket(shard_n),
+                      .sew = rvv::kSewBits<T>,
+                      .vlen = m0.vlen_bits(),
+                      .harts = pool.harts()};
+  const rvv::Machine::Config scratch_cfg{
+      .vlen_bits = m0.vlen_bits(),
+      .model_register_pressure = m0.regfile() != nullptr,
+      .use_buffer_pool = true,
+      .use_exec_cache = false};
+  return tuner.choose(key, [&](unsigned lmul) -> std::uint64_t {
+    rvv::Machine scratch(scratch_cfg);
+    rvv::MachineScope scope(scratch);
+    svm::detail::TuneScratch<T> operands(tune::representative_n(shard_n));
+    svm::detail::with_lmul(lmul, [&](auto lc) { measure(lc, operands); });
+    return scratch.counter().total();
+  });
+}
+
 }  // namespace detail
 
 /// Inclusive Op-scan across the pool, in place; bit-identical to
-/// svm::scan_inclusive on one hart.
-template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+/// svm::scan_inclusive on one hart.  The default LMUL is picked by the
+/// autotuner (keyed on the pool's hart count and shard size); the combine
+/// phases stay pinned at LMUL=1 so merged counts remain hart-invariant.
+template <class Op, rvv::VectorElement T, unsigned LMUL = svm::kTunedLmul>
 void scan_inclusive(HartPool& pool, std::span<T> data) {
+  if constexpr (LMUL == svm::kTunedLmul) {
+    const unsigned lmul = detail::tuned_collective_lmul<T>(
+        pool, tune::Shape::kParScanInclusive, data.size(),
+        [&](auto lc, svm::detail::TuneScratch<T>& sc) {
+          svm::scan_inclusive<Op, T, decltype(lc)::value>(std::span<T>(sc.a));
+        });
+    svm::detail::with_lmul(lmul, [&](auto lc) {
+      scan_inclusive<Op, T, decltype(lc)::value>(pool, data);
+    });
+    return;
+  } else {
   const auto shards = make_shards(data.size(), pool.shard_size());
   if (shards.empty()) return;
   std::vector<T> totals(shards.size());
@@ -128,7 +173,8 @@ void scan_inclusive(HartPool& pool, std::span<T> data) {
       },
       detail::checkpoint_shards(pool, data, shards));
 
-  pool.on_hart(0, [&] { svm::scan_exclusive<Op, T>(std::span<T>(totals)); },
+  // Combine phase pinned at LMUL=1: merged-count goldens depend on it.
+  pool.on_hart(0, [&] { svm::scan_exclusive<Op, T, 1>(std::span<T>(totals)); },
                detail::checkpoint_whole(pool, std::span<T>(totals)));
 
   pool.for_shards(
@@ -139,12 +185,24 @@ void scan_inclusive(HartPool& pool, std::span<T> data) {
             data.subspan(shards[s].begin, shards[s].size()), totals[s]);
       },
       detail::checkpoint_shards(pool, data, shards));
+  }
 }
 
 /// Exclusive Op-scan across the pool, in place; bit-identical to
 /// svm::scan_exclusive on one hart.
-template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+template <class Op, rvv::VectorElement T, unsigned LMUL = svm::kTunedLmul>
 void scan_exclusive(HartPool& pool, std::span<T> data) {
+  if constexpr (LMUL == svm::kTunedLmul) {
+    const unsigned lmul = detail::tuned_collective_lmul<T>(
+        pool, tune::Shape::kParScanExclusive, data.size(),
+        [&](auto lc, svm::detail::TuneScratch<T>& sc) {
+          svm::scan_exclusive<Op, T, decltype(lc)::value>(std::span<T>(sc.a));
+        });
+    svm::detail::with_lmul(lmul, [&](auto lc) {
+      scan_exclusive<Op, T, decltype(lc)::value>(pool, data);
+    });
+    return;
+  } else {
   const auto shards = make_shards(data.size(), pool.shard_size());
   if (shards.empty()) return;
   std::vector<T> totals(shards.size());
@@ -160,7 +218,7 @@ void scan_exclusive(HartPool& pool, std::span<T> data) {
       },
       detail::checkpoint_shards(pool, data, shards));
 
-  pool.on_hart(0, [&] { svm::scan_exclusive<Op, T>(std::span<T>(totals)); },
+  pool.on_hart(0, [&] { svm::scan_exclusive<Op, T, 1>(std::span<T>(totals)); },
                detail::checkpoint_whole(pool, std::span<T>(totals)));
 
   pool.for_shards(
@@ -171,11 +229,23 @@ void scan_exclusive(HartPool& pool, std::span<T> data) {
             data.subspan(shards[s].begin, shards[s].size()), totals[s]);
       },
       detail::checkpoint_shards(pool, data, shards));
+  }
 }
 
 /// Whole-array Op-reduction across the pool.
-template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+template <class Op, rvv::VectorElement T, unsigned LMUL = svm::kTunedLmul>
 [[nodiscard]] T reduce(HartPool& pool, std::span<const T> data) {
+  if constexpr (LMUL == svm::kTunedLmul) {
+    const unsigned lmul = detail::tuned_collective_lmul<T>(
+        pool, tune::Shape::kParReduce, data.size(),
+        [&](auto lc, svm::detail::TuneScratch<T>& sc) {
+          static_cast<void>(svm::reduce<Op, T, decltype(lc)::value>(
+              std::span<const T>(sc.a)));
+        });
+    return svm::detail::with_lmul(lmul, [&](auto lc) {
+      return reduce<Op, T, decltype(lc)::value>(pool, data);
+    });
+  } else {
   const auto shards = make_shards(data.size(), pool.shard_size());
   if (shards.empty()) return Op::template identity<T>();
   std::vector<T> partials(shards.size());
@@ -188,21 +258,22 @@ template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
 
   T result = Op::template identity<T>();
   pool.on_hart(0, [&] {
-    result = svm::reduce<Op, T>(std::span<const T>(partials));
+    result = svm::reduce<Op, T, 1>(std::span<const T>(partials));
   });
   return result;
+  }
 }
 
 /// The named forms, mirroring svm::.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = svm::kTunedLmul>
 void plus_scan(HartPool& pool, std::span<T> data) {
   scan_inclusive<svm::PlusOp, T, LMUL>(pool, data);
 }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = svm::kTunedLmul>
 void plus_scan_exclusive(HartPool& pool, std::span<T> data) {
   scan_exclusive<svm::PlusOp, T, LMUL>(pool, data);
 }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = svm::kTunedLmul>
 void max_scan(HartPool& pool, std::span<T> data) {
   scan_inclusive<svm::MaxOp, T, LMUL>(pool, data);
 }
@@ -214,9 +285,21 @@ void max_scan(HartPool& pool, std::span<T> data) {
 /// exclusive plus-scans of the histograms on hart 0, and each shard scatters
 /// straight into its global destinations (destinations are disjoint across
 /// shards because the partition is a permutation).
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = svm::kTunedLmul>
 std::size_t split(HartPool& pool, std::span<const T> src, std::span<T> dst,
                   std::span<const T> flags) {
+  if constexpr (LMUL == svm::kTunedLmul) {
+    const unsigned lmul = detail::tuned_collective_lmul<T>(
+        pool, tune::Shape::kParSplit, src.size(),
+        [&](auto lc, svm::detail::TuneScratch<T>& sc) {
+          static_cast<void>(svm::split<T, decltype(lc)::value>(
+              std::span<const T>(sc.a), std::span<T>(sc.b),
+              std::span<const T>(sc.c)));
+        });
+    return svm::detail::with_lmul(lmul, [&](auto lc) {
+      return split<T, decltype(lc)::value>(pool, src, dst, flags);
+    });
+  } else {
   const std::size_t n = src.size();
   if (dst.size() < n || flags.size() < n) {
     svm::detail::invalid_input("par::split", "operand size mismatch");
@@ -251,13 +334,14 @@ std::size_t split(HartPool& pool, std::span<const T> src, std::span<T> dst,
   });
 
   T total_zeros{};
+  // Combine phase pinned at LMUL=1 (hart-invariant merged counts).
   pool.on_hart(
       0,
       [&] {
-        total_zeros = svm::reduce<svm::PlusOp, T>(std::span<const T>(zeros));
-        svm::plus_scan_exclusive<T>(std::span<T>(zeros));  // zeros -> 0-bucket base
-        svm::plus_scan_exclusive<T>(std::span<T>(ones));
-        svm::p_add<T>(std::span<T>(ones), total_zeros);    // ones -> 1-bucket base
+        total_zeros = svm::reduce<svm::PlusOp, T, 1>(std::span<const T>(zeros));
+        svm::plus_scan_exclusive<T, 1>(std::span<T>(zeros));  // zeros -> 0-bucket base
+        svm::plus_scan_exclusive<T, 1>(std::span<T>(ones));
+        svm::p_add<T, 1>(std::span<T>(ones), total_zeros);    // ones -> 1-bucket base
       },
       detail::checkpoint_both(
           detail::checkpoint_whole(pool, std::span<T>(zeros)),
@@ -289,16 +373,34 @@ std::size_t split(HartPool& pool, std::span<const T> src, std::span<T> dst,
           detail::checkpoint_shards(pool, std::span<T>(i_up), shards)));
 
   return host_total_zeros;
+  }
 }
 
 /// Sharded split radix sort over the low `key_bits` bits (the bounded-key
 /// form the histogram/RLE applications use); key_bits == bit width of T
 /// sorts arbitrary keys.  Structure of apps::split_radix_sort with every
 /// pass sharded: per-shard get_flags, sharded split, buffer swap.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = svm::kTunedLmul>
 void split_radix_sort(HartPool& pool, std::span<T> data, unsigned key_bits) {
   static_assert(std::is_unsigned_v<T>,
                 "split radix sort orders raw key bits; use unsigned keys");
+  if constexpr (LMUL == svm::kTunedLmul) {
+    // One choice covers all passes: measure a representative pass body
+    // (flag probe + stable split) at the shard size.
+    const unsigned lmul = detail::tuned_collective_lmul<T>(
+        pool, tune::Shape::kParSort, data.size(),
+        [&](auto lc, svm::detail::TuneScratch<T>& sc) {
+          svm::get_flags<T, decltype(lc)::value>(std::span<const T>(sc.a),
+                                                 std::span<T>(sc.b), 0);
+          static_cast<void>(svm::split<T, decltype(lc)::value>(
+              std::span<const T>(sc.a), std::span<T>(sc.b),
+              std::span<const T>(sc.c)));
+        });
+    svm::detail::with_lmul(lmul, [&](auto lc) {
+      split_radix_sort<T, decltype(lc)::value>(pool, data, key_bits);
+    });
+    return;
+  } else {
   const std::size_t n = data.size();
   if (n < 2 || key_bits == 0) return;
   if (key_bits > rvv::kSewBits<T>) {
@@ -331,13 +433,14 @@ void split_radix_sort(HartPool& pool, std::span<T> data, unsigned key_bits) {
           data.subspan(shards[s].begin, shards[s].size()));
     });
   }
+  }
 }
 
 /// Full-width sort, matching apps::split_radix_sort for types wide enough to
 /// index the array.  Split computes destination indices in the element type,
 /// so narrow keys on long arrays (the widening path of
 /// apps::split_radix_sort) are rejected here rather than silently wrapped.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = svm::kTunedLmul>
 void split_radix_sort(HartPool& pool, std::span<T> data) {
   if (!data.empty() &&
       data.size() - 1 > static_cast<std::size_t>(std::numeric_limits<T>::max())) {

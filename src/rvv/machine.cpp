@@ -1,6 +1,11 @@
 #include "rvv/machine.hpp"
 
+#include <array>
+#include <atomic>
 #include <bit>
+#include <mutex>
+
+#include "rvv/reconfigure.hpp"
 
 namespace rvvsvm::rvv {
 
@@ -8,7 +13,44 @@ namespace {
 
 thread_local Machine* g_active_machine = nullptr;
 
+// Reconfiguration fan-out: an append-only fixed table keeps notification
+// lock-free and noexcept (it runs inside invalidate_exec_caches()).  The
+// count is released after the slot write so a concurrent notifier never
+// reads a half-registered entry.
+constexpr std::size_t kMaxReconfigureHooks = 8;
+std::array<std::atomic<ReconfigureHook>, kMaxReconfigureHooks> g_hooks{};
+std::atomic<std::size_t> g_hook_count{0};
+std::atomic<std::uint64_t> g_reconfigure_epoch{1};
+
 }  // namespace
+
+void add_reconfigure_hook(ReconfigureHook hook) {
+  if (hook == nullptr) {
+    throw std::logic_error("add_reconfigure_hook: null hook");
+  }
+  static std::mutex register_mutex;
+  const std::lock_guard<std::mutex> lock(register_mutex);
+  const std::size_t slot = g_hook_count.load(std::memory_order_relaxed);
+  if (slot >= kMaxReconfigureHooks) {
+    throw std::logic_error("add_reconfigure_hook: hook table full");
+  }
+  g_hooks[slot].store(hook, std::memory_order_relaxed);
+  g_hook_count.store(slot + 1, std::memory_order_release);
+}
+
+std::uint64_t reconfigure_epoch() noexcept {
+  return g_reconfigure_epoch.load(std::memory_order_acquire);
+}
+
+void notify_reconfigure() noexcept {
+  g_reconfigure_epoch.fetch_add(1, std::memory_order_acq_rel);
+  const std::size_t count = g_hook_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ReconfigureHook hook = g_hooks[i].load(std::memory_order_relaxed)) {
+      hook();
+    }
+  }
+}
 
 Machine::Machine(Config cfg)
     : cfg_(cfg),

@@ -25,6 +25,7 @@
 
 #include "rvv/config.hpp"
 #include "rvv/decode.hpp"
+#include "rvv/reconfigure.hpp"
 #include "sim/buffer_pool.hpp"
 #include "sim/inst_counter.hpp"
 #include "sim/regfile_model.hpp"
@@ -165,11 +166,14 @@ class Machine {
   /// reconfiguration hook.  Counts never depend on cache contents (trace
   /// deltas are relative), so this is always safe; it exists so long-lived
   /// machines can bound memory and so tests can force cold-cache paths.
+  /// Other layers holding machine-shape-derived state (the autotuner's
+  /// measured-config cache) are notified through rvv/reconfigure.hpp.
   void invalidate_exec_caches() noexcept {
     exec_cache_.invalidate();
     vset_memo_sew_ = 0;
     vset_memo_lmul_ = 0;
     vset_memo_vlmax_ = 0;
+    notify_reconfigure();
   }
 
   /// Iteration brackets for TraceIteration.  Engagement requires the cache

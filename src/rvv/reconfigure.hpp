@@ -1,0 +1,40 @@
+// Machine-reconfiguration notifications.
+//
+// Machine::invalidate_exec_caches() is the reconfiguration point of a
+// long-lived machine: the execution cache and the vsetvl memo are dropped
+// there.  Other layers keep machine-shape-derived state of their own — the
+// autotuner's measured-config cache is the canonical example — and must
+// drop it at the same points, but rvv cannot depend on those layers.  This
+// header inverts the dependency: interested layers register a hook (or poll
+// the epoch counter) and rvv notifies on every reconfiguration.
+//
+// Hooks are process-global, registered once at subsystem start-up, and are
+// never unregistered (registration is append-only into a fixed-capacity
+// table so notification stays lock-free and noexcept).
+#pragma once
+
+#include <cstdint>
+
+namespace rvvsvm::rvv {
+
+/// A reconfiguration callback.  Runs inside invalidate_exec_caches(), which
+/// is noexcept — the hook must not throw.
+using ReconfigureHook = void (*)() noexcept;
+
+/// Register `hook` to run on every machine reconfiguration, process-wide.
+/// Throws std::logic_error when the (fixed-size) hook table is full or the
+/// hook is null.
+void add_reconfigure_hook(ReconfigureHook hook);
+
+/// Monotone counter bumped by every reconfiguration.  Starts at 1 so a
+/// caller-side cached epoch of 0 always reads as stale.  Layers that prefer
+/// polling over callbacks compare this against the epoch they captured when
+/// their derived state was built.
+[[nodiscard]] std::uint64_t reconfigure_epoch() noexcept;
+
+/// Bump the epoch and run the registered hooks.  Called by
+/// Machine::invalidate_exec_caches(); exposed so tests can force a
+/// reconfiguration without constructing a machine.
+void notify_reconfigure() noexcept;
+
+}  // namespace rvvsvm::rvv

@@ -6,6 +6,7 @@
 
 #include "rvv/rvv.hpp"
 #include "sim/scalar_model.hpp"
+#include "svm/tuning.hpp"
 
 namespace rvvsvm::svm::detail {
 

@@ -21,8 +21,20 @@ namespace detail {
 /// `f` is the strip-mined op body; `s` is its exact scalar semantic
 /// (s(a[i], x) == element i of f's result), which the fused trace replay
 /// runs directly over the array once the block's trace is stable.
+/// At LMUL == kTunedLmul (the public kernels' default) the autotuner picks
+/// the register grouping; measurement reuses the caller's own f/s closures
+/// on scratch data, so one head here tunes the whole p_add/p_sub/... family.
 template <rvv::VectorElement T, unsigned LMUL, class F, class S>
 void elementwise_vx(std::span<T> a, T x, F f, S s) {
+  if constexpr (LMUL == kTunedLmul) {
+    tuned_run<T>(
+        tune::Shape::kElementwiseVx, a.size(),
+        [&](auto lc, TuneScratch<T>& sc) {
+          elementwise_vx<T, decltype(lc)::value>(std::span<T>(sc.a), x, f, s);
+        },
+        [&](auto lc) { elementwise_vx<T, decltype(lc)::value>(a, x, f, s); });
+    return;
+  } else {
   svm::detail::stripmine<T, LMUL>(
       a.size(), /*pointer_bumps=*/1,
       [&](std::size_t pos, std::size_t vl) {
@@ -34,10 +46,21 @@ void elementwise_vx(std::span<T> a, T x, F f, S s) {
         T* pa = a.data() + pos;
         for (std::size_t i = 0; i < vl; ++i) pa[i] = s(pa[i], x);
       });
+  }
 }
 
 template <rvv::VectorElement T, unsigned LMUL, class F, class S>
 void elementwise_vv(std::span<T> a, std::span<const T> b, F f, S s) {
+  if constexpr (LMUL == kTunedLmul) {
+    tuned_run<T>(
+        tune::Shape::kElementwiseVv, a.size(),
+        [&](auto lc, TuneScratch<T>& sc) {
+          elementwise_vv<T, decltype(lc)::value>(
+              std::span<T>(sc.a), std::span<const T>(sc.b), f, s);
+        },
+        [&](auto lc) { elementwise_vv<T, decltype(lc)::value>(a, b, f, s); });
+    return;
+  } else {
   if (b.size() < a.size()) detail::invalid_input("elementwise", "operand size mismatch");
   svm::detail::stripmine<T, LMUL>(
       a.size(), /*pointer_bumps=*/2,
@@ -52,6 +75,7 @@ void elementwise_vv(std::span<T> a, std::span<const T> b, F f, S s) {
         const T* pb = b.data() + pos;
         for (std::size_t i = 0; i < vl; ++i) pa[i] = s(pa[i], pb[i]);
       });
+  }
 }
 
 }  // namespace detail
@@ -61,7 +85,7 @@ void elementwise_vv(std::span<T> a, std::span<const T> b, F f, S s) {
 // lane loop evaluates (arith.hpp), so fused trace replay is bit-identical.
 
 /// p-add (vector + scalar broadcast): a[i] += x.  The paper's Listing 4.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_add(std::span<T> a, std::type_identity_t<T> x) {
   detail::elementwise_vx<T, LMUL>(
       a, x,
@@ -70,7 +94,7 @@ void p_add(std::span<T> a, std::type_identity_t<T> x) {
 }
 
 /// p-add (vector + vector): a[i] += b[i].
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_add(std::span<T> a, std::span<const T> b) {
   detail::elementwise_vv<T, LMUL>(
       a, b,
@@ -79,7 +103,7 @@ void p_add(std::span<T> a, std::span<const T> b) {
 }
 
 /// p-sub: a[i] -= x.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_sub(std::span<T> a, std::type_identity_t<T> x) {
   detail::elementwise_vx<T, LMUL>(
       a, x,
@@ -88,7 +112,7 @@ void p_sub(std::span<T> a, std::type_identity_t<T> x) {
 }
 
 /// p-sub: a[i] -= b[i].
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_sub(std::span<T> a, std::span<const T> b) {
   detail::elementwise_vv<T, LMUL>(
       a, b,
@@ -97,7 +121,7 @@ void p_sub(std::span<T> a, std::span<const T> b) {
 }
 
 /// p-multiply: a[i] *= x.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_mul(std::span<T> a, std::type_identity_t<T> x) {
   detail::elementwise_vx<T, LMUL>(
       a, x,
@@ -106,7 +130,7 @@ void p_mul(std::span<T> a, std::type_identity_t<T> x) {
 }
 
 /// p-multiply: a[i] *= b[i].
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_mul(std::span<T> a, std::span<const T> b) {
   detail::elementwise_vv<T, LMUL>(
       a, b,
@@ -115,7 +139,7 @@ void p_mul(std::span<T> a, std::span<const T> b) {
 }
 
 /// p-maximum: a[i] = max(a[i], b[i]).
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_max(std::span<T> a, std::span<const T> b) {
   detail::elementwise_vv<T, LMUL>(
       a, b,
@@ -124,7 +148,7 @@ void p_max(std::span<T> a, std::span<const T> b) {
 }
 
 /// p-minimum: a[i] = min(a[i], b[i]).
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_min(std::span<T> a, std::span<const T> b) {
   detail::elementwise_vv<T, LMUL>(
       a, b,
@@ -133,7 +157,7 @@ void p_min(std::span<T> a, std::span<const T> b) {
 }
 
 /// p-and: a[i] &= b[i].
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_and(std::span<T> a, std::span<const T> b) {
   detail::elementwise_vv<T, LMUL>(
       a, b,
@@ -142,7 +166,7 @@ void p_and(std::span<T> a, std::span<const T> b) {
 }
 
 /// p-or: a[i] |= b[i].
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_or(std::span<T> a, std::span<const T> b) {
   detail::elementwise_vv<T, LMUL>(
       a, b,
@@ -151,7 +175,7 @@ void p_or(std::span<T> a, std::span<const T> b) {
 }
 
 /// p-shift-right (logical): a[i] >>= k.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_shift_right(std::span<T> a, std::type_identity_t<T> k) {
   detail::elementwise_vx<T, LMUL>(
       a, k,
@@ -163,7 +187,7 @@ void p_shift_right(std::span<T> a, std::type_identity_t<T> k) {
 }
 
 /// p-shift-left: a[i] <<= k.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_shift_left(std::span<T> a, std::type_identity_t<T> k) {
   detail::elementwise_vx<T, LMUL>(
       a, k,
@@ -176,7 +200,7 @@ void p_shift_left(std::span<T> a, std::type_identity_t<T> k) {
 }
 
 /// p-xor: a[i] ^= b[i].
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_xor(std::span<T> a, std::span<const T> b) {
   detail::elementwise_vv<T, LMUL>(
       a, b,
@@ -189,13 +213,13 @@ void p_xor(std::span<T> a, std::span<const T> b) {
 /// This is the offset-fixup step of two-level scans: after each shard is
 /// scanned locally, the exclusive scan of the shard totals is folded into
 /// every element of the shard with one elementwise pass.
-template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+template <class Op, rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_combine(std::span<T> a, std::type_identity_t<T> x) {
   detail::elementwise_vx<T, LMUL>(
       a, x,
-      [](const auto& va, T xx, std::size_t vl) {
-        return Op::template vx<T, LMUL>(va, xx, vl);
-      },
+      // vreg deduces T and the (tuner-resolved) LMUL; naming LMUL here would
+      // pin the sentinel.
+      [](const auto& va, T xx, std::size_t vl) { return Op::vx(va, xx, vl); },
       // vx computes x ⊕ a[i]: the scalar is the earlier operand.
       [](T ai, T xx) { return Op::scalar(xx, ai); });
 }
@@ -203,8 +227,19 @@ void p_combine(std::span<T> a, std::type_identity_t<T> x) {
 /// p-select, the conditional move of the scan vector model with the paper's
 /// split-operation signature: where flags[i] is non-zero, dst[i] is replaced
 /// by if_true[i]; elsewhere dst keeps its value.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_select(std::span<const T> flags, std::span<const T> if_true, std::span<T> dst) {
+  if constexpr (LMUL == kTunedLmul) {
+    detail::tuned_run<T>(
+        tune::Shape::kSelect, dst.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          p_select<T, decltype(lc)::value>(std::span<const T>(sc.a),
+                                           std::span<const T>(sc.b),
+                                           std::span<T>(sc.c));
+        },
+        [&](auto lc) { p_select<T, decltype(lc)::value>(flags, if_true, dst); });
+    return;
+  } else {
   if (flags.size() < dst.size() || if_true.size() < dst.size()) {
     detail::invalid_input("p_select", "operand size mismatch");
   }
@@ -226,6 +261,7 @@ void p_select(std::span<const T> flags, std::span<const T> if_true, std::span<T>
           if (pf[i] != T{0}) pd[i] = pt[i];
         }
       });
+  }
 }
 
 namespace detail {
@@ -235,6 +271,19 @@ namespace detail {
 template <rvv::VectorElement T, unsigned LMUL, class Cmp, class SCmp>
 void flag_compare(std::span<const T> a, std::span<const T> b, std::span<T> dst,
                   Cmp cmp, SCmp scmp) {
+  if constexpr (LMUL == kTunedLmul) {
+    tuned_run<T>(
+        tune::Shape::kFlagVv, a.size(),
+        [&](auto lc, TuneScratch<T>& sc) {
+          flag_compare<T, decltype(lc)::value>(std::span<const T>(sc.a),
+                                               std::span<const T>(sc.b),
+                                               std::span<T>(sc.c), cmp, scmp);
+        },
+        [&](auto lc) {
+          flag_compare<T, decltype(lc)::value>(a, b, dst, cmp, scmp);
+        });
+    return;
+  } else {
   if (b.size() < a.size() || dst.size() < a.size()) {
     detail::invalid_input("p_flag", "operand size mismatch");
   }
@@ -255,6 +304,7 @@ void flag_compare(std::span<const T> a, std::span<const T> b, std::span<T> dst,
         T* pd = dst.data() + pos;
         for (std::size_t i = 0; i < vl; ++i) pd[i] = scmp(pa[i], pb[i]) ? T{1} : T{0};
       });
+  }
 }
 
 }  // namespace detail
@@ -262,28 +312,28 @@ void flag_compare(std::span<const T> a, std::span<const T> b, std::span<T> dst,
 /// Comparison flags (Blelloch's elementwise predicates): dst[i] = 1 when the
 /// relation holds between a[i] and b[i], else 0 — producing the 0/1 flag
 /// vectors that enumerate/split/segmented kernels consume.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_flag_lt(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
   detail::flag_compare<T, LMUL>(
       a, b, dst,
       [](const auto& x, const auto& y, std::size_t vl) { return rvv::vmslt(x, y, vl); },
       [](T x, T y) { return x < y; });
 }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_flag_eq(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
   detail::flag_compare<T, LMUL>(
       a, b, dst,
       [](const auto& x, const auto& y, std::size_t vl) { return rvv::vmseq(x, y, vl); },
       [](T x, T y) { return x == y; });
 }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_flag_gt(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
   detail::flag_compare<T, LMUL>(
       a, b, dst,
       [](const auto& x, const auto& y, std::size_t vl) { return rvv::vmsgt(x, y, vl); },
       [](T x, T y) { return x > y; });
 }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_flag_ne(std::span<const T> a, std::span<const T> b, std::span<T> dst) {
   detail::flag_compare<T, LMUL>(
       a, b, dst,
@@ -296,6 +346,18 @@ namespace detail {
 template <rvv::VectorElement T, unsigned LMUL, class Cmp, class SCmp>
 void flag_compare_vx(std::span<const T> a, T x, std::span<T> dst, Cmp cmp,
                      SCmp scmp) {
+  if constexpr (LMUL == kTunedLmul) {
+    tuned_run<T>(
+        tune::Shape::kFlagVx, a.size(),
+        [&](auto lc, TuneScratch<T>& sc) {
+          flag_compare_vx<T, decltype(lc)::value>(
+              std::span<const T>(sc.a), x, std::span<T>(sc.b), cmp, scmp);
+        },
+        [&](auto lc) {
+          flag_compare_vx<T, decltype(lc)::value>(a, x, dst, cmp, scmp);
+        });
+    return;
+  } else {
   if (dst.size() < a.size()) detail::invalid_input("p_flag", "dst too small");
   stripmine<T, LMUL>(
       a.size(), /*pointer_bumps=*/2,
@@ -311,27 +373,28 @@ void flag_compare_vx(std::span<const T> a, T x, std::span<T> dst, Cmp cmp,
         T* pd = dst.data() + pos;
         for (std::size_t i = 0; i < vl; ++i) pd[i] = scmp(pa[i], x) ? T{1} : T{0};
       });
+  }
 }
 
 }  // namespace detail
 
 /// Scalar-comparand flags: dst[i] = 1 when the relation holds between a[i]
 /// and x (thresholding, pivot comparisons).
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_flag_gt(std::span<const T> a, std::type_identity_t<T> x, std::span<T> dst) {
   detail::flag_compare_vx<T, LMUL>(
       a, x, dst,
       [](const auto& v, T xx, std::size_t vl) { return rvv::vmsgt(v, xx, vl); },
       [](T e, T xx) { return e > xx; });
 }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_flag_lt(std::span<const T> a, std::type_identity_t<T> x, std::span<T> dst) {
   detail::flag_compare_vx<T, LMUL>(
       a, x, dst,
       [](const auto& v, T xx, std::size_t vl) { return rvv::vmslt(v, xx, vl); },
       [](T e, T xx) { return e < xx; });
 }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_flag_eq(std::span<const T> a, std::type_identity_t<T> x, std::span<T> dst) {
   detail::flag_compare_vx<T, LMUL>(
       a, x, dst,
@@ -370,8 +433,18 @@ void p_convert(std::span<const From> src, std::span<To> dst) {
 }
 
 /// Elementwise copy (the model's move instruction): dst[i] = src[i].
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void p_copy(std::span<const T> src, std::span<T> dst) {
+  if constexpr (LMUL == kTunedLmul) {
+    detail::tuned_run<T>(
+        tune::Shape::kCopy, dst.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          p_copy<T, decltype(lc)::value>(std::span<const T>(sc.a),
+                                         std::span<T>(sc.b));
+        },
+        [&](auto lc) { p_copy<T, decltype(lc)::value>(src, dst); });
+    return;
+  } else {
   if (src.size() < dst.size()) detail::invalid_input("p_copy", "source too short");
   detail::stripmine<T, LMUL>(
       dst.size(), /*pointer_bumps=*/2,
@@ -384,6 +457,7 @@ void p_copy(std::span<const T> src, std::span<T> dst) {
         T* pd = dst.data() + pos;
         for (std::size_t i = 0; i < vl; ++i) pd[i] = ps[i];
       });
+  }
 }
 
 }  // namespace rvvsvm::svm

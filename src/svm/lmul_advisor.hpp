@@ -35,24 +35,46 @@ struct LmulAdvice {
   }
 }
 
-/// Recommend the largest LMUL whose register-group demand still fits the
-/// file for a kernel keeping `live_vector_values` vector values (plus masks
-/// in v0) live at once, processing n elements of type T.
+/// Recommend an LMUL for a kernel keeping `live_vector_values` vector
+/// values (plus masks in v0) live at once, processing n elements of type T.
+/// Two forces, per the paper's section 6.3:
+///   * register pressure caps LMUL from above — pick the largest LMUL whose
+///     register-group demand still fits the file;
+///   * the array length caps it from below — when a smaller LMUL already
+///     covers all n elements in a single strip (n <= VLMAX at that LMUL),
+///     a larger group only widens the registers without saving a single
+///     vsetvl, so the advisor clamps down to the smallest covering LMUL.
+/// n == 0 ("length unknown / streaming") skips the clamp and returns the
+/// pressure-fitted LMUL alone.
 ///
-/// Examples from this library: p-add keeps 1 live value -> LMUL 8;
-/// unsegmented scan keeps 3 -> LMUL 8 (just fits); segmented scan keeps ~6
-/// -> LMUL 4, which is exactly where its measured sweet spot sits
-/// (Table 5 / bench/table5_lmul_sweep).
+/// Examples from this library: p-add keeps 1 live value -> LMUL 8 for large
+/// n, but LMUL 1 when n fits one LMUL=1 strip; unsegmented scan keeps 3 ->
+/// LMUL 8 (just fits); segmented scan keeps ~6 -> LMUL 4, which is exactly
+/// where its measured sweet spot sits (Table 5 / bench/table5_lmul_sweep).
 template <rvv::VectorElement T>
 [[nodiscard]] constexpr LmulAdvice recommend_lmul(std::size_t n, unsigned vlen_bits,
                                                   unsigned live_vector_values) noexcept {
   LmulAdvice advice;
   advice.lmul = 1;
   advice.spills_unavoidable = live_vector_values > allocatable_groups(1);
+  unsigned fitted = 1;
   for (const unsigned lmul : {8u, 4u, 2u, 1u}) {
     if (live_vector_values <= allocatable_groups(lmul)) {
-      advice.lmul = lmul;
+      fitted = lmul;
       break;
+    }
+  }
+  advice.lmul = fitted;
+  // Small-n clamp: the smallest LMUL (no wider than the fitted one) that
+  // already covers n in one strip wins — same iteration count, narrower
+  // register groups.
+  if (n != 0) {
+    for (const unsigned lmul : {1u, 2u, 4u}) {
+      if (lmul >= fitted) break;
+      if (n <= rvv::vlmax_for(vlen_bits, rvv::kSewBits<T>, lmul)) {
+        advice.lmul = lmul;
+        break;
+      }
     }
   }
   const std::size_t vlmax = rvv::vlmax_for(vlen_bits, rvv::kSewBits<T>, advice.lmul);

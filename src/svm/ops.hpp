@@ -16,8 +16,19 @@ namespace rvvsvm::svm {
 /// flags[j] == set_bit; returns the total count of such positions.  The
 /// flags vector must contain only 0 and 1.  Maps to viota per block with the
 /// running count propagated through vcpop, exactly as the paper optimizes it.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 std::size_t enumerate(std::span<const T> flags, std::span<T> dst, bool set_bit) {
+  if constexpr (LMUL == kTunedLmul) {
+    return detail::tuned_run<T>(
+        tune::Shape::kEnumerate, flags.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          static_cast<void>(enumerate<T, decltype(lc)::value>(
+              std::span<const T>(sc.a), std::span<T>(sc.b), set_bit));
+        },
+        [&](auto lc) {
+          return enumerate<T, decltype(lc)::value>(flags, dst, set_bit);
+        });
+  } else {
   if (dst.size() < flags.size()) detail::invalid_input("enumerate", "dst too small");
   rvv::Machine& m = rvv::Machine::active();
   // The per-element offsets wrap in T (they feed T-wide destination indices),
@@ -39,11 +50,22 @@ std::size_t enumerate(std::span<const T> flags, std::span<T> dst, bool set_bit) 
                                m.scalar().charge({.alu = 1});  // count += vcpop
                              });
   return total;
+  }
 }
 
 /// get_flags: flags[i] = bit `bit` of src[i] (the radix sort key probe).
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void get_flags(std::span<const T> src, std::span<T> flags, unsigned bit) {
+  if constexpr (LMUL == kTunedLmul) {
+    detail::tuned_run<T>(
+        tune::Shape::kGetFlags, src.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          get_flags<T, decltype(lc)::value>(std::span<const T>(sc.a),
+                                            std::span<T>(sc.b), 0);
+        },
+        [&](auto lc) { get_flags<T, decltype(lc)::value>(src, flags, bit); });
+    return;
+  } else {
   if (flags.size() < src.size()) detail::invalid_input("get_flags", "flags too small");
   detail::stripmine<T, LMUL>(src.size(), /*pointer_bumps=*/2,
                              [&](std::size_t pos, std::size_t vl) {
@@ -52,14 +74,27 @@ void get_flags(std::span<const T> src, std::span<T> flags, unsigned bit) {
                                v = rvv::vand(v, T{1}, vl);
                                rvv::vse(flags.subspan(pos), v, vl);
                              });
+  }
 }
 
 /// split (paper Listing 7 / Figure 3): stable-partitions src into dst by
 /// flag value — elements with flag 0 first (original order preserved),
 /// then elements with flag 1.  Returns the number of 0-flagged elements.
 /// `flags` must contain only 0 and 1.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 std::size_t split(std::span<const T> src, std::span<T> dst, std::span<const T> flags) {
+  if constexpr (LMUL == kTunedLmul) {
+    return detail::tuned_run<T>(
+        tune::Shape::kSplit, src.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          // Representative n never exceeds the caller's n, so the scratch
+          // run passes the same index-overflow guard the real call will.
+          static_cast<void>(split<T, decltype(lc)::value>(
+              std::span<const T>(sc.a), std::span<T>(sc.b),
+              std::span<const T>(sc.c)));
+        },
+        [&](auto lc) { return split<T, decltype(lc)::value>(src, dst, flags); });
+  } else {
   const std::size_t n = src.size();
   if (dst.size() < n || flags.size() < n) {
     detail::invalid_input("split", "operand size mismatch");
@@ -79,9 +114,12 @@ std::size_t split(std::span<const T> src, std::span<T> dst, std::span<const T> f
   p_select<T, LMUL>(flags, std::span<const T>(i_up), std::span<T>(i_down));
   permute<T, LMUL>(src, dst, std::span<const T>(i_down));
   return count;
+  }
 }
 
-/// index (Blelloch's index instruction): dst[i] = start + i.
+/// index (Blelloch's index instruction): dst[i] = start + i.  A pure
+/// generator with one stream; kept at a pinned LMUL (tuning has nothing to
+/// trade off against register pressure here).
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void index_fill(std::span<T> dst, std::type_identity_t<T> start = T{0}) {
   detail::stripmine<T, LMUL>(dst.size(), /*pointer_bumps=*/1,

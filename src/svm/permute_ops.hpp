@@ -19,8 +19,21 @@ namespace rvvsvm::svm {
 /// [0, n) for a full permute; duplicate indices follow the ISA's
 /// unordered-scatter semantics (last writer in element order wins in this
 /// emulator, as on in-order implementations).
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void permute(std::span<const T> src, std::span<T> dst, std::span<const T> index) {
+  if constexpr (LMUL == kTunedLmul) {
+    detail::tuned_run<T>(
+        tune::Shape::kPermute, src.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          // All-zero indices collide but follow the documented
+          // unordered-scatter semantics; counts are shape-deterministic.
+          permute<T, decltype(lc)::value>(std::span<const T>(sc.a),
+                                          std::span<T>(sc.b),
+                                          std::span<const T>(sc.c));
+        },
+        [&](auto lc) { permute<T, decltype(lc)::value>(src, dst, index); });
+    return;
+  } else {
   if (index.size() < src.size()) detail::invalid_input("permute", "index too short");
   detail::stripmine<T, LMUL>(src.size(), /*pointer_bumps=*/2,
                              [&](std::size_t pos, std::size_t vl) {
@@ -28,10 +41,12 @@ void permute(std::span<const T> src, std::span<T> dst, std::span<const T> index)
                                auto vi = rvv::vle<T, LMUL>(index.subspan(pos), vl);
                                rvv::vsuxei(dst, vi, vs, vl);
                              });
+  }
 }
 
 /// Masked permute: scatters only elements whose flag is non-zero.  Used by
-/// the split-and-segment building blocks.
+/// the split-and-segment building blocks, which pin their own LMUL — so this
+/// keeps a pinned default instead of a tuned head.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void permute_masked(std::span<const T> src, std::span<T> dst,
                     std::span<const T> index, std::span<const T> flags) {
@@ -49,8 +64,19 @@ void permute_masked(std::span<const T> src, std::span<T> dst,
 }
 
 /// gather (back-permute): dst[i] = src[index[i]] via the indexed load.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void gather(std::span<const T> src, std::span<T> dst, std::span<const T> index) {
+  if constexpr (LMUL == kTunedLmul) {
+    detail::tuned_run<T>(
+        tune::Shape::kGather, dst.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          gather<T, decltype(lc)::value>(std::span<const T>(sc.a),
+                                         std::span<T>(sc.b),
+                                         std::span<const T>(sc.c));
+        },
+        [&](auto lc) { gather<T, decltype(lc)::value>(src, dst, index); });
+    return;
+  } else {
   if (index.size() < dst.size()) detail::invalid_input("gather", "index too short");
   detail::stripmine<T, LMUL>(dst.size(), /*pointer_bumps=*/2,
                              [&](std::size_t pos, std::size_t vl) {
@@ -58,14 +84,27 @@ void gather(std::span<const T> src, std::span<T> dst, std::span<const T> index) 
                                auto vd = rvv::vluxei(src, vi, vl);
                                rvv::vse(dst.subspan(pos), vd, vl);
                              });
+  }
 }
 
 /// pack: moves the elements of src whose flag is non-zero, in order, to the
 /// front of dst.  Returns the number of packed elements.  Uses vcompress
 /// per block plus vcpop to advance the output cursor.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 [[nodiscard]] std::size_t pack(std::span<const T> src, std::span<T> dst,
                                std::span<const T> flags) {
+  if constexpr (LMUL == kTunedLmul) {
+    return detail::tuned_run<T>(
+        tune::Shape::kPack, src.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          // Zero flags pack nothing; the cursor stays at 0 and dst is never
+          // too small.  vcompress/vcpop are still charged per block.
+          static_cast<void>(pack<T, decltype(lc)::value>(
+              std::span<const T>(sc.a), std::span<T>(sc.b),
+              std::span<const T>(sc.c)));
+        },
+        [&](auto lc) { return pack<T, decltype(lc)::value>(src, dst, flags); });
+  } else {
   if (flags.size() < src.size()) detail::invalid_input("pack", "flags too short");
   rvv::Machine& m = rvv::Machine::active();
   std::size_t out = 0;
@@ -89,10 +128,12 @@ template <rvv::VectorElement T, unsigned LMUL = 1>
                                m.scalar().charge({.alu = 1});  // cursor bump
                              });
   return out;
+  }
 }
 
 /// reverse: dst[i] = src[n-1-i], built from vid + vrsub + indexed store —
 /// the standard scan-vector-model way to express a reversal as a permute.
+/// Only called from composites that pin their LMUL, so no tuned head.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void reverse(std::span<const T> src, std::span<T> dst) {
   if (dst.size() < src.size()) detail::invalid_input("reverse", "destination too small");

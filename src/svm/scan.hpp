@@ -48,8 +48,17 @@ template <class Op, rvv::VectorElement T, unsigned LMUL>
 /// operators are exactly associative on their integer element types and
 /// the identity is two-sided — the kernel contract stripmine documents,
 /// and the fuzz oracle's trace layer checks.
-template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+template <class Op, rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void scan_inclusive(std::span<T> data) {
+  if constexpr (LMUL == kTunedLmul) {
+    detail::tuned_run<T>(
+        tune::Shape::kScanInclusive, data.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          scan_inclusive<Op, T, decltype(lc)::value>(std::span<T>(sc.a));
+        },
+        [&](auto lc) { scan_inclusive<Op, T, decltype(lc)::value>(data); });
+    return;
+  } else {
   rvv::Machine& m = rvv::Machine::active();
   T carry = Op::template identity<T>();
   detail::stripmine<T, LMUL>(
@@ -72,6 +81,7 @@ void scan_inclusive(std::span<T> data) {
         }
         carry = p[vl - 1];
       });
+  }
 }
 
 /// Exclusive Op-scan, in place: result[0] = I, result[i] = scan of a[0..i).
@@ -79,8 +89,17 @@ void scan_inclusive(std::span<T> data) {
 /// vslide1up that injects the incoming carry; the outgoing carry is read
 /// from the inclusive block tail with vslidedown + vmv.x.s so no extra
 /// memory traffic is needed.
-template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+template <class Op, rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void scan_exclusive(std::span<T> data) {
+  if constexpr (LMUL == kTunedLmul) {
+    detail::tuned_run<T>(
+        tune::Shape::kScanExclusive, data.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          scan_exclusive<Op, T, decltype(lc)::value>(std::span<T>(sc.a));
+        },
+        [&](auto lc) { scan_exclusive<Op, T, decltype(lc)::value>(data); });
+    return;
+  } else {
   rvv::Machine& m = rvv::Machine::active();
   T carry = Op::template identity<T>();
   detail::stripmine<T, LMUL>(
@@ -110,30 +129,40 @@ void scan_exclusive(std::span<T> data) {
         }
         carry = Op::template scalar<T>(carry, run);
       });
+  }
 }
 
 /// The named forms of the paper and of Blelloch's model.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void plus_scan(std::span<T> data) { scan_inclusive<PlusOp, T, LMUL>(data); }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void plus_scan_exclusive(std::span<T> data) { scan_exclusive<PlusOp, T, LMUL>(data); }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void max_scan(std::span<T> data) { scan_inclusive<MaxOp, T, LMUL>(data); }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void max_scan_exclusive(std::span<T> data) { scan_exclusive<MaxOp, T, LMUL>(data); }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void min_scan(std::span<T> data) { scan_inclusive<MinOp, T, LMUL>(data); }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void or_scan(std::span<T> data) { scan_inclusive<OrOp, T, LMUL>(data); }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void and_scan(std::span<T> data) { scan_inclusive<AndOp, T, LMUL>(data); }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void xor_scan(std::span<T> data) { scan_inclusive<XorOp, T, LMUL>(data); }
 
 /// Whole-array reduction via vredsum per block (the model's reduce
 /// instruction; also the total the enumerate operation returns).
-template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+template <class Op, rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 [[nodiscard]] T reduce(std::span<const T> data) {
+  if constexpr (LMUL == kTunedLmul) {
+    return detail::tuned_run<T>(
+        tune::Shape::kReduce, data.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          static_cast<void>(
+              reduce<Op, T, decltype(lc)::value>(std::span<const T>(sc.a)));
+        },
+        [&](auto lc) { return reduce<Op, T, decltype(lc)::value>(data); });
+  } else {
   T acc = Op::template identity<T>();
   detail::stripmine<T, LMUL>(
       data.size(), /*pointer_bumps=*/1,
@@ -162,6 +191,7 @@ template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
         }
       });
   return acc;
+  }
 }
 
 }  // namespace rvvsvm::svm

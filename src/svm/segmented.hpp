@@ -54,8 +54,21 @@ template <class Op, rvv::VectorElement T, unsigned LMUL>
 }  // namespace detail
 
 /// Inclusive segmented Op-scan, in place.  head_flags[i] must be 0 or 1.
-template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+template <class Op, rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void seg_scan_inclusive(std::span<T> data, std::span<const T> head_flags) {
+  if constexpr (LMUL == kTunedLmul) {
+    detail::tuned_run<T>(
+        tune::Shape::kSegScanInclusive, data.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          // All-zero flags are legal: element 0 always starts a segment.
+          seg_scan_inclusive<Op, T, decltype(lc)::value>(
+              std::span<T>(sc.a), std::span<const T>(sc.b));
+        },
+        [&](auto lc) {
+          seg_scan_inclusive<Op, T, decltype(lc)::value>(data, head_flags);
+        });
+    return;
+  } else {
   if (head_flags.size() < data.size()) {
     detail::invalid_input("seg_scan", "head_flags shorter than data");
   }
@@ -74,22 +87,23 @@ void seg_scan_inclusive(std::span<T> data, std::span<const T> head_flags) {
         carry = data[pos + vl - 1];  // Listing 10 line 33
         m.scalar().charge({.alu = 1, .load = 1});
       });
+  }
 }
 
 /// The paper's segmented plus-scan (Listing 10) and friends.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void seg_plus_scan(std::span<T> data, std::span<const T> head_flags) {
   seg_scan_inclusive<PlusOp, T, LMUL>(data, head_flags);
 }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void seg_max_scan(std::span<T> data, std::span<const T> head_flags) {
   seg_scan_inclusive<MaxOp, T, LMUL>(data, head_flags);
 }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void seg_min_scan(std::span<T> data, std::span<const T> head_flags) {
   seg_scan_inclusive<MinOp, T, LMUL>(data, head_flags);
 }
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void seg_or_scan(std::span<T> data, std::span<const T> head_flags) {
   seg_scan_inclusive<OrOp, T, LMUL>(data, head_flags);
 }
@@ -100,8 +114,20 @@ void seg_or_scan(std::span<T> data, std::span<const T> head_flags) {
 /// not: each block computes the inclusive in-register scan, derives the
 /// exclusive form with one vslide1up that injects the incoming carry, and
 /// forces segment heads to the identity with vmerge.
-template <class Op, rvv::VectorElement T, unsigned LMUL = 1>
+template <class Op, rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void seg_scan_exclusive(std::span<T> data, std::span<const T> head_flags) {
+  if constexpr (LMUL == kTunedLmul) {
+    detail::tuned_run<T>(
+        tune::Shape::kSegScanExclusive, data.size(),
+        [&](auto lc, detail::TuneScratch<T>& sc) {
+          seg_scan_exclusive<Op, T, decltype(lc)::value>(
+              std::span<T>(sc.a), std::span<const T>(sc.b));
+        },
+        [&](auto lc) {
+          seg_scan_exclusive<Op, T, decltype(lc)::value>(data, head_flags);
+        });
+    return;
+  } else {
   if (head_flags.size() < data.size()) {
     detail::invalid_input("seg_scan_exclusive", "head_flags shorter than data");
   }
@@ -127,12 +153,13 @@ void seg_scan_exclusive(std::span<T> data, std::span<const T> head_flags) {
         carry = next_carry;
         m.scalar().charge({.alu = 1});
       });
+  }
 }
 
 /// Exclusive segmented plus-scan, in place (the form split-and-segment
 /// algorithms rank with).  `scratch` is retained for API compatibility with
 /// the subtraction-based implementation; it is no longer read.
-template <rvv::VectorElement T, unsigned LMUL = 1>
+template <rvv::VectorElement T, unsigned LMUL = kTunedLmul>
 void seg_plus_scan_exclusive(std::span<T> data, std::span<const T> head_flags,
                              std::span<T> scratch) {
   static_cast<void>(scratch);
@@ -144,7 +171,8 @@ void seg_plus_scan_exclusive(std::span<T> data, std::span<const T> head_flags,
 /// broadcast in quicksort).  Implemented as an inclusive segmented max-scan
 /// over a vector that holds the head values and the minimum element
 /// elsewhere; correct for any element type because non-head positions are
-/// first forced to the operator identity.
+/// first forced to the operator identity.  Composed from tuned primitives;
+/// its own LMUL only shapes the flag-fixup pass, so it stays pinned at 1.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void seg_distribute(std::span<T> data, std::span<const T> head_flags) {
   if (head_flags.size() < data.size()) {
@@ -171,7 +199,8 @@ void seg_distribute(std::span<T> data, std::span<const T> head_flags) {
 /// the whole segment.  Composed from the model's own primitives — reverse
 /// the data and the (tail-derived) flags, distribute, reverse back — the way
 /// Blelloch expresses backward propagation.  Used to broadcast per-segment
-/// totals (e.g. partition counts in quicksort).
+/// totals (e.g. partition counts in quicksort).  Composed from other
+/// primitives, so it keeps a pinned LMUL instead of a tuned head.
 template <rvv::VectorElement T, unsigned LMUL = 1>
 void seg_broadcast_tail(std::span<T> data, std::span<const T> head_flags) {
   const std::size_t n = data.size();

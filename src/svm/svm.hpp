@@ -5,8 +5,12 @@
 //   rvv::Machine machine({.vlen_bits = 1024});
 //   rvv::MachineScope scope(machine);
 //   std::vector<uint32_t> v = ...;
-//   svm::plus_scan<uint32_t>(v);                 // LMUL=1
-//   svm::plus_scan<uint32_t, 4>(v);              // LMUL=4 (section 6.3)
+//   svm::plus_scan<uint32_t>(v);                 // autotuned LMUL (tune::AutoTuner)
+//   svm::plus_scan<uint32_t, 4>(v);              // explicit LMUL=4 (section 6.3)
+//
+// The default LMUL is the autotuner's pick for the calling machine's
+// (shape, n, SEW, VLEN) — set RVVSVM_AUTOTUNE=0 to fall back to the old
+// static LMUL=1 default, or pass an explicit LMUL to pin a kernel.
 #pragma once
 
 #include "svm/elementwise.hpp"  // IWYU pragma: export

@@ -84,7 +84,7 @@ TableData table2_p_add() {
 
     auto vec_out = data;
     const std::uint64_t vec = count_instructions(1024, [&] {
-      svm::p_add<T>(std::span<T>(vec_out), 123u);
+      svm::p_add<T, 1>(std::span<T>(vec_out), 123u);
     });
 
     auto base_out = data;
@@ -109,7 +109,7 @@ TableData table3_plus_scan() {
 
     auto vec_out = data;
     const std::uint64_t vec = count_instructions(1024, [&] {
-      svm::plus_scan<T>(std::span<T>(vec_out));
+      svm::plus_scan<T, 1>(std::span<T>(vec_out));
     });
 
     auto base_out = data;
@@ -135,7 +135,7 @@ TableData table4_seg_plus_scan() {
 
     auto vec_out = data;
     const std::uint64_t vec = count_instructions(1024, [&] {
-      svm::seg_plus_scan<T>(std::span<T>(vec_out), std::span<const T>(flags));
+      svm::seg_plus_scan<T, 1>(std::span<T>(vec_out), std::span<const T>(flags));
     });
 
     auto base_out = data;
@@ -189,11 +189,11 @@ TableData table7_vlen_sweep() {
   for (const unsigned vlen : kVlens) {
     auto data = workloads::seg_input(kN);
     const std::uint64_t seg = count_instructions(vlen, [&] {
-      svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
+      svm::seg_plus_scan<T, 1>(std::span<T>(data), std::span<const T>(flags));
     });
     auto data2 = workloads::seg_input(kN);
     const std::uint64_t padd = count_instructions(vlen, [&] {
-      svm::p_add<T>(std::span<T>(data2), 123u);
+      svm::p_add<T, 1>(std::span<T>(data2), 123u);
     });
     t.rows.push_back(make_row("vlen_scaling", kN, vlen, 1,
                               {{"seg_plus_scan", seg}, {"p_add", padd}}));
@@ -360,13 +360,13 @@ TableData ablation_enumerate() {
 
     std::vector<T> dst(flags.size());
     const std::uint64_t fast = count_instructions(1024, [&] {
-      static_cast<void>(svm::enumerate<T>(std::span<const T>(flags),
-                                          std::span<T>(dst), true));
+      static_cast<void>(svm::enumerate<T, 1>(std::span<const T>(flags),
+                                             std::span<T>(dst), true));
     });
 
     auto generic = flags;
     const std::uint64_t slow = count_instructions(1024, [&] {
-      svm::plus_scan_exclusive<T>(std::span<T>(generic));
+      svm::plus_scan_exclusive<T, 1>(std::span<T>(generic));
     });
 
     t.rows.push_back(make_row("enumerate", n, 1024, 1,
@@ -427,7 +427,7 @@ TableData extension_seg_density() {
 
     auto data = workloads::density_input(kN);
     const std::uint64_t vec = count_instructions(1024, [&] {
-      svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
+      svm::seg_plus_scan<T, 1>(std::span<T>(data), std::span<const T>(flags));
     });
     auto base_data = workloads::density_input(kN);
     const std::uint64_t base = count_instructions(1024, [&] {
@@ -553,10 +553,10 @@ TableData par_parity() {
   {
     rvv::Machine machine(rvv::Machine::Config{.vlen_bits = 1024});
     rvv::MachineScope scope(machine);
-    svm::plus_scan<T>(std::span<T>(scan_ref));
-    static_cast<void>(svm::split<T>(std::span<const T>(split_src),
-                                    std::span<T>(split_ref),
-                                    std::span<const T>(split_fl)));
+    svm::plus_scan<T, 1>(std::span<T>(scan_ref));
+    static_cast<void>(svm::split<T, 1>(std::span<const T>(split_src),
+                                       std::span<T>(split_ref),
+                                       std::span<const T>(split_fl)));
     apps::split_radix_sort<T>(std::span<T>(sort_ref));
   }
 
@@ -568,21 +568,21 @@ TableData par_parity() {
       {"plus_scan",
        [&](par::HartPool& pool) {
          auto data = workloads::scan_input(kN);
-         par::plus_scan<T>(pool, std::span<T>(data));
+         par::plus_scan<T, 1>(pool, std::span<T>(data));
          if (data != scan_ref) result_mismatch("par_parity", "plus_scan", kN);
        }},
       {"split",
        [&](par::HartPool& pool) {
          std::vector<T> dst(kN);
-         static_cast<void>(par::split<T>(pool, std::span<const T>(split_src),
-                                         std::span<T>(dst),
-                                         std::span<const T>(split_fl)));
+         static_cast<void>(par::split<T, 1>(pool, std::span<const T>(split_src),
+                                            std::span<T>(dst),
+                                            std::span<const T>(split_fl)));
          if (dst != split_ref) result_mismatch("par_parity", "split", kN);
        }},
       {"split_radix_sort",
        [&](par::HartPool& pool) {
          auto data = workloads::sort_keys(kN);
-         par::split_radix_sort<T>(pool, std::span<T>(data));
+         par::split_radix_sort<T, 1>(pool, std::span<T>(data));
          if (data != sort_ref) result_mismatch("par_parity", "radix sort", kN);
        }},
   }};

@@ -1,0 +1,257 @@
+#include "tune/cost_model.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rvv/config.hpp"
+
+namespace rvvsvm::tune {
+
+namespace {
+
+// A deliberately small recursive-descent JSON reader: the tables/ JSON
+// helpers live above svm in the dependency graph (tables links svm links
+// tune), so the tuner carries its own parser for the one fixed document
+// shape it loads.  It understands exactly what cost-model files contain —
+// objects, arrays, numbers, strings — and rejects everything else.
+class JsonReader {
+ public:
+  explicit JsonReader(std::istream& is) : is_(is) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (get() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (is_.peek() == c) {
+      get();
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const int ch = get();
+      if (ch == '"') return out;
+      if (ch == '\\') {
+        const int esc = get();
+        if (esc != '"' && esc != '\\' && esc != '/') fail("unsupported escape");
+        out.push_back(static_cast<char>(esc));
+        continue;
+      }
+      out.push_back(static_cast<char>(ch));
+    }
+  }
+
+  [[nodiscard]] double parse_number() {
+    skip_ws();
+    std::string text;
+    while (is_good()) {
+      const int ch = is_.peek();
+      if (ch == '-' || ch == '+' || ch == '.' || ch == 'e' || ch == 'E' ||
+          (ch >= '0' && ch <= '9')) {
+        text.push_back(static_cast<char>(get()));
+      } else {
+        break;
+      }
+    }
+    if (text.empty()) fail("expected a number");
+    return std::strtod(text.c_str(), nullptr);
+  }
+
+  /// Walk `fn(key)` over an object's members; fn must consume each value.
+  template <class Fn>
+  void parse_object(Fn fn) {
+    expect('{');
+    if (consume('}')) return;
+    for (;;) {
+      const std::string key = parse_string();
+      expect(':');
+      fn(key);
+      if (consume('}')) return;
+      expect(',');
+    }
+  }
+
+  [[nodiscard]] std::vector<double> parse_number_array() {
+    std::vector<double> out;
+    expect('[');
+    if (consume(']')) return out;
+    for (;;) {
+      out.push_back(parse_number());
+      if (consume(']')) return out;
+      expect(',');
+    }
+  }
+
+  /// Skip any value (for unknown keys).
+  void skip_value() {
+    skip_ws();
+    const int ch = is_.peek();
+    if (ch == '{') {
+      parse_object([this](const std::string&) { skip_value(); });
+    } else if (ch == '[') {
+      expect('[');
+      if (consume(']')) return;
+      for (;;) {
+        skip_value();
+        if (consume(']')) return;
+        expect(',');
+      }
+    } else if (ch == '"') {
+      static_cast<void>(parse_string());
+    } else {
+      static_cast<void>(parse_number());
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (is_good() &&
+           std::isspace(static_cast<unsigned char>(is_.peek())) != 0) {
+      get();
+    }
+  }
+  [[nodiscard]] bool is_good() { return is_.peek() != std::char_traits<char>::eof(); }
+  int get() {
+    const int ch = is_.get();
+    if (ch == std::char_traits<char>::eof()) fail("unexpected end of input");
+    return ch;
+  }
+  [[noreturn]] static void fail(const std::string& why) {
+    throw std::runtime_error("cost model JSON: " + why);
+  }
+
+  std::istream& is_;
+};
+
+[[nodiscard]] unsigned lmul_from_key(const std::string& key) {
+  if (key == "1") return 1;
+  if (key == "2") return 2;
+  if (key == "4") return 4;
+  if (key == "8") return 8;
+  return 0;
+}
+
+[[nodiscard]] constexpr unsigned slot_lmul(std::size_t slot) noexcept {
+  return 1u << slot;
+}
+
+}  // namespace
+
+CostModel CostModel::from_json(std::istream& is) {
+  CostModel model;
+  JsonReader reader(is);
+  reader.parse_object([&](const std::string& key) {
+    if (key != "shapes") {
+      reader.skip_value();
+      return;
+    }
+    reader.parse_object([&](const std::string& shape_key) {
+      const Shape shape = shape_from_name(shape_key);
+      reader.parse_object([&](const std::string& lmul_key) {
+        const std::vector<double> c = reader.parse_number_array();
+        const unsigned lmul = lmul_from_key(lmul_key);
+        if (shape == Shape::kCount || lmul == 0 || c.size() != 3) {
+          return;  // unknown shape/LMUL or wrong arity: skip, don't fail
+        }
+        model.set(shape, lmul,
+                  Coefficients{.base = c[0],
+                               .per_block = c[1],
+                               .per_block_log = c[2],
+                               .valid = true});
+      });
+    });
+  });
+  return model;
+}
+
+const CostModel& CostModel::global() noexcept {
+  static const CostModel model = [] {
+    const char* path = std::getenv("RVVSVM_COST_MODEL");
+#ifdef RVVSVM_COST_MODEL_JSON
+    if (path == nullptr) path = RVVSVM_COST_MODEL_JSON;
+#endif
+    if (path != nullptr) {
+      try {
+        std::ifstream file(path);
+        if (file) return CostModel::from_json(file);
+      } catch (const std::exception&) {
+        // Fall through to the empty model: a bad file must never take the
+        // tuner down, it only disables candidate pruning.
+      }
+    }
+    return CostModel{};
+  }();
+  return model;
+}
+
+bool CostModel::covers(Shape shape) const noexcept {
+  for (std::size_t slot = 0; slot < kLmulSlots; ++slot) {
+    if (!table_[static_cast<std::size_t>(shape)][slot].valid) return false;
+  }
+  return true;
+}
+
+double CostModel::predict(Shape shape, unsigned lmul, std::size_t n,
+                          unsigned vlen_bits, unsigned sew_bits) const noexcept {
+  const Coefficients& c = coefficients(shape, lmul);
+  if (n == 0) return c.base;
+  const std::size_t vlmax = rvv::vlmax_for(vlen_bits, sew_bits, lmul);
+  if (vlmax == 0) return c.base;
+  const std::size_t blocks = (n + vlmax - 1) / vlmax;
+  const std::size_t vl = n < vlmax ? n : vlmax;
+  // Depth of the in-register scan loop (for offset = 1; offset < vl;
+  // offset <<= 1): ceil(log2(vl)), 0 for vl <= 1.
+  unsigned log_steps = 0;
+  for (std::size_t offset = 1; offset < vl; offset <<= 1) ++log_steps;
+  return c.base + static_cast<double>(blocks) *
+                      (c.per_block + c.per_block_log * static_cast<double>(log_steps));
+}
+
+void CostModel::write_json(std::ostream& os) const {
+  os << "{\n  \"version\": 1,\n  \"shapes\": {";
+  bool first_shape = true;
+  for (std::size_t s = 0; s < kShapeCount; ++s) {
+    const auto& row = table_[s];
+    bool any = false;
+    for (const Coefficients& c : row) any = any || c.valid;
+    if (!any) continue;
+    os << (first_shape ? "" : ",") << "\n    \""
+       << shape_name(static_cast<Shape>(s)) << "\": {";
+    first_shape = false;
+    bool first_lmul = true;
+    for (std::size_t slot = 0; slot < kLmulSlots; ++slot) {
+      if (!row[slot].valid) continue;
+      os << (first_lmul ? "" : ",") << "\n      \"" << slot_lmul(slot)
+         << "\": [" << row[slot].base << ", " << row[slot].per_block << ", "
+         << row[slot].per_block_log << "]";
+      first_lmul = false;
+    }
+    os << "\n    }";
+  }
+  os << "\n  }\n}\n";
+}
+
+bool CostModel::empty() const noexcept {
+  for (const auto& row : table_) {
+    for (const Coefficients& c : row) {
+      if (c.valid) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rvvsvm::tune

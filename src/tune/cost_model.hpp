@@ -1,0 +1,87 @@
+// Offline cost model: per-(shape, LMUL) coefficients fitted from the
+// bench/grid_sweep instruction-count grid (bench/autotune_sweep --fit
+// refits and emits the JSON this module loads).
+//
+// The model mirrors the kernels' strip-mine structure exactly, so for the
+// uniform-block case it can be an exact reconstruction, not a regression
+// artifact:
+//
+//   blocks    = ceil(n / VLMAX(vlen, sew, lmul))
+//   log_steps = ceil(log2(min(n, VLMAX)))       // in-register scan depth
+//   cost      = base + blocks * (per_block + per_block_log * log_steps)
+//
+// The autotuner uses predictions to order and prune measurement candidates
+// (a candidate predicted far worse than the predicted best is never run) —
+// the measured counters, not the model, always pick the final winner, so a
+// stale model can cost measurement time but never correctness.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "tune/shape.hpp"
+
+namespace rvvsvm::tune {
+
+struct Coefficients {
+  double base = 0.0;
+  double per_block = 0.0;
+  double per_block_log = 0.0;
+  bool valid = false;
+};
+
+class CostModel {
+ public:
+  /// Number of LMUL columns (LMUL in {1, 2, 4, 8} maps to 0..3).
+  static constexpr std::size_t kLmulSlots = 4;
+
+  [[nodiscard]] static constexpr std::size_t lmul_slot(unsigned lmul) noexcept {
+    switch (lmul) {
+      case 1: return 0;
+      case 2: return 1;
+      case 4: return 2;
+      default: return 3;  // 8
+    }
+  }
+
+  /// Parse the committed JSON.  Throws std::runtime_error on malformed
+  /// input; unknown shape names are skipped (forward compatibility).
+  [[nodiscard]] static CostModel from_json(std::istream& is);
+
+  /// Load order: $RVVSVM_COST_MODEL, then the committed src/tune JSON the
+  /// build compiled in, then an empty model (no pruning).  Never throws —
+  /// an unreadable or malformed file degrades to the empty model.
+  [[nodiscard]] static const CostModel& global() noexcept;
+
+  void set(Shape shape, unsigned lmul, Coefficients c) noexcept {
+    table_[static_cast<std::size_t>(shape)][lmul_slot(lmul)] = c;
+  }
+
+  [[nodiscard]] const Coefficients& coefficients(Shape shape,
+                                                 unsigned lmul) const noexcept {
+    return table_[static_cast<std::size_t>(shape)][lmul_slot(lmul)];
+  }
+
+  /// True when every candidate LMUL of `shape` has fitted coefficients —
+  /// the precondition for pruning (comparing a fitted candidate against an
+  /// unfitted one would be meaningless).
+  [[nodiscard]] bool covers(Shape shape) const noexcept;
+
+  /// Predicted dynamic instruction count; meaningful only when
+  /// coefficients(shape, lmul).valid.
+  [[nodiscard]] double predict(Shape shape, unsigned lmul, std::size_t n,
+                               unsigned vlen_bits, unsigned sew_bits) const noexcept;
+
+  /// Serialize as the committed JSON format.
+  void write_json(std::ostream& os) const;
+
+  /// True when no coefficients are loaded at all.
+  [[nodiscard]] bool empty() const noexcept;
+
+ private:
+  std::array<std::array<Coefficients, kLmulSlots>, kShapeCount> table_{};
+};
+
+}  // namespace rvvsvm::tune

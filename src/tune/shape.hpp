@@ -1,0 +1,106 @@
+// Kernel-shape vocabulary of the autotuner.
+//
+// A Shape names a strip-mined kernel structure, not a single public entry
+// point: every kernel funnelled through the same detail helper shares a
+// per-block cost structure (one arithmetic op per block for the whole
+// p_add/p_sub/... family, lg(vl) slideup-combine steps for the scans), so
+// kernels of one shape share measurements and cost-model coefficients.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace rvvsvm::tune {
+
+enum class Shape : unsigned {
+  kElementwiseVx = 0,  ///< vector-scalar elementwise (p_add..p_shift, p_combine)
+  kElementwiseVv,      ///< vector-vector elementwise
+  kFlagVv,             ///< vector-vector comparison flags (p_flag_*)
+  kFlagVx,             ///< vector-scalar comparison flags
+  kSelect,             ///< p_select (masked merge)
+  kCopy,               ///< p_copy
+  kScanInclusive,      ///< scan_inclusive and its named forms
+  kScanExclusive,      ///< scan_exclusive and its named forms
+  kReduce,             ///< reduce
+  kSegScanInclusive,   ///< seg_scan_inclusive and its named forms
+  kSegScanExclusive,   ///< seg_scan_exclusive and its named forms
+  kEnumerate,          ///< enumerate (viota + vcpop)
+  kGetFlags,           ///< get_flags (bit probe)
+  kSplit,              ///< split (stable partition)
+  kPack,               ///< pack (vcompress)
+  kPermute,            ///< permute (indexed scatter)
+  kGather,             ///< gather (indexed load)
+  kParScanInclusive,   ///< par::scan_inclusive (per-shard svm scan)
+  kParScanExclusive,   ///< par::scan_exclusive
+  kParReduce,          ///< par::reduce
+  kParSplit,           ///< par::split
+  kParSort,            ///< par::split_radix_sort
+  kCount,              ///< number of shapes (not a shape)
+};
+
+inline constexpr std::size_t kShapeCount = static_cast<std::size_t>(Shape::kCount);
+
+[[nodiscard]] constexpr std::string_view shape_name(Shape shape) noexcept {
+  switch (shape) {
+    case Shape::kElementwiseVx: return "elementwise_vx";
+    case Shape::kElementwiseVv: return "elementwise_vv";
+    case Shape::kFlagVv: return "flag_vv";
+    case Shape::kFlagVx: return "flag_vx";
+    case Shape::kSelect: return "select";
+    case Shape::kCopy: return "copy";
+    case Shape::kScanInclusive: return "scan_inclusive";
+    case Shape::kScanExclusive: return "scan_exclusive";
+    case Shape::kReduce: return "reduce";
+    case Shape::kSegScanInclusive: return "seg_scan_inclusive";
+    case Shape::kSegScanExclusive: return "seg_scan_exclusive";
+    case Shape::kEnumerate: return "enumerate";
+    case Shape::kGetFlags: return "get_flags";
+    case Shape::kSplit: return "split";
+    case Shape::kPack: return "pack";
+    case Shape::kPermute: return "permute";
+    case Shape::kGather: return "gather";
+    case Shape::kParScanInclusive: return "par_scan_inclusive";
+    case Shape::kParScanExclusive: return "par_scan_exclusive";
+    case Shape::kParReduce: return "par_reduce";
+    case Shape::kParSplit: return "par_split";
+    case Shape::kParSort: return "par_sort";
+    case Shape::kCount: break;
+  }
+  return "unknown";
+}
+
+/// Inverse of shape_name; kCount when the name is unknown.
+[[nodiscard]] constexpr Shape shape_from_name(std::string_view name) noexcept {
+  for (unsigned s = 0; s < kShapeCount; ++s) {
+    if (shape_name(static_cast<Shape>(s)) == name) return static_cast<Shape>(s);
+  }
+  return Shape::kCount;
+}
+
+/// Problem sizes are cached per power-of-two bucket: bucket b covers
+/// n in [2^b, 2^(b+1)).  The best LMUL moves slowly in n (it flips where
+/// the strip count or the register-file pressure flips), so one measurement
+/// per bucket is enough; the cap keeps every huge-n request in one bucket.
+inline constexpr unsigned kMaxBucket = 20;
+
+[[nodiscard]] constexpr unsigned n_bucket(std::size_t n) noexcept {
+  unsigned bucket = 0;
+  while (n > 1 && bucket < kMaxBucket) {
+    n >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+/// The size a bucket's candidates are measured at: the bucket's lower edge,
+/// capped so measurement work stays bounded for huge requests.  Using the
+/// bucket representative (not the first-seen n) makes the winner a pure
+/// function of the cache key.
+inline constexpr std::size_t kMaxMeasureN = std::size_t{1} << 16;
+
+[[nodiscard]] constexpr std::size_t representative_n(std::size_t n) noexcept {
+  const std::size_t rep = std::size_t{1} << n_bucket(n);
+  return rep < kMaxMeasureN ? rep : kMaxMeasureN;
+}
+
+}  // namespace rvvsvm::tune

@@ -39,7 +39,7 @@ TEST(CountModel, PlusScanClosedForm) {
   const std::size_t n = 32 * 10;
   auto data = random_vector<T>(n, 1);
   const auto total = count(vlen, true, [&] {
-    svm::plus_scan<T>(std::span<T>(data));
+    svm::plus_scan<T, 1>(std::span<T>(data));
   });
   const std::uint64_t per_block = 4 + 5 * 5 + 5 + 2;
   EXPECT_EQ(total, per_block * 10 + 1);
@@ -55,7 +55,7 @@ TEST(CountModel, SegScanPerBlockSchedule) {
   auto data = random_vector<T>(n, 2);
   std::vector<T> flags(n, 0);  // no heads: worst-case inner work
   const auto total = count(vlen, true, [&] {
-    svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
+    svm::seg_plus_scan<T, 1>(std::span<T>(data), std::span<const T>(flags));
   });
   const std::uint64_t per_block = 9 + 8 + 5 * 10;
   EXPECT_EQ(total, per_block * 7 + 1);

@@ -8,7 +8,10 @@
 // numbers is a modeling change and must be called out, not slipped in.
 //
 // Workloads are fully deterministic: fixed sizes, fixed mt19937 seeds, the
-// same element distributions the bench harness uses.
+// same element distributions the bench harness uses.  Every kernel call pins
+// an explicit LMUL: the default is now the autotuner, whose choice is a
+// policy (covered by test_autotune / the tune fuzz layer), not a modeling
+// constant.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -71,7 +74,7 @@ TEST(CountsStability, PlusScanLmul1) {
   for (const auto& golden : {Golden{128, 52501, 0, 0}, Golden{1024, 11264, 0, 0}}) {
     expect_counts(golden, [] {
       auto data = random_u32(kN, 3);
-      svm::plus_scan<T>(std::span<T>(data));
+      svm::plus_scan<T, 1>(std::span<T>(data));
     });
   }
 }
@@ -121,7 +124,7 @@ TEST(CountsStability, BaselineModeCountsIdentical) {
       {Golden{1024, 11264, 0, 0},
        [] {
          auto data = random_u32(kN, 3);
-         svm::plus_scan<T>(std::span<T>(data));
+         svm::plus_scan<T, 1>(std::span<T>(data));
        }},
       {Golden{1024, 16481, 7584, 5056},
        [] {
@@ -161,7 +164,7 @@ TEST(CountsStability, ParScanMergedCountsHartInvariant) {
       par::HartPool pool({.harts = harts, .shard_size = 2048,
                           .machine = {.vlen_bits = golden.vlen}});
       auto data = random_u32(kN, 3);
-      par::plus_scan<T>(pool, std::span<T>(data));
+      par::plus_scan<T, 1>(pool, std::span<T>(data));
       const auto merged = pool.merged_counts();
       if (golden.total != 0) {
         EXPECT_EQ(merged.total(), golden.total)
@@ -185,9 +188,9 @@ TEST(CountsStability, ParSplitMergedCountsHartInvariant) {
     const auto src = random_u32(kN, 7);
     const auto flags = random_head_flags(kN, 2, 9);
     std::vector<T> dst(kN);
-    static_cast<void>(par::split<T>(pool, std::span<const T>(src),
-                                    std::span<T>(dst),
-                                    std::span<const T>(flags)));
+    static_cast<void>(par::split<T, 1>(pool, std::span<const T>(src),
+                                       std::span<T>(dst),
+                                       std::span<const T>(flags)));
     const auto merged = pool.merged_counts();
     // n = 10000, shard_size = 2048, VLEN = 1024 — captured at introduction.
     EXPECT_EQ(merged.total(), 22355u) << "harts=" << harts;
@@ -219,7 +222,7 @@ TEST(CountsStability, PlusScanNoPressureModel) {
       rvv::Machine::Config{.vlen_bits = 1024, .model_register_pressure = false});
   rvv::MachineScope scope(machine);
   auto data = random_u32(kN, 3);
-  svm::plus_scan<T>(std::span<T>(data));
+  svm::plus_scan<T, 1>(std::span<T>(data));
   EXPECT_EQ(machine.counter().snapshot().total(), 11264u);
 }
 

@@ -22,6 +22,7 @@
 #include "rvv/rvv.hpp"
 #include "svm/baseline/baseline.hpp"
 #include "svm/svm.hpp"
+#include "tune/autotuner.hpp"
 
 namespace {
 
@@ -418,6 +419,53 @@ TEST(FuzzRegressions, ParDegenerateShapesMatchSvm) {
           << "n = " << n << ", class " << sim::to_string(cls);
     }
   }
+}
+
+// --- tune layer: deterministic oracle smoke + count-optimality pin ---------
+
+TEST(FuzzRegressions, TuneLayerSmoke) {
+  // No divergence has been shrunk out of the tune layer yet; this keeps a
+  // deterministic slice of it running in the unit suite so a regression
+  // fails here first, with the oracle's reproducer output.
+  for (const char* prop : {"tune.identity", "tune.invalidate", "tune.determinism"}) {
+    ASSERT_NE(check::find_property(prop), nullptr) << prop;
+    check::FuzzOptions opts;
+    opts.seed = 20250809;
+    opts.iters = 5;
+    opts.layer = prop;
+    opts.shrink = false;
+    const auto report = check::fuzz(opts);
+    EXPECT_TRUE(report.failures.empty()) << prop;
+  }
+}
+
+TEST(FuzzRegressions, TunedScanNeverLosesToTheStaticEndpoints) {
+  // The n=64 / VLEN=1024 cell: one LMUL=2 strip covers it, so both static
+  // extremes (LMUL=1's eight strips, LMUL=8's oversized groups) waste work.
+  // The tuned call must match or beat both — by construction it picked the
+  // count-minimal candidate for this key.
+  const std::size_t n = 64;
+  const auto run = [&](auto kernel) {
+    rvv::Machine machine({.vlen_bits = 1024});
+    rvv::MachineScope scope(machine);
+    std::vector<std::uint32_t> data(n, 3);
+    kernel(data);
+    return machine.counter().total();
+  };
+  tune::AutoTuner tuner;
+  tune::TunerScope ts(tuner);
+  const auto tuned = run([](std::vector<std::uint32_t>& d) {
+    svm::plus_scan<std::uint32_t>(std::span<std::uint32_t>(d));
+  });
+  const auto l1 = run([](std::vector<std::uint32_t>& d) {
+    svm::plus_scan<std::uint32_t, 1>(std::span<std::uint32_t>(d));
+  });
+  const auto l8 = run([](std::vector<std::uint32_t>& d) {
+    svm::plus_scan<std::uint32_t, 8>(std::span<std::uint32_t>(d));
+  });
+  EXPECT_LE(tuned, l1);
+  EXPECT_LE(tuned, l8);
+  EXPECT_LT(tuned, l1);  // eight strips vs one is never a tie
 }
 
 // --- shrinker sanity --------------------------------------------------------

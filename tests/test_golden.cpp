@@ -41,14 +41,14 @@ TEST(Golden, Table1QsortCells) {
 TEST(Golden, Table2PAddCells) {
   auto data = workloads::padd_input(1000000);
   EXPECT_EQ(count_instructions(1024, [&] {
-    svm::p_add<T>(std::span<T>(data), 123u);
+    svm::p_add<T, 1>(std::span<T>(data), 123u);
   }), 281251u);
 }
 
 TEST(Golden, Table3PlusScanCells) {
   auto data = workloads::scan_input(1000000);
   EXPECT_EQ(count_instructions(1024, [&] {
-    svm::plus_scan<T>(std::span<T>(data));
+    svm::plus_scan<T, 1>(std::span<T>(data));
   }), 1125001u);
 }
 
@@ -56,7 +56,7 @@ TEST(Golden, Table4SegPlusScanCells) {
   auto data = workloads::seg_input(1000000);
   const auto flags = workloads::seg_head_flags(1000000);
   EXPECT_EQ(count_instructions(1024, [&] {
-    svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
+    svm::seg_plus_scan<T, 1>(std::span<T>(data), std::span<const T>(flags));
   }), 2093751u);
 }
 
@@ -73,7 +73,7 @@ TEST(Golden, Table7Vlen128Cells) {
   auto data = workloads::seg_input(10000);
   const auto flags = workloads::seg_head_flags(10000);
   EXPECT_EQ(count_instructions(128, [&] {
-    svm::seg_plus_scan<T>(std::span<T>(data), std::span<const T>(flags));
+    svm::seg_plus_scan<T, 1>(std::span<T>(data), std::span<const T>(flags));
   }), 92501u);
 }
 

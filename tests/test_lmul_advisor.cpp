@@ -57,6 +57,44 @@ TEST(LmulAdvisor, LiveSetThatNeverFitsFlagsUnavoidableSpills) {
                     .spills_unavoidable));
 }
 
+TEST(LmulAdvisor, SmallNClampsToSmallestCoveringLmul) {
+  // VLEN=1024, e32: VLMAX is 32/64/128/256 at LMUL 1/2/4/8.  With 3 live
+  // values the pressure fit allows LMUL=8, but when a smaller LMUL already
+  // covers n in one strip the advisor must clamp down to it — same single
+  // iteration, narrower register groups.
+  const auto tiny = svm::recommend_lmul<std::uint32_t>(16, 1024, 3);
+  EXPECT_EQ(tiny.lmul, 1u);
+  EXPECT_EQ(tiny.iterations, 1u);
+
+  const auto one_l2_strip = svm::recommend_lmul<std::uint32_t>(64, 1024, 3);
+  EXPECT_EQ(one_l2_strip.lmul, 2u);
+  EXPECT_EQ(one_l2_strip.iterations, 1u);
+
+  const auto one_l4_strip = svm::recommend_lmul<std::uint32_t>(100, 1024, 3);
+  EXPECT_EQ(one_l4_strip.lmul, 4u);
+  EXPECT_EQ(one_l4_strip.iterations, 1u);
+
+  // Past the LMUL=4 strip the fitted LMUL=8 takes over again.
+  EXPECT_EQ((svm::recommend_lmul<std::uint32_t>(10000, 1024, 3).lmul), 8u);
+}
+
+TEST(LmulAdvisor, SmallNClampNeverWidensPastThePressureFit) {
+  // 8 live values fit LMUL=2 at most; a clamp candidate must stay strictly
+  // below the fitted LMUL, so n=100 (one LMUL=4 strip) still answers 2.
+  const auto advice = svm::recommend_lmul<std::uint32_t>(100, 1024, 8);
+  EXPECT_EQ(advice.lmul, 2u);
+  EXPECT_EQ(advice.iterations, 2u);
+}
+
+TEST(LmulAdvisor, SmallNKeepsSpillVerdictOfTheFullLiveSet) {
+  // spills_unavoidable reports on the live set vs LMUL=1 geometry; the
+  // small-n clamp must not launder it away.
+  const auto advice = svm::recommend_lmul<std::uint32_t>(16, 1024, 32);
+  EXPECT_TRUE(advice.spills_unavoidable);
+  EXPECT_EQ(advice.lmul, 1u);
+  EXPECT_EQ(advice.iterations, 1u);
+}
+
 TEST(LmulAdvisor, IterationCountTracksVlmaxOfChosenLmul) {
   // VLEN=1024, e32, LMUL=8 -> VLMAX = 256, so 10000 elements strip-mine in
   // ceil(10000 / 256) = 40 blocks.

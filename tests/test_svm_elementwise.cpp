@@ -151,7 +151,7 @@ TEST(ElementwiseCounts, PAddMatchesListing2Schedule) {
     for (const std::size_t n : {std::size_t{1}, vl, 3 * vl + 1, std::size_t{1000}}) {
       auto a = random_vector<T>(n, 4);
       const auto before = machine.counter().snapshot();
-      svm::p_add<T>(std::span<T>(a), 1u);
+      svm::p_add<T, 1>(std::span<T>(a), 1u);
       const auto total = (machine.counter().snapshot() - before).total();
       const std::uint64_t iters = (n + vl - 1) / vl;
       EXPECT_EQ(total, 9 * iters + 1) << "vlen=" << vlen << " n=" << n;

@@ -7,11 +7,16 @@
 //   svm_explore --kernel seg_plus_scan --n 100000 --vlen 512 --lmul 4
 //   svm_explore --kernel radix_sort --n 10000 --no-pressure
 //   svm_explore --list
+//
+// The default --lmul is "tuned": the autotuner picks per call, and the
+// report appends the tuner's hit/miss statistics and the per-key winners it
+// recorded while running the kernel.
 #include <cstdint>
 #include <functional>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
@@ -21,6 +26,8 @@
 #include "svm/baseline/baseline.hpp"
 #include "svm/baseline/qsort.hpp"
 #include "svm/svm.hpp"
+#include "tune/autotuner.hpp"
+#include "tune/shape.hpp"
 
 namespace {
 
@@ -31,7 +38,7 @@ struct Options {
   std::string kernel = "plus_scan";
   std::size_t n = 10000;
   unsigned vlen = 1024;
-  unsigned lmul = 1;
+  unsigned lmul = svm::kTunedLmul;  // 0 = let the autotuner pick
   bool pressure = true;
   bool exec_cache = true;
   std::uint32_t seed = 1;
@@ -97,15 +104,20 @@ void run_kernel(const Options& opt) {
                                                std::span<T>(dst),
                                                std::span<const T>(f)));
        }},
+      // The app-layer sorts pin their own LMUL internally (they pass it to
+      // non-tuned helpers like p_convert), so tuned mode runs them at their
+      // static default of 1.
       {"radix_sort",
        [](const Options& o) {
+         constexpr unsigned kAppLmul = LMUL == svm::kTunedLmul ? 1 : LMUL;
          auto d = make_data(o);
-         apps::split_radix_sort<T, LMUL>(std::span<T>(d));
+         apps::split_radix_sort<T, kAppLmul>(std::span<T>(d));
        }},
       {"quicksort",
        [](const Options& o) {
+         constexpr unsigned kAppLmul = LMUL == svm::kTunedLmul ? 1 : LMUL;
          auto d = make_data(o);
-         apps::scan_quicksort<T, LMUL>(std::span<T>(d));
+         apps::scan_quicksort<T, kAppLmul>(std::span<T>(d));
        }},
       {"qsort_baseline",
        [](const Options& o) {
@@ -140,6 +152,12 @@ void run_kernel(const Options& opt) {
     std::exit(2);
   }
 
+  // Tuned mode runs under a fresh local tuner so the report reflects this
+  // invocation alone (the process-wide tuner may carry earlier state).
+  tune::AutoTuner tuner;
+  std::optional<tune::TunerScope> tuner_scope;
+  if constexpr (LMUL == svm::kTunedLmul) tuner_scope.emplace(tuner);
+
   rvv::Machine machine(rvv::Machine::Config{.vlen_bits = opt.vlen,
                                             .model_register_pressure = opt.pressure,
                                             .use_exec_cache = opt.exec_cache});
@@ -157,8 +175,13 @@ void run_kernel(const Options& opt) {
   const auto snap = machine.counter().snapshot();
 
   std::cout << "kernel=" << opt.kernel << " n=" << opt.n << " vlen=" << opt.vlen
-            << " lmul=" << opt.lmul << " pressure=" << (opt.pressure ? "on" : "off")
-            << "\n\n";
+            << " lmul=";
+  if (opt.lmul == svm::kTunedLmul) {
+    std::cout << "tuned";
+  } else {
+    std::cout << opt.lmul;
+  }
+  std::cout << " pressure=" << (opt.pressure ? "on" : "off") << "\n\n";
   sim::Table table({"class", "instructions"});
   for (std::size_t i = 0; i < sim::kNumInstClasses; ++i) {
     const auto cls = static_cast<sim::InstClass>(i);
@@ -196,11 +219,24 @@ void run_kernel(const Options& opt) {
   } else {
     std::cout << "exec cache: disabled (interpreted path)\n";
   }
+  if constexpr (LMUL == svm::kTunedLmul) {
+    const auto ts = tuner.stats();
+    std::cout << "autotuner: " << ts.hits << " hits, " << ts.misses
+              << " misses, " << ts.measurements << " measurements, "
+              << ts.model_pruned << " model-pruned\n";
+    for (const auto& w : tuner.winners()) {
+      std::cout << "  winner " << tune::shape_name(w.key.shape)
+                << " bucket=" << w.key.bucket << " sew=" << w.key.sew
+                << " vlen=" << w.key.vlen << " harts=" << w.key.harts
+                << " -> lmul=" << w.lmul << " (" << w.measured_counts
+                << " insts at n=" << (std::size_t{1} << w.key.bucket) << ")\n";
+    }
+  }
 }
 
 void usage() {
   std::cout <<
-      "svm_explore --kernel NAME [--n N] [--vlen BITS] [--lmul 1|2|4|8]\n"
+      "svm_explore --kernel NAME [--n N] [--vlen BITS] [--lmul tuned|1|2|4|8]\n"
       "            [--no-pressure] [--no-exec-cache] [--seed S]\n"
       "            [--trace LINES] [--list]\n";
 }
@@ -225,7 +261,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--vlen") {
       opt.vlen = static_cast<unsigned>(std::stoul(next()));
     } else if (arg == "--lmul") {
-      opt.lmul = static_cast<unsigned>(std::stoul(next()));
+      const std::string value = next();
+      opt.lmul = value == "tuned" ? svm::kTunedLmul
+                                  : static_cast<unsigned>(std::stoul(value));
     } else if (arg == "--seed") {
       opt.seed = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--trace") {
@@ -247,12 +285,13 @@ int main(int argc, char** argv) {
   }
   try {
     switch (opt.lmul) {
+      case svm::kTunedLmul: run_kernel<svm::kTunedLmul>(opt); break;
       case 1: run_kernel<1>(opt); break;
       case 2: run_kernel<2>(opt); break;
       case 4: run_kernel<4>(opt); break;
       case 8: run_kernel<8>(opt); break;
       default:
-        std::cerr << "lmul must be 1, 2, 4 or 8\n";
+        std::cerr << "lmul must be tuned, 1, 2, 4 or 8\n";
         return 2;
     }
   } catch (const std::exception& e) {

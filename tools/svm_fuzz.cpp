@@ -1,7 +1,7 @@
 // svm_fuzz — the differential fuzzing oracle's command-line driver.
 //
 //   svm_fuzz [--seed N] [--iters N]
-//            [--layer all|rvv|svm|par|chaos|trace|serve|<property>]
+//            [--layer all|rvv|svm|par|chaos|trace|serve|tune|<property>]
 //            [--chaos N] [--json PATH] [--no-shrink] [--list]
 //
 // Exit status 0 when every case holds, 1 on any divergence (each failure is
@@ -24,7 +24,7 @@ void usage(std::ostream& os) {
         "                [--no-shrink] [--list]\n"
         "  --seed N      base seed (default 1); (seed, iteration) replays a case\n"
         "  --iters N     number of cases to run (default 1000)\n"
-        "  --layer L     all | rvv | svm | par | chaos | trace | serve |\n"
+        "  --layer L     all | rvv | svm | par | chaos | trace | serve | tune |\n"
         "                an exact property name\n"
         "  --chaos N     shorthand for --layer chaos --seed N (fault injection)\n"
         "  --json PATH   write the failure report as JSON\n"
