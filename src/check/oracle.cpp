@@ -17,6 +17,7 @@ std::vector<Property> make_chaos_properties();
 std::vector<Property> make_trace_properties();
 std::vector<Property> make_serve_properties();
 std::vector<Property> make_tune_properties();
+std::vector<Property> make_snap_properties();
 
 const std::vector<Property>& properties() {
   static const std::vector<Property> table = [] {
@@ -24,7 +25,7 @@ const std::vector<Property>& properties() {
     for (auto* make : {make_rvv_properties, make_svm_properties,
                        make_par_properties, make_chaos_properties,
                        make_trace_properties, make_serve_properties,
-                       make_tune_properties}) {
+                       make_tune_properties, make_snap_properties}) {
       for (auto& p : make()) t.push_back(std::move(p));
     }
     return t;

@@ -535,6 +535,24 @@ std::uint64_t HartPool::epochs() const {
   return impl_->next_epoch_id;
 }
 
+rvv::Machine* HartPool::rescue_machine() noexcept {
+  std::lock_guard lock(impl_->mu);
+  return impl_->rescue.get();
+}
+
+rvv::Machine& HartPool::ensure_rescue_machine() {
+  std::lock_guard lock(impl_->mu);
+  if (!impl_->rescue) {
+    impl_->rescue = std::make_unique<rvv::Machine>(impl_->cfg.machine);
+  }
+  return *impl_->rescue;
+}
+
+void HartPool::restore_abandoned_counts(const sim::CountSnapshot& counts) noexcept {
+  std::lock_guard lock(impl_->mu);
+  impl_->abandoned_total = counts;
+}
+
 void HartPool::reset_counts() noexcept {
   std::lock_guard lock(impl_->mu);
   for (unsigned h = 0; h < impl_->machines.size(); ++h) {

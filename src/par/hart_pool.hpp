@@ -263,6 +263,25 @@ class HartPool {
   /// abandoned-count ledger.
   void reset_counts() noexcept;
 
+  // --- snapshot support (src/snap) ---------------------------------------
+  // Valid only between jobs, like every other pool access from the calling
+  // thread.  The snapshot layer reads machine state through machine(h) and
+  // these accessors, and restores it in place: per-hart buffer pools are
+  // drained between jobs, so the drained-pool re-binding rule makes the
+  // cross-thread restore legal (the worker re-binds on its next acquire).
+
+  /// The inline-fallback rescue machine, or nullptr while none was ever
+  /// needed.  Its counts are part of merged_counts(), so snapshots must
+  /// carry it.
+  [[nodiscard]] rvv::Machine* rescue_machine() noexcept;
+
+  /// Create the rescue machine if it does not exist yet, so a restore can
+  /// re-materialize a snapshot that carried one.
+  [[nodiscard]] rvv::Machine& ensure_rescue_machine();
+
+  /// Overwrite the pool-lifetime abandoned-count ledger (restore path).
+  void restore_abandoned_counts(const sim::CountSnapshot& counts) noexcept;
+
  private:
   struct Impl;
   Impl* impl_;

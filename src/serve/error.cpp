@@ -28,6 +28,8 @@ const char* to_string(ErrorCode code) noexcept {
       return "fault_injected";
     case ErrorCode::kWorkerCrash:
       return "worker_crash";
+    case ErrorCode::kSnapshotInvalid:
+      return "snapshot_invalid";
   }
   return "?";
 }
@@ -49,6 +51,8 @@ ErrorCode error_code(sim::TrapKind kind) noexcept {
       return ErrorCode::kResourceExhausted;
     case sim::TrapKind::kInjected:
       return ErrorCode::kFaultInjected;
+    case sim::TrapKind::kSnapshot:
+      return ErrorCode::kSnapshotInvalid;
   }
   return ErrorCode::kWorkerCrash;  // unreachable for in-range kinds
 }
@@ -67,6 +71,8 @@ std::optional<sim::TrapKind> trap_kind(ErrorCode code) noexcept {
       return sim::TrapKind::kPoolAlloc;
     case ErrorCode::kFaultInjected:
       return sim::TrapKind::kInjected;
+    case ErrorCode::kSnapshotInvalid:
+      return sim::TrapKind::kSnapshot;
     case ErrorCode::kOk:
     case ErrorCode::kQueueFull:
     case ErrorCode::kBudgetExceeded:

@@ -42,6 +42,10 @@ enum class ErrorCode : std::uint8_t {
   // Execution failure that was not a typed trap (a hart crash, a host
   // exception).  The pool recovered or isolated it; only this request fails.
   kWorkerCrash = 11,
+
+  // Snapshot subsystem failure surfaced through the service (a cold-start
+  // restore or checkpoint rejected a corrupt/mismatched snapshot file).
+  kSnapshotInvalid = 12,  ///< sim::TrapKind::kSnapshot
 };
 
 /// Stable mnemonic for logs and the CLI ("ok", "queue_full", ...).

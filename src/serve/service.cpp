@@ -8,6 +8,7 @@
 #include "apps/histogram.hpp"
 #include "apps/radix_sort.hpp"
 #include "par/collectives.hpp"
+#include "snap/snapshot.hpp"
 #include "svm/op_traits.hpp"
 #include "svm/permute_ops.hpp"
 #include "svm/scan.hpp"
@@ -75,6 +76,13 @@ ScanService::ScanService(Config cfg)
                                   .recovery = cfg.recovery}),
       queue_(cfg.queue_capacity) {
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  if (!cfg_.restore_snapshot.empty()) {
+    // Warm start: the pool exists but has run nothing, so every hart is
+    // quiescent and this thread owns it.  Any mismatch or corruption
+    // propagates as SnapshotTrap before the scheduler ever starts.
+    snap::restore_pool(pool_, snap::read_file(cfg_.restore_snapshot),
+                       &tune::AutoTuner::global());
+  }
   if (cfg_.background) {
     scheduler_ = std::thread([this] { scheduler_main(); });
   }
@@ -267,6 +275,33 @@ void ScanService::run_wave(std::vector<Pending> wave) {
   }
   if (!individual.empty()) execute_individual(individual);
   for (Pending* p : large) execute_large(*p);
+  maybe_checkpoint();
+}
+
+// Called at the tail of every wave, on the thread that owns the pool and
+// with every request finished — exactly the quiescent point a snapshot
+// needs.  A failed write is counted and absorbed: losing a checkpoint must
+// not fail a healthy service.
+void ScanService::maybe_checkpoint() {
+  if (cfg_.checkpoint_every_waves == 0 || cfg_.checkpoint_path.empty()) return;
+  std::uint64_t waves = 0;
+  {
+    std::lock_guard lock(stats_mu_);
+    waves = stats_.waves;
+  }
+  if (waves % cfg_.checkpoint_every_waves != 0) return;
+  try {
+    checkpoint_to(cfg_.checkpoint_path);
+  } catch (const SnapshotTrap&) {
+    std::lock_guard lock(stats_mu_);
+    ++stats_.checkpoint_failures;
+  }
+}
+
+void ScanService::checkpoint_to(const std::string& path) {
+  snap::write_file(path, snap::save_pool(pool_, &tune::AutoTuner::global()));
+  std::lock_guard lock(stats_mu_);
+  ++stats_.checkpoints;
 }
 
 // Individual path: request i is shard i of one fork-join epoch, so the

@@ -72,6 +72,17 @@ class ScanService {
     /// shape).  false: the caller pumps via drain() — single-threaded and
     /// deterministic, which is what the fuzz layer and unit tests use.
     bool background = true;
+    /// Non-empty: cold-start from this pool snapshot (snap::restore_pool
+    /// into the freshly built pool, tuner cache included) before the
+    /// scheduler starts.  SnapshotTrap propagates out of the constructor on
+    /// any mismatch or corruption — a daemon must not come up half-warm.
+    std::string restore_snapshot;
+    /// Non-zero: checkpoint the pool to checkpoint_path every N scheduler
+    /// waves (the cadence knob).  Checkpoints happen between waves, when
+    /// every hart is quiescent; a failed checkpoint write is counted in
+    /// Stats::checkpoint_failures and service continues.
+    std::size_t checkpoint_every_waves = 0;
+    std::string checkpoint_path;
   };
 
   /// Monotonic service counters (all guarded; read with stats()).
@@ -89,6 +100,8 @@ class ScanService {
     std::uint64_t coalesced_requests = 0;
     std::uint64_t individual_requests = 0;
     std::uint64_t large_requests = 0;
+    std::uint64_t checkpoints = 0;          ///< pool snapshots written
+    std::uint64_t checkpoint_failures = 0;  ///< checkpoint writes that failed
   };
 
   explicit ScanService(Config cfg);
@@ -134,8 +147,14 @@ class ScanService {
   /// never billed.
   [[nodiscard]] std::uint64_t estimate(Kind kind, std::size_t n) const;
 
+  /// Write a pool snapshot (tuner cache included) to `path`.  Safe in
+  /// foreground mode between waves, or any mode after stop() — the same
+  /// rule as pool().  SnapshotTrap on I/O failure.
+  void checkpoint_to(const std::string& path);
+
  private:
   void scheduler_main();
+  void maybe_checkpoint();
   void run_wave(std::vector<Pending> wave);
   void execute_batch(Kind kind, std::vector<Pending*>& members);
   void execute_individual(const std::vector<Pending*>& members);

@@ -67,6 +67,59 @@ void BufferPool::recycle_block(BlockHeader* h) {
   }
 }
 
+BufferPool::FreelistShape BufferPool::freelist_shape() const {
+  FreelistShape shape;
+  for (unsigned cls = 0; cls < kNumClasses; ++cls) {
+    if (free_blocks_[cls].empty()) continue;
+    shape.blocks.emplace_back(cls,
+                              static_cast<std::uint32_t>(free_blocks_[cls].size()));
+  }
+  for (const RefCell* cell = free_cells_; cell != nullptr; cell = cell->next) {
+    ++shape.cells;
+  }
+  return shape;
+}
+
+void BufferPool::restore_freelists(const Stats& stats, const FreelistShape& shape) {
+  assert(stats_.bytes_in_use == 0 && stats_.cells_in_use == 0 &&
+         "BufferPool::restore_freelists while buffers are in flight");
+  assert(stats.bytes_in_use == 0 && stats.cells_in_use == 0);
+  for (auto& list : free_blocks_) {
+    for (void* p : list) ::operator delete(p);
+    list.clear();
+  }
+  while (free_cells_ != nullptr) {
+    RefCell* next = free_cells_->next;
+    delete free_cells_;
+    free_cells_ = next;
+  }
+  stats_ = stats;
+  stats_.bytes_cached = 0;
+  for (const auto& [cls, count] : shape.blocks) {
+    assert(cls < kNumClasses);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      auto* h = static_cast<BlockHeader*>(::operator new(class_bytes(cls)));
+      h->pool = this;
+      h->refcount = 0;
+      h->class_idx = cls;
+      free_blocks_[cls].push_back(h);
+      stats_.bytes_cached += class_bytes(cls);
+    }
+  }
+  for (std::uint64_t i = 0; i < shape.cells; ++i) {
+    auto* cell = new RefCell;
+    cell->refcount = 0;
+    cell->id = 0;
+    cell->owner = nullptr;
+    cell->pool = this;
+    cell->next = free_cells_;
+    free_cells_ = cell;
+  }
+#ifndef NDEBUG
+  owner_ = std::thread::id{};
+#endif
+}
+
 BufferPool::RefCell* BufferPool::acquire_cell() {
   debug_check_owner();
   maybe_trap_alloc("pool.cell");

@@ -74,6 +74,18 @@ class BufferPool {
   };
   static_assert(sizeof(BlockHeader) <= 16);
 
+  /// Power-of-two size classes the freelists are bucketed by; public so the
+  /// snapshot loader can range-check serialized class indices.
+  static constexpr unsigned kNumClasses = 48;
+
+  /// Shape of the parked freelists for snapshot/restore (src/snap): how many
+  /// recycled blocks each size class is caching, plus the parked token-cell
+  /// count.  Only meaningful while nothing is in flight.
+  struct FreelistShape {
+    std::vector<std::pair<unsigned, std::uint32_t>> blocks;  ///< (class, count)
+    std::uint64_t cells = 0;
+  };
+
   /// Intrusive refcount cell backing rvv::detail::ValueToken: releases the
   /// register-allocator value `id` on `owner` when the count hits zero.
   struct RefCell {
@@ -125,12 +137,24 @@ class BufferPool {
     return alloc_trap_in_ != 0;
   }
 
+  /// Snapshot view of the freelists (see FreelistShape).
+  [[nodiscard]] FreelistShape freelist_shape() const;
+
+  /// Restore `stats` and re-warm the freelists to `shape` with fresh
+  /// allocations (existing parked storage is released first, so repeated
+  /// restores don't accumulate).  Requires an idle pool: bytes_in_use and
+  /// cells_in_use must be zero both live and in `stats` — the snapshot layer
+  /// validates and traps before calling.  bytes_cached is recomputed from
+  /// the blocks actually primed.  Clears the debug thread binding, so the
+  /// restored pool re-binds to whichever hart touches it next (the same
+  /// drained-pool handoff rule as fork-join).
+  void restore_freelists(const Stats& stats, const FreelistShape& shape);
+
  private:
   static constexpr std::size_t kHeaderBytes = 16;
   /// Smallest block (header + payload) in bytes; everything rounds up to a
   /// power of two, so freelists stay dense: one per set bit position.
   static constexpr std::size_t kMinBlockBytes = 64;
-  static constexpr unsigned kNumClasses = 48;
 
   [[nodiscard]] static unsigned class_for(std::size_t payload_bytes) noexcept {
     const std::size_t total =

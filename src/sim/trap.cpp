@@ -53,6 +53,8 @@ const char* to_string(TrapKind kind) noexcept {
       return "pool_alloc";
     case TrapKind::kInjected:
       return "injected";
+    case TrapKind::kSnapshot:
+      return "snapshot";
   }
   return "?";
 }
@@ -83,6 +85,9 @@ PoolAllocTrap::PoolAllocTrap(std::string_view detail, const TrapContext& ctx)
     : std::runtime_error(compose(detail, ctx)), Trap(ctx) {}
 
 InjectedTrap::InjectedTrap(std::string_view detail, const TrapContext& ctx)
+    : std::runtime_error(compose(detail, ctx)), Trap(ctx) {}
+
+SnapshotTrap::SnapshotTrap(std::string_view detail, const TrapContext& ctx)
     : std::runtime_error(compose(detail, ctx)), Trap(ctx) {}
 
 int current_hart() noexcept { return t_current_hart; }

@@ -17,6 +17,7 @@
 //   InvalidInputTrap   : std::invalid_argument  svm/par kernel input contract
 //   PoolAllocTrap      : std::runtime_error     injected allocation failure
 //   InjectedTrap       : std::runtime_error     fault-injection engine
+//   SnapshotTrap       : std::runtime_error     snapshot load/validate failure
 //
 // The dual inheritance keeps two audiences happy at once: robust callers
 // `catch (const rvvsvm::Trap&)` and inspect `context()`; existing code and
@@ -71,9 +72,10 @@ enum class TrapKind : std::uint8_t {
   kInvalidInput,
   kPoolAlloc,
   kInjected,
+  kSnapshot,
 };
 
-inline constexpr std::size_t kNumTrapKinds = 6;
+inline constexpr std::size_t kNumTrapKinds = 7;
 
 /// Mnemonic for reports ("illegal_config", "memory_access", ...).
 [[nodiscard]] const char* to_string(TrapKind kind) noexcept;
@@ -175,6 +177,21 @@ class InjectedTrap : public std::runtime_error, public Trap {
   [[nodiscard]] const char* message() const noexcept override { return what(); }
   [[nodiscard]] sim::TrapKind kind() const noexcept override {
     return sim::TrapKind::kInjected;
+  }
+};
+
+/// Snapshot load or validation failure (src/snap): bad magic, unsupported
+/// version, checksum mismatch, truncation, out-of-range field, or a snapshot
+/// whose machine configuration does not match the restore target.  Raised by
+/// the validate phase, strictly *before* any machine state is mutated, so a
+/// rejected restore leaves the target machine untouched (the validate-then-
+/// charge discipline applied to deserialization).
+class SnapshotTrap : public std::runtime_error, public Trap {
+ public:
+  SnapshotTrap(std::string_view detail, const TrapContext& ctx);
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+  [[nodiscard]] sim::TrapKind kind() const noexcept override {
+    return sim::TrapKind::kSnapshot;
   }
 };
 

@@ -102,6 +102,16 @@ std::vector<Winner> AutoTuner::winners() const {
   return out;
 }
 
+void AutoTuner::import_winners(const std::vector<Winner>& winners) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  cache_.reserve(winners.size());
+  for (const Winner& w : winners) {
+    cache_.emplace(w.key, Entry{.lmul = w.lmul, .counts = w.measured_counts});
+  }
+  seen_epoch_ = rvv::reconfigure_epoch();
+}
+
 void AutoTuner::invalidate() {
   const std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();

@@ -105,6 +105,14 @@ class AutoTuner {
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::vector<Winner> winners() const;
 
+  /// Replace the measured-config cache with a restored set of winners
+  /// (snapshot/restore, src/snap).  Marks the cache current as of *now*:
+  /// seen_epoch_ syncs to the live reconfigure epoch, so callers must
+  /// import *after* the restore's epoch bump or the next lookup drops the
+  /// imported winners as stale.  Stats are untouched — imported winners
+  /// count as hits when they replay, same as natively measured ones.
+  void import_winners(const std::vector<Winner>& winners);
+
   /// Drop every cached winner (the machine-reconfiguration path).
   void invalidate();
 

@@ -493,4 +493,60 @@ TEST(FuzzOracle, ShrinkerPreservesFailureAndShrinks) {
   EXPECT_NE(code.find("run_property(\"synthetic\""), std::string::npos);
 }
 
+// --- pinned snapshot-layer cases (svm_fuzz --layer snap) --------------------
+
+// Empty problem: a machine that never ran a kernel still round-trips with an
+// empty-but-valid cache image and a tuner section with zero winners.
+TEST(FuzzRegressions, SnapRoundTripEmptyMachine) {
+  check::Case c;
+  c.vlen = 1024;
+  c.sew = 32;
+  c.lmul = 1;
+  c.vl = 0;
+  EXPECT_EQ(check::run_property("snap.roundtrip", c), "");
+}
+
+// The pressure configuration at its most spill-heavy: LMUL=8 on a VLEN=128
+// machine with the register-pressure model on (offset bit 0) — register-file
+// telemetry and spill counters must survive the round trip bit-for-bit.
+TEST(FuzzRegressions, SnapRoundTripSpillHeavyShape) {
+  check::Case c;
+  c.vlen = 128;
+  c.sew = 64;
+  c.lmul = 8;
+  c.vl = 777;
+  c.offset = 3;  // pressure model on, buffer pool on
+  c.scalar = 1;  // segmented scan workload
+  c.a.assign(777, 5);
+  c.b.assign(777, 1);
+  EXPECT_EQ(check::run_property("snap.roundtrip", c), "");
+}
+
+// Chaos bracket with a hart-crash-style fault (offset bit 2) landing on the
+// very first instruction: rollback must still reproduce the golden pass.
+TEST(FuzzRegressions, SnapCheckpointRollbackCrashAtFirstInstruction) {
+  check::Case c;
+  c.vlen = 256;
+  c.sew = 32;
+  c.lmul = 2;
+  c.vl = 300;
+  c.offset = 4;  // crash channel, trap_at_instruction = 1 + (4 % 64) = 5
+  c.a.assign(300, 9);
+  EXPECT_EQ(check::run_property("snap.checkpoint_rollback", c), "");
+}
+
+// Truncation landing exactly on the header boundary (offset chooses the cut
+// point modulo the blob size) plus a bit flip deep in a section payload.
+TEST(FuzzRegressions, SnapRejectTruncationAtHeaderBoundary) {
+  check::Case c;
+  c.vlen = 512;
+  c.sew = 32;
+  c.lmul = 1;
+  c.vl = 64;
+  c.offset = 24;      // cut right after the container header
+  c.scalar = 999983;  // prime: lands the bit flip mid-payload
+  c.a.assign(64, 1);
+  EXPECT_EQ(check::run_property("snap.reject_mismatch", c), "");
+}
+
 }  // namespace

@@ -23,6 +23,7 @@
 
 #include "apps/apps.hpp"
 #include "sim/report.hpp"
+#include "snap/snapshot.hpp"
 #include "svm/baseline/baseline.hpp"
 #include "svm/baseline/qsort.hpp"
 #include "svm/svm.hpp"
@@ -43,6 +44,8 @@ struct Options {
   bool exec_cache = true;
   std::uint32_t seed = 1;
   std::size_t trace = 0;  // print the first N register-file trace lines
+  std::string restore;    // warm-start the machine from this snapshot file
+  std::string snapshot;   // save the warmed machine here after the run
 };
 
 std::vector<T> make_data(const Options& opt) {
@@ -156,11 +159,19 @@ void run_kernel(const Options& opt) {
   // invocation alone (the process-wide tuner may carry earlier state).
   tune::AutoTuner tuner;
   std::optional<tune::TunerScope> tuner_scope;
-  if constexpr (LMUL == svm::kTunedLmul) tuner_scope.emplace(tuner);
+  tune::AutoTuner* tuner_ptr = nullptr;
+  if constexpr (LMUL == svm::kTunedLmul) {
+    tuner_scope.emplace(tuner);
+    tuner_ptr = &tuner;
+  }
 
   rvv::Machine machine(rvv::Machine::Config{.vlen_bits = opt.vlen,
                                             .model_register_pressure = opt.pressure,
                                             .use_exec_cache = opt.exec_cache});
+  if (!opt.restore.empty()) {
+    snap::restore_machine(machine, snap::read_file(opt.restore), tuner_ptr);
+    std::cout << "restored machine state from " << opt.restore << "\n";
+  }
   std::size_t traced = 0;
   if (opt.trace > 0 && machine.regfile() != nullptr) {
     machine.regfile()->set_trace_sink([&](const std::string& line) {
@@ -170,8 +181,14 @@ void run_kernel(const Options& opt) {
       }
     });
   }
-  rvv::MachineScope scope(machine);
-  it->second(opt);
+  {
+    rvv::MachineScope scope(machine);
+    it->second(opt);
+  }
+  if (!opt.snapshot.empty()) {
+    snap::write_file(opt.snapshot, snap::save_machine(machine, tuner_ptr));
+    std::cout << "saved machine state to " << opt.snapshot << "\n";
+  }
   const auto snap = machine.counter().snapshot();
 
   std::cout << "kernel=" << opt.kernel << " n=" << opt.n << " vlen=" << opt.vlen
@@ -238,7 +255,7 @@ void usage() {
   std::cout <<
       "svm_explore --kernel NAME [--n N] [--vlen BITS] [--lmul tuned|1|2|4|8]\n"
       "            [--no-pressure] [--no-exec-cache] [--seed S]\n"
-      "            [--trace LINES] [--list]\n";
+      "            [--trace LINES] [--restore FILE] [--snapshot FILE] [--list]\n";
 }
 
 }  // namespace
@@ -268,6 +285,10 @@ int main(int argc, char** argv) {
       opt.seed = static_cast<std::uint32_t>(std::stoul(next()));
     } else if (arg == "--trace") {
       opt.trace = std::stoul(next());
+    } else if (arg == "--restore") {
+      opt.restore = next();
+    } else if (arg == "--snapshot") {
+      opt.snapshot = next();
     } else if (arg == "--no-pressure") {
       opt.pressure = false;
     } else if (arg == "--no-exec-cache") {

@@ -1,7 +1,7 @@
 // svm_fuzz — the differential fuzzing oracle's command-line driver.
 //
 //   svm_fuzz [--seed N] [--iters N]
-//            [--layer all|rvv|svm|par|chaos|trace|serve|tune|<property>]
+//            [--layer all|rvv|svm|par|chaos|trace|serve|tune|snap|<property>]
 //            [--chaos N] [--json PATH] [--no-shrink] [--list]
 //
 // Exit status 0 when every case holds, 1 on any divergence (each failure is
@@ -25,7 +25,7 @@ void usage(std::ostream& os) {
         "  --seed N      base seed (default 1); (seed, iteration) replays a case\n"
         "  --iters N     number of cases to run (default 1000)\n"
         "  --layer L     all | rvv | svm | par | chaos | trace | serve | tune |\n"
-        "                an exact property name\n"
+        "                snap | an exact property name\n"
         "  --chaos N     shorthand for --layer chaos --seed N (fault injection)\n"
         "  --json PATH   write the failure report as JSON\n"
         "  --no-shrink   report raw failing cases without minimizing\n"

@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "serve/service.hpp"
+#include "sim/trap.hpp"
+#include "snap/snapshot.hpp"
 
 namespace {
 
@@ -46,12 +48,17 @@ using rvvsvm::serve::Value;
 void usage(std::ostream& os) {
   os << "usage: svm_serve [--harts N] [--vlen BITS] [--queue N]\n"
         "                 [--threshold N] [--budget TENANT:MAX]...\n"
-        "                 [--foreground] [--quiet]\n"
+        "                 [--restore FILE] [--snapshot FILE]\n"
+        "                 [--checkpoint-every N] [--foreground] [--quiet]\n"
         "  --harts N          pool size (default 4)\n"
         "  --vlen BITS        emulated VLEN (default 256)\n"
         "  --queue N          admission queue capacity (default 1024)\n"
         "  --threshold N      elements at which a request goes whole-pool\n"
         "  --budget T:MAX     per-tenant instruction budget (repeatable)\n"
+        "  --restore FILE     warm-start the pool from a snapshot file\n"
+        "  --snapshot FILE    write a pool snapshot on clean exit\n"
+        "  --checkpoint-every N  also checkpoint every N scheduler waves\n"
+        "                     (to the --snapshot file)\n"
         "  --foreground       no scheduler thread; drain per request\n"
         "  --quiet            suppress the banner\n"
         "then drive it over stdin; `quit` or EOF stops the service.\n";
@@ -227,6 +234,7 @@ int run_session(std::istream& in, std::ostream& out, ScanService& svc) {
 int main(int argc, char** argv) {
   ScanService::Config cfg;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> budgets;
+  std::string snapshot_path;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -262,6 +270,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       budgets.emplace_back(tenant, max);
+    } else if (arg == "--restore") {
+      cfg.restore_snapshot = std::string(value());
+    } else if (arg == "--snapshot") {
+      snapshot_path = std::string(value());
+    } else if (arg == "--checkpoint-every") {
+      if (!parse_u64(value(), v) || v == 0) return 2;
+      cfg.checkpoint_every_waves = v;
     } else if (arg == "--foreground") {
       cfg.background = false;
     } else if (arg == "--quiet") {
@@ -276,15 +291,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  ScanService svc(cfg);
-  for (const auto& [tenant, max] : budgets) svc.set_budget(tenant, max);
-  if (!quiet) {
-    std::cout << "svm_serve: " << cfg.harts << " harts, vlen "
-              << cfg.machine.vlen_bits << ", queue " << cfg.queue_capacity
-              << (cfg.background ? ", background scheduler" : ", foreground")
-              << " — `quit` or EOF to stop\n";
+  if (cfg.checkpoint_every_waves != 0) {
+    if (snapshot_path.empty()) {
+      std::cerr << "svm_serve: --checkpoint-every needs --snapshot FILE\n";
+      return 2;
+    }
+    cfg.checkpoint_path = snapshot_path;
   }
-  const int rc = run_session(std::cin, std::cout, svc);
-  svc.stop();
-  return rc;
+
+  try {
+    ScanService svc(cfg);
+    for (const auto& [tenant, max] : budgets) svc.set_budget(tenant, max);
+    if (!quiet) {
+      std::cout << "svm_serve: " << cfg.harts << " harts, vlen "
+                << cfg.machine.vlen_bits << ", queue " << cfg.queue_capacity
+                << (cfg.background ? ", background scheduler" : ", foreground")
+                << (cfg.restore_snapshot.empty() ? ""
+                                                 : ", warm-started from snapshot")
+                << " — `quit` or EOF to stop\n";
+    }
+    const int rc = run_session(std::cin, std::cout, svc);
+    svc.stop();
+    if (!snapshot_path.empty()) svc.checkpoint_to(snapshot_path);
+    return rc;
+  } catch (const rvvsvm::SnapshotTrap& trap) {
+    std::cerr << "svm_serve: " << trap.message() << "\n";
+    return 1;
+  }
 }
