@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
+#include <new>
 #include <utility>
 
 #include "rvv/decode.hpp"
@@ -258,6 +259,9 @@ struct MachineImage {
   sim::VRegFileModel::Telemetry regfile;
   sim::BufferPool::Stats pool_stats;
   sim::BufferPool::FreelistShape freelist;
+  /// Freelist storage pre-allocated by stage_freelists() once validation has
+  /// passed, so apply_machine adopts it without allocating (move-only).
+  sim::BufferPool::PrimedFreelists primed;
   rvv::ExecCacheStats cache_stats;
   std::vector<rvv::PortableDecodedOp> decoded;
   std::vector<rvv::PortableTrace> traces;
@@ -410,7 +414,13 @@ constexpr std::uint32_t kCacheStatFields = 11;
   for (std::size_t i = 0; i < freelist_classes; ++i) {
     const std::uint32_t cls = r.u32();
     const std::uint32_t count = r.u32();
-    if (cls >= sim::BufferPool::kNumClasses) fail("freelist class out of range");
+    // Both ends matter: a class below kMinClass names a block too small to
+    // hold the BlockHeader the pool writes into every primed block, so it
+    // must be rejected here, before any allocation happens.
+    if (cls < sim::BufferPool::kMinClass ||
+        cls >= sim::BufferPool::kNumClasses) {
+      fail("freelist class out of range");
+    }
     // Shift-then-multiply can wrap for large classes; bound the count first.
     if (count != 0 && (kMaxPrimedBytes >> cls) < count) {
       fail("freelist shape too large");
@@ -513,11 +523,25 @@ void validate_quiescent(rvv::Machine& m) {
   }
 }
 
-/// The mutation half of a restore.  Everything was validated; from here on
-/// nothing can throw.  Routes through invalidate_exec_caches() first — the
-/// single invalidation path — so the reconfigure epoch bumps and every
-/// derived cache (decoded ops, traces, tuned configs via the reconfigure
-/// hook) drops before the restored state lands.
+/// The staging half of a restore: pre-allocate the freelist storage
+/// apply_machine will adopt.  This is the only allocating step between
+/// validation and apply, so it runs before any target mutates — a bad_alloc
+/// here leaves the target untouched and surfaces as the documented typed
+/// trap instead of escaping raw.
+void stage_freelists(MachineImage& img) {
+  try {
+    img.primed = sim::BufferPool::PrimedFreelists(img.freelist);
+  } catch (const std::bad_alloc&) {
+    fail("out of memory priming freelists");
+  }
+}
+
+/// The mutation half of a restore.  Everything was validated and every
+/// allocation was staged (stage_freelists); from here on nothing can throw.
+/// Routes through invalidate_exec_caches() first — the single invalidation
+/// path — so the reconfigure epoch bumps and every derived cache (decoded
+/// ops, traces, tuned configs via the reconfigure hook) drops before the
+/// restored state lands.
 void apply_machine(rvv::Machine& m, MachineImage&& img) {
   m.invalidate_exec_caches();
   m.counter().restore(img.counter);
@@ -525,7 +549,7 @@ void apply_machine(rvv::Machine& m, MachineImage&& img) {
   if (m.regfile() != nullptr && img.has_regfile) {
     m.regfile()->restore_telemetry(img.regfile);
   }
-  m.pool().restore_freelists(img.pool_stats, img.freelist);
+  m.pool().restore_freelists(img.pool_stats, std::move(img.primed));
   m.exec_cache().install_pending(std::move(img.decoded), std::move(img.traces),
                                  img.cache_stats);
 }
@@ -640,8 +664,10 @@ void restore_machine(rvv::Machine& m, const Blob& blob, tune::AutoTuner* tuner) 
   if (!have_machine) fail("no machine section");
   validate_target(m, img);
   validate_quiescent(m);
-  // Validation complete; apply.  The epoch bump happens inside
-  // apply_machine, so the tuner import below lands on the new epoch.
+  stage_freelists(img);
+  // Validation and staging complete; apply cannot throw.  The epoch bump
+  // happens inside apply_machine, so the tuner import below lands on the
+  // new epoch.
   apply_machine(m, std::move(img));
   if (tuner != nullptr && have_tuner) tuner->import_winners(winners);
 }
@@ -691,10 +717,16 @@ void restore_pool(par::HartPool& pool, const Blob& blob, tune::AutoTuner* tuner)
   const std::size_t expected = info.harts + (info.has_rescue ? 1u : 0u);
   if (machines.size() != expected) fail("machine section count mismatch");
 
-  // Validate every target before mutating any of them.
+  // Validate every target before mutating any of them.  A live rescue
+  // machine is checked here too — whether the snapshot restores into it or
+  // it is about to be reset below — so a non-quiescent rescue traps with
+  // the whole pool untouched instead of surfacing mid-apply.
   for (unsigned h = 0; h < info.harts; ++h) {
     validate_target(pool.machine(h), machines[h]);
     validate_quiescent(pool.machine(h));
+  }
+  if (rvv::Machine* rescue = pool.rescue_machine()) {
+    validate_quiescent(*rescue);
   }
   if (info.has_rescue) {
     // The rescue machine shares the harts' configuration by construction,
@@ -703,13 +735,25 @@ void restore_pool(par::HartPool& pool, const Blob& blob, tune::AutoTuner* tuner)
     validate_target(pool.machine(0), machines.back());
   }
 
+  // Staging: every allocation the apply loop needs happens here, before
+  // any machine mutates.  Materializing a missing rescue machine is the
+  // last step that can fail; a fresh rescue is quiescent and zero-count,
+  // so the pool is observationally unchanged if nothing else has run.
+  for (MachineImage& img : machines) stage_freelists(img);
+  rvv::Machine* rescue_target = nullptr;
+  if (info.has_rescue) {
+    try {
+      rescue_target = &pool.ensure_rescue_machine();
+    } catch (const std::bad_alloc&) {
+      fail("out of memory materializing rescue machine");
+    }
+  }
+
   for (unsigned h = 0; h < info.harts; ++h) {
     apply_machine(pool.machine(h), std::move(machines[h]));
   }
-  if (info.has_rescue) {
-    rvv::Machine& rescue = pool.ensure_rescue_machine();
-    validate_quiescent(rescue);
-    apply_machine(rescue, std::move(machines.back()));
+  if (rescue_target != nullptr) {
+    apply_machine(*rescue_target, std::move(machines.back()));
   } else if (rvv::Machine* rescue = pool.rescue_machine()) {
     // The live pool grew a rescue machine the snapshot never saw: zero it
     // so merged_counts() matches the snapshotted pool exactly.

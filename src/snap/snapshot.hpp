@@ -27,8 +27,12 @@
 //
 // Restore discipline (validate-then-charge, applied to deserialization):
 // the entire blob is parsed and validated — magic, version, per-section
-// CRC32, field ranges, configuration match, target-machine preconditions —
-// before one byte of machine state mutates.  Any failure raises
+// CRC32, field ranges, configuration match, target-machine preconditions
+// (every hart AND the live rescue machine for pools) — before one byte of
+// machine state mutates.  A staging step then performs every allocation the
+// apply needs (freelist storage, a missing rescue machine), so the apply
+// phase itself is no-throw: even std::bad_alloc surfaces as a typed trap
+// with the target untouched.  Any failure raises
 // rvvsvm::SnapshotTrap and leaves the target exactly as it was.  A restore
 // that proceeds first routes through Machine::invalidate_exec_caches(), the
 // single invalidation path shared with reconfiguration: it drops all three

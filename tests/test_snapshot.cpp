@@ -351,6 +351,119 @@ TEST(SnapshotCorruption, HeaderPayloadBitFlipsOnWarmSnapshot) {
   }
 }
 
+// --- crafted (CRC-valid) corruption -----------------------------------------
+//
+// The sweeps above are caught by the section CRCs, which anyone producing a
+// snapshot file can recompute — so the field-range validation behind the
+// CRCs must hold on CRC-valid input too.  These helpers re-derive enough of
+// the version-1 layout (DESIGN.md §11) to patch one field and fix the CRC.
+
+u32 crc32_ieee(const std::uint8_t* data, std::size_t size) {
+  u32 crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? 0xEDB88320u ^ (crc >> 1) : crc >> 1;
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+u32 u32_at(const snap::Blob& blob, std::size_t off) {
+  u32 v = 0;
+  for (std::size_t i = 0; i < 4; ++i) v |= u32{blob[off + i]} << (8 * i);
+  return v;
+}
+
+void put_u32(snap::Blob& blob, std::size_t off, u32 v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    blob[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+struct SectionRef {
+  u32 id = 0;
+  std::size_t header = 0;   ///< offset of the section header
+  std::size_t payload = 0;  ///< offset of the payload bytes
+  std::size_t size = 0;
+};
+
+std::vector<SectionRef> section_refs(const snap::Blob& blob) {
+  std::vector<SectionRef> refs;
+  std::size_t pos = 24;  // container header: magic + version + flags + n + crc
+  const u32 count = u32_at(blob, 16);
+  for (u32 i = 0; i < count; ++i) {
+    SectionRef ref;
+    ref.id = u32_at(blob, pos);
+    ref.header = pos;
+    std::uint64_t size = 0;
+    for (int b = 0; b < 8; ++b) {
+      size |= std::uint64_t{blob[pos + 4 + static_cast<std::size_t>(b)]}
+              << (8 * b);
+    }
+    ref.size = static_cast<std::size_t>(size);
+    ref.payload = pos + 16;
+    pos = ref.payload + ref.size;
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+void fix_section_crc(snap::Blob& blob, const SectionRef& ref) {
+  put_u32(blob, ref.header + 12, crc32_ieee(blob.data() + ref.payload, ref.size));
+}
+
+/// Offset, within a machine-section, of the freelist table's entry count.
+std::size_t freelist_count_offset(const snap::Blob& blob,
+                                  const SectionRef& sec) {
+  std::size_t off = sec.payload;
+  off += 4 + 3;                         // VLEN + three config flags
+  off += 4 + sim::kNumInstClasses * 8;  // counter ledger
+  off += 4 + 4 + 8;                     // vsetvl memo
+  const bool has_regfile = blob[off] != 0;
+  off += 1;
+  if (has_regfile) off += 5 * 8 + 4;    // register-file telemetry
+  off += 8 * 8;                         // buffer-pool stats
+  return off;
+}
+
+TEST(SnapshotCorruption, CrcValidFreelistClassOutOfRangeRejected) {
+  // A freelist class below kMinClass names a block too small for the pool's
+  // BlockHeader; accepting one would make restore write past the block.
+  rvv::Machine source({.vlen_bits = 128});
+  warm(source);  // parks recycled blocks: the freelist table is non-empty
+  const snap::Blob blob = snap::save_machine(source);
+
+  const std::vector<SectionRef> secs = section_refs(blob);
+  ASSERT_FALSE(secs.empty());
+  ASSERT_EQ(secs[0].id, snap::kSectionMachine);
+  const std::size_t count_off = freelist_count_offset(blob, secs[0]);
+  ASSERT_GT(u32_at(blob, count_off), 0u)
+      << "warmed machine should park at least one block";
+  // Guard against layout drift: the entry we are about to patch must hold a
+  // class the loader accepts, or the offsets above no longer line up.
+  const std::size_t cls_off = count_off + 4;
+  ASSERT_GE(u32_at(blob, cls_off), sim::BufferPool::kMinClass);
+  ASSERT_LT(u32_at(blob, cls_off), sim::BufferPool::kNumClasses);
+
+  rvv::Machine target({.vlen_bits = 128});
+  const sim::CountSnapshot before = target.counter().snapshot();
+  for (const u32 cls : {0u, 1u, sim::BufferPool::kMinClass - 1,
+                        sim::BufferPool::kNumClasses, 0xFFFFFFFFu}) {
+    snap::Blob bad = blob;
+    put_u32(bad, cls_off, cls);
+    fix_section_crc(bad, secs[0]);
+    EXPECT_THROW(snap::restore_machine(target, bad), SnapshotTrap)
+        << "freelist class " << cls << " was accepted";
+  }
+  expect_same_counts(target.counter().snapshot(), before,
+                     "target after crafted freelist corruption");
+  // The pristine blob still restores.
+  snap::restore_machine(target, blob);
+  expect_same_counts(target.counter().snapshot(), source.counter().snapshot(),
+                     "restore after crafted corruption");
+}
+
 // --- checkpoint / rollback (chaos) ------------------------------------------
 
 TEST(SnapshotCheckpoint, RollbackMakesChaosExcursionInvisible) {
@@ -418,6 +531,37 @@ TEST(SnapshotPoolMisc, HartCountMismatchRejected) {
   par::HartPool b({.harts = 4, .shard_size = 64,
                    .machine = {.vlen_bits = 128}});
   EXPECT_THROW(snap::restore_pool(b, blob), SnapshotTrap);
+}
+
+TEST(SnapshotPoolMisc, NonQuiescentRescueRejectedBeforeAnyMutation) {
+  // A live rescue machine is validated with the harts, before the apply
+  // loop: a non-quiescent rescue must trap with every hart untouched,
+  // whether the snapshot carries a rescue section or is about to reset it.
+  par::HartPool pool({.harts = 2, .shard_size = 64,
+                      .machine = {.vlen_bits = 128}});
+  warm(pool.machine(0));
+  const snap::Blob no_rescue = snap::save_pool(pool);
+  rvv::Machine& rescue = pool.ensure_rescue_machine();
+  const snap::Blob with_rescue = snap::save_pool(pool);
+
+  // Drift hart 0 past both snapshots, then park a live value on the rescue
+  // machine so it is no longer quiescent.
+  warm(pool.machine(0));
+  const sim::CountSnapshot live = pool.machine(0).counter().snapshot();
+  {
+    rvv::MachineScope scope(rescue);
+    const auto held = rvv::vmv_v_x<u32>(1u, 4);
+    EXPECT_THROW(snap::restore_pool(pool, with_rescue), SnapshotTrap);
+    EXPECT_THROW(snap::restore_pool(pool, no_rescue), SnapshotTrap);
+    // Both traps fired before any mutation: hart 0 still shows its
+    // post-snapshot counts, not the snapshotted ones.
+    expect_same_counts(pool.machine(0).counter().snapshot(), live,
+                       "hart 0 after rejected restores");
+  }
+
+  // With the rescue quiescent again, both snapshots restore cleanly.
+  snap::restore_pool(pool, with_rescue);
+  snap::restore_pool(pool, no_rescue);
 }
 
 // --- serve cold start -------------------------------------------------------
