@@ -13,6 +13,21 @@
 // contract: exactly the poisoned requests fail, everything else completes,
 // and throughput stays above zero.
 //
+// Two overload-containment scenarios (ISSUE 10) follow, both hard gates:
+//
+//   * overload — a seeded 2x-queue-capacity open-loop burst with all three
+//     priority classes and per-request deadlines.  Gates: nothing but the
+//     two lowest classes is ever shed, every shed/reject decision lands at
+//     admission (before any execution), accepted p99 virtual-time latency
+//     stays under the deadline, and bills remain exact with shed and
+//     cancelled requests in the mix.
+//
+//   * breaker — a tenant whose requests always fault, interleaved 1-in-10
+//     with healthy traffic under per-tenant circuit breakers.  Gates: the
+//     breaker trips (later poisoned arrivals are quarantined unexecuted),
+//     every healthy request completes, and the pool instructions wasted on
+//     the rogue tenant stay within 10% of all retired work.
+//
 // --min-rps / --max-p99-ms turn the report into a CI gate (applied to the
 // highest-hart healthy run).  The JSON written by --json is the
 // BENCH_serve.json contract.
@@ -59,6 +74,7 @@ struct Options {
 };
 
 struct RunResult {
+  const char* mode = "throughput";  ///< throughput | chaos | overload | breaker
   unsigned harts = 0;
   bool chaos = false;
   std::size_t requests = 0;
@@ -73,6 +89,15 @@ struct RunResult {
   std::uint64_t billed_instructions = 0;
   std::uint64_t merged_instructions = 0;
   bool bills_exact = false;  ///< sum of bills == pool merged counts
+  // Overload/breaker scenario counters (zero elsewhere).
+  std::size_t shed = 0;              ///< kShedOverload responses
+  std::size_t interactive_shed = 0;  ///< sheds that hit the top class (gate: 0)
+  std::size_t deadline_exceeded = 0; ///< expired-in-queue + cancelled
+  std::size_t quarantined = 0;       ///< kTenantQuarantined responses
+  std::uint64_t vt_p99 = 0;          ///< p99 virtual-time latency (accepted)
+  std::uint64_t deadline_vt = 0;     ///< the per-request deadline budget used
+  double waste_fraction = 0.0;       ///< abandoned / (merged + abandoned)
+  bool sheds_decided_at_admission = false;
 };
 
 /// Deterministic mixed workload: mostly small coalescible strips, some
@@ -125,6 +150,7 @@ struct RunResult {
 
 RunResult run_load(const Options& opt, unsigned harts, bool chaos) {
   RunResult r;
+  r.mode = chaos ? "chaos" : "throughput";
   r.harts = harts;
   r.chaos = chaos;
   r.requests = opt.requests;
@@ -224,6 +250,195 @@ RunResult run_load(const Options& opt, unsigned harts, bool chaos) {
   return r;
 }
 
+// Seeded 2x-queue-capacity open-loop overload burst, foreground mode so the
+// saturation point (and therefore every shed decision) is deterministic in
+// the seed.  All three priority classes arrive round-robin, every request
+// carries the same virtual-time deadline.
+RunResult run_overload(const Options& opt, unsigned harts) {
+  RunResult r;
+  r.mode = "overload";
+  r.harts = harts;
+
+  ScanService::Config cfg;
+  cfg.harts = harts;
+  cfg.machine.vlen_bits = opt.vlen;
+  cfg.queue_capacity = 64;
+  cfg.coalesce_threshold = 1024;
+  cfg.background = false;
+  ScanService svc(cfg);
+
+  const std::size_t total = cfg.queue_capacity * 2;  // 2x capacity, open loop
+  r.requests = total;
+  constexpr std::uint64_t kDeadlineVt = 1u << 26;
+  r.deadline_vt = kDeadlineVt;
+
+  Rng rng(opt.seed * 7777u + harts);
+  struct Slot {
+    std::future<Response> fut;
+    rvvsvm::serve::Priority prio = rvvsvm::serve::Priority::kBatch;
+    bool decided_at_admission = false;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(total);
+
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < total; ++i) {
+    Request req = gen_request(rng, cfg.coalesce_threshold);
+    req.priority = static_cast<rvvsvm::serve::Priority>(i % 3);
+    req.deadline_insts = kDeadlineVt;
+    Slot slot;
+    slot.prio = req.priority;
+    slot.fut = svc.submit(std::move(req));
+    slots.push_back(std::move(slot));
+  }
+  // Nothing has executed yet (foreground mode): every future that is
+  // already decided was shed or rejected purely at admission.
+  for (Slot& s : slots) {
+    s.decided_at_admission =
+        s.fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+  }
+  svc.drain();
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<std::uint64_t> vt_latencies;
+  bool late_rejection = false;
+  for (Slot& s : slots) {
+    const Response resp = s.fut.get();
+    switch (resp.error) {
+      case ErrorCode::kOk:
+        ++r.completed;
+        vt_latencies.push_back(resp.vt_latency);
+        break;
+      case ErrorCode::kShedOverload:
+        ++r.shed;
+        if (s.prio == rvvsvm::serve::Priority::kInteractive) {
+          ++r.interactive_shed;
+        }
+        if (!s.decided_at_admission) late_rejection = true;
+        break;
+      case ErrorCode::kQueueFull:
+      case ErrorCode::kDeadlineUnmeetable:
+        ++r.rejected;
+        if (!s.decided_at_admission) late_rejection = true;
+        break;
+      case ErrorCode::kDeadlineExceeded:
+        ++r.deadline_exceeded;
+        ++r.failed;
+        break;
+      default:
+        ++r.failed;
+        break;
+    }
+  }
+  r.sheds_decided_at_admission = !late_rejection;
+  r.rps = r.seconds > 0.0 ? static_cast<double>(r.completed) / r.seconds : 0.0;
+  if (!vt_latencies.empty()) {
+    std::sort(vt_latencies.begin(), vt_latencies.end());
+    r.vt_p99 = vt_latencies[(vt_latencies.size() * 99) / 100];
+  }
+
+  svc.stop();
+  r.billed_instructions = svc.billing().grand_total().total();
+  r.merged_instructions = svc.pool().merged_counts().total();
+  r.bills_exact = svc.billing().grand_total() == svc.pool().merged_counts();
+  const double abandoned =
+      static_cast<double>(svc.pool().abandoned_counts().total());
+  const double retired = static_cast<double>(r.merged_instructions) + abandoned;
+  r.waste_fraction = retired > 0.0 ? abandoned / retired : 0.0;
+  return r;
+}
+
+// Breaker isolation: one tenant in ten requests always faults; per-tenant
+// circuit breakers must quarantine it after the threshold so the pool stops
+// burning retries on it, while every healthy request still completes.
+RunResult run_breaker(const Options& opt, unsigned harts) {
+  RunResult r;
+  r.mode = "breaker";
+  r.harts = harts;
+
+  ScanService::Config cfg;
+  cfg.harts = harts;
+  cfg.machine.vlen_bits = opt.vlen;
+  cfg.coalesce_threshold = 1024;
+  cfg.background = false;
+  cfg.breaker = {.threshold = 3, .cooldown_vt = std::uint64_t{1} << 40};
+  ScanService svc(cfg);
+
+  const std::size_t total = std::min<std::size_t>(opt.requests, 400);
+  r.requests = total;
+  Rng rng(opt.seed * 31337u + harts);
+  FaultInjector inj({.trap_at_instruction = 2, .persistent = true});
+
+  // Submit in bursts with a drain between them so breaker trips from one
+  // burst shape admission in the next — the daemon steady state, serialized.
+  constexpr std::size_t kBurst = 32;
+  std::size_t healthy_failed = 0;
+  std::size_t poisoned_executed_failures = 0;
+  const auto t0 = Clock::now();
+  std::size_t next = 0;
+  while (next < total) {
+    const std::size_t burst_end = std::min(next + kBurst, total);
+    std::vector<std::future<Response>> futs;
+    std::vector<char> is_poisoned;
+    for (std::size_t i = next; i < burst_end; ++i) {
+      Request req;
+      if (i % 10 == 0) {
+        req = gen_request(rng, cfg.coalesce_threshold);
+        req.data.resize(std::min<std::size_t>(req.data.size(), 24));
+        req.kind = Kind::kScan;
+        req.flags.clear();
+        req.tenant = 9;
+        req.chaos_hook = &inj;
+        ++r.poisoned;
+      } else {
+        req = gen_request(rng, cfg.coalesce_threshold);
+        if (req.tenant == 9) req.tenant = 1;
+      }
+      is_poisoned.push_back(i % 10 == 0 ? 1 : 0);
+      futs.push_back(svc.submit(std::move(req)));
+    }
+    svc.drain();
+    for (std::size_t j = 0; j < futs.size(); ++j) {
+      const Response resp = futs[j].get();
+      if (resp.ok()) {
+        ++r.completed;
+      } else if (resp.error == ErrorCode::kTenantQuarantined) {
+        ++r.quarantined;
+      } else {
+        ++r.failed;
+        if (is_poisoned[j] != 0) {
+          ++poisoned_executed_failures;
+        } else {
+          ++healthy_failed;
+        }
+      }
+    }
+    next = burst_end;
+  }
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.rps = r.seconds > 0.0 ? static_cast<double>(r.completed) / r.seconds : 0.0;
+
+  svc.stop();
+  r.billed_instructions = svc.billing().grand_total().total();
+  r.merged_instructions = svc.pool().merged_counts().total();
+  r.bills_exact = svc.billing().grand_total() == svc.pool().merged_counts();
+  const double abandoned =
+      static_cast<double>(svc.pool().abandoned_counts().total());
+  const double retired = static_cast<double>(r.merged_instructions) + abandoned;
+  r.waste_fraction = retired > 0.0 ? abandoned / retired : 0.0;
+  if (healthy_failed != 0) {
+    std::cerr << "serve_load: BREAKER ISOLATION VIOLATION — " << healthy_failed
+              << " healthy requests failed\n";
+    r.quarantined = 0;  // force the gate below to trip
+  }
+  if (poisoned_executed_failures > cfg.breaker.threshold + kBurst / 10) {
+    std::cerr << "serve_load: breaker let " << poisoned_executed_failures
+              << " poisoned requests execute before tripping\n";
+    r.quarantined = 0;  // force the gate below to trip
+  }
+  return r;
+}
+
 std::string json_number(double v) {
   std::ostringstream os;
   os << std::setprecision(6) << v;
@@ -239,19 +454,28 @@ void write_json(const std::vector<RunResult>& results, const Options& opt,
   }
   out << "{\n"
       << "  \"schema\": \"rvvsvm-bench-serve\",\n"
-      << "  \"schema_version\": 1,\n"
+      << "  \"schema_version\": 2,\n"
       << "  \"seed\": " << opt.seed << ",\n"
       << "  \"requests_per_run\": " << opt.requests << ",\n"
       << "  \"vlen\": " << opt.vlen << ",\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
-    out << "    {\"harts\": " << r.harts
+    out << "    {\"mode\": \"" << r.mode << "\", \"harts\": " << r.harts
         << ", \"chaos\": " << (r.chaos ? "true" : "false")
         << ", \"requests\": " << r.requests
         << ", \"completed\": " << r.completed << ", \"failed\": " << r.failed
         << ", \"rejected\": " << r.rejected
         << ", \"poisoned\": " << r.poisoned
+        << ", \"shed\": " << r.shed
+        << ", \"interactive_shed\": " << r.interactive_shed
+        << ", \"deadline_exceeded\": " << r.deadline_exceeded
+        << ", \"quarantined\": " << r.quarantined
+        << ", \"vt_p99\": " << r.vt_p99
+        << ", \"deadline_vt\": " << r.deadline_vt
+        << ", \"waste_fraction\": " << json_number(r.waste_fraction)
+        << ", \"sheds_decided_at_admission\": "
+        << (r.sheds_decided_at_admission ? "true" : "false")
         << ", \"seconds\": " << json_number(r.seconds)
         << ", \"req_per_sec\": " << json_number(r.rps)
         << ", \"p50_ms\": " << json_number(r.p50_ms)
@@ -265,17 +489,19 @@ void write_json(const std::vector<RunResult>& results, const Options& opt,
 }
 
 void print_summary(const std::vector<RunResult>& results) {
-  std::cout << std::left << std::setw(7) << "harts" << std::setw(7) << "chaos"
+  std::cout << std::left << std::setw(12) << "mode" << std::setw(7) << "harts"
             << std::right << std::setw(10) << "done" << std::setw(8) << "fail"
-            << std::setw(12) << "req/s" << std::setw(11) << "p50 ms"
-            << std::setw(11) << "p99 ms" << std::setw(8) << "exact" << '\n';
+            << std::setw(8) << "shed" << std::setw(8) << "quar"
+            << std::setw(12) << "req/s" << std::setw(11) << "p99 ms"
+            << std::setw(8) << "exact" << '\n';
   for (const RunResult& r : results) {
-    std::cout << std::left << std::setw(7) << r.harts << std::setw(7)
-              << (r.chaos ? "yes" : "no") << std::right << std::setw(10)
-              << r.completed << std::setw(8) << r.failed << std::setw(12)
-              << std::fixed << std::setprecision(1) << r.rps << std::setw(11)
-              << std::setprecision(3) << r.p50_ms << std::setw(11) << r.p99_ms
-              << std::setw(8) << (r.bills_exact ? "yes" : "NO") << '\n';
+    std::cout << std::left << std::setw(12) << r.mode << std::setw(7)
+              << r.harts << std::right << std::setw(10) << r.completed
+              << std::setw(8) << r.failed << std::setw(8) << r.shed
+              << std::setw(8) << r.quarantined << std::setw(12) << std::fixed
+              << std::setprecision(1) << r.rps << std::setw(11)
+              << std::setprecision(3) << r.p99_ms << std::setw(8)
+              << (r.bills_exact ? "yes" : "NO") << '\n';
   }
 }
 
@@ -364,6 +590,14 @@ int main(int argc, char** argv) {
   const unsigned chaos_harts = opt.harts.back();
   std::cout << "serve_load: chaos run @ " << chaos_harts << " harts...\n";
   results.push_back(run_load(opt, chaos_harts, /*chaos=*/true));
+  const std::size_t widest_healthy = results.size() - 2;
+
+  // Overload-containment scenarios (always gated, see the file header).
+  std::cout << "serve_load: overload burst @ " << chaos_harts << " harts...\n";
+  results.push_back(run_overload(opt, chaos_harts));
+  std::cout << "serve_load: breaker isolation @ " << chaos_harts
+            << " harts...\n";
+  results.push_back(run_breaker(opt, chaos_harts));
 
   print_summary(results);
   if (!opt.json_path.empty()) write_json(results, opt, opt.json_path);
@@ -371,8 +605,8 @@ int main(int argc, char** argv) {
   int rc = 0;
   for (const RunResult& r : results) {
     if (!r.bills_exact) {
-      std::cerr << "serve_load: FAIL — bills not exact at " << r.harts
-                << " harts" << (r.chaos ? " (chaos)" : "") << "\n";
+      std::cerr << "serve_load: FAIL — bills not exact in " << r.mode
+                << " run at " << r.harts << " harts\n";
       rc = 1;
     }
     if (r.chaos && r.failed != r.poisoned) {
@@ -383,9 +617,44 @@ int main(int argc, char** argv) {
       std::cerr << "serve_load: FAIL — no throughput under chaos\n";
       rc = 1;
     }
+    if (r.mode == std::string_view("overload")) {
+      if (r.interactive_shed != 0) {
+        std::cerr << "serve_load: FAIL — overload shed " << r.interactive_shed
+                  << " interactive requests\n";
+        rc = 1;
+      }
+      if (r.shed + r.rejected == 0) {
+        std::cerr << "serve_load: FAIL — 2x-capacity burst shed nothing "
+                     "(not saturating?)\n";
+        rc = 1;
+      }
+      if (!r.sheds_decided_at_admission) {
+        std::cerr << "serve_load: FAIL — a shed/reject decision waited for "
+                     "execution\n";
+        rc = 1;
+      }
+      if (r.completed > 0 && r.vt_p99 > r.deadline_vt) {
+        std::cerr << "serve_load: FAIL — accepted p99 vt latency " << r.vt_p99
+                  << " above the deadline " << r.deadline_vt << "\n";
+        rc = 1;
+      }
+    }
+    if (r.mode == std::string_view("breaker")) {
+      if (r.quarantined == 0) {
+        std::cerr << "serve_load: FAIL — breaker never quarantined the rogue "
+                     "tenant\n";
+        rc = 1;
+      }
+      if (r.waste_fraction > 0.10) {
+        std::cerr << "serve_load: FAIL — rogue tenant wasted "
+                  << json_number(100.0 * r.waste_fraction)
+                  << "% of pool instructions (gate 10%)\n";
+        rc = 1;
+      }
+    }
   }
   // Perf gates apply to the widest healthy run.
-  const RunResult& gated = results[results.size() - 2];
+  const RunResult& gated = results[widest_healthy];
   if (opt.min_rps > 0.0 && gated.rps < opt.min_rps) {
     std::cerr << "serve_load: FAIL — " << gated.rps << " req/s below gate "
               << opt.min_rps << "\n";

@@ -20,8 +20,24 @@
 //     malformed and queue-overflow requests all leave their tenant's bill
 //     untouched, and admitted work bills exactly what its responses say.
 //
-// All three run the service in foreground mode (the caller pumps drain()),
-// which makes every case single-threaded-deterministic in (seed, iteration).
+// ISSUE 10 adds the overload-containment claims:
+//
+//   * serve.deadline_chaos — with an injected hart fault in flight at the
+//     same time as deadline-bearing requests (coalesced, individual and
+//     whole-pool large), every deadline miss surfaces as kDeadlineExceeded,
+//     healthy peers are untouched, and the sum of bills still equals the
+//     merged pool ledger exactly — cancelled waves roll back into the
+//     abandoned ledger, committed partial phases of a large request stay
+//     billed.
+//
+//   * serve.overload_shed — at queue saturation, higher-priority arrivals
+//     evict exactly the newest lowest-priority queued requests
+//     (kShedOverload, zero bill), same-priority overflow still rejects with
+//     kQueueFull, and everything that executes bills exactly.
+//
+// All properties run the service in foreground mode (the caller pumps
+// drain()), which makes every case single-threaded-deterministic in
+// (seed, iteration).
 
 #include <algorithm>
 #include <cstdint>
@@ -424,6 +440,179 @@ std::string check_admission(const Case& c) {
                       svc.pool().merged_counts());
 }
 
+std::string check_deadline_chaos(const Case& c) {
+  const Shape s = serve_shape(c);
+  serve::ScanService::Config cfg = service_config(s);
+  cfg.coalesce_threshold = 1024;  // doomed multi-wave scans stay coalesced
+  cfg.recovery = {.max_retries = 1, .fallback_inline = true};
+  // Admission control off so arbitrarily tight deadlines reach execution —
+  // this property exercises the cancellation machinery, not the gate.
+  cfg.admission_control = false;
+  serve::ScanService svc(cfg);
+
+  const bool crash = (c.scalar & 1) != 0;
+  FaultInjector inj({.trap_at_instruction = 1 + c.offset % 40,
+                     .crash = crash,
+                     .persistent = true});
+
+  ValueStream values(c);
+  auto make_request = [&](Kind kind, std::size_t n, sim::TenantId tenant,
+                          std::uint64_t deadline) -> serve::Request {
+    serve::Request r;
+    r.tenant = tenant;
+    r.kind = kind;
+    r.deadline_insts = deadline;
+    r.data.reserve(n);
+    for (std::size_t e = 0; e < n; ++e) r.data.push_back(values.next());
+    return r;
+  };
+
+  // Healthy peers with roomy deadlines (every kernel here costs well under
+  // a million instructions), spanning all three execution paths.
+  std::vector<std::future<serve::Response>> healthy;
+  healthy.push_back(
+      svc.submit(make_request(Kind::kScan, 40 + c.vl % 32, 1, 1u << 20)));
+  healthy.push_back(svc.submit(make_request(Kind::kScan, 24, 2, 1u << 20)));
+  healthy.push_back(svc.submit(make_request(Kind::kSort, 30, 3, 0)));
+  healthy.push_back(
+      svc.submit(make_request(Kind::kScan, 1024 + c.vl % 256, 1, 1u << 20)));
+
+  // Deadline-doomed requests: budgets of a handful of instructions cancel
+  // at an early strip-mine boundary on all three paths — a coalesced pair
+  // (the group cancels, then each member re-cancels in the fallback), an
+  // individual sort, and a whole-pool large scan.  The wave-boundary
+  // cancellation contract only fires at the *second* vsetvl, so every
+  // doomed scan must strip-mine at least twice under the widest possible
+  // vector: n > VLMAX(vlen=1024, LMUL=8, 32-bit) = 256 for the coalesced
+  // pair, and n > harts * 512 elements for the pool-sharded large scan.
+  const std::uint64_t tight = 4 + c.offset % 8;
+  std::vector<std::future<serve::Response>> doomed;
+  doomed.push_back(svc.submit(make_request(Kind::kScan, 600, 5, tight)));
+  doomed.push_back(svc.submit(make_request(Kind::kScan, 520, 5, tight)));
+  doomed.push_back(svc.submit(make_request(Kind::kSort, 300, 6, tight)));
+  doomed.push_back(svc.submit(make_request(Kind::kScan, 4608, 6, tight)));
+
+  // The chaos request: a persistent injected fault (or crash) in the same
+  // waves as the deadline-bearing batch.
+  serve::Request poisoned = make_request(Kind::kReduce, 16 + c.vl % 64, 9, 0);
+  poisoned.chaos_hook = &inj;
+  std::future<serve::Response> chaos_fut = svc.submit(std::move(poisoned));
+
+  svc.drain();
+
+  for (std::size_t i = 0; i < healthy.size(); ++i) {
+    const serve::Response resp = healthy[i].get();
+    if (!resp.ok()) {
+      std::ostringstream msg;
+      msg << "serve.deadline_chaos: healthy request " << i << " failed with '"
+          << serve::to_string(resp.error) << "'";
+      return msg.str();
+    }
+  }
+  for (std::size_t i = 0; i < doomed.size(); ++i) {
+    const serve::Response resp = doomed[i].get();
+    if (resp.error != serve::ErrorCode::kDeadlineExceeded) {
+      std::ostringstream msg;
+      msg << "serve.deadline_chaos: doomed request " << i
+          << " ended with '" << serve::to_string(resp.error)
+          << "' instead of deadline_exceeded";
+      return msg.str();
+    }
+  }
+  const serve::Response chaos_resp = chaos_fut.get();
+  if (inj.fired() > 0 && chaos_resp.ok()) {
+    return "serve.deadline_chaos: persistent fault yielded a success";
+  }
+  if (svc.pool().abandoned_counts().total() == 0) {
+    return "serve.deadline_chaos: cancelled waves missing from the "
+           "abandoned ledger";
+  }
+
+  // The tentpole invariant: cancellation + chaos leave the bills exact.
+  return diff_ledgers("serve.deadline_chaos", svc.billing().grand_total(),
+                      svc.pool().merged_counts());
+}
+
+std::string check_overload_shed(const Case& c) {
+  const Shape s = serve_shape(c);
+  serve::ScanService::Config cfg = service_config(s);
+  cfg.queue_capacity = 4;
+  serve::ScanService svc(cfg);
+
+  ValueStream values(c);
+  auto request = [&](serve::Priority prio) -> serve::Request {
+    serve::Request r;
+    r.tenant = 1 + static_cast<sim::TenantId>(prio);
+    r.kind = Kind::kScan;
+    const std::size_t n = 8 + c.vl % 24;
+    for (std::size_t e = 0; e < n; ++e) r.data.push_back(values.next());
+    r.priority = prio;
+    return r;
+  };
+
+  // Fill the queue with background work, then saturate: interactive
+  // arrivals must evict background victims (newest first), and a further
+  // background arrival with no one below it must get a flat kQueueFull.
+  std::vector<std::future<serve::Response>> background;
+  for (int i = 0; i < 4; ++i) {
+    background.push_back(svc.submit(request(serve::Priority::kBackground)));
+  }
+  const std::size_t evictions = 1 + c.offset % 3;  // 1..3
+  std::vector<std::future<serve::Response>> interactive;
+  for (std::size_t i = 0; i < evictions; ++i) {
+    interactive.push_back(svc.submit(request(serve::Priority::kInteractive)));
+  }
+  serve::Response full = svc.submit(request(serve::Priority::kBackground)).get();
+  if (full.error != serve::ErrorCode::kQueueFull) {
+    return std::string("serve.overload_shed: bottom-class overflow got '") +
+           serve::to_string(full.error) + "' instead of queue_full";
+  }
+
+  svc.drain();
+
+  std::size_t shed = 0;
+  sim::InstCounter billed;
+  for (std::size_t i = 0; i < background.size(); ++i) {
+    const serve::Response resp = background[i].get();
+    if (resp.error == serve::ErrorCode::kShedOverload) {
+      ++shed;
+      if (resp.bill.total() != 0) {
+        return "serve.overload_shed: shed request carries a bill";
+      }
+      // Newest-first eviction: only the tail of the background class sheds.
+      if (i < background.size() - evictions) {
+        return "serve.overload_shed: shed victim was not the newest queued "
+               "background request";
+      }
+    } else if (resp.ok()) {
+      billed.add_all(resp.bill);
+    } else {
+      return std::string("serve.overload_shed: unexpected '") +
+             serve::to_string(resp.error) + "' on a background request";
+    }
+  }
+  if (shed != evictions) {
+    std::ostringstream msg;
+    msg << "serve.overload_shed: " << evictions << " interactive arrivals shed "
+        << shed << " background requests";
+    return msg.str();
+  }
+  for (auto& fut : interactive) {
+    const serve::Response resp = fut.get();
+    if (!resp.ok()) {
+      return std::string("serve.overload_shed: interactive request failed "
+                         "with '") +
+             serve::to_string(resp.error) + "'";
+    }
+    billed.add_all(resp.bill);
+  }
+  if (!(billed.snapshot() == svc.billing().grand_total())) {
+    return "serve.overload_shed: response bills disagree with the ledger";
+  }
+  return diff_ledgers("serve.overload_shed", svc.billing().grand_total(),
+                      svc.pool().merged_counts());
+}
+
 }  // namespace
 
 std::vector<Property> make_serve_properties() {
@@ -435,6 +624,8 @@ std::vector<Property> make_serve_properties() {
   add("serve.coalesce", check_coalesce);
   add("serve.billing_chaos", check_billing_chaos);
   add("serve.admission", check_admission);
+  add("serve.deadline_chaos", check_deadline_chaos);
+  add("serve.overload_shed", check_overload_shed);
   return props;
 }
 

@@ -212,8 +212,18 @@ bool HartPool::Impl::run_shard(EpochState& ep, rvv::Machine& m, unsigned hart,
       ++attempts;
       const sim::CountSnapshot wasted = m.counter().snapshot() - pre;
       m.counter().restore(pre);
-      if (attempts == 1) describe_current_exception(fail);
-      const bool give_up = attempts > policy.max_retries;
+      ShardFailure described;
+      described.shard = fail.shard;
+      described.hart = fail.hart;
+      describe_current_exception(described);
+      // A deadline cancellation is deterministic for its budget: retrying
+      // would burn the budget again and re-cancel, so (unless the policy
+      // opts in) it exhausts the retry channel immediately.
+      const bool cancelled =
+          !policy.retry_cancelled && described.has_context &&
+          described.trap_kind == sim::TrapKind::kDeadlineExceeded;
+      if (attempts == 1 || cancelled) fail = std::move(described);
+      const bool give_up = cancelled || attempts > policy.max_retries;
       {
         std::lock_guard lock(mu);
         if (ep.abandoned) {
@@ -308,6 +318,12 @@ void HartPool::Impl::finish_epoch(EpochState& ep) {
   if (cfg.recovery.fallback_inline) {
     for (auto& fail : report.failures) {
       if (fail.recovered) continue;
+      // Cooperative cancellations skip the rescue machine too: the fallback
+      // would re-run the shard only to re-cancel at the same budget.
+      if (!cfg.recovery.retry_cancelled && fail.has_context &&
+          fail.trap_kind == sim::TrapKind::kDeadlineExceeded) {
+        continue;
+      }
       if (!rescue) rescue = std::make_unique<rvv::Machine>(cfg.machine);
       if (ep.hooks.restore) {
         try {

@@ -69,6 +69,14 @@ struct RecoveryPolicy {
   /// fallback_inline is set).  A lost hart that eventually finishes rolls
   /// its late work back off its counter and rejoins the pool.
   std::chrono::milliseconds watchdog{0};
+  /// Re-run shards whose failure was a cooperative cancellation
+  /// (sim::TrapKind::kDeadlineExceeded).  Off by default: a deadline trap is
+  /// deterministic for a given budget, so a retry or inline fallback would
+  /// burn the whole budget again only to re-cancel at the same wave
+  /// boundary.  With the default, a cancelled shard skips retries and the
+  /// rescue machine and surfaces immediately as an unrecovered failure
+  /// (attempt counts and abandoned-ledger rollback unchanged).
+  bool retry_cancelled = false;
 
   /// True when any recovery channel is live — the signal for collectives to
   /// allocate checkpoint storage (RecoveryHooks) for their in-place phases.

@@ -78,6 +78,7 @@ class Machine {
   /// same vtype every iteration, so the steady state is two compares.
   template <VectorElement T>
   std::size_t vsetvl(std::size_t avl, unsigned lmul = 1) {
+    poll_deadline("vsetvl", avl, lmul);
     if (kSewBits<T> != vset_memo_sew_ || lmul != vset_memo_lmul_) {
       check_lmul("vsetvl", avl, lmul);
       vset_memo_sew_ = kSewBits<T>;
@@ -91,6 +92,7 @@ class Machine {
   /// VLMAX query via vsetvlmax — also a retired vsetvli instruction.
   template <VectorElement T>
   std::size_t vsetvlmax(unsigned lmul = 1) {
+    poll_deadline("vsetvlmax", 0, lmul);
     if (kSewBits<T> != vset_memo_sew_ || lmul != vset_memo_lmul_) {
       check_lmul("vsetvlmax", 0, lmul);
       vset_memo_sew_ = kSewBits<T>;
@@ -139,6 +141,23 @@ class Machine {
   /// Pool counters (acquires, reuse rate, peak bytes) for quick eyeballing.
   [[nodiscard]] const sim::BufferPool::Stats& pool_stats() const noexcept {
     return pool_.stats();
+  }
+
+  /// Cooperative cancellation deadline, as an absolute counter total.  Every
+  /// strip-mined kernel re-executes vsetvl each iteration (including during
+  /// fused-trace replay), so polling here cancels at exactly strip-mine wave
+  /// boundaries: once counter().total() reaches the deadline, the next
+  /// vsetvl/vsetvlmax raises DeadlineTrap *before* charging — the cancelled
+  /// wave never half-charges, and counts stay exact for billing rollback.
+  /// 0 disarms (the default); the steady-state cost is one compare.
+  /// Transient execution state: never serialized by src/snap, cleared by the
+  /// RAII guards that install it (serve::ScanService).
+  void set_instruction_deadline(std::uint64_t total) noexcept {
+    inst_deadline_ = total;
+  }
+  void clear_instruction_deadline() noexcept { inst_deadline_ = 0; }
+  [[nodiscard]] std::uint64_t instruction_deadline() const noexcept {
+    return inst_deadline_;
   }
 
   /// Install (or clear, with nullptr) the pre-charge fault hook.  The hook
@@ -225,6 +244,13 @@ class Machine {
     }
   }
 
+  void poll_deadline(const char* op, std::size_t avl, unsigned lmul) const {
+    if (inst_deadline_ != 0 && counter_.total() >= inst_deadline_) {
+      throw DeadlineTrap("instruction-budget deadline reached",
+                         trap_context(op, avl, lmul));
+    }
+  }
+
   Config cfg_;
   sim::InstCounter counter_;
   sim::ScalarRecorder scalar_;
@@ -236,6 +262,7 @@ class Machine {
   unsigned vset_memo_sew_ = 0;  // 0 = memo empty (valid SEWs are >= 8)
   unsigned vset_memo_lmul_ = 0;
   std::size_t vset_memo_vlmax_ = 0;
+  std::uint64_t inst_deadline_ = 0;  // 0 = no deadline armed
 };
 
 /// RAII bracket around one strip-mine loop iteration, driving the fused-

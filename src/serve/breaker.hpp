@@ -1,0 +1,181 @@
+// Per-tenant circuit breakers — quarantine for chaotic tenants.
+//
+// A tenant whose requests keep faulting or missing their deadlines burns
+// pool capacity on work that will be rolled back: every failed attempt
+// costs a RecoveryPolicy retry, an inline fallback, or a cancelled wave.
+// The breaker bounds that damage with the classic three-state machine,
+// driven here by the service's *virtual* clock (per-hart retired
+// instructions), so transitions are deterministic and unit-testable:
+//
+//   kClosed ──(N consecutive failed requests)──▶ kOpen
+//   kOpen   ──(cooldown_vt elapses; next arrival becomes the probe)──▶ kHalfOpen
+//   kHalfOpen ──(probe succeeds)──▶ kClosed
+//   kHalfOpen ──(probe fails)────▶ kOpen (fresh cooldown)
+//
+// While open, the tenant's requests are rejected at admission in
+// microseconds (kTenantQuarantined) — never queued, never executed, never
+// charged.  Half-open admits exactly one in-flight probe; everything else
+// from that tenant keeps being rejected until the probe resolves.  A probe
+// that is shed before executing (queue eviction, shutdown) decides
+// nothing: the breaker stays half-open and the next arrival probes again.
+//
+// Thread safety: admit() runs on producer threads, the record_* calls on
+// the scheduler; one mutex over the tenant map keeps the state machine
+// atomic.  Failure accounting counts *requests* (one per finish), not
+// pool-level attempts, so RecoveryPolicy retries do not multiply toward
+// the threshold.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/tenant_ledger.hpp"
+
+namespace rvvsvm::serve {
+
+struct BreakerConfig {
+  /// Consecutive failed (faulted or deadline-missed) requests that trip the
+  /// breaker.  0 disables breakers entirely (every admit() is kAllow).
+  unsigned threshold = 0;
+  /// Virtual time (per-hart retired instructions) a tripped breaker stays
+  /// open before the next arrival is admitted as the half-open probe.
+  std::uint64_t cooldown_vt = 0;
+};
+
+class TenantBreakers {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+  enum class Decision : std::uint8_t {
+    kAllow,   ///< breaker closed (or disabled): admit normally
+    kProbe,   ///< admitted as the half-open probe; outcome drives the breaker
+    kReject,  ///< breaker open: fail with kTenantQuarantined
+  };
+
+  /// Monotonic counters for stats and gates.
+  struct Stats {
+    std::uint64_t opens = 0;    ///< closed->open trips (incl. probe failures)
+    std::uint64_t probes = 0;   ///< half-open probes admitted
+    std::uint64_t closes = 0;   ///< probe successes closing the breaker
+    std::uint64_t rejects = 0;  ///< admissions refused while open
+  };
+
+  explicit TenantBreakers(BreakerConfig cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.threshold > 0; }
+
+  /// Admission decision for one arriving request of `tenant` at virtual
+  /// time `now_vt`.  May transition open -> half-open (cooldown elapsed).
+  [[nodiscard]] Decision admit(sim::TenantId tenant, std::uint64_t now_vt) {
+    if (!enabled()) return Decision::kAllow;
+    std::lock_guard lock(mu_);
+    Entry& e = tenants_[tenant];
+    switch (e.state) {
+      case State::kClosed:
+        return Decision::kAllow;
+      case State::kOpen:
+        if (now_vt < e.open_until_vt) {
+          ++stats_.rejects;
+          return Decision::kReject;
+        }
+        e.state = State::kHalfOpen;
+        [[fallthrough]];
+      case State::kHalfOpen:
+        if (e.probe_in_flight) {
+          ++stats_.rejects;
+          return Decision::kReject;
+        }
+        e.probe_in_flight = true;
+        ++stats_.probes;
+        return Decision::kProbe;
+    }
+    return Decision::kAllow;  // unreachable
+  }
+
+  /// A request of `tenant` finished successfully.  Resets the consecutive-
+  /// failure run; a successful probe closes the breaker.
+  void record_success(sim::TenantId tenant, bool probe) {
+    if (!enabled()) return;
+    std::lock_guard lock(mu_);
+    Entry& e = tenants_[tenant];
+    e.consecutive_failures = 0;
+    if (probe && e.state == State::kHalfOpen) {
+      e.state = State::kClosed;
+      e.probe_in_flight = false;
+      ++stats_.closes;
+    }
+  }
+
+  /// A request of `tenant` faulted or missed its deadline at virtual time
+  /// `now_vt`.  A failed probe re-opens immediately; otherwise the
+  /// consecutive-failure run grows and trips the breaker at the threshold.
+  void record_failure(sim::TenantId tenant, bool probe, std::uint64_t now_vt) {
+    if (!enabled()) return;
+    std::lock_guard lock(mu_);
+    Entry& e = tenants_[tenant];
+    if (probe && e.state == State::kHalfOpen) {
+      open_locked(e, now_vt);
+      return;
+    }
+    if (e.state != State::kClosed) return;
+    if (++e.consecutive_failures >= cfg_.threshold) open_locked(e, now_vt);
+  }
+
+  /// An admitted probe was dropped before executing (shed from the queue,
+  /// shutdown).  Its outcome decides nothing: stay half-open and let the
+  /// tenant's next arrival probe again.
+  void record_probe_dropped(sim::TenantId tenant) {
+    if (!enabled()) return;
+    std::lock_guard lock(mu_);
+    Entry& e = tenants_[tenant];
+    if (e.state == State::kHalfOpen) e.probe_in_flight = false;
+  }
+
+  [[nodiscard]] State state(sim::TenantId tenant) const {
+    if (!enabled()) return State::kClosed;
+    std::lock_guard lock(mu_);
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? State::kClosed : it->second.state;
+  }
+
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+
+ private:
+  struct Entry {
+    State state = State::kClosed;
+    unsigned consecutive_failures = 0;
+    std::uint64_t open_until_vt = 0;
+    bool probe_in_flight = false;
+  };
+
+  void open_locked(Entry& e, std::uint64_t now_vt) {
+    e.state = State::kOpen;
+    e.open_until_vt = now_vt + cfg_.cooldown_vt;
+    e.consecutive_failures = 0;
+    e.probe_in_flight = false;
+    ++stats_.opens;
+  }
+
+  const BreakerConfig cfg_;
+  mutable std::mutex mu_;
+  std::unordered_map<sim::TenantId, Entry> tenants_;
+  Stats stats_;
+};
+
+/// Mnemonic for logs and tests ("closed", "open", "half_open").
+[[nodiscard]] constexpr const char* to_string(TenantBreakers::State s) noexcept {
+  switch (s) {
+    case TenantBreakers::State::kClosed:
+      return "closed";
+    case TenantBreakers::State::kOpen:
+      return "open";
+    case TenantBreakers::State::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+}  // namespace rvvsvm::serve

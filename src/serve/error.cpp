@@ -30,6 +30,14 @@ const char* to_string(ErrorCode code) noexcept {
       return "worker_crash";
     case ErrorCode::kSnapshotInvalid:
       return "snapshot_invalid";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kDeadlineUnmeetable:
+      return "deadline_unmeetable";
+    case ErrorCode::kShedOverload:
+      return "shed_overload";
+    case ErrorCode::kTenantQuarantined:
+      return "tenant_quarantined";
   }
   return "?";
 }
@@ -53,6 +61,8 @@ ErrorCode error_code(sim::TrapKind kind) noexcept {
       return ErrorCode::kFaultInjected;
     case sim::TrapKind::kSnapshot:
       return ErrorCode::kSnapshotInvalid;
+    case sim::TrapKind::kDeadlineExceeded:
+      return ErrorCode::kDeadlineExceeded;
   }
   return ErrorCode::kWorkerCrash;  // unreachable for in-range kinds
 }
@@ -73,12 +83,17 @@ std::optional<sim::TrapKind> trap_kind(ErrorCode code) noexcept {
       return sim::TrapKind::kInjected;
     case ErrorCode::kSnapshotInvalid:
       return sim::TrapKind::kSnapshot;
+    case ErrorCode::kDeadlineExceeded:
+      return sim::TrapKind::kDeadlineExceeded;
     case ErrorCode::kOk:
     case ErrorCode::kQueueFull:
     case ErrorCode::kBudgetExceeded:
     case ErrorCode::kMalformed:
     case ErrorCode::kShutdown:
     case ErrorCode::kWorkerCrash:
+    case ErrorCode::kDeadlineUnmeetable:
+    case ErrorCode::kShedOverload:
+    case ErrorCode::kTenantQuarantined:
       return std::nullopt;
   }
   return std::nullopt;

@@ -46,6 +46,19 @@ enum class ErrorCode : std::uint8_t {
   // Snapshot subsystem failure surfaced through the service (a cold-start
   // restore or checkpoint rejected a corrupt/mismatched snapshot file).
   kSnapshotInvalid = 12,  ///< sim::TrapKind::kSnapshot
+
+  // Overload containment (ISSUE 10).  kDeadlineExceeded is the only one of
+  // these that can follow execution: the request's instruction-budget
+  // deadline passed, either while queued (shed before execution, zero bill)
+  // or mid-execution (cooperatively cancelled at a strip-mine wave boundary;
+  // rolled-back work lands in the pool's abandoned ledger, committed partial
+  // phases of a large request stay on the bill).  The other three are
+  // admission rejections decided in microseconds, never executed, never
+  // charged.
+  kDeadlineExceeded = 13,    ///< sim::TrapKind::kDeadlineExceeded
+  kDeadlineUnmeetable = 14,  ///< predicted cost + queue backlog > deadline
+  kShedOverload = 15,        ///< shed by a higher-priority arrival at saturation
+  kTenantQuarantined = 16,   ///< tenant's circuit breaker is open
 };
 
 /// Stable mnemonic for logs and the CLI ("ok", "queue_full", ...).

@@ -3,11 +3,20 @@
 // Producers are client threads calling ScanService::submit; the single
 // consumer is the batching scheduler (a dedicated thread in background
 // mode, the caller's thread in foreground mode).  The queue is bounded so
-// overload turns into an immediate kQueueFull rejection instead of
-// unbounded memory growth — admission control's first gate.
+// overload turns into an immediate rejection instead of unbounded memory
+// growth — admission control's first gate.
 //
-// Implementation is a mutex + condition variable around a deque: the
-// service's unit of work is an entire SVM kernel request (thousands of
+// Overload containment (ISSUE 10): the queue is priority-aware.  Requests
+// are held per Priority class and consumed highest-class-first (FIFO
+// within a class).  When the queue saturates, push_or_shed evicts the
+// newest queued request of the lowest class strictly below the arrival's —
+// shed-lowest-first — so interactive traffic displaces background traffic
+// instead of being rejected flat.  An arrival with nothing below it to
+// shed is rejected (kQueueFull), which for a single-priority workload
+// reproduces the pre-ISSUE-10 behavior exactly.
+//
+// Implementation is a mutex + condition variable around per-class deques:
+// the service's unit of work is an entire SVM kernel request (thousands of
 // emulated instructions), so queue overhead is noise and the simple,
 // obviously-TSan-clean structure wins over a lock-free ring.
 #pragma once
@@ -15,9 +24,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -25,10 +36,23 @@
 
 namespace rvvsvm::serve {
 
-/// One queued request and the promise its response is delivered through.
+/// One queued request and the promise its response is delivered through,
+/// plus the admission-time bookkeeping the scheduler needs to enforce the
+/// deadline and maintain the predicted-backlog gauge.
 struct Pending {
   Request req;
   std::promise<Response> promise;
+  /// Service virtual clock (per-hart retired instructions) at admission.
+  std::uint64_t admit_vt = 0;
+  /// Absolute virtual-time deadline: admit_vt + req.deadline_insts.
+  /// 0 = no deadline.
+  std::uint64_t deadline_vt = 0;
+  /// Cost-model prediction charged against the queue-backlog gauge from
+  /// admission until the response is fulfilled (or the request is shed).
+  std::uint64_t predicted_cost = 0;
+  /// True once this request was admitted as a circuit breaker's half-open
+  /// probe; its outcome decides whether the breaker closes or re-opens.
+  bool breaker_probe = false;
 };
 
 class RequestQueue {
@@ -39,19 +63,50 @@ class RequestQueue {
   RequestQueue& operator=(const RequestQueue&) = delete;
 
   /// Admission push: false when the queue is at capacity or closed (the
-  /// caller maps the two via is_closed()).  Never blocks.
+  /// caller maps the two via is_closed()).  Never blocks, never sheds.
   [[nodiscard]] bool try_push(Pending&& p) {
+    std::optional<Pending> shed;
+    const bool admitted = push_or_shed(std::move(p), shed);
+    // No shed victim is possible: callers of the shedding API use
+    // push_or_shed directly.
+    return admitted;
+  }
+
+  /// Admission push with shed-lowest-first eviction.  Returns true when
+  /// `p` was admitted.  When admission required evicting a lower-priority
+  /// request, the victim is moved into `shed` and the caller must fail its
+  /// promise (kShedOverload) — the queue never completes promises itself.
+  /// Returns false (queue full or closed) only when nothing strictly below
+  /// p's class is queued.
+  [[nodiscard]] bool push_or_shed(Pending&& p, std::optional<Pending>& shed) {
     {
       std::lock_guard lock(mu_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(p));
+      if (closed_) return false;
+      if (size_locked() >= capacity_) {
+        const auto cls = static_cast<std::size_t>(p.req.priority);
+        std::size_t victim = kNumPriorities;
+        for (std::size_t c = 0; c < cls; ++c) {
+          if (!items_[c].empty()) {
+            victim = c;
+            break;
+          }
+        }
+        if (victim == kNumPriorities) return false;
+        // Newest-first within the victim class: the oldest queued request
+        // has waited longest and is closest to its deadline; shedding the
+        // newest preserves FIFO fairness for the survivors.
+        shed = std::move(items_[victim].back());
+        items_[victim].pop_back();
+      }
+      items_[static_cast<std::size_t>(p.req.priority)].push_back(std::move(p));
     }
     cv_.notify_one();
     return true;
   }
 
-  /// Consumer side: move out up to `max` requests (FIFO).  Returns an empty
-  /// vector when nothing is queued.
+  /// Consumer side: move out up to `max` requests, highest priority class
+  /// first, FIFO within a class.  Returns an empty vector when nothing is
+  /// queued.
   [[nodiscard]] std::vector<Pending> pop_batch(std::size_t max) {
     std::lock_guard lock(mu_);
     return pop_locked(max);
@@ -62,11 +117,11 @@ class RequestQueue {
   /// and drained — the scheduler's exit condition.
   [[nodiscard]] std::vector<Pending> wait_batch(std::size_t max) {
     std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    cv_.wait(lock, [&] { return closed_ || size_locked() > 0; });
     return pop_locked(max);
   }
 
-  /// Stop admitting (try_push fails from now on) and wake the consumer so
+  /// Stop admitting (pushes fail from now on) and wake the consumer so
   /// it can drain the tail and exit.
   void close() {
     {
@@ -83,19 +138,29 @@ class RequestQueue {
 
   [[nodiscard]] std::size_t size() const {
     std::lock_guard lock(mu_);
-    return items_.size();
+    return size_locked();
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
+  [[nodiscard]] std::size_t size_locked() const {
+    std::size_t n = 0;
+    for (const auto& q : items_) n += q.size();
+    return n;
+  }
+
   [[nodiscard]] std::vector<Pending> pop_locked(std::size_t max) {
     std::vector<Pending> out;
-    const std::size_t take = items_.size() < max ? items_.size() : max;
+    const std::size_t total = size_locked();
+    const std::size_t take = total < max ? total : max;
     out.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      out.push_back(std::move(items_.front()));
-      items_.pop_front();
+    for (std::size_t c = kNumPriorities; c-- > 0 && out.size() < take;) {
+      auto& q = items_[c];
+      while (!q.empty() && out.size() < take) {
+        out.push_back(std::move(q.front()));
+        q.pop_front();
+      }
     }
     return out;
   }
@@ -103,7 +168,7 @@ class RequestQueue {
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Pending> items_;
+  std::deque<Pending> items_[kNumPriorities];
   bool closed_ = false;
 };
 

@@ -38,6 +38,32 @@ enum class Kind : std::uint8_t {
 
 inline constexpr std::size_t kNumRequestKinds = 6;
 
+/// Scheduling class for overload containment.  Higher values are served
+/// first and survive queue saturation longer: when the queue is full, an
+/// arriving request sheds the newest queued request of the *lowest* class
+/// strictly below its own (shed-lowest-first) instead of being rejected
+/// flat.  Within a class, service order stays FIFO.
+enum class Priority : std::uint8_t {
+  kBackground = 0,  ///< first to shed under overload
+  kBatch = 1,       ///< the default
+  kInteractive = 2,  ///< served first, last to shed
+};
+
+inline constexpr std::size_t kNumPriorities = 3;
+
+/// Mnemonic for logs and the CLI ("background", "batch", "interactive").
+[[nodiscard]] constexpr const char* to_string(Priority p) noexcept {
+  switch (p) {
+    case Priority::kBackground:
+      return "background";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kInteractive:
+      return "interactive";
+  }
+  return "?";
+}
+
 /// Mnemonic for logs and the CLI ("scan", "compress", ...).
 [[nodiscard]] constexpr const char* to_string(Kind kind) noexcept {
   switch (kind) {
@@ -66,6 +92,20 @@ struct Request {
   std::vector<Value> flags;
   /// kHistogram only: number of bins; every key must be < bins.
   std::size_t bins = 0;
+  /// Scheduling class (see Priority).  Orthogonal to the deadline: a
+  /// background request may carry a deadline and an interactive one may not.
+  Priority priority = Priority::kBatch;
+  /// Latency deadline as a *virtual-time budget*: the request must finish
+  /// within this many per-hart retired instructions of admission (the
+  /// service's clock is the pool's merged ledger divided by hart count —
+  /// deterministic, unlike wall time).  0 = no deadline.  Enforced three
+  /// ways, earliest first: admission control predicts cost via
+  /// tune::CostModel and rejects unmeetable requests in microseconds
+  /// (kDeadlineUnmeetable); requests whose deadline passed while queued are
+  /// shed unexecuted (kDeadlineExceeded, zero bill); in-flight requests are
+  /// cooperatively cancelled at the next strip-mine wave boundary
+  /// (kDeadlineExceeded, rolled-back work ledgered abandoned).
+  std::uint64_t deadline_insts = 0;
   /// Test/bench-only fault channel: installed on the executing machine for
   /// exactly this request's attempts (never coalesced, so the blast radius
   /// is one request).  Non-owning; must outlive the request.  Production
@@ -91,6 +131,11 @@ struct Response {
   std::uint64_t billed_total = 0;
   /// The request was executed inside a coalesced segmented-envelope pass.
   bool coalesced = false;
+  /// Virtual-time latency: service clock at completion minus service clock
+  /// at admission, in per-hart retired instructions (the unit deadlines are
+  /// expressed in).  The clock advances at execution-phase boundaries, so
+  /// this is exact to within one phase.  Zero for admission rejections.
+  std::uint64_t vt_latency = 0;
   /// Failure detail (trap message or pool report summary); empty on success.
   std::string message;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 #include <span>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "apps/radix_sort.hpp"
 #include "par/collectives.hpp"
 #include "snap/snapshot.hpp"
+#include "tune/cost_model.hpp"
 #include "svm/op_traits.hpp"
 #include "svm/permute_ops.hpp"
 #include "svm/scan.hpp"
@@ -38,6 +40,69 @@ class HookGuard {
   rvv::Machine& m_;
   bool active_;
 };
+
+/// Arm the executing machine's cooperative-cancellation deadline for the
+/// body's lifetime.  `remaining` is the request's (or group's) unspent
+/// virtual-time budget; the machine cancels (DeadlineTrap) at the first
+/// strip-mine wave boundary after its own counter has advanced that far.
+/// Cleared on commit and on unwind, so a retry or another request on the
+/// same hart never inherits it.
+class DeadlineGuard {
+ public:
+  DeadlineGuard(rvv::Machine& m, std::uint64_t remaining) noexcept
+      : m_(m), active_(remaining > 0) {
+    if (active_) m_.set_instruction_deadline(m_.counter().total() + remaining);
+  }
+  ~DeadlineGuard() {
+    if (active_) m_.clear_instruction_deadline();
+  }
+  DeadlineGuard(const DeadlineGuard&) = delete;
+  DeadlineGuard& operator=(const DeadlineGuard&) = delete;
+
+ private:
+  rvv::Machine& m_;
+  bool active_;
+};
+
+/// Large-path variant: the par:: collectives run on every hart, so the
+/// budget is armed on each hart machine before the collective starts (the
+/// pool is quiescent between jobs, so the consumer thread owns the
+/// machines) and cleared when the request finishes.  Each hart gets the
+/// full remaining budget — harts run in parallel, so per-hart retired
+/// instructions *are* the virtual-time axis.
+class PoolDeadlineGuard {
+ public:
+  PoolDeadlineGuard(par::HartPool& pool, std::uint64_t remaining) noexcept
+      : pool_(pool), active_(remaining > 0) {
+    if (!active_) return;
+    for (unsigned h = 0; h < pool_.harts(); ++h) {
+      rvv::Machine& m = pool_.machine(h);
+      m.set_instruction_deadline(m.counter().total() + remaining);
+    }
+  }
+  ~PoolDeadlineGuard() {
+    if (!active_) return;
+    for (unsigned h = 0; h < pool_.harts(); ++h) {
+      pool_.machine(h).clear_instruction_deadline();
+    }
+  }
+  PoolDeadlineGuard(const PoolDeadlineGuard&) = delete;
+  PoolDeadlineGuard& operator=(const PoolDeadlineGuard&) = delete;
+
+ private:
+  par::HartPool& pool_;
+  bool active_;
+};
+
+/// The unspent virtual-time budget of a queued request at wave time, or 0
+/// when it carries no deadline.  Callers shed expired requests before
+/// execution, so a positive remainder is the normal case; the floor of 1
+/// keeps an exactly-at-deadline request armed rather than unlimited.
+[[nodiscard]] std::uint64_t remaining_budget(const Pending& p,
+                                             std::uint64_t now_vt) noexcept {
+  if (p.deadline_vt == 0) return 0;
+  return p.deadline_vt > now_vt ? p.deadline_vt - now_vt : 1;
+}
 
 /// Kinds with a whole-pool par:: collective (the large-request path).
 [[nodiscard]] constexpr bool has_par_path(Kind kind) noexcept {
@@ -74,7 +139,8 @@ ScanService::ScanService(Config cfg)
                                   .shard_size = cfg.shard_size,
                                   .machine = cfg.machine,
                                   .recovery = cfg.recovery}),
-      queue_(cfg.queue_capacity) {
+      queue_(cfg.queue_capacity),
+      breakers_(cfg.breaker) {
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
   if (!cfg_.restore_snapshot.empty()) {
     // Warm start: the pool exists but has run nothing, so every hart is
@@ -104,7 +170,10 @@ std::future<Response> ScanService::submit(Request req) {
   }
 
   // Admission gates, cheapest first.  Every rejection fulfils the future
-  // immediately and charges nothing (the fuzz layer pins that).
+  // immediately and charges nothing (the fuzz layer pins that) — overload
+  // is turned away in microseconds, never after wasted work.
+  const std::uint64_t now_vt = virtual_now();
+  const std::uint64_t predicted = predict_cost(req.kind, req.data.size());
   ErrorCode reject = ErrorCode::kOk;
   const char* detail = "";
   if (stopped_.load(std::memory_order_acquire)) {
@@ -123,15 +192,71 @@ std::future<Response> ScanService::submit(Request req) {
     detail = "tenant instruction budget exhausted";
   }
 
+  // Circuit breaker: a quarantined tenant is turned away before the queue
+  // sees the request.  The probe slot, if we take one, must be released on
+  // any later rejection so the tenant is not deadlocked out of probing.
   if (reject == ErrorCode::kOk) {
+    switch (breakers_.admit(req.tenant, now_vt)) {
+      case TenantBreakers::Decision::kReject:
+        reject = ErrorCode::kTenantQuarantined;
+        detail = "tenant circuit breaker open";
+        break;
+      case TenantBreakers::Decision::kProbe:
+        p.breaker_probe = true;
+        break;
+      case TenantBreakers::Decision::kAllow:
+        break;
+    }
+  }
+
+  // Deadline feasibility: predicted cost plus this request's per-hart
+  // share of the predicted queue backlog must fit the budget.
+  if (reject == ErrorCode::kOk && cfg_.admission_control &&
+      req.deadline_insts > 0) {
+    const std::uint64_t backlog =
+        queued_cost_.load(std::memory_order_relaxed) / cfg_.harts;
+    if (predicted > req.deadline_insts ||
+        backlog > req.deadline_insts - predicted) {
+      reject = ErrorCode::kDeadlineUnmeetable;
+      detail = "predicted cost cannot meet the deadline at current load";
+    }
+  }
+
+  if (reject == ErrorCode::kOk) {
+    p.admit_vt = now_vt;
+    p.deadline_vt =
+        req.deadline_insts > 0 ? now_vt + req.deadline_insts : 0;
+    p.predicted_cost = predicted;
+    const sim::TenantId tenant = req.tenant;
     p.req = std::move(req);
-    if (queue_.try_push(std::move(p))) {
-      std::lock_guard lock(stats_mu_);
-      ++stats_.admitted;
+    std::optional<Pending> shed;
+    if (queue_.push_or_shed(std::move(p), shed)) {
+      queued_cost_.fetch_add(predicted, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(stats_mu_);
+        ++stats_.admitted;
+        if (shed) ++stats_.shed_overload;
+      }
+      if (shed) {
+        // Shed-lowest-first: the victim was admitted earlier at a lower
+        // priority; it never executed and bills nothing.
+        queued_cost_.fetch_sub(shed->predicted_cost,
+                               std::memory_order_relaxed);
+        if (shed->breaker_probe) {
+          breakers_.record_probe_dropped(shed->req.tenant);
+        }
+        Response evicted;
+        evicted.error = ErrorCode::kShedOverload;
+        evicted.message = "shed by a higher-priority arrival at saturation";
+        shed->promise.set_value(std::move(evicted));
+      }
       return fut;
     }
+    if (p.breaker_probe) breakers_.record_probe_dropped(tenant);
     reject = queue_.is_closed() ? ErrorCode::kShutdown : ErrorCode::kQueueFull;
     detail = queue_.is_closed() ? "service stopping" : "request queue full";
+  } else if (p.breaker_probe) {
+    breakers_.record_probe_dropped(req.tenant);
   }
 
   {
@@ -145,6 +270,12 @@ std::future<Response> ScanService::submit(Request req) {
         break;
       case ErrorCode::kMalformed:
         ++stats_.rejected_malformed;
+        break;
+      case ErrorCode::kDeadlineUnmeetable:
+        ++stats_.rejected_deadline;
+        break;
+      case ErrorCode::kTenantQuarantined:
+        ++stats_.rejected_quarantined;
         break;
       default:
         ++stats_.rejected_shutdown;
@@ -217,6 +348,42 @@ std::uint64_t ScanService::estimate(Kind kind, std::size_t n) const {
   return 16;
 }
 
+std::uint64_t ScanService::predict_cost(Kind kind, std::size_t n) const {
+  using tune::Shape;
+  bool fitted = true;
+  Shape shape = Shape::kScanInclusive;
+  switch (kind) {
+    case Kind::kScan:
+      shape = Shape::kScanInclusive;
+      break;
+    case Kind::kScanExclusive:
+      shape = Shape::kScanExclusive;
+      break;
+    case Kind::kReduce:
+      shape = Shape::kReduce;
+      break;
+    case Kind::kCompress:
+      shape = Shape::kPack;
+      break;
+    case Kind::kSort:
+      shape = Shape::kParSort;
+      break;
+    case Kind::kHistogram:
+      fitted = false;  // no fitted shape; the eyeballed estimate gates it
+      break;
+  }
+  if (fitted && n > 0) {
+    const tune::CostModel& model = tune::CostModel::global();
+    if (model.covers(shape)) {
+      const double pred =
+          model.predict(shape, /*lmul=*/1, n, cfg_.machine.vlen_bits,
+                        /*sew_bits=*/32);
+      if (pred > 0.0) return static_cast<std::uint64_t>(pred);
+    }
+  }
+  return estimate(kind, n);
+}
+
 void ScanService::scheduler_main() {
   for (;;) {
     std::vector<Pending> wave = queue_.wait_batch(cfg_.max_batch);
@@ -228,12 +395,23 @@ void ScanService::scheduler_main() {
 void ScanService::finish(Pending& p, Response&& resp) {
   resp.billed_total = resp.bill.total();
   billing_.charge(p.req.tenant, resp.bill);
+  queued_cost_.fetch_sub(p.predicted_cost, std::memory_order_relaxed);
+  const std::uint64_t now_vt = virtual_now();
+  resp.vt_latency = now_vt > p.admit_vt ? now_vt - p.admit_vt : 0;
+  if (resp.ok()) {
+    breakers_.record_success(p.req.tenant, p.breaker_probe);
+  } else {
+    breakers_.record_failure(p.req.tenant, p.breaker_probe, now_vt);
+  }
   {
     std::lock_guard lock(stats_mu_);
     if (resp.ok()) {
       ++stats_.completed;
     } else {
       ++stats_.failed;
+      if (resp.error == ErrorCode::kDeadlineExceeded) {
+        ++stats_.deadline_exceeded;
+      }
     }
   }
   p.promise.set_value(std::move(resp));
@@ -244,6 +422,7 @@ void ScanService::run_wave(std::vector<Pending> wave) {
     std::lock_guard lock(stats_mu_);
     ++stats_.waves;
   }
+  wave_vt_ = virtual_now();
 
   std::vector<Pending*> individual;
   std::vector<Pending*> large;
@@ -251,6 +430,19 @@ void ScanService::run_wave(std::vector<Pending> wave) {
 
   for (Pending& p : wave) {
     const Request& r = p.req;
+    if (p.deadline_vt != 0 && wave_vt_ >= p.deadline_vt) {
+      // The deadline passed while the request sat in the queue: shed it
+      // unexecuted (zero bill) instead of burning a wave on a late result.
+      Response resp;
+      resp.error = ErrorCode::kDeadlineExceeded;
+      resp.message = "deadline expired while queued";
+      {
+        std::lock_guard lock(stats_mu_);
+        ++stats_.expired_in_queue;
+      }
+      finish(p, std::move(resp));
+      continue;
+    }
     if (r.data.empty()) {
       finish(p, empty_response(r));
       continue;
@@ -278,6 +470,16 @@ void ScanService::run_wave(std::vector<Pending> wave) {
   maybe_checkpoint();
 }
 
+// Scheduler-only, between pool jobs (the machines are quiescent, so the
+// ledger reads are race-free).  Abandoned work is included: rolled-back
+// attempts and cancelled waves consumed real execution time, and the
+// breaker cooldown must advance under failure-heavy load too.
+void ScanService::update_vclock() {
+  const std::uint64_t total =
+      pool_.merged_counts().total() + pool_.abandoned_counts().total();
+  vclock_.store(total / cfg_.harts, std::memory_order_release);
+}
+
 // Called at the tail of every wave, on the thread that owns the pool and
 // with every request finished — exactly the quiescent point a snapshot
 // needs.  A failed write is counted and absorbed: losing a checkpoint must
@@ -292,7 +494,10 @@ void ScanService::maybe_checkpoint() {
   if (waves % cfg_.checkpoint_every_waves != 0) return;
   try {
     checkpoint_to(cfg_.checkpoint_path);
-  } catch (const SnapshotTrap&) {
+  } catch (...) {
+    // Count the failure exactly once, whatever the write threw (snap raises
+    // SnapshotTrap, but a filesystem surprise could surface as any host
+    // exception) — a lost checkpoint must never take down the scheduler.
     std::lock_guard lock(stats_mu_);
     ++stats_.checkpoint_failures;
   }
@@ -326,6 +531,7 @@ void ScanService::execute_individual(const std::vector<Pending*>& members) {
     const Request& r = members[i]->req;
     rvv::Machine& m = rvv::Machine::active();
     const HookGuard guard(m, r.chaos_hook);
+    const DeadlineGuard deadline(m, remaining_budget(*members[i], wave_vt_));
     const sim::CountSnapshot pre = m.counter().snapshot();
     switch (r.kind) {
       case Kind::kScan:
@@ -370,6 +576,8 @@ void ScanService::execute_individual(const std::vector<Pending*>& members) {
       messages[f.shard] = f.message;
     }
   }
+  // Republish the clock before finishing so vt_latency covers this epoch.
+  update_vclock();
 
   for (std::size_t i = 0; i < n; ++i) {
     Response resp;
@@ -421,6 +629,21 @@ void ScanService::execute_batch(Kind kind, std::vector<Pending*>& members) {
   std::vector<Value> reduce_out(members.size(), Value{0});
   std::vector<sim::CountSnapshot> group_bills(groups.size());
 
+  // A group's pass shares one strip-mined kernel, so it runs under the
+  // tightest member deadline.  A group cancelled at a wave boundary rolls
+  // back whole and falls into the member-by-member fallback below, where
+  // each member re-runs (or is cancelled) under its own budget.
+  std::vector<std::uint64_t> group_budget(groups.size(), 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const GroupRange& range = groups[g];
+    for (std::size_t i = range.first_member; i < range.end_member; ++i) {
+      const std::uint64_t rem = remaining_budget(*members[i], wave_vt_);
+      if (rem > 0 && (group_budget[g] == 0 || rem < group_budget[g])) {
+        group_budget[g] = rem;
+      }
+    }
+  }
+
   const auto body = [&](std::size_t g) {
     const GroupRange& range = groups[g];
     const std::size_t len = range.end_elem - range.begin_elem;
@@ -429,6 +652,7 @@ void ScanService::execute_batch(Kind kind, std::vector<Pending*>& members) {
                                        len);
     const std::span<Value> dst(work.data() + range.begin_elem, len);
     rvv::Machine& m = rvv::Machine::active();
+    const DeadlineGuard deadline(m, group_budget[g]);
     const sim::CountSnapshot pre = m.counter().snapshot();
     switch (kind) {
       case Kind::kScan:
@@ -467,6 +691,8 @@ void ScanService::execute_batch(Kind kind, std::vector<Pending*>& members) {
       if (!f.recovered && f.shard < groups.size()) group_failed[f.shard] = 1;
     }
   }
+  // Republish the clock before finishing so vt_latency covers this epoch.
+  update_vclock();
 
   std::vector<Pending*> fallback;
   for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -539,6 +765,10 @@ void ScanService::execute_large(Pending& p) {
   const Request& r = p.req;
   Response resp;
   const par::HartPool::Lease lease = pool_.lease();
+  // Large requests bill lease.committed() even when cancelled: phases that
+  // committed before the deadline are real retired work, exactly like a
+  // faulted large request (the cancelled phase itself rolls back).
+  const PoolDeadlineGuard deadline(pool_, remaining_budget(p, wave_vt_));
   std::vector<Value> work(r.data.begin(), r.data.end());
   try {
     switch (r.kind) {
@@ -582,6 +812,8 @@ void ScanService::execute_large(Pending& p) {
     resp.data.clear();
   }
   resp.bill = lease.committed();
+  // Republish the clock before finishing so vt_latency covers this job.
+  update_vclock();
   finish(p, std::move(resp));
 }
 

@@ -32,6 +32,17 @@
 // consumer runs waves — a dedicated scheduler thread in background mode, or
 // the caller's thread via drain() in foreground mode (deterministic, used
 // by the fuzz layer).  The pool is only ever touched by the consumer.
+//
+// Overload containment (ISSUE 10, see DESIGN.md §9): the service keeps a
+// *virtual clock* — (merged + abandoned) pool instructions divided by hart
+// count — and requests may carry a deadline as a budget of that clock.
+// Admission predicts cost with tune::CostModel and rejects unmeetable
+// deadlines immediately; queued requests whose deadline passes are shed
+// unexecuted; in-flight requests are cancelled cooperatively at the next
+// strip-mine wave boundary (rvv::Machine instruction deadline ->
+// DeadlineTrap -> exact rollback).  The queue sheds lowest-priority-first
+// at saturation, and per-tenant circuit breakers (serve/breaker.hpp)
+// quarantine tenants whose requests keep faulting or missing deadlines.
 #pragma once
 
 #include <atomic>
@@ -44,6 +55,7 @@
 #include "par/hart_pool.hpp"
 #include "serve/batcher.hpp"
 #include "serve/billing.hpp"
+#include "serve/breaker.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 
@@ -83,6 +95,16 @@ class ScanService {
     /// Stats::checkpoint_failures and service continues.
     std::size_t checkpoint_every_waves = 0;
     std::string checkpoint_path;
+    /// Deadline feasibility gate: when true, a deadline-bearing request is
+    /// rejected at admission (kDeadlineUnmeetable) if its predicted cost
+    /// plus the per-hart share of the predicted queue backlog exceeds its
+    /// budget.  Off, deadlines are still enforced by shedding and
+    /// cooperative cancellation — the knob exists so tests can force the
+    /// mid-execution cancellation path deterministically.
+    bool admission_control = true;
+    /// Per-tenant circuit breakers; threshold 0 (the default) disables
+    /// them.  See serve/breaker.hpp for the state machine.
+    BreakerConfig breaker{};
   };
 
   /// Monotonic service counters (all guarded; read with stats()).
@@ -102,6 +124,13 @@ class ScanService {
     std::uint64_t large_requests = 0;
     std::uint64_t checkpoints = 0;          ///< pool snapshots written
     std::uint64_t checkpoint_failures = 0;  ///< checkpoint writes that failed
+    // Overload containment.
+    std::uint64_t rejected_deadline = 0;     ///< kDeadlineUnmeetable at admission
+    std::uint64_t rejected_quarantined = 0;  ///< breaker open at admission
+    std::uint64_t shed_overload = 0;         ///< evicted by a higher priority
+    std::uint64_t expired_in_queue = 0;      ///< deadline passed before execution
+    std::uint64_t deadline_exceeded = 0;     ///< all kDeadlineExceeded responses
+                                             ///< (expired_in_queue + cancelled)
   };
 
   explicit ScanService(Config cfg);
@@ -147,6 +176,26 @@ class ScanService {
   /// never billed.
   [[nodiscard]] std::uint64_t estimate(Kind kind, std::size_t n) const;
 
+  /// Cost prediction for deadline admission: the fitted tune::CostModel
+  /// when it covers the request's shape, estimate() otherwise.  Like
+  /// estimate(), never billed — the bill is always measured.
+  [[nodiscard]] std::uint64_t predict_cost(Kind kind, std::size_t n) const;
+
+  /// The service's virtual clock: (merged + abandoned) pool instructions
+  /// divided by hart count — the unit Request::deadline_insts and
+  /// BreakerConfig::cooldown_vt are expressed in.  Advances at execution-
+  /// phase boundaries; reads are lock-free.
+  [[nodiscard]] std::uint64_t virtual_now() const noexcept {
+    return vclock_.load(std::memory_order_acquire);
+  }
+
+  /// Per-tenant circuit breakers (state queries and stats; see
+  /// serve/breaker.hpp).
+  [[nodiscard]] TenantBreakers& breakers() noexcept { return breakers_; }
+  [[nodiscard]] const TenantBreakers& breakers() const noexcept {
+    return breakers_;
+  }
+
   /// Write a pool snapshot (tuner cache included) to `path`.  Safe in
   /// foreground mode between waves, or any mode after stop() — the same
   /// rule as pool().  SnapshotTrap on I/O failure.
@@ -160,14 +209,26 @@ class ScanService {
   void execute_individual(const std::vector<Pending*>& members);
   void execute_large(Pending& p);
   void finish(Pending& p, Response&& resp);
+  /// Scheduler-only: republish the virtual clock from the pool ledgers.
+  /// Legal only between pool jobs (the ledger read needs quiescence).
+  void update_vclock();
 
   Config cfg_;
   par::HartPool pool_;
   Billing billing_;
   RequestQueue queue_;
+  TenantBreakers breakers_;
   mutable std::mutex stats_mu_;
   Stats stats_;
   std::atomic<bool> stopped_{false};
+  /// Virtual clock: written by the wave consumer between pool jobs, read
+  /// lock-free by producers at admission.
+  std::atomic<std::uint64_t> vclock_{0};
+  /// Predicted cost of admitted-but-unfinished requests — the queue-depth
+  /// term of the deadline feasibility gate.
+  std::atomic<std::uint64_t> queued_cost_{0};
+  /// Virtual clock at the start of the wave being executed (consumer-only).
+  std::uint64_t wave_vt_ = 0;
   std::thread scheduler_;
 };
 

@@ -55,6 +55,8 @@ const char* to_string(TrapKind kind) noexcept {
       return "injected";
     case TrapKind::kSnapshot:
       return "snapshot";
+    case TrapKind::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "?";
 }
@@ -88,6 +90,9 @@ InjectedTrap::InjectedTrap(std::string_view detail, const TrapContext& ctx)
     : std::runtime_error(compose(detail, ctx)), Trap(ctx) {}
 
 SnapshotTrap::SnapshotTrap(std::string_view detail, const TrapContext& ctx)
+    : std::runtime_error(compose(detail, ctx)), Trap(ctx) {}
+
+DeadlineTrap::DeadlineTrap(std::string_view detail, const TrapContext& ctx)
     : std::runtime_error(compose(detail, ctx)), Trap(ctx) {}
 
 int current_hart() noexcept { return t_current_hart; }

@@ -18,6 +18,8 @@
 //   PoolAllocTrap      : std::runtime_error     injected allocation failure
 //   InjectedTrap       : std::runtime_error     fault-injection engine
 //   SnapshotTrap       : std::runtime_error     snapshot load/validate failure
+//   DeadlineTrap       : std::runtime_error     cooperative cancellation on an
+//                                               instruction-budget deadline
 //
 // The dual inheritance keeps two audiences happy at once: robust callers
 // `catch (const rvvsvm::Trap&)` and inspect `context()`; existing code and
@@ -73,9 +75,10 @@ enum class TrapKind : std::uint8_t {
   kPoolAlloc,
   kInjected,
   kSnapshot,
+  kDeadlineExceeded,
 };
 
-inline constexpr std::size_t kNumTrapKinds = 7;
+inline constexpr std::size_t kNumTrapKinds = 8;
 
 /// Mnemonic for reports ("illegal_config", "memory_access", ...).
 [[nodiscard]] const char* to_string(TrapKind kind) noexcept;
@@ -192,6 +195,22 @@ class SnapshotTrap : public std::runtime_error, public Trap {
   [[nodiscard]] const char* message() const noexcept override { return what(); }
   [[nodiscard]] sim::TrapKind kind() const noexcept override {
     return sim::TrapKind::kSnapshot;
+  }
+};
+
+/// Cooperative cancellation: the machine's instruction-budget deadline was
+/// reached.  Raised by Machine::vsetvl at a strip-mine wave boundary when a
+/// deadline installed via Machine::set_instruction_deadline() has passed —
+/// never mid-iteration, and always *before* the vsetvl charges, so the
+/// cancelled wave's counts are exact (the trapped vsetvl never retires).
+/// This is a cancellation, not a fault: par::RecoveryPolicy does not retry
+/// it (re-execution would deterministically re-cancel at the same budget).
+class DeadlineTrap : public std::runtime_error, public Trap {
+ public:
+  DeadlineTrap(std::string_view detail, const TrapContext& ctx);
+  [[nodiscard]] const char* message() const noexcept override { return what(); }
+  [[nodiscard]] sim::TrapKind kind() const noexcept override {
+    return sim::TrapKind::kDeadlineExceeded;
   }
 };
 

@@ -764,13 +764,26 @@ void restore_pool(par::HartPool& pool, const Blob& blob, tune::AutoTuner* tuner)
   if (tuner != nullptr && have_tuner) tuner->import_winners(winners);
 }
 
+// Crash-safe: the blob is written to a temp file in the same directory and
+// renamed over the target only after a checked fwrite + fclose, so a crash
+// (or ENOSPC) mid-checkpoint can never leave a torn file at the path a
+// service cold-starts from — the old snapshot survives until the new one is
+// durable.  Same-directory keeps the rename atomic (no cross-device moves).
 void write_file(const std::string& path, const Blob& blob) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) fail("cannot open " + path + " for writing");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) fail("cannot open " + tmp + " for writing");
   const std::size_t written =
       blob.empty() ? 0 : std::fwrite(blob.data(), 1, blob.size(), f);
   const bool ok = std::fclose(f) == 0 && written == blob.size();
-  if (!ok) fail("short write to " + path);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    fail("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename " + tmp + " over " + path);
+  }
 }
 
 Blob read_file(const std::string& path) {

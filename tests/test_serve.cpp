@@ -88,6 +88,25 @@ TEST(ServeErrorCodes, NonTrapCodesHaveNoTrapKind) {
   EXPECT_FALSE(rvvsvm::serve::trap_kind(ErrorCode::kMalformed).has_value());
   EXPECT_FALSE(rvvsvm::serve::trap_kind(ErrorCode::kShutdown).has_value());
   EXPECT_FALSE(rvvsvm::serve::trap_kind(ErrorCode::kWorkerCrash).has_value());
+  // ISSUE 10 overload codes: only kDeadlineExceeded has a trap behind it.
+  EXPECT_FALSE(
+      rvvsvm::serve::trap_kind(ErrorCode::kDeadlineUnmeetable).has_value());
+  EXPECT_FALSE(rvvsvm::serve::trap_kind(ErrorCode::kShedOverload).has_value());
+  EXPECT_FALSE(
+      rvvsvm::serve::trap_kind(ErrorCode::kTenantQuarantined).has_value());
+}
+
+TEST(ServeErrorCodes, DeadlineTrapRoundTripsAndCodesStayStable) {
+  EXPECT_EQ(rvvsvm::serve::error_code(TrapKind::kDeadlineExceeded),
+            ErrorCode::kDeadlineExceeded);
+  const auto back = rvvsvm::serve::trap_kind(ErrorCode::kDeadlineExceeded);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, TrapKind::kDeadlineExceeded);
+  // The wire codes are append-only contract values.
+  EXPECT_EQ(static_cast<int>(ErrorCode::kDeadlineExceeded), 13);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kDeadlineUnmeetable), 14);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kShedOverload), 15);
+  EXPECT_EQ(static_cast<int>(ErrorCode::kTenantQuarantined), 16);
 }
 
 // --- the tenant ledger -------------------------------------------------------
@@ -370,6 +389,208 @@ TEST(ServeFaults, PoisonedBatchPeerStillCoalesces) {
     EXPECT_TRUE(resp.coalesced);
   }
   EXPECT_FALSE(poisoned_fut.get().ok());
+}
+
+// --- request deadlines (ISSUE 10 tentpole) -----------------------------------
+
+TEST(ServeDeadlines, UnmeetableDeadlineRejectedAtAdmission) {
+  ScanService svc(foreground_config());
+  Request req = make_request(Kind::kScan, iota_values(1024));
+  req.deadline_insts = 1;  // far below any predicted cost
+  const Response resp = svc.call(std::move(req));
+  EXPECT_EQ(resp.error, ErrorCode::kDeadlineUnmeetable);
+  EXPECT_EQ(resp.billed_total, 0u);
+  EXPECT_EQ(svc.stats().rejected_deadline, 1u);
+  EXPECT_EQ(svc.billing().grand_total().total(), 0u);
+}
+
+TEST(ServeDeadlines, GenerousDeadlineCompletesAndReportsVtLatency) {
+  ScanService svc(foreground_config());
+  const std::uint64_t deadline = 1u << 30;
+  Request req = make_request(Kind::kSort, iota_values(128));
+  req.deadline_insts = deadline;
+  const Response resp = svc.call(std::move(req));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_GT(resp.vt_latency, 0u);
+  EXPECT_LT(resp.vt_latency, deadline);
+  EXPECT_EQ(svc.stats().deadline_exceeded, 0u);
+}
+
+TEST(ServeDeadlines, MidExecutionCancellationBillsZeroExactly) {
+  ScanService::Config cfg = foreground_config();
+  // Admission control off so the tiny budget reaches execution and the
+  // cooperative-cancellation path fires at a strip-mine wave boundary.
+  cfg.admission_control = false;
+  ScanService svc(cfg);
+
+  std::vector<std::future<Response>> healthy;
+  healthy.push_back(svc.submit(make_request(Kind::kScan, iota_values(40), 1)));
+  healthy.push_back(svc.submit(make_request(Kind::kSort, iota_values(32), 2)));
+  Request doomed = make_request(Kind::kSort, iota_values(64), 3);
+  doomed.deadline_insts = 8;
+  std::future<Response> doomed_fut = svc.submit(std::move(doomed));
+  svc.drain();
+
+  for (auto& fut : healthy) EXPECT_TRUE(fut.get().ok());
+  const Response resp = doomed_fut.get();
+  EXPECT_EQ(resp.error, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(resp.billed_total, 0u);  // the cancelled wave rolled back whole
+  EXPECT_EQ(svc.billing().billed(3).total(), 0u);
+  EXPECT_EQ(svc.stats().deadline_exceeded, 1u);
+  EXPECT_GT(svc.pool().abandoned_counts().total(), 0u);
+  // Exactness survives cancellation: bills still sum to the merged ledger.
+  EXPECT_EQ(svc.billing().grand_total(), svc.pool().merged_counts());
+}
+
+TEST(ServeDeadlines, ExpiredInQueueShedsUnexecuted) {
+  ScanService::Config cfg = foreground_config();
+  cfg.admission_control = false;
+  cfg.max_batch = 1;  // one request per wave: the first wave ages the second
+  ScanService svc(cfg);
+
+  std::future<Response> first =
+      svc.submit(make_request(Kind::kScan, iota_values(64), 1));
+  Request stale = make_request(Kind::kScan, iota_values(32), 2);
+  stale.deadline_insts = 1;
+  std::future<Response> stale_fut = svc.submit(std::move(stale));
+  svc.drain();
+
+  EXPECT_TRUE(first.get().ok());
+  const Response resp = stale_fut.get();
+  EXPECT_EQ(resp.error, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(resp.billed_total, 0u);  // shed before touching the pool
+  EXPECT_EQ(svc.stats().expired_in_queue, 1u);
+  EXPECT_EQ(svc.stats().deadline_exceeded, 1u);
+  EXPECT_EQ(svc.billing().grand_total(), svc.pool().merged_counts());
+}
+
+// --- priority shedding --------------------------------------------------------
+
+TEST(ServePriority, InteractiveEvictsNewestBackgroundAtSaturation) {
+  ScanService::Config cfg = foreground_config();
+  cfg.queue_capacity = 2;
+  ScanService svc(cfg);
+
+  Request b1 = make_request(Kind::kScan, iota_values(16), 1);
+  b1.priority = rvvsvm::serve::Priority::kBackground;
+  Request b2 = make_request(Kind::kScan, iota_values(16), 2);
+  b2.priority = rvvsvm::serve::Priority::kBackground;
+  Request i1 = make_request(Kind::kScan, iota_values(16), 3);
+  i1.priority = rvvsvm::serve::Priority::kInteractive;
+
+  std::future<Response> b1_fut = svc.submit(std::move(b1));
+  std::future<Response> b2_fut = svc.submit(std::move(b2));
+  std::future<Response> i1_fut = svc.submit(std::move(i1));
+  svc.drain();
+
+  EXPECT_TRUE(b1_fut.get().ok());  // oldest background survives
+  const Response shed = b2_fut.get();
+  EXPECT_EQ(shed.error, ErrorCode::kShedOverload);  // newest victim first
+  EXPECT_EQ(shed.billed_total, 0u);
+  EXPECT_TRUE(i1_fut.get().ok());
+  EXPECT_EQ(svc.stats().shed_overload, 1u);
+  EXPECT_EQ(svc.billing().grand_total(), svc.pool().merged_counts());
+}
+
+TEST(ServePriority, SamePriorityOverflowStillRejectsQueueFull) {
+  ScanService::Config cfg = foreground_config();
+  cfg.queue_capacity = 1;
+  ScanService svc(cfg);
+  Request a = make_request(Kind::kScan, iota_values(8), 1);
+  a.priority = rvvsvm::serve::Priority::kInteractive;
+  Request b = make_request(Kind::kScan, iota_values(8), 2);
+  b.priority = rvvsvm::serve::Priority::kInteractive;
+  std::future<Response> a_fut = svc.submit(std::move(a));
+  const Response resp = svc.submit(std::move(b)).get();
+  EXPECT_EQ(resp.error, ErrorCode::kQueueFull);  // nobody below to shed
+  EXPECT_EQ(svc.stats().rejected_queue_full, 1u);
+  svc.drain();
+  EXPECT_TRUE(a_fut.get().ok());
+}
+
+// --- per-tenant circuit breakers ----------------------------------------------
+
+TEST(ServeBreaker, OpensAfterThresholdAndQuarantinesOnlyThatTenant) {
+  ScanService::Config cfg = foreground_config();
+  cfg.breaker = {.threshold = 2, .cooldown_vt = 1u << 30};
+  ScanService svc(cfg);
+  FaultInjector inj({.trap_at_instruction = 2, .persistent = true});
+
+  for (int i = 0; i < 2; ++i) {
+    Request poisoned = make_request(Kind::kScan, iota_values(24), 7);
+    poisoned.chaos_hook = &inj;
+    EXPECT_FALSE(svc.call(std::move(poisoned)).ok());
+  }
+  using State = rvvsvm::serve::TenantBreakers::State;
+  EXPECT_EQ(svc.breakers().state(7), State::kOpen);
+  EXPECT_EQ(svc.breakers().stats().opens, 1u);
+
+  // The quarantined tenant is rejected in admission, unexecuted, unbilled.
+  const Response rej = svc.call(make_request(Kind::kScan, iota_values(16), 7));
+  EXPECT_EQ(rej.error, ErrorCode::kTenantQuarantined);
+  EXPECT_EQ(rej.billed_total, 0u);
+  EXPECT_EQ(svc.stats().rejected_quarantined, 1u);
+  // Other tenants are untouched.
+  EXPECT_TRUE(svc.call(make_request(Kind::kScan, iota_values(16), 8)).ok());
+  EXPECT_EQ(svc.billing().billed(7).total(), 0u);
+}
+
+TEST(ServeBreaker, HalfOpenProbeClosesOnSuccess) {
+  ScanService::Config cfg = foreground_config();
+  cfg.breaker = {.threshold = 1, .cooldown_vt = 0};
+  ScanService svc(cfg);
+  FaultInjector inj({.trap_at_instruction = 2, .persistent = true});
+
+  Request poisoned = make_request(Kind::kScan, iota_values(24), 7);
+  poisoned.chaos_hook = &inj;
+  EXPECT_FALSE(svc.call(std::move(poisoned)).ok());
+  using State = rvvsvm::serve::TenantBreakers::State;
+  EXPECT_EQ(svc.breakers().state(7), State::kOpen);
+
+  // Cooldown elapsed (0 vt): the next arrival is the half-open probe; its
+  // success closes the breaker and normal service resumes.
+  EXPECT_TRUE(svc.call(make_request(Kind::kScan, iota_values(16), 7)).ok());
+  EXPECT_EQ(svc.breakers().state(7), State::kClosed);
+  EXPECT_EQ(svc.breakers().stats().probes, 1u);
+  EXPECT_EQ(svc.breakers().stats().closes, 1u);
+  EXPECT_TRUE(svc.call(make_request(Kind::kScan, iota_values(16), 7)).ok());
+}
+
+TEST(ServeBreaker, FailedProbeReopensWithFreshCooldown) {
+  ScanService::Config cfg = foreground_config();
+  cfg.breaker = {.threshold = 1, .cooldown_vt = 0};
+  ScanService svc(cfg);
+  FaultInjector inj({.trap_at_instruction = 2, .persistent = true});
+
+  for (int i = 0; i < 2; ++i) {
+    Request poisoned = make_request(Kind::kScan, iota_values(24), 7);
+    poisoned.chaos_hook = &inj;
+    EXPECT_FALSE(svc.call(std::move(poisoned)).ok());
+  }
+  // First failure opened the breaker; the second was the half-open probe
+  // failing, which re-opens it (a fresh trip, not a threshold count).
+  using State = rvvsvm::serve::TenantBreakers::State;
+  EXPECT_EQ(svc.breakers().state(7), State::kOpen);
+  EXPECT_EQ(svc.breakers().stats().opens, 2u);
+  EXPECT_EQ(svc.breakers().stats().probes, 1u);
+  EXPECT_EQ(svc.breakers().stats().closes, 0u);
+}
+
+// --- checkpoint robustness (ISSUE 10 satellite) -------------------------------
+
+TEST(ServeCheckpoint, UnwritablePathCountsFailuresAndKeepsServing) {
+  ScanService::Config cfg = foreground_config();
+  cfg.checkpoint_every_waves = 1;
+  cfg.checkpoint_path = "/nonexistent-dir-for-serve-test/pool.snap";
+  ScanService svc(cfg);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(svc.call(make_request(Kind::kScan, iota_values(16))).ok());
+  }
+  const ScanService::Stats stats = svc.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.checkpoints, 0u);
+  EXPECT_GE(stats.checkpoint_failures, 3u);
+  EXPECT_EQ(svc.billing().grand_total(), svc.pool().merged_counts());
 }
 
 // --- background (daemon) mode -----------------------------------------------------

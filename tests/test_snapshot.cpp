@@ -98,6 +98,33 @@ TEST(SnapshotFormat, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotFormat, WriteFileReplacesAtomically) {
+  // write_file goes through <path>.tmp + rename, so a rewrite either fully
+  // lands or leaves the previous file intact — and never leaves the .tmp.
+  rvv::Machine m({.vlen_bits = 128});
+  const snap::Blob first = snap::save_machine(m);
+  warm(m);
+  const snap::Blob second = snap::save_machine(m);
+  const std::string path = ::testing::TempDir() + "snap_atomic_replace.snap";
+  snap::write_file(path, first);
+  snap::write_file(path, second);
+  EXPECT_EQ(snap::read_file(path), second);
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr) << "temp file left behind after rename";
+  if (tmp != nullptr) static_cast<void>(std::fclose(tmp));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFormat, WriteFileUnwritablePathTrapsCleanly) {
+  rvv::Machine m({.vlen_bits = 128});
+  const snap::Blob blob = snap::save_machine(m);
+  const std::string path = "/nonexistent-dir-for-snap-test/machine.snap";
+  EXPECT_THROW(snap::write_file(path, blob), SnapshotTrap);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "unwritable path produced a file";
+  if (f != nullptr) static_cast<void>(std::fclose(f));
+}
+
 TEST(SnapshotFormat, WrongVersionRejected) {
   rvv::Machine m({.vlen_bits = 128});
   snap::Blob blob = snap::save_machine(m);

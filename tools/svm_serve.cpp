@@ -18,9 +18,15 @@
 //   stats                                print service counters
 //   quit                                 stop the service and exit
 //
-// Responses: `ok kind=<k> bill=<n> coalesced=<0|1> [scalar=<v>] [data=...]`
-// on success, `err code=<mnemonic> detail=<message>` on failure.  Exit
-// status 0 on clean quit/EOF, 2 on usage errors.
+// Request commands accept `deadline=N` (virtual-time instruction budget;
+// overload containment, see DESIGN.md §9) and `priority=background|batch|
+// interactive` options between the command and the tenant id, e.g.
+// `scan deadline=50000 priority=interactive 1 1 2 3`.  --deadline and
+// --priority set session-wide defaults.
+//
+// Responses: `ok kind=<k> bill=<n> vt=<n> coalesced=<0|1> [scalar=<v>]
+// [data=...]` on success, `err code=<mnemonic> detail=<message>` on
+// failure.  Exit status 0 on clean quit/EOF, 2 on usage errors.
 
 #include <cstdint>
 #include <cstdlib>
@@ -49,7 +55,9 @@ void usage(std::ostream& os) {
   os << "usage: svm_serve [--harts N] [--vlen BITS] [--queue N]\n"
         "                 [--threshold N] [--budget TENANT:MAX]...\n"
         "                 [--restore FILE] [--snapshot FILE]\n"
-        "                 [--checkpoint-every N] [--foreground] [--quiet]\n"
+        "                 [--checkpoint-every N] [--deadline N]\n"
+        "                 [--priority CLASS] [--breaker N:COOLDOWN]\n"
+        "                 [--foreground] [--quiet]\n"
         "  --harts N          pool size (default 4)\n"
         "  --vlen BITS        emulated VLEN (default 256)\n"
         "  --queue N          admission queue capacity (default 1024)\n"
@@ -59,9 +67,28 @@ void usage(std::ostream& os) {
         "  --snapshot FILE    write a pool snapshot on clean exit\n"
         "  --checkpoint-every N  also checkpoint every N scheduler waves\n"
         "                     (to the --snapshot file)\n"
+        "  --deadline N       default virtual-time deadline per request\n"
+        "                     (0 = none; per-request deadline= overrides)\n"
+        "  --priority CLASS   default priority: background|batch|interactive\n"
+        "  --breaker N:CD     trip a tenant's circuit breaker after N\n"
+        "                     consecutive failures, cooldown CD virtual time\n"
         "  --foreground       no scheduler thread; drain per request\n"
         "  --quiet            suppress the banner\n"
         "then drive it over stdin; `quit` or EOF stops the service.\n";
+}
+
+[[nodiscard]] bool parse_priority(std::string_view s,
+                                  rvvsvm::serve::Priority& out) {
+  if (s == "background") {
+    out = rvvsvm::serve::Priority::kBackground;
+  } else if (s == "batch") {
+    out = rvvsvm::serve::Priority::kBatch;
+  } else if (s == "interactive") {
+    out = rvvsvm::serve::Priority::kInteractive;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 [[nodiscard]] bool parse_u64(std::string_view s, std::uint64_t& out) {
@@ -104,7 +131,7 @@ void print_response(std::ostream& os, Kind kind, const Response& resp) {
     return;
   }
   os << "ok kind=" << to_string(kind) << " bill=" << resp.billed_total
-     << " coalesced=" << (resp.coalesced ? 1 : 0);
+     << " vt=" << resp.vt_latency << " coalesced=" << (resp.coalesced ? 1 : 0);
   if (kind == Kind::kReduce) {
     os << " scalar=" << resp.scalar;
   } else {
@@ -141,13 +168,28 @@ void print_stats(std::ostream& os, const ScanService& svc) {
      << ", shutdown " << s.rejected_shutdown << "\n"
      << "waves " << s.waves << ", coalesced " << s.coalesced_requests
      << " requests in " << s.coalesced_batches << " batches, individual "
-     << s.individual_requests << ", large " << s.large_requests << "\n";
+     << s.individual_requests << ", large " << s.large_requests << "\n"
+     << "overload: unmeetable " << s.rejected_deadline << ", quarantined "
+     << s.rejected_quarantined << ", shed " << s.shed_overload
+     << ", expired " << s.expired_in_queue << ", deadline_exceeded "
+     << s.deadline_exceeded << " (vt now " << svc.virtual_now() << ")\n";
+  const auto b = svc.breakers().stats();
+  if (svc.breakers().enabled()) {
+    os << "breakers: opens " << b.opens << ", probes " << b.probes
+       << ", closes " << b.closes << ", rejects " << b.rejects << "\n";
+  }
 }
 
 /// One protocol session: read commands from `in`, write responses to `out`.
 /// This is the transport-independent core — a socket front-end would call
 /// it with the connection's streams.
-int run_session(std::istream& in, std::ostream& out, ScanService& svc) {
+struct SessionDefaults {
+  std::uint64_t deadline_insts = 0;
+  rvvsvm::serve::Priority priority = rvvsvm::serve::Priority::kBatch;
+};
+
+int run_session(std::istream& in, std::ostream& out, ScanService& svc,
+                const SessionDefaults& defaults) {
   std::string line;
   while (std::getline(in, line)) {
     std::istringstream tokens(line);
@@ -180,10 +222,31 @@ int run_session(std::istream& in, std::ostream& out, ScanService& svc) {
 
     Request req;
     bool parsed = true;
+    req.deadline_insts = defaults.deadline_insts;
+    req.priority = defaults.priority;
+
+    // Optional key=value options sit between the command and the tenant id.
     std::string tenant_tok;
+    bool options_ok = true;
+    while ((tokens >> tenant_tok) &&
+           tenant_tok.find('=') != std::string::npos) {
+      const std::size_t eq = tenant_tok.find('=');
+      const std::string_view key = std::string_view(tenant_tok).substr(0, eq);
+      const std::string_view val =
+          std::string_view(tenant_tok).substr(eq + 1);
+      std::uint64_t n = 0;
+      if (key == "deadline" && parse_u64(val, n)) {
+        req.deadline_insts = n;
+      } else if (key == "priority" && parse_priority(val, req.priority)) {
+        // parsed in place
+      } else {
+        options_ok = false;
+        break;
+      }
+    }
     std::uint64_t tenant = 0;
-    if (!(tokens >> tenant_tok) || !parse_u64(tenant_tok, tenant)) {
-      out << "err code=malformed detail=missing tenant id\n";
+    if (!options_ok || !parse_u64(tenant_tok, tenant)) {
+      out << "err code=malformed detail=bad option or missing tenant id\n";
       continue;
     }
     req.tenant = tenant;
@@ -235,6 +298,7 @@ int main(int argc, char** argv) {
   ScanService::Config cfg;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> budgets;
   std::string snapshot_path;
+  SessionDefaults defaults;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -277,6 +341,27 @@ int main(int argc, char** argv) {
     } else if (arg == "--checkpoint-every") {
       if (!parse_u64(value(), v) || v == 0) return 2;
       cfg.checkpoint_every_waves = v;
+    } else if (arg == "--deadline") {
+      if (!parse_u64(value(), defaults.deadline_insts)) return 2;
+    } else if (arg == "--priority") {
+      if (!parse_priority(value(), defaults.priority)) {
+        std::cerr << "svm_serve: bad --priority, want "
+                     "background|batch|interactive\n";
+        return 2;
+      }
+    } else if (arg == "--breaker") {
+      const std::string_view spec = value();
+      const std::size_t colon = spec.find(':');
+      std::uint64_t threshold = 0;
+      std::uint64_t cooldown = 0;
+      if (colon == std::string_view::npos ||
+          !parse_u64(spec.substr(0, colon), threshold) || threshold == 0 ||
+          !parse_u64(spec.substr(colon + 1), cooldown)) {
+        std::cerr << "svm_serve: bad --breaker, want THRESHOLD:COOLDOWN\n";
+        return 2;
+      }
+      cfg.breaker.threshold = static_cast<unsigned>(threshold);
+      cfg.breaker.cooldown_vt = cooldown;
     } else if (arg == "--foreground") {
       cfg.background = false;
     } else if (arg == "--quiet") {
@@ -310,7 +395,7 @@ int main(int argc, char** argv) {
                                                  : ", warm-started from snapshot")
                 << " — `quit` or EOF to stop\n";
     }
-    const int rc = run_session(std::cin, std::cout, svc);
+    const int rc = run_session(std::cin, std::cout, svc, defaults);
     svc.stop();
     if (!snapshot_path.empty()) svc.checkpoint_to(snapshot_path);
     return rc;
